@@ -1,0 +1,121 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. physical overlap join: partitioned (NJ's plan) vs nested loop (the
+//      plan TA is stuck with) — isolates how much of Fig. 7's gap comes
+//      from the join algorithm alone;
+//   2. pipeline staging: the incremental cost of LAWAU and LAWAN on top of
+//      the overlap join (the paper's "pipelined, no replication" claim —
+//      each stage should add far less than a second join would);
+//   3. θ selectivity: the same operator across join-key domain sizes,
+//      showing the webkit→meteo transition continuously.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "engine/materialize.h"
+#include "tp/plans.h"
+
+namespace tpdb::bench {
+namespace {
+
+void OverlapJoinAlgorithm(benchmark::State& state, OverlapAlgorithm algo) {
+  const int64_t n = state.range(0) * Scale();
+  const Dataset& ds = GetDataset(DataKind::kWebkit, n);
+  size_t windows = 0;
+  for (auto _ : state) {
+    StatusOr<WindowPlan> plan =
+        MakeWindowPlan(*ds.r, *ds.s, ds.theta, WindowStage::kOverlap, algo);
+    TPDB_CHECK(plan.ok()) << plan.status().ToString();
+    windows = Drain(plan->root.get());
+    benchmark::DoNotOptimize(windows);
+  }
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+void JoinPartitioned(benchmark::State& s) {
+  OverlapJoinAlgorithm(s, OverlapAlgorithm::kPartitioned);
+}
+void JoinNestedLoop(benchmark::State& s) {
+  OverlapJoinAlgorithm(s, OverlapAlgorithm::kNestedLoop);
+}
+
+BENCHMARK(JoinPartitioned)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(JoinNestedLoop)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void PipelineStage(benchmark::State& state, WindowStage stage) {
+  const int64_t n = state.range(0) * Scale();
+  const Dataset& ds = GetDataset(DataKind::kWebkit, n);
+  size_t windows = 0;
+  for (auto _ : state) {
+    StatusOr<WindowPlan> plan =
+        MakeWindowPlan(*ds.r, *ds.s, ds.theta, stage);
+    TPDB_CHECK(plan.ok()) << plan.status().ToString();
+    windows = Drain(plan->root.get());
+    benchmark::DoNotOptimize(windows);
+  }
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+void StageOverlapOnly(benchmark::State& s) {
+  PipelineStage(s, WindowStage::kOverlap);
+}
+void StagePlusLawau(benchmark::State& s) {
+  PipelineStage(s, WindowStage::kWuo);
+}
+void StagePlusLawan(benchmark::State& s) {
+  PipelineStage(s, WindowStage::kWuon);
+}
+
+BENCHMARK(StageOverlapOnly)->Arg(25000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(StagePlusLawau)->Arg(25000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(StagePlusLawan)->Arg(25000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// θ-selectivity sweep: fixed 8000-tuple relations, varying distinct keys.
+void ThetaSelectivity(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  static std::map<int64_t, std::unique_ptr<Dataset>> cache;
+  auto it = cache.find(keys);
+  if (it == cache.end()) {
+    auto ds = std::make_unique<Dataset>();
+    ds->manager = std::make_unique<LineageManager>();
+    Random rng(4242);
+    UniformWorkloadOptions opts;
+    opts.num_tuples = 8000 * Scale();
+    opts.num_facts = keys;
+    opts.history_length = 400000;
+    StatusOr<TPRelation> r =
+        MakeUniformWorkload(ds->manager.get(), "r", opts, &rng);
+    StatusOr<TPRelation> s =
+        MakeUniformWorkload(ds->manager.get(), "s", opts, &rng);
+    TPDB_CHECK(r.ok());
+    TPDB_CHECK(s.ok());
+    ds->r = std::make_unique<TPRelation>(std::move(*r));
+    ds->s = std::make_unique<TPRelation>(std::move(*s));
+    ds->theta = JoinCondition::Equals("key");
+    it = cache.emplace(keys, std::move(ds)).first;
+  }
+  const Dataset& ds = *it->second;
+  size_t windows = 0;
+  for (auto _ : state) {
+    StatusOr<WindowPlan> plan =
+        MakeWindowPlan(*ds.r, *ds.s, ds.theta, WindowStage::kWuon);
+    TPDB_CHECK(plan.ok()) << plan.status().ToString();
+    windows = Drain(plan->root.get());
+    benchmark::DoNotOptimize(windows);
+  }
+  state.counters["distinct_keys"] = static_cast<double>(keys);
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+BENCHMARK(ThetaSelectivity)->Arg(10)->Arg(50)->Arg(200)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tpdb::bench
+
+BENCHMARK_MAIN();

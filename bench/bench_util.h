@@ -1,0 +1,85 @@
+// Shared benchmark plumbing: dataset caching (generation is excluded from
+// the timed region), size scaling, and the counters every figure reports.
+//
+// Scaling note (EXPERIMENTS.md §Method): the paper runs 50K–200K tuples on
+// a 2×Xeon with PostgreSQL; the TA baseline is quadratic (nested-loop plans
+// and replication), so these benches sweep proportionally smaller sizes by
+// default and preserve the *shape* of each figure. Set TPDB_BENCH_SCALE=k
+// to multiply every size by k for longer runs.
+#ifndef TPDB_BENCH_BENCH_UTIL_H_
+#define TPDB_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "datasets/meteo.h"
+#include "datasets/webkit.h"
+#include "tp/overlap_join.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb::bench {
+
+/// Which of the two paper datasets (substituted generators) to use.
+enum class DataKind { kWebkit, kMeteo };
+
+inline const char* DataKindName(DataKind kind) {
+  return kind == DataKind::kWebkit ? "webkit" : "meteo";
+}
+
+/// A cached dataset instance: two relations + θ bound to their own manager.
+struct Dataset {
+  std::unique_ptr<LineageManager> manager;
+  std::unique_ptr<TPRelation> r;
+  std::unique_ptr<TPRelation> s;
+  JoinCondition theta;
+};
+
+/// Returns the (cached) dataset of `kind` with `n` tuples per relation.
+/// Generation happens once, outside any timed region.
+inline const Dataset& GetDataset(DataKind kind, int64_t n) {
+  static std::map<std::pair<int, int64_t>, std::unique_ptr<Dataset>> cache;
+  const std::pair<int, int64_t> key{static_cast<int>(kind), n};
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+
+  auto ds = std::make_unique<Dataset>();
+  ds->manager = std::make_unique<LineageManager>();
+  if (kind == DataKind::kWebkit) {
+    WebkitOptions opts;
+    opts.num_tuples = n;
+    StatusOr<WebkitDataset> gen = MakeWebkitDataset(ds->manager.get(), opts);
+    TPDB_CHECK(gen.ok()) << gen.status().ToString();
+    ds->r = std::make_unique<TPRelation>(std::move(gen->r));
+    ds->s = std::make_unique<TPRelation>(std::move(gen->s));
+    ds->theta = std::move(gen->theta);
+  } else {
+    MeteoOptions opts;
+    opts.num_tuples = n;
+    StatusOr<MeteoDataset> gen = MakeMeteoDataset(ds->manager.get(), opts);
+    TPDB_CHECK(gen.ok()) << gen.status().ToString();
+    ds->r = std::make_unique<TPRelation>(std::move(gen->r));
+    ds->s = std::make_unique<TPRelation>(std::move(gen->s));
+    ds->theta = std::move(gen->theta);
+  }
+  const Dataset& ref = *ds;
+  cache.emplace(key, std::move(ds));
+  return ref;
+}
+
+/// Multiplies benchmark sizes by $TPDB_BENCH_SCALE (default 1).
+inline int64_t Scale() {
+  static const int64_t scale = [] {
+    const char* env = std::getenv("TPDB_BENCH_SCALE");
+    if (env == nullptr) return static_cast<int64_t>(1);
+    const int64_t v = std::atoll(env);
+    return v > 0 ? v : static_cast<int64_t>(1);
+  }();
+  return scale;
+}
+
+}  // namespace tpdb::bench
+
+#endif  // TPDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Benchmarks of the extension operators built on the window machinery:
+// TP set operations (the companion ICDE'18 paper's operators, reference
+// [1]) and the probabilistic temporal aggregate. Not part of the paper's
+// evaluation — included to show the window pipeline carries these at the
+// same cost profile as the joins.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tp/aggregate.h"
+#include "tp/set_ops.h"
+
+namespace tpdb::bench {
+namespace {
+
+/// Set operations need union-compatible inputs: reuse the webkit pair
+/// (same fact schema: file).
+void SetOp(benchmark::State& state,
+           StatusOr<TPRelation> (*op)(const TPRelation&, const TPRelation&,
+                                      std::string)) {
+  const int64_t n = state.range(0) * Scale();
+  const Dataset& ds = GetDataset(DataKind::kWebkit, n);
+  size_t out = 0;
+  for (auto _ : state) {
+    StatusOr<TPRelation> result = op(*ds.r, *ds.s, "");
+    TPDB_CHECK(result.ok()) << result.status().ToString();
+    out = result->size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["output_tuples"] = static_cast<double>(out);
+}
+
+void UnionBench(benchmark::State& s) { SetOp(s, &TPUnion); }
+void IntersectBench(benchmark::State& s) { SetOp(s, &TPIntersect); }
+void DifferenceBench(benchmark::State& s) { SetOp(s, &TPDifference); }
+
+BENCHMARK(UnionBench)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+BENCHMARK(IntersectBench)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(DifferenceBench)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void TemporalAggregateBench(benchmark::State& state) {
+  const int64_t n = state.range(0) * Scale();
+  const Dataset& ds = GetDataset(DataKind::kMeteo, n);
+  size_t runs = 0;
+  for (auto _ : state) {
+    StatusOr<std::vector<TemporalAggregateRow>> agg =
+        TemporalAggregate(*ds.r);
+    TPDB_CHECK(agg.ok()) << agg.status().ToString();
+    runs = agg->size();
+    benchmark::DoNotOptimize(runs);
+  }
+  state.counters["runs"] = static_cast<double>(runs);
+}
+
+BENCHMARK(TemporalAggregateBench)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tpdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Fig. 6 — Negating windows: NJ-WN (LAWAN alone over a materialized WUO),
+// NJ-WUON (the whole pipeline), and TA (normalization with replication),
+// on the Webkit-like (6a) and Meteo-like (6b) datasets.
+//
+// Paper claims reproduced: NJ computes negating windows 4–10× faster than
+// TA when the WUO cost is included (WUON), and 12–20× faster when it is
+// not (WN), because TA replicates tuples at every boundary — θ ignored —
+// and must re-match and coalesce the fragments.
+#include <benchmark/benchmark.h>
+
+#include "baseline/ta_join.h"
+#include "bench/bench_util.h"
+#include "engine/materialize.h"
+#include "tp/plans.h"
+
+namespace tpdb::bench {
+namespace {
+
+/// Materialized WUO input per (kind, n), shared by the NJ-WN runs so LAWAN
+/// is timed in isolation.
+struct WuoInput {
+  std::unique_ptr<Table> rows;
+  WindowLayout layout{0, 0};
+};
+
+const WuoInput& GetWuo(DataKind kind, int64_t n) {
+  static std::map<std::pair<int, int64_t>, std::unique_ptr<WuoInput>> cache;
+  const std::pair<int, int64_t> key{static_cast<int>(kind), n};
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+  const Dataset& ds = GetDataset(kind, n);
+  StatusOr<WindowPlan> plan =
+      MakeWindowPlan(*ds.r, *ds.s, ds.theta, WindowStage::kWuo);
+  TPDB_CHECK(plan.ok()) << plan.status().ToString();
+  auto input = std::make_unique<WuoInput>();
+  input->layout = plan->layout;
+  input->rows = std::make_unique<Table>(Materialize(plan->root.get()));
+  const WuoInput& ref = *input;
+  cache.emplace(key, std::move(input));
+  return ref;
+}
+
+/// NJ-WN: LAWAN alone, streaming over the precomputed WUO.
+void NjWn(benchmark::State& state, DataKind kind) {
+  const int64_t n = state.range(0) * Scale();
+  const Dataset& ds = GetDataset(kind, n);
+  const WuoInput& wuo = GetWuo(kind, n);
+  size_t windows = 0;
+  for (auto _ : state) {
+    OperatorPtr lawan =
+        MakeLawanOnly(wuo.rows.get(), wuo.layout, ds.manager.get());
+    windows = Drain(lawan.get());
+    benchmark::DoNotOptimize(windows);
+  }
+  state.counters["input_tuples"] = static_cast<double>(2 * n);
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+/// NJ-WUON: the full pipeline including the overlap join and LAWAU.
+void NjWuon(benchmark::State& state, DataKind kind) {
+  const int64_t n = state.range(0) * Scale();
+  const Dataset& ds = GetDataset(kind, n);
+  size_t windows = 0;
+  for (auto _ : state) {
+    StatusOr<WindowPlan> plan =
+        MakeWindowPlan(*ds.r, *ds.s, ds.theta, WindowStage::kWuon);
+    TPDB_CHECK(plan.ok()) << plan.status().ToString();
+    windows = Drain(plan->root.get());
+    benchmark::DoNotOptimize(windows);
+  }
+  state.counters["input_tuples"] = static_cast<double>(2 * n);
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+/// TA: negating windows via normalization (replication, θ ignored during
+/// alignment, per-fragment re-matching, coalescing).
+void TaNegating(benchmark::State& state, DataKind kind) {
+  const int64_t n = state.range(0) * Scale();
+  const Dataset& ds = GetDataset(kind, n);
+  size_t windows = 0;
+  for (auto _ : state) {
+    StatusOr<std::vector<TPWindow>> w =
+        TAComputeNegatingWindows(*ds.r, *ds.s, ds.theta);
+    TPDB_CHECK(w.ok()) << w.status().ToString();
+    windows = w->size();
+    benchmark::DoNotOptimize(windows);
+  }
+  state.counters["input_tuples"] = static_cast<double>(2 * n);
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+void Fig6aNjWn(benchmark::State& s) { NjWn(s, DataKind::kWebkit); }
+void Fig6aNjWuon(benchmark::State& s) { NjWuon(s, DataKind::kWebkit); }
+void Fig6aTa(benchmark::State& s) { TaNegating(s, DataKind::kWebkit); }
+void Fig6bNjWn(benchmark::State& s) { NjWn(s, DataKind::kMeteo); }
+void Fig6bNjWuon(benchmark::State& s) { NjWuon(s, DataKind::kMeteo); }
+void Fig6bTa(benchmark::State& s) { TaNegating(s, DataKind::kMeteo); }
+
+// TA's normalization is O(|r|·|s|): sweep smaller sizes than Fig. 5.
+#define FIG6_SIZES_WEBKIT Arg(2500)->Arg(5000)->Arg(10000)->Arg(20000)
+#define FIG6_SIZES_METEO Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+
+BENCHMARK(Fig6aNjWn)->FIG6_SIZES_WEBKIT->Unit(benchmark::kMillisecond);
+BENCHMARK(Fig6aNjWuon)->FIG6_SIZES_WEBKIT->Unit(benchmark::kMillisecond);
+BENCHMARK(Fig6aTa)->FIG6_SIZES_WEBKIT->Unit(benchmark::kMillisecond);
+BENCHMARK(Fig6bNjWn)->FIG6_SIZES_METEO->Unit(benchmark::kMillisecond);
+BENCHMARK(Fig6bNjWuon)->FIG6_SIZES_METEO->Unit(benchmark::kMillisecond);
+BENCHMARK(Fig6bTa)->FIG6_SIZES_METEO->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tpdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Example: the TPDatabase facade and pipeline introspection.
+//
+// Loads the booking scenario through the catalog, runs queries through the
+// textual interface, then rebuilds the window pipeline with per-stage
+// instrumentation to show what the paper's "pipelined computation" means:
+// the overlap join streams into LAWAU which streams into LAWAN, each stage
+// adding exactly its own windows — no stage rescans or replicates input.
+//
+// Run: ./build/examples/pipeline_explain
+#include <cstdio>
+
+#include "api/database.h"
+#include "engine/explain.h"
+#include "engine/materialize.h"
+#include "tp/lawan.h"
+#include "tp/lawau.h"
+#include "tp/plans.h"
+
+using namespace tpdb;
+
+namespace {
+void Must(const Status& st) { TPDB_CHECK(st.ok()) << st.ToString(); }
+}  // namespace
+
+int main() {
+  TPDatabase db;
+
+  Schema wants_schema;
+  wants_schema.AddColumn({"Name", DatumType::kString});
+  wants_schema.AddColumn({"Loc", DatumType::kString});
+  StatusOr<TPRelation*> wants = db.CreateRelation("wants", wants_schema);
+  TPDB_CHECK(wants.ok());
+  Must((*wants)->AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(2, 8),
+                            0.7, "a1"));
+  Must((*wants)->AppendBase({Datum("Jim"), Datum("WEN")}, Interval(7, 10),
+                            0.8, "a2"));
+
+  Schema hotels_schema;
+  hotels_schema.AddColumn({"Hotel", DatumType::kString});
+  hotels_schema.AddColumn({"Loc", DatumType::kString});
+  StatusOr<TPRelation*> hotels = db.CreateRelation("hotels", hotels_schema);
+  TPDB_CHECK(hotels.ok());
+  Must((*hotels)->AppendBase({Datum("hotel3"), Datum("SOR")}, Interval(1, 4),
+                             0.9, "b1"));
+  Must((*hotels)->AppendBase({Datum("hotel2"), Datum("ZAK")}, Interval(5, 8),
+                             0.6, "b2"));
+  Must((*hotels)->AppendBase({Datum("hotel1"), Datum("ZAK")}, Interval(4, 6),
+                             0.7, "b3"));
+
+  // The textual query interface.
+  const char* queries[] = {
+      "wants LEFT JOIN hotels ON Loc",
+      "wants ANTI JOIN hotels ON Loc",
+      "wants SEMI JOIN hotels ON Loc",
+      "wants LEFT JOIN hotels ON Loc USING TA",
+  };
+  for (const char* q : queries) {
+    StatusOr<TPRelation> result = db.Query(q);
+    TPDB_CHECK(result.ok()) << result.status().ToString();
+    std::printf("query: %-42s -> %zu tuples\n", q, result->size());
+  }
+
+  // Rebuild the left-outer window pipeline with instrumentation.
+  StatusOr<TPRelation*> a = db.Get("wants");
+  StatusOr<TPRelation*> b = db.Get("hotels");
+  TPDB_CHECK(a.ok() && b.ok());
+  StatusOr<WindowPlan> plan =
+      MakeWindowPlan(**a, **b, JoinCondition::Equals("Loc"),
+                     WindowStage::kOverlap, OverlapAlgorithm::kAuto);
+  TPDB_CHECK(plan.ok()) << plan.status().ToString();
+
+  ExecStats stats;
+  OperatorPtr root =
+      Instrument("overlap_join (θo ∧ θ)", std::move(plan->root), &stats);
+  root = std::make_unique<Lawau>(std::move(root), plan->layout);
+  root = Instrument("lawau (unmatched)", std::move(root), &stats);
+  root = std::make_unique<Lawan>(std::move(root), plan->layout,
+                                 db.manager());
+  root = Instrument("lawan (negating)", std::move(root), &stats);
+  const size_t windows = Drain(root.get());
+
+  std::printf("\nwindow pipeline (%zu windows total):\n%s", windows,
+              stats.ToString().c_str());
+  std::printf(
+      "\neach stage's row count = its input + the windows it creates:\n"
+      "the pipeline is single-pass, with no tuple replication.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Example: change-conflict detection over file-history predictions — the
+// Webkit-style workload that motivates the paper's evaluation.
+//
+// Two prediction sources (e.g. two models trained on the repository's
+// commit log) each emit tuples "file f remains unchanged over [ts, te)
+// with probability p". The TP anti join r ▷ s answers: over which periods,
+// and with which probability, does source r predict stability that source
+// s does NOT corroborate — i.e. r says "unchanged" while every overlapping
+// s prediction for the same file is false?
+//
+// Run: ./build/examples/webkit_file_history [num_tuples]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "datasets/webkit.h"
+#include "tp/operators.h"
+
+using namespace tpdb;
+
+int main(int argc, char** argv) {
+  const int64_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
+
+  LineageManager manager;
+  WebkitOptions options;
+  options.num_tuples = n;
+  StatusOr<WebkitDataset> ds = MakeWebkitDataset(&manager, options);
+  TPDB_CHECK(ds.ok()) << ds.status().ToString();
+  std::printf("generated %zu + %zu file-history predictions\n", ds->r.size(),
+              ds->s.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<TPRelation> uncorroborated =
+      TPAntiJoin(ds->r, ds->s, ds->theta);
+  TPDB_CHECK(uncorroborated.ok()) << uncorroborated.status().ToString();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  std::printf("anti join: %zu output tuples in %.1f ms\n",
+              uncorroborated->size(), ms);
+
+  // Summarize: how much of the output is genuinely negated (the lineage
+  // mentions s tuples) vs plain unmatched periods?
+  size_t negated = 0;
+  double negated_prob_mass = 0.0;
+  for (size_t i = 0; i < uncorroborated->size(); ++i) {
+    const LineageRef lam = uncorroborated->tuple(i).lineage;
+    if (manager.KindOf(lam) == LineageKind::kAnd) {
+      ++negated;
+      negated_prob_mass += uncorroborated->Probability(i);
+    }
+  }
+  std::printf(
+      "  %zu tuples negate at least one conflicting prediction "
+      "(avg probability %.3f)\n",
+      negated, negated > 0 ? negated_prob_mass / negated : 0.0);
+
+  // Show the three most uncertain conflict periods (probability nearest
+  // 0.5 — where the sources genuinely disagree).
+  std::printf("sample of contested periods:\n");
+  size_t shown = 0;
+  for (size_t i = 0; i < uncorroborated->size() && shown < 3; ++i) {
+    const double p = uncorroborated->Probability(i);
+    if (manager.KindOf(uncorroborated->tuple(i).lineage) !=
+        LineageKind::kAnd)
+      continue;
+    if (p < 0.25 || p > 0.75) continue;
+    const TPTuple& t = uncorroborated->tuple(i);
+    std::printf("  file %s over %s: P(unchanged per r, uncorroborated) = %.3f\n",
+                t.fact[0].ToString().c_str(), t.interval.ToString().c_str(),
+                p);
+    ++shown;
+  }
+  return 0;
+}

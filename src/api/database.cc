@@ -1,0 +1,190 @@
+#include "api/database.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace tpdb {
+
+StatusOr<TPRelation*> TPDatabase::CreateRelation(const std::string& name,
+                                                 Schema fact_schema) {
+  if (relations_.count(name) > 0)
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  auto rel =
+      std::make_unique<TPRelation>(name, std::move(fact_schema), &manager_);
+  TPRelation* ptr = rel.get();
+  relations_.emplace(name, std::move(rel));
+  return ptr;
+}
+
+Status TPDatabase::Register(TPRelation relation) {
+  if (relation.manager() != &manager_)
+    return Status::InvalidArgument(
+        "relation '" + relation.name() +
+        "' is bound to a different LineageManager");
+  if (relations_.count(relation.name()) > 0)
+    return Status::AlreadyExists("relation '" + relation.name() +
+                                 "' already exists");
+  const std::string name = relation.name();
+  relations_.emplace(name,
+                     std::make_unique<TPRelation>(std::move(relation)));
+  return Status::OK();
+}
+
+StatusOr<TPRelation*> TPDatabase::Get(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end())
+    return Status::NotFound("no relation named '" + name + "'");
+  return it->second.get();
+}
+
+StatusOr<const TPRelation*> TPDatabase::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end())
+    return Status::NotFound("no relation named '" + name + "'");
+  return const_cast<const TPRelation*>(it->second.get());
+}
+
+Status TPDatabase::Drop(const std::string& name) {
+  if (relations_.erase(name) == 0)
+    return Status::NotFound("no relation named '" + name + "'");
+  return Status::OK();
+}
+
+std::vector<std::string> TPDatabase::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+StatusOr<TPRelation> TPDatabase::Join(TPJoinKind kind,
+                                      const std::string& left,
+                                      const std::string& right,
+                                      const JoinCondition& theta,
+                                      const TPJoinOptions& options,
+                                      const std::string& register_as) {
+  StatusOr<TPRelation*> l = Get(left);
+  if (!l.ok()) return l.status();
+  StatusOr<TPRelation*> r = Get(right);
+  if (!r.ok()) return r.status();
+  TPJoinOptions opts = options;
+  if (!register_as.empty()) opts.result_name = register_as;
+  StatusOr<TPRelation> result = TPJoin(kind, **l, **r, theta, opts);
+  if (!result.ok()) return result.status();
+  if (!register_as.empty()) {
+    TPDB_RETURN_IF_ERROR(Register(TPRelation(*result)));
+  }
+  return result;
+}
+
+namespace {
+
+std::string Upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(
+                          static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Tokenizes on whitespace, keeping "a=b,c=d" condition blobs intact.
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+StatusOr<JoinCondition> ParseOnClause(const std::string& clause) {
+  JoinCondition theta;
+  for (const std::string& part : Split(clause, ',')) {
+    const std::string item(Trim(part));
+    if (item.empty())
+      return Status::InvalidArgument("empty θ term in '" + clause + "'");
+    const std::vector<std::string> sides = Split(item, '=');
+    if (sides.size() == 1) {
+      theta.equal_columns.emplace_back(item, item);
+    } else if (sides.size() == 2) {
+      theta.equal_columns.emplace_back(std::string(Trim(sides[0])),
+                                       std::string(Trim(sides[1])));
+    } else {
+      return Status::InvalidArgument("malformed θ term '" + item + "'");
+    }
+  }
+  return theta;
+}
+
+}  // namespace
+
+StatusOr<TPRelation> TPDatabase::Query(const std::string& text) {
+  const std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.size() < 3)
+    return Status::InvalidArgument("query too short: '" + text + "'");
+
+  // Set operations: <rel> UNION|INTERSECT|EXCEPT <rel>.
+  if (tokens.size() == 3) {
+    const std::string op = Upper(tokens[1]);
+    StatusOr<TPRelation*> l = Get(tokens[0]);
+    if (!l.ok()) return l.status();
+    StatusOr<TPRelation*> r = Get(tokens[2]);
+    if (!r.ok()) return r.status();
+    if (op == "UNION") return TPUnion(**l, **r);
+    if (op == "INTERSECT") return TPIntersect(**l, **r);
+    if (op == "EXCEPT") return TPDifference(**l, **r);
+    return Status::InvalidArgument("unknown set operation '" + tokens[1] +
+                                   "'");
+  }
+
+  // Joins: <rel> [kind] JOIN <rel> ON <cond> [USING TA].
+  size_t pos = 1;
+  TPJoinKind kind = TPJoinKind::kInner;
+  const std::string kind_token = Upper(tokens[pos]);
+  if (kind_token != "JOIN") {
+    if (kind_token == "INNER") kind = TPJoinKind::kInner;
+    else if (kind_token == "LEFT") kind = TPJoinKind::kLeftOuter;
+    else if (kind_token == "RIGHT") kind = TPJoinKind::kRightOuter;
+    else if (kind_token == "FULL") kind = TPJoinKind::kFullOuter;
+    else if (kind_token == "ANTI") kind = TPJoinKind::kAnti;
+    else if (kind_token == "SEMI") kind = TPJoinKind::kSemi;
+    else
+      return Status::InvalidArgument("unknown join kind '" + tokens[pos] +
+                                     "'");
+    ++pos;
+  }
+  if (pos >= tokens.size() || Upper(tokens[pos]) != "JOIN")
+    return Status::InvalidArgument("expected JOIN in '" + text + "'");
+  ++pos;
+  if (pos >= tokens.size())
+    return Status::InvalidArgument("missing right relation in '" + text +
+                                   "'");
+  const std::string right = tokens[pos++];
+  if (pos >= tokens.size() || Upper(tokens[pos]) != "ON")
+    return Status::InvalidArgument("expected ON in '" + text + "'");
+  ++pos;
+  if (pos >= tokens.size())
+    return Status::InvalidArgument("missing θ after ON in '" + text + "'");
+  StatusOr<JoinCondition> theta = ParseOnClause(tokens[pos++]);
+  if (!theta.ok()) return theta.status();
+
+  TPJoinOptions options;
+  if (pos + 1 < tokens.size() && Upper(tokens[pos]) == "USING" &&
+      Upper(tokens[pos + 1]) == "TA") {
+    options.strategy = JoinStrategy::kTemporalAlignment;
+    pos += 2;
+  }
+  if (pos != tokens.size())
+    return Status::InvalidArgument("trailing tokens in '" + text + "'");
+
+  return Join(kind, tokens[0], right, *theta, options);
+}
+
+}  // namespace tpdb

@@ -1,0 +1,73 @@
+// TPDatabase: the top-level facade — a catalog of named TP relations bound
+// to one LineageManager, with join / set-operation entry points and a small
+// textual query interface for interactive use and examples.
+//
+// Query grammar (case-insensitive keywords):
+//   <rel> [INNER|LEFT|RIGHT|FULL|ANTI|SEMI] JOIN <rel>
+//         ON <col>[=<col>][, <col>[=<col>] ...]   [USING TA]
+//   <rel> UNION <rel> | <rel> INTERSECT <rel> | <rel> EXCEPT <rel>
+// e.g.  "wants LEFT JOIN hotels ON Loc"
+//       "r ANTI JOIN s ON key=id USING TA"
+#ifndef TPDB_API_DATABASE_H_
+#define TPDB_API_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tp/operators.h"
+#include "tp/set_ops.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// Owns the lineage manager and the named relations of one database.
+class TPDatabase {
+ public:
+  TPDatabase() = default;
+
+  // Not copyable (relations reference the owned manager).
+  TPDatabase(const TPDatabase&) = delete;
+  TPDatabase& operator=(const TPDatabase&) = delete;
+
+  LineageManager* manager() { return &manager_; }
+
+  /// Creates an empty relation. Fails if the name is taken.
+  StatusOr<TPRelation*> CreateRelation(const std::string& name,
+                                       Schema fact_schema);
+
+  /// Registers an existing relation (e.g. a join result) under its name.
+  /// The relation must use this database's manager.
+  Status Register(TPRelation relation);
+
+  /// Looks up a relation by name.
+  StatusOr<TPRelation*> Get(const std::string& name);
+  StatusOr<const TPRelation*> Get(const std::string& name) const;
+
+  /// Removes a relation. Fails if absent.
+  Status Drop(const std::string& name);
+
+  /// Names of all relations, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  /// Runs a join between two named relations and returns the result
+  /// (also registering it when `register_as` is non-empty).
+  StatusOr<TPRelation> Join(TPJoinKind kind, const std::string& left,
+                            const std::string& right,
+                            const JoinCondition& theta,
+                            const TPJoinOptions& options = {},
+                            const std::string& register_as = "");
+
+  /// Parses and runs one query of the grammar above.
+  StatusOr<TPRelation> Query(const std::string& text);
+
+ private:
+  LineageManager manager_;
+  std::map<std::string, std::unique_ptr<TPRelation>> relations_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_API_DATABASE_H_

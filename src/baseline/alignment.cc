@@ -1,0 +1,42 @@
+#include "baseline/alignment.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+std::vector<std::vector<TimePoint>> SplitPoints(const TPRelation& r,
+                                                const TPRelation& s) {
+  std::vector<std::vector<TimePoint>> points(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    const Interval rt = r.tuple(i).interval;
+    std::vector<TimePoint>& pts = points[i];
+    pts.push_back(rt.start);
+    pts.push_back(rt.end);
+    // θ ignored: every overlapping s tuple contributes boundaries.
+    for (size_t j = 0; j < s.size(); ++j) {
+      const Interval st = s.tuple(j).interval;
+      if (!rt.Overlaps(st)) continue;
+      if (st.start > rt.start && st.start < rt.end) pts.push_back(st.start);
+      if (st.end > rt.start && st.end < rt.end) pts.push_back(st.end);
+    }
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  }
+  return points;
+}
+
+std::vector<AlignedFragment> Normalize(const TPRelation& r,
+                                       const TPRelation& s) {
+  std::vector<AlignedFragment> fragments;
+  const std::vector<std::vector<TimePoint>> points = SplitPoints(r, s);
+  for (size_t i = 0; i < r.size(); ++i) {
+    const std::vector<TimePoint>& pts = points[i];
+    for (size_t k = 0; k + 1 < pts.size(); ++k) {
+      fragments.push_back(AlignedFragment{
+          static_cast<int64_t>(i), Interval(pts[k], pts[k + 1])});
+    }
+  }
+  return fragments;
+}
+
+}  // namespace tpdb

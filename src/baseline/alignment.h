@@ -1,0 +1,43 @@
+// Temporal Alignment primitives (Dignös, Böhlen, Gamper, Jensen — TODS
+// 2016), adapted for TP relations. These are the building blocks of the TA
+// baseline the paper evaluates against.
+//
+// The primitives are θ-agnostic: a tuple is split at the boundaries of
+// *every* overlapping tuple of the other relation ("when used, the θ
+// condition of the TP join is ignored" — Section IV of the paper). That,
+// plus the tuple replication they perform, is the source of TA's overhead
+// that the lineage-aware windows avoid.
+#ifndef TPDB_BASELINE_ALIGNMENT_H_
+#define TPDB_BASELINE_ALIGNMENT_H_
+
+#include <vector>
+
+#include "temporal/interval.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// One replicated sub-tuple produced by normalization: the piece of r tuple
+/// `rid` between two adjacent boundaries.
+struct AlignedFragment {
+  int64_t rid = -1;
+  Interval piece;
+};
+
+/// normalize(r; s): splits every r tuple at each starting/ending point of
+/// every overlapping s tuple (θ ignored), replicating it into fragments
+/// that exactly cover its interval. Within a fragment, the set of valid s
+/// tuples is constant. Nested-loop over all (r, s) pairs, as in the
+/// baseline's PostgreSQL plan.
+std::vector<AlignedFragment> Normalize(const TPRelation& r,
+                                       const TPRelation& s);
+
+/// absorb/align(r; s): like Normalize but keeps, for each r tuple, only the
+/// fragment boundaries — returned per tuple as sorted split points within
+/// the tuple's interval (including its own endpoints).
+std::vector<std::vector<TimePoint>> SplitPoints(const TPRelation& r,
+                                                const TPRelation& s);
+
+}  // namespace tpdb
+
+#endif  // TPDB_BASELINE_ALIGNMENT_H_

@@ -1,0 +1,407 @@
+#include "baseline/ta_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "baseline/alignment.h"
+#include "engine/scan.h"
+#include "engine/sort.h"
+#include "engine/temporal_outer_join.h"
+#include "temporal/timeline.h"
+#include "tp/concat.h"
+
+namespace tpdb {
+
+namespace {
+
+/// Canonical total order used for the duplicate-eliminating union.
+bool WindowBefore(const TPWindow& a, const TPWindow& b) {
+  if (a.rid != b.rid) return a.rid < b.rid;
+  if (a.window.start != b.window.start)
+    return a.window.start < b.window.start;
+  if (a.window.end != b.window.end) return a.window.end < b.window.end;
+  if (a.cls != b.cls)
+    return static_cast<int64_t>(a.cls) < static_cast<int64_t>(b.cls);
+  if (a.lin_s != b.lin_s) return a.lin_s < b.lin_s;
+  return CompareRows(a.fact_s, b.fact_s) < 0;
+}
+
+bool WindowEqual(const TPWindow& a, const TPWindow& b) {
+  return a.rid == b.rid && a.cls == b.cls && a.window == b.window &&
+         a.r_interval == b.r_interval && a.lin_r == b.lin_r &&
+         a.lin_s == b.lin_s && CompareRows(a.fact_r, b.fact_r) == 0 &&
+         CompareRows(a.fact_s, b.fact_s) == 0;
+}
+
+/// Step 2 of the TA plan: re-executes the conventional join and derives the
+/// unmatched windows from its output (one gap computation per r tuple).
+StatusOr<std::vector<TPWindow>> ComputeUnmatchedViaSecondJoin(
+    const TPRelation& r, const TPRelation& s, const JoinCondition& theta,
+    OverlapAlgorithm join_algorithm) {
+  StatusOr<std::vector<TPWindow>> rerun =
+      ComputeWindows(r, s, theta, WindowStage::kOverlap, join_algorithm);
+  if (!rerun.ok()) return rerun.status();
+
+  // Group the overlap intervals per rid (the rerun output is grouped).
+  std::vector<TPWindow> unmatched;
+  size_t i = 0;
+  while (i < rerun->size()) {
+    const size_t begin = i;
+    const int64_t rid = (*rerun)[i].rid;
+    std::vector<Interval> covered;
+    while (i < rerun->size() && (*rerun)[i].rid == rid) {
+      if ((*rerun)[i].cls == WindowClass::kOverlapping)
+        covered.push_back((*rerun)[i].window);
+      ++i;
+    }
+    const TPWindow& proto = (*rerun)[begin];
+    for (const Interval& gap : Gaps(proto.r_interval, covered)) {
+      TPWindow w;
+      w.cls = WindowClass::kUnmatched;
+      w.rid = rid;
+      w.fact_r = proto.fact_r;
+      w.window = gap;
+      w.r_interval = proto.r_interval;
+      w.lin_r = proto.lin_r;
+      unmatched.push_back(std::move(w));
+    }
+  }
+  return unmatched;
+}
+
+/// Step 3 of the TA plan: negating windows via normalization (replication).
+///
+/// This follows the TODS alignment pipeline as it would be adapted for TP
+/// negation:
+///   (a) both relations are *normalized* per equality group: every tuple
+///       is replicated into one sub-tuple per run between two adjacent
+///       boundary points of the group (boundaries of r AND s tuples — the
+///       general predicate part of θ cannot be used here, which is the
+///       paper's "when used, the θ condition of the TP join is ignored");
+///   (b) the replicated relations are joined on *identical* fragment
+///       intervals (alignment makes interval equality the join condition)
+///       with the full θ applied, and the matching s lineages are grouped
+///       per (r tuple, fragment) into the λs disjunction;
+///   (c) fragments split at boundaries that turned out θ-irrelevant are
+///       coalesced back.
+/// The materialized replication in (a) and the join + aggregation over it
+/// in (b) are exactly the redundancies LAWAN's single sweep avoids.
+std::vector<TPWindow> ComputeNegatingViaNormalization(
+    const TPRelation& r, const TPRelation& s, const ThetaMatcher& matcher) {
+  std::vector<TPWindow> negating;
+  LineageManager* manager = r.manager();
+
+  // Hash partition both relations on the equality keys.
+  auto key_hash = [&matcher](const Row& fact, bool left) {
+    uint64_t h = 0x51ed270b0f1a2cull;
+    for (const auto& [ri, si] : matcher.keys())
+      h = h * 0x9e3779b97f4a7c15ull + fact[left ? ri : si].Hash();
+    return h;
+  };
+  struct Group {
+    std::vector<uint32_t> r_rows;
+    std::vector<uint32_t> s_rows;
+  };
+  std::unordered_map<uint64_t, Group> groups;
+  for (size_t i = 0; i < r.size(); ++i)
+    groups[key_hash(r.tuple(i).fact, /*left=*/true)].r_rows.push_back(
+        static_cast<uint32_t>(i));
+  for (size_t j = 0; j < s.size(); ++j)
+    groups[key_hash(s.tuple(j).fact, /*left=*/false)].s_rows.push_back(
+        static_cast<uint32_t>(j));
+
+  // (a) Normalization: materialize both *replicated* relations as engine
+  // tables, one row per (tuple, fragment) — this is the tuple replication
+  // of the baseline, paid in real executor rows.
+  // Normalized r layout: rid | r facts... | f_ts f_te | r_ts r_te | r_lin.
+  // Normalized s layout: s facts... | f_ts f_te | s_lin.
+  const int n_rf = static_cast<int>(r.fact_schema().num_columns());
+  const int n_sf = static_cast<int>(s.fact_schema().num_columns());
+  Table norm_r;
+  norm_r.schema.AddColumn({"rid", DatumType::kInt64});
+  for (const Column& c : r.fact_schema().columns())
+    norm_r.schema.AddColumn(c);
+  norm_r.schema.AddColumn({"f_ts", DatumType::kInt64});
+  norm_r.schema.AddColumn({"f_te", DatumType::kInt64});
+  norm_r.schema.AddColumn({"r_ts", DatumType::kInt64});
+  norm_r.schema.AddColumn({"r_te", DatumType::kInt64});
+  norm_r.schema.AddColumn({"r_lin", DatumType::kLineage});
+  Table norm_s;
+  for (const Column& c : s.fact_schema().columns())
+    norm_s.schema.AddColumn(c);
+  norm_s.schema.AddColumn({"f_ts", DatumType::kInt64});
+  norm_s.schema.AddColumn({"f_te", DatumType::kInt64});
+  norm_s.schema.AddColumn({"s_lin", DatumType::kLineage});
+
+  std::vector<TimePoint> points;
+  for (auto& [hash, group] : groups) {
+    (void)hash;
+    points.clear();
+    for (const uint32_t i : group.r_rows) {
+      points.push_back(r.tuple(i).interval.start);
+      points.push_back(r.tuple(i).interval.end);
+    }
+    for (const uint32_t j : group.s_rows) {
+      points.push_back(s.tuple(j).interval.start);
+      points.push_back(s.tuple(j).interval.end);
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+
+    for (const uint32_t i : group.r_rows) {
+      const TPTuple& rt = r.tuple(i);
+      auto it = std::lower_bound(points.begin(), points.end(),
+                                 rt.interval.start);
+      for (; it + 1 != points.end() && *it < rt.interval.end; ++it) {
+        Row row;
+        row.reserve(norm_r.schema.num_columns());
+        row.push_back(Datum(static_cast<int64_t>(i)));
+        row.insert(row.end(), rt.fact.begin(), rt.fact.end());
+        row.push_back(Datum(*it));
+        row.push_back(Datum(*(it + 1)));
+        row.push_back(Datum(rt.interval.start));
+        row.push_back(Datum(rt.interval.end));
+        row.push_back(Datum(rt.lineage));
+        norm_r.rows.push_back(std::move(row));
+      }
+    }
+    for (const uint32_t j : group.s_rows) {
+      const TPTuple& st = s.tuple(j);
+      auto it = std::lower_bound(points.begin(), points.end(),
+                                 st.interval.start);
+      for (; it + 1 != points.end() && *it < st.interval.end; ++it) {
+        Row row;
+        row.reserve(norm_s.schema.num_columns());
+        row.insert(row.end(), st.fact.begin(), st.fact.end());
+        row.push_back(Datum(*it));
+        row.push_back(Datum(*(it + 1)));
+        row.push_back(Datum(st.lineage));
+        norm_s.rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  // (b) Join the replicas on identical fragment intervals (alignment turns
+  // interval equality into a join key) plus the equality part of θ; the
+  // general predicate runs as a residual.
+  TemporalJoinSpec spec;
+  for (const auto& [ri, si] : matcher.keys())
+    spec.equi_keys.emplace_back(1 + ri, si);
+  spec.equi_keys.emplace_back(1 + n_rf, n_sf);          // f_ts = f_ts
+  spec.equi_keys.emplace_back(2 + n_rf, n_sf + 1);      // f_te = f_te
+  spec.left_ts = 1 + n_rf;
+  spec.left_te = 2 + n_rf;
+  spec.right_ts = n_sf;
+  spec.right_te = n_sf + 1;
+  spec.join_type = JoinType::kInner;
+  if (matcher.predicate()) {
+    auto pred = matcher.predicate();
+    const int left_width = static_cast<int>(norm_r.schema.num_columns());
+    spec.residual = Fn(
+        [pred, n_rf, n_sf, left_width](const Row& row) -> Datum {
+          Row rf(row.begin() + 1, row.begin() + 1 + n_rf);
+          Row sf(row.begin() + left_width,
+                 row.begin() + left_width + n_sf);
+          return Datum(static_cast<int64_t>(pred(rf, sf) ? 1 : 0));
+        },
+        "θ");
+  }
+  auto join = std::make_unique<TemporalOuterJoin>(
+      std::make_unique<TableScan>(&norm_r),
+      std::make_unique<TableScan>(&norm_s), spec);
+  // Group the joined replicas per (rid, fragment) to build λs: sort, then
+  // one streaming aggregation pass.
+  Sort sorted(std::move(join),
+              {{0, true}, {1 + n_rf, true}});
+  const int out_slin = static_cast<int>(norm_r.schema.num_columns()) +
+                       n_sf + 2;
+  std::vector<TPWindow> raw;
+  std::vector<LineageRef> lineages;
+  sorted.Open();
+  Row row;
+  bool have_group = false;
+  TPWindow current;
+  auto flush = [&]() {
+    if (!have_group) return;
+    current.lin_s = manager->OrAll(lineages);
+    raw.push_back(current);
+    lineages.clear();
+    have_group = false;
+  };
+  while (sorted.Next(&row)) {
+    const int64_t rid = row[0].AsInt64();
+    const Interval piece(row[1 + n_rf].AsInt64(), row[2 + n_rf].AsInt64());
+    if (!have_group || current.rid != rid || current.window != piece) {
+      flush();
+      have_group = true;
+      current = TPWindow();
+      current.cls = WindowClass::kNegating;
+      current.rid = rid;
+      current.fact_r.assign(row.begin() + 1, row.begin() + 1 + n_rf);
+      current.window = piece;
+      current.r_interval =
+          Interval(row[3 + n_rf].AsInt64(), row[4 + n_rf].AsInt64());
+      current.lin_r = row[5 + n_rf].AsLineage();
+    }
+    lineages.push_back(row[out_slin].AsLineage());
+  }
+  flush();
+  sorted.Close();
+
+  // Coalesce adjacent fragments with identical λs (the fragments were split
+  // at θ-failing boundaries too; hash-consing makes λs comparable by id).
+  std::sort(raw.begin(), raw.end(), WindowBefore);
+  for (TPWindow& w : raw) {
+    if (!negating.empty()) {
+      TPWindow& prev = negating.back();
+      if (prev.rid == w.rid && prev.lin_s == w.lin_s &&
+          prev.window.end == w.window.start) {
+        prev.window.end = w.window.end;
+        continue;
+      }
+    }
+    negating.push_back(std::move(w));
+  }
+  return negating;
+}
+
+/// Output formation shared by all TA joins (mirrors the NJ EmitWindows).
+Status AppendWindowOutputs(const std::vector<TPWindow>& windows,
+                           bool keep_overlapping, bool swapped,
+                           bool drop_other_facts, int other_fact_count,
+                           bool semi_concat, LineageManager* manager,
+                           TPRelation* result) {
+  for (const TPWindow& w : windows) {
+    if (w.cls == WindowClass::kOverlapping && !keep_overlapping) continue;
+    const LineageRef lineage =
+        semi_concat && w.cls == WindowClass::kNegating
+            ? manager->And(w.lin_r, w.lin_s)
+            : ConcatWindowLineage(manager, w.cls, w.lin_r, w.lin_s);
+    const Row& fact_s = w.fact_s;
+    Row other = fact_s.empty() ? NullRow(other_fact_count) : fact_s;
+    Row fact;
+    if (drop_other_facts) {
+      fact = w.fact_r;
+    } else if (!swapped) {
+      fact = ConcatRows(w.fact_r, other);
+    } else {
+      fact = ConcatRows(other, w.fact_r);
+    }
+    TPDB_RETURN_IF_ERROR(
+        result->AppendDerived(std::move(fact), w.window, lineage));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<TPWindow>> TAComputeUnmatchedWindows(
+    const TPRelation& r, const TPRelation& s, const JoinCondition& theta,
+    OverlapAlgorithm join_algorithm) {
+  return ComputeUnmatchedViaSecondJoin(r, s, theta, join_algorithm);
+}
+
+StatusOr<std::vector<TPWindow>> TAComputeNegatingWindows(
+    const TPRelation& r, const TPRelation& s, const JoinCondition& theta) {
+  StatusOr<ThetaMatcher> matcher =
+      ThetaMatcher::Make(theta, r.fact_schema(), s.fact_schema());
+  if (!matcher.ok()) return matcher.status();
+  return ComputeNegatingViaNormalization(r, s, *matcher);
+}
+
+StatusOr<std::vector<TPWindow>> TAComputeWindows(
+    const TPRelation& r, const TPRelation& s, const JoinCondition& theta,
+    WindowStage stage, OverlapAlgorithm join_algorithm) {
+  if (r.manager() != s.manager())
+    return Status::InvalidArgument(
+        "TP relations must share a LineageManager");
+
+  // Step 1: the conventional overlap join (first execution).
+  StatusOr<std::vector<TPWindow>> windows =
+      ComputeWindows(r, s, theta, WindowStage::kOverlap, join_algorithm);
+  if (!windows.ok()) return windows.status();
+  if (stage == WindowStage::kOverlap) return windows;
+
+  // Step 2: second execution of the join, for the unmatched windows.
+  StatusOr<std::vector<TPWindow>> unmatched =
+      ComputeUnmatchedViaSecondJoin(r, s, theta, join_algorithm);
+  if (!unmatched.ok()) return unmatched.status();
+  windows->insert(windows->end(), unmatched->begin(), unmatched->end());
+
+  // Step 3: negating windows via normalization.
+  if (stage == WindowStage::kWuon) {
+    StatusOr<ThetaMatcher> matcher =
+        ThetaMatcher::Make(theta, r.fact_schema(), s.fact_schema());
+    if (!matcher.ok()) return matcher.status();
+    std::vector<TPWindow> negating =
+        ComputeNegatingViaNormalization(r, s, *matcher);
+    windows->insert(windows->end(),
+                    std::make_move_iterator(negating.begin()),
+                    std::make_move_iterator(negating.end()));
+  }
+
+  // Step 4: duplicate-eliminating union (the full-interval unmatched
+  // windows were produced by both executions of the join).
+  std::sort(windows->begin(), windows->end(), WindowBefore);
+  windows->erase(
+      std::unique(windows->begin(), windows->end(), WindowEqual),
+      windows->end());
+  return windows;
+}
+
+StatusOr<TPRelation> TemporalAlignmentJoin(TPJoinKind kind,
+                                           const TPRelation& r,
+                                           const TPRelation& s,
+                                           const JoinCondition& theta,
+                                           std::string name) {
+  LineageManager* manager = r.manager();
+  TPRelation result(std::move(name),
+                    TPJoinOutputSchema(kind, r.fact_schema(), s.fact_schema()),
+                    manager);
+  const WindowStage stage =
+      kind == TPJoinKind::kInner ? WindowStage::kOverlap : WindowStage::kWuon;
+  // Inside the full TP join, TA cannot use θ to pick a better physical
+  // join: the optimizer falls back to a nested loop (see header).
+  const OverlapAlgorithm algorithm = OverlapAlgorithm::kNestedLoop;
+
+  if (kind != TPJoinKind::kRightOuter) {
+    StatusOr<std::vector<TPWindow>> windows =
+        TAComputeWindows(r, s, theta, stage, algorithm);
+    if (!windows.ok()) return windows.status();
+    std::vector<TPWindow> kept;
+    kept.reserve(windows->size());
+    for (TPWindow& w : *windows) {
+      if (kind == TPJoinKind::kInner && w.cls != WindowClass::kOverlapping)
+        continue;
+      if (kind == TPJoinKind::kAnti && w.cls == WindowClass::kOverlapping)
+        continue;
+      if (kind == TPJoinKind::kSemi && w.cls != WindowClass::kNegating)
+        continue;
+      kept.push_back(std::move(w));
+    }
+    const bool facts_only =
+        kind == TPJoinKind::kAnti || kind == TPJoinKind::kSemi;
+    TPDB_RETURN_IF_ERROR(AppendWindowOutputs(
+        kept, /*keep_overlapping=*/kind != TPJoinKind::kAnti,
+        /*swapped=*/false,
+        /*drop_other_facts=*/facts_only,
+        static_cast<int>(s.fact_schema().num_columns()),
+        /*semi_concat=*/kind == TPJoinKind::kSemi, manager, &result));
+  }
+
+  if (kind == TPJoinKind::kRightOuter || kind == TPJoinKind::kFullOuter) {
+    StatusOr<std::vector<TPWindow>> windows = TAComputeWindows(
+        s, r, SwapJoinCondition(theta), stage, algorithm);
+    if (!windows.ok()) return windows.status();
+    TPDB_RETURN_IF_ERROR(AppendWindowOutputs(
+        *windows,
+        /*keep_overlapping=*/kind == TPJoinKind::kRightOuter,
+        /*swapped=*/true, /*drop_other_facts=*/false,
+        static_cast<int>(r.fact_schema().num_columns()),
+        /*semi_concat=*/false, manager, &result));
+  }
+
+  return result;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,96 @@
+#include "common/datum.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace tpdb {
+
+namespace {
+// 64-bit FNV-1a; adequate for partitioning, not for adversarial input.
+uint64_t FnvHash(const void* data, size_t n, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+int Datum::Compare(const Datum& other) const {
+  const int ti = static_cast<int>(type());
+  const int to = static_cast<int>(other.type());
+  if (ti != to) return ti < to ? -1 : 1;
+  switch (type()) {
+    case DatumType::kNull:
+      return 0;
+    case DatumType::kInt64: {
+      const int64_t a = std::get<int64_t>(value_);
+      const int64_t b = std::get<int64_t>(other.value_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DatumType::kDouble: {
+      const double a = std::get<double>(value_);
+      const double b = std::get<double>(other.value_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DatumType::kString:
+      return std::get<std::string>(value_).compare(
+          std::get<std::string>(other.value_));
+    case DatumType::kLineage: {
+      const uint32_t a = std::get<LineageRef>(value_).id;
+      const uint32_t b = std::get<LineageRef>(other.value_).id;
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+uint64_t Datum::Hash() const {
+  switch (type()) {
+    case DatumType::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case DatumType::kInt64: {
+      const int64_t v = std::get<int64_t>(value_);
+      return FnvHash(&v, sizeof(v), 1);
+    }
+    case DatumType::kDouble: {
+      const double v = std::get<double>(value_);
+      return FnvHash(&v, sizeof(v), 2);
+    }
+    case DatumType::kString: {
+      const std::string& s = std::get<std::string>(value_);
+      return FnvHash(s.data(), s.size(), 3);
+    }
+    case DatumType::kLineage: {
+      const uint32_t v = std::get<LineageRef>(value_).id;
+      return FnvHash(&v, sizeof(v), 4);
+    }
+  }
+  return 0;
+}
+
+std::string Datum::ToString() const {
+  switch (type()) {
+    case DatumType::kNull:
+      return "-";
+    case DatumType::kInt64:
+      return std::to_string(std::get<int64_t>(value_));
+    case DatumType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(value_));
+      return buf;
+    }
+    case DatumType::kString:
+      return std::get<std::string>(value_);
+    case DatumType::kLineage: {
+      LineageRef r = std::get<LineageRef>(value_);
+      if (r.is_null()) return "-";
+      return "λ#" + std::to_string(r.id);
+    }
+  }
+  return "?";
+}
+
+}  // namespace tpdb

@@ -1,0 +1,67 @@
+// Lightweight assertion / logging macros in the spirit of the database
+// codebases this project follows (CHECK-style invariant enforcement that is
+// active in all build types, plus DCHECK for debug-only checks).
+#ifndef TPDB_COMMON_LOGGING_H_
+#define TPDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tpdb {
+namespace internal {
+
+// Terminates the process with a formatted message. Kept out-of-line-ish via
+// [[noreturn]] so the hot path only pays for the branch.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+// Stream collector so that `TPDB_CHECK(x) << "detail"` works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tpdb
+
+#define TPDB_CHECK(condition)                                        \
+  if (!(condition))                                                  \
+  ::tpdb::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define TPDB_CHECK_EQ(a, b) TPDB_CHECK((a) == (b))
+#define TPDB_CHECK_NE(a, b) TPDB_CHECK((a) != (b))
+#define TPDB_CHECK_LT(a, b) TPDB_CHECK((a) < (b))
+#define TPDB_CHECK_LE(a, b) TPDB_CHECK((a) <= (b))
+#define TPDB_CHECK_GT(a, b) TPDB_CHECK((a) > (b))
+#define TPDB_CHECK_GE(a, b) TPDB_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define TPDB_DCHECK(condition) TPDB_CHECK(condition)
+#else
+#define TPDB_DCHECK(condition) \
+  if (false) ::tpdb::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#endif
+
+#endif  // TPDB_COMMON_LOGGING_H_

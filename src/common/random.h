@@ -1,0 +1,46 @@
+// Deterministic PRNG used by workload generators and property tests.
+// A fixed, seedable generator (xoshiro256**) keeps experiments reproducible
+// across standard libraries (std::mt19937 distributions are not portable).
+#ifndef TPDB_COMMON_RANDOM_H_
+#define TPDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace tpdb {
+
+/// Seedable xoshiro256** generator with convenience sampling helpers.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator (SplitMix64 expansion of the seed).
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric-ish positive integer with mean ~`mean` (clamped to >= 1).
+  int64_t Exponential(double mean);
+
+  /// Zipf-distributed value in [0, n) with exponent `s` (s=0 -> uniform).
+  int64_t Zipf(int64_t n, double s);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_COMMON_RANDOM_H_

@@ -1,0 +1,45 @@
+#include "common/strings.h"
+
+namespace tpdb {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n'))
+    ++b;
+  while (e > b &&
+         (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+          s[e - 1] == '\n'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,25 @@
+// Small string helpers shared by printing, CSV I/O, and benches.
+#ifndef TPDB_COMMON_STRINGS_H_
+#define TPDB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpdb {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep` (no trimming; empty fields preserved).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace tpdb
+
+#endif  // TPDB_COMMON_STRINGS_H_

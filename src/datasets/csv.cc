@@ -1,0 +1,103 @@
+#include "datasets/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace tpdb {
+
+namespace {
+std::string EscapeField(const std::string& s) {
+  if (s.find(',') == std::string::npos &&
+      s.find('"') == std::string::npos && s.find('\n') == std::string::npos)
+    return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+Status WriteTPRelationCsv(const TPRelation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  std::vector<std::string> header;
+  for (const Column& c : rel.fact_schema().columns()) header.push_back(c.name);
+  header.emplace_back("ts");
+  header.emplace_back("te");
+  header.emplace_back("p");
+  out << Join(header, ",") << "\n";
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const TPTuple& t = rel.tuple(i);
+    std::vector<std::string> fields;
+    for (const Datum& d : t.fact) fields.push_back(EscapeField(d.ToString()));
+    fields.push_back(std::to_string(t.interval.start));
+    fields.push_back(std::to_string(t.interval.end));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", rel.Probability(i));
+    fields.emplace_back(buf);
+    out << Join(fields, ",") << "\n";
+  }
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<TPRelation> ReadTPRelationCsv(const std::string& path,
+                                       std::string name, Schema fact_schema,
+                                       LineageManager* manager) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  TPRelation rel(std::move(name), fact_schema, manager);
+  std::string line;
+  if (!std::getline(in, line))
+    return Status::IOError(path + ": missing header");
+  const size_t expected = fact_schema.num_columns() + 3;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    // Simple splitter; quoted fields with embedded commas are not needed
+    // for the bundled examples.
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != expected)
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": expected " +
+          std::to_string(expected) + " fields, got " +
+          std::to_string(fields.size()));
+    Row fact;
+    fact.reserve(fact_schema.num_columns());
+    for (size_t i = 0; i < fact_schema.num_columns(); ++i) {
+      const std::string field(Trim(fields[i]));
+      switch (fact_schema.column(i).type) {
+        case DatumType::kInt64:
+          fact.push_back(Datum(static_cast<int64_t>(
+              std::strtoll(field.c_str(), nullptr, 10))));
+          break;
+        case DatumType::kDouble:
+          fact.push_back(Datum(std::strtod(field.c_str(), nullptr)));
+          break;
+        default:
+          fact.push_back(Datum(field));
+          break;
+      }
+    }
+    const size_t base = fact_schema.num_columns();
+    const TimePoint ts = std::strtoll(std::string(Trim(fields[base])).c_str(),
+                                      nullptr, 10);
+    const TimePoint te =
+        std::strtoll(std::string(Trim(fields[base + 1])).c_str(), nullptr, 10);
+    const double p =
+        std::strtod(std::string(Trim(fields[base + 2])).c_str(), nullptr);
+    Status st = rel.AppendBase(std::move(fact), Interval(ts, te), p);
+    if (!st.ok())
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + st.ToString());
+  }
+  return rel;
+}
+
+}  // namespace tpdb

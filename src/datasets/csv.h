@@ -1,0 +1,27 @@
+// Minimal CSV import/export for TP relations, used by the examples: fact
+// columns followed by ts, te, p. Loading registers one fresh variable per
+// row (base tuples).
+#ifndef TPDB_DATASETS_CSV_H_
+#define TPDB_DATASETS_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// Writes `rel` as CSV with a header: fact columns, ts, te, p.
+/// Probabilities are the computed Pr[λ] of each tuple.
+Status WriteTPRelationCsv(const TPRelation& rel, const std::string& path);
+
+/// Reads a CSV produced by WriteTPRelationCsv (or hand-written in the same
+/// shape) into a fresh base relation. `fact_schema` gives the names/types
+/// of the leading fact columns; remaining columns must be ts, te, p.
+StatusOr<TPRelation> ReadTPRelationCsv(const std::string& path,
+                                       std::string name, Schema fact_schema,
+                                       LineageManager* manager);
+
+}  // namespace tpdb
+
+#endif  // TPDB_DATASETS_CSV_H_

@@ -1,0 +1,62 @@
+#include "datasets/generator.h"
+
+#include <vector>
+
+namespace tpdb {
+
+Status AppendChain(TPRelation* rel, const Row& fact, int64_t count,
+                   const ChainOptions& options, Random* rng) {
+  TPDB_CHECK(rel != nullptr);
+  TPDB_CHECK(rng != nullptr);
+  TimePoint t = rng->Uniform(options.start_lo, options.start_hi);
+  for (int64_t i = 0; i < count; ++i) {
+    if (i > 0 && options.gap_probability > 0.0 &&
+        rng->Bernoulli(options.gap_probability)) {
+      t += rng->Exponential(options.avg_gap);
+    }
+    const int64_t duration = rng->Exponential(options.avg_duration);
+    const double prob = rng->UniformDouble(options.prob_lo, options.prob_hi);
+    TPDB_RETURN_IF_ERROR(
+        rel->AppendBase(fact, Interval(t, t + duration), prob));
+    t += duration;
+  }
+  return Status::OK();
+}
+
+StatusOr<TPRelation> MakeUniformWorkload(LineageManager* manager,
+                                         std::string name,
+                                         const UniformWorkloadOptions& options,
+                                         Random* rng) {
+  TPDB_CHECK(rng != nullptr);
+  if (options.num_facts <= 0)
+    return Status::InvalidArgument("num_facts must be positive");
+  Schema facts;
+  facts.AddColumn({options.key_column, DatumType::kInt64});
+  TPRelation rel(std::move(name), facts, manager);
+
+  // Allocate tuples to facts (uniform or zipf-skewed), then emit one chain
+  // per fact so same-fact intervals stay disjoint.
+  std::vector<int64_t> per_fact(static_cast<size_t>(options.num_facts), 0);
+  for (int64_t i = 0; i < options.num_tuples; ++i)
+    ++per_fact[static_cast<size_t>(
+        rng->Zipf(options.num_facts, options.fact_skew))];
+
+  ChainOptions chain;
+  chain.start_lo = 0;
+  chain.start_hi = options.history_length;
+  chain.avg_duration = options.avg_duration;
+  chain.gap_probability = options.gap_probability;
+  chain.avg_gap = options.avg_gap;
+  chain.prob_lo = options.prob_lo;
+  chain.prob_hi = options.prob_hi;
+
+  for (int64_t key = 0; key < options.num_facts; ++key) {
+    const int64_t count = per_fact[static_cast<size_t>(key)];
+    if (count == 0) continue;
+    TPDB_RETURN_IF_ERROR(
+        AppendChain(&rel, Row{Datum(key)}, count, chain, rng));
+  }
+  return rel;
+}
+
+}  // namespace tpdb

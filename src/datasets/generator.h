@@ -1,0 +1,66 @@
+// Synthetic TP workload generation.
+//
+// All generators preserve the invariant TP relations require: tuples with
+// the same fact have pairwise disjoint intervals. They do so by generating,
+// per fact, a *chain* of consecutive (optionally gapped) intervals — which
+// is also how the paper's real datasets look: Webkit records a file's
+// version history as adjacent intervals, Meteo a station-metric's stability
+// periods.
+#ifndef TPDB_DATASETS_GENERATOR_H_
+#define TPDB_DATASETS_GENERATOR_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// Shape of one fact's interval chain.
+struct ChainOptions {
+  /// The chain's first interval starts uniformly in [start_lo, start_hi].
+  TimePoint start_lo = 0;
+  TimePoint start_hi = 0;
+  /// Mean interval duration (exponential, >= 1).
+  double avg_duration = 50.0;
+  /// Probability that two consecutive intervals have a gap between them.
+  double gap_probability = 0.0;
+  /// Mean gap duration when a gap occurs.
+  double avg_gap = 10.0;
+  /// Tuple probabilities drawn uniformly from [prob_lo, prob_hi).
+  double prob_lo = 0.5;
+  double prob_hi = 1.0;
+};
+
+/// Appends `count` chained tuples with the given fact to `rel`. Variables
+/// are auto-named (unnamed prefix keeps registration cheap).
+Status AppendChain(TPRelation* rel, const Row& fact, int64_t count,
+                   const ChainOptions& options, Random* rng);
+
+/// Generic uniform workload: `num_tuples` tuples spread over `num_facts`
+/// distinct facts (single int64 key column named `key_column`), chains per
+/// fact, timeline [0, history_length).
+struct UniformWorkloadOptions {
+  int64_t num_tuples = 1000;
+  int64_t num_facts = 200;
+  TimePoint history_length = 100000;
+  double avg_duration = 50.0;
+  double gap_probability = 0.2;
+  double avg_gap = 20.0;
+  double prob_lo = 0.5;
+  double prob_hi = 1.0;
+  /// Zipf skew of the tuples-per-fact allocation (0 = uniform).
+  double fact_skew = 0.0;
+  std::string key_column = "key";
+};
+
+/// Builds a uniform workload relation named `name`.
+StatusOr<TPRelation> MakeUniformWorkload(LineageManager* manager,
+                                         std::string name,
+                                         const UniformWorkloadOptions& options,
+                                         Random* rng);
+
+}  // namespace tpdb
+
+#endif  // TPDB_DATASETS_GENERATOR_H_

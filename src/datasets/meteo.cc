@@ -1,0 +1,61 @@
+#include "datasets/meteo.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace tpdb {
+
+StatusOr<MeteoDataset> MakeMeteoDataset(LineageManager* manager,
+                                        const MeteoOptions& options) {
+  if (options.num_tuples <= 0)
+    return Status::InvalidArgument("num_tuples must be positive");
+  if (options.num_metrics <= 0 || options.num_stations <= 0)
+    return Status::InvalidArgument("domains must be positive");
+  Random rng(options.seed);
+
+  Schema facts;
+  facts.AddColumn({"station", DatumType::kInt64});
+  facts.AddColumn({"metric", DatumType::kInt64});
+  TPRelation r("meteo_r", facts, manager);
+  TPRelation s("meteo_s", facts, manager);
+
+  ChainOptions chain;
+  chain.start_lo = 0;
+  chain.start_hi = options.history_length;
+  chain.avg_duration = options.avg_duration;
+  chain.gap_probability = 0.3;  // stability periods have holes
+  chain.avg_gap = options.avg_duration / 4.0;
+  chain.prob_lo = 0.5;
+  chain.prob_hi = 1.0;
+
+  // Uniformly allocate tuples to (station, metric) facts, then emit one
+  // chain per fact (same-fact intervals must stay disjoint). The metric
+  // domain is small and uniform, matching the paper's note that "the
+  // condition is not very selective".
+  for (TPRelation* rel : {&r, &s}) {
+    std::map<std::pair<int64_t, int64_t>, int64_t> per_fact;
+    for (int64_t i = 0; i < options.num_tuples; ++i) {
+      const int64_t station = rng.Uniform(0, options.num_stations - 1);
+      const int64_t metric = rng.Uniform(0, options.num_metrics - 1);
+      ++per_fact[{station, metric}];
+    }
+    for (const auto& [fact, count] : per_fact) {
+      TPDB_RETURN_IF_ERROR(
+          AppendChain(rel, Row{Datum(fact.first), Datum(fact.second)}, count,
+                      chain, &rng));
+    }
+  }
+
+  JoinCondition theta;
+  theta.equal_columns.emplace_back("metric", "metric");
+  theta.predicate = [](const Row& r_fact, const Row& s_fact) {
+    // Same metric at a *different* station.
+    return r_fact[0] != s_fact[0];
+  };
+
+  MeteoDataset out{std::move(r), std::move(s), std::move(theta)};
+  return out;
+}
+
+}  // namespace tpdb

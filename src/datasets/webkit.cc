@@ -1,0 +1,68 @@
+#include "datasets/webkit.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+StatusOr<WebkitDataset> MakeWebkitDataset(LineageManager* manager,
+                                          const WebkitOptions& options) {
+  if (options.num_tuples <= 0)
+    return Status::InvalidArgument("num_tuples must be positive");
+  if (options.versions_per_file < 1.0)
+    return Status::InvalidArgument("versions_per_file must be >= 1");
+  Random rng(options.seed);
+
+  const int64_t num_files = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(options.num_tuples) /
+                              options.versions_per_file));
+
+  Schema facts;
+  facts.AddColumn({"file", DatumType::kInt64});
+  TPRelation r("webkit_r", facts, manager);
+  TPRelation s("webkit_s", facts, manager);
+
+  ChainOptions chain;
+  // Chains start near the beginning of the history and their revisions are
+  // sized so the chain spans it: same-file chains of the two relations
+  // overlap temporally, different files never satisfy θ.
+  chain.start_lo = 0;
+  chain.start_hi = options.history_length / 20;
+  chain.avg_duration =
+      static_cast<double>(options.history_length) / options.versions_per_file;
+  chain.gap_probability = 0.0;  // revision histories are adjacent
+  chain.prob_lo = 0.5;
+  chain.prob_hi = 1.0;
+
+  // Both relations sample version chains of the same file population (two
+  // prediction sources over the same files), giving the ~1:1 match rate.
+  for (TPRelation* rel : {&r, &s}) {
+    int64_t emitted = 0;
+    for (int64_t file = 0; file < num_files && emitted < options.num_tuples;
+         ++file) {
+      const int64_t budget = options.num_tuples - emitted;
+      const int64_t want =
+          rng.Exponential(options.versions_per_file);
+      const int64_t count = std::min(budget, std::max<int64_t>(1, want));
+      TPDB_RETURN_IF_ERROR(
+          AppendChain(rel, Row{Datum(file)}, count, chain, &rng));
+      emitted += count;
+    }
+    // Top up on fresh files if the per-file draws undershot the target.
+    int64_t extra_file = num_files;
+    while (emitted < options.num_tuples) {
+      const int64_t count =
+          std::min(options.num_tuples - emitted,
+                   std::max<int64_t>(1, rng.Exponential(
+                                            options.versions_per_file)));
+      TPDB_RETURN_IF_ERROR(
+          AppendChain(rel, Row{Datum(extra_file++)}, count, chain, &rng));
+      emitted += count;
+    }
+  }
+
+  WebkitDataset out{std::move(r), std::move(s),
+                    JoinCondition::Equals("file")};
+  return out;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,51 @@
+// Webkit-like dataset (substitution for the paper's real Webkit dataset,
+// which records predictions that a file remains unchanged over an interval,
+// derived from webkit.org's revision history; the original data is not
+// redistributable here).
+//
+// Preserved performance-relevant properties (see DESIGN.md §4):
+//   * many distinct join values — one per file, ~num_tuples/versions files,
+//     so θ: r.file = s.file is highly selective;
+//   * per fact, adjacent non-overlapping version intervals (a file's
+//     history is a chain of revisions);
+//   * ~1:1 match rate between the two relations;
+//   * probabilities U(0.5, 1) (confidence the file stays unchanged).
+#ifndef TPDB_DATASETS_WEBKIT_H_
+#define TPDB_DATASETS_WEBKIT_H_
+
+#include "common/status.h"
+#include "datasets/generator.h"
+#include "tp/overlap_join.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// Parameters of the Webkit-like generator.
+struct WebkitOptions {
+  uint64_t seed = 7;
+  /// Tuples in each of the two relations.
+  int64_t num_tuples = 10000;
+  /// Average revisions per file (distinct files ≈ num_tuples / this).
+  double versions_per_file = 5.0;
+  /// Timeline length. Every file's version chain spans (most of) the
+  /// repository history — as in the real dataset, where all files coexist
+  /// over the same years — so the two relations' chains for one file
+  /// overlap temporally while θ stays highly selective across files.
+  /// Mean revision lifetime is derived as history_length/versions_per_file.
+  TimePoint history_length = 100000;
+};
+
+/// The generated pair of relations plus the θ of the paper's experiments.
+struct WebkitDataset {
+  TPRelation r;
+  TPRelation s;
+  JoinCondition theta;  // r.file = s.file
+};
+
+/// Generates the dataset. Deterministic for a fixed seed.
+StatusOr<WebkitDataset> MakeWebkitDataset(LineageManager* manager,
+                                          const WebkitOptions& options);
+
+}  // namespace tpdb
+
+#endif  // TPDB_DATASETS_WEBKIT_H_

@@ -1,0 +1,119 @@
+#include "engine/aggregate.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+namespace {
+
+Datum AddDatum(const Datum& a, const Datum& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  if (a.type() == DatumType::kDouble || b.type() == DatumType::kDouble) {
+    const double x =
+        a.type() == DatumType::kDouble ? a.AsDouble()
+                                       : static_cast<double>(a.AsInt64());
+    const double y =
+        b.type() == DatumType::kDouble ? b.AsDouble()
+                                       : static_cast<double>(b.AsInt64());
+    return Datum(x + y);
+  }
+  return Datum(a.AsInt64() + b.AsInt64());
+}
+
+}  // namespace
+
+HashAggregate::HashAggregate(OperatorPtr child, std::vector<int> group_by,
+                             std::vector<AggSpec> aggregates)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {
+  TPDB_CHECK(child_ != nullptr);
+  const Schema& in = child_->schema();
+  for (const int col : group_by_) {
+    TPDB_CHECK_GE(col, 0);
+    TPDB_CHECK_LT(static_cast<size_t>(col), in.num_columns());
+    schema_.AddColumn(in.column(col));
+  }
+  for (const AggSpec& agg : aggregates_) {
+    std::string name = agg.name;
+    DatumType type = DatumType::kInt64;
+    if (agg.fn != AggFn::kCount) {
+      TPDB_CHECK_GE(agg.column, 0);
+      TPDB_CHECK_LT(static_cast<size_t>(agg.column), in.num_columns());
+      type = in.column(agg.column).type;
+      if (name.empty()) name = "agg_" + in.column(agg.column).name;
+    } else if (name.empty()) {
+      name = "count";
+    }
+    schema_.AddColumn({std::move(name), type});
+  }
+}
+
+void HashAggregate::Open() {
+  child_->Open();
+  results_.clear();
+  // Ordered map keyed by the group row: deterministic output order. The
+  // workloads here have modest group counts; a hash map + final sort would
+  // be the scale-up path.
+  std::map<Row, State, bool (*)(const Row&, const Row&)> groups(
+      +[](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+  Row row;
+  while (child_->Next(&row)) {
+    Row key;
+    key.reserve(group_by_.size());
+    for (const int col : group_by_) key.push_back(row[col]);
+    State& state = groups[std::move(key)];
+    if (state.accum.empty()) state.accum.resize(aggregates_.size());
+    ++state.count;
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      const AggSpec& agg = aggregates_[i];
+      if (agg.fn == AggFn::kCount) continue;
+      const Datum& value = row[agg.column];
+      if (value.is_null()) continue;
+      Datum& acc = state.accum[i];
+      switch (agg.fn) {
+        case AggFn::kSum:
+          acc = AddDatum(acc, value);
+          break;
+        case AggFn::kMin:
+          if (acc.is_null() || value < acc) acc = value;
+          break;
+        case AggFn::kMax:
+          if (acc.is_null() || acc < value) acc = value;
+          break;
+        case AggFn::kCount:
+          break;
+      }
+    }
+  }
+  child_->Close();
+
+  // Aggregation over an empty input with no groups yields no rows (SQL
+  // would yield one row for global aggregates; the engine's callers prefer
+  // the uniform no-groups-no-rows rule).
+  for (auto& [key, state] : groups) {
+    Row out = key;
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (aggregates_[i].fn == AggFn::kCount)
+        out.push_back(Datum(state.count));
+      else
+        out.push_back(state.accum[i]);
+    }
+    results_.push_back(std::move(out));
+  }
+  pos_ = 0;
+}
+
+bool HashAggregate::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+void HashAggregate::Close() {
+  results_.clear();
+  results_.shrink_to_fit();
+}
+
+}  // namespace tpdb

@@ -1,0 +1,55 @@
+// HashAggregate: group-by with COUNT / SUM / MIN / MAX — the reporting
+// layer the examples use to summarize join results (e.g. probability mass
+// per join key), and a standard piece of any executor.
+#ifndef TPDB_ENGINE_AGGREGATE_H_
+#define TPDB_ENGINE_AGGREGATE_H_
+
+#include <map>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Supported aggregate functions.
+enum class AggFn { kCount, kSum, kMin, kMax };
+
+/// One aggregate: function + input column (+ output name). kCount ignores
+/// the column (use -1); kSum requires int64 or double input.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  int column = -1;
+  std::string name;
+};
+
+/// Materializing hash aggregation. Output: group columns (in the given
+/// order) followed by one column per aggregate. Groups are emitted in
+/// ascending group-key order (deterministic output).
+class HashAggregate final : public Operator {
+ public:
+  HashAggregate(OperatorPtr child, std::vector<int> group_by,
+                std::vector<AggSpec> aggregates);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  struct State {
+    int64_t count = 0;
+    std::vector<Datum> accum;  // one slot per aggregate
+  };
+
+  OperatorPtr child_;
+  std::vector<int> group_by_;
+  std::vector<AggSpec> aggregates_;
+  Schema schema_;
+
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_AGGREGATE_H_

@@ -1,0 +1,35 @@
+#include "engine/dedup.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+void Dedup::Open() {
+  child_->Open();
+  buffer_.clear();
+  Row row;
+  while (child_->Next(&row)) buffer_.push_back(std::move(row));
+  child_->Close();
+  std::sort(buffer_.begin(), buffer_.end(), [](const Row& a, const Row& b) {
+    return CompareRows(a, b) < 0;
+  });
+  buffer_.erase(std::unique(buffer_.begin(), buffer_.end(),
+                            [](const Row& a, const Row& b) {
+                              return CompareRows(a, b) == 0;
+                            }),
+                buffer_.end());
+  pos_ = 0;
+}
+
+bool Dedup::Next(Row* out) {
+  if (pos_ >= buffer_.size()) return false;
+  *out = buffer_[pos_++];
+  return true;
+}
+
+void Dedup::Close() {
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+}  // namespace tpdb

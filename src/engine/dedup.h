@@ -1,0 +1,34 @@
+// Dedup: duplicate elimination (sort-based). Temporal Alignment needs this
+// to remove the unmatched windows its two-pass plan computes twice — one of
+// the redundancies the paper's approach avoids.
+#ifndef TPDB_ENGINE_DEDUP_H_
+#define TPDB_ENGINE_DEDUP_H_
+
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Materializes, sorts all columns lexicographically, and drops exact
+/// duplicates. Output is emitted in sorted order.
+class Dedup final : public Operator {
+ public:
+  explicit Dedup(OperatorPtr child) : child_(std::move(child)) {
+    TPDB_CHECK(child_ != nullptr);
+  }
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<Row> buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_DEDUP_H_

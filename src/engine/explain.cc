@@ -1,0 +1,70 @@
+#include "engine/explain.h"
+
+#include <cstdio>
+
+namespace tpdb {
+
+namespace {
+
+class InstrumentedOperator final : public Operator {
+ public:
+  InstrumentedOperator(OperatorPtr child, NodeStats* stats)
+      : child_(std::move(child)), stats_(stats) {
+    TPDB_CHECK(child_ != nullptr);
+    TPDB_CHECK(stats_ != nullptr);
+  }
+
+  const Schema& schema() const override { return child_->schema(); }
+
+  void Open() override {
+    ++stats_->open_calls;
+    child_->Open();
+  }
+
+  bool Next(Row* out) override {
+    const auto start = std::chrono::steady_clock::now();
+    const bool has_row = child_->Next(out);
+    stats_->seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (has_row) ++stats_->rows;
+    return has_row;
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  NodeStats* stats_;
+};
+
+}  // namespace
+
+NodeStats* ExecStats::AddNode(std::string label) {
+  nodes_.push_back(std::make_unique<NodeStats>());
+  nodes_.back()->label = std::move(label);
+  return nodes_.back().get();
+}
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  for (const std::unique_ptr<NodeStats>& node : nodes_) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-24s rows=%-10llu time=%.3f ms\n",
+                  node->label.c_str(),
+                  static_cast<unsigned long long>(node->rows),
+                  node->seconds * 1000.0);
+    out += line;
+  }
+  return out;
+}
+
+OperatorPtr Instrument(std::string label, OperatorPtr child,
+                       ExecStats* stats) {
+  TPDB_CHECK(stats != nullptr);
+  return std::make_unique<InstrumentedOperator>(
+      std::move(child), stats->AddNode(std::move(label)));
+}
+
+}  // namespace tpdb

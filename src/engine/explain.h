@@ -1,0 +1,52 @@
+// Pipeline instrumentation: per-operator row counts and wall time, in the
+// spirit of EXPLAIN ANALYZE. Wrap the interesting nodes of a plan with
+// Instrument(...) and render the collected stats after execution — used to
+// verify the "pipelined, single-pass" claims of the window plans (e.g.
+// LAWAU's output row count equals its input plus the gaps it created).
+#ifndef TPDB_ENGINE_EXPLAIN_H_
+#define TPDB_ENGINE_EXPLAIN_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Collected per-node execution statistics.
+struct NodeStats {
+  std::string label;
+  uint64_t rows = 0;        ///< rows produced (true Next() calls)
+  uint64_t open_calls = 0;
+  double seconds = 0.0;     ///< wall time spent inside this node's Next()
+                            ///< (inclusive of children)
+};
+
+/// Registry the instrumented wrappers report into. Must outlive the plan.
+class ExecStats {
+ public:
+  /// Registers a node; returns its slot (stable for the registry's life).
+  NodeStats* AddNode(std::string label);
+
+  const std::vector<std::unique_ptr<NodeStats>>& nodes() const {
+    return nodes_;
+  }
+
+  /// Multi-line "label: rows=… time=…" rendering, in registration order
+  /// (register bottom-up to read the pipeline top-down).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::unique_ptr<NodeStats>> nodes_;
+};
+
+/// Wraps `child`, counting its rows and timing its Next() calls into a
+/// fresh node of `stats`.
+OperatorPtr Instrument(std::string label, OperatorPtr child,
+                       ExecStats* stats);
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_EXPLAIN_H_

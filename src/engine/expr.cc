@@ -1,0 +1,197 @@
+#include "engine/expr.h"
+
+namespace tpdb {
+
+namespace {
+
+Datum BoolDatum(bool b) { return Datum(static_cast<int64_t>(b ? 1 : 0)); }
+
+class ColExpr final : public Expr {
+ public:
+  ColExpr(int index, std::string name)
+      : index_(index), name_(std::move(name)) {}
+  Datum Eval(const Row& row) const override {
+    TPDB_CHECK_LT(static_cast<size_t>(index_), row.size());
+    return row[index_];
+  }
+  std::string ToString() const override {
+    return name_.empty() ? "$" + std::to_string(index_) : name_;
+  }
+
+ private:
+  int index_;
+  std::string name_;
+};
+
+class LitExpr final : public Expr {
+ public:
+  explicit LitExpr(Datum value) : value_(std::move(value)) {}
+  Datum Eval(const Row&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Datum value_;
+};
+
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr a, ExprPtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  Datum Eval(const Row& row) const override {
+    const Datum da = a_->Eval(row);
+    const Datum db = b_->Eval(row);
+    if (da.is_null() || db.is_null()) return Datum::Null();
+    const int c = da.Compare(db);
+    switch (op_) {
+      case CompareOp::kEq:
+        return BoolDatum(c == 0);
+      case CompareOp::kNe:
+        return BoolDatum(c != 0);
+      case CompareOp::kLt:
+        return BoolDatum(c < 0);
+      case CompareOp::kLe:
+        return BoolDatum(c <= 0);
+      case CompareOp::kGt:
+        return BoolDatum(c > 0);
+      case CompareOp::kGe:
+        return BoolDatum(c >= 0);
+    }
+    return Datum::Null();
+  }
+  std::string ToString() const override {
+    static const char* kNames[] = {"=", "<>", "<", "<=", ">", ">="};
+    return "(" + a_->ToString() + " " + kNames[static_cast<int>(op_)] + " " +
+           b_->ToString() + ")";
+  }
+
+ private:
+  CompareOp op_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+class AndOrExpr final : public Expr {
+ public:
+  AndOrExpr(bool is_and, ExprPtr a, ExprPtr b)
+      : is_and_(is_and), a_(std::move(a)), b_(std::move(b)) {}
+  Datum Eval(const Row& row) const override {
+    // Kleene three-valued logic.
+    const Datum da = a_->Eval(row);
+    const Datum db = b_->Eval(row);
+    const bool na = da.is_null();
+    const bool nb = db.is_null();
+    const bool ta = !na && DatumTruthy(da);
+    const bool tb = !nb && DatumTruthy(db);
+    if (is_and_) {
+      if ((!na && !ta) || (!nb && !tb)) return BoolDatum(false);
+      if (na || nb) return Datum::Null();
+      return BoolDatum(true);
+    }
+    if (ta || tb) return BoolDatum(true);
+    if (na || nb) return Datum::Null();
+    return BoolDatum(false);
+  }
+  std::string ToString() const override {
+    return "(" + a_->ToString() + (is_and_ ? " AND " : " OR ") +
+           b_->ToString() + ")";
+  }
+
+ private:
+  bool is_and_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+class NotOpExpr final : public Expr {
+ public:
+  explicit NotOpExpr(ExprPtr a) : a_(std::move(a)) {}
+  Datum Eval(const Row& row) const override {
+    const Datum d = a_->Eval(row);
+    if (d.is_null()) return Datum::Null();
+    return BoolDatum(!DatumTruthy(d));
+  }
+  std::string ToString() const override {
+    return "(NOT " + a_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr a_;
+};
+
+class IsNullExpr final : public Expr {
+ public:
+  explicit IsNullExpr(ExprPtr a) : a_(std::move(a)) {}
+  Datum Eval(const Row& row) const override {
+    return BoolDatum(a_->Eval(row).is_null());
+  }
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " IS NULL)";
+  }
+
+ private:
+  ExprPtr a_;
+};
+
+class FnExpr final : public Expr {
+ public:
+  FnExpr(std::function<Datum(const Row&)> fn, std::string name)
+      : fn_(std::move(fn)), name_(std::move(name)) {}
+  Datum Eval(const Row& row) const override { return fn_(row); }
+  std::string ToString() const override { return name_ + "(...)"; }
+
+ private:
+  std::function<Datum(const Row&)> fn_;
+  std::string name_;
+};
+
+}  // namespace
+
+ExprPtr Fn(std::function<Datum(const Row&)> fn, std::string name) {
+  return std::make_shared<FnExpr>(std::move(fn), std::move(name));
+}
+
+ExprPtr Col(int index, std::string name) {
+  return std::make_shared<ColExpr>(index, std::move(name));
+}
+ExprPtr Lit(Datum value) { return std::make_shared<LitExpr>(std::move(value)); }
+ExprPtr Compare(CompareOp op, ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(op, std::move(a), std::move(b));
+}
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Compare(CompareOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Compare(CompareOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Compare(CompareOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr AndExpr(ExprPtr a, ExprPtr b) {
+  return std::make_shared<AndOrExpr>(true, std::move(a), std::move(b));
+}
+ExprPtr OrExpr(ExprPtr a, ExprPtr b) {
+  return std::make_shared<AndOrExpr>(false, std::move(a), std::move(b));
+}
+ExprPtr NotExpr(ExprPtr a) { return std::make_shared<NotOpExpr>(std::move(a)); }
+ExprPtr IsNull(ExprPtr a) { return std::make_shared<IsNullExpr>(std::move(a)); }
+
+ExprPtr OverlapsExpr(int ts_a, int te_a, int ts_b, int te_b) {
+  // a.ts < b.te AND b.ts < a.te
+  return AndExpr(Lt(Col(ts_a), Col(te_b)), Lt(Col(ts_b), Col(te_a)));
+}
+
+ExprPtr ColumnsEqual(const std::vector<std::pair<int, int>>& pairs) {
+  ExprPtr acc = Lit(Datum(static_cast<int64_t>(1)));
+  for (const auto& [l, r] : pairs) {
+    acc = AndExpr(std::move(acc), Eq(Col(l), Col(r)));
+  }
+  return acc;
+}
+
+bool DatumTruthy(const Datum& d) {
+  if (d.is_null()) return false;
+  if (d.type() == DatumType::kInt64) return d.AsInt64() != 0;
+  return true;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,71 @@
+// Scalar expression trees evaluated against a single row — the executor's
+// filter/join-predicate language (the role the PostgreSQL expression
+// evaluator plays for the paper's in-kernel implementation).
+//
+// Booleans are represented as int64 0/1; any comparison involving SQL NULL
+// yields NULL (three-valued logic), and Filter keeps only rows whose
+// predicate evaluates to a non-null truthy value.
+#ifndef TPDB_ENGINE_EXPR_H_
+#define TPDB_ENGINE_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/row.h"
+
+namespace tpdb {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable scalar expression node.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  /// Evaluates against `row`; never mutates state.
+  virtual Datum Eval(const Row& row) const = 0;
+  /// Diagnostic rendering.
+  virtual std::string ToString() const = 0;
+};
+
+/// Comparison operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// -- Builders -------------------------------------------------------------
+
+/// Reference to column `index` of the input row.
+ExprPtr Col(int index, std::string name = "");
+/// Constant.
+ExprPtr Lit(Datum value);
+/// Three-valued comparison of two sub-expressions.
+ExprPtr Compare(CompareOp op, ExprPtr a, ExprPtr b);
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+/// Three-valued conjunction / disjunction / negation.
+ExprPtr AndExpr(ExprPtr a, ExprPtr b);
+ExprPtr OrExpr(ExprPtr a, ExprPtr b);
+ExprPtr NotExpr(ExprPtr a);
+/// IS NULL test (never NULL itself).
+ExprPtr IsNull(ExprPtr a);
+
+/// Predicate "intervals [ts_a,te_a) and [ts_b,te_b) overlap", the θo of the
+/// paper, over four int64 columns.
+ExprPtr OverlapsExpr(int ts_a, int te_a, int ts_b, int te_b);
+
+/// Conjunction of pairwise column equalities (the equi-θ of the paper's
+/// experiments), e.g. a.Loc = b.Loc.
+ExprPtr ColumnsEqual(const std::vector<std::pair<int, int>>& pairs);
+
+/// Wraps an arbitrary function as an expression — the escape hatch for
+/// general θ conditions that are not column comparisons.
+ExprPtr Fn(std::function<Datum(const Row&)> fn, std::string name = "fn");
+
+/// True iff `d` is non-null and truthy (non-zero int64).
+bool DatumTruthy(const Datum& d);
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_EXPR_H_

@@ -1,0 +1,16 @@
+#include "engine/filter.h"
+
+namespace tpdb {
+
+bool Filter::Next(Row* out) {
+  Row row;
+  while (child_->Next(&row)) {
+    if (DatumTruthy(predicate_->Eval(row))) {
+      *out = std::move(row);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tpdb

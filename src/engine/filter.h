@@ -1,0 +1,31 @@
+// Filter: keeps rows whose predicate evaluates to a non-null truthy value.
+#ifndef TPDB_ENGINE_FILTER_H_
+#define TPDB_ENGINE_FILTER_H_
+
+#include "engine/expr.h"
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Pipelined selection σ_pred(child).
+class Filter final : public Operator {
+ public:
+  Filter(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {
+    TPDB_CHECK(child_ != nullptr);
+    TPDB_CHECK(predicate_ != nullptr);
+  }
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_FILTER_H_

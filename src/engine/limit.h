@@ -1,0 +1,46 @@
+// Limit / Offset: bounds the number of rows flowing out of a pipeline.
+#ifndef TPDB_ENGINE_LIMIT_H_
+#define TPDB_ENGINE_LIMIT_H_
+
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Emits at most `limit` rows after skipping `offset` rows.
+class Limit final : public Operator {
+ public:
+  Limit(OperatorPtr child, size_t limit, size_t offset = 0)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {
+    TPDB_CHECK(child_ != nullptr);
+  }
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override {
+    child_->Open();
+    skipped_ = 0;
+    emitted_ = 0;
+  }
+  bool Next(Row* out) override {
+    Row row;
+    while (skipped_ < offset_) {
+      if (!child_->Next(&row)) return false;
+      ++skipped_;
+    }
+    if (emitted_ >= limit_) return false;
+    if (!child_->Next(out)) return false;
+    ++emitted_;
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t offset_;
+  size_t skipped_ = 0;
+  size_t emitted_ = 0;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_LIMIT_H_

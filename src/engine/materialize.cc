@@ -1,0 +1,26 @@
+#include "engine/materialize.h"
+
+namespace tpdb {
+
+Table Materialize(Operator* op) {
+  TPDB_CHECK(op != nullptr);
+  Table out;
+  out.schema = op->schema();
+  op->Open();
+  Row row;
+  while (op->Next(&row)) out.rows.push_back(std::move(row));
+  op->Close();
+  return out;
+}
+
+size_t Drain(Operator* op) {
+  TPDB_CHECK(op != nullptr);
+  op->Open();
+  Row row;
+  size_t count = 0;
+  while (op->Next(&row)) ++count;
+  op->Close();
+  return count;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,18 @@
+// Helpers to run a plan to completion.
+#ifndef TPDB_ENGINE_MATERIALIZE_H_
+#define TPDB_ENGINE_MATERIALIZE_H_
+
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Runs `op` (Open/Next*/Close) and collects the result into a Table.
+Table Materialize(Operator* op);
+
+/// Runs `op` and discards rows, returning the row count (benchmark helper —
+/// measures pipeline cost without result-buffer noise).
+size_t Drain(Operator* op);
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_MATERIALIZE_H_

@@ -1,0 +1,64 @@
+#include "engine/nested_loop_join.h"
+
+namespace tpdb {
+
+NestedLoopJoin::NestedLoopJoin(OperatorPtr left, OperatorPtr right,
+                               ExprPtr predicate, JoinType join_type)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      join_type_(join_type) {
+  TPDB_CHECK(left_ != nullptr);
+  TPDB_CHECK(right_ != nullptr);
+  TPDB_CHECK(predicate_ != nullptr);
+  schema_ = Schema::Concat(left_->schema(), right_->schema());
+}
+
+void NestedLoopJoin::Open() {
+  left_->Open();
+  right_->Open();
+  right_rows_.clear();
+  Row row;
+  while (right_->Next(&row)) right_rows_.push_back(std::move(row));
+  right_->Close();
+  have_left_ = false;
+  left_matched_ = false;
+  right_pos_ = 0;
+}
+
+bool NestedLoopJoin::Next(Row* out) {
+  while (true) {
+    if (!have_left_) {
+      if (!left_->Next(&current_left_)) return false;
+      have_left_ = true;
+      left_matched_ = false;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& right_row = right_rows_[right_pos_++];
+      Row joined = ConcatRows(current_left_, right_row);
+      if (DatumTruthy(predicate_->Eval(joined))) {
+        left_matched_ = true;
+        *out = std::move(joined);
+        return true;
+      }
+    }
+    // Left row exhausted against the right side.
+    const bool emit_unmatched =
+        join_type_ == JoinType::kLeftOuter && !left_matched_;
+    have_left_ = false;
+    if (emit_unmatched) {
+      *out = ConcatRows(current_left_,
+                        NullRow(right_->schema().num_columns()));
+      return true;
+    }
+  }
+}
+
+void NestedLoopJoin::Close() {
+  left_->Close();
+  right_rows_.clear();
+  right_rows_.shrink_to_fit();
+}
+
+}  // namespace tpdb

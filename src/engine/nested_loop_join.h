@@ -1,0 +1,46 @@
+// NestedLoopJoin: the general-θ join PostgreSQL's optimizer falls back to —
+// and the plan the paper observes Temporal Alignment being stuck with
+// ("the optimizer opts for a nested loop ... and this takes a huge toll").
+#ifndef TPDB_ENGINE_NESTED_LOOP_JOIN_H_
+#define TPDB_ENGINE_NESTED_LOOP_JOIN_H_
+
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Join variants supported by the executor joins.
+enum class JoinType { kInner, kLeftOuter };
+
+/// Nested-loop join with an arbitrary predicate over the concatenated row.
+/// The right input is materialized at Open(); the left input streams.
+/// For kLeftOuter, unmatched left rows are emitted once, right side NULL.
+class NestedLoopJoin final : public Operator {
+ public:
+  NestedLoopJoin(OperatorPtr left, OperatorPtr right, ExprPtr predicate,
+                 JoinType join_type);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr predicate_;
+  JoinType join_type_;
+  Schema schema_;
+
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool have_left_ = false;
+  bool left_matched_ = false;
+  size_t right_pos_ = 0;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_NESTED_LOOP_JOIN_H_

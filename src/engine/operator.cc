@@ -1,0 +1,4 @@
+#include "engine/operator.h"
+
+// Currently header-only; this translation unit anchors the vtable.
+namespace tpdb {}  // namespace tpdb

@@ -1,0 +1,38 @@
+// The Volcano / iterator operator protocol (Open / Next / Close) — the
+// pipelined execution model of the PostgreSQL executor the paper integrates
+// into. LAWAU and LAWAN are implemented against this interface, which is
+// what makes the approach "pipelined, no tuple replication".
+#ifndef TPDB_ENGINE_OPERATOR_H_
+#define TPDB_ENGINE_OPERATOR_H_
+
+#include <memory>
+
+#include "engine/row.h"
+#include "engine/schema.h"
+
+namespace tpdb {
+
+/// A pull-based relational operator. Lifecycle: Open() once, Next() until it
+/// returns false, Close() once. Re-opening after Close() restarts the scan.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Output schema; valid before Open().
+  virtual const Schema& schema() const = 0;
+
+  /// Prepares the operator for iteration.
+  virtual void Open() = 0;
+
+  /// Produces the next row into `*out`; returns false at end of stream.
+  virtual bool Next(Row* out) = 0;
+
+  /// Releases per-iteration resources.
+  virtual void Close() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_OPERATOR_H_

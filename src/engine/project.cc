@@ -1,0 +1,35 @@
+#include "engine/project.h"
+
+namespace tpdb {
+
+Project::Project(OperatorPtr child, std::vector<int> indices,
+                 std::vector<std::string> names)
+    : child_(std::move(child)), indices_(std::move(indices)) {
+  TPDB_CHECK(child_ != nullptr);
+  const Schema& in = child_->schema();
+  TPDB_CHECK(names.empty() || names.size() == indices_.size())
+      << "rename list must match projection list";
+  std::vector<Column> cols;
+  cols.reserve(indices_.size());
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    const int idx = indices_[i];
+    TPDB_CHECK_GE(idx, 0);
+    TPDB_CHECK_LT(static_cast<size_t>(idx), in.num_columns());
+    Column c = in.column(idx);
+    if (!names.empty()) c.name = names[i];
+    cols.push_back(std::move(c));
+  }
+  schema_ = Schema(std::move(cols));
+}
+
+bool Project::Next(Row* out) {
+  Row row;
+  if (!child_->Next(&row)) return false;
+  Row projected;
+  projected.reserve(indices_.size());
+  for (const int idx : indices_) projected.push_back(row[idx]);
+  *out = std::move(projected);
+  return true;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,31 @@
+// Project: column selection / reordering, with optional renaming.
+#ifndef TPDB_ENGINE_PROJECT_H_
+#define TPDB_ENGINE_PROJECT_H_
+
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Pipelined projection π_indices(child). `names` optionally renames the
+/// projected columns (empty = keep the source names).
+class Project final : public Operator {
+ public:
+  Project(OperatorPtr child, std::vector<int> indices,
+          std::vector<std::string> names = {});
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<int> indices_;
+  Schema schema_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_PROJECT_H_

@@ -1,0 +1,34 @@
+#include "engine/row.h"
+
+namespace tpdb {
+
+int CompareRows(const Row& a, const Row& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Row NullRow(size_t n) { return Row(n); }
+
+std::string RowToString(const Row& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += row[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace tpdb

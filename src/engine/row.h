@@ -1,0 +1,39 @@
+// Rows and in-memory tables of the executor.
+#ifndef TPDB_ENGINE_ROW_H_
+#define TPDB_ENGINE_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "engine/schema.h"
+
+namespace tpdb {
+
+/// A tuple of datums; layout matches the producing operator's Schema.
+using Row = std::vector<Datum>;
+
+/// Lexicographic three-way comparison.
+int CompareRows(const Row& a, const Row& b);
+
+/// Concatenation of two rows.
+Row ConcatRows(const Row& a, const Row& b);
+
+/// Row of `n` SQL NULLs.
+Row NullRow(size_t n);
+
+/// "v1 | v2 | ..." rendering for diagnostics and examples.
+std::string RowToString(const Row& row);
+
+/// A fully materialized relation.
+struct Table {
+  Schema schema;
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_ROW_H_

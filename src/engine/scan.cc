@@ -1,0 +1,4 @@
+#include "engine/scan.h"
+
+// Header-only; anchors the translation unit.
+namespace tpdb {}  // namespace tpdb

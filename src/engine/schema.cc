@@ -1,0 +1,66 @@
+#include "engine/schema.h"
+
+namespace tpdb {
+
+namespace {
+const char* TypeName(DatumType t) {
+  switch (t) {
+    case DatumType::kNull:
+      return "null";
+    case DatumType::kInt64:
+      return "int64";
+    case DatumType::kDouble:
+      return "double";
+    case DatumType::kString:
+      return "string";
+    case DatumType::kLineage:
+      return "lineage";
+  }
+  return "?";
+}
+}  // namespace
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::AddColumn(Column column) {
+  columns_.push_back(std::move(column));
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  Schema out = a;
+  for (const Column& c : b.columns()) {
+    Column copy = c;
+    if (out.IndexOf(copy.name) >= 0) copy.name += "_r";
+    out.AddColumn(std::move(copy));
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += TypeName(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace tpdb

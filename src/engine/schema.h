@@ -1,0 +1,55 @@
+// Relational schema: ordered, named, typed columns of an operator's output.
+#ifndef TPDB_ENGINE_SCHEMA_H_
+#define TPDB_ENGINE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/status.h"
+
+namespace tpdb {
+
+/// A single column of a schema.
+struct Column {
+  std::string name;
+  DatumType type = DatumType::kNull;
+};
+
+/// Ordered list of columns; value-semantic and cheap to copy for the small
+/// schemas of this workload.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const {
+    TPDB_CHECK_LT(i, columns_.size());
+    return columns_[i];
+  }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Appends a column and returns its index.
+  int AddColumn(Column column);
+
+  /// Schema of the concatenation of rows of `a` and `b` (name clashes get a
+  /// disambiguating suffix on the right side).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  /// "name:type, name:type, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_SCHEMA_H_

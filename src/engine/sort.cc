@@ -1,0 +1,39 @@
+#include "engine/sort.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+bool RowLess(const Row& a, const Row& b, const std::vector<SortKey>& keys) {
+  for (const SortKey& key : keys) {
+    const int c = a[key.column].Compare(b[key.column]);
+    if (c != 0) return key.ascending ? c < 0 : c > 0;
+  }
+  return false;
+}
+
+void Sort::Open() {
+  child_->Open();
+  buffer_.clear();
+  Row row;
+  while (child_->Next(&row)) buffer_.push_back(std::move(row));
+  child_->Close();
+  std::stable_sort(buffer_.begin(), buffer_.end(),
+                   [this](const Row& a, const Row& b) {
+                     return RowLess(a, b, keys_);
+                   });
+  pos_ = 0;
+}
+
+bool Sort::Next(Row* out) {
+  if (pos_ >= buffer_.size()) return false;
+  *out = buffer_[pos_++];
+  return true;
+}
+
+void Sort::Close() {
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+}  // namespace tpdb

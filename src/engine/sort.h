@@ -1,0 +1,44 @@
+// Sort: materializing sort operator, the blocking step in front of the
+// LAWAU / LAWAN sweeps (the paper's "windows are ordered by Fr and by their
+// starting point").
+#ifndef TPDB_ENGINE_SORT_H_
+#define TPDB_ENGINE_SORT_H_
+
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// One sort key: column index + direction.
+struct SortKey {
+  int column = 0;
+  bool ascending = true;
+};
+
+/// Materializing sort. Stable, so equal-key input order is preserved.
+class Sort final : public Operator {
+ public:
+  Sort(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {
+    TPDB_CHECK(child_ != nullptr);
+  }
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> buffer_;
+  size_t pos_ = 0;
+};
+
+/// Comparator implementing a SortKey list; reusable by other operators.
+bool RowLess(const Row& a, const Row& b, const std::vector<SortKey>& keys);
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_SORT_H_

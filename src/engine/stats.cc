@@ -1,0 +1,118 @@
+#include "engine/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tpdb {
+
+TableStats TableStats::Compute(const Table& table, int ts, int te) {
+  TableStats stats;
+  stats.rows = table.rows.size();
+  const size_t n_cols = table.schema.num_columns();
+  stats.columns.resize(n_cols);
+
+  // Distinct-value estimation: exact hash sets, capped — once a column
+  // exceeds the cap we extrapolate linearly (adequate for join-selectivity
+  // decisions, which only need the order of magnitude).
+  constexpr size_t kDistinctCap = 1u << 16;
+  std::vector<std::unordered_set<uint64_t>> seen(n_cols);
+  std::vector<size_t> sampled(n_cols, 0);
+  std::vector<size_t> nulls(n_cols, 0);
+  for (const Row& row : table.rows) {
+    for (size_t c = 0; c < n_cols; ++c) {
+      if (row[c].is_null()) {
+        ++nulls[c];
+        continue;
+      }
+      if (seen[c].size() < kDistinctCap) {
+        seen[c].insert(row[c].Hash());
+        ++sampled[c];
+      }
+    }
+  }
+  for (size_t c = 0; c < n_cols; ++c) {
+    const size_t non_null = stats.rows - nulls[c];
+    if (sampled[c] > 0 && sampled[c] < non_null) {
+      // Extrapolate the distinct ratio over the unsampled remainder.
+      const double ratio = static_cast<double>(seen[c].size()) /
+                           static_cast<double>(sampled[c]);
+      stats.columns[c].distinct_values =
+          static_cast<size_t>(ratio * static_cast<double>(non_null));
+    } else {
+      stats.columns[c].distinct_values = seen[c].size();
+    }
+    stats.columns[c].null_fraction =
+        stats.rows == 0 ? 0.0
+                        : static_cast<double>(nulls[c]) /
+                              static_cast<double>(stats.rows);
+  }
+
+  if (ts >= 0 && te >= 0 && stats.rows > 0) {
+    TimePoint lo = INT64_MAX;
+    TimePoint hi = INT64_MIN;
+    double covered = 0.0;
+    for (const Row& row : table.rows) {
+      if (row[ts].is_null() || row[te].is_null()) continue;
+      const Interval iv(row[ts].AsInt64(), row[te].AsInt64());
+      lo = std::min(lo, iv.start);
+      hi = std::max(hi, iv.end);
+      covered += static_cast<double>(iv.duration());
+    }
+    if (lo < hi) {
+      stats.extent = Interval(lo, hi);
+      stats.avg_duration = covered / static_cast<double>(stats.rows);
+      stats.avg_concurrency =
+          covered / static_cast<double>(stats.extent.duration());
+    }
+  }
+  return stats;
+}
+
+double EstimateOverlapJoinPairs(
+    const TableStats& r, const TableStats& s,
+    const std::vector<std::pair<int, int>>& equi_keys) {
+  if (r.rows == 0 || s.rows == 0) return 0.0;
+  // Equality selectivity: product over keys of 1/max(distinct), the
+  // textbook System-R estimate.
+  double selectivity = 1.0;
+  for (const auto& [rc, sc] : equi_keys) {
+    const size_t dr = std::max<size_t>(1, r.columns[rc].distinct_values);
+    const size_t ds = std::max<size_t>(1, s.columns[sc].distinct_values);
+    selectivity /= static_cast<double>(std::max(dr, ds));
+  }
+  // Temporal selectivity: probability that two random intervals of the
+  // relations overlap within the joint extent.
+  double temporal = 1.0;
+  const Interval joint = r.extent.Span(s.extent);
+  if (!joint.empty() && joint.duration() > 0) {
+    temporal = std::min(
+        1.0, (r.avg_duration + s.avg_duration) /
+                 static_cast<double>(joint.duration()));
+  }
+  return static_cast<double>(r.rows) * static_cast<double>(s.rows) *
+         selectivity * temporal;
+}
+
+bool PreferPartitionedJoin(
+    const TableStats& r, const TableStats& s,
+    const std::vector<std::pair<int, int>>& equi_keys) {
+  if (equi_keys.empty()) return false;  // one giant partition: no benefit
+  if (r.rows == 0 || s.rows == 0) return true;  // trivial either way
+  // Partitioned cost ~ build + probes scanning their partition;
+  // nested-loop cost ~ |r|·|s| predicate evaluations. The partitioned join
+  // wins unless partitions are nearly the whole relation.
+  double partition_fraction = 1.0;
+  for (const auto& [rc, sc] : equi_keys) {
+    (void)rc;
+    const size_t ds = std::max<size_t>(1, s.columns[sc].distinct_values);
+    partition_fraction /= static_cast<double>(ds);
+  }
+  const double probe_cost = static_cast<double>(r.rows) *
+                            std::max(1.0, static_cast<double>(s.rows) *
+                                              partition_fraction);
+  const double nlj_cost =
+      static_cast<double>(r.rows) * static_cast<double>(s.rows);
+  return probe_cost < nlj_cost;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,130 @@
+#include "engine/temporal_outer_join.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+TemporalOuterJoin::TemporalOuterJoin(OperatorPtr left, OperatorPtr right,
+                                     TemporalJoinSpec spec)
+    : left_(std::move(left)), right_(std::move(right)), spec_(std::move(spec)) {
+  TPDB_CHECK(left_ != nullptr);
+  TPDB_CHECK(right_ != nullptr);
+  TPDB_CHECK_GE(spec_.left_ts, 0);
+  TPDB_CHECK_GE(spec_.right_ts, 0);
+  schema_ = Schema::Concat(left_->schema(), right_->schema());
+  schema_.AddColumn({"inter_ts", DatumType::kInt64});
+  schema_.AddColumn({"inter_te", DatumType::kInt64});
+}
+
+uint64_t TemporalOuterJoin::LeftKeyHash(const Row& row) const {
+  uint64_t h = 0x12345678abcdefull;
+  for (const auto& [l, r] : spec_.equi_keys) {
+    (void)r;
+    h = h * 0x9e3779b97f4a7c15ull + row[l].Hash();
+  }
+  return h;
+}
+
+bool TemporalOuterJoin::KeysEqual(const Row& left, const Row& right) const {
+  for (const auto& [l, r] : spec_.equi_keys) {
+    // SQL semantics: NULL keys match nothing.
+    if (left[l].is_null() || right[r].is_null()) return false;
+    if (left[l] != right[r]) return false;
+  }
+  return true;
+}
+
+void TemporalOuterJoin::Open() {
+  left_->Open();
+  right_->Open();
+  right_rows_.clear();
+  partitions_.clear();
+  Row row;
+  while (right_->Next(&row)) right_rows_.push_back(std::move(row));
+  right_->Close();
+  // Partition the right side by equi-key hash; within a partition sort by
+  // interval start so the probe visits matches in temporal order (LAWAU
+  // expects its input grouped by r tuple and sorted on window start).
+  for (uint32_t i = 0; i < right_rows_.size(); ++i) {
+    uint64_t h = 0x12345678abcdefull;
+    bool has_null_key = false;
+    for (const auto& [l, r] : spec_.equi_keys) {
+      (void)l;
+      if (right_rows_[i][r].is_null()) has_null_key = true;
+      h = h * 0x9e3779b97f4a7c15ull + right_rows_[i][r].Hash();
+    }
+    if (has_null_key) continue;  // never matches
+    partitions_[h].rows.push_back(i);
+  }
+  const int rts = spec_.right_ts;
+  for (auto& [h, part] : partitions_) {
+    (void)h;
+    std::sort(part.rows.begin(), part.rows.end(),
+              [&](uint32_t a, uint32_t b) {
+                const int c = right_rows_[a][rts].Compare(right_rows_[b][rts]);
+                if (c != 0) return c < 0;
+                return a < b;
+              });
+  }
+  have_left_ = false;
+}
+
+bool TemporalOuterJoin::Next(Row* out) {
+  const size_t right_width = right_->schema().num_columns();
+  while (true) {
+    if (!have_left_) {
+      if (!left_->Next(&current_left_)) return false;
+      have_left_ = true;
+      left_matched_ = false;
+      probe_pos_ = 0;
+      auto it = partitions_.find(LeftKeyHash(current_left_));
+      current_partition_ = it == partitions_.end() ? nullptr : &it->second;
+    }
+    const Interval lt(current_left_[spec_.left_ts].AsInt64(),
+                      current_left_[spec_.left_te].AsInt64());
+    if (current_partition_ != nullptr) {
+      while (probe_pos_ < current_partition_->rows.size()) {
+        const Row& right_row =
+            right_rows_[current_partition_->rows[probe_pos_++]];
+        const Interval rt(right_row[spec_.right_ts].AsInt64(),
+                          right_row[spec_.right_te].AsInt64());
+        if (rt.start >= lt.end) {
+          // Sorted by start: no later row in this partition can overlap.
+          probe_pos_ = current_partition_->rows.size();
+          break;
+        }
+        if (!lt.Overlaps(rt)) continue;
+        if (!KeysEqual(current_left_, right_row)) continue;  // hash collision
+        Row joined = ConcatRows(current_left_, right_row);
+        if (spec_.residual != nullptr &&
+            !DatumTruthy(spec_.residual->Eval(joined)))
+          continue;
+        const Interval inter = lt.Intersect(rt);
+        joined.push_back(Datum(inter.start));
+        joined.push_back(Datum(inter.end));
+        left_matched_ = true;
+        *out = std::move(joined);
+        return true;
+      }
+    }
+    const bool emit_unmatched =
+        spec_.join_type == JoinType::kLeftOuter && !left_matched_;
+    have_left_ = false;
+    if (emit_unmatched) {
+      Row joined = ConcatRows(current_left_, NullRow(right_width));
+      joined.push_back(Datum::Null());
+      joined.push_back(Datum::Null());
+      *out = std::move(joined);
+      return true;
+    }
+  }
+}
+
+void TemporalOuterJoin::Close() {
+  left_->Close();
+  right_rows_.clear();
+  right_rows_.shrink_to_fit();
+  partitions_.clear();
+}
+
+}  // namespace tpdb

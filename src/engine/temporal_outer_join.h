@@ -1,0 +1,74 @@
+// TemporalOuterJoin: the "conventional outer join r ⟕_{θo ∧ θ} s" of the
+// paper — an equi-θ join with an interval-overlap predicate θo, evaluated
+// with a hash-partitioned, start-sorted probe (the merge/hash plan a DBMS
+// optimizer would pick for a selective equality condition), instead of a
+// nested loop. Output rows append the intersection interval.
+#ifndef TPDB_ENGINE_TEMPORAL_OUTER_JOIN_H_
+#define TPDB_ENGINE_TEMPORAL_OUTER_JOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/nested_loop_join.h"
+#include "engine/operator.h"
+#include "temporal/interval.h"
+
+namespace tpdb {
+
+/// Configuration of a temporal equi-join.
+struct TemporalJoinSpec {
+  /// Pairwise equality columns (left index, right index); may be empty, in
+  /// which case every left row probes the whole right side.
+  std::vector<std::pair<int, int>> equi_keys;
+  /// Interval columns on each side.
+  int left_ts = -1;
+  int left_te = -1;
+  int right_ts = -1;
+  int right_te = -1;
+  /// Optional residual predicate over the concatenated row (general θ).
+  ExprPtr residual;
+  JoinType join_type = JoinType::kLeftOuter;
+};
+
+/// Pipelined on the left input; the right input is materialized and
+/// partitioned at Open(). Output schema: left ++ right ++ (inter_ts,
+/// inter_te); for unmatched left rows the right columns and the
+/// intersection are NULL.
+class TemporalOuterJoin final : public Operator {
+ public:
+  TemporalOuterJoin(OperatorPtr left, OperatorPtr right,
+                    TemporalJoinSpec spec);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  struct Partition {
+    // Indices into right_rows_, sorted by right interval start.
+    std::vector<uint32_t> rows;
+  };
+
+  uint64_t LeftKeyHash(const Row& row) const;
+  bool KeysEqual(const Row& left, const Row& right) const;
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  TemporalJoinSpec spec_;
+  Schema schema_;
+
+  std::vector<Row> right_rows_;
+  std::unordered_map<uint64_t, Partition> partitions_;
+
+  Row current_left_;
+  bool have_left_ = false;
+  bool left_matched_ = false;
+  const Partition* current_partition_ = nullptr;
+  size_t probe_pos_ = 0;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_TEMPORAL_OUTER_JOIN_H_

@@ -1,0 +1,32 @@
+#include "engine/union_all.h"
+
+namespace tpdb {
+
+UnionAll::UnionAll(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {
+  TPDB_CHECK(!children_.empty()) << "UnionAll needs at least one child";
+  const Schema& first = children_.front()->schema();
+  for (const OperatorPtr& child : children_) {
+    TPDB_CHECK_EQ(child->schema().num_columns(), first.num_columns())
+        << "UnionAll children must be union-compatible";
+  }
+}
+
+void UnionAll::Open() {
+  for (OperatorPtr& child : children_) child->Open();
+  current_ = 0;
+}
+
+bool UnionAll::Next(Row* out) {
+  while (current_ < children_.size()) {
+    if (children_[current_]->Next(out)) return true;
+    ++current_;
+  }
+  return false;
+}
+
+void UnionAll::Close() {
+  for (OperatorPtr& child : children_) child->Close();
+}
+
+}  // namespace tpdb

@@ -1,0 +1,29 @@
+// UnionAll: concatenation of multiple union-compatible inputs.
+#ifndef TPDB_ENGINE_UNION_ALL_H_
+#define TPDB_ENGINE_UNION_ALL_H_
+
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace tpdb {
+
+/// Emits all rows of each child in order. Children must share a schema
+/// (column names may differ; arity and types must match).
+class UnionAll final : public Operator {
+ public:
+  explicit UnionAll(std::vector<OperatorPtr> children);
+
+  const Schema& schema() const override { return children_.front()->schema(); }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_UNION_ALL_H_

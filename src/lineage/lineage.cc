@@ -1,0 +1,246 @@
+#include "lineage/lineage.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+LineageManager::LineageManager() {
+  true_ = Intern(Node{LineageKind::kTrue, 0, 0});
+  false_ = Intern(Node{LineageKind::kFalse, 0, 0});
+}
+
+VarId LineageManager::RegisterVariable(double prob, std::string name) {
+  TPDB_CHECK(prob >= 0.0 && prob <= 1.0) << "probability out of range: " << prob;
+  const VarId id = static_cast<VarId>(var_probs_.size());
+  var_probs_.push_back(prob);
+  if (name.empty()) name = "x" + std::to_string(id);
+  TPDB_CHECK(var_by_name_.emplace(name, id).second)
+      << "duplicate variable name: " << name;
+  var_names_.push_back(std::move(name));
+  return id;
+}
+
+double LineageManager::VariableProbability(VarId v) const {
+  TPDB_CHECK_LT(v, var_probs_.size());
+  return var_probs_[v];
+}
+
+void LineageManager::SetVariableProbability(VarId v, double prob) {
+  TPDB_CHECK_LT(v, var_probs_.size());
+  TPDB_CHECK(prob >= 0.0 && prob <= 1.0) << "probability out of range: " << prob;
+  var_probs_[v] = prob;
+  prob_cache_.clear();
+}
+
+const std::string& LineageManager::VariableName(VarId v) const {
+  TPDB_CHECK_LT(v, var_names_.size());
+  return var_names_[v];
+}
+
+StatusOr<VarId> LineageManager::FindVariable(const std::string& name) const {
+  auto it = var_by_name_.find(name);
+  if (it == var_by_name_.end())
+    return Status::NotFound("no variable named " + name);
+  return it->second;
+}
+
+LineageRef LineageManager::Intern(Node n) {
+  auto it = intern_.find(n);
+  if (it != intern_.end()) return LineageRef{it->second};
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  TPDB_CHECK_LT(id, LineageRef::kNullId) << "lineage arena exhausted";
+  nodes_.push_back(n);
+  var_cache_.emplace_back();
+  intern_.emplace(n, id);
+  return LineageRef{id};
+}
+
+LineageRef LineageManager::Var(VarId v) {
+  TPDB_CHECK_LT(v, var_probs_.size()) << "unregistered variable";
+  return Intern(Node{LineageKind::kVar, v, 0});
+}
+
+LineageRef LineageManager::Not(LineageRef a) {
+  switch (KindOf(a)) {
+    case LineageKind::kTrue:
+      return false_;
+    case LineageKind::kFalse:
+      return true_;
+    case LineageKind::kNot:
+      return LineageRef{node(a).a};  // double negation
+    default:
+      return Intern(Node{LineageKind::kNot, a.id, 0});
+  }
+}
+
+LineageRef LineageManager::And(LineageRef a, LineageRef b) {
+  if (KindOf(a) == LineageKind::kFalse || KindOf(b) == LineageKind::kFalse)
+    return false_;
+  if (KindOf(a) == LineageKind::kTrue) return b;
+  if (KindOf(b) == LineageKind::kTrue) return a;
+  if (a == b) return a;
+  if (b < a) std::swap(a, b);
+  return Intern(Node{LineageKind::kAnd, a.id, b.id});
+}
+
+LineageRef LineageManager::Or(LineageRef a, LineageRef b) {
+  if (KindOf(a) == LineageKind::kTrue || KindOf(b) == LineageKind::kTrue)
+    return true_;
+  if (KindOf(a) == LineageKind::kFalse) return b;
+  if (KindOf(b) == LineageKind::kFalse) return a;
+  if (a == b) return a;
+  if (b < a) std::swap(a, b);
+  return Intern(Node{LineageKind::kOr, a.id, b.id});
+}
+
+LineageRef LineageManager::AndAll(std::span<const LineageRef> operands) {
+  std::vector<LineageRef> ops(operands.begin(), operands.end());
+  std::sort(ops.begin(), ops.end());
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  // Right fold over the sorted operands: deterministic (canonical identity
+  // for equal operand sets) and renders in operand order, since each
+  // composite node receives the largest id and stays on the right.
+  LineageRef acc = true_;
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) acc = And(*it, acc);
+  return acc;
+}
+
+LineageRef LineageManager::OrAll(std::span<const LineageRef> operands) {
+  std::vector<LineageRef> ops(operands.begin(), operands.end());
+  std::sort(ops.begin(), ops.end());
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  LineageRef acc = false_;
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) acc = Or(*it, acc);
+  return acc;
+}
+
+LineageKind LineageManager::KindOf(LineageRef r) const {
+  return node(r).kind;
+}
+
+LineageRef LineageManager::Left(LineageRef r) const {
+  const Node& n = node(r);
+  TPDB_CHECK(n.kind == LineageKind::kNot || n.kind == LineageKind::kAnd ||
+             n.kind == LineageKind::kOr);
+  return LineageRef{n.a};
+}
+
+LineageRef LineageManager::Right(LineageRef r) const {
+  const Node& n = node(r);
+  TPDB_CHECK(n.kind == LineageKind::kAnd || n.kind == LineageKind::kOr);
+  return LineageRef{n.b};
+}
+
+VarId LineageManager::VarOf(LineageRef r) const {
+  const Node& n = node(r);
+  TPDB_CHECK(n.kind == LineageKind::kVar);
+  return n.a;
+}
+
+const std::vector<VarId>& LineageManager::Variables(LineageRef r) {
+  const Node& n = node(r);
+  std::vector<VarId>& cache = var_cache_[r.id];
+  if (!cache.empty()) return cache;
+  switch (n.kind) {
+    case LineageKind::kTrue:
+    case LineageKind::kFalse:
+      break;  // empty
+    case LineageKind::kVar:
+      cache.push_back(n.a);
+      break;
+    case LineageKind::kNot:
+      cache = Variables(LineageRef{n.a});
+      break;
+    case LineageKind::kAnd:
+    case LineageKind::kOr: {
+      const std::vector<VarId>& va = Variables(LineageRef{n.a});
+      const std::vector<VarId>& vb = Variables(LineageRef{n.b});
+      cache.resize(va.size() + vb.size());
+      auto end = std::set_union(va.begin(), va.end(), vb.begin(), vb.end(),
+                                cache.begin());
+      cache.erase(end, cache.end());
+      break;
+    }
+  }
+  return cache;
+}
+
+bool LineageManager::Evaluate(LineageRef r,
+                              const std::vector<bool>& assignment) const {
+  const Node& n = node(r);
+  switch (n.kind) {
+    case LineageKind::kTrue:
+      return true;
+    case LineageKind::kFalse:
+      return false;
+    case LineageKind::kVar:
+      TPDB_CHECK_LT(n.a, assignment.size());
+      return assignment[n.a];
+    case LineageKind::kNot:
+      return !Evaluate(LineageRef{n.a}, assignment);
+    case LineageKind::kAnd:
+      return Evaluate(LineageRef{n.a}, assignment) &&
+             Evaluate(LineageRef{n.b}, assignment);
+    case LineageKind::kOr:
+      return Evaluate(LineageRef{n.a}, assignment) ||
+             Evaluate(LineageRef{n.b}, assignment);
+  }
+  return false;
+}
+
+LineageRef LineageManager::Restrict(LineageRef r, VarId v, bool value) {
+  std::unordered_map<uint32_t, LineageRef> memo;
+  return RestrictRec(r, v, value, &memo);
+}
+
+LineageRef LineageManager::RestrictRec(
+    LineageRef r, VarId v, bool value,
+    std::unordered_map<uint32_t, LineageRef>* memo) {
+  auto it = memo->find(r.id);
+  if (it != memo->end()) return it->second;
+  // Copy the node: children of `r` may reallocate nodes_ during recursion.
+  const Node n = node(r);
+  LineageRef result = r;
+  switch (n.kind) {
+    case LineageKind::kTrue:
+    case LineageKind::kFalse:
+      break;
+    case LineageKind::kVar:
+      if (n.a == v) result = value ? true_ : false_;
+      break;
+    case LineageKind::kNot:
+      result = Not(RestrictRec(LineageRef{n.a}, v, value, memo));
+      break;
+    case LineageKind::kAnd:
+      result = And(RestrictRec(LineageRef{n.a}, v, value, memo),
+                   RestrictRec(LineageRef{n.b}, v, value, memo));
+      break;
+    case LineageKind::kOr:
+      result = Or(RestrictRec(LineageRef{n.a}, v, value, memo),
+                  RestrictRec(LineageRef{n.b}, v, value, memo));
+      break;
+  }
+  memo->emplace(r.id, result);
+  return result;
+}
+
+bool LineageManager::Equivalent(LineageRef a, LineageRef b) {
+  if (a == b) return true;
+  const std::vector<VarId>& va = Variables(a);
+  const std::vector<VarId>& vb = Variables(b);
+  std::vector<VarId> vars(va.size() + vb.size());
+  auto end =
+      std::set_union(va.begin(), va.end(), vb.begin(), vb.end(), vars.begin());
+  vars.erase(end, vars.end());
+  TPDB_CHECK_LE(vars.size(), 24u) << "Equivalent: too many variables";
+  std::vector<bool> assignment(num_variables(), false);
+  const uint64_t limit = 1ull << vars.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    for (size_t i = 0; i < vars.size(); ++i)
+      assignment[vars[i]] = (mask >> i) & 1;
+    if (Evaluate(a, assignment) != Evaluate(b, assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,154 @@
+// Lineage subsystem: propositional formulas over independent Boolean
+// base-tuple variables, stored as a hash-consed DAG in an arena.
+//
+// Every tuple of a TP relation carries a lineage λ; TP joins with negation
+// combine lineages with ∧, ∨ and ¬ (the paper's and / andNot concatenation
+// functions). Hash-consing gives syntactic-equality-by-id, which the window
+// algorithms and duplicate elimination rely on: disjunctions are built over
+// sorted operand lists, so the same set of matching tuples always yields the
+// same LineageRef.
+#ifndef TPDB_LINEAGE_LINEAGE_H_
+#define TPDB_LINEAGE_LINEAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/status.h"
+
+namespace tpdb {
+
+/// Identifier of a Boolean base-tuple variable.
+using VarId = uint32_t;
+
+/// Node kinds of the lineage DAG.
+enum class LineageKind : uint8_t { kTrue, kFalse, kVar, kNot, kAnd, kOr };
+
+/// Owns all lineage nodes and base variables of a database instance.
+///
+/// Construction methods apply local simplifications (identity/annihilator
+/// elements, double negation, idempotence on syntactically equal children)
+/// and order commutative children canonically, then hash-cons, so
+/// structurally equal formulas receive equal ids.
+class LineageManager {
+ public:
+  LineageManager();
+
+  // Not copyable (LineageRefs are tied to one arena).
+  LineageManager(const LineageManager&) = delete;
+  LineageManager& operator=(const LineageManager&) = delete;
+
+  /// Registers a fresh independent variable with marginal probability `prob`
+  /// and an optional display name (e.g. "a1"). Returns its id.
+  VarId RegisterVariable(double prob, std::string name = "");
+
+  /// Number of registered variables.
+  size_t num_variables() const { return var_probs_.size(); }
+
+  /// Marginal probability of variable `v`.
+  double VariableProbability(VarId v) const;
+
+  /// Updates the marginal probability of variable `v` (invalidates cached
+  /// node probabilities).
+  void SetVariableProbability(VarId v, double prob);
+
+  /// Display name of variable `v` ("x<i>" if none was given).
+  const std::string& VariableName(VarId v) const;
+
+  /// Looks up a variable by display name.
+  StatusOr<VarId> FindVariable(const std::string& name) const;
+
+  // -- Formula construction --------------------------------------------
+
+  LineageRef True() const { return true_; }
+  LineageRef False() const { return false_; }
+  LineageRef Var(VarId v);
+  LineageRef Not(LineageRef a);
+  LineageRef And(LineageRef a, LineageRef b);
+  LineageRef Or(LineageRef a, LineageRef b);
+
+  /// Conjunction of all operands (sorted canonically). Empty span -> True.
+  LineageRef AndAll(std::span<const LineageRef> operands);
+  /// Disjunction of all operands (sorted canonically). Empty span -> False.
+  LineageRef OrAll(std::span<const LineageRef> operands);
+
+  /// The paper's andNot concatenation: λr ∧ ¬λs.
+  LineageRef AndNot(LineageRef r, LineageRef s) { return And(r, Not(s)); }
+
+  // -- Inspection -------------------------------------------------------
+
+  LineageKind KindOf(LineageRef r) const;
+  /// Children of a binary node / child of a NOT node.
+  LineageRef Left(LineageRef r) const;
+  LineageRef Right(LineageRef r) const;
+  /// Variable id of a kVar node.
+  VarId VarOf(LineageRef r) const;
+
+  /// Number of distinct nodes allocated (hash-consing statistic).
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Sorted distinct variables occurring in the formula (memoized).
+  const std::vector<VarId>& Variables(LineageRef r);
+
+  /// Evaluates the formula under a total assignment (indexed by VarId).
+  bool Evaluate(LineageRef r, const std::vector<bool>& assignment) const;
+
+  /// Substitutes variable `v` by the constant `value` and simplifies.
+  LineageRef Restrict(LineageRef r, VarId v, bool value);
+
+  /// Truth-table equivalence over the union of the variable sets.
+  /// Intended for tests/assertions; aborts if more than 24 variables.
+  bool Equivalent(LineageRef a, LineageRef b);
+
+ private:
+  friend class ProbabilityEngine;
+
+  struct Node {
+    LineageKind kind;
+    uint32_t a;  // child or VarId
+    uint32_t b;  // second child (kAnd/kOr only)
+  };
+
+  struct NodeKeyHash {
+    size_t operator()(const Node& n) const {
+      uint64_t h = static_cast<uint64_t>(n.kind);
+      h = h * 0x9e3779b97f4a7c15ull + n.a;
+      h = h * 0x9e3779b97f4a7c15ull + n.b;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  struct NodeKeyEq {
+    bool operator()(const Node& x, const Node& y) const {
+      return x.kind == y.kind && x.a == y.a && x.b == y.b;
+    }
+  };
+
+  LineageRef Intern(Node n);
+  const Node& node(LineageRef r) const {
+    TPDB_CHECK(!r.is_null()) << "null lineage dereferenced";
+    TPDB_CHECK_LT(r.id, nodes_.size());
+    return nodes_[r.id];
+  }
+  LineageRef RestrictRec(LineageRef r, VarId v, bool value,
+                         std::unordered_map<uint32_t, LineageRef>* memo);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Node, uint32_t, NodeKeyHash, NodeKeyEq> intern_;
+  std::vector<double> var_probs_;
+  std::vector<std::string> var_names_;
+  std::unordered_map<std::string, VarId> var_by_name_;
+  // Memoized sorted variable sets per node id.
+  std::vector<std::vector<VarId>> var_cache_;
+  // Probability memo lives here so SetVariableProbability can invalidate it.
+  std::unordered_map<uint32_t, double> prob_cache_;
+
+  LineageRef true_;
+  LineageRef false_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_LINEAGE_LINEAGE_H_

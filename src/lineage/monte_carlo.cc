@@ -1,0 +1,60 @@
+#include "lineage/monte_carlo.h"
+
+#include <cmath>
+
+namespace tpdb {
+
+MonteCarloEstimate MonteCarloEngine::Estimate(LineageRef r,
+                                              uint64_t samples) {
+  TPDB_CHECK(!r.is_null());
+  TPDB_CHECK_GT(samples, 0u);
+  const std::vector<VarId> vars = mgr_->Variables(r);
+  std::vector<bool> world(mgr_->num_variables(), false);
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < samples; ++i) {
+    for (const VarId v : vars)
+      world[v] = rng_.Bernoulli(mgr_->VariableProbability(v));
+    if (mgr_->Evaluate(r, world)) ++hits;
+  }
+  MonteCarloEstimate out;
+  out.samples = samples;
+  out.probability = static_cast<double>(hits) / static_cast<double>(samples);
+  // Bernoulli standard error; clamp away from zero so callers comparing
+  // against a target precision terminate even on degenerate formulas.
+  const double p = out.probability;
+  out.standard_error =
+      std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                static_cast<double>(samples));
+  return out;
+}
+
+MonteCarloEstimate MonteCarloEngine::EstimateToPrecision(
+    LineageRef r, double target_stderr, uint64_t max_samples) {
+  TPDB_CHECK_GT(target_stderr, 0.0);
+  uint64_t total = 0;
+  uint64_t hits = 0;
+  uint64_t batch = 1024;
+  const std::vector<VarId> vars = mgr_->Variables(r);
+  std::vector<bool> world(mgr_->num_variables(), false);
+  while (true) {
+    for (uint64_t i = 0; i < batch; ++i) {
+      for (const VarId v : vars)
+        world[v] = rng_.Bernoulli(mgr_->VariableProbability(v));
+      if (mgr_->Evaluate(r, world)) ++hits;
+    }
+    total += batch;
+    const double p = static_cast<double>(hits) / static_cast<double>(total);
+    const double se = std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                                static_cast<double>(total));
+    if (se <= target_stderr || total >= max_samples) {
+      MonteCarloEstimate out;
+      out.probability = p;
+      out.standard_error = se;
+      out.samples = total;
+      return out;
+    }
+    batch = std::min<uint64_t>(batch * 2, max_samples - total);
+  }
+}
+
+}  // namespace tpdb

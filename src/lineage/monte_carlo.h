@@ -1,0 +1,50 @@
+// Monte-Carlo probability estimation for lineage formulas.
+//
+// Exact probability computation (probability.h) is #P-hard in general and
+// falls back to Shannon expansion on entangled formulas; for lineages of
+// deeply nested queries a sampling estimate can be the only tractable
+// option. This estimator implements possible-world sampling — fixed-budget
+// and adaptive-to-precision — with standard-error reporting so callers can
+// decide when an estimate is good enough.
+#ifndef TPDB_LINEAGE_MONTE_CARLO_H_
+#define TPDB_LINEAGE_MONTE_CARLO_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "lineage/lineage.h"
+
+namespace tpdb {
+
+/// Result of a sampling run.
+struct MonteCarloEstimate {
+  double probability = 0.0;
+  /// Standard error of the estimate (σ/√n for the naive sampler).
+  double standard_error = 0.0;
+  uint64_t samples = 0;
+};
+
+/// Samples possible worlds over the formula's variables.
+class MonteCarloEngine {
+ public:
+  /// `manager` must outlive the engine.
+  MonteCarloEngine(LineageManager* manager, uint64_t seed = 42)
+      : mgr_(manager), rng_(seed) {}
+
+  /// Naive estimator: draws `samples` independent worlds (only over the
+  /// variables occurring in `r`) and returns the hit frequency.
+  MonteCarloEstimate Estimate(LineageRef r, uint64_t samples);
+
+  /// Adaptive estimator: keeps sampling until the standard error drops
+  /// below `target_stderr` (or `max_samples` is reached).
+  MonteCarloEstimate EstimateToPrecision(LineageRef r, double target_stderr,
+                                         uint64_t max_samples = 1 << 22);
+
+ private:
+  LineageManager* mgr_;
+  Random rng_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_LINEAGE_MONTE_CARLO_H_

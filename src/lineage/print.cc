@@ -1,0 +1,170 @@
+#include "lineage/print.h"
+
+#include <cctype>
+
+namespace tpdb {
+
+namespace {
+
+// Precedence levels for minimal parenthesisation: Or < And < Not/atom.
+int Precedence(LineageKind k) {
+  switch (k) {
+    case LineageKind::kOr:
+      return 1;
+    case LineageKind::kAnd:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+void Render(const LineageManager& mgr, LineageRef r, int parent_prec,
+            std::string* out) {
+  const LineageKind k = mgr.KindOf(r);
+  const int prec = Precedence(k);
+  const bool parens = prec < parent_prec;
+  if (parens) out->push_back('(');
+  switch (k) {
+    case LineageKind::kTrue:
+      out->append("true");
+      break;
+    case LineageKind::kFalse:
+      out->append("false");
+      break;
+    case LineageKind::kVar:
+      out->append(mgr.VariableName(mgr.VarOf(r)));
+      break;
+    case LineageKind::kNot:
+      out->append("¬");
+      Render(mgr, mgr.Left(r), 3, out);
+      break;
+    case LineageKind::kAnd:
+      Render(mgr, mgr.Left(r), 2, out);
+      out->append(" ∧ ");
+      Render(mgr, mgr.Right(r), 2, out);
+      break;
+    case LineageKind::kOr:
+      Render(mgr, mgr.Left(r), 1, out);
+      out->append(" ∨ ");
+      Render(mgr, mgr.Right(r), 1, out);
+      break;
+  }
+  if (parens) out->push_back(')');
+}
+
+// --- Recursive-descent parser -------------------------------------------
+
+struct Parser {
+  LineageManager* mgr;
+  const std::string& text;
+  size_t pos = 0;
+  Status error = Status::OK();
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n'))
+      ++pos;
+  }
+
+  // Consumes `token` (an operator, possibly multi-byte UTF-8) if present.
+  bool Consume(const char* token) {
+    SkipSpace();
+    const size_t len = std::char_traits<char>::length(token);
+    if (text.compare(pos, len, token) == 0) {
+      pos += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  LineageRef Fail(const std::string& msg) {
+    if (error.ok())
+      error = Status::InvalidArgument(msg + " at offset " +
+                                      std::to_string(pos) + " in '" + text +
+                                      "'");
+    return LineageRef::Null();
+  }
+
+  LineageRef ParseOr() {
+    LineageRef left = ParseAnd();
+    if (!error.ok()) return left;
+    while (Consume("∨") || Consume("|")) {
+      LineageRef right = ParseAnd();
+      if (!error.ok()) return right;
+      left = mgr->Or(left, right);
+    }
+    return left;
+  }
+
+  LineageRef ParseAnd() {
+    LineageRef left = ParseUnary();
+    if (!error.ok()) return left;
+    while (Consume("∧") || Consume("&")) {
+      LineageRef right = ParseUnary();
+      if (!error.ok()) return right;
+      left = mgr->And(left, right);
+    }
+    return left;
+  }
+
+  LineageRef ParseUnary() {
+    if (Consume("¬") || Consume("!")) {
+      LineageRef inner = ParseUnary();
+      if (!error.ok()) return inner;
+      return mgr->Not(inner);
+    }
+    return ParseAtom();
+  }
+
+  LineageRef ParseAtom() {
+    SkipSpace();
+    if (Consume("(")) {
+      LineageRef inner = ParseOr();
+      if (!error.ok()) return inner;
+      if (!Consume(")")) return Fail("expected ')'");
+      return inner;
+    }
+    // Identifier: [A-Za-z_][A-Za-z0-9_]*
+    const size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '_'))
+      ++pos;
+    if (pos == start) return Fail("expected identifier");
+    const std::string name = text.substr(start, pos - start);
+    if (name == "true") return mgr->True();
+    if (name == "false") return mgr->False();
+    StatusOr<VarId> v = mgr->FindVariable(name);
+    if (!v.ok()) {
+      error = v.status();
+      return LineageRef::Null();
+    }
+    return mgr->Var(*v);
+  }
+};
+
+}  // namespace
+
+std::string LineageToString(const LineageManager& mgr, LineageRef r) {
+  if (r.is_null()) return "-";
+  std::string out;
+  Render(mgr, r, 0, &out);
+  return out;
+}
+
+StatusOr<LineageRef> ParseLineage(LineageManager* mgr,
+                                  const std::string& text) {
+  Parser p{mgr, text};
+  LineageRef result = p.ParseOr();
+  if (!p.error.ok()) return p.error;
+  if (!p.AtEnd())
+    return Status::InvalidArgument("trailing input in lineage '" + text + "'");
+  return result;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,25 @@
+// Human-readable rendering and parsing of lineage formulas, using the
+// paper's notation: conjunction "∧" (or "&"), disjunction "∨" (or "|"),
+// negation "¬" (or "!"), e.g. "a1 ∧ ¬(b3 ∨ b2)".
+#ifndef TPDB_LINEAGE_PRINT_H_
+#define TPDB_LINEAGE_PRINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lineage/lineage.h"
+
+namespace tpdb {
+
+/// Renders `r` with variable display names and minimal parentheses.
+/// Null lineage renders as "-".
+std::string LineageToString(const LineageManager& mgr, LineageRef r);
+
+/// Parses a formula over *registered* variable names. Accepts both unicode
+/// (∧ ∨ ¬) and ASCII (& | !) connectives plus "true"/"false" and parens.
+StatusOr<LineageRef> ParseLineage(LineageManager* mgr,
+                                  const std::string& text);
+
+}  // namespace tpdb
+
+#endif  // TPDB_LINEAGE_PRINT_H_

@@ -1,0 +1,110 @@
+#include "lineage/probability.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+bool ProbabilityEngine::SharesVariables(LineageRef a, LineageRef b) {
+  const std::vector<VarId>& va = mgr_->Variables(a);
+  const std::vector<VarId>& vb = mgr_->Variables(b);
+  // Both sorted; linear merge-intersection test.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < va.size() && j < vb.size()) {
+    if (va[i] == vb[j]) return true;
+    if (va[i] < vb[j])
+      ++i;
+    else
+      ++j;
+  }
+  return false;
+}
+
+double ProbabilityEngine::Probability(LineageRef r) {
+  TPDB_CHECK(!r.is_null()) << "probability of null lineage";
+  return ProbRec(r);
+}
+
+double ProbabilityEngine::ProbRec(LineageRef r) {
+  auto it = mgr_->prob_cache_.find(r.id);
+  if (it != mgr_->prob_cache_.end()) return it->second;
+
+  double result = 0.0;
+  switch (mgr_->KindOf(r)) {
+    case LineageKind::kTrue:
+      result = 1.0;
+      break;
+    case LineageKind::kFalse:
+      result = 0.0;
+      break;
+    case LineageKind::kVar:
+      result = mgr_->VariableProbability(mgr_->VarOf(r));
+      break;
+    case LineageKind::kNot:
+      result = 1.0 - ProbRec(mgr_->Left(r));
+      break;
+    case LineageKind::kAnd:
+    case LineageKind::kOr: {
+      const LineageRef a = mgr_->Left(r);
+      const LineageRef b = mgr_->Right(r);
+      if (!SharesVariables(a, b)) {
+        const double pa = ProbRec(a);
+        const double pb = ProbRec(b);
+        result = mgr_->KindOf(r) == LineageKind::kAnd
+                     ? pa * pb
+                     : 1.0 - (1.0 - pa) * (1.0 - pb);
+      } else {
+        // Shannon expansion on a shared variable: co-factor on the first
+        // variable common to both children so the expansion actually
+        // decouples them.
+        const std::vector<VarId>& va = mgr_->Variables(a);
+        const std::vector<VarId>& vb = mgr_->Variables(b);
+        VarId pivot = 0;
+        bool found = false;
+        size_t i = 0;
+        size_t j = 0;
+        while (i < va.size() && j < vb.size()) {
+          if (va[i] == vb[j]) {
+            pivot = va[i];
+            found = true;
+            break;
+          }
+          if (va[i] < vb[j])
+            ++i;
+          else
+            ++j;
+        }
+        TPDB_CHECK(found);
+        ++shannon_expansions_;
+        const double pv = mgr_->VariableProbability(pivot);
+        const LineageRef hi = mgr_->Restrict(r, pivot, true);
+        const LineageRef lo = mgr_->Restrict(r, pivot, false);
+        result = pv * ProbRec(hi) + (1.0 - pv) * ProbRec(lo);
+      }
+      break;
+    }
+  }
+  mgr_->prob_cache_.emplace(r.id, result);
+  return result;
+}
+
+double ProbabilityEngine::BruteForceProbability(LineageRef r) {
+  const std::vector<VarId> vars = mgr_->Variables(r);  // copy: arena may grow
+  TPDB_CHECK_LE(vars.size(), 24u) << "brute force: too many variables";
+  std::vector<bool> assignment(mgr_->num_variables(), false);
+  double total = 0.0;
+  const uint64_t limit = 1ull << vars.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    double world = 1.0;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      const bool value = (mask >> i) & 1;
+      assignment[vars[i]] = value;
+      const double pv = mgr_->VariableProbability(vars[i]);
+      world *= value ? pv : 1.0 - pv;
+    }
+    if (mgr_->Evaluate(r, assignment)) total += world;
+  }
+  return total;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,10 @@
+#include "temporal/interval.h"
+
+namespace tpdb {
+
+std::string Interval::ToString() const {
+  if (empty()) return "[)";
+  return "[" + std::to_string(start) + "," + std::to_string(end) + ")";
+}
+
+}  // namespace tpdb

@@ -1,0 +1,79 @@
+// Half-open time intervals [start, end) over an integer (chronon) timeline,
+// the temporal model used by the paper (e.g. [7,10) = days 7, 8, 9).
+#ifndef TPDB_TEMPORAL_INTERVAL_H_
+#define TPDB_TEMPORAL_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace tpdb {
+
+/// Discrete time point (chronon).
+using TimePoint = int64_t;
+
+/// Half-open interval [start, end). An interval is valid iff start < end;
+/// the default-constructed interval is the canonical empty interval.
+struct Interval {
+  TimePoint start = 0;
+  TimePoint end = 0;
+
+  Interval() = default;
+  Interval(TimePoint s, TimePoint e) : start(s), end(e) {}
+
+  /// Number of chronons covered.
+  int64_t duration() const { return end > start ? end - start : 0; }
+
+  bool empty() const { return start >= end; }
+
+  /// True iff time point t lies inside [start, end).
+  bool Contains(TimePoint t) const { return t >= start && t < end; }
+
+  /// True iff `other` is fully contained in this interval.
+  bool Contains(const Interval& other) const {
+    return !other.empty() && other.start >= start && other.end <= end;
+  }
+
+  /// True iff the two intervals share at least one chronon.
+  bool Overlaps(const Interval& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  /// True iff this interval ends exactly where `other` starts (meets).
+  bool Meets(const Interval& other) const { return end == other.start; }
+
+  /// Intersection; empty interval if disjoint.
+  Interval Intersect(const Interval& other) const {
+    const TimePoint s = start > other.start ? start : other.start;
+    const TimePoint e = end < other.end ? end : other.end;
+    return s < e ? Interval(s, e) : Interval();
+  }
+
+  /// Smallest interval containing both (only meaningful if they touch).
+  Interval Span(const Interval& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return Interval(start < other.start ? start : other.start,
+                    end > other.end ? end : other.end);
+  }
+
+  bool operator==(const Interval& other) const {
+    if (empty() && other.empty()) return true;
+    return start == other.start && end == other.end;
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  /// Lexicographic (start, end) order; used by sort-based operators.
+  bool operator<(const Interval& other) const {
+    if (start != other.start) return start < other.start;
+    return end < other.end;
+  }
+
+  /// Renders as "[s,e)".
+  std::string ToString() const;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,94 @@
+#include "temporal/timeline.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+std::vector<Interval> Gaps(const Interval& domain,
+                           std::vector<Interval> covered) {
+  std::vector<Interval> gaps;
+  if (domain.empty()) return gaps;
+  // Clip to domain and drop empties.
+  std::vector<Interval> clipped;
+  clipped.reserve(covered.size());
+  for (const Interval& iv : covered) {
+    Interval c = iv.Intersect(domain);
+    if (!c.empty()) clipped.push_back(c);
+  }
+  std::sort(clipped.begin(), clipped.end());
+  TimePoint cur = domain.start;
+  for (const Interval& iv : clipped) {
+    if (iv.start > cur) gaps.emplace_back(cur, iv.start);
+    cur = std::max(cur, iv.end);
+  }
+  if (cur < domain.end) gaps.emplace_back(cur, domain.end);
+  return gaps;
+}
+
+std::vector<Interval> CoveredRuns(const Interval& domain,
+                                  std::vector<Interval> covered) {
+  std::vector<Interval> runs;
+  if (domain.empty()) return runs;
+  std::vector<Interval> clipped;
+  clipped.reserve(covered.size());
+  for (const Interval& iv : covered) {
+    Interval c = iv.Intersect(domain);
+    if (!c.empty()) clipped.push_back(c);
+  }
+  return Coalesce(std::move(clipped));
+}
+
+bool Covers(const Interval& domain, std::vector<Interval> cover) {
+  return Gaps(domain, std::move(cover)).empty();
+}
+
+std::vector<Interval> Coalesce(std::vector<Interval> intervals) {
+  std::vector<Interval> out;
+  intervals.erase(
+      std::remove_if(intervals.begin(), intervals.end(),
+                     [](const Interval& iv) { return iv.empty(); }),
+      intervals.end());
+  if (intervals.empty()) return out;
+  std::sort(intervals.begin(), intervals.end());
+  Interval cur = intervals.front();
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    const Interval& iv = intervals[i];
+    if (iv.start <= cur.end) {
+      cur.end = std::max(cur.end, iv.end);
+    } else {
+      out.push_back(cur);
+      cur = iv;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool PairwiseDisjoint(std::vector<Interval> intervals) {
+  intervals.erase(
+      std::remove_if(intervals.begin(), intervals.end(),
+                     [](const Interval& iv) { return iv.empty(); }),
+      intervals.end());
+  std::sort(intervals.begin(), intervals.end());
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].start < intervals[i - 1].end) return false;
+  }
+  return true;
+}
+
+std::vector<TimePoint> EventPoints(const std::vector<Interval>& intervals,
+                                   const Interval* clip_to) {
+  std::vector<TimePoint> pts;
+  pts.reserve(intervals.size() * 2);
+  for (const Interval& iv : intervals) {
+    Interval c = clip_to != nullptr ? iv.Intersect(*clip_to) : iv;
+    if (c.empty()) continue;
+    pts.push_back(c.start);
+    pts.push_back(c.end);
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+}  // namespace tpdb

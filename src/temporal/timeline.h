@@ -1,0 +1,75 @@
+// Timeline utilities: gap computation, coverage tests, coalescing, and the
+// endpoint priority queue used by the LAWAN sweep.
+#ifndef TPDB_TEMPORAL_TIMELINE_H_
+#define TPDB_TEMPORAL_TIMELINE_H_
+
+#include <queue>
+#include <vector>
+
+#include "temporal/interval.h"
+
+namespace tpdb {
+
+/// Returns the maximal subintervals of `domain` NOT covered by any interval
+/// in `covered`. `covered` need not be sorted or disjoint. This is the
+/// declarative specification of what LAWAU computes incrementally.
+std::vector<Interval> Gaps(const Interval& domain,
+                           std::vector<Interval> covered);
+
+/// Returns the maximal subintervals of `domain` covered by at least one
+/// interval in `covered` (the complement of Gaps within the domain).
+std::vector<Interval> CoveredRuns(const Interval& domain,
+                                  std::vector<Interval> covered);
+
+/// True iff every chronon of `domain` lies in some interval of `cover`.
+bool Covers(const Interval& domain, std::vector<Interval> cover);
+
+/// Merges adjacent/overlapping intervals of a set (classic coalescing).
+/// Input need not be sorted; output is sorted and pairwise disjoint with
+/// no two adjacent intervals meeting.
+std::vector<Interval> Coalesce(std::vector<Interval> intervals);
+
+/// True iff the intervals are pairwise disjoint (share no chronon).
+bool PairwiseDisjoint(std::vector<Interval> intervals);
+
+/// Sorted distinct event points (starts and ends) of a set of intervals,
+/// optionally clipped to a domain. Consecutive events delimit the maximal
+/// runs over which the set of valid intervals is constant.
+std::vector<TimePoint> EventPoints(const std::vector<Interval>& intervals,
+                                   const Interval* clip_to = nullptr);
+
+/// Min-heap of (ending point, payload) pairs: the priority queue the LAWAN
+/// sweep uses to find the next ending point among the valid negative tuples.
+template <typename Payload>
+class EndpointQueue {
+ public:
+  void Push(TimePoint end, Payload payload) {
+    heap_.push(Entry{end, std::move(payload)});
+  }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  TimePoint MinEnd() const {
+    TPDB_CHECK(!heap_.empty());
+    return heap_.top().end;
+  }
+  /// Pops and returns the payload of the minimal entry.
+  Payload Pop() {
+    TPDB_CHECK(!heap_.empty());
+    Payload p = heap_.top().payload;
+    heap_.pop();
+    return p;
+  }
+  void Clear() { heap_ = {}; }
+
+ private:
+  struct Entry {
+    TimePoint end;
+    Payload payload;
+    bool operator>(const Entry& other) const { return end > other.end; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_TEMPORAL_TIMELINE_H_

@@ -1,0 +1,81 @@
+#include "tp/aggregate.h"
+
+#include <algorithm>
+
+#include "lineage/probability.h"
+#include "temporal/timeline.h"
+
+namespace tpdb {
+
+StatusOr<std::vector<TemporalAggregateRow>> TemporalAggregate(
+    const TPRelation& rel, const TemporalAggregateOptions& options) {
+  std::vector<TemporalAggregateRow> out;
+  if (rel.empty()) return out;
+
+  // Collect tuple intervals (clipped to the window, if any).
+  const bool clipped = !options.window.empty();
+  std::vector<Interval> intervals;
+  intervals.reserve(rel.size());
+  for (const TPTuple& t : rel.tuples()) {
+    const Interval iv =
+        clipped ? t.interval.Intersect(options.window) : t.interval;
+    intervals.push_back(iv);  // keep positional alignment with tuples
+  }
+
+  const std::vector<TimePoint> events = EventPoints(intervals);
+  if (events.size() < 2) return out;
+
+  // Sweep: maintain the set of valid tuple indices between events.
+  // Index tuples by start for incremental insertion.
+  std::vector<uint32_t> by_start(rel.size());
+  for (uint32_t i = 0; i < rel.size(); ++i) by_start[i] = i;
+  std::sort(by_start.begin(), by_start.end(),
+            [&intervals](uint32_t a, uint32_t b) {
+              return intervals[a].start < intervals[b].start;
+            });
+
+  ProbabilityEngine prob(rel.manager());
+  LineageManager* manager = rel.manager();
+  std::vector<uint32_t> active;
+  size_t next = 0;
+  for (size_t e = 0; e + 1 < events.size(); ++e) {
+    const Interval run(events[e], events[e + 1]);
+    // Add tuples starting here; drop tuples that ended.
+    while (next < by_start.size() &&
+           intervals[by_start[next]].start <= run.start) {
+      if (!intervals[by_start[next]].empty()) active.push_back(by_start[next]);
+      ++next;
+    }
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&intervals, &run](uint32_t i) {
+                                  return intervals[i].end <= run.start;
+                                }),
+                 active.end());
+
+    if (active.empty() && !options.include_empty_runs) continue;
+
+    TemporalAggregateRow row;
+    row.interval = run;
+    row.valid_tuples = active.size();
+    if (!active.empty()) {
+      std::vector<LineageRef> lineages;
+      lineages.reserve(active.size());
+      for (const uint32_t i : active) {
+        const LineageRef lam = rel.tuple(i).lineage;
+        row.expected_count += prob.Probability(lam);
+        lineages.push_back(lam);
+      }
+      row.prob_any = prob.Probability(manager->OrAll(lineages));
+      row.prob_none = 1.0 - row.prob_any;
+    } else {
+      row.prob_any = 0.0;
+      row.prob_none = 1.0;
+    }
+    out.push_back(std::move(row));
+  }
+  // Runs are maximal by construction: EventPoints ignores empty (clipped
+  // away) intervals, so every event changes the valid set.
+  return out;
+}
+
+}  // namespace tpdb

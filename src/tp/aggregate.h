@@ -1,0 +1,47 @@
+// Probabilistic temporal aggregation over TP relations.
+//
+// The classic sequenced aggregate: partition the timeline into maximal
+// intervals over which the set of valid tuples is constant and report, per
+// interval, an aggregate of the valid tuples. In a probabilistic database
+// the natural COUNT is the *expected* count (sum of tuple probabilities,
+// by linearity of expectation — exact even for correlated lineages), and
+// the probability that at least one / none of the valid tuples is true.
+#ifndef TPDB_TP_AGGREGATE_H_
+#define TPDB_TP_AGGREGATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// One run of the aggregate timeline.
+struct TemporalAggregateRow {
+  Interval interval;
+  /// Number of valid tuples over the interval.
+  size_t valid_tuples = 0;
+  /// Expected number of true tuples: Σ Pr[λi] (exact).
+  double expected_count = 0.0;
+  /// Probability that at least one valid tuple is true: Pr[∨ λi] (exact).
+  double prob_any = 0.0;
+  /// Probability that no valid tuple is true (= 1 - prob_any).
+  double prob_none = 1.0;
+};
+
+/// Options for TemporalAggregate.
+struct TemporalAggregateOptions {
+  /// Optional restriction of the timeline (empty = full extent).
+  Interval window;
+  /// Emit runs with zero valid tuples (gaps) too?
+  bool include_empty_runs = false;
+};
+
+/// Computes the aggregate timeline of `rel` with an event sweep over the
+/// tuples' endpoints: O(n log n + runs · cost(probability)).
+StatusOr<std::vector<TemporalAggregateRow>> TemporalAggregate(
+    const TPRelation& rel, const TemporalAggregateOptions& options = {});
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_AGGREGATE_H_

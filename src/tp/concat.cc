@@ -1,0 +1,24 @@
+#include "tp/concat.h"
+
+namespace tpdb {
+
+LineageRef ConcatWindowLineage(LineageManager* manager, WindowClass cls,
+                               LineageRef lin_r, LineageRef lin_s) {
+  TPDB_CHECK(manager != nullptr);
+  TPDB_CHECK(!lin_r.is_null()) << "window without λr";
+  switch (cls) {
+    case WindowClass::kOverlapping:
+      TPDB_CHECK(!lin_s.is_null()) << "overlapping window without λs";
+      return manager->And(lin_r, lin_s);
+    case WindowClass::kUnmatched:
+      TPDB_CHECK(lin_s.is_null()) << "unmatched window with λs";
+      return lin_r;
+    case WindowClass::kNegating:
+      TPDB_CHECK(!lin_s.is_null()) << "negating window without λs";
+      return manager->AndNot(lin_r, lin_s);
+  }
+  TPDB_CHECK(false) << "unknown window class";
+  return LineageRef::Null();
+}
+
+}  // namespace tpdb

@@ -1,0 +1,20 @@
+// Lineage-concatenation functions (Section II): each window class maps to a
+// unique function combining λr and λs into the output tuple's lineage:
+//   overlapping -> and(λr, λs)        = λr ∧ λs
+//   negating    -> andNot(λr, λs)     = λr ∧ ¬λs
+//   unmatched   -> identity on λr     (λs is null)
+#ifndef TPDB_TP_CONCAT_H_
+#define TPDB_TP_CONCAT_H_
+
+#include "lineage/lineage.h"
+#include "tp/window.h"
+
+namespace tpdb {
+
+/// Applies the class-appropriate concatenation function.
+LineageRef ConcatWindowLineage(LineageManager* manager, WindowClass cls,
+                               LineageRef lin_r, LineageRef lin_s);
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_CONCAT_H_

@@ -1,0 +1,134 @@
+#include "tp/lawan.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+Lawan::Lawan(OperatorPtr child, WindowLayout layout, LineageManager* manager)
+    : child_(std::move(child)), layout_(layout), manager_(manager) {
+  TPDB_CHECK(child_ != nullptr);
+  TPDB_CHECK(manager_ != nullptr);
+}
+
+void Lawan::Open() {
+  child_->Open();
+  in_group_ = false;
+  input_done_ = false;
+  pending_.clear();
+  queue_.Clear();
+  active_.clear();
+}
+
+void Lawan::EmitNegating(TimePoint from, TimePoint to) {
+  if (from >= to || active_.empty()) return;
+  std::vector<LineageRef> lineages;
+  lineages.reserve(active_.size());
+  for (const auto& [end, lin] : active_) lineages.push_back(lin);
+  const LineageRef lam_s = manager_->OrAll(lineages);
+
+  Row neg = group_prototype_;
+  for (int i = 0; i < layout_.num_s_facts(); ++i)
+    neg[layout_.s_fact(i)] = Datum::Null();
+  neg[layout_.s_ts()] = Datum::Null();
+  neg[layout_.s_te()] = Datum::Null();
+  neg[layout_.s_lin()] = Datum(lam_s);
+  neg[layout_.w_ts()] = Datum(from);
+  neg[layout_.w_te()] = Datum(to);
+  neg[layout_.w_class()] = Datum(static_cast<int64_t>(WindowClass::kNegating));
+  pending_.push_back(std::move(neg));
+}
+
+void Lawan::AdvanceSweep(TimePoint target) {
+  // Case 2 of Fig. 4: the next ending point in the queue bounds the window;
+  // case 3: the target (an upcoming starting point or the group end) does.
+  while (!queue_.empty() && queue_.MinEnd() <= target) {
+    const TimePoint bound = queue_.MinEnd();
+    EmitNegating(pos_, bound);
+    pos_ = std::max(pos_, bound);
+    // Remove every s tuple ending at `bound` from the valid set.
+    while (!queue_.empty() && queue_.MinEnd() == bound) {
+      queue_.Pop();
+    }
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [bound](const auto& e) {
+                                   return e.first == bound;
+                                 }),
+                  active_.end());
+  }
+  if (target > pos_) {
+    EmitNegating(pos_, target);
+    pos_ = target;
+  }
+}
+
+void Lawan::FinishGroup() {
+  if (!in_group_) return;
+  if (!queue_.empty()) {
+    // Drain: advance past the last ending point.
+    TimePoint last = queue_.MinEnd();
+    // Find the maximum ending point among active tuples.
+    for (const auto& [end, lin] : active_) last = std::max(last, end);
+    AdvanceSweep(last);
+  }
+  TPDB_DCHECK(active_.empty());
+  queue_.Clear();
+  active_.clear();
+  in_group_ = false;
+}
+
+void Lawan::Consume(Row row) {
+  const int64_t rid = layout_.RidOf(row);
+  const WindowClass cls = layout_.ClassOf(row);
+  const Interval w = layout_.WindowOf(row);
+
+  if (!in_group_ || rid != group_rid_) {
+    FinishGroup();
+    in_group_ = true;
+    group_rid_ = rid;
+    group_prototype_ = row;
+    pos_ = w.start;
+  }
+
+  switch (cls) {
+    case WindowClass::kUnmatched:
+      // Case 1 of Fig. 4: copy; the valid set is necessarily empty over an
+      // unmatched window, so the sweep just moves past it.
+      AdvanceSweep(w.start);
+      pos_ = std::max(pos_, w.end);
+      pending_.push_back(std::move(row));
+      break;
+    case WindowClass::kOverlapping: {
+      // A new s tuple starts being valid at w.start: emit the negating
+      // window ending at this starting point (if any), then register the
+      // tuple's ending point and lineage in the queue.
+      AdvanceSweep(w.start);
+      const LineageRef lin_s = layout_.SLinOf(row);
+      TPDB_DCHECK(!lin_s.is_null());
+      queue_.Push(w.end, lin_s);
+      active_.emplace_back(w.end, lin_s);
+      pending_.push_back(std::move(row));
+      break;
+    }
+    case WindowClass::kNegating:
+      TPDB_CHECK(false) << "LAWAN input already contains negating windows";
+      break;
+  }
+}
+
+bool Lawan::Next(Row* out) {
+  while (pending_.empty()) {
+    if (input_done_) return false;
+    Row row;
+    if (child_->Next(&row)) {
+      Consume(std::move(row));
+    } else {
+      input_done_ = true;
+      FinishGroup();
+    }
+  }
+  *out = std::move(pending_.front());
+  pending_.pop_front();
+  return true;
+}
+
+}  // namespace tpdb

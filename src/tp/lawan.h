@@ -1,0 +1,67 @@
+// LAWAN (Lineage-Aware Window Algorithm — Negating), Section III-C.
+//
+// Extends WUO (overlapping + unmatched windows, the LAWAU output) with the
+// negating windows. Within each rid group (ordered by window start), the
+// sweep visits every starting point of an overlapping window and every
+// ending point recorded in a priority queue of the currently valid s
+// tuples; between two consecutive event points with a non-empty valid set
+// it emits a negating window whose λs is the disjunction of the lineages in
+// the queue (the three cases of Fig. 4). Unmatched and overlapping windows
+// are copied to the output interleaved with the created negating windows.
+//
+// Streaming: per-group state is the priority queue of (ending point, λ)
+// plus the sweep position — no tuple replication, no re-scan of the input.
+#ifndef TPDB_TP_LAWAN_H_
+#define TPDB_TP_LAWAN_H_
+
+#include <deque>
+#include <vector>
+
+#include "engine/operator.h"
+#include "lineage/lineage.h"
+#include "temporal/timeline.h"
+#include "tp/window.h"
+
+namespace tpdb {
+
+/// Pipelined computation of WUON = WUO ∪ WN from the LAWAU output.
+class Lawan final : public Operator {
+ public:
+  /// `child` must produce canonical window rows grouped by rid, ordered by
+  /// window start within each group. `manager` builds the λs disjunctions.
+  Lawan(OperatorPtr child, WindowLayout layout, LineageManager* manager);
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  /// Advances the sweep to `target`, draining queue entries that end before
+  /// it and emitting negating windows over every run with a non-empty
+  /// valid set. Pass `target` past the last ending point to finish a group.
+  void AdvanceSweep(TimePoint target);
+  void EmitNegating(TimePoint from, TimePoint to);
+  void FinishGroup();
+  void Consume(Row row);
+
+  OperatorPtr child_;
+  WindowLayout layout_;
+  LineageManager* manager_;
+
+  bool in_group_ = false;
+  int64_t group_rid_ = -1;
+  Row group_prototype_;
+  TimePoint pos_ = 0;  // sweep position within the group
+  // Ending points of the valid s tuples; payload = lineage id.
+  EndpointQueue<LineageRef> queue_;
+  // Lineages of the currently valid s tuples (parallel to queue contents).
+  std::vector<std::pair<TimePoint, LineageRef>> active_;
+
+  bool input_done_ = false;
+  std::deque<Row> pending_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_LAWAN_H_

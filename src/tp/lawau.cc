@@ -1,0 +1,89 @@
+#include "tp/lawau.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+Lawau::Lawau(OperatorPtr child, WindowLayout layout)
+    : child_(std::move(child)), layout_(layout) {
+  TPDB_CHECK(child_ != nullptr);
+}
+
+void Lawau::Open() {
+  child_->Open();
+  in_group_ = false;
+  input_done_ = false;
+  pending_.clear();
+}
+
+void Lawau::EmitUnmatched(TimePoint from, TimePoint to) {
+  if (from >= to) return;
+  Row gap = group_prototype_;
+  // Null out the s side; keep rid, r facts, r interval and λr.
+  for (int i = 0; i < layout_.num_s_facts(); ++i)
+    gap[layout_.s_fact(i)] = Datum::Null();
+  gap[layout_.s_ts()] = Datum::Null();
+  gap[layout_.s_te()] = Datum::Null();
+  gap[layout_.s_lin()] = Datum::Null();
+  gap[layout_.w_ts()] = Datum(from);
+  gap[layout_.w_te()] = Datum(to);
+  gap[layout_.w_class()] =
+      Datum(static_cast<int64_t>(WindowClass::kUnmatched));
+  pending_.push_back(std::move(gap));
+}
+
+void Lawau::FinishGroup() {
+  if (!in_group_) return;
+  // Case 5 of Fig. 3: the r tuple extends past the last overlapping window.
+  EmitUnmatched(covered_end_, group_r_interval_.end);
+  in_group_ = false;
+}
+
+void Lawau::Consume(Row row) {
+  const int64_t rid = layout_.RidOf(row);
+  const WindowClass cls = layout_.ClassOf(row);
+  const Interval w = layout_.WindowOf(row);
+
+  if (!in_group_ || rid != group_rid_) {
+    FinishGroup();
+    in_group_ = true;
+    group_rid_ = rid;
+    group_r_interval_ = layout_.RIntervalOf(row);
+    group_prototype_ = row;
+    covered_end_ = group_r_interval_.start;
+  }
+
+  if (cls == WindowClass::kUnmatched) {
+    // Full-interval unmatched window from the overlap join (the r tuple
+    // matched nothing); copy through — it already covers the whole tuple.
+    covered_end_ = std::max(covered_end_, w.end);
+    pending_.push_back(std::move(row));
+    return;
+  }
+
+  TPDB_DCHECK(cls == WindowClass::kOverlapping);
+  // Cases 1-4 of Fig. 3: a gap before this overlapping window is an
+  // unmatched window; overlapping windows may themselves overlap, so the
+  // sweep tracks the maximal covered end.
+  if (w.start > covered_end_) EmitUnmatched(covered_end_, w.start);
+  covered_end_ = std::max(covered_end_, w.end);
+  pending_.push_back(std::move(row));
+}
+
+bool Lawau::Next(Row* out) {
+  while (pending_.empty()) {
+    if (input_done_) return false;
+    Row row;
+    if (child_->Next(&row)) {
+      Consume(std::move(row));
+    } else {
+      input_done_ = true;
+      FinishGroup();
+    }
+  }
+  *out = std::move(pending_.front());
+  pending_.pop_front();
+  return true;
+}
+
+}  // namespace tpdb

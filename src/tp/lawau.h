@@ -1,0 +1,57 @@
+// LAWAU (Lineage-Aware Window Algorithm — Unmatched), Section III-B.
+//
+// Extends the overlap-join result with the *remaining* unmatched windows:
+// the maximal subintervals of each r tuple during which no s tuple is valid
+// or satisfies θ. The input arrives grouped by rid with windows ordered by
+// start (the overlap join produces exactly this order), so a single sweep
+// per group suffices: existing windows are copied through, and every gap
+// between the covered prefix and the next overlapping window — and after
+// the last one — becomes an unmatched window (the five cases of Fig. 3).
+//
+// The operator is streaming: state is one group's sweep position plus a
+// small output queue; there is no tuple replication.
+#ifndef TPDB_TP_LAWAU_H_
+#define TPDB_TP_LAWAU_H_
+
+#include <deque>
+
+#include "engine/operator.h"
+#include "tp/window.h"
+
+namespace tpdb {
+
+/// Pipelined computation of WUO = WO ∪ WU from the overlap-join output.
+class Lawau final : public Operator {
+ public:
+  /// `child` must produce canonical window rows (WindowLayout) grouped by
+  /// rid and ordered by window start within each group.
+  Lawau(OperatorPtr child, WindowLayout layout);
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  /// Emits the unmatched window [from, to) for the current group.
+  void EmitUnmatched(TimePoint from, TimePoint to);
+  /// Finishes the current group: emits the trailing gap, if any.
+  void FinishGroup();
+  /// Feeds one input row into the sweep.
+  void Consume(Row row);
+
+  OperatorPtr child_;
+  WindowLayout layout_;
+
+  bool in_group_ = false;
+  int64_t group_rid_ = -1;
+  Interval group_r_interval_;
+  Row group_prototype_;   // a row of the group; template for gap windows
+  TimePoint covered_end_ = 0;  // sweep position: max end of seen windows
+  bool input_done_ = false;
+  std::deque<Row> pending_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_LAWAU_H_

@@ -1,0 +1,208 @@
+#include "tp/operators.h"
+
+#include "baseline/ta_join.h"
+#include "tp/concat.h"
+
+namespace tpdb {
+
+const char* TPJoinKindName(TPJoinKind kind) {
+  switch (kind) {
+    case TPJoinKind::kInner:
+      return "inner";
+    case TPJoinKind::kAnti:
+      return "anti";
+    case TPJoinKind::kLeftOuter:
+      return "left-outer";
+    case TPJoinKind::kRightOuter:
+      return "right-outer";
+    case TPJoinKind::kFullOuter:
+      return "full-outer";
+    case TPJoinKind::kSemi:
+      return "semi";
+  }
+  return "?";
+}
+
+Schema TPJoinOutputSchema(TPJoinKind kind, const Schema& r_facts,
+                          const Schema& s_facts) {
+  Schema out = r_facts;
+  if (kind == TPJoinKind::kAnti || kind == TPJoinKind::kSemi) return out;
+  for (const Column& c : s_facts.columns()) {
+    Column copy = c;
+    if (out.IndexOf(copy.name) >= 0) copy.name += "_s";
+    out.AddColumn(std::move(copy));
+  }
+  return out;
+}
+
+namespace {
+
+/// Which window classes of a pipeline feed the output, and whether the
+/// pipeline ran with swapped inputs (s on the left).
+struct EmitSpec {
+  bool keep_overlapping = true;
+  bool keep_unmatched = true;
+  bool keep_negating = true;
+  bool swapped = false;       // pipeline fact_r belongs to the s relation
+  bool drop_s_facts = false;  // anti/semi joins keep only the r facts
+  // Semi join: negating windows concatenate with ∧ of the λs disjunction
+  // (λr ∧ (λs1 ∨ …)) instead of the default andNot.
+  bool semi_concat = false;
+};
+
+/// Streams the plan and appends one output tuple per kept window.
+Status EmitWindows(WindowPlan* plan, LineageManager* manager,
+                   const EmitSpec& spec, TPRelation* result) {
+  const WindowLayout& layout = plan->layout;
+  plan->root->Open();
+  Row row;
+  while (plan->root->Next(&row)) {
+    const WindowClass cls = layout.ClassOf(row);
+    if ((cls == WindowClass::kOverlapping && !spec.keep_overlapping) ||
+        (cls == WindowClass::kUnmatched && !spec.keep_unmatched) ||
+        (cls == WindowClass::kNegating && !spec.keep_negating))
+      continue;
+    const LineageRef lineage =
+        spec.semi_concat && cls == WindowClass::kNegating
+            ? manager->And(layout.RLinOf(row), layout.SLinOf(row))
+            : ConcatWindowLineage(manager, cls, layout.RLinOf(row),
+                                  layout.SLinOf(row));
+    Row fact;
+    if (spec.drop_s_facts) {
+      fact.reserve(layout.num_r_facts());
+      for (int i = 0; i < layout.num_r_facts(); ++i)
+        fact.push_back(row[layout.r_fact(i)]);
+    } else if (!spec.swapped) {
+      fact.reserve(layout.num_r_facts() + layout.num_s_facts());
+      for (int i = 0; i < layout.num_r_facts(); ++i)
+        fact.push_back(row[layout.r_fact(i)]);
+      for (int i = 0; i < layout.num_s_facts(); ++i)
+        fact.push_back(row[layout.s_fact(i)]);
+    } else {
+      // The pipeline ran on (s, r): its r side is the join's s relation.
+      fact.reserve(layout.num_r_facts() + layout.num_s_facts());
+      for (int i = 0; i < layout.num_s_facts(); ++i)
+        fact.push_back(row[layout.s_fact(i)]);
+      for (int i = 0; i < layout.num_r_facts(); ++i)
+        fact.push_back(row[layout.r_fact(i)]);
+    }
+    TPDB_RETURN_IF_ERROR(
+        result->AppendDerived(std::move(fact), layout.WindowOf(row), lineage));
+  }
+  plan->root->Close();
+  return Status::OK();
+}
+
+StatusOr<TPRelation> LineageAwareJoin(TPJoinKind kind, const TPRelation& r,
+                                      const TPRelation& s,
+                                      const JoinCondition& theta,
+                                      const TPJoinOptions& options,
+                                      std::string name) {
+  LineageManager* manager = r.manager();
+  TPRelation result(std::move(name),
+                    TPJoinOutputSchema(kind, r.fact_schema(), s.fact_schema()),
+                    manager);
+
+  const WindowStage stage =
+      kind == TPJoinKind::kInner ? WindowStage::kOverlap : WindowStage::kWuon;
+
+  if (kind != TPJoinKind::kRightOuter) {
+    StatusOr<WindowPlan> plan =
+        MakeWindowPlan(r, s, theta, stage, options.overlap_algorithm);
+    if (!plan.ok()) return plan.status();
+    EmitSpec spec;
+    spec.swapped = false;
+    switch (kind) {
+      case TPJoinKind::kInner:
+        spec.keep_unmatched = false;
+        spec.keep_negating = false;
+        break;
+      case TPJoinKind::kAnti:
+        spec.keep_overlapping = false;
+        spec.drop_s_facts = true;
+        break;
+      case TPJoinKind::kSemi:
+        spec.keep_overlapping = false;
+        spec.keep_unmatched = false;
+        spec.drop_s_facts = true;
+        spec.semi_concat = true;
+        break;
+      default:
+        break;
+    }
+    TPDB_RETURN_IF_ERROR(EmitWindows(&*plan, manager, spec, &result));
+  }
+
+  if (kind == TPJoinKind::kRightOuter || kind == TPJoinKind::kFullOuter) {
+    StatusOr<WindowPlan> plan = MakeWindowPlan(
+        s, r, SwapJoinCondition(theta), stage, options.overlap_algorithm);
+    if (!plan.ok()) return plan.status();
+    EmitSpec spec;
+    spec.swapped = true;
+    // WO(r;s,θ) = WO(s;r,θ): the full-outer join already emitted the
+    // overlapping windows from the first pipeline.
+    spec.keep_overlapping = kind == TPJoinKind::kRightOuter;
+    TPDB_RETURN_IF_ERROR(EmitWindows(&*plan, manager, spec, &result));
+  }
+
+  return result;
+}
+
+}  // namespace
+
+StatusOr<TPRelation> TPJoin(TPJoinKind kind, const TPRelation& r,
+                            const TPRelation& s, const JoinCondition& theta,
+                            const TPJoinOptions& options) {
+  if (r.manager() != s.manager())
+    return Status::InvalidArgument(
+        "TP relations must share a LineageManager");
+  if (options.validate_inputs) {
+    TPDB_RETURN_IF_ERROR(r.Validate());
+    TPDB_RETURN_IF_ERROR(s.Validate());
+  }
+  std::string name = options.result_name;
+  if (name.empty())
+    name = r.name() + "_" + TPJoinKindName(kind) + "_" + s.name();
+
+  switch (options.strategy) {
+    case JoinStrategy::kLineageAware:
+      return LineageAwareJoin(kind, r, s, theta, options, std::move(name));
+    case JoinStrategy::kTemporalAlignment:
+      return TemporalAlignmentJoin(kind, r, s, theta, std::move(name));
+  }
+  return Status::Internal("unknown join strategy");
+}
+
+StatusOr<TPRelation> TPInnerJoin(const TPRelation& r, const TPRelation& s,
+                                 const JoinCondition& theta,
+                                 const TPJoinOptions& options) {
+  return TPJoin(TPJoinKind::kInner, r, s, theta, options);
+}
+StatusOr<TPRelation> TPAntiJoin(const TPRelation& r, const TPRelation& s,
+                                const JoinCondition& theta,
+                                const TPJoinOptions& options) {
+  return TPJoin(TPJoinKind::kAnti, r, s, theta, options);
+}
+StatusOr<TPRelation> TPLeftOuterJoin(const TPRelation& r, const TPRelation& s,
+                                     const JoinCondition& theta,
+                                     const TPJoinOptions& options) {
+  return TPJoin(TPJoinKind::kLeftOuter, r, s, theta, options);
+}
+StatusOr<TPRelation> TPRightOuterJoin(const TPRelation& r,
+                                      const TPRelation& s,
+                                      const JoinCondition& theta,
+                                      const TPJoinOptions& options) {
+  return TPJoin(TPJoinKind::kRightOuter, r, s, theta, options);
+}
+StatusOr<TPRelation> TPFullOuterJoin(const TPRelation& r, const TPRelation& s,
+                                     const JoinCondition& theta,
+                                     const TPJoinOptions& options) {
+  return TPJoin(TPJoinKind::kFullOuter, r, s, theta, options);
+}
+StatusOr<TPRelation> TPSemiJoin(const TPRelation& r, const TPRelation& s,
+                                const JoinCondition& theta,
+                                const TPJoinOptions& options) {
+  return TPJoin(TPJoinKind::kSemi, r, s, theta, options);
+}
+
+}  // namespace tpdb

@@ -1,0 +1,221 @@
+#include "tp/overlap_join.h"
+
+#include <utility>
+
+#include "engine/nested_loop_join.h"
+#include "engine/scan.h"
+#include "engine/sort.h"
+#include "engine/stats.h"
+#include "engine/temporal_outer_join.h"
+
+namespace tpdb {
+
+namespace {
+
+/// Leaf scan that prepends the row index as an int64 `rid` column. The rid
+/// identifies the originating r tuple through the whole window pipeline.
+class RowIdScan final : public Operator {
+ public:
+  explicit RowIdScan(const Table* table) : table_(table) {
+    TPDB_CHECK(table != nullptr);
+    schema_.AddColumn({"rid", DatumType::kInt64});
+    for (const Column& c : table_->schema.columns()) schema_.AddColumn(c);
+  }
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override { pos_ = 0; }
+  bool Next(Row* out) override {
+    if (pos_ >= table_->rows.size()) return false;
+    Row row;
+    row.reserve(table_->rows[pos_].size() + 1);
+    row.push_back(Datum(static_cast<int64_t>(pos_)));
+    row.insert(row.end(), table_->rows[pos_].begin(),
+               table_->rows[pos_].end());
+    ++pos_;
+    *out = std::move(row);
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  const Table* table_;
+  Schema schema_;
+  size_t pos_ = 0;
+};
+
+/// Normalizes join output to the canonical window layout: computes the
+/// window interval (intersection for matches, the full r interval for
+/// unmatched rows) and appends the window class.
+class WindowFinisher final : public Operator {
+ public:
+  WindowFinisher(OperatorPtr child, WindowLayout layout, Schema schema)
+      : child_(std::move(child)),
+        layout_(layout),
+        schema_(std::move(schema)) {}
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override {
+    Row row;
+    if (!child_->Next(&row)) return false;
+    // Input is either nL+nR wide (nested loop) or has two trailing
+    // intersection columns (partitioned join); normalize to canonical width
+    // with freshly computed window bounds.
+    const size_t base = static_cast<size_t>(layout_.w_ts());
+    row.resize(base);
+    const Interval rt = layout_.RIntervalOf(row);
+    const bool matched = !row[layout_.s_lin()].is_null();
+    Interval w = rt;
+    WindowClass cls = WindowClass::kUnmatched;
+    if (matched) {
+      const Interval st(row[layout_.s_ts()].AsInt64(),
+                        row[layout_.s_te()].AsInt64());
+      w = rt.Intersect(st);
+      TPDB_DCHECK(!w.empty());
+      cls = WindowClass::kOverlapping;
+    }
+    row.push_back(Datum(w.start));
+    row.push_back(Datum(w.end));
+    row.push_back(Datum(static_cast<int64_t>(cls)));
+    *out = std::move(row);
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  WindowLayout layout_;
+  Schema schema_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<std::pair<int, int>>> ResolveCondition(
+    const JoinCondition& theta, const Schema& r_facts,
+    const Schema& s_facts) {
+  std::vector<std::pair<int, int>> keys;
+  keys.reserve(theta.equal_columns.size());
+  for (const auto& [rc, sc] : theta.equal_columns) {
+    const int ri = r_facts.IndexOf(rc);
+    if (ri < 0)
+      return Status::InvalidArgument("θ column '" + rc +
+                                     "' not in left fact schema (" +
+                                     r_facts.ToString() + ")");
+    const int si = s_facts.IndexOf(sc);
+    if (si < 0)
+      return Status::InvalidArgument("θ column '" + sc +
+                                     "' not in right fact schema (" +
+                                     s_facts.ToString() + ")");
+    keys.emplace_back(ri, si);
+  }
+  return keys;
+}
+
+JoinCondition SwapJoinCondition(const JoinCondition& theta) {
+  JoinCondition out;
+  for (const auto& [rc, sc] : theta.equal_columns)
+    out.equal_columns.emplace_back(sc, rc);
+  if (theta.predicate) {
+    auto pred = theta.predicate;
+    out.predicate = [pred](const Row& s_fact, const Row& r_fact) {
+      return pred(r_fact, s_fact);
+    };
+  }
+  return out;
+}
+
+StatusOr<ThetaMatcher> ThetaMatcher::Make(const JoinCondition& theta,
+                                          const Schema& r_facts,
+                                          const Schema& s_facts) {
+  StatusOr<std::vector<std::pair<int, int>>> keys =
+      ResolveCondition(theta, r_facts, s_facts);
+  if (!keys.ok()) return keys.status();
+  return ThetaMatcher(std::move(*keys), theta.predicate);
+}
+
+StatusOr<OperatorPtr> MakeOverlapWindowJoin(const Table* r_table,
+                                            const Schema& r_facts,
+                                            const Table* s_table,
+                                            const Schema& s_facts,
+                                            const JoinCondition& theta,
+                                            OverlapAlgorithm algorithm) {
+  TPDB_CHECK(r_table != nullptr);
+  TPDB_CHECK(s_table != nullptr);
+  const int n_rf = static_cast<int>(r_facts.num_columns());
+  const int n_sf = static_cast<int>(s_facts.num_columns());
+  const WindowLayout layout(n_rf, n_sf);
+
+  StatusOr<std::vector<std::pair<int, int>>> keys =
+      ResolveCondition(theta, r_facts, s_facts);
+  if (!keys.ok()) return keys.status();
+
+  if (algorithm == OverlapAlgorithm::kAuto) {
+    // Optimizer path: estimate from table statistics (interval columns sit
+    // right after the facts in the flattened layout).
+    const TableStats r_stats =
+        TableStats::Compute(*r_table, n_rf, n_rf + 1);
+    const TableStats s_stats =
+        TableStats::Compute(*s_table, n_sf, n_sf + 1);
+    algorithm = PreferPartitionedJoin(r_stats, s_stats, *keys)
+                    ? OverlapAlgorithm::kPartitioned
+                    : OverlapAlgorithm::kNestedLoop;
+  }
+
+  OperatorPtr left = std::make_unique<RowIdScan>(r_table);
+  OperatorPtr right = std::make_unique<TableScan>(s_table);
+  const int nl = 4 + n_rf;  // left width: rid + facts + ts/te/lin
+
+  // Residual predicate (general θ) over the concatenated row.
+  ExprPtr residual;
+  if (theta.predicate) {
+    auto pred = theta.predicate;
+    residual = Fn(
+        [pred, n_rf, n_sf, nl](const Row& row) -> Datum {
+          Row rf(row.begin() + 1, row.begin() + 1 + n_rf);
+          Row sf(row.begin() + nl, row.begin() + nl + n_sf);
+          return Datum(static_cast<int64_t>(pred(rf, sf) ? 1 : 0));
+        },
+        "θ");
+  }
+
+  OperatorPtr joined;
+  if (algorithm == OverlapAlgorithm::kPartitioned) {
+    TemporalJoinSpec spec;
+    for (const auto& [ri, si] : *keys) spec.equi_keys.emplace_back(1 + ri, si);
+    spec.left_ts = layout.r_ts();
+    spec.left_te = layout.r_te();
+    spec.right_ts = n_sf;
+    spec.right_te = n_sf + 1;
+    spec.residual = residual;
+    spec.join_type = JoinType::kLeftOuter;
+    joined = std::make_unique<TemporalOuterJoin>(std::move(left),
+                                                 std::move(right), spec);
+  } else {
+    ExprPtr pred = OverlapsExpr(layout.r_ts(), layout.r_te(), nl + n_sf,
+                                nl + n_sf + 1);
+    std::vector<std::pair<int, int>> joined_keys;
+    for (const auto& [ri, si] : *keys)
+      joined_keys.emplace_back(1 + ri, nl + si);
+    if (!joined_keys.empty())
+      pred = AndExpr(std::move(pred), ColumnsEqual(joined_keys));
+    if (residual != nullptr) pred = AndExpr(std::move(pred), residual);
+    joined = std::make_unique<NestedLoopJoin>(std::move(left),
+                                              std::move(right), std::move(pred),
+                                              JoinType::kLeftOuter);
+  }
+
+  Schema schema = layout.MakeSchema(r_facts, s_facts);
+  OperatorPtr finished = std::make_unique<WindowFinisher>(
+      std::move(joined), layout, std::move(schema));
+  if (algorithm == OverlapAlgorithm::kNestedLoop) {
+    // A nested loop probes s in table order; the LAWAU/LAWAN sweeps need
+    // each rid group ordered by window start, so this plan pays for an
+    // extra sort (the partitioned plan produces the order for free).
+    finished = std::make_unique<Sort>(
+        std::move(finished),
+        std::vector<SortKey>{{layout.rid(), true}, {layout.w_ts(), true}});
+  }
+  return finished;
+}
+
+}  // namespace tpdb

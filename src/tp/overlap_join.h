@@ -1,0 +1,112 @@
+// Overlapping-window computation: the conventional outer join r ⟕_{θo∧θ} s
+// of Section III-A, producing canonical window rows (WindowLayout):
+//   - one overlapping window per (r, s) pair that overlaps and satisfies θ,
+//     with the intersection interval and the original r interval;
+//   - one full-interval unmatched window for every r tuple that matches no
+//     s tuple at all.
+// The remaining (partial) unmatched windows are added by LAWAU downstream.
+#ifndef TPDB_TP_OVERLAP_JOIN_H_
+#define TPDB_TP_OVERLAP_JOIN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/operator.h"
+#include "tp/tp_relation.h"
+#include "tp/window.h"
+
+namespace tpdb {
+
+/// The join condition θ over the non-temporal attributes of r and s.
+struct JoinCondition {
+  /// Pairwise equality of fact columns, by name (e.g. {"Loc","Loc"}).
+  std::vector<std::pair<std::string, std::string>> equal_columns;
+
+  /// Optional general predicate over the two fact rows; combined (AND) with
+  /// the equalities. Leave empty for pure equi-θ.
+  std::function<bool(const Row& r_fact, const Row& s_fact)> predicate;
+
+  /// Convenience: θ with a single equality column present in both schemas.
+  static JoinCondition Equals(const std::string& column) {
+    JoinCondition cond;
+    cond.equal_columns.emplace_back(column, column);
+    return cond;
+  }
+
+  /// True iff θ has no constraints (matches every pair).
+  bool IsTrivial() const {
+    return equal_columns.empty() && !predicate;
+  }
+};
+
+/// Physical algorithm for the overlap join.
+enum class OverlapAlgorithm {
+  /// Hash-partition s on the equi-keys, probe sorted by interval start —
+  /// the plan the paper's NJ uses inside PostgreSQL.
+  kPartitioned,
+  /// Plain nested loop — what the optimizer falls back to for TA (and the
+  /// ablation baseline).
+  kNestedLoop,
+  /// Cost-based choice between the two from table statistics (the
+  /// optimizer path; see engine/stats.h).
+  kAuto,
+};
+
+/// Builds the pipelined plan computing WO(r;s,θ) ∪ {full-interval unmatched}
+/// over the flattened tables (which must stay alive while the operator
+/// runs). Output rows follow WindowLayout(r_facts, s_facts); within each rid
+/// the windows are ordered by start, which is exactly the order LAWAU
+/// expects — no extra sort is needed (the pipeline stays streaming).
+StatusOr<OperatorPtr> MakeOverlapWindowJoin(const Table* r_table,
+                                            const Schema& r_facts,
+                                            const Table* s_table,
+                                            const Schema& s_facts,
+                                            const JoinCondition& theta,
+                                            OverlapAlgorithm algorithm);
+
+/// Resolves the equality column names of `theta` against the fact schemas.
+StatusOr<std::vector<std::pair<int, int>>> ResolveCondition(
+    const JoinCondition& theta, const Schema& r_facts, const Schema& s_facts);
+
+/// θ with the two sides exchanged (for pipelines that run on (s, r)).
+JoinCondition SwapJoinCondition(const JoinCondition& theta);
+
+/// Resolved, directly evaluable form of θ over two fact rows.
+class ThetaMatcher {
+ public:
+  /// `keys` are resolved (left index, right index) equality pairs.
+  ThetaMatcher(std::vector<std::pair<int, int>> keys,
+               std::function<bool(const Row&, const Row&)> predicate)
+      : keys_(std::move(keys)), predicate_(std::move(predicate)) {}
+
+  /// Builds a matcher by resolving `theta` against the fact schemas.
+  static StatusOr<ThetaMatcher> Make(const JoinCondition& theta,
+                                     const Schema& r_facts,
+                                     const Schema& s_facts);
+
+  bool Matches(const Row& r_fact, const Row& s_fact) const {
+    for (const auto& [ri, si] : keys_) {
+      if (r_fact[ri].is_null() || s_fact[si].is_null()) return false;
+      if (r_fact[ri] != s_fact[si]) return false;
+    }
+    return !predicate_ || predicate_(r_fact, s_fact);
+  }
+
+  /// Resolved equality pairs (left index, right index).
+  const std::vector<std::pair<int, int>>& keys() const { return keys_; }
+
+  /// The general (non-equality) predicate part of θ; may be empty.
+  const std::function<bool(const Row&, const Row&)>& predicate() const {
+    return predicate_;
+  }
+
+ private:
+  std::vector<std::pair<int, int>> keys_;
+  std::function<bool(const Row&, const Row&)> predicate_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_OVERLAP_JOIN_H_

@@ -1,0 +1,57 @@
+// Window-plan assembly: wires the overlap join, LAWAU and LAWAN into one
+// pipelined plan (the NJ execution strategy). Exposed separately from the
+// join operators so the benchmarks can measure each stage — WO, WUO
+// (Fig. 5), WN / WUON (Fig. 6) — exactly as the paper does.
+#ifndef TPDB_TP_PLANS_H_
+#define TPDB_TP_PLANS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/operator.h"
+#include "tp/overlap_join.h"
+#include "tp/tp_relation.h"
+#include "tp/window.h"
+
+namespace tpdb {
+
+/// How far to take the window pipeline.
+enum class WindowStage {
+  kOverlap,  ///< r ⟕_{θo∧θ} s only (WO + full-interval unmatched)
+  kWuo,      ///< + LAWAU: all unmatched windows (the paper's WUO)
+  kWuon,     ///< + LAWAN: all negating windows (the paper's WUON)
+};
+
+/// A runnable window pipeline plus the materialized inputs it scans.
+/// Move-only; the tables are heap-allocated so operators' pointers stay
+/// valid across moves.
+struct WindowPlan {
+  std::unique_ptr<Table> r_table;
+  std::unique_ptr<Table> s_table;
+  WindowLayout layout{0, 0};
+  OperatorPtr root;
+};
+
+/// Builds the NJ pipeline over `r` and `s` up to `stage`.
+StatusOr<WindowPlan> MakeWindowPlan(const TPRelation& r, const TPRelation& s,
+                                    const JoinCondition& theta,
+                                    WindowStage stage,
+                                    OverlapAlgorithm algorithm =
+                                        OverlapAlgorithm::kPartitioned);
+
+/// Continues a materialized WUO table with LAWAN only (used by the Fig. 6
+/// bench to time WN in isolation). `wuo` must outlive the operator.
+OperatorPtr MakeLawanOnly(const Table* wuo, WindowLayout layout,
+                          LineageManager* manager);
+
+/// Convenience for tests and examples: runs the pipeline and returns the
+/// materialized windows of the requested classes.
+StatusOr<std::vector<TPWindow>> ComputeWindows(
+    const TPRelation& r, const TPRelation& s, const JoinCondition& theta,
+    WindowStage stage,
+    OverlapAlgorithm algorithm = OverlapAlgorithm::kPartitioned);
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_PLANS_H_

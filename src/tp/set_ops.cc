@@ -1,0 +1,146 @@
+#include "tp/set_ops.h"
+
+#include "tp/overlap_join.h"
+#include "tp/plans.h"
+
+namespace tpdb {
+
+namespace {
+
+/// Checks union compatibility and builds θ: equality on every fact column
+/// (positionally; column names may differ between the inputs).
+StatusOr<JoinCondition> FullFactEquality(const TPRelation& r,
+                                         const TPRelation& s) {
+  if (r.manager() != s.manager())
+    return Status::InvalidArgument(
+        "TP relations must share a LineageManager");
+  const Schema& rf = r.fact_schema();
+  const Schema& sf = s.fact_schema();
+  if (rf.num_columns() != sf.num_columns())
+    return Status::InvalidArgument(
+        "set operation on relations of different arity: (" + rf.ToString() +
+        ") vs (" + sf.ToString() + ")");
+  for (size_t i = 0; i < rf.num_columns(); ++i) {
+    if (rf.column(i).type != sf.column(i).type &&
+        rf.column(i).type != DatumType::kNull &&
+        sf.column(i).type != DatumType::kNull)
+      return Status::InvalidArgument("set operation on mismatched column " +
+                                     std::to_string(i));
+  }
+  JoinCondition theta;
+  for (size_t i = 0; i < rf.num_columns(); ++i)
+    theta.equal_columns.emplace_back(rf.column(i).name, sf.column(i).name);
+  return theta;
+}
+
+/// How one window class contributes to a set operation's output lineage.
+enum class SetConcat { kSkip, kLinR, kLinS, kAnd, kAndNot, kOr };
+
+struct SetOpSpec {
+  SetConcat unmatched = SetConcat::kSkip;
+  SetConcat negating = SetConcat::kSkip;
+  /// Also include the unmatched windows of s w.r.t. r (as λs)?
+  bool include_s_unmatched = false;
+};
+
+Status EmitSetWindows(const TPRelation& r, const TPRelation& s,
+                      const JoinCondition& theta, const SetOpSpec& spec,
+                      bool swapped, TPRelation* result) {
+  LineageManager* manager = r.manager();
+  StatusOr<WindowPlan> plan =
+      MakeWindowPlan(r, s, theta, WindowStage::kWuon);
+  if (!plan.ok()) return plan.status();
+  const WindowLayout& layout = plan->layout;
+  plan->root->Open();
+  Row row;
+  while (plan->root->Next(&row)) {
+    const WindowClass cls = layout.ClassOf(row);
+    SetConcat concat = SetConcat::kSkip;
+    if (cls == WindowClass::kUnmatched)
+      concat = swapped ? (spec.include_s_unmatched ? SetConcat::kLinR
+                                                   : SetConcat::kSkip)
+                       : spec.unmatched;
+    else if (cls == WindowClass::kNegating)
+      concat = swapped ? SetConcat::kSkip : spec.negating;
+    if (concat == SetConcat::kSkip) continue;
+
+    const LineageRef lin_r = layout.RLinOf(row);
+    const LineageRef lin_s = layout.SLinOf(row);
+    LineageRef lineage;
+    switch (concat) {
+      case SetConcat::kLinR:
+        lineage = lin_r;
+        break;
+      case SetConcat::kLinS:
+        lineage = lin_s;
+        break;
+      case SetConcat::kAnd:
+        lineage = manager->And(lin_r, lin_s);
+        break;
+      case SetConcat::kAndNot:
+        lineage = manager->AndNot(lin_r, lin_s);
+        break;
+      case SetConcat::kOr:
+        lineage = manager->Or(lin_r, lin_s);
+        break;
+      case SetConcat::kSkip:
+        continue;
+    }
+    Row fact;
+    fact.reserve(layout.num_r_facts());
+    for (int i = 0; i < layout.num_r_facts(); ++i)
+      fact.push_back(row[layout.r_fact(i)]);
+    TPDB_RETURN_IF_ERROR(
+        result->AppendDerived(std::move(fact), layout.WindowOf(row), lineage));
+  }
+  plan->root->Close();
+  return Status::OK();
+}
+
+StatusOr<TPRelation> RunSetOp(const TPRelation& r, const TPRelation& s,
+                              const SetOpSpec& spec, std::string name) {
+  StatusOr<JoinCondition> theta = FullFactEquality(r, s);
+  if (!theta.ok()) return theta.status();
+  TPRelation result(std::move(name), r.fact_schema(), r.manager());
+  TPDB_RETURN_IF_ERROR(
+      EmitSetWindows(r, s, *theta, spec, /*swapped=*/false, &result));
+  if (spec.include_s_unmatched) {
+    // Second pipeline with the inputs exchanged: its unmatched windows are
+    // the facts valid only in s.
+    JoinCondition swapped_theta = SwapJoinCondition(*theta);
+    TPDB_RETURN_IF_ERROR(EmitSetWindows(s, r, swapped_theta, spec,
+                                        /*swapped=*/true, &result));
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<TPRelation> TPUnion(const TPRelation& r, const TPRelation& s,
+                             std::string result_name) {
+  if (result_name.empty()) result_name = r.name() + "_union_" + s.name();
+  SetOpSpec spec;
+  spec.unmatched = SetConcat::kLinR;
+  spec.negating = SetConcat::kOr;
+  spec.include_s_unmatched = true;
+  return RunSetOp(r, s, spec, std::move(result_name));
+}
+
+StatusOr<TPRelation> TPIntersect(const TPRelation& r, const TPRelation& s,
+                                 std::string result_name) {
+  if (result_name.empty()) result_name = r.name() + "_intersect_" + s.name();
+  SetOpSpec spec;
+  spec.negating = SetConcat::kAnd;
+  return RunSetOp(r, s, spec, std::move(result_name));
+}
+
+StatusOr<TPRelation> TPDifference(const TPRelation& r, const TPRelation& s,
+                                  std::string result_name) {
+  if (result_name.empty()) result_name = r.name() + "_except_" + s.name();
+  SetOpSpec spec;
+  spec.unmatched = SetConcat::kLinR;
+  spec.negating = SetConcat::kAndNot;
+  return RunSetOp(r, s, spec, std::move(result_name));
+}
+
+}  // namespace tpdb

@@ -1,0 +1,43 @@
+// Temporal-probabilistic set operations — union, intersection, difference —
+// built on the same generalized lineage-aware windows as the joins.
+//
+// These are the operations of the authors' companion paper ("Supporting
+// set operations in temporal-probabilistic databases", ICDE 2018, the
+// paper's reference [1]); this implementation derives them directly from
+// the window machinery, with θ being equality on *all* fact columns:
+//
+//   r ∩ s : negating windows of r w.r.t. s, lineage  λr ∧ λs
+//   r − s : unmatched (λr) and negating (λr ∧ ¬λs) windows — the anti join
+//           under full-fact equality
+//   r ∪ s : unmatched windows of r (λr), negating windows of r with
+//           lineage λr ∨ λs, and unmatched windows of s (λs)
+//
+// Because valid TP relations are duplicate-free in time, at most one tuple
+// of each input is valid per (fact, time point), so the negating windows'
+// λs disjunction has exactly one disjunct and the outputs above are again
+// duplicate-free — Validate()-clean TP relations.
+#ifndef TPDB_TP_SET_OPS_H_
+#define TPDB_TP_SET_OPS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// r ∪Tp s: at each time point, a fact is true iff it is true in r or s.
+StatusOr<TPRelation> TPUnion(const TPRelation& r, const TPRelation& s,
+                             std::string result_name = "");
+
+/// r ∩Tp s: at each time point, a fact is true iff true in both inputs.
+StatusOr<TPRelation> TPIntersect(const TPRelation& r, const TPRelation& s,
+                                 std::string result_name = "");
+
+/// r −Tp s: at each time point, a fact is true iff true in r and not in s.
+StatusOr<TPRelation> TPDifference(const TPRelation& r, const TPRelation& s,
+                                  std::string result_name = "");
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_SET_OPS_H_

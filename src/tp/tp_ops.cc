@@ -1,0 +1,98 @@
+#include "tp/tp_ops.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lineage/probability.h"
+
+namespace tpdb {
+
+StatusOr<TPRelation> TPSelect(const TPRelation& rel,
+                              std::function<bool(const Row&)> predicate,
+                              std::string result_name) {
+  if (!predicate) return Status::InvalidArgument("TPSelect: null predicate");
+  if (result_name.empty()) result_name = rel.name() + "_select";
+  TPRelation out(std::move(result_name), rel.fact_schema(), rel.manager());
+  for (const TPTuple& t : rel.tuples()) {
+    if (!predicate(t.fact)) continue;
+    TPDB_RETURN_IF_ERROR(out.AppendDerived(t.fact, t.interval, t.lineage));
+  }
+  return out;
+}
+
+StatusOr<TPRelation> TPThreshold(const TPRelation& rel, double threshold,
+                                 std::string result_name) {
+  if (threshold < 0.0 || threshold > 1.0)
+    return Status::InvalidArgument("TPThreshold: threshold out of [0,1]");
+  if (result_name.empty()) result_name = rel.name() + "_threshold";
+  TPRelation out(std::move(result_name), rel.fact_schema(), rel.manager());
+  ProbabilityEngine prob(rel.manager());
+  for (const TPTuple& t : rel.tuples()) {
+    if (prob.Probability(t.lineage) < threshold) continue;
+    TPDB_RETURN_IF_ERROR(out.AppendDerived(t.fact, t.interval, t.lineage));
+  }
+  return out;
+}
+
+StatusOr<TPRelation> TPTimeslice(const TPRelation& rel, Interval window,
+                                 std::string result_name) {
+  if (window.empty())
+    return Status::InvalidArgument("TPTimeslice: empty window");
+  if (result_name.empty()) result_name = rel.name() + "_slice";
+  TPRelation out(std::move(result_name), rel.fact_schema(), rel.manager());
+  for (const TPTuple& t : rel.tuples()) {
+    const Interval clipped = t.interval.Intersect(window);
+    if (clipped.empty()) continue;
+    TPDB_RETURN_IF_ERROR(out.AppendDerived(t.fact, clipped, t.lineage));
+  }
+  return out;
+}
+
+std::vector<SnapshotRow> TPSnapshot(const TPRelation& rel, TimePoint t) {
+  std::vector<SnapshotRow> out;
+  ProbabilityEngine prob(rel.manager());
+  for (const TPTuple& tup : rel.tuples()) {
+    if (!tup.interval.Contains(t)) continue;
+    out.push_back(
+        SnapshotRow{tup.fact, tup.lineage, prob.Probability(tup.lineage)});
+  }
+  return out;
+}
+
+StatusOr<TPRelation> TPCoalesce(const TPRelation& rel,
+                                std::string result_name) {
+  if (result_name.empty()) result_name = rel.name() + "_coalesced";
+  // Order by (fact, lineage, start); merge runs that touch or overlap.
+  std::vector<size_t> order(rel.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&rel](size_t a, size_t b) {
+    const TPTuple& ta = rel.tuple(a);
+    const TPTuple& tb = rel.tuple(b);
+    const int c = CompareRows(ta.fact, tb.fact);
+    if (c != 0) return c < 0;
+    if (ta.lineage != tb.lineage) return ta.lineage < tb.lineage;
+    return ta.interval < tb.interval;
+  });
+
+  TPRelation out(std::move(result_name), rel.fact_schema(), rel.manager());
+  size_t i = 0;
+  while (i < order.size()) {
+    const TPTuple& first = rel.tuple(order[i]);
+    Interval merged = first.interval;
+    size_t j = i + 1;
+    while (j < order.size()) {
+      const TPTuple& next = rel.tuple(order[j]);
+      if (CompareRows(next.fact, first.fact) != 0 ||
+          next.lineage != first.lineage || next.interval.start > merged.end)
+        break;
+      merged.end = std::max(merged.end, next.interval.end);
+      ++j;
+    }
+    TPDB_RETURN_IF_ERROR(
+        out.AppendDerived(first.fact, merged, first.lineage));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace tpdb

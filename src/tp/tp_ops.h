@@ -1,0 +1,52 @@
+// Auxiliary TP operators that round out the algebra: selection on facts,
+// probability-threshold selection, timeslice/snapshot, and lineage-aware
+// coalescing. These are the operations a user composes around the joins
+// (e.g. "take the anti-join result, keep tuples with p ≥ 0.4, snapshot
+// day 5").
+#ifndef TPDB_TP_TP_OPS_H_
+#define TPDB_TP_TP_OPS_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// σ_pred: keeps the tuples whose fact satisfies `predicate`.
+StatusOr<TPRelation> TPSelect(const TPRelation& rel,
+                              std::function<bool(const Row&)> predicate,
+                              std::string result_name = "");
+
+/// σ_{p ≥ threshold}: keeps tuples whose exact probability meets the
+/// threshold (computed from the lineage).
+StatusOr<TPRelation> TPThreshold(const TPRelation& rel, double threshold,
+                                 std::string result_name = "");
+
+/// τ_[from,to): restricts every tuple to the given window, dropping tuples
+/// that do not intersect it. Lineages and probabilities are unchanged
+/// (sequenced semantics: validity is clipped, truth is not).
+StatusOr<TPRelation> TPTimeslice(const TPRelation& rel, Interval window,
+                                 std::string result_name = "");
+
+/// Snapshot at time point t: the non-temporal probabilistic relation valid
+/// at t, returned as (fact, probability) rows.
+struct SnapshotRow {
+  Row fact;
+  LineageRef lineage;
+  double probability = 0.0;
+};
+std::vector<SnapshotRow> TPSnapshot(const TPRelation& rel, TimePoint t);
+
+/// Lineage-aware coalescing: merges value-equivalent tuples with *adjacent
+/// or overlapping* intervals and identical lineage into maximal intervals.
+/// (Merging tuples with different lineages would change probabilities, so
+/// only syntactically equal lineages — equal refs — are merged.) The
+/// result is Validate()-clean if the input was.
+StatusOr<TPRelation> TPCoalesce(const TPRelation& rel,
+                                std::string result_name = "");
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_TP_OPS_H_

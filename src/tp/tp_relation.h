@@ -1,0 +1,94 @@
+// Temporal-probabilistic relations: the data model of the paper.
+//
+// A TP tuple is (F, λ, T, p): a fact (non-temporal attributes), a lineage
+// formula over independent base-tuple variables, a half-open validity
+// interval, and the probability p = Pr[λ]. Base tuples carry a fresh
+// variable each; derived tuples (join results) carry compound lineages.
+//
+// A TP relation is *duplicate-free in time*: tuples with the same fact have
+// pairwise disjoint intervals (at each time point, one fact is described by
+// at most one tuple) — the property the paper's example relies on ("there is
+// no other tuple in a that predicts ... over an interval overlapping with
+// [7,10)").
+#ifndef TPDB_TP_TP_RELATION_H_
+#define TPDB_TP_TP_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/row.h"
+#include "lineage/lineage.h"
+#include "temporal/interval.h"
+
+namespace tpdb {
+
+/// One temporal-probabilistic tuple.
+struct TPTuple {
+  Row fact;            ///< non-temporal attribute values
+  LineageRef lineage;  ///< λ — never null in a valid relation
+  Interval interval;   ///< T = [Ts, Te)
+};
+
+/// Reserved column names of the flattened (engine-level) representation.
+inline constexpr const char* kTsColumn = "_ts";
+inline constexpr const char* kTeColumn = "_te";
+inline constexpr const char* kLineageColumn = "_lin";
+
+/// A named TP relation bound to a LineageManager.
+class TPRelation {
+ public:
+  /// `fact_schema` describes only the non-temporal attributes; interval and
+  /// lineage are managed by the relation. `manager` must outlive it.
+  TPRelation(std::string name, Schema fact_schema, LineageManager* manager);
+
+  const std::string& name() const { return name_; }
+  const Schema& fact_schema() const { return fact_schema_; }
+  LineageManager* manager() const { return manager_; }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const TPTuple& tuple(size_t i) const {
+    TPDB_CHECK_LT(i, tuples_.size());
+    return tuples_[i];
+  }
+  const std::vector<TPTuple>& tuples() const { return tuples_; }
+
+  /// Appends a *base* tuple: registers a fresh independent variable with
+  /// marginal `prob` (named `var_name` if given, e.g. "a1") and uses it as
+  /// the lineage. Fails on arity mismatch or empty interval.
+  Status AppendBase(Row fact, Interval interval, double prob,
+                    std::string var_name = "");
+
+  /// Appends a *derived* tuple with an existing lineage (used by operators).
+  Status AppendDerived(Row fact, Interval interval, LineageRef lineage);
+
+  /// Verifies the duplicate-free-in-time invariant and basic well-formedness
+  /// (non-empty intervals, non-null lineages, fact arity).
+  Status Validate() const;
+
+  /// Probability Pr[λ] of tuple `i` (computed exactly from its lineage).
+  double Probability(size_t i) const;
+
+  /// Flattened engine table: fact columns ++ _ts ++ _te ++ _lin.
+  /// Row order matches tuple order, so row index == tuple id.
+  Table ToTable() const;
+
+  /// Inverse of ToTable() for a table using the reserved column layout.
+  static StatusOr<TPRelation> FromTable(std::string name, const Table& table,
+                                        LineageManager* manager);
+
+  /// Multi-line rendering in the style of the paper's Fig. 1 (facts, λ, T,
+  /// p), mainly for examples and debugging.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Schema fact_schema_;
+  LineageManager* manager_;
+  std::vector<TPTuple> tuples_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_TP_RELATION_H_

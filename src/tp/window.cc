@@ -1,0 +1,104 @@
+#include "tp/window.h"
+
+#include <algorithm>
+
+#include "lineage/print.h"
+
+namespace tpdb {
+
+const char* WindowClassName(WindowClass cls) {
+  switch (cls) {
+    case WindowClass::kOverlapping:
+      return "overlapping";
+    case WindowClass::kUnmatched:
+      return "unmatched";
+    case WindowClass::kNegating:
+      return "negating";
+  }
+  return "?";
+}
+
+std::string TPWindow::ToString(const LineageManager& mgr) const {
+  std::string out = "(";
+  out += RowToString(fact_r);
+  out += " | ";
+  out += fact_s.empty() ? "-" : RowToString(fact_s);
+  out += " | ";
+  out += window.ToString();
+  out += " | λr=";
+  out += LineageToString(mgr, lin_r);
+  out += " | λs=";
+  out += LineageToString(mgr, lin_s);
+  out += ") ";
+  out += WindowClassName(cls);
+  return out;
+}
+
+Schema WindowLayout::MakeSchema(const Schema& r_facts,
+                                const Schema& s_facts) const {
+  TPDB_CHECK_EQ(static_cast<int>(r_facts.num_columns()), n_rf_);
+  TPDB_CHECK_EQ(static_cast<int>(s_facts.num_columns()), n_sf_);
+  Schema out;
+  out.AddColumn({"rid", DatumType::kInt64});
+  for (const Column& c : r_facts.columns()) out.AddColumn(c);
+  out.AddColumn({"r_ts", DatumType::kInt64});
+  out.AddColumn({"r_te", DatumType::kInt64});
+  out.AddColumn({"r_lin", DatumType::kLineage});
+  for (const Column& c : s_facts.columns()) {
+    Column copy = c;
+    if (out.IndexOf(copy.name) >= 0) copy.name += "_s";
+    out.AddColumn(std::move(copy));
+  }
+  out.AddColumn({"s_ts", DatumType::kInt64});
+  out.AddColumn({"s_te", DatumType::kInt64});
+  out.AddColumn({"s_lin", DatumType::kLineage});
+  out.AddColumn({"w_ts", DatumType::kInt64});
+  out.AddColumn({"w_te", DatumType::kInt64});
+  out.AddColumn({"w_class", DatumType::kInt64});
+  TPDB_CHECK_EQ(static_cast<int>(out.num_columns()), num_columns());
+  return out;
+}
+
+TPWindow WindowLayout::ToWindow(const Row& row) const {
+  TPWindow w;
+  w.cls = ClassOf(row);
+  w.rid = RidOf(row);
+  w.fact_r.reserve(n_rf_);
+  for (int i = 0; i < n_rf_; ++i) w.fact_r.push_back(row[r_fact(i)]);
+  if (w.cls == WindowClass::kOverlapping) {
+    w.fact_s.reserve(n_sf_);
+    for (int i = 0; i < n_sf_; ++i) w.fact_s.push_back(row[s_fact(i)]);
+  }
+  w.window = WindowOf(row);
+  w.r_interval = RIntervalOf(row);
+  w.lin_r = RLinOf(row);
+  w.lin_s = SLinOf(row);
+  return w;
+}
+
+void SortWindows(std::vector<TPWindow>* windows) {
+  std::sort(windows->begin(), windows->end(),
+            [](const TPWindow& a, const TPWindow& b) {
+              if (a.rid != b.rid) return a.rid < b.rid;
+              if (a.window.start != b.window.start)
+                return a.window.start < b.window.start;
+              if (a.window.end != b.window.end)
+                return a.window.end < b.window.end;
+              if (a.cls != b.cls)
+                return static_cast<int64_t>(a.cls) <
+                       static_cast<int64_t>(b.cls);
+              return a.lin_s < b.lin_s;
+            });
+}
+
+std::string WindowsToString(const LineageManager& mgr,
+                            const std::vector<TPWindow>& windows) {
+  std::string out;
+  for (const TPWindow& w : windows) {
+    out += w.ToString(mgr);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,126 @@
+// Generalized lineage-aware temporal windows (Section II of the paper).
+//
+// A window (Fr, Fs, T, λr, λs) binds an interval to the lineages of the
+// matching valid tuples of each input relation. Three disjoint classes
+// (Table I of the paper):
+//   - overlapping WO(r;s,θ): maximal interval where one pair (r, s)
+//     overlaps and satisfies θ;
+//   - unmatched  WU(r;s,θ): maximal subinterval of an r tuple where no s
+//     tuple is valid and satisfies θ (Fs = λs = null);
+//   - negating   WN(r;s,θ): maximal subinterval of an r tuple where the set
+//     of valid θ-matching s tuples is constant and non-empty; λs is the
+//     disjunction of their lineages (Fs = null).
+//
+// Inside the executor, windows travel as plain rows with the canonical
+// layout described by WindowLayout; the TPWindow struct is the materialized
+// value-semantic form used by the public API, tests, and examples.
+#ifndef TPDB_TP_WINDOW_H_
+#define TPDB_TP_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/row.h"
+#include "lineage/lineage.h"
+#include "temporal/interval.h"
+
+namespace tpdb {
+
+/// The three disjoint window classes of the paper's Table I.
+enum class WindowClass : int64_t {
+  kOverlapping = 0,
+  kUnmatched = 1,
+  kNegating = 2,
+};
+
+/// Name of a window class ("overlapping" / "unmatched" / "negating").
+const char* WindowClassName(WindowClass cls);
+
+/// Materialized generalized lineage-aware temporal window.
+struct TPWindow {
+  WindowClass cls = WindowClass::kOverlapping;
+  /// Index of the originating r tuple (groups windows per r tuple; the
+  /// paper groups by (Fr, r.T), which identifies the tuple in a valid TP
+  /// relation — the id makes the grouping explicit).
+  int64_t rid = -1;
+  Row fact_r;
+  /// Empty (all-NULL) for unmatched and negating windows.
+  Row fact_s;
+  Interval window;
+  /// Original interval of the r tuple (carried by the computation; the
+  /// paper's r ⟕_{θo∧θ} s "enhances every window with the initial
+  /// time-interval of the tuple of r").
+  Interval r_interval;
+  LineageRef lin_r;
+  /// Null for unmatched windows; disjunction of matching s lineages for
+  /// negating windows; the s tuple's lineage for overlapping windows.
+  LineageRef lin_s;
+
+  std::string ToString(const LineageManager& mgr) const;
+};
+
+/// Column layout of window rows inside the executor:
+///   rid | r facts... | r_ts r_te r_lin | s facts... | s_ts s_te s_lin |
+///   w_ts w_te | w_class
+class WindowLayout {
+ public:
+  WindowLayout(int num_r_facts, int num_s_facts)
+      : n_rf_(num_r_facts), n_sf_(num_s_facts) {}
+
+  int rid() const { return 0; }
+  int r_fact(int i) const { return 1 + i; }
+  int num_r_facts() const { return n_rf_; }
+  int r_ts() const { return 1 + n_rf_; }
+  int r_te() const { return 2 + n_rf_; }
+  int r_lin() const { return 3 + n_rf_; }
+  int s_fact(int i) const { return 4 + n_rf_ + i; }
+  int num_s_facts() const { return n_sf_; }
+  int s_ts() const { return 4 + n_rf_ + n_sf_; }
+  int s_te() const { return 5 + n_rf_ + n_sf_; }
+  int s_lin() const { return 6 + n_rf_ + n_sf_; }
+  int w_ts() const { return 7 + n_rf_ + n_sf_; }
+  int w_te() const { return 8 + n_rf_ + n_sf_; }
+  int w_class() const { return 9 + n_rf_ + n_sf_; }
+  int num_columns() const { return 10 + n_rf_ + n_sf_; }
+
+  /// Builds the engine schema for this layout given the fact schemas.
+  Schema MakeSchema(const Schema& r_facts, const Schema& s_facts) const;
+
+  // -- Row accessors ------------------------------------------------------
+  WindowClass ClassOf(const Row& row) const {
+    return static_cast<WindowClass>(row[w_class()].AsInt64());
+  }
+  Interval WindowOf(const Row& row) const {
+    return Interval(row[w_ts()].AsInt64(), row[w_te()].AsInt64());
+  }
+  Interval RIntervalOf(const Row& row) const {
+    return Interval(row[r_ts()].AsInt64(), row[r_te()].AsInt64());
+  }
+  int64_t RidOf(const Row& row) const { return row[rid()].AsInt64(); }
+  LineageRef RLinOf(const Row& row) const {
+    return row[r_lin()].AsLineage();
+  }
+  LineageRef SLinOf(const Row& row) const {
+    const Datum& d = row[s_lin()];
+    return d.is_null() ? LineageRef::Null() : d.AsLineage();
+  }
+
+  /// Converts an engine row into a materialized TPWindow.
+  TPWindow ToWindow(const Row& row) const;
+
+ private:
+  int n_rf_;
+  int n_sf_;
+};
+
+/// Sorts windows by (rid, window start, class, lin_s) — the canonical order
+/// used to compare window sets in tests.
+void SortWindows(std::vector<TPWindow>* windows);
+
+/// Renders a window set, one per line.
+std::string WindowsToString(const LineageManager& mgr,
+                            const std::vector<TPWindow>& windows);
+
+}  // namespace tpdb
+
+#endif  // TPDB_TP_WINDOW_H_

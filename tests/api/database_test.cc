@@ -1,0 +1,146 @@
+#include "api/database.h"
+
+#include <gtest/gtest.h>
+
+namespace tpdb {
+namespace {
+
+Schema LocSchema(const std::string& first) {
+  Schema s;
+  s.AddColumn({first, DatumType::kString});
+  s.AddColumn({"Loc", DatumType::kString});
+  return s;
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<TPRelation*> a = db_.CreateRelation("wants", LocSchema("Name"));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE((*a)->AppendBase({Datum("Ann"), Datum("ZAK")},
+                                 Interval(2, 8), 0.7, "a1")
+                    .ok());
+    ASSERT_TRUE((*a)->AppendBase({Datum("Jim"), Datum("WEN")},
+                                 Interval(7, 10), 0.8, "a2")
+                    .ok());
+    StatusOr<TPRelation*> b =
+        db_.CreateRelation("hotels", LocSchema("Hotel"));
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE((*b)->AppendBase({Datum("hotel1"), Datum("ZAK")},
+                                 Interval(4, 6), 0.7, "b3")
+                    .ok());
+    ASSERT_TRUE((*b)->AppendBase({Datum("hotel2"), Datum("ZAK")},
+                                 Interval(5, 8), 0.6, "b2")
+                    .ok());
+  }
+
+  TPDatabase db_;
+};
+
+TEST_F(DatabaseTest, CatalogBasics) {
+  EXPECT_EQ(db_.RelationNames(),
+            (std::vector<std::string>{"hotels", "wants"}));
+  EXPECT_TRUE(db_.Get("wants").ok());
+  EXPECT_FALSE(db_.Get("nope").ok());
+  EXPECT_FALSE(db_.CreateRelation("wants", LocSchema("X")).ok());
+  EXPECT_TRUE(db_.Drop("hotels").ok());
+  EXPECT_FALSE(db_.Drop("hotels").ok());
+  EXPECT_EQ(db_.RelationNames(), (std::vector<std::string>{"wants"}));
+}
+
+TEST_F(DatabaseTest, RegisterRejectsForeignManager) {
+  LineageManager other;
+  TPRelation foreign("foreign", LocSchema("X"), &other);
+  EXPECT_FALSE(db_.Register(std::move(foreign)).ok());
+}
+
+TEST_F(DatabaseTest, JoinByName) {
+  StatusOr<TPRelation> q =
+      db_.Join(TPJoinKind::kLeftOuter, "wants", "hotels",
+               JoinCondition::Equals("Loc"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->size(), 7u);  // Fig. 1b
+  EXPECT_FALSE(db_.Join(TPJoinKind::kInner, "wants", "nope",
+                        JoinCondition::Equals("Loc"))
+                   .ok());
+}
+
+TEST_F(DatabaseTest, JoinCanRegisterResult) {
+  StatusOr<TPRelation> q =
+      db_.Join(TPJoinKind::kAnti, "wants", "hotels",
+               JoinCondition::Equals("Loc"), {}, "no_room");
+  ASSERT_TRUE(q.ok());
+  StatusOr<TPRelation*> stored = db_.Get("no_room");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ((*stored)->size(), q->size());
+}
+
+TEST_F(DatabaseTest, QueryJoinKinds) {
+  StatusOr<TPRelation> left = db_.Query("wants LEFT JOIN hotels ON Loc");
+  ASSERT_TRUE(left.ok()) << left.status().ToString();
+  EXPECT_EQ(left->size(), 7u);
+
+  StatusOr<TPRelation> anti = db_.Query("wants ANTI JOIN hotels ON Loc");
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(anti->size(), 5u);
+
+  StatusOr<TPRelation> semi = db_.Query("wants SEMI JOIN hotels ON Loc");
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(semi->size(), 3u);
+
+  StatusOr<TPRelation> inner = db_.Query("wants JOIN hotels ON Loc");
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->size(), 2u);
+}
+
+TEST_F(DatabaseTest, QueryWithExplicitColumnPair) {
+  StatusOr<TPRelation> q = db_.Query("wants INNER JOIN hotels ON Loc=Loc");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->size(), 2u);
+}
+
+TEST_F(DatabaseTest, QueryUsingTaMatchesDefault) {
+  StatusOr<TPRelation> nj = db_.Query("wants LEFT JOIN hotels ON Loc");
+  StatusOr<TPRelation> ta = db_.Query("wants LEFT JOIN hotels ON Loc USING TA");
+  ASSERT_TRUE(nj.ok());
+  ASSERT_TRUE(ta.ok());
+  EXPECT_EQ(nj->size(), ta->size());
+}
+
+TEST_F(DatabaseTest, QuerySetOperations) {
+  // Build two union-compatible relations.
+  StatusOr<TPRelation*> x = db_.CreateRelation("x", LocSchema("Name"));
+  StatusOr<TPRelation*> y = db_.CreateRelation("y", LocSchema("Name"));
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(y.ok());
+  ASSERT_TRUE((*x)->AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(0, 5),
+                               0.5)
+                  .ok());
+  ASSERT_TRUE((*y)->AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(3, 9),
+                               0.5)
+                  .ok());
+  StatusOr<TPRelation> uni = db_.Query("x UNION y");
+  ASSERT_TRUE(uni.ok()) << uni.status().ToString();
+  EXPECT_EQ(uni->size(), 3u);
+  StatusOr<TPRelation> inter = db_.Query("x INTERSECT y");
+  ASSERT_TRUE(inter.ok());
+  EXPECT_EQ(inter->size(), 1u);
+  StatusOr<TPRelation> except = db_.Query("x EXCEPT y");
+  ASSERT_TRUE(except.ok());
+  EXPECT_EQ(except->size(), 2u);
+}
+
+TEST_F(DatabaseTest, QueryErrors) {
+  EXPECT_FALSE(db_.Query("").ok());
+  EXPECT_FALSE(db_.Query("wants").ok());
+  EXPECT_FALSE(db_.Query("wants FROB hotels").ok());
+  EXPECT_FALSE(db_.Query("wants SIDEWAYS JOIN hotels ON Loc").ok());
+  EXPECT_FALSE(db_.Query("wants LEFT JOIN hotels").ok());
+  EXPECT_FALSE(db_.Query("wants LEFT JOIN hotels ON").ok());
+  EXPECT_FALSE(db_.Query("wants LEFT JOIN hotels ON Loc EXTRA").ok());
+  EXPECT_FALSE(db_.Query("wants LEFT JOIN missing ON Loc").ok());
+  EXPECT_FALSE(db_.Query("wants LEFT JOIN hotels ON NoSuchColumn").ok());
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,163 @@
+// Tests of the Temporal Alignment baseline: its primitives, and the
+// equivalence NJ ≡ TA (invariant 4 of DESIGN.md §7) — the baseline must
+// compute the same result while doing redundant work.
+#include <gtest/gtest.h>
+
+#include "baseline/alignment.h"
+#include "baseline/ta_join.h"
+#include "tests/reference/fixtures.h"
+#include "tests/reference/reference.h"
+#include "tp/operators.h"
+#include "tp/plans.h"
+
+namespace tpdb {
+namespace {
+
+using testing::MakeFig1Example;
+using testing::MakeRandomRelation;
+using testing::RandomRelationOptions;
+
+TEST(AlignmentPrimitives, SplitPointsIncludeTupleEndpoints) {
+  auto fx = MakeFig1Example();
+  const std::vector<std::vector<TimePoint>> points =
+      SplitPoints(*fx->a, *fx->b);
+  ASSERT_EQ(points.size(), 2u);
+  // a1 = [2,8): boundaries of b1 [1,4), b2 [5,8), b3 [4,6) inside (θ is
+  // ignored, so b1's end 4 counts too): {2, 4, 5, 6, 8}.
+  EXPECT_EQ(points[0], (std::vector<TimePoint>{2, 4, 5, 6, 8}));
+  // a2 = [7,10): b2 [5,8) overlaps it *temporally* (θ is ignored by the
+  // alignment primitives), so its end contributes a split: {7, 8, 10}.
+  EXPECT_EQ(points[1], (std::vector<TimePoint>{7, 8, 10}));
+}
+
+TEST(AlignmentPrimitives, NormalizeFragmentsCoverEachTuple) {
+  auto fx = MakeFig1Example();
+  const std::vector<AlignedFragment> fragments = Normalize(*fx->a, *fx->b);
+  // a1 splits into [2,4) [4,5) [5,6) [6,8); a2 into [7,8) [8,10).
+  ASSERT_EQ(fragments.size(), 6u);
+  std::vector<Interval> a1_pieces;
+  for (const AlignedFragment& f : fragments)
+    if (f.rid == 0) a1_pieces.push_back(f.piece);
+  ASSERT_EQ(a1_pieces.size(), 4u);
+  EXPECT_EQ(a1_pieces[0], Interval(2, 4));
+  EXPECT_EQ(a1_pieces[3], Interval(6, 8));
+  // Fragments tile the original interval with no gaps.
+  for (size_t i = 1; i < a1_pieces.size(); ++i)
+    EXPECT_EQ(a1_pieces[i - 1].end, a1_pieces[i].start);
+}
+
+TEST(AlignmentPrimitives, NormalizeReplicates) {
+  // The inefficiency the paper attributes to TA: fragment count exceeds
+  // tuple count as soon as intervals overlap across relations.
+  auto fx = MakeFig1Example();
+  EXPECT_GT(Normalize(*fx->a, *fx->b).size(), fx->a->size());
+}
+
+struct TaParam {
+  uint64_t seed;
+  int64_t keys;
+};
+
+class TaEquivalenceTest : public ::testing::TestWithParam<TaParam> {
+ protected:
+  void SetUp() override {
+    Random rng(GetParam().seed * 77);
+    RandomRelationOptions opts;
+    opts.num_tuples = 18;
+    opts.num_keys = GetParam().keys;
+    r_ = MakeRandomRelation(&manager_, "r", opts, &rng);
+    s_ = MakeRandomRelation(&manager_, "s", opts, &rng);
+    theta_ = JoinCondition::Equals("key");
+  }
+
+  LineageManager manager_;
+  std::unique_ptr<TPRelation> r_;
+  std::unique_ptr<TPRelation> s_;
+  JoinCondition theta_;
+};
+
+TEST_P(TaEquivalenceTest, WindowsMatchLineageAwareStrategy) {
+  for (const WindowStage stage :
+       {WindowStage::kOverlap, WindowStage::kWuo, WindowStage::kWuon}) {
+    StatusOr<std::vector<TPWindow>> nj =
+        ComputeWindows(*r_, *s_, theta_, stage);
+    StatusOr<std::vector<TPWindow>> ta =
+        TAComputeWindows(*r_, *s_, theta_, stage);
+    ASSERT_TRUE(nj.ok());
+    ASSERT_TRUE(ta.ok());
+    SortWindows(&*nj);
+    SortWindows(&*ta);
+    ASSERT_EQ(nj->size(), ta->size())
+        << "stage " << static_cast<int>(stage) << "\nNJ:\n"
+        << WindowsToString(manager_, *nj) << "TA:\n"
+        << WindowsToString(manager_, *ta);
+    for (size_t i = 0; i < nj->size(); ++i) {
+      const TPWindow& a = (*nj)[i];
+      const TPWindow& b = (*ta)[i];
+      EXPECT_TRUE(a.cls == b.cls && a.rid == b.rid && a.window == b.window &&
+                  a.lin_r == b.lin_r && a.lin_s == b.lin_s)
+          << "stage " << static_cast<int>(stage) << " window " << i << ":\n"
+          << a.ToString(manager_) << "\nvs\n" << b.ToString(manager_);
+    }
+  }
+}
+
+TEST_P(TaEquivalenceTest, JoinResultsMatchForAllKinds) {
+  for (const TPJoinKind kind :
+       {TPJoinKind::kInner, TPJoinKind::kAnti, TPJoinKind::kLeftOuter,
+        TPJoinKind::kRightOuter, TPJoinKind::kFullOuter}) {
+    TPJoinOptions nj_opts;
+    TPJoinOptions ta_opts;
+    ta_opts.strategy = JoinStrategy::kTemporalAlignment;
+    StatusOr<TPRelation> nj = TPJoin(kind, *r_, *s_, theta_, nj_opts);
+    StatusOr<TPRelation> ta = TPJoin(kind, *r_, *s_, theta_, ta_opts);
+    ASSERT_TRUE(nj.ok()) << nj.status().ToString();
+    ASSERT_TRUE(ta.ok()) << ta.status().ToString();
+    ASSERT_EQ(nj->size(), ta->size()) << TPJoinKindName(kind);
+
+    // Compare as canonicalized sets of (fact, interval, lineage id).
+    auto canon = [](const TPRelation& rel) {
+      std::vector<std::tuple<Row, Interval, uint32_t>> rows;
+      for (const TPTuple& t : rel.tuples())
+        rows.emplace_back(t.fact, t.interval, t.lineage.id);
+      std::sort(rows.begin(), rows.end(),
+                [](const auto& a, const auto& b) {
+                  const int c = CompareRows(std::get<0>(a), std::get<0>(b));
+                  if (c != 0) return c < 0;
+                  if (!(std::get<1>(a) == std::get<1>(b)))
+                    return std::get<1>(a) < std::get<1>(b);
+                  return std::get<2>(a) < std::get<2>(b);
+                });
+      return rows;
+    };
+    EXPECT_EQ(canon(*nj), canon(*ta)) << TPJoinKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedSweep, TaEquivalenceTest,
+    ::testing::Values(TaParam{1, 2}, TaParam{2, 3}, TaParam{3, 1},
+                      TaParam{4, 4}, TaParam{5, 2}, TaParam{6, 6},
+                      TaParam{7, 3}, TaParam{8, 2}),
+    [](const ::testing::TestParamInfo<TaParam>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(TaWindows, MatchOracleOnFig1) {
+  auto fx = MakeFig1Example();
+  StatusOr<std::vector<TPWindow>> ta =
+      TAComputeWindows(*fx->a, *fx->b, fx->theta, WindowStage::kWuon);
+  ASSERT_TRUE(ta.ok());
+  std::vector<TPWindow> expected = testing::ReferenceWindows(
+      *fx->a, *fx->b, fx->theta, WindowStage::kWuon);
+  SortWindows(&*ta);
+  ASSERT_EQ(ta->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*ta)[i].window, expected[i].window);
+    EXPECT_EQ((*ta)[i].cls, expected[i].cls);
+    EXPECT_EQ((*ta)[i].lin_s, expected[i].lin_s);
+  }
+}
+
+}  // namespace
+}  // namespace tpdb

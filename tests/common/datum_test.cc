@@ -1,0 +1,71 @@
+#include "common/datum.h"
+
+#include <gtest/gtest.h>
+
+namespace tpdb {
+namespace {
+
+TEST(Datum, DefaultIsNull) {
+  Datum d;
+  EXPECT_TRUE(d.is_null());
+  EXPECT_EQ(d.type(), DatumType::kNull);
+}
+
+TEST(Datum, TypedConstructionAndAccess) {
+  EXPECT_EQ(Datum(static_cast<int64_t>(42)).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Datum(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Datum("abc").AsString(), "abc");
+  EXPECT_EQ(Datum(LineageRef{7}).AsLineage().id, 7u);
+}
+
+TEST(Datum, TypeTags) {
+  EXPECT_EQ(Datum(static_cast<int64_t>(1)).type(), DatumType::kInt64);
+  EXPECT_EQ(Datum(1.0).type(), DatumType::kDouble);
+  EXPECT_EQ(Datum("x").type(), DatumType::kString);
+  EXPECT_EQ(Datum(LineageRef{0}).type(), DatumType::kLineage);
+}
+
+TEST(Datum, CompareWithinTypes) {
+  EXPECT_LT(Datum(static_cast<int64_t>(1)), Datum(static_cast<int64_t>(2)));
+  EXPECT_EQ(Datum(static_cast<int64_t>(3)), Datum(static_cast<int64_t>(3)));
+  EXPECT_LT(Datum(1.5), Datum(2.5));
+  EXPECT_LT(Datum("a"), Datum("b"));
+  EXPECT_LT(Datum(LineageRef{1}), Datum(LineageRef{2}));
+}
+
+TEST(Datum, CompareAcrossTypesUsesTypeOrder) {
+  // NULL < int64 < double < string < lineage.
+  EXPECT_LT(Datum::Null(), Datum(static_cast<int64_t>(0)));
+  EXPECT_LT(Datum(static_cast<int64_t>(999)), Datum(0.0));
+  EXPECT_LT(Datum(999.0), Datum(""));
+  EXPECT_LT(Datum("zzz"), Datum(LineageRef{0}));
+}
+
+TEST(Datum, NullsCompareEqual) {
+  EXPECT_EQ(Datum::Null(), Datum::Null());
+}
+
+TEST(Datum, HashDistinguishesValuesAndTypes) {
+  EXPECT_NE(Datum(static_cast<int64_t>(1)).Hash(),
+            Datum(static_cast<int64_t>(2)).Hash());
+  EXPECT_NE(Datum(static_cast<int64_t>(1)).Hash(), Datum("1").Hash());
+  EXPECT_EQ(Datum("abc").Hash(), Datum("abc").Hash());
+}
+
+TEST(Datum, ToStringRendersEveryType) {
+  EXPECT_EQ(Datum::Null().ToString(), "-");
+  EXPECT_EQ(Datum(static_cast<int64_t>(7)).ToString(), "7");
+  EXPECT_EQ(Datum("x").ToString(), "x");
+  EXPECT_EQ(Datum(LineageRef::Null()).ToString(), "-");
+  EXPECT_EQ(Datum(LineageRef{3}).ToString(), "λ#3");
+}
+
+TEST(LineageRefBasics, NullSentinel) {
+  EXPECT_TRUE(LineageRef::Null().is_null());
+  EXPECT_FALSE((LineageRef{0}).is_null());
+  EXPECT_EQ(LineageRef::Null(), LineageRef::Null());
+  EXPECT_NE(LineageRef{1}, LineageRef{2});
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,94 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tpdb {
+namespace {
+
+TEST(Random, DeterministicForFixedSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Random, UniformSingletonRange) {
+  Random rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(4, 4), 4);
+}
+
+TEST(Random, UniformCoversAllValues) {
+  Random rng(11);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[rng.Uniform(0, 9)];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, c] : counts) EXPECT_GT(c, 150) << v;
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Random, ExponentialIsPositiveWithRoughMean) {
+  Random rng(9);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.Exponential(50.0);
+    EXPECT_GE(v, 1);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 50.0, 5.0);
+}
+
+TEST(Random, ZipfZeroSkewIsUniform) {
+  Random rng(5);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[rng.Zipf(10, 0.0)];
+  for (const auto& [v, c] : counts) EXPECT_GT(c, 300) << v;
+}
+
+TEST(Random, ZipfSkewFavoursSmallValues) {
+  Random rng(5);
+  int low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i)
+    if (rng.Zipf(100, 1.2) < 10) ++low;
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(Random, ZipfStaysInRange) {
+  Random rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Zipf(7, 0.9);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace tpdb

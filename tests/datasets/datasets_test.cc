@@ -1,0 +1,163 @@
+// Tests of the workload generators: determinism, validity (the TP
+// duplicate-free invariant), and the dataset characteristics the paper's
+// evaluation depends on (distinct-value counts, match rates).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/generator.h"
+#include "datasets/meteo.h"
+#include "datasets/webkit.h"
+
+namespace tpdb {
+namespace {
+
+TEST(ChainGenerator, ProducesDisjointChain) {
+  LineageManager mgr;
+  Schema schema;
+  schema.AddColumn({"k", DatumType::kInt64});
+  TPRelation rel("r", schema, &mgr);
+  Random rng(1);
+  ChainOptions chain;
+  chain.start_lo = 0;
+  chain.start_hi = 100;
+  chain.gap_probability = 0.5;
+  ASSERT_TRUE(AppendChain(&rel, {Datum(static_cast<int64_t>(7))}, 20, chain,
+                          &rng)
+                  .ok());
+  EXPECT_EQ(rel.size(), 20u);
+  EXPECT_TRUE(rel.Validate().ok());
+  // Chain is temporally increasing.
+  for (size_t i = 1; i < rel.size(); ++i)
+    EXPECT_GE(rel.tuple(i).interval.start, rel.tuple(i - 1).interval.end);
+}
+
+TEST(UniformWorkload, SizeValidityDeterminism) {
+  LineageManager mgr1;
+  Random rng1(99);
+  UniformWorkloadOptions opts;
+  opts.num_tuples = 500;
+  opts.num_facts = 40;
+  StatusOr<TPRelation> a = MakeUniformWorkload(&mgr1, "u", opts, &rng1);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(), 500u);
+  EXPECT_TRUE(a->Validate().ok());
+
+  LineageManager mgr2;
+  Random rng2(99);
+  StatusOr<TPRelation> b = MakeUniformWorkload(&mgr2, "u", opts, &rng2);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(CompareRows(a->tuple(i).fact, b->tuple(i).fact), 0);
+    EXPECT_EQ(a->tuple(i).interval, b->tuple(i).interval);
+  }
+}
+
+TEST(UniformWorkload, SkewConcentratesFacts) {
+  LineageManager mgr;
+  Random rng(5);
+  UniformWorkloadOptions opts;
+  opts.num_tuples = 2000;
+  opts.num_facts = 100;
+  opts.fact_skew = 1.3;
+  StatusOr<TPRelation> rel = MakeUniformWorkload(&mgr, "z", opts, &rng);
+  ASSERT_TRUE(rel.ok());
+  int64_t low_keys = 0;
+  for (const TPTuple& t : rel->tuples())
+    if (t.fact[0].AsInt64() < 10) ++low_keys;
+  EXPECT_GT(low_keys, 1000);
+}
+
+TEST(WebkitDataset, ShapeMatchesDesignContract) {
+  LineageManager mgr;
+  WebkitOptions opts;
+  opts.num_tuples = 2000;
+  StatusOr<WebkitDataset> ds = MakeWebkitDataset(&mgr, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->r.size(), 2000u);
+  EXPECT_EQ(ds->s.size(), 2000u);
+  EXPECT_TRUE(ds->r.Validate().ok());
+  EXPECT_TRUE(ds->s.Validate().ok());
+
+  // Many distinct join values: within a factor of the target N/versions.
+  std::set<int64_t> files;
+  for (const TPTuple& t : ds->r.tuples()) files.insert(t.fact[0].AsInt64());
+  EXPECT_GT(files.size(), 150u);  // >> Meteo's ~50 metrics
+
+  // Version chains are adjacent: consecutive same-file intervals meet.
+  for (size_t i = 1; i < ds->r.size(); ++i) {
+    if (CompareRows(ds->r.tuple(i).fact, ds->r.tuple(i - 1).fact) != 0)
+      continue;
+    EXPECT_EQ(ds->r.tuple(i - 1).interval.end, ds->r.tuple(i).interval.start);
+  }
+}
+
+TEST(WebkitDataset, Deterministic) {
+  LineageManager m1;
+  LineageManager m2;
+  WebkitOptions opts;
+  opts.num_tuples = 300;
+  StatusOr<WebkitDataset> a = MakeWebkitDataset(&m1, opts);
+  StatusOr<WebkitDataset> b = MakeWebkitDataset(&m2, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->r.size(), b->r.size());
+  for (size_t i = 0; i < a->r.size(); ++i)
+    EXPECT_EQ(a->r.tuple(i).interval, b->r.tuple(i).interval);
+}
+
+TEST(MeteoDataset, SmallUniformJoinDomain) {
+  LineageManager mgr;
+  MeteoOptions opts;
+  opts.num_tuples = 2000;
+  opts.num_metrics = 50;
+  StatusOr<MeteoDataset> ds = MakeMeteoDataset(&mgr, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->r.size(), 2000u);
+  EXPECT_TRUE(ds->r.Validate().ok());
+  EXPECT_TRUE(ds->s.Validate().ok());
+
+  // Distinct metric count is small and roughly uniform.
+  std::map<int64_t, int64_t> metric_counts;
+  const int metric_col = ds->r.fact_schema().IndexOf("metric");
+  ASSERT_GE(metric_col, 0);
+  for (const TPTuple& t : ds->r.tuples())
+    ++metric_counts[t.fact[metric_col].AsInt64()];
+  EXPECT_LE(metric_counts.size(), 50u);
+  EXPECT_GE(metric_counts.size(), 40u);
+  for (const auto& [metric, count] : metric_counts)
+    EXPECT_GT(count, 10) << metric;
+}
+
+TEST(MeteoDataset, ThetaExcludesSameStation) {
+  LineageManager mgr;
+  MeteoOptions opts;
+  opts.num_tuples = 100;
+  StatusOr<MeteoDataset> ds = MakeMeteoDataset(&mgr, opts);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(ds->theta.predicate != nullptr);
+  const Row same = {Datum(static_cast<int64_t>(1)),
+                    Datum(static_cast<int64_t>(5))};
+  const Row other = {Datum(static_cast<int64_t>(2)),
+                     Datum(static_cast<int64_t>(5))};
+  EXPECT_FALSE(ds->theta.predicate(same, same));
+  EXPECT_TRUE(ds->theta.predicate(same, other));
+}
+
+TEST(Generators, RejectBadOptions) {
+  LineageManager mgr;
+  Random rng(1);
+  UniformWorkloadOptions bad;
+  bad.num_facts = 0;
+  EXPECT_FALSE(MakeUniformWorkload(&mgr, "x", bad, &rng).ok());
+  WebkitOptions wbad;
+  wbad.num_tuples = 0;
+  EXPECT_FALSE(MakeWebkitDataset(&mgr, wbad).ok());
+  MeteoOptions mbad;
+  mbad.num_metrics = 0;
+  EXPECT_FALSE(MakeMeteoDataset(&mgr, mbad).ok());
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,147 @@
+#include "engine/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/explain.h"
+#include "engine/limit.h"
+#include "engine/materialize.h"
+#include "engine/scan.h"
+
+namespace tpdb {
+namespace {
+
+Datum I(int64_t v) { return Datum(v); }
+
+Table SalesTable() {
+  Table t;
+  t.schema.AddColumn({"region", DatumType::kString});
+  t.schema.AddColumn({"units", DatumType::kInt64});
+  t.schema.AddColumn({"price", DatumType::kDouble});
+  t.rows = {
+      {Datum("east"), I(3), Datum(1.5)},
+      {Datum("west"), I(5), Datum(2.0)},
+      {Datum("east"), I(2), Datum(4.0)},
+      {Datum("east"), I(7), Datum(0.5)},
+      {Datum("west"), I(1), Datum(3.0)},
+  };
+  return t;
+}
+
+TEST(HashAggregate, CountPerGroup) {
+  const Table t = SalesTable();
+  HashAggregate agg(std::make_unique<TableScan>(&t), {0},
+                    {{AggFn::kCount, -1, "n"}});
+  const Table out = Materialize(&agg);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.rows[0][0].AsString(), "east");
+  EXPECT_EQ(out.rows[0][1].AsInt64(), 3);
+  EXPECT_EQ(out.rows[1][0].AsString(), "west");
+  EXPECT_EQ(out.rows[1][1].AsInt64(), 2);
+}
+
+TEST(HashAggregate, SumMinMax) {
+  const Table t = SalesTable();
+  HashAggregate agg(std::make_unique<TableScan>(&t), {0},
+                    {{AggFn::kSum, 1, "total"},
+                     {AggFn::kMin, 2, "lo"},
+                     {AggFn::kMax, 2, "hi"}});
+  const Table out = Materialize(&agg);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.rows[0][1].AsInt64(), 12);  // east: 3+2+7
+  EXPECT_DOUBLE_EQ(out.rows[0][2].AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(out.rows[0][3].AsDouble(), 4.0);
+  EXPECT_EQ(out.rows[1][1].AsInt64(), 6);  // west: 5+1
+}
+
+TEST(HashAggregate, DoubleSum) {
+  const Table t = SalesTable();
+  HashAggregate agg(std::make_unique<TableScan>(&t), {0},
+                    {{AggFn::kSum, 2, "revenue"}});
+  const Table out = Materialize(&agg);
+  EXPECT_DOUBLE_EQ(out.rows[0][1].AsDouble(), 6.0);  // east 1.5+4.0+0.5
+}
+
+TEST(HashAggregate, NullsIgnoredInAggregates) {
+  Table t;
+  t.schema.AddColumn({"g", DatumType::kInt64});
+  t.schema.AddColumn({"v", DatumType::kInt64});
+  t.rows = {{I(1), I(5)}, {I(1), Datum::Null()}, {I(1), I(3)}};
+  HashAggregate agg(std::make_unique<TableScan>(&t), {0},
+                    {{AggFn::kSum, 1, "s"}, {AggFn::kCount, -1, "n"}});
+  const Table out = Materialize(&agg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rows[0][1].AsInt64(), 8);
+  EXPECT_EQ(out.rows[0][2].AsInt64(), 3);  // COUNT(*) counts null rows
+}
+
+TEST(HashAggregate, EmptyInputNoGroups) {
+  Table t;
+  t.schema.AddColumn({"g", DatumType::kInt64});
+  HashAggregate agg(std::make_unique<TableScan>(&t), {0},
+                    {{AggFn::kCount, -1, "n"}});
+  EXPECT_EQ(Materialize(&agg).size(), 0u);
+}
+
+TEST(HashAggregate, MultiColumnGroups) {
+  Table t;
+  t.schema.AddColumn({"a", DatumType::kInt64});
+  t.schema.AddColumn({"b", DatumType::kInt64});
+  t.rows = {{I(1), I(1)}, {I(1), I(2)}, {I(1), I(1)}, {I(2), I(1)}};
+  HashAggregate agg(std::make_unique<TableScan>(&t), {0, 1},
+                    {{AggFn::kCount, -1, "n"}});
+  const Table out = Materialize(&agg);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.rows[0][2].AsInt64(), 2);  // (1,1)
+}
+
+TEST(Limit, BoundsAndOffsets) {
+  const Table t = SalesTable();
+  {
+    Limit limit(std::make_unique<TableScan>(&t), 2);
+    EXPECT_EQ(Materialize(&limit).size(), 2u);
+  }
+  {
+    Limit limit(std::make_unique<TableScan>(&t), 10, 3);
+    const Table out = Materialize(&limit);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out.rows[0][1].AsInt64(), 7);  // 4th row
+  }
+  {
+    Limit limit(std::make_unique<TableScan>(&t), 0);
+    EXPECT_EQ(Materialize(&limit).size(), 0u);
+  }
+  {
+    Limit limit(std::make_unique<TableScan>(&t), 5, 99);
+    EXPECT_EQ(Materialize(&limit).size(), 0u);
+  }
+}
+
+TEST(Explain, CountsRowsPerNode) {
+  const Table t = SalesTable();
+  ExecStats stats;
+  OperatorPtr plan =
+      Instrument("scan", std::make_unique<TableScan>(&t), &stats);
+  plan = Instrument(
+      "limit", std::make_unique<Limit>(std::move(plan), 3), &stats);
+  EXPECT_EQ(Drain(plan.get()), 3u);
+  ASSERT_EQ(stats.nodes().size(), 2u);
+  EXPECT_EQ(stats.nodes()[0]->rows, 3u);  // scan pulled 3 times
+  EXPECT_EQ(stats.nodes()[1]->rows, 3u);
+  EXPECT_EQ(stats.nodes()[0]->open_calls, 1u);
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("scan"), std::string::npos);
+  EXPECT_NE(text.find("rows=3"), std::string::npos);
+}
+
+TEST(Explain, TimeIsInclusiveOfChildren) {
+  const Table t = SalesTable();
+  ExecStats stats;
+  OperatorPtr plan =
+      Instrument("inner", std::make_unique<TableScan>(&t), &stats);
+  plan = Instrument("outer", std::move(plan), &stats);
+  Drain(plan.get());
+  EXPECT_GE(stats.nodes()[1]->seconds, stats.nodes()[0]->seconds);
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,127 @@
+#include "engine/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace tpdb {
+namespace {
+
+Row TestRow() {
+  return Row{Datum(static_cast<int64_t>(10)), Datum(static_cast<int64_t>(20)),
+             Datum("x"), Datum::Null(), Datum(2.5)};
+}
+
+TEST(Expr, ColumnReference) {
+  EXPECT_EQ(Col(0)->Eval(TestRow()).AsInt64(), 10);
+  EXPECT_EQ(Col(2)->Eval(TestRow()).AsString(), "x");
+  EXPECT_TRUE(Col(3)->Eval(TestRow()).is_null());
+}
+
+TEST(Expr, Literal) {
+  EXPECT_EQ(Lit(Datum(static_cast<int64_t>(7)))->Eval(TestRow()).AsInt64(),
+            7);
+}
+
+TEST(Expr, Comparisons) {
+  const Row row = TestRow();
+  EXPECT_TRUE(DatumTruthy(Lt(Col(0), Col(1))->Eval(row)));
+  EXPECT_FALSE(DatumTruthy(Lt(Col(1), Col(0))->Eval(row)));
+  EXPECT_TRUE(DatumTruthy(Eq(Col(0), Col(0))->Eval(row)));
+  EXPECT_TRUE(DatumTruthy(Le(Col(0), Col(0))->Eval(row)));
+  EXPECT_TRUE(DatumTruthy(
+      Compare(CompareOp::kNe, Col(0), Col(1))->Eval(row)));
+  EXPECT_TRUE(DatumTruthy(
+      Compare(CompareOp::kGt, Col(1), Col(0))->Eval(row)));
+  EXPECT_TRUE(DatumTruthy(
+      Compare(CompareOp::kGe, Col(1), Col(1))->Eval(row)));
+}
+
+TEST(Expr, NullComparisonsYieldNull) {
+  const Row row = TestRow();
+  EXPECT_TRUE(Eq(Col(3), Col(0))->Eval(row).is_null());
+  EXPECT_TRUE(Lt(Col(3), Col(3))->Eval(row).is_null());
+}
+
+TEST(Expr, KleeneAnd) {
+  const Row row = TestRow();
+  const ExprPtr t = Lit(Datum(static_cast<int64_t>(1)));
+  const ExprPtr f = Lit(Datum(static_cast<int64_t>(0)));
+  const ExprPtr n = Col(3);  // NULL
+  EXPECT_TRUE(DatumTruthy(AndExpr(t, t)->Eval(row)));
+  EXPECT_FALSE(DatumTruthy(AndExpr(t, f)->Eval(row)));
+  // false AND null = false (not null).
+  EXPECT_FALSE(AndExpr(f, n)->Eval(row).is_null());
+  EXPECT_FALSE(DatumTruthy(AndExpr(f, n)->Eval(row)));
+  // true AND null = null.
+  EXPECT_TRUE(AndExpr(t, n)->Eval(row).is_null());
+}
+
+TEST(Expr, KleeneOr) {
+  const Row row = TestRow();
+  const ExprPtr t = Lit(Datum(static_cast<int64_t>(1)));
+  const ExprPtr f = Lit(Datum(static_cast<int64_t>(0)));
+  const ExprPtr n = Col(3);
+  // true OR null = true.
+  EXPECT_TRUE(DatumTruthy(OrExpr(t, n)->Eval(row)));
+  // false OR null = null.
+  EXPECT_TRUE(OrExpr(f, n)->Eval(row).is_null());
+  EXPECT_FALSE(DatumTruthy(OrExpr(f, f)->Eval(row)));
+}
+
+TEST(Expr, NotAndIsNull) {
+  const Row row = TestRow();
+  const ExprPtr t = Lit(Datum(static_cast<int64_t>(1)));
+  EXPECT_FALSE(DatumTruthy(NotExpr(t)->Eval(row)));
+  EXPECT_TRUE(NotExpr(Col(3))->Eval(row).is_null());
+  EXPECT_TRUE(DatumTruthy(IsNull(Col(3))->Eval(row)));
+  EXPECT_FALSE(DatumTruthy(IsNull(Col(0))->Eval(row)));
+}
+
+TEST(Expr, OverlapsPredicate) {
+  // Columns: a_ts, a_te, b_ts, b_te.
+  const ExprPtr pred = OverlapsExpr(0, 1, 2, 3);
+  auto row = [](int64_t a, int64_t b, int64_t c, int64_t d) {
+    return Row{Datum(a), Datum(b), Datum(c), Datum(d)};
+  };
+  EXPECT_TRUE(DatumTruthy(pred->Eval(row(2, 8, 4, 6))));
+  EXPECT_TRUE(DatumTruthy(pred->Eval(row(2, 8, 7, 10))));
+  EXPECT_FALSE(DatumTruthy(pred->Eval(row(1, 4, 4, 6))));  // meets
+  EXPECT_FALSE(DatumTruthy(pred->Eval(row(1, 3, 5, 8))));
+}
+
+TEST(Expr, ColumnsEqualConjunction) {
+  const ExprPtr pred = ColumnsEqual({{0, 1}, {2, 3}});
+  EXPECT_TRUE(DatumTruthy(pred->Eval(
+      Row{Datum(static_cast<int64_t>(5)), Datum(static_cast<int64_t>(5)),
+          Datum("a"), Datum("a")})));
+  EXPECT_FALSE(DatumTruthy(pred->Eval(
+      Row{Datum(static_cast<int64_t>(5)), Datum(static_cast<int64_t>(5)),
+          Datum("a"), Datum("b")})));
+  // Empty pair list: trivially true.
+  EXPECT_TRUE(DatumTruthy(ColumnsEqual({})->Eval(TestRow())));
+}
+
+TEST(Expr, FnWrapsArbitraryPredicate) {
+  const ExprPtr pred = Fn(
+      [](const Row& row) {
+        return Datum(static_cast<int64_t>(row[0].AsInt64() % 2 == 0));
+      },
+      "even");
+  EXPECT_TRUE(DatumTruthy(pred->Eval(TestRow())));
+  EXPECT_EQ(pred->ToString(), "even(...)");
+}
+
+TEST(Expr, ToStringRendering) {
+  EXPECT_EQ(Eq(Col(0, "x"), Lit(Datum(static_cast<int64_t>(3))))->ToString(),
+            "(x = 3)");
+  EXPECT_EQ(Col(1)->ToString(), "$1");
+}
+
+TEST(Expr, DatumTruthySemantics) {
+  EXPECT_FALSE(DatumTruthy(Datum::Null()));
+  EXPECT_FALSE(DatumTruthy(Datum(static_cast<int64_t>(0))));
+  EXPECT_TRUE(DatumTruthy(Datum(static_cast<int64_t>(-1))));
+  EXPECT_TRUE(DatumTruthy(Datum("x")));  // non-int non-null is truthy
+}
+
+}  // namespace
+}  // namespace tpdb

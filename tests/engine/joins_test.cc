@@ -1,0 +1,222 @@
+// Unit tests of the join operators: NestedLoopJoin (general θ) and
+// TemporalOuterJoin (the partitioned θo ∧ θ plan), cross-checked against
+// each other on randomized inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "engine/materialize.h"
+#include "engine/nested_loop_join.h"
+#include "engine/scan.h"
+#include "engine/temporal_outer_join.h"
+
+namespace tpdb {
+namespace {
+
+Datum I(int64_t v) { return Datum(v); }
+
+Table MakeLeft() {
+  Table t;
+  t.schema.AddColumn({"k", DatumType::kInt64});
+  t.schema.AddColumn({"ts", DatumType::kInt64});
+  t.schema.AddColumn({"te", DatumType::kInt64});
+  t.rows = {
+      {I(1), I(2), I(8)},
+      {I(2), I(7), I(10)},
+      {I(3), I(0), I(4)},
+  };
+  return t;
+}
+
+Table MakeRight() {
+  Table t;
+  t.schema.AddColumn({"k", DatumType::kInt64});
+  t.schema.AddColumn({"ts", DatumType::kInt64});
+  t.schema.AddColumn({"te", DatumType::kInt64});
+  t.rows = {
+      {I(1), I(5), I(8)},
+      {I(1), I(4), I(6)},
+      {I(2), I(1), I(4)},
+      {I(9), I(0), I(100)},
+  };
+  return t;
+}
+
+TEST(NestedLoopJoin, InnerWithEquality) {
+  const Table l = MakeLeft();
+  const Table r = MakeRight();
+  NestedLoopJoin join(std::make_unique<TableScan>(&l),
+                      std::make_unique<TableScan>(&r),
+                      Eq(Col(0), Col(3)), JoinType::kInner);
+  const Table out = Materialize(&join);
+  EXPECT_EQ(out.size(), 3u);  // k=1 matches twice, k=2 once
+  EXPECT_EQ(out.schema.num_columns(), 6u);
+}
+
+TEST(NestedLoopJoin, LeftOuterEmitsNullsForUnmatched) {
+  const Table l = MakeLeft();
+  const Table r = MakeRight();
+  NestedLoopJoin join(std::make_unique<TableScan>(&l),
+                      std::make_unique<TableScan>(&r),
+                      Eq(Col(0), Col(3)), JoinType::kLeftOuter);
+  const Table out = Materialize(&join);
+  EXPECT_EQ(out.size(), 4u);  // + unmatched k=3
+  size_t nulls = 0;
+  for (const Row& row : out.rows)
+    if (row[3].is_null()) ++nulls;
+  EXPECT_EQ(nulls, 1u);
+}
+
+TEST(NestedLoopJoin, EmptyRightLeftOuter) {
+  const Table l = MakeLeft();
+  Table r = MakeRight();
+  r.rows.clear();
+  NestedLoopJoin join(std::make_unique<TableScan>(&l),
+                      std::make_unique<TableScan>(&r),
+                      Eq(Col(0), Col(3)), JoinType::kLeftOuter);
+  EXPECT_EQ(Materialize(&join).size(), l.size());
+}
+
+TEST(NestedLoopJoin, EmptyLeftProducesNothing) {
+  Table l = MakeLeft();
+  l.rows.clear();
+  const Table r = MakeRight();
+  NestedLoopJoin join(std::make_unique<TableScan>(&l),
+                      std::make_unique<TableScan>(&r),
+                      Eq(Col(0), Col(3)), JoinType::kLeftOuter);
+  EXPECT_EQ(Materialize(&join).size(), 0u);
+}
+
+TemporalJoinSpec BasicSpec() {
+  TemporalJoinSpec spec;
+  spec.equi_keys = {{0, 0}};
+  spec.left_ts = 1;
+  spec.left_te = 2;
+  spec.right_ts = 1;
+  spec.right_te = 2;
+  return spec;
+}
+
+TEST(TemporalOuterJoin, MatchesOverlapAndKey) {
+  const Table l = MakeLeft();
+  const Table r = MakeRight();
+  TemporalOuterJoin join(std::make_unique<TableScan>(&l),
+                         std::make_unique<TableScan>(&r), BasicSpec());
+  const Table out = Materialize(&join);
+  // l0 (k=1,[2,8)) overlaps r0 [5,8) and r1 [4,6); l1 (k=2,[7,10)) does not
+  // overlap r2 [1,4) -> unmatched; l2 (k=3) unmatched.
+  EXPECT_EQ(out.size(), 4u);
+  size_t matched = 0;
+  for (const Row& row : out.rows) {
+    if (row[3].is_null()) continue;
+    ++matched;
+    // Intersection columns are appended at the end.
+    const Interval inter(row[out.schema.num_columns() - 2].AsInt64(),
+                         row[out.schema.num_columns() - 1].AsInt64());
+    EXPECT_FALSE(inter.empty());
+  }
+  EXPECT_EQ(matched, 2u);
+}
+
+TEST(TemporalOuterJoin, MatchesArriveSortedByStart) {
+  const Table l = MakeLeft();
+  const Table r = MakeRight();  // k=1 rows are unsorted: [5,8) before [4,6)
+  TemporalOuterJoin join(std::make_unique<TableScan>(&l),
+                         std::make_unique<TableScan>(&r), BasicSpec());
+  const Table out = Materialize(&join);
+  std::vector<int64_t> starts;
+  for (const Row& row : out.rows)
+    if (!row[3].is_null() && row[0].AsInt64() == 1)
+      starts.push_back(row[4].AsInt64());
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+}
+
+TEST(TemporalOuterJoin, NullKeysNeverMatch) {
+  Table l = MakeLeft();
+  l.rows.push_back({Datum::Null(), I(0), I(100)});
+  Table r = MakeRight();
+  r.rows.push_back({Datum::Null(), I(0), I(100)});
+  TemporalOuterJoin join(std::make_unique<TableScan>(&l),
+                         std::make_unique<TableScan>(&r), BasicSpec());
+  const Table out = Materialize(&join);
+  for (const Row& row : out.rows) {
+    if (row[0].is_null()) EXPECT_TRUE(row[3].is_null());
+  }
+}
+
+TEST(TemporalOuterJoin, ResidualPredicateFilters) {
+  const Table l = MakeLeft();
+  const Table r = MakeRight();
+  TemporalJoinSpec spec = BasicSpec();
+  // Keep only pairs whose right interval starts at an even time point.
+  spec.residual = Fn(
+      [](const Row& row) {
+        return Datum(static_cast<int64_t>(row[4].AsInt64() % 2 == 0));
+      },
+      "even_start");
+  TemporalOuterJoin join(std::make_unique<TableScan>(&l),
+                         std::make_unique<TableScan>(&r), spec);
+  const Table out = Materialize(&join);
+  for (const Row& row : out.rows) {
+    if (!row[3].is_null()) EXPECT_EQ(row[4].AsInt64() % 2, 0);
+  }
+}
+
+TEST(TemporalOuterJoin, InnerModeSkipsUnmatched) {
+  const Table l = MakeLeft();
+  const Table r = MakeRight();
+  TemporalJoinSpec spec = BasicSpec();
+  spec.join_type = JoinType::kInner;
+  TemporalOuterJoin join(std::make_unique<TableScan>(&l),
+                         std::make_unique<TableScan>(&r), spec);
+  EXPECT_EQ(Materialize(&join).size(), 2u);
+}
+
+// Randomized cross-check: the partitioned temporal join must agree with a
+// nested loop evaluating the same predicate.
+TEST(TemporalOuterJoin, AgreesWithNestedLoopOnRandomInputs) {
+  Random rng(12345);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto make = [&](int64_t n) {
+      Table t;
+      t.schema.AddColumn({"k", DatumType::kInt64});
+      t.schema.AddColumn({"ts", DatumType::kInt64});
+      t.schema.AddColumn({"te", DatumType::kInt64});
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t ts = rng.Uniform(0, 30);
+        t.rows.push_back(
+            {I(rng.Uniform(0, 4)), I(ts), I(ts + rng.Uniform(1, 10))});
+      }
+      return t;
+    };
+    const Table l = make(rng.Uniform(0, 15));
+    const Table r = make(rng.Uniform(0, 15));
+
+    TemporalOuterJoin fast(std::make_unique<TableScan>(&l),
+                           std::make_unique<TableScan>(&r), BasicSpec());
+    Table fast_out = Materialize(&fast);
+    // Strip the two intersection columns for comparison.
+    for (Row& row : fast_out.rows) row.resize(6);
+
+    NestedLoopJoin slow(
+        std::make_unique<TableScan>(&l), std::make_unique<TableScan>(&r),
+        AndExpr(Eq(Col(0), Col(3)), OverlapsExpr(1, 2, 4, 5)),
+        JoinType::kLeftOuter);
+    Table slow_out = Materialize(&slow);
+
+    auto sorted = [](Table t) {
+      std::sort(t.rows.begin(), t.rows.end(),
+                [](const Row& a, const Row& b) {
+                  return CompareRows(a, b) < 0;
+                });
+      return t.rows;
+    };
+    EXPECT_EQ(sorted(std::move(fast_out)), sorted(std::move(slow_out)))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,107 @@
+#include "engine/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datasets/meteo.h"
+#include "datasets/webkit.h"
+#include "tp/overlap_join.h"
+#include "tp/plans.h"
+
+namespace tpdb {
+namespace {
+
+Table SmallTable() {
+  Table t;
+  t.schema.AddColumn({"k", DatumType::kInt64});
+  t.schema.AddColumn({"ts", DatumType::kInt64});
+  t.schema.AddColumn({"te", DatumType::kInt64});
+  auto I = [](int64_t v) { return Datum(v); };
+  t.rows = {
+      {I(1), I(0), I(10)},
+      {I(1), I(10), I(20)},
+      {I(2), I(5), I(15)},
+      {Datum::Null(), I(0), I(5)},
+  };
+  return t;
+}
+
+TEST(TableStats, CountsRowsDistinctAndNulls) {
+  const TableStats stats = TableStats::Compute(SmallTable(), 1, 2);
+  EXPECT_EQ(stats.rows, 4u);
+  EXPECT_EQ(stats.columns[0].distinct_values, 2u);
+  EXPECT_NEAR(stats.columns[0].null_fraction, 0.25, 1e-12);
+  EXPECT_EQ(stats.extent, Interval(0, 20));
+  EXPECT_NEAR(stats.avg_duration, (10 + 10 + 10 + 5) / 4.0, 1e-12);
+  EXPECT_NEAR(stats.avg_concurrency, 35.0 / 20.0, 1e-12);
+}
+
+TEST(TableStats, EmptyTable) {
+  Table t;
+  t.schema.AddColumn({"k", DatumType::kInt64});
+  const TableStats stats = TableStats::Compute(t);
+  EXPECT_EQ(stats.rows, 0u);
+  EXPECT_EQ(stats.columns[0].distinct_values, 0u);
+  EXPECT_TRUE(stats.extent.empty());
+}
+
+TEST(EstimateOverlapJoinPairs, SelectiveKeyShrinksEstimate) {
+  const TableStats stats = TableStats::Compute(SmallTable(), 1, 2);
+  const double with_key = EstimateOverlapJoinPairs(stats, stats, {{0, 0}});
+  const double without_key = EstimateOverlapJoinPairs(stats, stats, {});
+  EXPECT_LT(with_key, without_key);
+  EXPECT_GT(with_key, 0.0);
+}
+
+TEST(PreferPartitionedJoin, NoKeysMeansNestedLoop) {
+  const TableStats stats = TableStats::Compute(SmallTable(), 1, 2);
+  EXPECT_FALSE(PreferPartitionedJoin(stats, stats, {}));
+  EXPECT_TRUE(PreferPartitionedJoin(stats, stats, {{0, 0}}));
+}
+
+TEST(AutoAlgorithm, MatchesExplicitChoicesOnFig1SizedData) {
+  // The kAuto plan must produce the same windows as both explicit plans.
+  LineageManager manager;
+  WebkitOptions opts;
+  opts.num_tuples = 300;
+  StatusOr<WebkitDataset> ds = MakeWebkitDataset(&manager, opts);
+  ASSERT_TRUE(ds.ok());
+  StatusOr<std::vector<TPWindow>> autow = ComputeWindows(
+      ds->r, ds->s, ds->theta, WindowStage::kWuon, OverlapAlgorithm::kAuto);
+  StatusOr<std::vector<TPWindow>> part =
+      ComputeWindows(ds->r, ds->s, ds->theta, WindowStage::kWuon,
+                     OverlapAlgorithm::kPartitioned);
+  ASSERT_TRUE(autow.ok());
+  ASSERT_TRUE(part.ok());
+  SortWindows(&*autow);
+  SortWindows(&*part);
+  ASSERT_EQ(autow->size(), part->size());
+  for (size_t i = 0; i < autow->size(); ++i) {
+    EXPECT_EQ((*autow)[i].window, (*part)[i].window);
+    EXPECT_EQ((*autow)[i].lin_s, (*part)[i].lin_s);
+  }
+}
+
+TEST(TableStats, DistinctEstimationOnGeneratedData) {
+  // Webkit-like: many distinct files; Meteo-like: few distinct metrics.
+  LineageManager manager;
+  WebkitOptions wopts;
+  wopts.num_tuples = 3000;
+  StatusOr<WebkitDataset> web = MakeWebkitDataset(&manager, wopts);
+  ASSERT_TRUE(web.ok());
+  const Table wt = web->r.ToTable();
+  const TableStats wstats = TableStats::Compute(wt, 1, 2);
+  EXPECT_GT(wstats.columns[0].distinct_values, 200u);
+
+  MeteoOptions mopts;
+  mopts.num_tuples = 3000;
+  mopts.num_metrics = 50;
+  StatusOr<MeteoDataset> met = MakeMeteoDataset(&manager, mopts);
+  ASSERT_TRUE(met.ok());
+  const Table mt = met->r.ToTable();
+  const TableStats mstats = TableStats::Compute(mt, 2, 3);
+  EXPECT_LE(mstats.columns[1].distinct_values, 60u);
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,145 @@
+// Algebraic laws of the lineage manager and the probability engine,
+// checked over randomized formulas: the laws TP join correctness leans on
+// (order-insensitivity of λs disjunctions, negation semantics, Shannon
+// identity, restriction coherence).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "lineage/probability.h"
+
+namespace tpdb {
+namespace {
+
+class AlgebraTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    rng_.Seed(GetParam() * 48271);
+    const int n = 4 + static_cast<int>(rng_.Uniform(0, 4));
+    for (int i = 0; i < n; ++i)
+      vars_.push_back(mgr_.RegisterVariable(rng_.UniformDouble(0.05, 0.95)));
+  }
+
+  LineageRef RandomFormula(int depth) {
+    if (depth == 0 || rng_.Bernoulli(0.35)) {
+      const LineageRef v =
+          mgr_.Var(vars_[rng_.Uniform(0, vars_.size() - 1)]);
+      return rng_.Bernoulli(0.25) ? mgr_.Not(v) : v;
+    }
+    const LineageRef a = RandomFormula(depth - 1);
+    const LineageRef b = RandomFormula(depth - 1);
+    return rng_.Bernoulli(0.5) ? mgr_.And(a, b) : mgr_.Or(a, b);
+  }
+
+  LineageManager mgr_;
+  Random rng_{1};
+  std::vector<VarId> vars_;
+};
+
+TEST_P(AlgebraTest, CommutativityIsStructural) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const LineageRef a = RandomFormula(3);
+    const LineageRef b = RandomFormula(3);
+    EXPECT_EQ(mgr_.And(a, b), mgr_.And(b, a));
+    EXPECT_EQ(mgr_.Or(a, b), mgr_.Or(b, a));
+  }
+}
+
+TEST_P(AlgebraTest, AssociativityIsSemantic) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const LineageRef a = RandomFormula(2);
+    const LineageRef b = RandomFormula(2);
+    const LineageRef c = RandomFormula(2);
+    EXPECT_TRUE(mgr_.Equivalent(mgr_.And(mgr_.And(a, b), c),
+                                mgr_.And(a, mgr_.And(b, c))));
+    EXPECT_TRUE(mgr_.Equivalent(mgr_.Or(mgr_.Or(a, b), c),
+                                mgr_.Or(a, mgr_.Or(b, c))));
+  }
+}
+
+TEST_P(AlgebraTest, DeMorganAndDistribution) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const LineageRef a = RandomFormula(2);
+    const LineageRef b = RandomFormula(2);
+    const LineageRef c = RandomFormula(2);
+    EXPECT_TRUE(mgr_.Equivalent(mgr_.Not(mgr_.And(a, b)),
+                                mgr_.Or(mgr_.Not(a), mgr_.Not(b))));
+    EXPECT_TRUE(mgr_.Equivalent(mgr_.And(a, mgr_.Or(b, c)),
+                                mgr_.Or(mgr_.And(a, b), mgr_.And(a, c))));
+  }
+}
+
+TEST_P(AlgebraTest, OrAllIsPermutationInvariant) {
+  std::vector<LineageRef> operands;
+  for (int i = 0; i < 6; ++i) operands.push_back(RandomFormula(2));
+  const LineageRef reference = mgr_.OrAll(operands);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (size_t i = operands.size() - 1; i > 0; --i)
+      std::swap(operands[i],
+                operands[static_cast<size_t>(rng_.Uniform(0, i))]);
+    EXPECT_EQ(mgr_.OrAll(operands), reference);
+  }
+}
+
+TEST_P(AlgebraTest, ProbabilityOfNegationComplements) {
+  ProbabilityEngine prob(&mgr_);
+  for (int trial = 0; trial < 15; ++trial) {
+    const LineageRef f = RandomFormula(3);
+    EXPECT_NEAR(prob.Probability(mgr_.Not(f)), 1.0 - prob.Probability(f),
+                1e-12);
+  }
+}
+
+TEST_P(AlgebraTest, ShannonIdentityHoldsNumerically) {
+  ProbabilityEngine prob(&mgr_);
+  for (int trial = 0; trial < 15; ++trial) {
+    const LineageRef f = RandomFormula(3);
+    const std::vector<VarId> fvars = mgr_.Variables(f);
+    if (fvars.empty()) continue;
+    const VarId v = fvars[rng_.Uniform(0, fvars.size() - 1)];
+    const double pv = mgr_.VariableProbability(v);
+    const double whole = prob.Probability(f);
+    const double hi = prob.Probability(mgr_.Restrict(f, v, true));
+    const double lo = prob.Probability(mgr_.Restrict(f, v, false));
+    EXPECT_NEAR(whole, pv * hi + (1.0 - pv) * lo, 1e-9);
+  }
+}
+
+TEST_P(AlgebraTest, RestrictionRemovesTheVariable) {
+  for (int trial = 0; trial < 15; ++trial) {
+    const LineageRef f = RandomFormula(3);
+    const std::vector<VarId> fvars = mgr_.Variables(f);
+    if (fvars.empty()) continue;
+    const VarId v = fvars[rng_.Uniform(0, fvars.size() - 1)];
+    for (const bool value : {false, true}) {
+      const LineageRef g = mgr_.Restrict(f, v, value);
+      const std::vector<VarId>& gvars = mgr_.Variables(g);
+      EXPECT_FALSE(std::binary_search(gvars.begin(), gvars.end(), v));
+    }
+  }
+}
+
+TEST_P(AlgebraTest, UnionBoundHolds) {
+  // P(a ∨ b) <= P(a) + P(b) and >= max(P(a), P(b)).
+  ProbabilityEngine prob(&mgr_);
+  for (int trial = 0; trial < 15; ++trial) {
+    const LineageRef a = RandomFormula(2);
+    const LineageRef b = RandomFormula(2);
+    const double pa = prob.Probability(a);
+    const double pb = prob.Probability(b);
+    const double por = prob.Probability(mgr_.Or(a, b));
+    EXPECT_LE(por, pa + pb + 1e-12);
+    EXPECT_GE(por, std::max(pa, pb) - 1e-12);
+    const double pand = prob.Probability(mgr_.And(a, b));
+    EXPECT_NEAR(pa + pb, por + pand, 1e-9);  // inclusion-exclusion
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace tpdb

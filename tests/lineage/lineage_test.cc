@@ -1,0 +1,170 @@
+#include "lineage/lineage.h"
+
+#include <gtest/gtest.h>
+
+namespace tpdb {
+namespace {
+
+class LineageTest : public ::testing::Test {
+ protected:
+  LineageManager mgr_;
+  VarId a_ = mgr_.RegisterVariable(0.7, "a");
+  VarId b_ = mgr_.RegisterVariable(0.6, "b");
+  VarId c_ = mgr_.RegisterVariable(0.9, "c");
+};
+
+TEST_F(LineageTest, VariableRegistry) {
+  EXPECT_EQ(mgr_.num_variables(), 3u);
+  EXPECT_DOUBLE_EQ(mgr_.VariableProbability(a_), 0.7);
+  EXPECT_EQ(mgr_.VariableName(b_), "b");
+  ASSERT_TRUE(mgr_.FindVariable("c").ok());
+  EXPECT_EQ(*mgr_.FindVariable("c"), c_);
+  EXPECT_FALSE(mgr_.FindVariable("nope").ok());
+}
+
+TEST_F(LineageTest, AutoNamedVariables) {
+  LineageManager m;
+  const VarId v = m.RegisterVariable(0.5);
+  EXPECT_EQ(m.VariableName(v), "x0");
+}
+
+TEST_F(LineageTest, HashConsingGivesEqualIds) {
+  const LineageRef x = mgr_.And(mgr_.Var(a_), mgr_.Var(b_));
+  const LineageRef y = mgr_.And(mgr_.Var(b_), mgr_.Var(a_));  // commuted
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(mgr_.Var(a_), mgr_.Var(a_));
+}
+
+TEST_F(LineageTest, ConstantSimplification) {
+  const LineageRef va = mgr_.Var(a_);
+  EXPECT_EQ(mgr_.And(va, mgr_.True()), va);
+  EXPECT_EQ(mgr_.And(va, mgr_.False()), mgr_.False());
+  EXPECT_EQ(mgr_.Or(va, mgr_.False()), va);
+  EXPECT_EQ(mgr_.Or(va, mgr_.True()), mgr_.True());
+}
+
+TEST_F(LineageTest, Idempotence) {
+  const LineageRef va = mgr_.Var(a_);
+  EXPECT_EQ(mgr_.And(va, va), va);
+  EXPECT_EQ(mgr_.Or(va, va), va);
+}
+
+TEST_F(LineageTest, DoubleNegation) {
+  const LineageRef va = mgr_.Var(a_);
+  EXPECT_EQ(mgr_.Not(mgr_.Not(va)), va);
+  EXPECT_EQ(mgr_.Not(mgr_.True()), mgr_.False());
+  EXPECT_EQ(mgr_.Not(mgr_.False()), mgr_.True());
+}
+
+TEST_F(LineageTest, OrAllIsOrderInsensitive) {
+  const std::vector<LineageRef> fwd = {mgr_.Var(a_), mgr_.Var(b_),
+                                       mgr_.Var(c_)};
+  const std::vector<LineageRef> rev = {mgr_.Var(c_), mgr_.Var(b_),
+                                       mgr_.Var(a_)};
+  EXPECT_EQ(mgr_.OrAll(fwd), mgr_.OrAll(rev));
+  const std::vector<LineageRef> dup = {mgr_.Var(a_), mgr_.Var(a_)};
+  EXPECT_EQ(mgr_.OrAll(dup), mgr_.Var(a_));
+}
+
+TEST_F(LineageTest, EmptyAggregatesAreIdentities) {
+  EXPECT_EQ(mgr_.OrAll({}), mgr_.False());
+  EXPECT_EQ(mgr_.AndAll({}), mgr_.True());
+}
+
+TEST_F(LineageTest, AndNotBuildsNegation) {
+  const LineageRef lam =
+      mgr_.AndNot(mgr_.Var(a_), mgr_.Or(mgr_.Var(b_), mgr_.Var(c_)));
+  EXPECT_EQ(mgr_.KindOf(lam), LineageKind::kAnd);
+  // a ∧ ¬(b ∨ c) evaluates correctly.
+  std::vector<bool> world(3, false);
+  world[a_] = true;
+  EXPECT_TRUE(mgr_.Evaluate(lam, world));
+  world[b_] = true;
+  EXPECT_FALSE(mgr_.Evaluate(lam, world));
+}
+
+TEST_F(LineageTest, VariablesAreSortedDistinct) {
+  const LineageRef lam = mgr_.And(
+      mgr_.Or(mgr_.Var(c_), mgr_.Var(a_)), mgr_.Not(mgr_.Var(b_)));
+  EXPECT_EQ(mgr_.Variables(lam), (std::vector<VarId>{a_, b_, c_}));
+  EXPECT_TRUE(mgr_.Variables(mgr_.True()).empty());
+}
+
+TEST_F(LineageTest, EvaluateAllKinds) {
+  std::vector<bool> world = {true, false, true};  // a, b, c
+  EXPECT_TRUE(mgr_.Evaluate(mgr_.True(), world));
+  EXPECT_FALSE(mgr_.Evaluate(mgr_.False(), world));
+  EXPECT_TRUE(mgr_.Evaluate(mgr_.Var(a_), world));
+  EXPECT_FALSE(mgr_.Evaluate(mgr_.Var(b_), world));
+  EXPECT_TRUE(mgr_.Evaluate(mgr_.Not(mgr_.Var(b_)), world));
+  EXPECT_TRUE(
+      mgr_.Evaluate(mgr_.And(mgr_.Var(a_), mgr_.Var(c_)), world));
+  EXPECT_TRUE(mgr_.Evaluate(mgr_.Or(mgr_.Var(b_), mgr_.Var(c_)), world));
+  EXPECT_FALSE(
+      mgr_.Evaluate(mgr_.And(mgr_.Var(a_), mgr_.Var(b_)), world));
+}
+
+TEST_F(LineageTest, RestrictSubstitutesAndSimplifies) {
+  const LineageRef lam = mgr_.And(mgr_.Var(a_), mgr_.Var(b_));
+  EXPECT_EQ(mgr_.Restrict(lam, a_, true), mgr_.Var(b_));
+  EXPECT_EQ(mgr_.Restrict(lam, a_, false), mgr_.False());
+  EXPECT_EQ(mgr_.Restrict(lam, c_, true), lam);  // c not present
+}
+
+TEST_F(LineageTest, RestrictSharedSubformula) {
+  // (a ∨ b) ∧ (a ∨ c): restricting a=true collapses to True.
+  const LineageRef lam = mgr_.And(mgr_.Or(mgr_.Var(a_), mgr_.Var(b_)),
+                                  mgr_.Or(mgr_.Var(a_), mgr_.Var(c_)));
+  EXPECT_EQ(mgr_.Restrict(lam, a_, true), mgr_.True());
+  EXPECT_EQ(mgr_.Restrict(lam, a_, false),
+            mgr_.And(mgr_.Var(b_), mgr_.Var(c_)));
+}
+
+TEST_F(LineageTest, EquivalentDetectsDeMorgan) {
+  const LineageRef lhs = mgr_.Not(mgr_.Or(mgr_.Var(a_), mgr_.Var(b_)));
+  const LineageRef rhs =
+      mgr_.And(mgr_.Not(mgr_.Var(a_)), mgr_.Not(mgr_.Var(b_)));
+  EXPECT_NE(lhs, rhs);  // syntactically different
+  EXPECT_TRUE(mgr_.Equivalent(lhs, rhs));
+  EXPECT_FALSE(mgr_.Equivalent(lhs, mgr_.Var(a_)));
+}
+
+TEST_F(LineageTest, EquivalentAbsorption) {
+  // a ∨ (a ∧ b) ≡ a.
+  const LineageRef lhs =
+      mgr_.Or(mgr_.Var(a_), mgr_.And(mgr_.Var(a_), mgr_.Var(b_)));
+  EXPECT_TRUE(mgr_.Equivalent(lhs, mgr_.Var(a_)));
+}
+
+TEST_F(LineageTest, NodeCountGrowsOnlyForNewStructure) {
+  const size_t before = mgr_.num_nodes();
+  const LineageRef x = mgr_.And(mgr_.Var(a_), mgr_.Var(b_));
+  const size_t mid = mgr_.num_nodes();
+  const LineageRef y = mgr_.And(mgr_.Var(b_), mgr_.Var(a_));
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(mgr_.num_nodes(), mid);
+  EXPECT_GT(mid, before);
+}
+
+TEST_F(LineageTest, SetVariableProbabilityInvalidatesNothingStructural) {
+  const LineageRef lam = mgr_.Var(a_);
+  mgr_.SetVariableProbability(a_, 0.25);
+  EXPECT_DOUBLE_EQ(mgr_.VariableProbability(a_), 0.25);
+  EXPECT_EQ(mgr_.Var(a_), lam);  // same node
+}
+
+TEST_F(LineageTest, InspectionAccessors) {
+  const LineageRef lam = mgr_.And(mgr_.Var(a_), mgr_.Var(b_));
+  EXPECT_EQ(mgr_.KindOf(lam), LineageKind::kAnd);
+  // Children are canonically ordered by node id (argument evaluation order
+  // is unspecified), so inspect them as a set.
+  const VarId left = mgr_.VarOf(mgr_.Left(lam));
+  const VarId right = mgr_.VarOf(mgr_.Right(lam));
+  EXPECT_TRUE((left == a_ && right == b_) || (left == b_ && right == a_));
+  const LineageRef neg = mgr_.Not(lam);
+  EXPECT_EQ(mgr_.KindOf(neg), LineageKind::kNot);
+  EXPECT_EQ(mgr_.Left(neg), lam);
+}
+
+}  // namespace
+}  // namespace tpdb

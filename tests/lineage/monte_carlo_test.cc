@@ -1,0 +1,75 @@
+#include "lineage/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lineage/probability.h"
+
+namespace tpdb {
+namespace {
+
+TEST(MonteCarlo, ConstantsAreExact) {
+  LineageManager mgr;
+  MonteCarloEngine mc(&mgr, 1);
+  EXPECT_DOUBLE_EQ(mc.Estimate(mgr.True(), 100).probability, 1.0);
+  EXPECT_DOUBLE_EQ(mc.Estimate(mgr.False(), 100).probability, 0.0);
+}
+
+TEST(MonteCarlo, SingleVariableConverges) {
+  LineageManager mgr;
+  const VarId a = mgr.RegisterVariable(0.3);
+  MonteCarloEngine mc(&mgr, 7);
+  const MonteCarloEstimate est = mc.Estimate(mgr.Var(a), 200000);
+  EXPECT_NEAR(est.probability, 0.3, 0.01);
+  EXPECT_GT(est.standard_error, 0.0);
+  EXPECT_LT(est.standard_error, 0.01);
+}
+
+TEST(MonteCarlo, AgreesWithExactEngineOnEntangledFormula) {
+  LineageManager mgr;
+  const VarId a = mgr.RegisterVariable(0.5);
+  const VarId b = mgr.RegisterVariable(0.4);
+  const VarId c = mgr.RegisterVariable(0.8);
+  // (a ∧ b) ∨ (a ∧ c) ∨ (b ∧ ¬c)
+  const LineageRef lam = mgr.Or(
+      mgr.Or(mgr.And(mgr.Var(a), mgr.Var(b)), mgr.And(mgr.Var(a), mgr.Var(c))),
+      mgr.And(mgr.Var(b), mgr.Not(mgr.Var(c))));
+  ProbabilityEngine exact(&mgr);
+  MonteCarloEngine mc(&mgr, 99);
+  const double truth = exact.Probability(lam);
+  const MonteCarloEstimate est = mc.Estimate(lam, 400000);
+  EXPECT_NEAR(est.probability, truth, 5 * est.standard_error + 1e-3);
+}
+
+TEST(MonteCarlo, EstimateToPrecisionReachesTarget) {
+  LineageManager mgr;
+  const VarId a = mgr.RegisterVariable(0.5);
+  const VarId b = mgr.RegisterVariable(0.5);
+  const LineageRef lam = mgr.Or(mgr.Var(a), mgr.Var(b));
+  MonteCarloEngine mc(&mgr, 3);
+  const MonteCarloEstimate est = mc.EstimateToPrecision(lam, 0.005);
+  EXPECT_LE(est.standard_error, 0.005);
+  EXPECT_NEAR(est.probability, 0.75, 0.03);
+}
+
+TEST(MonteCarlo, EstimateToPrecisionRespectsSampleCap) {
+  LineageManager mgr;
+  const VarId a = mgr.RegisterVariable(0.5);
+  MonteCarloEngine mc(&mgr, 3);
+  const MonteCarloEstimate est =
+      mc.EstimateToPrecision(mgr.Var(a), 1e-9, /*max_samples=*/4096);
+  EXPECT_LE(est.samples, 4096u);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  LineageManager mgr;
+  const VarId a = mgr.RegisterVariable(0.37);
+  MonteCarloEngine mc1(&mgr, 42);
+  MonteCarloEngine mc2(&mgr, 42);
+  EXPECT_DOUBLE_EQ(mc1.Estimate(mgr.Var(a), 10000).probability,
+                   mc2.Estimate(mgr.Var(a), 10000).probability);
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,114 @@
+#include "lineage/print.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tpdb {
+namespace {
+
+class PrintTest : public ::testing::Test {
+ protected:
+  LineageManager mgr_;
+  VarId a1_ = mgr_.RegisterVariable(0.7, "a1");
+  VarId b2_ = mgr_.RegisterVariable(0.6, "b2");
+  VarId b3_ = mgr_.RegisterVariable(0.7, "b3");
+};
+
+TEST_F(PrintTest, Atoms) {
+  EXPECT_EQ(LineageToString(mgr_, mgr_.Var(a1_)), "a1");
+  EXPECT_EQ(LineageToString(mgr_, mgr_.True()), "true");
+  EXPECT_EQ(LineageToString(mgr_, mgr_.False()), "false");
+  EXPECT_EQ(LineageToString(mgr_, LineageRef::Null()), "-");
+}
+
+TEST_F(PrintTest, PaperNotation) {
+  // The Fig. 1b lineage a1 ∧ ¬(b3 ∨ b2): canonical child order may place
+  // b2 before b3, but the connectives and parenthesisation match.
+  const LineageRef lam =
+      mgr_.AndNot(mgr_.Var(a1_), mgr_.Or(mgr_.Var(b3_), mgr_.Var(b2_)));
+  EXPECT_EQ(LineageToString(mgr_, lam), "a1 ∧ ¬(b2 ∨ b3)");
+}
+
+TEST_F(PrintTest, MinimalParentheses) {
+  // AND nested in OR needs no parentheses; OR nested in AND does. Child
+  // order is canonical (by node id), so test structure, not exact order.
+  const LineageRef and_in_or = mgr_.Or(
+      mgr_.And(mgr_.Var(a1_), mgr_.Var(b2_)), mgr_.Var(b3_));
+  EXPECT_EQ(LineageToString(mgr_, and_in_or).find('('), std::string::npos);
+  const LineageRef or_in_and = mgr_.And(
+      mgr_.Or(mgr_.Var(a1_), mgr_.Var(b2_)), mgr_.Var(b3_));
+  EXPECT_NE(LineageToString(mgr_, or_in_and).find('('), std::string::npos);
+  // Both strings parse back to the original formula.
+  EXPECT_EQ(*ParseLineage(&mgr_, LineageToString(mgr_, and_in_or)),
+            and_in_or);
+  EXPECT_EQ(*ParseLineage(&mgr_, LineageToString(mgr_, or_in_and)),
+            or_in_and);
+}
+
+TEST_F(PrintTest, ParseAtoms) {
+  ASSERT_TRUE(ParseLineage(&mgr_, "a1").ok());
+  EXPECT_EQ(*ParseLineage(&mgr_, "a1"), mgr_.Var(a1_));
+  EXPECT_EQ(*ParseLineage(&mgr_, "true"), mgr_.True());
+  EXPECT_EQ(*ParseLineage(&mgr_, "false"), mgr_.False());
+}
+
+TEST_F(PrintTest, ParseUnicodeAndAsciiConnectives) {
+  const LineageRef expected =
+      mgr_.AndNot(mgr_.Var(a1_), mgr_.Or(mgr_.Var(b3_), mgr_.Var(b2_)));
+  StatusOr<LineageRef> unicode = ParseLineage(&mgr_, "a1 ∧ ¬(b3 ∨ b2)");
+  StatusOr<LineageRef> ascii = ParseLineage(&mgr_, "a1 & !(b3 | b2)");
+  ASSERT_TRUE(unicode.ok()) << unicode.status().ToString();
+  ASSERT_TRUE(ascii.ok()) << ascii.status().ToString();
+  EXPECT_EQ(*unicode, expected);
+  EXPECT_EQ(*ascii, expected);
+}
+
+TEST_F(PrintTest, ParsePrecedenceAndBindsTighter) {
+  // a1 | b2 & b3 == a1 | (b2 & b3)
+  StatusOr<LineageRef> lam = ParseLineage(&mgr_, "a1 | b2 & b3");
+  ASSERT_TRUE(lam.ok());
+  EXPECT_EQ(*lam, mgr_.Or(mgr_.Var(a1_),
+                          mgr_.And(mgr_.Var(b2_), mgr_.Var(b3_))));
+}
+
+TEST_F(PrintTest, ParseErrors) {
+  EXPECT_FALSE(ParseLineage(&mgr_, "").ok());
+  EXPECT_FALSE(ParseLineage(&mgr_, "a1 &").ok());
+  EXPECT_FALSE(ParseLineage(&mgr_, "(a1").ok());
+  EXPECT_FALSE(ParseLineage(&mgr_, "a1 b2").ok());
+  EXPECT_FALSE(ParseLineage(&mgr_, "unknown_var").ok());
+}
+
+TEST_F(PrintTest, RoundTripRandomFormulas) {
+  Random rng(17);
+  std::vector<VarId> vars = {a1_, b2_, b3_};
+  for (int trial = 0; trial < 50; ++trial) {
+    // Build a random formula, print it, parse it back: must be identical
+    // (printing is canonical and parsing re-canonicalizes).
+    LineageRef lam = mgr_.Var(vars[rng.Uniform(0, 2)]);
+    for (int step = 0; step < 6; ++step) {
+      const LineageRef v = mgr_.Var(vars[rng.Uniform(0, 2)]);
+      switch (rng.Uniform(0, 2)) {
+        case 0:
+          lam = mgr_.And(lam, v);
+          break;
+        case 1:
+          lam = mgr_.Or(lam, mgr_.Not(v));
+          break;
+        default:
+          lam = mgr_.Not(lam);
+          break;
+      }
+    }
+    const std::string text = LineageToString(mgr_, lam);
+    StatusOr<LineageRef> parsed = ParseLineage(&mgr_, text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    // Parsing re-associates chains (left-assoc), so require logical
+    // equivalence rather than node identity.
+    EXPECT_TRUE(mgr_.Equivalent(*parsed, lam)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace tpdb

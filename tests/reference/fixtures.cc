@@ -1,0 +1,68 @@
+#include "tests/reference/fixtures.h"
+
+#include <algorithm>
+
+namespace tpdb::testing {
+
+std::unique_ptr<Fig1Example> MakeFig1Example() {
+  auto fx = std::make_unique<Fig1Example>();
+
+  Schema a_schema;
+  a_schema.AddColumn({"Name", DatumType::kString});
+  a_schema.AddColumn({"Loc", DatumType::kString});
+  fx->a = std::make_unique<TPRelation>("a", a_schema, &fx->manager);
+
+  Schema b_schema;
+  b_schema.AddColumn({"Hotel", DatumType::kString});
+  b_schema.AddColumn({"Loc", DatumType::kString});
+  fx->b = std::make_unique<TPRelation>("b", b_schema, &fx->manager);
+
+  auto must = [](const Status& st) {
+    TPDB_CHECK(st.ok()) << st.ToString();
+  };
+  must(fx->a->AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(2, 8), 0.7,
+                         "a1"));
+  must(fx->a->AppendBase({Datum("Jim"), Datum("WEN")}, Interval(7, 10), 0.8,
+                         "a2"));
+  must(fx->b->AppendBase({Datum("hotel3"), Datum("SOR")}, Interval(1, 4), 0.9,
+                         "b1"));
+  must(fx->b->AppendBase({Datum("hotel2"), Datum("ZAK")}, Interval(5, 8), 0.6,
+                         "b2"));
+  must(fx->b->AppendBase({Datum("hotel1"), Datum("ZAK")}, Interval(4, 6), 0.7,
+                         "b3"));
+
+  fx->theta = JoinCondition::Equals("Loc");
+  return fx;
+}
+
+std::unique_ptr<TPRelation> MakeRandomRelation(
+    LineageManager* manager, std::string name,
+    const RandomRelationOptions& options, Random* rng) {
+  Schema schema;
+  schema.AddColumn({"key", DatumType::kInt64});
+  schema.AddColumn({"tag", DatumType::kInt64});
+  auto rel = std::make_unique<TPRelation>(std::move(name), schema, manager);
+
+  // One chain per (key, tag) fact keeps same-fact intervals disjoint; tags
+  // cycle so tuples with equal keys can be concurrently valid.
+  int64_t emitted = 0;
+  int64_t tag = 0;
+  while (emitted < options.num_tuples) {
+    const int64_t key = rng->Uniform(0, options.num_keys - 1);
+    ++tag;
+    TimePoint t = rng->Uniform(0, options.horizon - 1);
+    const int64_t chain = 1 + rng->Uniform(0, 2);
+    for (int64_t c = 0; c < chain && emitted < options.num_tuples; ++c) {
+      const int64_t dur = rng->Uniform(1, options.max_duration);
+      const double prob = rng->UniformDouble(0.1, 0.95);
+      const Status st = rel->AppendBase({Datum(key), Datum(tag)},
+                                        Interval(t, t + dur), prob);
+      TPDB_CHECK(st.ok()) << st.ToString();
+      t += dur + rng->Uniform(0, 3);
+      ++emitted;
+    }
+  }
+  return rel;
+}
+
+}  // namespace tpdb::testing

@@ -1,0 +1,45 @@
+// Shared test fixtures: the paper's running example (Fig. 1) and a
+// randomized TP relation generator tuned for property tests (short
+// timelines so the per-time-point oracle stays fast).
+#ifndef TPDB_TESTS_REFERENCE_FIXTURES_H_
+#define TPDB_TESTS_REFERENCE_FIXTURES_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "tp/overlap_join.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb::testing {
+
+/// The booking-website example of Fig. 1: relations a (wantsToVisit) and
+/// b (hotelAvailability) with θ: a.Loc = b.Loc. Variables are named a1, a2,
+/// b1, b2, b3 exactly as in the paper.
+struct Fig1Example {
+  LineageManager manager;
+  std::unique_ptr<TPRelation> a;
+  std::unique_ptr<TPRelation> b;
+  JoinCondition theta;
+};
+
+std::unique_ptr<Fig1Example> MakeFig1Example();
+
+/// Parameters for random TP relations used in property tests.
+struct RandomRelationOptions {
+  int64_t num_tuples = 12;
+  int64_t num_keys = 3;        // distinct join values
+  TimePoint horizon = 30;      // timeline [0, horizon)
+  int64_t max_duration = 8;    // interval length in [1, max_duration]
+};
+
+/// Generates a valid (duplicate-free-in-time) random TP relation with fact
+/// schema (key:int64, tag:int64). Joins use "key"; the "tag" discriminator
+/// lets several concurrently valid tuples share a join key while remaining
+/// distinct facts — which is what exercises negating windows.
+std::unique_ptr<TPRelation> MakeRandomRelation(
+    LineageManager* manager, std::string name,
+    const RandomRelationOptions& options, Random* rng);
+
+}  // namespace tpdb::testing
+
+#endif  // TPDB_TESTS_REFERENCE_FIXTURES_H_

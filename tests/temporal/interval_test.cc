@@ -1,0 +1,116 @@
+#include "temporal/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace tpdb {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.duration(), 0);
+}
+
+TEST(Interval, DurationOfHalfOpenInterval) {
+  EXPECT_EQ(Interval(7, 10).duration(), 3);  // days 7, 8, 9 — the paper's a2
+  EXPECT_EQ(Interval(2, 8).duration(), 6);
+  EXPECT_EQ(Interval(5, 5).duration(), 0);
+  EXPECT_EQ(Interval(5, 3).duration(), 0);
+}
+
+TEST(Interval, ContainsTimePoint) {
+  const Interval iv(2, 8);
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(8));  // half-open
+  EXPECT_FALSE(iv.Contains(1));
+}
+
+TEST(Interval, ContainsInterval) {
+  const Interval iv(2, 8);
+  EXPECT_TRUE(iv.Contains(Interval(2, 8)));
+  EXPECT_TRUE(iv.Contains(Interval(3, 5)));
+  EXPECT_FALSE(iv.Contains(Interval(1, 5)));
+  EXPECT_FALSE(iv.Contains(Interval(5, 9)));
+  EXPECT_FALSE(iv.Contains(Interval()));  // empty contains nothing
+}
+
+struct OverlapCase {
+  Interval a;
+  Interval b;
+  bool overlaps;
+  Interval intersection;
+};
+
+class IntervalOverlapTest : public ::testing::TestWithParam<OverlapCase> {};
+
+TEST_P(IntervalOverlapTest, OverlapAndIntersection) {
+  const OverlapCase& c = GetParam();
+  EXPECT_EQ(c.a.Overlaps(c.b), c.overlaps);
+  EXPECT_EQ(c.b.Overlaps(c.a), c.overlaps);  // symmetric
+  EXPECT_EQ(c.a.Intersect(c.b), c.intersection);
+  EXPECT_EQ(c.b.Intersect(c.a), c.intersection);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllenRelations, IntervalOverlapTest,
+    ::testing::Values(
+        // before / after
+        OverlapCase{{1, 3}, {5, 8}, false, {}},
+        // meets (half-open: no shared chronon)
+        OverlapCase{{1, 5}, {5, 8}, false, {}},
+        // overlaps
+        OverlapCase{{1, 6}, {4, 9}, true, {4, 6}},
+        // starts
+        OverlapCase{{2, 5}, {2, 9}, true, {2, 5}},
+        // during
+        OverlapCase{{3, 5}, {1, 9}, true, {3, 5}},
+        // finishes
+        OverlapCase{{6, 9}, {1, 9}, true, {6, 9}},
+        // equals
+        OverlapCase{{2, 8}, {2, 8}, true, {2, 8}},
+        // single-chronon overlap
+        OverlapCase{{4, 6}, {5, 8}, true, {5, 6}}));
+
+TEST(Interval, MeetsRelation) {
+  EXPECT_TRUE(Interval(1, 5).Meets(Interval(5, 9)));
+  EXPECT_FALSE(Interval(1, 5).Meets(Interval(6, 9)));
+  EXPECT_FALSE(Interval(1, 5).Meets(Interval(4, 9)));
+}
+
+TEST(Interval, SpanCoversBoth) {
+  EXPECT_EQ(Interval(1, 4).Span(Interval(6, 9)), Interval(1, 9));
+  EXPECT_EQ(Interval(1, 4).Span(Interval()), Interval(1, 4));
+  EXPECT_EQ(Interval().Span(Interval(1, 4)), Interval(1, 4));
+}
+
+TEST(Interval, EmptyIntervalsCompareEqual) {
+  EXPECT_EQ(Interval(3, 3), Interval(9, 2));
+  EXPECT_EQ(Interval(), Interval(5, 5));
+}
+
+TEST(Interval, LexicographicOrder) {
+  EXPECT_LT(Interval(1, 9), Interval(2, 3));
+  EXPECT_LT(Interval(1, 3), Interval(1, 9));
+}
+
+TEST(Interval, ToStringRendering) {
+  EXPECT_EQ(Interval(7, 10).ToString(), "[7,10)");
+  EXPECT_EQ(Interval().ToString(), "[)");
+}
+
+TEST(Interval, IntersectionOfDisjointIsEmpty) {
+  EXPECT_TRUE(Interval(1, 3).Intersect(Interval(3, 6)).empty());
+  EXPECT_TRUE(Interval(1, 3).Intersect(Interval(8, 9)).empty());
+}
+
+TEST(Interval, NegativeTimePoints) {
+  const Interval iv(-10, -2);
+  EXPECT_EQ(iv.duration(), 8);
+  EXPECT_TRUE(iv.Contains(-10));
+  EXPECT_FALSE(iv.Contains(-2));
+  EXPECT_EQ(iv.Intersect(Interval(-5, 5)), Interval(-5, -2));
+}
+
+}  // namespace
+}  // namespace tpdb

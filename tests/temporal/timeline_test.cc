@@ -1,0 +1,146 @@
+#include "temporal/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tpdb {
+namespace {
+
+TEST(Gaps, NoCoverYieldsWholeDomain) {
+  const std::vector<Interval> gaps = Gaps(Interval(2, 8), {});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], Interval(2, 8));
+}
+
+TEST(Gaps, FullCoverYieldsNothing) {
+  EXPECT_TRUE(Gaps(Interval(2, 8), {Interval(0, 10)}).empty());
+  EXPECT_TRUE(Gaps(Interval(2, 8), {Interval(2, 5), Interval(5, 8)}).empty());
+}
+
+TEST(Gaps, Fig2Example) {
+  // a1 = [2,8) covered by b3 [4,6) and b2 [5,8): the unmatched gap is [2,4).
+  const std::vector<Interval> gaps =
+      Gaps(Interval(2, 8), {Interval(4, 6), Interval(5, 8)});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], Interval(2, 4));
+}
+
+TEST(Gaps, MiddleAndTrailingGaps) {
+  const std::vector<Interval> gaps =
+      Gaps(Interval(0, 20), {Interval(2, 5), Interval(8, 11)});
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], Interval(0, 2));
+  EXPECT_EQ(gaps[1], Interval(5, 8));
+  EXPECT_EQ(gaps[2], Interval(11, 20));
+}
+
+TEST(Gaps, UnsortedOverlappingInput) {
+  const std::vector<Interval> gaps =
+      Gaps(Interval(0, 10), {Interval(6, 9), Interval(1, 4), Interval(3, 7)});
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], Interval(0, 1));
+  EXPECT_EQ(gaps[1], Interval(9, 10));
+}
+
+TEST(Gaps, EmptyDomain) {
+  EXPECT_TRUE(Gaps(Interval(), {Interval(1, 5)}).empty());
+}
+
+TEST(CoveredRuns, ComplementOfGaps) {
+  const Interval domain(0, 20);
+  const std::vector<Interval> cover = {Interval(2, 5), Interval(4, 9),
+                                       Interval(15, 30)};
+  const std::vector<Interval> runs = CoveredRuns(domain, cover);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], Interval(2, 9));
+  EXPECT_EQ(runs[1], Interval(15, 20));
+}
+
+TEST(Covers, DetectsFullAndPartialCoverage) {
+  EXPECT_TRUE(Covers(Interval(2, 8), {Interval(2, 6), Interval(6, 8)}));
+  EXPECT_FALSE(Covers(Interval(2, 8), {Interval(2, 6), Interval(7, 8)}));
+}
+
+TEST(Coalesce, MergesTouchingAndOverlapping) {
+  const std::vector<Interval> out =
+      Coalesce({Interval(5, 8), Interval(1, 3), Interval(3, 5)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Interval(1, 8));
+}
+
+TEST(Coalesce, KeepsDisjointApart) {
+  const std::vector<Interval> out =
+      Coalesce({Interval(1, 3), Interval(4, 6)});
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(Coalesce, DropsEmptyIntervals) {
+  const std::vector<Interval> out =
+      Coalesce({Interval(3, 3), Interval(1, 2), Interval()});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Interval(1, 2));
+}
+
+TEST(PairwiseDisjoint, Basics) {
+  EXPECT_TRUE(PairwiseDisjoint({}));
+  EXPECT_TRUE(PairwiseDisjoint({Interval(1, 3), Interval(3, 5)}));
+  EXPECT_FALSE(PairwiseDisjoint({Interval(1, 4), Interval(3, 5)}));
+}
+
+TEST(EventPoints, SortedDistinctClipped) {
+  const std::vector<Interval> ivs = {Interval(4, 6), Interval(5, 8),
+                                     Interval(1, 4)};
+  EXPECT_EQ(EventPoints(ivs), (std::vector<TimePoint>{1, 4, 5, 6, 8}));
+  const Interval clip(2, 7);
+  EXPECT_EQ(EventPoints(ivs, &clip), (std::vector<TimePoint>{2, 4, 5, 6, 7}));
+}
+
+TEST(EndpointQueue, PopsInEndOrder) {
+  EndpointQueue<int> q;
+  q.Push(8, 1);
+  q.Push(6, 2);
+  q.Push(6, 3);
+  q.Push(10, 4);
+  EXPECT_EQ(q.MinEnd(), 6);
+  q.Pop();
+  EXPECT_EQ(q.MinEnd(), 6);
+  q.Pop();
+  EXPECT_EQ(q.MinEnd(), 8);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EndpointQueue, ClearEmpties) {
+  EndpointQueue<int> q;
+  q.Push(5, 1);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// Property: Gaps ∪ CoveredRuns tile the domain exactly, for random input.
+TEST(TimelineProperty, GapsAndRunsTileTheDomain) {
+  Random rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Interval domain(0, 40);
+    std::vector<Interval> cover;
+    const int n = static_cast<int>(rng.Uniform(0, 8));
+    for (int i = 0; i < n; ++i) {
+      const TimePoint a = rng.Uniform(-5, 45);
+      cover.emplace_back(a, a + rng.Uniform(1, 12));
+    }
+    std::vector<Interval> pieces = Gaps(domain, cover);
+    const std::vector<Interval> runs = CoveredRuns(domain, cover);
+    pieces.insert(pieces.end(), runs.begin(), runs.end());
+    EXPECT_TRUE(PairwiseDisjoint(pieces));
+    EXPECT_TRUE(Covers(domain, pieces));
+    int64_t total = 0;
+    for (const Interval& piece : pieces) total += piece.duration();
+    EXPECT_EQ(total, domain.duration());
+  }
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,280 @@
+// Golden tests for the paper's running example: the window sets of Fig. 2
+// and the TP left outer join result of Fig. 1b, reproduced exactly —
+// facts, lineages, intervals, and probabilities.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lineage/print.h"
+#include "tests/reference/fixtures.h"
+#include "tp/operators.h"
+#include "tp/plans.h"
+
+namespace tpdb {
+namespace {
+
+using testing::Fig1Example;
+using testing::MakeFig1Example;
+
+class Fig1Test : public ::testing::Test {
+ protected:
+  void SetUp() override { fx_ = MakeFig1Example(); }
+
+  /// Windows of a w.r.t. b, materialized and canonically ordered.
+  std::vector<TPWindow> Windows(WindowStage stage) {
+    StatusOr<std::vector<TPWindow>> w =
+        ComputeWindows(*fx_->a, *fx_->b, fx_->theta, stage);
+    TPDB_CHECK(w.ok()) << w.status().ToString();
+    std::vector<TPWindow> out = std::move(*w);
+    SortWindows(&out);
+    return out;
+  }
+
+  std::string Lin(LineageRef r) {
+    return LineageToString(fx_->manager, r);
+  }
+
+  std::unique_ptr<Fig1Example> fx_;
+};
+
+TEST_F(Fig1Test, OverlappingWindowsMatchFig2) {
+  std::vector<TPWindow> all = Windows(WindowStage::kWuon);
+  std::vector<TPWindow> wo;
+  for (const TPWindow& w : all)
+    if (w.cls == WindowClass::kOverlapping) wo.push_back(w);
+
+  ASSERT_EQ(wo.size(), 2u);
+  // w3 = ('Ann, ZAK', 'hotel1', [4,6), a1, b3)
+  EXPECT_EQ(wo[0].window, Interval(4, 6));
+  EXPECT_EQ(Lin(wo[0].lin_r), "a1");
+  EXPECT_EQ(Lin(wo[0].lin_s), "b3");
+  EXPECT_EQ(wo[0].fact_s[0].AsString(), "hotel1");
+  // w4 = ('Ann, ZAK', 'hotel2', [5,8), a1, b2)
+  EXPECT_EQ(wo[1].window, Interval(5, 8));
+  EXPECT_EQ(Lin(wo[1].lin_r), "a1");
+  EXPECT_EQ(Lin(wo[1].lin_s), "b2");
+  EXPECT_EQ(wo[1].fact_s[0].AsString(), "hotel2");
+}
+
+TEST_F(Fig1Test, UnmatchedWindowsMatchFig2) {
+  std::vector<TPWindow> all = Windows(WindowStage::kWuon);
+  std::vector<TPWindow> wu;
+  for (const TPWindow& w : all)
+    if (w.cls == WindowClass::kUnmatched) wu.push_back(w);
+
+  ASSERT_EQ(wu.size(), 2u);
+  // w1 = ('Ann, ZAK', null, [2,4), a1, null)
+  EXPECT_EQ(wu[0].window, Interval(2, 4));
+  EXPECT_EQ(Lin(wu[0].lin_r), "a1");
+  EXPECT_TRUE(wu[0].lin_s.is_null());
+  // w2 = ('Jim, WEN', null, [7,10), a2, null)
+  EXPECT_EQ(wu[1].window, Interval(7, 10));
+  EXPECT_EQ(Lin(wu[1].lin_r), "a2");
+  EXPECT_TRUE(wu[1].lin_s.is_null());
+}
+
+TEST_F(Fig1Test, NegatingWindowsMatchFig2) {
+  std::vector<TPWindow> all = Windows(WindowStage::kWuon);
+  std::vector<TPWindow> wn;
+  for (const TPWindow& w : all)
+    if (w.cls == WindowClass::kNegating) wn.push_back(w);
+
+  ASSERT_EQ(wn.size(), 3u);
+  // w5 = ('Ann, ZAK', null, [4,5), a1, b3)
+  EXPECT_EQ(wn[0].window, Interval(4, 5));
+  EXPECT_EQ(Lin(wn[0].lin_s), "b3");
+  // w6 = ('Ann, ZAK', null, [5,6), a1, b2 ∨ b3)
+  EXPECT_EQ(wn[1].window, Interval(5, 6));
+  EXPECT_EQ(Lin(wn[1].lin_s), "b2 ∨ b3");
+  // w7 = ('Ann, ZAK', null, [6,8), a1, b2)
+  EXPECT_EQ(wn[2].window, Interval(6, 8));
+  EXPECT_EQ(Lin(wn[2].lin_s), "b2");
+  for (const TPWindow& w : wn) {
+    EXPECT_EQ(Lin(w.lin_r), "a1");
+    EXPECT_TRUE(w.fact_s.empty());
+  }
+}
+
+TEST_F(Fig1Test, WuoStageOmitsNegatingWindows) {
+  std::vector<TPWindow> wuo = Windows(WindowStage::kWuo);
+  EXPECT_EQ(wuo.size(), 4u);  // w1..w4
+  for (const TPWindow& w : wuo)
+    EXPECT_NE(w.cls, WindowClass::kNegating);
+}
+
+TEST_F(Fig1Test, LeftOuterJoinMatchesFig1b) {
+  StatusOr<TPRelation> q = TPLeftOuterJoin(*fx_->a, *fx_->b, fx_->theta);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  // Expected rows of Fig. 1b keyed by (hotel-or-null, interval).
+  struct Expected {
+    std::string name;
+    std::string lineage;
+    double prob;
+  };
+  std::map<std::pair<std::string, std::string>, Expected> expected = {
+      {{"-", "[2,4)"}, {"Ann", "a1", 0.70}},
+      {{"hotel1", "[4,6)"}, {"Ann", "a1 ∧ b3", 0.49}},
+      {{"hotel2", "[5,8)"}, {"Ann", "a1 ∧ b2", 0.42}},
+      {{"-", "[4,5)"}, {"Ann", "a1 ∧ ¬b3", 0.21}},
+      {{"-", "[5,6)"}, {"Ann", "a1 ∧ ¬(b2 ∨ b3)", 0.084}},
+      {{"-", "[6,8)"}, {"Ann", "a1 ∧ ¬b2", 0.28}},
+      {{"-", "[7,10)"}, {"Jim", "a2", 0.80}},
+  };
+
+  ASSERT_EQ(q->size(), expected.size());
+  const int hotel_col = q->fact_schema().IndexOf("Hotel");
+  ASSERT_GE(hotel_col, 0);
+  for (size_t i = 0; i < q->size(); ++i) {
+    const TPTuple& t = q->tuple(i);
+    const std::string hotel = t.fact[hotel_col].ToString();
+    auto it = expected.find({hotel, t.interval.ToString()});
+    ASSERT_NE(it, expected.end())
+        << "unexpected output tuple: " << RowToString(t.fact) << " "
+        << t.interval.ToString();
+    EXPECT_EQ(t.fact[0].AsString(), it->second.name);
+    EXPECT_EQ(LineageToString(fx_->manager, t.lineage), it->second.lineage);
+    EXPECT_NEAR(q->Probability(i), it->second.prob, 1e-12);
+    expected.erase(it);
+  }
+  EXPECT_TRUE(expected.empty());
+}
+
+TEST_F(Fig1Test, AntiJoinKeepsOnlyNegatedAndUnmatched) {
+  StatusOr<TPRelation> q = TPAntiJoin(*fx_->a, *fx_->b, fx_->theta);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // Anti join: the five r-side tuples of Fig. 1b without the two matches.
+  ASSERT_EQ(q->size(), 5u);
+  EXPECT_EQ(q->fact_schema().num_columns(), 2u);  // Name, Loc only
+  double total = 0;
+  for (size_t i = 0; i < q->size(); ++i) total += q->Probability(i);
+  EXPECT_NEAR(total, 0.70 + 0.21 + 0.084 + 0.28 + 0.80, 1e-12);
+}
+
+TEST_F(Fig1Test, InnerJoinKeepsOnlyOverlapping) {
+  StatusOr<TPRelation> q = TPInnerJoin(*fx_->a, *fx_->b, fx_->theta);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 2u);
+}
+
+TEST_F(Fig1Test, FullOuterContainsRightSideWindows) {
+  StatusOr<TPRelation> q = TPFullOuterJoin(*fx_->a, *fx_->b, fx_->theta);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // Left-outer rows (7) + b-side windows: b1 unmatched [1,4);
+  // b3 negating [4,6) vs a1; b2 negating [5,8) vs a1. No b-side unmatched
+  // beyond b1 (b2, b3 are fully covered by a1's interval).
+  EXPECT_EQ(q->size(), 7u + 3u);
+}
+
+TEST_F(Fig1Test, RightOuterMirrorsLeftOuter) {
+  StatusOr<TPRelation> right =
+      TPRightOuterJoin(*fx_->a, *fx_->b, fx_->theta);
+  ASSERT_TRUE(right.ok()) << right.status().ToString();
+  // Overlapping (2) + b1 unmatched + b3/b2 negating windows.
+  EXPECT_EQ(right->size(), 2u + 3u);
+  // Facts are r-facts ++ s-facts with NULL r side for the b-only rows.
+  const int name_col = right->fact_schema().IndexOf("Name");
+  ASSERT_EQ(name_col, 0);
+  size_t null_names = 0;
+  for (size_t i = 0; i < right->size(); ++i)
+    if (right->tuple(i).fact[0].is_null()) ++null_names;
+  EXPECT_EQ(null_names, 3u);
+}
+
+TEST_F(Fig1Test, WindowsOfBWithRespectToA) {
+  // The mirrored direction (used by right/full outer joins): windows of b
+  // w.r.t. a under θ: Loc = Loc.
+  StatusOr<std::vector<TPWindow>> w = ComputeWindows(
+      *fx_->b, *fx_->a, SwapJoinCondition(fx_->theta), WindowStage::kWuon);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  SortWindows(&*w);
+  // b1 (SOR): unmatched [1,4). b2 (ZAK,[5,8)) ⊂ a1: overlapping [5,8) +
+  // negating [5,8) λs=a1. b3 (ZAK,[4,6)) ⊂ a1: overlapping [4,6) +
+  // negating [4,6) λs=a1.
+  ASSERT_EQ(w->size(), 5u) << WindowsToString(fx_->manager, *w);
+  size_t unmatched = 0;
+  size_t negating = 0;
+  size_t overlapping = 0;
+  for (const TPWindow& win : *w) {
+    switch (win.cls) {
+      case WindowClass::kUnmatched:
+        ++unmatched;
+        EXPECT_EQ(win.window, Interval(1, 4));
+        EXPECT_EQ(Lin(win.lin_r), "b1");
+        break;
+      case WindowClass::kNegating:
+        ++negating;
+        EXPECT_EQ(Lin(win.lin_s), "a1");
+        EXPECT_EQ(win.window, win.r_interval);  // b2/b3 lie inside a1
+        break;
+      case WindowClass::kOverlapping:
+        ++overlapping;
+        break;
+    }
+  }
+  EXPECT_EQ(unmatched, 1u);
+  EXPECT_EQ(negating, 2u);
+  EXPECT_EQ(overlapping, 2u);
+}
+
+TEST_F(Fig1Test, SemiJoinKeepsMatchedPeriodsOnly) {
+  StatusOr<TPRelation> q = TPSemiJoin(*fx_->a, *fx_->b, fx_->theta);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // Ann has matching hotels over [4,5), [5,6), [6,8); Jim never matches.
+  ASSERT_EQ(q->size(), 3u);
+  EXPECT_EQ(q->fact_schema().num_columns(), 2u);
+  std::map<std::string, std::pair<std::string, double>> expected = {
+      {"[4,5)", {"a1 ∧ b3", 0.49}},
+      {"[5,6)", {"a1 ∧ (b2 ∨ b3)", 0.7 * (1 - 0.4 * 0.3)}},
+      {"[6,8)", {"a1 ∧ b2", 0.42}},
+  };
+  for (size_t i = 0; i < q->size(); ++i) {
+    const TPTuple& t = q->tuple(i);
+    auto it = expected.find(t.interval.ToString());
+    ASSERT_NE(it, expected.end()) << t.interval.ToString();
+    EXPECT_EQ(t.fact[0].AsString(), "Ann");
+    EXPECT_EQ(LineageToString(fx_->manager, t.lineage), it->second.first);
+    EXPECT_NEAR(q->Probability(i), it->second.second, 1e-12);
+  }
+}
+
+TEST_F(Fig1Test, SemiAndAntiJoinProbabilitiesComplement) {
+  // At every time point where Ann's wish is valid, P(semi) + P(anti)
+  // must equal P(a1): matched or not matched, conditioned on a1.
+  StatusOr<TPRelation> semi = TPSemiJoin(*fx_->a, *fx_->b, fx_->theta);
+  StatusOr<TPRelation> anti = TPAntiJoin(*fx_->a, *fx_->b, fx_->theta);
+  ASSERT_TRUE(semi.ok());
+  ASSERT_TRUE(anti.ok());
+  for (TimePoint t = 2; t < 8; ++t) {
+    double total = 0;
+    for (size_t i = 0; i < semi->size(); ++i)
+      if (semi->tuple(i).interval.Contains(t)) total += semi->Probability(i);
+    for (size_t i = 0; i < anti->size(); ++i)
+      if (anti->tuple(i).interval.Contains(t) &&
+          anti->tuple(i).fact[0].AsString() == "Ann")
+        total += anti->Probability(i);
+    EXPECT_NEAR(total, 0.7, 1e-12) << "t=" << t;
+  }
+}
+
+TEST_F(Fig1Test, NestedLoopAlgorithmProducesSameWindows) {
+  StatusOr<std::vector<TPWindow>> part = ComputeWindows(
+      *fx_->a, *fx_->b, fx_->theta, WindowStage::kWuon,
+      OverlapAlgorithm::kPartitioned);
+  StatusOr<std::vector<TPWindow>> nl = ComputeWindows(
+      *fx_->a, *fx_->b, fx_->theta, WindowStage::kWuon,
+      OverlapAlgorithm::kNestedLoop);
+  ASSERT_TRUE(part.ok());
+  ASSERT_TRUE(nl.ok());
+  SortWindows(&*part);
+  SortWindows(&*nl);
+  ASSERT_EQ(part->size(), nl->size());
+  for (size_t i = 0; i < part->size(); ++i) {
+    EXPECT_EQ((*part)[i].window, (*nl)[i].window);
+    EXPECT_EQ((*part)[i].cls, (*nl)[i].cls);
+    EXPECT_EQ((*part)[i].lin_s, (*nl)[i].lin_s);
+  }
+}
+
+}  // namespace
+}  // namespace tpdb

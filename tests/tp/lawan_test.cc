@@ -1,0 +1,187 @@
+// Targeted tests of the LAWAN sweep, one scenario per case of Fig. 4 of the
+// paper (how the ending point of a negating window is determined: copied
+// windows, ending points from the priority queue, upcoming starting
+// points), plus lineage-content checks.
+#include <gtest/gtest.h>
+
+#include "lineage/print.h"
+#include "tp/plans.h"
+
+namespace tpdb {
+namespace {
+
+struct NegWindow {
+  Interval window;
+  std::string lin_s;
+};
+
+class LawanCaseTest : public ::testing::Test {
+ protected:
+  LawanCaseTest() {
+    Schema schema;
+    schema.AddColumn({"key", DatumType::kInt64});
+    r_ = std::make_unique<TPRelation>("r", schema, &manager_);
+    s_ = std::make_unique<TPRelation>("s", schema, &manager_);
+    TPDB_CHECK(
+        r_->AppendBase({Datum(static_cast<int64_t>(1))}, Interval(0, 10), 0.5,
+                       "r1")
+            .ok());
+  }
+
+  void AddS(const std::string& var, TimePoint from, TimePoint to) {
+    TPDB_CHECK(s_->AppendDerived(
+                     {Datum(static_cast<int64_t>(1))}, Interval(from, to),
+                     manager_.Var(manager_.RegisterVariable(0.5, var)))
+                   .ok());
+  }
+
+  std::vector<NegWindow> NegatingWindows() {
+    StatusOr<std::vector<TPWindow>> w = ComputeWindows(
+        *r_, *s_, JoinCondition::Equals("key"), WindowStage::kWuon);
+    TPDB_CHECK(w.ok()) << w.status().ToString();
+    std::vector<NegWindow> out;
+    for (const TPWindow& win : *w)
+      if (win.cls == WindowClass::kNegating)
+        out.push_back({win.window, LineageToString(manager_, win.lin_s)});
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.window < b.window;
+    });
+    return out;
+  }
+
+  LineageManager manager_;
+  std::unique_ptr<TPRelation> r_;
+  std::unique_ptr<TPRelation> s_;
+};
+
+TEST_F(LawanCaseTest, SingleMatchingTupleGivesOneNegatingWindow) {
+  AddS("s1", 3, 7);
+  const std::vector<NegWindow> wn = NegatingWindows();
+  ASSERT_EQ(wn.size(), 1u);
+  EXPECT_EQ(wn[0].window, Interval(3, 7));
+  EXPECT_EQ(wn[0].lin_s, "s1");
+}
+
+TEST_F(LawanCaseTest, Case2EndingPointFromQueueBoundsWindow) {
+  // s1 [2,8), s2 [4,6): events at 2,4,6,8 -> [2,4) s1; [4,6) s1∨s2;
+  // [6,8) s1 (s2's ending point from the queue closes the middle window).
+  AddS("s1", 2, 8);
+  AddS("s2", 4, 6);
+  const std::vector<NegWindow> wn = NegatingWindows();
+  ASSERT_EQ(wn.size(), 3u);
+  EXPECT_EQ(wn[0].window, Interval(2, 4));
+  EXPECT_EQ(wn[0].lin_s, "s1");
+  EXPECT_EQ(wn[1].window, Interval(4, 6));
+  EXPECT_EQ(wn[1].lin_s, "s1 ∨ s2");
+  EXPECT_EQ(wn[2].window, Interval(6, 8));
+  EXPECT_EQ(wn[2].lin_s, "s1");
+}
+
+TEST_F(LawanCaseTest, Case3UpcomingStartingPointBoundsWindow) {
+  // s1 [2,9), s2 [5,9): the start of s2 closes [2,5).
+  AddS("s1", 2, 9);
+  AddS("s2", 5, 9);
+  const std::vector<NegWindow> wn = NegatingWindows();
+  ASSERT_EQ(wn.size(), 2u);
+  EXPECT_EQ(wn[0].window, Interval(2, 5));
+  EXPECT_EQ(wn[0].lin_s, "s1");
+  EXPECT_EQ(wn[1].window, Interval(5, 9));
+  EXPECT_EQ(wn[1].lin_s, "s1 ∨ s2");
+}
+
+TEST_F(LawanCaseTest, Case1DisjointGroupsSeparatedByGap) {
+  // Two disjoint matching tuples: two negating windows, none across the
+  // gap (the unmatched window between them is copied, not negated).
+  AddS("s1", 1, 3);
+  AddS("s2", 6, 8);
+  const std::vector<NegWindow> wn = NegatingWindows();
+  ASSERT_EQ(wn.size(), 2u);
+  EXPECT_EQ(wn[0].window, Interval(1, 3));
+  EXPECT_EQ(wn[0].lin_s, "s1");
+  EXPECT_EQ(wn[1].window, Interval(6, 8));
+  EXPECT_EQ(wn[1].lin_s, "s2");
+}
+
+TEST_F(LawanCaseTest, SimultaneousEndAndStart) {
+  // s1 ends exactly where s2 starts: adjacent windows with different λs.
+  AddS("s1", 1, 5);
+  AddS("s2", 5, 9);
+  const std::vector<NegWindow> wn = NegatingWindows();
+  ASSERT_EQ(wn.size(), 2u);
+  EXPECT_EQ(wn[0].window, Interval(1, 5));
+  EXPECT_EQ(wn[0].lin_s, "s1");
+  EXPECT_EQ(wn[1].window, Interval(5, 9));
+  EXPECT_EQ(wn[1].lin_s, "s2");
+}
+
+TEST_F(LawanCaseTest, SimultaneousEndsPopTogether) {
+  // s1 and s2 end at the same point.
+  AddS("s1", 1, 6);
+  AddS("s2", 3, 6);
+  const std::vector<NegWindow> wn = NegatingWindows();
+  ASSERT_EQ(wn.size(), 2u);
+  EXPECT_EQ(wn[0].window, Interval(1, 3));
+  EXPECT_EQ(wn[0].lin_s, "s1");
+  EXPECT_EQ(wn[1].window, Interval(3, 6));
+  EXPECT_EQ(wn[1].lin_s, "s1 ∨ s2");
+}
+
+TEST_F(LawanCaseTest, ThreeConcurrentTuples) {
+  AddS("s1", 1, 9);
+  AddS("s2", 2, 7);
+  AddS("s3", 4, 5);
+  const std::vector<NegWindow> wn = NegatingWindows();
+  ASSERT_EQ(wn.size(), 5u);
+  EXPECT_EQ(wn[0].window, Interval(1, 2));
+  EXPECT_EQ(wn[0].lin_s, "s1");
+  EXPECT_EQ(wn[1].window, Interval(2, 4));
+  EXPECT_EQ(wn[1].lin_s, "s1 ∨ s2");
+  EXPECT_EQ(wn[2].window, Interval(4, 5));
+  EXPECT_EQ(wn[2].lin_s, "s1 ∨ s2 ∨ s3");
+  EXPECT_EQ(wn[3].window, Interval(5, 7));
+  EXPECT_EQ(wn[3].lin_s, "s1 ∨ s2");
+  EXPECT_EQ(wn[4].window, Interval(7, 9));
+  EXPECT_EQ(wn[4].lin_s, "s1");
+}
+
+TEST_F(LawanCaseTest, WindowsClippedToTupleInterval) {
+  // The matching s tuple extends past the r tuple on both sides: the
+  // negating window is clipped to [0,10).
+  AddS("s1", -5, 20);
+  const std::vector<NegWindow> wn = NegatingWindows();
+  ASSERT_EQ(wn.size(), 1u);
+  EXPECT_EQ(wn[0].window, Interval(0, 10));
+}
+
+TEST_F(LawanCaseTest, NoMatchesNoNegatingWindows) {
+  EXPECT_TRUE(NegatingWindows().empty());
+}
+
+TEST_F(LawanCaseTest, CopiedWindowsSurviveAlongsideNegating) {
+  AddS("s1", 3, 7);
+  StatusOr<std::vector<TPWindow>> w = ComputeWindows(
+      *r_, *s_, JoinCondition::Equals("key"), WindowStage::kWuon);
+  ASSERT_TRUE(w.ok());
+  size_t overlapping = 0;
+  size_t unmatched = 0;
+  size_t negating = 0;
+  for (const TPWindow& win : *w) {
+    switch (win.cls) {
+      case WindowClass::kOverlapping:
+        ++overlapping;
+        break;
+      case WindowClass::kUnmatched:
+        ++unmatched;
+        break;
+      case WindowClass::kNegating:
+        ++negating;
+        break;
+    }
+  }
+  EXPECT_EQ(overlapping, 1u);
+  EXPECT_EQ(unmatched, 2u);  // [0,3) and [7,10)
+  EXPECT_EQ(negating, 1u);
+}
+
+}  // namespace
+}  // namespace tpdb

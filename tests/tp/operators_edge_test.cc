@@ -1,0 +1,163 @@
+// Edge cases of the public join operators: error paths, schema/name
+// derivation, validation hooks, self joins, and degenerate θ.
+#include <gtest/gtest.h>
+
+#include "tests/reference/fixtures.h"
+#include "tp/operators.h"
+
+namespace tpdb {
+namespace {
+
+using testing::MakeFig1Example;
+
+TEST(TPJoinErrors, DifferentManagersRejected) {
+  LineageManager m1;
+  LineageManager m2;
+  Schema schema;
+  schema.AddColumn({"k", DatumType::kInt64});
+  TPRelation r("r", schema, &m1);
+  TPRelation s("s", schema, &m2);
+  StatusOr<TPRelation> q =
+      TPAntiJoin(r, s, JoinCondition::Equals("k"));
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(TPJoinErrors, ValidateInputsCatchesBadRelation) {
+  LineageManager mgr;
+  Schema schema;
+  schema.AddColumn({"k", DatumType::kInt64});
+  TPRelation r("r", schema, &mgr);
+  TPRelation s("s", schema, &mgr);
+  // Two tuples with the same fact and overlapping intervals: invalid.
+  ASSERT_TRUE(r.AppendBase({Datum(static_cast<int64_t>(1))}, Interval(0, 9),
+                           0.5)
+                  .ok());
+  ASSERT_TRUE(r.AppendBase({Datum(static_cast<int64_t>(1))}, Interval(5, 12),
+                           0.6)
+                  .ok());
+  StatusOr<TPRelation> checked =
+      TPLeftOuterJoin(r, s, JoinCondition::Equals("k"));
+  EXPECT_FALSE(checked.ok());
+
+  TPJoinOptions unchecked;
+  unchecked.validate_inputs = false;
+  StatusOr<TPRelation> forced =
+      TPLeftOuterJoin(r, s, JoinCondition::Equals("k"), unchecked);
+  EXPECT_TRUE(forced.ok());  // caller takes responsibility
+}
+
+TEST(TPJoinNaming, DefaultAndExplicitResultNames) {
+  auto fx = MakeFig1Example();
+  StatusOr<TPRelation> q = TPAntiJoin(*fx->a, *fx->b, fx->theta);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->name(), "a_anti_b");
+  TPJoinOptions options;
+  options.result_name = "no_rooms";
+  StatusOr<TPRelation> named =
+      TPAntiJoin(*fx->a, *fx->b, fx->theta, options);
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->name(), "no_rooms");
+}
+
+TEST(TPJoinSchemas, OutputSchemasPerKind) {
+  Schema r;
+  r.AddColumn({"Name", DatumType::kString});
+  r.AddColumn({"Loc", DatumType::kString});
+  Schema s;
+  s.AddColumn({"Hotel", DatumType::kString});
+  s.AddColumn({"Loc", DatumType::kString});
+  EXPECT_EQ(TPJoinOutputSchema(TPJoinKind::kAnti, r, s).num_columns(), 2u);
+  EXPECT_EQ(TPJoinOutputSchema(TPJoinKind::kSemi, r, s).num_columns(), 2u);
+  const Schema full = TPJoinOutputSchema(TPJoinKind::kFullOuter, r, s);
+  EXPECT_EQ(full.num_columns(), 4u);
+  EXPECT_GE(full.IndexOf("Loc_s"), 0);  // collision disambiguated
+}
+
+TEST(TPJoinSelf, AntiSelfJoinHasZeroProbability) {
+  // r ▷ r: every tuple matches itself, so each output tuple's lineage is
+  // λ ∧ ¬(λ ∨ ...) — unsatisfiable wherever the tuple itself is valid.
+  auto fx = MakeFig1Example();
+  StatusOr<TPRelation> q = TPAntiJoin(*fx->a, *fx->a,
+                                      JoinCondition::Equals("Loc"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  for (size_t i = 0; i < q->size(); ++i)
+    EXPECT_NEAR(q->Probability(i), 0.0, 1e-12);
+}
+
+TEST(TPJoinSelf, SemiSelfJoinKeepsOriginalProbability) {
+  // r ⋉ r on a fact-identifying θ: λ ∧ λ = λ.
+  auto fx = MakeFig1Example();
+  JoinCondition theta;
+  theta.equal_columns.emplace_back("Name", "Name");
+  theta.equal_columns.emplace_back("Loc", "Loc");
+  StatusOr<TPRelation> q = TPSemiJoin(*fx->a, *fx->a, theta);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->size(), fx->a->size());
+  for (size_t i = 0; i < q->size(); ++i) {
+    EXPECT_EQ(q->tuple(i).lineage, fx->a->tuple(i).lineage);
+  }
+}
+
+TEST(TPJoinDegenerateTheta, NeverMatchingPredicate) {
+  auto fx = MakeFig1Example();
+  JoinCondition theta;
+  theta.predicate = [](const Row&, const Row&) { return false; };
+  StatusOr<TPRelation> left = TPLeftOuterJoin(*fx->a, *fx->b, theta);
+  ASSERT_TRUE(left.ok());
+  // Nothing matches: left outer = each a tuple passes through unchanged.
+  ASSERT_EQ(left->size(), fx->a->size());
+  StatusOr<TPRelation> inner = TPInnerJoin(*fx->a, *fx->b, theta);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_TRUE(inner->empty());
+  StatusOr<TPRelation> semi = TPSemiJoin(*fx->a, *fx->b, theta);
+  ASSERT_TRUE(semi.ok());
+  EXPECT_TRUE(semi->empty());
+}
+
+TEST(TPJoinKindNames, AllDistinct) {
+  EXPECT_STREQ(TPJoinKindName(TPJoinKind::kInner), "inner");
+  EXPECT_STREQ(TPJoinKindName(TPJoinKind::kAnti), "anti");
+  EXPECT_STREQ(TPJoinKindName(TPJoinKind::kLeftOuter), "left-outer");
+  EXPECT_STREQ(TPJoinKindName(TPJoinKind::kRightOuter), "right-outer");
+  EXPECT_STREQ(TPJoinKindName(TPJoinKind::kFullOuter), "full-outer");
+  EXPECT_STREQ(TPJoinKindName(TPJoinKind::kSemi), "semi");
+}
+
+TEST(TPJoinResults, OutputsAreValidTPRelations) {
+  auto fx = MakeFig1Example();
+  for (const TPJoinKind kind :
+       {TPJoinKind::kInner, TPJoinKind::kAnti, TPJoinKind::kLeftOuter,
+        TPJoinKind::kRightOuter, TPJoinKind::kFullOuter, TPJoinKind::kSemi}) {
+    StatusOr<TPRelation> q = TPJoin(kind, *fx->a, *fx->b, fx->theta);
+    ASSERT_TRUE(q.ok()) << TPJoinKindName(kind);
+    EXPECT_TRUE(q->Validate().ok())
+        << TPJoinKindName(kind) << ": " << q->Validate().ToString();
+  }
+}
+
+TEST(TPJoinComposition, JoinOfJoinResult) {
+  // Derived relations (with compound lineages) must be joinable again:
+  // (a ⟕ b) ▷ b — three-way composition exercising lineage reuse.
+  auto fx = MakeFig1Example();
+  StatusOr<TPRelation> left = TPLeftOuterJoin(*fx->a, *fx->b, fx->theta);
+  ASSERT_TRUE(left.ok());
+  JoinCondition theta;
+  theta.equal_columns.emplace_back("Loc", "Loc");
+  StatusOr<TPRelation> anti = TPAntiJoin(*left, *fx->b, theta);
+  ASSERT_TRUE(anti.ok()) << anti.status().ToString();
+  EXPECT_TRUE(anti->Validate().ok());
+  // Jim's row survives (WEN matches no hotel); all ZAK rows are negated
+  // with non-trivial compound lineage.
+  bool found_jim = false;
+  for (size_t i = 0; i < anti->size(); ++i) {
+    if (!anti->tuple(i).fact[0].is_null() &&
+        anti->tuple(i).fact[0].ToString() == "Jim") {
+      found_jim = true;
+      EXPECT_NEAR(anti->Probability(i), 0.8, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_jim);
+}
+
+}  // namespace
+}  // namespace tpdb

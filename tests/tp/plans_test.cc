@@ -1,0 +1,162 @@
+// Tests of plan assembly: error paths, stage filters, WindowPlan lifetime,
+// the LAWAN-only continuation, and large-scale structural invariants on
+// the generated datasets (where the per-time-point oracle is too slow).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datasets/meteo.h"
+#include "datasets/webkit.h"
+#include "engine/materialize.h"
+#include "temporal/timeline.h"
+#include "tests/reference/fixtures.h"
+#include "tp/plans.h"
+
+namespace tpdb {
+namespace {
+
+using testing::MakeFig1Example;
+
+TEST(WindowPlanErrors, RejectsDifferentManagers) {
+  LineageManager m1;
+  LineageManager m2;
+  Schema schema;
+  schema.AddColumn({"k", DatumType::kInt64});
+  TPRelation r("r", schema, &m1);
+  TPRelation s("s", schema, &m2);
+  StatusOr<WindowPlan> plan = MakeWindowPlan(
+      r, s, JoinCondition::Equals("k"), WindowStage::kWuon);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WindowPlanErrors, RejectsUnknownThetaColumns) {
+  auto fx = MakeFig1Example();
+  StatusOr<WindowPlan> plan = MakeWindowPlan(
+      *fx->a, *fx->b, JoinCondition::Equals("NoSuchColumn"),
+      WindowStage::kWuon);
+  EXPECT_FALSE(plan.ok());
+  // The message names the offending column.
+  EXPECT_NE(plan.status().message().find("NoSuchColumn"), std::string::npos);
+
+  JoinCondition half;
+  half.equal_columns.emplace_back("Loc", "Missing");
+  StatusOr<WindowPlan> plan2 =
+      MakeWindowPlan(*fx->a, *fx->b, half, WindowStage::kWuon);
+  EXPECT_FALSE(plan2.ok());
+}
+
+TEST(WindowPlan, MoveKeepsOperatorsValid) {
+  auto fx = MakeFig1Example();
+  StatusOr<WindowPlan> plan = MakeWindowPlan(
+      *fx->a, *fx->b, fx->theta, WindowStage::kWuon);
+  ASSERT_TRUE(plan.ok());
+  // Move the plan: the tables are heap-allocated, so the operators keep
+  // pointing at live data.
+  WindowPlan moved = std::move(*plan);
+  EXPECT_EQ(Drain(moved.root.get()), 7u);
+}
+
+TEST(WindowPlan, ReopenProducesSameRows) {
+  auto fx = MakeFig1Example();
+  StatusOr<WindowPlan> plan = MakeWindowPlan(
+      *fx->a, *fx->b, fx->theta, WindowStage::kWuon);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(Drain(plan->root.get()), 7u);
+  EXPECT_EQ(Drain(plan->root.get()), 7u);  // restartable
+}
+
+TEST(LawanOnly, ContinuesMaterializedWuo) {
+  auto fx = MakeFig1Example();
+  StatusOr<WindowPlan> plan = MakeWindowPlan(
+      *fx->a, *fx->b, fx->theta, WindowStage::kWuo);
+  ASSERT_TRUE(plan.ok());
+  Table wuo = Materialize(plan->root.get());
+  EXPECT_EQ(wuo.size(), 4u);
+  OperatorPtr lawan =
+      MakeLawanOnly(&wuo, plan->layout, fx->a->manager());
+  EXPECT_EQ(Drain(lawan.get()), 7u);
+}
+
+TEST(ComputeWindowsStages, MonotoneWindowCounts) {
+  auto fx = MakeFig1Example();
+  size_t previous = 0;
+  for (const WindowStage stage :
+       {WindowStage::kOverlap, WindowStage::kWuo, WindowStage::kWuon}) {
+    StatusOr<std::vector<TPWindow>> w =
+        ComputeWindows(*fx->a, *fx->b, fx->theta, stage);
+    ASSERT_TRUE(w.ok());
+    EXPECT_GE(w->size(), previous);
+    previous = w->size();
+  }
+}
+
+// Large-scale structural invariants on the generated datasets: the
+// time-point oracle is too slow here, but the window-set laws can be
+// checked directly interval-wise.
+class DatasetInvariantTest : public ::testing::Test {
+ protected:
+  void CheckInvariants(const TPRelation& r, const TPRelation& s,
+                       const JoinCondition& theta) {
+    StatusOr<std::vector<TPWindow>> w =
+        ComputeWindows(r, s, theta, WindowStage::kWuon);
+    ASSERT_TRUE(w.ok());
+
+    std::map<int64_t, std::vector<const TPWindow*>> by_rid;
+    for (const TPWindow& win : *w) by_rid[win.rid].push_back(&win);
+
+    ASSERT_EQ(by_rid.size(), r.size());  // every r tuple produces windows
+    for (const auto& [rid, windows] : by_rid) {
+      const Interval rt = r.tuple(static_cast<size_t>(rid)).interval;
+      std::vector<Interval> partition;  // unmatched ∪ negating
+      std::vector<Interval> negating;
+      std::vector<Interval> overlapping;
+      for (const TPWindow* win : windows) {
+        EXPECT_EQ(win->r_interval, rt);
+        EXPECT_TRUE(rt.Contains(win->window))
+            << win->window.ToString() << " outside " << rt.ToString();
+        switch (win->cls) {
+          case WindowClass::kUnmatched:
+            EXPECT_TRUE(win->lin_s.is_null());
+            partition.push_back(win->window);
+            break;
+          case WindowClass::kNegating:
+            EXPECT_FALSE(win->lin_s.is_null());
+            partition.push_back(win->window);
+            negating.push_back(win->window);
+            break;
+          case WindowClass::kOverlapping:
+            overlapping.push_back(win->window);
+            break;
+        }
+      }
+      // Unmatched ∪ negating windows tile the tuple's interval exactly.
+      EXPECT_TRUE(PairwiseDisjoint(partition));
+      EXPECT_TRUE(Covers(rt, partition));
+      // Negating windows cover exactly the union of overlapping windows.
+      const std::vector<Interval> covered = CoveredRuns(rt, overlapping);
+      EXPECT_EQ(Coalesce(negating), covered);
+    }
+  }
+};
+
+TEST_F(DatasetInvariantTest, WebkitWindowsSatisfyLaws) {
+  LineageManager manager;
+  WebkitOptions opts;
+  opts.num_tuples = 1500;
+  StatusOr<WebkitDataset> ds = MakeWebkitDataset(&manager, opts);
+  ASSERT_TRUE(ds.ok());
+  CheckInvariants(ds->r, ds->s, ds->theta);
+}
+
+TEST_F(DatasetInvariantTest, MeteoWindowsSatisfyLaws) {
+  LineageManager manager;
+  MeteoOptions opts;
+  opts.num_tuples = 800;
+  StatusOr<MeteoDataset> ds = MakeMeteoDataset(&manager, opts);
+  ASSERT_TRUE(ds.ok());
+  CheckInvariants(ds->r, ds->s, ds->theta);
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,132 @@
+// Focused randomized fuzz of the two sweep algorithms: one r tuple against
+// K random s tuples (the unit the sweeps process), checking the produced
+// unmatched and negating windows against the declarative timeline
+// primitives (Gaps / CoveredRuns) and the λs content of every negating
+// window against direct evaluation. Hundreds of random scenarios across
+// the parameter grid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "lineage/print.h"
+#include "temporal/timeline.h"
+#include "tp/plans.h"
+
+namespace tpdb {
+namespace {
+
+struct GridParam {
+  uint64_t seed;
+  int num_s;          // matching s tuples
+  int num_decoys;     // s tuples failing θ
+  TimePoint horizon;  // s tuples live in [0, horizon)
+};
+
+class SweepFuzzTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(SweepFuzzTest, WindowsMatchTimelinePrimitives) {
+  const GridParam& p = GetParam();
+  Random rng(p.seed * 2654435761u);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    LineageManager manager;
+    Schema schema;
+    schema.AddColumn({"key", DatumType::kInt64});
+    TPRelation r("r", schema, &manager);
+    TPRelation s("s", schema, &manager);
+
+    // One r tuple somewhere on the timeline.
+    const TimePoint r_start = rng.Uniform(0, p.horizon / 2);
+    const Interval rt(r_start, r_start + rng.Uniform(1, p.horizon / 2));
+    ASSERT_TRUE(r.AppendBase({Datum(static_cast<int64_t>(1))}, rt, 0.5)
+                    .ok());
+
+    // Matching s tuples (key 1) and θ-failing decoys (key 2).
+    std::vector<Interval> matching;
+    for (int k = 0; k < p.num_s; ++k) {
+      const TimePoint a = rng.Uniform(-5, p.horizon);
+      const Interval iv(a, a + rng.Uniform(1, p.horizon / 3));
+      matching.push_back(iv);
+      ASSERT_TRUE(s.AppendDerived({Datum(static_cast<int64_t>(1))}, iv,
+                                  manager.Var(manager.RegisterVariable(
+                                      0.5, "s" + std::to_string(k))))
+                      .ok());
+    }
+    for (int k = 0; k < p.num_decoys; ++k) {
+      const TimePoint a = rng.Uniform(-5, p.horizon);
+      ASSERT_TRUE(s.AppendDerived({Datum(static_cast<int64_t>(2))},
+                                  Interval(a, a + rng.Uniform(1, 20)),
+                                  manager.Var(manager.RegisterVariable(0.5)))
+                      .ok());
+    }
+
+    StatusOr<std::vector<TPWindow>> windows = ComputeWindows(
+        r, s, JoinCondition::Equals("key"), WindowStage::kWuon);
+    ASSERT_TRUE(windows.ok()) << windows.status().ToString();
+
+    std::vector<Interval> unmatched;
+    std::vector<Interval> negating;
+    size_t overlapping = 0;
+    for (const TPWindow& w : *windows) {
+      switch (w.cls) {
+        case WindowClass::kUnmatched:
+          unmatched.push_back(w.window);
+          break;
+        case WindowClass::kNegating: {
+          negating.push_back(w.window);
+          // λs must be the disjunction of exactly the s tuples covering
+          // the window (they cover it fully: windows never cross
+          // boundaries).
+          std::vector<LineageRef> expected;
+          for (size_t j = 0; j < matching.size(); ++j) {
+            if (matching[j].Contains(w.window))
+              expected.push_back(s.tuple(j).lineage);
+            else
+              EXPECT_FALSE(matching[j].Overlaps(w.window))
+                  << "negating window " << w.window.ToString()
+                  << " crosses boundary of s tuple "
+                  << matching[j].ToString();
+          }
+          EXPECT_EQ(w.lin_s, manager.OrAll(expected))
+              << "λs mismatch over " << w.window.ToString();
+          break;
+        }
+        case WindowClass::kOverlapping:
+          ++overlapping;
+          break;
+      }
+    }
+
+    // Count of overlapping windows = matching s tuples intersecting r.
+    size_t expected_overlaps = 0;
+    for (const Interval& iv : matching)
+      if (iv.Overlaps(rt)) ++expected_overlaps;
+    EXPECT_EQ(overlapping, expected_overlaps);
+
+    // Unmatched = Gaps(r.T, matching); negating tiles CoveredRuns.
+    std::sort(unmatched.begin(), unmatched.end());
+    EXPECT_EQ(unmatched, Gaps(rt, matching)) << "trial " << trial;
+    EXPECT_EQ(Coalesce(negating), CoveredRuns(rt, matching))
+        << "trial " << trial;
+    EXPECT_TRUE(PairwiseDisjoint(negating));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SweepFuzzTest,
+    ::testing::Values(GridParam{1, 0, 0, 40}, GridParam{2, 1, 0, 40},
+                      GridParam{3, 2, 2, 40}, GridParam{4, 3, 0, 60},
+                      GridParam{5, 4, 4, 60}, GridParam{6, 6, 2, 80},
+                      GridParam{7, 8, 0, 80}, GridParam{8, 10, 5, 100},
+                      GridParam{9, 15, 5, 120}, GridParam{10, 20, 10, 150},
+                      GridParam{11, 5, 20, 60}, GridParam{12, 2, 1, 10},
+                      GridParam{13, 12, 0, 30}, GridParam{14, 7, 7, 200},
+                      GridParam{15, 30, 0, 100}),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return "grid" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,139 @@
+// Snapshot-semantics property tests (invariant 3 of DESIGN.md §7): at every
+// time point t, the interval-based TP join result restricted to t must
+// equal the probabilistic join of the snapshots at t — for every operator
+// and for both execution strategies.
+#include <gtest/gtest.h>
+
+#include "tests/reference/fixtures.h"
+#include "tests/reference/reference.h"
+#include "tp/operators.h"
+
+namespace tpdb {
+namespace {
+
+using testing::CompareSnapshots;
+using testing::MakeRandomRelation;
+using testing::RandomRelationOptions;
+using testing::ReferenceJoinSnapshot;
+using testing::SnapshotOf;
+
+struct Param {
+  uint64_t seed;
+  TPJoinKind kind;
+  JoinStrategy strategy;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = TPJoinKindName(info.param.kind);
+  for (char& c : name)
+    if (c == '-') c = '_';
+  name += info.param.strategy == JoinStrategy::kLineageAware ? "_nj" : "_ta";
+  name += "_seed" + std::to_string(info.param.seed);
+  return name;
+}
+
+class SnapshotSemanticsTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SnapshotSemanticsTest, JoinAgreesWithSnapshotOracle) {
+  const Param& p = GetParam();
+  LineageManager manager;
+  Random rng(p.seed * 1000003);
+  RandomRelationOptions opts;
+  opts.num_tuples = 14;
+  opts.num_keys = 3;
+  opts.horizon = 25;
+  opts.max_duration = 7;
+  auto r = MakeRandomRelation(&manager, "r", opts, &rng);
+  auto s = MakeRandomRelation(&manager, "s", opts, &rng);
+  const JoinCondition theta = JoinCondition::Equals("key");
+
+  TPJoinOptions options;
+  options.strategy = p.strategy;
+  StatusOr<TPRelation> result = TPJoin(p.kind, *r, *s, theta, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The result must itself be a valid TP relation.
+  ASSERT_TRUE(result->Validate().ok()) << result->Validate().ToString();
+
+  // Probe every time point in the populated horizon (plus a margin).
+  for (TimePoint t = 0; t < opts.horizon + 4 * opts.max_duration; ++t) {
+    const std::string diff =
+        CompareSnapshots(ReferenceJoinSnapshot(p.kind, *r, *s, theta, t),
+                         SnapshotOf(*result, t));
+    EXPECT_TRUE(diff.empty()) << "at t=" << t << ":\n" << diff;
+    if (!diff.empty()) break;
+  }
+}
+
+std::vector<Param> AllParams() {
+  std::vector<Param> params;
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (const TPJoinKind kind :
+         {TPJoinKind::kInner, TPJoinKind::kAnti, TPJoinKind::kLeftOuter,
+          TPJoinKind::kRightOuter, TPJoinKind::kFullOuter,
+          TPJoinKind::kSemi}) {
+      for (const JoinStrategy strategy :
+           {JoinStrategy::kLineageAware, JoinStrategy::kTemporalAlignment}) {
+        params.push_back(Param{seed, kind, strategy});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, SnapshotSemanticsTest,
+                         ::testing::ValuesIn(AllParams()), ParamName);
+
+// The general-predicate part of θ must flow through all operators: join on
+// key equality plus a tag-inequality predicate.
+TEST(SnapshotSemanticsGeneralTheta, LeftOuterWithPredicate) {
+  LineageManager manager;
+  Random rng(77);
+  RandomRelationOptions opts;
+  opts.num_tuples = 12;
+  auto r = MakeRandomRelation(&manager, "r", opts, &rng);
+  auto s = MakeRandomRelation(&manager, "s", opts, &rng);
+  JoinCondition theta = JoinCondition::Equals("key");
+  theta.predicate = [](const Row& rf, const Row& sf) {
+    return rf[1].AsInt64() != sf[1].AsInt64();  // r.tag <> s.tag
+  };
+
+  for (const JoinStrategy strategy :
+       {JoinStrategy::kLineageAware, JoinStrategy::kTemporalAlignment}) {
+    TPJoinOptions options;
+    options.strategy = strategy;
+    StatusOr<TPRelation> result =
+        TPJoin(TPJoinKind::kLeftOuter, *r, *s, theta, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (TimePoint t = 0; t < 60; ++t) {
+      const std::string diff = CompareSnapshots(
+          ReferenceJoinSnapshot(TPJoinKind::kLeftOuter, *r, *s, theta, t),
+          SnapshotOf(*result, t));
+      ASSERT_TRUE(diff.empty()) << "strategy "
+                                << static_cast<int>(strategy) << " t=" << t
+                                << ":\n" << diff;
+    }
+  }
+}
+
+// Self-join: r joined with itself must still satisfy snapshot semantics
+// (lineage idempotence matters here: λ ∧ λ = λ).
+TEST(SnapshotSemanticsSelfJoin, InnerSelfJoin) {
+  LineageManager manager;
+  Random rng(31);
+  RandomRelationOptions opts;
+  opts.num_tuples = 10;
+  auto r = MakeRandomRelation(&manager, "r", opts, &rng);
+  const JoinCondition theta = JoinCondition::Equals("key");
+  StatusOr<TPRelation> result = TPInnerJoin(*r, *r, theta);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (TimePoint t = 0; t < 60; ++t) {
+    const std::string diff = CompareSnapshots(
+        ReferenceJoinSnapshot(TPJoinKind::kInner, *r, *r, theta, t),
+        SnapshotOf(*result, t));
+    ASSERT_TRUE(diff.empty()) << "t=" << t << ":\n" << diff;
+  }
+}
+
+}  // namespace
+}  // namespace tpdb

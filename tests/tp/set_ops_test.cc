@@ -1,0 +1,210 @@
+// Tests of the TP set operations (union / intersection / difference):
+// hand-computed scenarios plus a per-time-point snapshot oracle over
+// randomized inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "lineage/print.h"
+#include "lineage/probability.h"
+#include "tests/reference/fixtures.h"
+#include "tp/set_ops.h"
+
+namespace tpdb {
+namespace {
+
+using testing::MakeRandomRelation;
+using testing::RandomRelationOptions;
+
+class SetOpsTest : public ::testing::Test {
+ protected:
+  SetOpsTest() {
+    Schema schema;
+    schema.AddColumn({"sensor", DatumType::kString});
+    r_ = std::make_unique<TPRelation>("r", schema, &manager_);
+    s_ = std::make_unique<TPRelation>("s", schema, &manager_);
+  }
+
+  void Add(TPRelation* rel, const std::string& sensor, TimePoint from,
+           TimePoint to, double p, const std::string& var) {
+    TPDB_CHECK(rel->AppendBase({Datum(sensor)}, Interval(from, to), p, var)
+                   .ok());
+  }
+
+  std::string Render(const TPRelation& rel) {
+    std::string out;
+    for (const TPTuple& t : rel.tuples()) {
+      out += t.fact[0].AsString() + " " + t.interval.ToString() + " " +
+             LineageToString(manager_, t.lineage) + "; ";
+    }
+    return out;
+  }
+
+  LineageManager manager_;
+  std::unique_ptr<TPRelation> r_;
+  std::unique_ptr<TPRelation> s_;
+};
+
+TEST_F(SetOpsTest, IntersectionOnlyWhereBothValid) {
+  Add(r_.get(), "A", 0, 10, 0.5, "r1");
+  Add(s_.get(), "A", 4, 6, 0.5, "s1");
+  Add(s_.get(), "B", 0, 10, 0.5, "s2");  // different fact: no contribution
+  StatusOr<TPRelation> out = TPIntersect(*r_, *s_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u) << Render(*out);
+  EXPECT_EQ(out->tuple(0).interval, Interval(4, 6));
+  EXPECT_EQ(LineageToString(manager_, out->tuple(0).lineage), "r1 ∧ s1");
+  EXPECT_TRUE(out->Validate().ok());
+}
+
+TEST_F(SetOpsTest, DifferenceNegatesWhereBothValid) {
+  Add(r_.get(), "A", 0, 10, 0.5, "r1");
+  Add(s_.get(), "A", 4, 6, 0.5, "s1");
+  StatusOr<TPRelation> out = TPDifference(*r_, *s_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 3u) << Render(*out);
+  std::map<std::string, std::string> by_interval;
+  for (const TPTuple& t : out->tuples())
+    by_interval[t.interval.ToString()] =
+        LineageToString(manager_, t.lineage);
+  EXPECT_EQ(by_interval["[0,4)"], "r1");
+  EXPECT_EQ(by_interval["[4,6)"], "r1 ∧ ¬s1");
+  EXPECT_EQ(by_interval["[6,10)"], "r1");
+  EXPECT_TRUE(out->Validate().ok());
+}
+
+TEST_F(SetOpsTest, UnionCoversBothSides) {
+  Add(r_.get(), "A", 0, 6, 0.5, "r1");
+  Add(s_.get(), "A", 4, 10, 0.5, "s1");
+  StatusOr<TPRelation> out = TPUnion(*r_, *s_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 3u) << Render(*out);
+  std::map<std::string, std::string> by_interval;
+  for (const TPTuple& t : out->tuples())
+    by_interval[t.interval.ToString()] =
+        LineageToString(manager_, t.lineage);
+  EXPECT_EQ(by_interval["[0,4)"], "r1");
+  EXPECT_EQ(by_interval["[4,6)"], "r1 ∨ s1");
+  EXPECT_EQ(by_interval["[6,10)"], "s1");
+  EXPECT_TRUE(out->Validate().ok());
+}
+
+TEST_F(SetOpsTest, DisjointFactsUnionIsConcatenation) {
+  Add(r_.get(), "A", 0, 5, 0.5, "r1");
+  Add(s_.get(), "B", 2, 7, 0.5, "s1");
+  StatusOr<TPRelation> out = TPUnion(*r_, *s_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u) << Render(*out);
+}
+
+TEST_F(SetOpsTest, EmptyInputs) {
+  Add(r_.get(), "A", 0, 5, 0.5, "r1");
+  StatusOr<TPRelation> inter = TPIntersect(*r_, *s_);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_TRUE(inter->empty());
+  StatusOr<TPRelation> diff = TPDifference(*r_, *s_);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 1u);
+  StatusOr<TPRelation> uni = TPUnion(*r_, *s_);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ(uni->size(), 1u);
+}
+
+TEST_F(SetOpsTest, ArityMismatchRejected) {
+  Schema wide;
+  wide.AddColumn({"a", DatumType::kString});
+  wide.AddColumn({"b", DatumType::kString});
+  TPRelation w("w", wide, &manager_);
+  EXPECT_FALSE(TPUnion(*r_, w).ok());
+  EXPECT_FALSE(TPIntersect(*r_, w).ok());
+  EXPECT_FALSE(TPDifference(*r_, w).ok());
+}
+
+// Snapshot oracle over randomized inputs: at every time point, the set
+// operation must equal its non-temporal probabilistic counterpart.
+class SetOpsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SetOpsPropertyTest, SnapshotSemantics) {
+  LineageManager manager;
+  Random rng(GetParam() * 31337);
+  RandomRelationOptions opts;
+  opts.num_tuples = 12;
+  opts.num_keys = 2;  // few keys + tags: plenty of same-fact collisions
+  auto r = MakeRandomRelation(&manager, "r", opts, &rng);
+  auto s = MakeRandomRelation(&manager, "s", opts, &rng);
+  ProbabilityEngine prob(&manager);
+
+  StatusOr<TPRelation> uni = TPUnion(*r, *s);
+  StatusOr<TPRelation> inter = TPIntersect(*r, *s);
+  StatusOr<TPRelation> diff = TPDifference(*r, *s);
+  ASSERT_TRUE(uni.ok());
+  ASSERT_TRUE(inter.ok());
+  ASSERT_TRUE(diff.ok());
+  ASSERT_TRUE(uni->Validate().ok());
+  ASSERT_TRUE(inter->Validate().ok());
+  ASSERT_TRUE(diff->Validate().ok());
+
+  auto result_prob_at = [&](const TPRelation& rel, const Row& fact,
+                            TimePoint t) -> double {
+    for (size_t i = 0; i < rel.size(); ++i) {
+      if (!rel.tuple(i).interval.Contains(t)) continue;
+      if (CompareRows(rel.tuple(i).fact, fact) != 0) continue;
+      return rel.Probability(i);
+    }
+    return -1.0;  // absent
+  };
+
+  for (TimePoint t = 0; t < 60; ++t) {
+    // Collect the per-fact lineages valid at t in each input.
+    std::map<Row, std::pair<LineageRef, LineageRef>,
+             bool (*)(const Row&, const Row&)>
+        facts(+[](const Row& a, const Row& b) {
+          return CompareRows(a, b) < 0;
+        });
+    for (const TPTuple& tup : r->tuples())
+      if (tup.interval.Contains(t))
+        facts[tup.fact].first = tup.lineage;
+    for (const TPTuple& tup : s->tuples())
+      if (tup.interval.Contains(t))
+        facts[tup.fact].second = tup.lineage;
+
+    for (const auto& [fact, lins] : facts) {
+      const auto [lr, ls] = lins;
+      const bool in_r = !lr.is_null();
+      const bool in_s = !ls.is_null();
+      // Union.
+      double expected = in_r && in_s
+                            ? prob.Probability(manager.Or(lr, ls))
+                            : prob.Probability(in_r ? lr : ls);
+      EXPECT_NEAR(result_prob_at(*uni, fact, t), expected, 1e-9)
+          << "union at t=" << t << " fact " << RowToString(fact);
+      // Intersection.
+      if (in_r && in_s) {
+        EXPECT_NEAR(result_prob_at(*inter, fact, t),
+                    prob.Probability(manager.And(lr, ls)), 1e-9)
+            << "intersect at t=" << t;
+      } else {
+        EXPECT_EQ(result_prob_at(*inter, fact, t), -1.0)
+            << "spurious intersect tuple at t=" << t;
+      }
+      // Difference.
+      if (in_r) {
+        const double want = in_s
+                                ? prob.Probability(manager.AndNot(lr, ls))
+                                : prob.Probability(lr);
+        EXPECT_NEAR(result_prob_at(*diff, fact, t), want, 1e-9)
+            << "difference at t=" << t;
+      } else {
+        EXPECT_EQ(result_prob_at(*diff, fact, t), -1.0)
+            << "spurious difference tuple at t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetOpsPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace tpdb

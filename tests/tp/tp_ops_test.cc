@@ -1,0 +1,140 @@
+#include "tp/tp_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/reference/fixtures.h"
+#include "tp/operators.h"
+
+namespace tpdb {
+namespace {
+
+using testing::MakeFig1Example;
+
+class TpOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fx_ = MakeFig1Example(); }
+  std::unique_ptr<testing::Fig1Example> fx_;
+};
+
+TEST_F(TpOpsTest, SelectByFact) {
+  StatusOr<TPRelation> out = TPSelect(*fx_->a, [](const Row& fact) {
+    return fact[1].AsString() == "ZAK";
+  });
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuple(0).fact[0].AsString(), "Ann");
+}
+
+TEST_F(TpOpsTest, SelectRejectsNullPredicate) {
+  EXPECT_FALSE(TPSelect(*fx_->a, nullptr).ok());
+}
+
+TEST_F(TpOpsTest, ThresholdKeepsHighProbabilityTuples) {
+  // Fig. 1b left outer join: probabilities 0.7, .49, .42, .21, .084, .28, .8.
+  StatusOr<TPRelation> q = TPLeftOuterJoin(*fx_->a, *fx_->b, fx_->theta);
+  ASSERT_TRUE(q.ok());
+  StatusOr<TPRelation> kept = TPThreshold(*q, 0.4);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), 4u);  // 0.7, 0.49, 0.42, 0.8
+  StatusOr<TPRelation> all = TPThreshold(*q, 0.0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), q->size());
+  EXPECT_FALSE(TPThreshold(*q, 1.5).ok());
+}
+
+TEST_F(TpOpsTest, TimesliceClipsAndDrops) {
+  StatusOr<TPRelation> out = TPTimeslice(*fx_->a, Interval(7, 9));
+  ASSERT_TRUE(out.ok());
+  // a1 [2,8) clips to [7,8); a2 [7,10) clips to [7,9).
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->tuple(0).interval, Interval(7, 8));
+  EXPECT_EQ(out->tuple(1).interval, Interval(7, 9));
+  StatusOr<TPRelation> none = TPTimeslice(*fx_->a, Interval(100, 200));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_FALSE(TPTimeslice(*fx_->a, Interval(5, 5)).ok());
+}
+
+TEST_F(TpOpsTest, TimeslicePreservesLineageAndProbability) {
+  StatusOr<TPRelation> out = TPTimeslice(*fx_->a, Interval(3, 4));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuple(0).lineage, fx_->a->tuple(0).lineage);
+  EXPECT_NEAR(out->Probability(0), 0.7, 1e-12);
+}
+
+TEST_F(TpOpsTest, SnapshotAtTimePoint) {
+  const std::vector<SnapshotRow> snap = TPSnapshot(*fx_->b, 5);
+  // At t=5: b2 [5,8) and b3 [4,6).
+  ASSERT_EQ(snap.size(), 2u);
+  double total = 0;
+  for (const SnapshotRow& row : snap) total += row.probability;
+  EXPECT_NEAR(total, 0.6 + 0.7, 1e-12);
+  EXPECT_TRUE(TPSnapshot(*fx_->b, 100).empty());
+}
+
+TEST(TpOpsCoalesce, MergesAdjacentEqualLineage) {
+  LineageManager mgr;
+  Schema schema;
+  schema.AddColumn({"k", DatumType::kInt64});
+  TPRelation rel("r", schema, &mgr);
+  const VarId v = mgr.RegisterVariable(0.5, "v");
+  // Three adjacent pieces with the SAME lineage (as produced by a
+  // timeslice-then-union round trip), plus one with a different lineage.
+  ASSERT_TRUE(rel.AppendDerived({Datum(static_cast<int64_t>(1))},
+                                Interval(0, 3), mgr.Var(v))
+                  .ok());
+  ASSERT_TRUE(rel.AppendDerived({Datum(static_cast<int64_t>(1))},
+                                Interval(3, 5), mgr.Var(v))
+                  .ok());
+  ASSERT_TRUE(rel.AppendDerived({Datum(static_cast<int64_t>(1))},
+                                Interval(5, 9), mgr.Var(v))
+                  .ok());
+  const VarId w = mgr.RegisterVariable(0.5, "w");
+  ASSERT_TRUE(rel.AppendDerived({Datum(static_cast<int64_t>(1))},
+                                Interval(9, 12), mgr.Var(w))
+                  .ok());
+  StatusOr<TPRelation> out = TPCoalesce(rel);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->tuple(0).interval, Interval(0, 9));
+  EXPECT_EQ(out->tuple(1).interval, Interval(9, 12));
+}
+
+TEST(TpOpsCoalesce, DoesNotMergeAcrossGapsOrFacts) {
+  LineageManager mgr;
+  Schema schema;
+  schema.AddColumn({"k", DatumType::kInt64});
+  TPRelation rel("r", schema, &mgr);
+  const VarId v = mgr.RegisterVariable(0.5);
+  ASSERT_TRUE(rel.AppendDerived({Datum(static_cast<int64_t>(1))},
+                                Interval(0, 3), mgr.Var(v))
+                  .ok());
+  ASSERT_TRUE(rel.AppendDerived({Datum(static_cast<int64_t>(1))},
+                                Interval(4, 6), mgr.Var(v))
+                  .ok());  // gap at [3,4)
+  ASSERT_TRUE(rel.AppendDerived({Datum(static_cast<int64_t>(2))},
+                                Interval(6, 8), mgr.Var(v))
+                  .ok());  // different fact
+  StatusOr<TPRelation> out = TPCoalesce(rel);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST(TpOpsCoalesce, IdempotentOnCoalescedInput) {
+  LineageManager mgr;
+  Schema schema;
+  schema.AddColumn({"k", DatumType::kInt64});
+  TPRelation rel("r", schema, &mgr);
+  ASSERT_TRUE(
+      rel.AppendBase({Datum(static_cast<int64_t>(1))}, Interval(0, 5), 0.5)
+          .ok());
+  StatusOr<TPRelation> once = TPCoalesce(rel);
+  ASSERT_TRUE(once.ok());
+  StatusOr<TPRelation> twice = TPCoalesce(*once);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once->size(), twice->size());
+}
+
+}  // namespace
+}  // namespace tpdb

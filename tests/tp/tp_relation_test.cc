@@ -1,0 +1,150 @@
+#include "tp/tp_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "lineage/print.h"
+
+namespace tpdb {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.AddColumn({"name", DatumType::kString});
+  s.AddColumn({"loc", DatumType::kString});
+  return s;
+}
+
+TEST(TPRelation, AppendBaseRegistersVariable) {
+  LineageManager mgr;
+  TPRelation rel("a", TwoColSchema(), &mgr);
+  ASSERT_TRUE(rel.AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(2, 8),
+                             0.7, "a1")
+                  .ok());
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_EQ(mgr.num_variables(), 1u);
+  EXPECT_EQ(LineageToString(mgr, rel.tuple(0).lineage), "a1");
+  EXPECT_NEAR(rel.Probability(0), 0.7, 1e-12);
+}
+
+TEST(TPRelation, RejectsBadInputs) {
+  LineageManager mgr;
+  TPRelation rel("a", TwoColSchema(), &mgr);
+  // Wrong arity.
+  EXPECT_FALSE(rel.AppendBase({Datum("Ann")}, Interval(2, 8), 0.7).ok());
+  // Empty interval.
+  EXPECT_FALSE(
+      rel.AppendBase({Datum("x"), Datum("y")}, Interval(8, 2), 0.7).ok());
+  EXPECT_FALSE(
+      rel.AppendBase({Datum("x"), Datum("y")}, Interval(3, 3), 0.7).ok());
+  // Probability out of range.
+  EXPECT_FALSE(
+      rel.AppendBase({Datum("x"), Datum("y")}, Interval(2, 8), 1.5).ok());
+  // Null lineage on derived append.
+  EXPECT_FALSE(rel.AppendDerived({Datum("x"), Datum("y")}, Interval(2, 8),
+                                 LineageRef::Null())
+                   .ok());
+  EXPECT_EQ(rel.size(), 0u);
+}
+
+TEST(TPRelation, ValidateAcceptsDisjointSameFactIntervals) {
+  LineageManager mgr;
+  TPRelation rel("a", TwoColSchema(), &mgr);
+  ASSERT_TRUE(
+      rel.AppendBase({Datum("x"), Datum("y")}, Interval(0, 5), 0.5).ok());
+  ASSERT_TRUE(
+      rel.AppendBase({Datum("x"), Datum("y")}, Interval(5, 9), 0.6).ok());
+  EXPECT_TRUE(rel.Validate().ok());
+}
+
+TEST(TPRelation, ValidateRejectsOverlappingSameFactIntervals) {
+  LineageManager mgr;
+  TPRelation rel("a", TwoColSchema(), &mgr);
+  ASSERT_TRUE(
+      rel.AppendBase({Datum("x"), Datum("y")}, Interval(0, 5), 0.5).ok());
+  ASSERT_TRUE(
+      rel.AppendBase({Datum("x"), Datum("y")}, Interval(4, 9), 0.6).ok());
+  const Status st = rel.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TPRelation, ValidateAllowsOverlapAcrossDifferentFacts) {
+  LineageManager mgr;
+  TPRelation rel("a", TwoColSchema(), &mgr);
+  ASSERT_TRUE(
+      rel.AppendBase({Datum("x"), Datum("y")}, Interval(0, 5), 0.5).ok());
+  ASSERT_TRUE(
+      rel.AppendBase({Datum("x"), Datum("z")}, Interval(0, 5), 0.6).ok());
+  EXPECT_TRUE(rel.Validate().ok());
+}
+
+TEST(TPRelation, ToTableUsesReservedColumns) {
+  LineageManager mgr;
+  TPRelation rel("a", TwoColSchema(), &mgr);
+  ASSERT_TRUE(rel.AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(2, 8),
+                             0.7)
+                  .ok());
+  const Table t = rel.ToTable();
+  EXPECT_EQ(t.schema.num_columns(), 5u);
+  EXPECT_EQ(t.schema.IndexOf(kTsColumn), 2);
+  EXPECT_EQ(t.schema.IndexOf(kTeColumn), 3);
+  EXPECT_EQ(t.schema.IndexOf(kLineageColumn), 4);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][2].AsInt64(), 2);
+  EXPECT_EQ(t.rows[0][3].AsInt64(), 8);
+  EXPECT_FALSE(t.rows[0][4].AsLineage().is_null());
+}
+
+TEST(TPRelation, FromTableRoundTrip) {
+  LineageManager mgr;
+  TPRelation rel("a", TwoColSchema(), &mgr);
+  ASSERT_TRUE(rel.AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(2, 8),
+                             0.7)
+                  .ok());
+  ASSERT_TRUE(rel.AppendBase({Datum("Jim"), Datum("WEN")}, Interval(7, 10),
+                             0.8)
+                  .ok());
+  StatusOr<TPRelation> back =
+      TPRelation::FromTable("copy", rel.ToTable(), &mgr);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    EXPECT_EQ(CompareRows(back->tuple(i).fact, rel.tuple(i).fact), 0);
+    EXPECT_EQ(back->tuple(i).interval, rel.tuple(i).interval);
+    EXPECT_EQ(back->tuple(i).lineage, rel.tuple(i).lineage);
+  }
+}
+
+TEST(TPRelation, FromTableRejectsMissingReservedColumns) {
+  LineageManager mgr;
+  Table t;
+  t.schema.AddColumn({"x", DatumType::kInt64});
+  EXPECT_FALSE(TPRelation::FromTable("bad", t, &mgr).ok());
+}
+
+TEST(TPRelation, ToStringShowsPaperStyleRows) {
+  LineageManager mgr;
+  TPRelation rel("a", TwoColSchema(), &mgr);
+  ASSERT_TRUE(rel.AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(2, 8),
+                             0.7, "a1")
+                  .ok());
+  const std::string text = rel.ToString();
+  EXPECT_NE(text.find("Ann | ZAK"), std::string::npos);
+  EXPECT_NE(text.find("a1"), std::string::npos);
+  EXPECT_NE(text.find("[2,8)"), std::string::npos);
+  EXPECT_NE(text.find("0.7"), std::string::npos);
+}
+
+TEST(TPRelation, DerivedTupleProbabilityComesFromLineage) {
+  LineageManager mgr;
+  const VarId a = mgr.RegisterVariable(0.5, "a");
+  const VarId b = mgr.RegisterVariable(0.5, "b");
+  TPRelation rel("d", TwoColSchema(), &mgr);
+  ASSERT_TRUE(rel.AppendDerived({Datum("x"), Datum("y")}, Interval(0, 1),
+                                mgr.And(mgr.Var(a), mgr.Var(b)))
+                  .ok());
+  EXPECT_NEAR(rel.Probability(0), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,120 @@
+// Unit tests of the window row layout, the lineage-concatenation functions,
+// and pipeline instrumentation of the window plans.
+#include <gtest/gtest.h>
+
+#include "engine/explain.h"
+#include "engine/materialize.h"
+#include "tests/reference/fixtures.h"
+#include "tp/concat.h"
+#include "tp/lawan.h"
+#include "tp/lawau.h"
+#include "tp/plans.h"
+#include "tp/window.h"
+
+namespace tpdb {
+namespace {
+
+TEST(WindowLayout, ColumnIndicesArePacked) {
+  const WindowLayout layout(2, 3);
+  EXPECT_EQ(layout.rid(), 0);
+  EXPECT_EQ(layout.r_fact(0), 1);
+  EXPECT_EQ(layout.r_fact(1), 2);
+  EXPECT_EQ(layout.r_ts(), 3);
+  EXPECT_EQ(layout.r_te(), 4);
+  EXPECT_EQ(layout.r_lin(), 5);
+  EXPECT_EQ(layout.s_fact(0), 6);
+  EXPECT_EQ(layout.s_fact(2), 8);
+  EXPECT_EQ(layout.s_ts(), 9);
+  EXPECT_EQ(layout.s_te(), 10);
+  EXPECT_EQ(layout.s_lin(), 11);
+  EXPECT_EQ(layout.w_ts(), 12);
+  EXPECT_EQ(layout.w_te(), 13);
+  EXPECT_EQ(layout.w_class(), 14);
+  EXPECT_EQ(layout.num_columns(), 15);
+}
+
+TEST(WindowLayout, MakeSchemaDisambiguatesCollidingNames) {
+  Schema r;
+  r.AddColumn({"k", DatumType::kInt64});
+  Schema s;
+  s.AddColumn({"k", DatumType::kInt64});
+  const WindowLayout layout(1, 1);
+  const Schema schema = layout.MakeSchema(r, s);
+  EXPECT_EQ(schema.num_columns(), 12u);
+  EXPECT_EQ(schema.column(layout.s_fact(0)).name, "k_s");
+}
+
+TEST(WindowClassNames, AllNamed) {
+  EXPECT_STREQ(WindowClassName(WindowClass::kOverlapping), "overlapping");
+  EXPECT_STREQ(WindowClassName(WindowClass::kUnmatched), "unmatched");
+  EXPECT_STREQ(WindowClassName(WindowClass::kNegating), "negating");
+}
+
+class ConcatTest : public ::testing::Test {
+ protected:
+  LineageManager mgr_;
+  LineageRef lr_ = mgr_.Var(mgr_.RegisterVariable(0.7, "r1"));
+  LineageRef ls_ = mgr_.Var(mgr_.RegisterVariable(0.6, "s1"));
+};
+
+TEST_F(ConcatTest, OverlappingUsesAnd) {
+  EXPECT_EQ(
+      ConcatWindowLineage(&mgr_, WindowClass::kOverlapping, lr_, ls_),
+      mgr_.And(lr_, ls_));
+}
+
+TEST_F(ConcatTest, UnmatchedPassesLinR) {
+  EXPECT_EQ(ConcatWindowLineage(&mgr_, WindowClass::kUnmatched, lr_,
+                                LineageRef::Null()),
+            lr_);
+}
+
+TEST_F(ConcatTest, NegatingUsesAndNot) {
+  EXPECT_EQ(ConcatWindowLineage(&mgr_, WindowClass::kNegating, lr_, ls_),
+            mgr_.AndNot(lr_, ls_));
+}
+
+TEST(WindowToString, RendersClassAndLineages) {
+  LineageManager mgr;
+  TPWindow w;
+  w.cls = WindowClass::kNegating;
+  w.fact_r = {Datum("Ann"), Datum("ZAK")};
+  w.window = Interval(5, 6);
+  w.lin_r = mgr.Var(mgr.RegisterVariable(0.7, "a1"));
+  w.lin_s = mgr.Var(mgr.RegisterVariable(0.6, "b2"));
+  const std::string text = w.ToString(mgr);
+  EXPECT_NE(text.find("negating"), std::string::npos);
+  EXPECT_NE(text.find("a1"), std::string::npos);
+  EXPECT_NE(text.find("[5,6)"), std::string::npos);
+}
+
+// Instrumentation across the window pipeline: LAWAU adds exactly the gap
+// windows, LAWAN adds exactly the negating windows, and nothing is
+// recomputed (each stage's row count is its input plus its additions).
+TEST(PipelineInstrumentation, StageRowCountsAreAdditive) {
+  auto fx = testing::MakeFig1Example();
+  StatusOr<WindowPlan> plan = MakeWindowPlan(
+      *fx->a, *fx->b, fx->theta, WindowStage::kOverlap);
+  ASSERT_TRUE(plan.ok());
+
+  ExecStats stats;
+  OperatorPtr root =
+      Instrument("overlap_join", std::move(plan->root), &stats);
+  root = std::make_unique<Lawau>(std::move(root), plan->layout);
+  root = Instrument("lawau", std::move(root), &stats);
+  root = std::make_unique<Lawan>(std::move(root), plan->layout,
+                                 fx->a->manager());
+  root = Instrument("lawan", std::move(root), &stats);
+
+  const size_t total = Drain(root.get());
+  // Fig. 2: 2 overlapping + 1 join-level unmatched (a2) + 1 gap (w1)
+  // + 3 negating = 7.
+  EXPECT_EQ(total, 7u);
+  ASSERT_EQ(stats.nodes().size(), 3u);
+  EXPECT_EQ(stats.nodes()[0]->rows, 3u);  // join: w3, w4 + unmatched a2
+  EXPECT_EQ(stats.nodes()[1]->rows, 4u);  // + gap [2,4)
+  EXPECT_EQ(stats.nodes()[2]->rows, 7u);  // + w5, w6, w7
+}
+
+}  // namespace
+}  // namespace tpdb

@@ -1,0 +1,240 @@
+// Property tests of the window computation against the brute-force oracle,
+// plus the structural invariants of Definition 1 (DESIGN.md §7), swept over
+// randomized inputs via parameterized tests.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lineage/print.h"
+#include "tests/reference/fixtures.h"
+#include "tests/reference/reference.h"
+#include "tp/plans.h"
+
+namespace tpdb {
+namespace {
+
+using testing::MakeRandomRelation;
+using testing::RandomRelationOptions;
+using testing::ReferenceWindows;
+
+bool SameWindow(const TPWindow& a, const TPWindow& b) {
+  return a.cls == b.cls && a.rid == b.rid && a.window == b.window &&
+         a.r_interval == b.r_interval && a.lin_r == b.lin_r &&
+         a.lin_s == b.lin_s && CompareRows(a.fact_r, b.fact_r) == 0;
+}
+
+struct Param {
+  uint64_t seed;
+  int64_t r_tuples;
+  int64_t s_tuples;
+  int64_t keys;
+};
+
+class WindowPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const Param& p = GetParam();
+    Random rng(p.seed);
+    RandomRelationOptions opts;
+    opts.num_keys = p.keys;
+    opts.num_tuples = p.r_tuples;
+    r_ = MakeRandomRelation(&manager_, "r", opts, &rng);
+    opts.num_tuples = p.s_tuples;
+    s_ = MakeRandomRelation(&manager_, "s", opts, &rng);
+    ASSERT_TRUE(r_->Validate().ok());
+    ASSERT_TRUE(s_->Validate().ok());
+    theta_ = JoinCondition::Equals("key");
+  }
+
+  std::vector<TPWindow> Computed(WindowStage stage,
+                                 OverlapAlgorithm algorithm) {
+    StatusOr<std::vector<TPWindow>> w =
+        ComputeWindows(*r_, *s_, theta_, stage, algorithm);
+    TPDB_CHECK(w.ok()) << w.status().ToString();
+    std::vector<TPWindow> out = std::move(*w);
+    SortWindows(&out);
+    return out;
+  }
+
+  void ExpectSameWindows(const std::vector<TPWindow>& expected,
+                         const std::vector<TPWindow>& actual) {
+    ASSERT_EQ(expected.size(), actual.size())
+        << "expected:\n" << WindowsToString(manager_, expected)
+        << "actual:\n" << WindowsToString(manager_, actual);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_TRUE(SameWindow(expected[i], actual[i]))
+          << "window " << i << ":\nexpected "
+          << expected[i].ToString(manager_) << "\nactual   "
+          << actual[i].ToString(manager_);
+    }
+  }
+
+  LineageManager manager_;
+  std::unique_ptr<TPRelation> r_;
+  std::unique_ptr<TPRelation> s_;
+  JoinCondition theta_;
+};
+
+TEST_P(WindowPropertyTest, WuonMatchesOracle) {
+  ExpectSameWindows(
+      ReferenceWindows(*r_, *s_, theta_, WindowStage::kWuon),
+      Computed(WindowStage::kWuon, OverlapAlgorithm::kPartitioned));
+}
+
+TEST_P(WindowPropertyTest, WuoMatchesOracle) {
+  ExpectSameWindows(
+      ReferenceWindows(*r_, *s_, theta_, WindowStage::kWuo),
+      Computed(WindowStage::kWuo, OverlapAlgorithm::kPartitioned));
+}
+
+TEST_P(WindowPropertyTest, OverlapStageMatchesOracle) {
+  ExpectSameWindows(
+      ReferenceWindows(*r_, *s_, theta_, WindowStage::kOverlap),
+      Computed(WindowStage::kOverlap, OverlapAlgorithm::kPartitioned));
+}
+
+TEST_P(WindowPropertyTest, NestedLoopAgreesWithPartitioned) {
+  ExpectSameWindows(
+      Computed(WindowStage::kWuon, OverlapAlgorithm::kPartitioned),
+      Computed(WindowStage::kWuon, OverlapAlgorithm::kNestedLoop));
+}
+
+// Invariant 1 of DESIGN.md §7: per r tuple, every time point of its
+// interval lies in exactly one unmatched-or-negating window, and in exactly
+// k overlapping windows where k = |valid θ-matching s tuples at t|.
+TEST_P(WindowPropertyTest, WindowsPartitionEachTupleInterval) {
+  std::vector<TPWindow> windows =
+      Computed(WindowStage::kWuon, OverlapAlgorithm::kPartitioned);
+  StatusOr<ThetaMatcher> matcher =
+      ThetaMatcher::Make(theta_, r_->fact_schema(), s_->fact_schema());
+  ASSERT_TRUE(matcher.ok());
+
+  std::map<int64_t, std::vector<const TPWindow*>> by_rid;
+  for (const TPWindow& w : windows) by_rid[w.rid].push_back(&w);
+
+  for (size_t i = 0; i < r_->size(); ++i) {
+    const TPTuple& rt = r_->tuple(i);
+    const auto& ws = by_rid[static_cast<int64_t>(i)];
+    for (TimePoint t = rt.interval.start; t < rt.interval.end; ++t) {
+      size_t unmatched = 0;
+      size_t negating = 0;
+      size_t overlapping = 0;
+      for (const TPWindow* w : ws) {
+        if (!w->window.Contains(t)) continue;
+        switch (w->cls) {
+          case WindowClass::kUnmatched:
+            ++unmatched;
+            break;
+          case WindowClass::kNegating:
+            ++negating;
+            break;
+          case WindowClass::kOverlapping:
+            ++overlapping;
+            break;
+        }
+      }
+      size_t expected_matches = 0;
+      for (size_t j = 0; j < s_->size(); ++j) {
+        if (s_->tuple(j).interval.Contains(t) &&
+            matcher->Matches(rt.fact, s_->tuple(j).fact))
+          ++expected_matches;
+      }
+      EXPECT_EQ(unmatched + negating, 1u)
+          << "rid " << i << " t=" << t;
+      EXPECT_EQ(negating, expected_matches > 0 ? 1u : 0u)
+          << "rid " << i << " t=" << t;
+      EXPECT_EQ(overlapping, expected_matches)
+          << "rid " << i << " t=" << t;
+    }
+  }
+}
+
+// Invariant 2: maximality — adjacent same-class windows of one rid must
+// differ in λs (otherwise the earlier window was not maximal).
+TEST_P(WindowPropertyTest, WindowsAreMaximal) {
+  std::vector<TPWindow> windows =
+      Computed(WindowStage::kWuon, OverlapAlgorithm::kPartitioned);
+  for (size_t i = 0; i + 1 < windows.size(); ++i) {
+    const TPWindow& a = windows[i];
+    const TPWindow& b = windows[i + 1];
+    if (a.rid != b.rid || a.cls != b.cls) continue;
+    if (a.cls == WindowClass::kOverlapping) continue;  // per-pair, maximal
+    if (a.window.end != b.window.start) continue;
+    EXPECT_FALSE(a.lin_s == b.lin_s)
+        << "non-maximal adjacent windows:\n"
+        << a.ToString(manager_) << "\n" << b.ToString(manager_);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedSweep, WindowPropertyTest,
+    ::testing::Values(
+        Param{1, 8, 8, 2}, Param{2, 12, 10, 3}, Param{3, 16, 16, 2},
+        Param{4, 20, 12, 4}, Param{5, 6, 18, 2}, Param{6, 18, 6, 3},
+        Param{7, 25, 25, 3}, Param{8, 30, 30, 5}, Param{9, 10, 10, 1},
+        Param{10, 15, 15, 8}, Param{11, 1, 12, 2}, Param{12, 12, 1, 2},
+        Param{13, 40, 40, 4}, Param{14, 22, 9, 2}, Param{15, 9, 22, 2}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// Degenerate inputs: empty relations on either side.
+TEST(WindowEdgeCases, EmptyNegativeRelationYieldsOnlyUnmatched) {
+  LineageManager manager;
+  Random rng(99);
+  RandomRelationOptions opts;
+  auto r = MakeRandomRelation(&manager, "r", opts, &rng);
+  Schema s_schema;
+  s_schema.AddColumn({"key", DatumType::kInt64});
+  s_schema.AddColumn({"tag", DatumType::kInt64});
+  TPRelation s("s", s_schema, &manager);
+
+  StatusOr<std::vector<TPWindow>> w = ComputeWindows(
+      *r, s, JoinCondition::Equals("key"), WindowStage::kWuon);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), r->size());
+  for (const TPWindow& win : *w) {
+    EXPECT_EQ(win.cls, WindowClass::kUnmatched);
+    EXPECT_EQ(win.window, win.r_interval);
+  }
+}
+
+TEST(WindowEdgeCases, EmptyPositiveRelationYieldsNothing) {
+  LineageManager manager;
+  Random rng(99);
+  RandomRelationOptions opts;
+  auto s = MakeRandomRelation(&manager, "s", opts, &rng);
+  Schema r_schema;
+  r_schema.AddColumn({"key", DatumType::kInt64});
+  r_schema.AddColumn({"tag", DatumType::kInt64});
+  TPRelation r("r", r_schema, &manager);
+
+  StatusOr<std::vector<TPWindow>> w = ComputeWindows(
+      r, *s, JoinCondition::Equals("key"), WindowStage::kWuon);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->empty());
+}
+
+TEST(WindowEdgeCases, TrivialThetaMatchesEverything) {
+  LineageManager manager;
+  Random rng(5);
+  RandomRelationOptions opts;
+  opts.num_tuples = 6;
+  auto r = MakeRandomRelation(&manager, "r", opts, &rng);
+  auto s = MakeRandomRelation(&manager, "s", opts, &rng);
+  JoinCondition trivial;  // no equalities, no predicate
+  std::vector<TPWindow> expected =
+      ReferenceWindows(*r, *s, trivial, WindowStage::kWuon);
+  StatusOr<std::vector<TPWindow>> actual =
+      ComputeWindows(*r, *s, trivial, WindowStage::kWuon);
+  ASSERT_TRUE(actual.ok());
+  SortWindows(&*actual);
+  ASSERT_EQ(expected.size(), actual->size());
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_TRUE(SameWindow(expected[i], (*actual)[i]))
+        << expected[i].ToString(manager) << "\nvs\n"
+        << (*actual)[i].ToString(manager);
+}
+
+}  // namespace
+}  // namespace tpdb
