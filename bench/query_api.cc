@@ -1,0 +1,97 @@
+// Microbench for the layered query API: what does the string front end
+// (tokenize → parse → logical plan) cost, and what is the end-to-end
+// overhead of db.Query(text) versus invoking the operator pipelines
+// directly (the pre-API-redesign surface)?
+//
+// Expected shape: parse+plan is microseconds and size-independent, so the
+// relative overhead of the layered API vanishes as the data grows.
+#include <benchmark/benchmark.h>
+
+#include "api/database.h"
+#include "api/parser.h"
+#include "bench/bench_util.h"
+#include "tp/operators.h"
+
+namespace tpdb::bench {
+namespace {
+
+constexpr const char* kFullQuery =
+    "SELECT file FROM webkit_r LEFT JOIN webkit_s ON file "
+    "WHERE _ts >= 0 ORDER BY _ts LIMIT 1000 WITH PROB >= 0.1";
+
+/// A TPDatabase owning webkit_r / webkit_s of `n` tuples each (cached;
+/// built outside any timed region).
+TPDatabase& GetDatabase(int64_t n) {
+  static std::map<int64_t, std::unique_ptr<TPDatabase>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return *it->second;
+
+  auto db = std::make_unique<TPDatabase>();
+  WebkitOptions opts;
+  opts.num_tuples = n;
+  StatusOr<WebkitDataset> gen = MakeWebkitDataset(db->manager(), opts);
+  TPDB_CHECK(gen.ok()) << gen.status().ToString();
+  TPDB_CHECK(db->Register(std::move(gen->r)).ok());
+  TPDB_CHECK(db->Register(std::move(gen->s)).ok());
+  TPDatabase& ref = *db;
+  cache.emplace(n, std::move(db));
+  return ref;
+}
+
+/// Front end only: tokenize + parse + build the logical plan.
+void BM_ParseAndPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    StatusOr<SelectStatement> stmt = ParseQuery(kFullQuery);
+    TPDB_CHECK(stmt.ok());
+    StatusOr<LogicalPlan> plan = BuildLogicalPlan(*stmt);
+    TPDB_CHECK(plan.ok());
+    benchmark::DoNotOptimize(plan->root);
+  }
+}
+BENCHMARK(BM_ParseAndPlan);
+
+/// End to end through the layered API.
+void BM_QueryText(benchmark::State& state) {
+  TPDatabase& db = GetDatabase(state.range(0));
+  for (auto _ : state) {
+    StatusOr<TPRelation> result =
+        db.Query("SELECT * FROM webkit_r LEFT JOIN webkit_s ON file");
+    TPDB_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_QueryText)->Arg(256 * Scale())->Arg(1024 * Scale());
+
+/// The same join invoked directly on the operator layer (no parser, no
+/// logical plan, no planner) — the baseline the API overhead is measured
+/// against.
+void BM_DirectOperators(benchmark::State& state) {
+  TPDatabase& db = GetDatabase(state.range(0));
+  StatusOr<TPRelation*> r = db.Get("webkit_r");
+  StatusOr<TPRelation*> s = db.Get("webkit_s");
+  TPDB_CHECK(r.ok() && s.ok());
+  const JoinCondition theta = JoinCondition::Equals("file");
+  for (auto _ : state) {
+    StatusOr<TPRelation> result = TPLeftOuterJoin(**r, **s, theta);
+    TPDB_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_DirectOperators)->Arg(256 * Scale())->Arg(1024 * Scale());
+
+/// Full modifier stack (filter, sort, limit, prob threshold) through the
+/// API — exercises the fused engine pipeline lowering.
+void BM_QueryTextFullStack(benchmark::State& state) {
+  TPDatabase& db = GetDatabase(state.range(0));
+  for (auto _ : state) {
+    StatusOr<TPRelation> result = db.Query(kFullQuery);
+    TPDB_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_QueryTextFullStack)->Arg(256 * Scale())->Arg(1024 * Scale());
+
+}  // namespace
+}  // namespace tpdb::bench
+
+BENCHMARK_MAIN();

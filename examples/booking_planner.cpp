@@ -12,8 +12,8 @@
 #include <map>
 #include <string>
 
+#include "api/database.h"
 #include "datasets/csv.h"
-#include "tp/operators.h"
 
 using namespace tpdb;
 
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   const std::string dir = argc > 1 ? argv[1] : "/tmp";
   WriteInputFiles(dir);
 
-  LineageManager manager;
+  TPDatabase db;
   Schema wants_schema;
   wants_schema.AddColumn({"name", DatumType::kString});
   wants_schema.AddColumn({"loc", DatumType::kString});
@@ -51,11 +51,11 @@ int main(int argc, char** argv) {
   hotels_schema.AddColumn({"hotel", DatumType::kString});
   hotels_schema.AddColumn({"loc", DatumType::kString});
 
-  StatusOr<TPRelation> wants =
-      ReadTPRelationCsv(dir + "/wants.csv", "wants", wants_schema, &manager);
+  StatusOr<TPRelation> wants = ReadTPRelationCsv(
+      dir + "/wants.csv", "wants", wants_schema, db.manager());
   TPDB_CHECK(wants.ok()) << wants.status().ToString();
   StatusOr<TPRelation> hotels = ReadTPRelationCsv(
-      dir + "/hotels.csv", "hotels", hotels_schema, &manager);
+      dir + "/hotels.csv", "hotels", hotels_schema, db.manager());
   TPDB_CHECK(hotels.ok()) << hotels.status().ToString();
   TPDB_CHECK(wants->Validate().ok());
   TPDB_CHECK(hotels->Validate().ok());
@@ -63,8 +63,11 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu wishes, %zu availability records\n", wants->size(),
               hotels->size());
 
+  // Hand the loaded relations to the catalog and query them by name.
+  TPDB_CHECK(db.Register(std::move(*wants)).ok());
+  TPDB_CHECK(db.Register(std::move(*hotels)).ok());
   StatusOr<TPRelation> plan =
-      TPLeftOuterJoin(*wants, *hotels, JoinCondition::Equals("loc"));
+      db.Query("SELECT * FROM wants LEFT JOIN hotels ON loc");
   TPDB_CHECK(plan.ok()) << plan.status().ToString();
 
   // Persist the result and reload it (round trip through the CSV layer).

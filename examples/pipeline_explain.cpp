@@ -47,18 +47,28 @@ int main() {
   Must((*hotels)->AppendBase({Datum("hotel1"), Datum("ZAK")}, Interval(4, 6),
                              0.7, "b3"));
 
-  // The textual query interface.
+  // The textual query interface: legacy one-liners and full SELECTs both
+  // run through the layered stack (parser → logical plan → planner).
   const char* queries[] = {
       "wants LEFT JOIN hotels ON Loc",
       "wants ANTI JOIN hotels ON Loc",
       "wants SEMI JOIN hotels ON Loc",
       "wants LEFT JOIN hotels ON Loc USING TA",
+      "SELECT Name, Hotel FROM wants LEFT JOIN hotels ON Loc "
+      "WHERE Loc = 'ZAK' ORDER BY _ts LIMIT 5 WITH PROB >= 0.1",
   };
   for (const char* q : queries) {
     StatusOr<TPRelation> result = db.Query(q);
     TPDB_CHECK(result.ok()) << result.status().ToString();
     std::printf("query: %-42s -> %zu tuples\n", q, result->size());
   }
+
+  // EXPLAIN: the logical plan plus the lowered, instrumented pipeline.
+  StatusOr<std::string> explain = db.Explain(
+      "SELECT Name, Hotel FROM wants LEFT JOIN hotels ON Loc "
+      "WHERE Loc = 'ZAK' ORDER BY _ts LIMIT 5 WITH PROB >= 0.1");
+  TPDB_CHECK(explain.ok()) << explain.status().ToString();
+  std::printf("\n%s\n", explain->c_str());
 
   // Rebuild the left-outer window pipeline with instrumentation.
   StatusOr<TPRelation*> a = db.Get("wants");

@@ -1,0 +1,142 @@
+#include "api/ast.h"
+
+namespace tpdb {
+
+namespace {
+
+AstExprPtr MakeNode(AstExpr node) {
+  return std::make_shared<const AstExpr>(std::move(node));
+}
+
+std::string AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* SetOpKindName(SetOpKind kind) {
+  switch (kind) {
+    case SetOpKind::kUnion: return "UNION";
+    case SetOpKind::kIntersect: return "INTERSECT";
+    case SetOpKind::kExcept: return "EXCEPT";
+  }
+  return "?";
+}
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case AstExprKind::kColumn:
+      return column;
+    case AstExprKind::kLiteral:
+      return literal.type() == DatumType::kString
+                 ? "'" + literal.AsString() + "'"
+                 : literal.ToString();
+    case AstExprKind::kCompare:
+      return "(" + left->ToString() + " " + CompareOpSymbol(compare_op) +
+             " " + right->ToString() + ")";
+    case AstExprKind::kAnd:
+      return "(" + left->ToString() + " AND " + right->ToString() + ")";
+    case AstExprKind::kOr:
+      return "(" + left->ToString() + " OR " + right->ToString() + ")";
+    case AstExprKind::kNot:
+      return "(NOT " + left->ToString() + ")";
+    case AstExprKind::kIsNull:
+      return "(" + left->ToString() + " IS NULL)";
+  }
+  return "?";
+}
+
+AstExprPtr AstColumn(std::string name) {
+  AstExpr e;
+  e.kind = AstExprKind::kColumn;
+  e.column = std::move(name);
+  return MakeNode(std::move(e));
+}
+
+AstExprPtr AstLiteral(Datum value) {
+  AstExpr e;
+  e.kind = AstExprKind::kLiteral;
+  e.literal = std::move(value);
+  return MakeNode(std::move(e));
+}
+
+AstExprPtr AstCompare(CompareOp op, AstExprPtr a, AstExprPtr b) {
+  AstExpr e;
+  e.kind = AstExprKind::kCompare;
+  e.compare_op = op;
+  e.left = std::move(a);
+  e.right = std::move(b);
+  return MakeNode(std::move(e));
+}
+
+AstExprPtr AstAnd(AstExprPtr a, AstExprPtr b) {
+  AstExpr e;
+  e.kind = AstExprKind::kAnd;
+  e.left = std::move(a);
+  e.right = std::move(b);
+  return MakeNode(std::move(e));
+}
+
+AstExprPtr AstOr(AstExprPtr a, AstExprPtr b) {
+  AstExpr e;
+  e.kind = AstExprKind::kOr;
+  e.left = std::move(a);
+  e.right = std::move(b);
+  return MakeNode(std::move(e));
+}
+
+AstExprPtr AstNot(AstExprPtr a) {
+  AstExpr e;
+  e.kind = AstExprKind::kNot;
+  e.left = std::move(a);
+  return MakeNode(std::move(e));
+}
+
+AstExprPtr AstIsNull(AstExprPtr a) {
+  AstExpr e;
+  e.kind = AstExprKind::kIsNull;
+  e.left = std::move(a);
+  return MakeNode(std::move(e));
+}
+
+SelectItem SelectItem::Col(std::string column, std::string alias) {
+  SelectItem item;
+  item.column = std::move(column);
+  item.alias = std::move(alias);
+  return item;
+}
+
+SelectItem SelectItem::Agg(AggFn fn, std::string column, std::string alias) {
+  SelectItem item;
+  item.is_aggregate = true;
+  item.fn = fn;
+  item.column = std::move(column);
+  item.alias = std::move(alias);
+  return item;
+}
+
+std::string SelectItem::ToString() const {
+  std::string out = is_aggregate ? AggFnName(fn) + "(" + column + ")" : column;
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+}  // namespace tpdb

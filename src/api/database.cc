@@ -1,9 +1,7 @@
 #include "api/database.h"
 
-#include <algorithm>
-#include <cctype>
-
-#include "common/strings.h"
+#include "api/parser.h"
+#include "api/planner.h"
 
 namespace tpdb {
 
@@ -18,7 +16,7 @@ StatusOr<TPRelation*> TPDatabase::CreateRelation(const std::string& name,
   return ptr;
 }
 
-Status TPDatabase::Register(TPRelation relation) {
+Status TPDatabase::Register(TPRelation&& relation) {
   if (relation.manager() != &manager_)
     return Status::InvalidArgument(
         "relation '" + relation.name() +
@@ -79,112 +77,43 @@ StatusOr<TPRelation> TPDatabase::Join(TPJoinKind kind,
   return result;
 }
 
-namespace {
-
-std::string Upper(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::toupper(
-                          static_cast<unsigned char>(c)));
-  return out;
-}
-
-/// Tokenizes on whitespace, keeping "a=b,c=d" condition blobs intact.
-std::vector<std::string> Tokenize(const std::string& text) {
-  std::vector<std::string> tokens;
-  std::string current;
-  for (const char c : text) {
-    if (c == ' ' || c == '\t' || c == '\n') {
-      if (!current.empty()) tokens.push_back(std::move(current));
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) tokens.push_back(std::move(current));
-  return tokens;
-}
-
-StatusOr<JoinCondition> ParseOnClause(const std::string& clause) {
-  JoinCondition theta;
-  for (const std::string& part : Split(clause, ',')) {
-    const std::string item(Trim(part));
-    if (item.empty())
-      return Status::InvalidArgument("empty θ term in '" + clause + "'");
-    const std::vector<std::string> sides = Split(item, '=');
-    if (sides.size() == 1) {
-      theta.equal_columns.emplace_back(item, item);
-    } else if (sides.size() == 2) {
-      theta.equal_columns.emplace_back(std::string(Trim(sides[0])),
-                                       std::string(Trim(sides[1])));
-    } else {
-      return Status::InvalidArgument("malformed θ term '" + item + "'");
-    }
-  }
-  return theta;
-}
-
-}  // namespace
-
 StatusOr<TPRelation> TPDatabase::Query(const std::string& text) {
-  const std::vector<std::string> tokens = Tokenize(text);
-  if (tokens.size() < 3)
-    return Status::InvalidArgument("query too short: '" + text + "'");
+  StatusOr<LogicalPlan> plan = Plan(text);
+  if (!plan.ok()) return plan.status();
+  return Execute(*plan);
+}
 
-  // Set operations: <rel> UNION|INTERSECT|EXCEPT <rel>.
-  if (tokens.size() == 3) {
-    const std::string op = Upper(tokens[1]);
-    StatusOr<TPRelation*> l = Get(tokens[0]);
-    if (!l.ok()) return l.status();
-    StatusOr<TPRelation*> r = Get(tokens[2]);
-    if (!r.ok()) return r.status();
-    if (op == "UNION") return TPUnion(**l, **r);
-    if (op == "INTERSECT") return TPIntersect(**l, **r);
-    if (op == "EXCEPT") return TPDifference(**l, **r);
-    return Status::InvalidArgument("unknown set operation '" + tokens[1] +
-                                   "'");
-  }
+StatusOr<LogicalPlan> TPDatabase::Plan(const std::string& text) const {
+  StatusOr<SelectStatement> stmt = ParseQuery(text);
+  if (!stmt.ok()) return stmt.status();
+  return BuildLogicalPlan(*stmt);
+}
 
-  // Joins: <rel> [kind] JOIN <rel> ON <cond> [USING TA].
-  size_t pos = 1;
-  TPJoinKind kind = TPJoinKind::kInner;
-  const std::string kind_token = Upper(tokens[pos]);
-  if (kind_token != "JOIN") {
-    if (kind_token == "INNER") kind = TPJoinKind::kInner;
-    else if (kind_token == "LEFT") kind = TPJoinKind::kLeftOuter;
-    else if (kind_token == "RIGHT") kind = TPJoinKind::kRightOuter;
-    else if (kind_token == "FULL") kind = TPJoinKind::kFullOuter;
-    else if (kind_token == "ANTI") kind = TPJoinKind::kAnti;
-    else if (kind_token == "SEMI") kind = TPJoinKind::kSemi;
-    else
-      return Status::InvalidArgument("unknown join kind '" + tokens[pos] +
-                                     "'");
-    ++pos;
-  }
-  if (pos >= tokens.size() || Upper(tokens[pos]) != "JOIN")
-    return Status::InvalidArgument("expected JOIN in '" + text + "'");
-  ++pos;
-  if (pos >= tokens.size())
-    return Status::InvalidArgument("missing right relation in '" + text +
-                                   "'");
-  const std::string right = tokens[pos++];
-  if (pos >= tokens.size() || Upper(tokens[pos]) != "ON")
-    return Status::InvalidArgument("expected ON in '" + text + "'");
-  ++pos;
-  if (pos >= tokens.size())
-    return Status::InvalidArgument("missing θ after ON in '" + text + "'");
-  StatusOr<JoinCondition> theta = ParseOnClause(tokens[pos++]);
-  if (!theta.ok()) return theta.status();
+StatusOr<TPRelation> TPDatabase::Execute(const LogicalPlan& plan) {
+  Planner planner(this);
+  return planner.Execute(plan);
+}
 
-  TPJoinOptions options;
-  if (pos + 1 < tokens.size() && Upper(tokens[pos]) == "USING" &&
-      Upper(tokens[pos + 1]) == "TA") {
-    options.strategy = JoinStrategy::kTemporalAlignment;
-    pos += 2;
-  }
-  if (pos != tokens.size())
-    return Status::InvalidArgument("trailing tokens in '" + text + "'");
+StatusOr<TPRelation> TPDatabase::Execute(const QueryBuilder& builder) {
+  StatusOr<LogicalPlan> plan = builder.Build();
+  if (!plan.ok()) return plan.status();
+  return Execute(*plan);
+}
 
-  return Join(kind, tokens[0], right, *theta, options);
+StatusOr<std::string> TPDatabase::Explain(const std::string& text) {
+  StatusOr<LogicalPlan> plan = Plan(text);
+  if (!plan.ok()) return plan.status();
+  return Explain(*plan);
+}
+
+StatusOr<std::string> TPDatabase::Explain(const LogicalPlan& plan) {
+  ExecStats stats;
+  Planner planner(this);
+  StatusOr<TPRelation> result = planner.Execute(plan, &stats);
+  if (!result.ok()) return result.status();
+  std::string out = "Logical plan:\n" + plan.ToString();
+  out += "\nLowered pipeline (bottom-up):\n" + stats.ToString();
+  return out;
 }
 
 }  // namespace tpdb

@@ -1,13 +1,28 @@
 // TPDatabase: the top-level facade — a catalog of named TP relations bound
-// to one LineageManager, with join / set-operation entry points and a small
-// textual query interface for interactive use and examples.
+// to one LineageManager, with join / set-operation entry points and a
+// layered textual query interface (api/parser.h → api/logical_plan.h →
+// api/planner.h).
 //
-// Query grammar (case-insensitive keywords):
-//   <rel> [INNER|LEFT|RIGHT|FULL|ANTI|SEMI] JOIN <rel>
-//         ON <col>[=<col>][, <col>[=<col>] ...]   [USING TA]
-//   <rel> UNION <rel> | <rel> INTERSECT <rel> | <rel> EXCEPT <rel>
-// e.g.  "wants LEFT JOIN hotels ON Loc"
-//       "r ANTI JOIN s ON key=id USING TA"
+// Query grammar (case-insensitive keywords; full EBNF in README.md):
+//
+//   SELECT <*|cols|aggs> FROM <rel>
+//     [[INNER|LEFT|RIGHT|FULL|ANTI|SEMI] [OUTER] JOIN <rel>
+//         ON <col>[=<col>] {,|AND ...} [USING TA]]...
+//     [WHERE <predicate>] [GROUP BY <cols>]
+//     [{UNION|INTERSECT|EXCEPT} <rel | SELECT core>]...
+//     [ORDER BY <col> [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+//     [WITH PROB {>=|>} p]
+//
+//   e.g. "SELECT Name, Hotel FROM wants LEFT JOIN hotels ON Loc
+//         WHERE Loc = 'ZAK' ORDER BY Name LIMIT 5 WITH PROB >= 0.3"
+//
+// The seed's one-line grammar is still accepted:
+//   "wants LEFT JOIN hotels ON Loc", "r ANTI JOIN s ON key=id USING TA",
+//   "x UNION y" / "x INTERSECT y" / "x EXCEPT y"
+//
+// Programs can skip the string front end entirely via QueryBuilder
+// (api/logical_plan.h) and Execute(), and inspect a query's lowered
+// operator tree with Explain().
 #ifndef TPDB_API_DATABASE_H_
 #define TPDB_API_DATABASE_H_
 
@@ -16,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "api/logical_plan.h"
 #include "common/status.h"
 #include "tp/operators.h"
 #include "tp/set_ops.h"
@@ -38,9 +54,11 @@ class TPDatabase {
   StatusOr<TPRelation*> CreateRelation(const std::string& name,
                                        Schema fact_schema);
 
-  /// Registers an existing relation (e.g. a join result) under its name.
-  /// The relation must use this database's manager.
-  Status Register(TPRelation relation);
+  /// Registers an existing relation (e.g. a join result) under its name,
+  /// taking ownership. The relation must use this database's manager and
+  /// its name must be free; on error a descriptive Status is returned and
+  /// the argument is left unmoved (still usable by the caller).
+  Status Register(TPRelation&& relation);
 
   /// Looks up a relation by name.
   StatusOr<TPRelation*> Get(const std::string& name);
@@ -60,8 +78,25 @@ class TPDatabase {
                             const TPJoinOptions& options = {},
                             const std::string& register_as = "");
 
-  /// Parses and runs one query of the grammar above.
+  /// Parses one query of the grammar above, plans it, and executes it.
   StatusOr<TPRelation> Query(const std::string& text);
+
+  /// Parses a query into its logical plan without executing it.
+  StatusOr<LogicalPlan> Plan(const std::string& text) const;
+
+  /// Executes a logical plan (from Plan() or QueryBuilder::Build()).
+  StatusOr<TPRelation> Execute(const LogicalPlan& plan);
+
+  /// Convenience: builds and executes a QueryBuilder chain.
+  StatusOr<TPRelation> Execute(const QueryBuilder& builder);
+
+  /// Plans and runs `text`, returning the logical tree plus the lowered
+  /// operator pipeline with per-node row counts and wall times (rendered
+  /// through engine/explain).
+  StatusOr<std::string> Explain(const std::string& text);
+
+  /// Same, for an already-built plan.
+  StatusOr<std::string> Explain(const LogicalPlan& plan);
 
  private:
   LineageManager manager_;

@@ -1,0 +1,41 @@
+// Tokenizer + recursive-descent parser for the query language — the first
+// stage of the layered API (parse → logical plan → planner).
+//
+// Extended grammar (see README.md for the full EBNF; keywords are
+// case-insensitive):
+//
+//   SELECT <*|items> FROM <rel>
+//     [[INNER|LEFT|RIGHT|FULL|ANTI|SEMI] [OUTER] JOIN <rel>
+//         ON <col>[=<col>] {,|AND <col>[=<col>]} [USING TA]]...
+//     [WHERE <predicate>] [GROUP BY <cols>]
+//     [{UNION|INTERSECT|EXCEPT} <rel or SELECT core>]...
+//     [ORDER BY <col> [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+//     [WITH PROB {>=|>} p]
+//
+// The legacy one-line grammar of the seed API is still accepted and parses
+// into the same SelectStatement:
+//
+//   <rel> [kind] JOIN <rel> ON <terms> [USING TA]
+//   <rel> UNION|INTERSECT|EXCEPT <rel>
+#ifndef TPDB_API_PARSER_H_
+#define TPDB_API_PARSER_H_
+
+#include <string>
+
+#include "api/ast.h"
+#include "common/status.h"
+
+namespace tpdb {
+
+/// Parses one query (extended or legacy form) into a statement.
+/// Returns InvalidArgument with a descriptive message on any syntax error;
+/// never aborts.
+StatusOr<SelectStatement> ParseQuery(const std::string& text);
+
+/// Parses a standalone predicate, e.g. "Loc = 'ZAK' AND _ts >= 4"
+/// (the WHERE sub-language; used by QueryBuilder::Where(std::string)).
+StatusOr<AstExprPtr> ParsePredicate(const std::string& text);
+
+}  // namespace tpdb
+
+#endif  // TPDB_API_PARSER_H_

@@ -1,0 +1,485 @@
+#include "api/planner.h"
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "api/database.h"
+#include "engine/filter.h"
+#include "engine/limit.h"
+#include "engine/materialize.h"
+#include "engine/project.h"
+#include "engine/scan.h"
+#include "engine/sort.h"
+#include "lineage/probability.h"
+#include "tp/set_ops.h"
+
+namespace tpdb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Reports one TP-level (non-Volcano) operator into the stats registry.
+void Report(ExecStats* stats, std::string label, uint64_t rows,
+            double seconds) {
+  if (stats == nullptr) return;
+  NodeStats* node = stats->AddNode(std::move(label));
+  node->rows = rows;
+  node->open_calls = 1;
+  node->seconds = seconds;
+}
+
+bool IsPipelined(LogicalOp op) {
+  return op == LogicalOp::kFilter || op == LogicalOp::kProject ||
+         op == LogicalOp::kSort || op == LogicalOp::kLimit ||
+         op == LogicalOp::kProbThreshold;
+}
+
+bool IsReservedColumn(const std::string& name) {
+  return name == kTsColumn || name == kTeColumn || name == kLineageColumn;
+}
+
+/// Static result type of a predicate operand against `schema` (used to
+/// decide whether a comparison needs int64↔double promotion).
+DatumType StaticType(const AstExpr& e, const Schema& schema) {
+  switch (e.kind) {
+    case AstExprKind::kColumn: {
+      const int idx = schema.IndexOf(e.column);
+      return idx >= 0 ? schema.column(static_cast<size_t>(idx)).type
+                      : DatumType::kNull;
+    }
+    case AstExprKind::kLiteral:
+      return e.literal.type();
+    default:
+      return DatumType::kInt64;  // comparisons and connectives are boolean
+  }
+}
+
+bool DatumToDouble(const Datum& d, double* out) {
+  if (d.type() == DatumType::kInt64) {
+    *out = static_cast<double>(d.AsInt64());
+    return true;
+  }
+  if (d.type() == DatumType::kDouble) {
+    *out = d.AsDouble();
+    return true;
+  }
+  return false;
+}
+
+/// Comparison with numeric promotion: int64 and double operands are
+/// compared as doubles (Datum::Compare alone orders by type rank).
+ExprPtr PromotedCompare(CompareOp op, ExprPtr a, ExprPtr b) {
+  return Fn(
+      [op, a, b](const Row& row) -> Datum {
+        const Datum da = a->Eval(row);
+        const Datum db = b->Eval(row);
+        if (da.is_null() || db.is_null()) return Datum::Null();
+        double x = 0, y = 0;
+        if (!DatumToDouble(da, &x) || !DatumToDouble(db, &y))
+          return Datum::Null();
+        bool result = false;
+        switch (op) {
+          case CompareOp::kEq: result = x == y; break;
+          case CompareOp::kNe: result = x != y; break;
+          case CompareOp::kLt: result = x < y; break;
+          case CompareOp::kLe: result = x <= y; break;
+          case CompareOp::kGt: result = x > y; break;
+          case CompareOp::kGe: result = x >= y; break;
+        }
+        return Datum(static_cast<int64_t>(result));
+      },
+      std::string("num") + CompareOpSymbol(op));
+}
+
+/// Compiles a predicate AST into an engine expression over `schema`.
+StatusOr<ExprPtr> CompilePredicate(const AstExprPtr& e, const Schema& schema) {
+  TPDB_CHECK(e != nullptr);
+  switch (e->kind) {
+    case AstExprKind::kColumn: {
+      const int idx = schema.IndexOf(e->column);
+      if (idx < 0)
+        return Status::NotFound("unknown column '" + e->column +
+                                "' (have: " + schema.ToString() + ")");
+      return Col(idx, e->column);
+    }
+    case AstExprKind::kLiteral:
+      return Lit(e->literal);
+    case AstExprKind::kCompare: {
+      StatusOr<ExprPtr> a = CompilePredicate(e->left, schema);
+      if (!a.ok()) return a.status();
+      StatusOr<ExprPtr> b = CompilePredicate(e->right, schema);
+      if (!b.ok()) return b.status();
+      const DatumType ta = StaticType(*e->left, schema);
+      const DatumType tb = StaticType(*e->right, schema);
+      const bool numeric_mix =
+          (ta == DatumType::kInt64 && tb == DatumType::kDouble) ||
+          (ta == DatumType::kDouble && tb == DatumType::kInt64);
+      if (numeric_mix)
+        return PromotedCompare(e->compare_op, std::move(*a), std::move(*b));
+      return Compare(e->compare_op, std::move(*a), std::move(*b));
+    }
+    case AstExprKind::kAnd:
+    case AstExprKind::kOr: {
+      StatusOr<ExprPtr> a = CompilePredicate(e->left, schema);
+      if (!a.ok()) return a.status();
+      StatusOr<ExprPtr> b = CompilePredicate(e->right, schema);
+      if (!b.ok()) return b.status();
+      return e->kind == AstExprKind::kAnd
+                 ? AndExpr(std::move(*a), std::move(*b))
+                 : OrExpr(std::move(*a), std::move(*b));
+    }
+    case AstExprKind::kNot: {
+      StatusOr<ExprPtr> a = CompilePredicate(e->left, schema);
+      if (!a.ok()) return a.status();
+      return NotExpr(std::move(*a));
+    }
+    case AstExprKind::kIsNull: {
+      StatusOr<ExprPtr> a = CompilePredicate(e->left, schema);
+      if (!a.ok()) return a.status();
+      return IsNull(std::move(*a));
+    }
+  }
+  return Status::Internal("unhandled predicate node");
+}
+
+/// Output column name of an aggregate, e.g. "count", "sum_Temp".
+std::string AggOutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  std::string fn;
+  switch (item.fn) {
+    case AggFn::kCount: fn = "count"; break;
+    case AggFn::kSum: fn = "sum"; break;
+    case AggFn::kMin: fn = "min"; break;
+    case AggFn::kMax: fn = "max"; break;
+  }
+  return item.column == "*" ? fn : fn + "_" + item.column;
+}
+
+}  // namespace
+
+Planner::Planner(TPDatabase* db, PlannerOptions options)
+    : db_(db), options_(std::move(options)) {
+  TPDB_CHECK(db_ != nullptr);
+}
+
+StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
+                                      ExecStats* stats) {
+  if (plan.root == nullptr)
+    return Status::InvalidArgument("empty logical plan");
+  StatusOr<EvalResult> result = Eval(*plan.root, stats);
+  if (!result.ok()) return result.status();
+  if (result->owned) return std::move(*result->owned);
+  // A bare catalog scan at the root: copy once, here.
+  return TPRelation(*result->borrowed);
+}
+
+StatusOr<Planner::EvalResult> Planner::Eval(const LogicalNode& node,
+                                            ExecStats* stats) {
+  if (IsPipelined(node.op)) return EvalPipelined(node, stats);
+  switch (node.op) {
+    case LogicalOp::kScan: {
+      StatusOr<TPRelation*> rel = db_->Get(node.relation);
+      if (!rel.ok()) return rel.status();
+      Report(stats, node.Label(), (*rel)->size(), 0.0);
+      return EvalResult{std::nullopt, *rel};
+    }
+    case LogicalOp::kJoin:
+      return EvalJoin(node, stats);
+    case LogicalOp::kSetOp:
+      return EvalSetOp(node, stats);
+    case LogicalOp::kAggregate:
+      return EvalAggregate(node, stats);
+    default:
+      return Status::Internal("unhandled logical node");
+  }
+}
+
+StatusOr<Planner::EvalResult> Planner::EvalJoin(const LogicalNode& node,
+                                                ExecStats* stats) {
+  StatusOr<EvalResult> left = Eval(*node.children[0], stats);
+  if (!left.ok()) return left.status();
+  StatusOr<EvalResult> right = Eval(*node.children[1], stats);
+  if (!right.ok()) return right.status();
+
+  JoinCondition theta;
+  theta.equal_columns = node.join_on;
+  TPJoinOptions opts;
+  opts.strategy = node.strategy;
+  opts.overlap_algorithm = options_.overlap_algorithm;
+  opts.validate_inputs = options_.validate_inputs;
+
+  const Clock::time_point start = Clock::now();
+  StatusOr<TPRelation> result =
+      TPJoin(node.join_kind, left->rel(), right->rel(), theta, opts);
+  if (!result.ok()) return result.status();
+  Report(stats, node.Label(), result->size(), SecondsSince(start));
+  return EvalResult{std::move(*result), nullptr};
+}
+
+StatusOr<Planner::EvalResult> Planner::EvalSetOp(const LogicalNode& node,
+                                                 ExecStats* stats) {
+  StatusOr<EvalResult> left = Eval(*node.children[0], stats);
+  if (!left.ok()) return left.status();
+  StatusOr<EvalResult> right = Eval(*node.children[1], stats);
+  if (!right.ok()) return right.status();
+
+  const Clock::time_point start = Clock::now();
+  StatusOr<TPRelation> result = [&]() -> StatusOr<TPRelation> {
+    switch (node.set_op) {
+      case SetOpKind::kUnion: return TPUnion(left->rel(), right->rel());
+      case SetOpKind::kIntersect:
+        return TPIntersect(left->rel(), right->rel());
+      case SetOpKind::kExcept:
+        return TPDifference(left->rel(), right->rel());
+    }
+    return Status::Internal("unhandled set operation");
+  }();
+  if (!result.ok()) return result.status();
+  Report(stats, node.Label(), result->size(), SecondsSince(start));
+  return EvalResult{std::move(*result), nullptr};
+}
+
+StatusOr<Planner::EvalResult> Planner::EvalAggregate(const LogicalNode& node,
+                                                     ExecStats* stats) {
+  StatusOr<EvalResult> child = Eval(*node.children[0], stats);
+  if (!child.ok()) return child.status();
+  const TPRelation& input = child->rel();
+  const Clock::time_point start = Clock::now();
+  const Schema& facts = input.fact_schema();
+
+  std::vector<int> group_idx;
+  std::vector<Column> out_cols;
+  for (size_t g = 0; g < node.group_by.size(); ++g) {
+    const std::string& name = node.group_by[g];
+    const int idx = facts.IndexOf(name);
+    if (idx < 0)
+      return Status::NotFound("unknown GROUP BY column '" + name + "'");
+    group_idx.push_back(idx);
+    Column col = facts.column(static_cast<size_t>(idx));
+    if (g < node.group_aliases.size() && !node.group_aliases[g].empty())
+      col.name = node.group_aliases[g];
+    out_cols.push_back(std::move(col));
+  }
+  std::vector<int> agg_idx;
+  for (const SelectItem& item : node.aggregates) {
+    int idx = -1;
+    DatumType type = DatumType::kInt64;
+    if (item.column == "*") {
+      if (item.fn != AggFn::kCount)
+        return Status::InvalidArgument("'*' is only valid for COUNT");
+    } else {
+      idx = facts.IndexOf(item.column);
+      if (idx < 0)
+        return Status::NotFound("unknown aggregate column '" + item.column +
+                                "'");
+      type = facts.column(static_cast<size_t>(idx)).type;
+    }
+    if (item.fn == AggFn::kSum && type != DatumType::kInt64 &&
+        type != DatumType::kDouble)
+      return Status::InvalidArgument("SUM requires a numeric column, got '" +
+                                     item.column + "'");
+    agg_idx.push_back(idx);
+    out_cols.push_back(
+        {AggOutputName(item),
+         item.fn == AggFn::kCount ? DatumType::kInt64 : type});
+  }
+
+  struct Group {
+    std::vector<Datum> acc;  // one slot per aggregate (count as int64)
+    TimePoint min_ts = 0;
+    TimePoint max_te = 0;
+    std::vector<LineageRef> lineages;
+  };
+  const auto row_less = [](const Row& a, const Row& b) {
+    return CompareRows(a, b) < 0;
+  };
+  std::map<Row, Group, decltype(row_less)> groups(row_less);
+
+  for (const TPTuple& tuple : input.tuples()) {
+    Row key;
+    key.reserve(group_idx.size());
+    for (const int idx : group_idx)
+      key.push_back(tuple.fact[static_cast<size_t>(idx)]);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    Group& g = it->second;
+    if (inserted) {
+      g.acc.assign(node.aggregates.size(), Datum::Null());
+      g.min_ts = tuple.interval.start;
+      g.max_te = tuple.interval.end;
+    } else {
+      g.min_ts = std::min(g.min_ts, tuple.interval.start);
+      g.max_te = std::max(g.max_te, tuple.interval.end);
+    }
+    g.lineages.push_back(tuple.lineage);
+    for (size_t j = 0; j < node.aggregates.size(); ++j) {
+      const SelectItem& item = node.aggregates[j];
+      const Datum* value = agg_idx[j] >= 0
+                               ? &tuple.fact[static_cast<size_t>(agg_idx[j])]
+                               : nullptr;
+      switch (item.fn) {
+        case AggFn::kCount: {
+          if (value != nullptr && value->is_null()) break;
+          const int64_t so_far =
+              g.acc[j].is_null() ? 0 : g.acc[j].AsInt64();
+          g.acc[j] = Datum(so_far + 1);
+          break;
+        }
+        case AggFn::kSum: {
+          if (value->is_null()) break;
+          if (g.acc[j].is_null()) {
+            g.acc[j] = *value;
+          } else if (value->type() == DatumType::kDouble) {
+            g.acc[j] = Datum(g.acc[j].AsDouble() + value->AsDouble());
+          } else {
+            g.acc[j] = Datum(g.acc[j].AsInt64() + value->AsInt64());
+          }
+          break;
+        }
+        case AggFn::kMin:
+          if (!value->is_null() &&
+              (g.acc[j].is_null() || *value < g.acc[j]))
+            g.acc[j] = *value;
+          break;
+        case AggFn::kMax:
+          if (!value->is_null() &&
+              (g.acc[j].is_null() || g.acc[j] < *value))
+            g.acc[j] = *value;
+          break;
+      }
+    }
+  }
+
+  TPRelation result(input.name() + "_agg", Schema(std::move(out_cols)),
+                    input.manager());
+  for (auto& [key, g] : groups) {
+    Row fact = key;
+    for (size_t j = 0; j < node.aggregates.size(); ++j) {
+      if (node.aggregates[j].fn == AggFn::kCount && g.acc[j].is_null())
+        g.acc[j] = Datum(static_cast<int64_t>(0));
+      fact.push_back(std::move(g.acc[j]));
+    }
+    // The group spans its tuples' intervals; its lineage is the disjunction
+    // of their lineages, so Probability() reports Pr[group non-empty].
+    const LineageRef lineage = input.manager()->OrAll(g.lineages);
+    TPDB_RETURN_IF_ERROR(result.AppendDerived(
+        std::move(fact), Interval(g.min_ts, g.max_te), lineage));
+  }
+  Report(stats, node.Label(), result.size(), SecondsSince(start));
+  return EvalResult{std::move(result), nullptr};
+}
+
+StatusOr<Planner::EvalResult> Planner::EvalPipelined(const LogicalNode& node,
+                                                     ExecStats* stats) {
+  // Collect the maximal chain of pipelined nodes below (and including)
+  // `node`, top-down; the chain is lowered to ONE engine pipeline over the
+  // flattened table of the barrier child's result.
+  std::vector<const LogicalNode*> chain;
+  const LogicalNode* cursor = &node;
+  while (IsPipelined(cursor->op)) {
+    chain.push_back(cursor);
+    cursor = cursor->children[0].get();
+  }
+  StatusOr<EvalResult> base = Eval(*cursor, stats);
+  if (!base.ok()) return base.status();
+  LineageManager* manager = base->rel().manager();
+
+  const auto table = std::make_unique<Table>(base->rel().ToTable());
+  OperatorPtr op = std::make_unique<TableScan>(table.get());
+
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const LogicalNode& stage = **it;
+    const Schema& schema = op->schema();
+    switch (stage.op) {
+      case LogicalOp::kFilter: {
+        StatusOr<ExprPtr> pred = CompilePredicate(stage.predicate, schema);
+        if (!pred.ok()) return pred.status();
+        op = std::make_unique<Filter>(std::move(op), std::move(*pred));
+        break;
+      }
+      case LogicalOp::kProject: {
+        std::vector<int> indices;
+        std::vector<std::string> names;
+        for (size_t i = 0; i < stage.columns.size(); ++i) {
+          const std::string& name = stage.columns[i];
+          if (IsReservedColumn(name))
+            return Status::InvalidArgument(
+                "cannot project reserved column '" + name +
+                "' (interval and lineage are kept implicitly)");
+          const int idx = schema.IndexOf(name);
+          if (idx < 0)
+            return Status::NotFound("unknown column '" + name +
+                                    "' (have: " + schema.ToString() + ")");
+          indices.push_back(idx);
+          names.push_back(i < stage.aliases.size() &&
+                                  !stage.aliases[i].empty()
+                              ? stage.aliases[i]
+                              : name);
+        }
+        // Interval and lineage ride along on every projection.
+        for (const char* reserved :
+             {kTsColumn, kTeColumn, kLineageColumn}) {
+          indices.push_back(schema.IndexOf(reserved));
+          names.push_back(reserved);
+        }
+        op = std::make_unique<Project>(std::move(op), std::move(indices),
+                                       std::move(names));
+        break;
+      }
+      case LogicalOp::kSort: {
+        std::vector<SortKey> keys;
+        for (const OrderItem& item : stage.order_by) {
+          const int idx = schema.IndexOf(item.column);
+          if (idx < 0)
+            return Status::NotFound("unknown ORDER BY column '" +
+                                    item.column + "'");
+          keys.push_back(SortKey{idx, item.ascending});
+        }
+        op = std::make_unique<Sort>(std::move(op), std::move(keys));
+        break;
+      }
+      case LogicalOp::kLimit:
+        op = std::make_unique<Limit>(std::move(op),
+                                     static_cast<size_t>(stage.limit),
+                                     static_cast<size_t>(stage.offset));
+        break;
+      case LogicalOp::kProbThreshold: {
+        const int lin = schema.IndexOf(kLineageColumn);
+        TPDB_CHECK(lin >= 0);
+        const double threshold = stage.min_prob;
+        const bool strict = stage.min_prob_strict;
+        // Exact probability of the tuple's lineage; results are memoized
+        // inside the manager, so repeated thresholds stay cheap.
+        ExprPtr prob_pred = Fn(
+            [manager, lin, threshold, strict](const Row& row) -> Datum {
+              ProbabilityEngine engine(manager);
+              const double p = engine.Probability(row[lin].AsLineage());
+              return Datum(
+                  static_cast<int64_t>(strict ? p > threshold
+                                              : p >= threshold));
+            },
+            "prob" + std::string(strict ? ">" : ">=") +
+                std::to_string(threshold));
+        op = std::make_unique<Filter>(std::move(op), std::move(prob_pred));
+        break;
+      }
+      default:
+        return Status::Internal("non-pipelined node in chain");
+    }
+    if (stats != nullptr)
+      op = Instrument(stage.Label(), std::move(op), stats);
+  }
+
+  const Table out = Materialize(op.get());
+  StatusOr<TPRelation> rel =
+      TPRelation::FromTable(base->rel().name(), out, manager);
+  if (!rel.ok()) return rel.status();
+  return EvalResult{std::move(*rel), nullptr};
+}
+
+}  // namespace tpdb

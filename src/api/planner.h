@@ -1,0 +1,81 @@
+// Planner — the last stage of the layered API. Lowers a logical plan onto
+// the executors the seed already ships:
+//
+//   - kJoin    → tp/operators.h TPJoin (NJ window plans or the TA baseline)
+//   - kSetOp   → tp/set_ops.h TPUnion / TPIntersect / TPDifference
+//   - kFilter / kProject / kSort / kLimit / kProbThreshold → one fused
+//     engine/ Volcano pipeline (TableScan → Filter → … → Limit) over the
+//     flattened table (fact columns ++ _ts ++ _te ++ _lin), converted back
+//     with TPRelation::FromTable
+//   - kAggregate → grouped aggregation where each group's interval is the
+//     span of its tuples and its lineage is the disjunction of their
+//     lineages (probability stays exact). An aggregate over an empty input
+//     yields an empty relation — unlike SQL's global COUNT, a TP tuple
+//     cannot exist without a validity interval
+//
+// When an ExecStats registry is supplied, every lowered engine operator is
+// wrapped with engine/explain Instrument and every TP-level operator
+// reports its row count and wall time into the same registry — this is
+// what TPDatabase::Explain renders.
+#ifndef TPDB_API_PLANNER_H_
+#define TPDB_API_PLANNER_H_
+
+#include <optional>
+
+#include "api/logical_plan.h"
+#include "common/status.h"
+#include "engine/explain.h"
+#include "tp/overlap_join.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+class TPDatabase;
+
+/// Physical knobs shared by every node of one execution.
+struct PlannerOptions {
+  /// Physical algorithm for the NJ overlap join.
+  OverlapAlgorithm overlap_algorithm = OverlapAlgorithm::kPartitioned;
+  /// Validate the duplicate-free-in-time invariant of join inputs.
+  bool validate_inputs = true;
+  /// Name given to the result relation of the plan root ("" = derived).
+  std::string result_name;
+};
+
+/// Executes logical plans against one database's catalog.
+class Planner {
+ public:
+  explicit Planner(TPDatabase* db, PlannerOptions options = {});
+
+  /// Runs `plan` to completion. With `stats`, every lowered operator
+  /// reports rows and wall time into the registry (registration order is
+  /// bottom-up per pipeline, matching ExecStats::ToString).
+  StatusOr<TPRelation> Execute(const LogicalPlan& plan,
+                               ExecStats* stats = nullptr);
+
+ private:
+  /// A node's result: either a relation the planner materialized, or a
+  /// borrowed pointer into the catalog (scans are zero-copy — only a plan
+  /// whose ROOT is a bare scan pays one copy, in Execute).
+  struct EvalResult {
+    std::optional<TPRelation> owned;
+    const TPRelation* borrowed = nullptr;
+
+    const TPRelation& rel() const { return owned ? *owned : *borrowed; }
+  };
+
+  StatusOr<EvalResult> Eval(const LogicalNode& node, ExecStats* stats);
+  StatusOr<EvalResult> EvalPipelined(const LogicalNode& node,
+                                     ExecStats* stats);
+  StatusOr<EvalResult> EvalJoin(const LogicalNode& node, ExecStats* stats);
+  StatusOr<EvalResult> EvalSetOp(const LogicalNode& node, ExecStats* stats);
+  StatusOr<EvalResult> EvalAggregate(const LogicalNode& node,
+                                     ExecStats* stats);
+
+  TPDatabase* db_;
+  PlannerOptions options_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_API_PLANNER_H_

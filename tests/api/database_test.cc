@@ -54,6 +54,30 @@ TEST_F(DatabaseTest, RegisterRejectsForeignManager) {
   EXPECT_FALSE(db_.Register(std::move(foreign)).ok());
 }
 
+TEST_F(DatabaseTest, RegisterTakesOwnershipOfOwnResult) {
+  StatusOr<TPRelation> q =
+      db_.Join(TPJoinKind::kLeftOuter, "wants", "hotels",
+               JoinCondition::Equals("Loc"));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const size_t rows = q->size();
+  ASSERT_TRUE(db_.Register(std::move(*q)).ok());
+  StatusOr<TPRelation*> stored = db_.Get("wants_left-outer_hotels");
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+  EXPECT_EQ((*stored)->size(), rows);
+  // The hyphenated default name is addressable from query text.
+  StatusOr<TPRelation> queried =
+      db_.Query("SELECT * FROM wants_left-outer_hotels");
+  ASSERT_TRUE(queried.ok()) << queried.status().ToString();
+  EXPECT_EQ(queried->size(), rows);
+  // Registering under a taken name is a descriptive error.
+  StatusOr<TPRelation> again =
+      db_.Join(TPJoinKind::kLeftOuter, "wants", "hotels",
+               JoinCondition::Equals("Loc"));
+  ASSERT_TRUE(again.ok());
+  Status dup = db_.Register(std::move(*again));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
 TEST_F(DatabaseTest, JoinByName) {
   StatusOr<TPRelation> q =
       db_.Join(TPJoinKind::kLeftOuter, "wants", "hotels",
@@ -128,6 +152,26 @@ TEST_F(DatabaseTest, QuerySetOperations) {
   StatusOr<TPRelation> except = db_.Query("x EXCEPT y");
   ASSERT_TRUE(except.ok());
   EXPECT_EQ(except->size(), 2u);
+}
+
+TEST_F(DatabaseTest, QuerySelectFormThroughLayeredStack) {
+  // The acceptance query: SELECT + WHERE + join + ORDER BY + LIMIT +
+  // WITH PROB, parsed into a logical plan and run through the planner.
+  StatusOr<TPRelation> q = db_.Query(
+      "SELECT Name, Hotel FROM wants LEFT JOIN hotels ON Loc "
+      "WHERE Loc = 'ZAK' ORDER BY _ts LIMIT 10 WITH PROB >= 0.05");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_GT(q->size(), 0u);
+  EXPECT_EQ(q->fact_schema().num_columns(), 2u);
+
+  // The same text renders its lowered operator tree via Explain.
+  StatusOr<std::string> explain = db_.Explain(
+      "SELECT Name, Hotel FROM wants LEFT JOIN hotels ON Loc "
+      "WHERE Loc = 'ZAK' ORDER BY _ts LIMIT 10 WITH PROB >= 0.05");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->find("Join[left-outer, on Loc=Loc]"),
+            std::string::npos);
+  EXPECT_NE(explain->find("rows="), std::string::npos);
 }
 
 TEST_F(DatabaseTest, QueryErrors) {

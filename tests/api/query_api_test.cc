@@ -1,0 +1,300 @@
+// End-to-end tests of the layered query API: text → parser → logical plan
+// → planner → engine/tp execution, plus Explain and QueryBuilder entry
+// points, over the paper's Fig. 1 booking scenario and a small numeric
+// relation for aggregates.
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+
+namespace tpdb {
+namespace {
+
+Schema LocSchema(const std::string& first) {
+  Schema s;
+  s.AddColumn({first, DatumType::kString});
+  s.AddColumn({"Loc", DatumType::kString});
+  return s;
+}
+
+class QueryApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<TPRelation*> a = db_.CreateRelation("wants", LocSchema("Name"));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE((*a)->AppendBase({Datum("Ann"), Datum("ZAK")},
+                                 Interval(2, 8), 0.7, "a1")
+                    .ok());
+    ASSERT_TRUE((*a)->AppendBase({Datum("Jim"), Datum("WEN")},
+                                 Interval(7, 10), 0.8, "a2")
+                    .ok());
+    StatusOr<TPRelation*> b =
+        db_.CreateRelation("hotels", LocSchema("Hotel"));
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE((*b)->AppendBase({Datum("hotel1"), Datum("ZAK")},
+                                 Interval(4, 6), 0.7, "b3")
+                    .ok());
+    ASSERT_TRUE((*b)->AppendBase({Datum("hotel2"), Datum("ZAK")},
+                                 Interval(5, 8), 0.6, "b2")
+                    .ok());
+
+    Schema readings;
+    readings.AddColumn({"Station", DatumType::kString});
+    readings.AddColumn({"Temp", DatumType::kInt64});
+    StatusOr<TPRelation*> r = db_.CreateRelation("readings", readings);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE((*r)->AppendBase({Datum("A"), Datum(int64_t{1})},
+                                 Interval(0, 2), 0.5, "r1")
+                    .ok());
+    ASSERT_TRUE((*r)->AppendBase({Datum("A"), Datum(int64_t{2})},
+                                 Interval(3, 6), 0.5, "r2")
+                    .ok());
+    ASSERT_TRUE((*r)->AppendBase({Datum("B"), Datum(int64_t{5})},
+                                 Interval(1, 4), 0.9, "r3")
+                    .ok());
+  }
+
+  TPDatabase db_;
+};
+
+TEST_F(QueryApiTest, SelectStar) {
+  StatusOr<TPRelation> q = db_.Query("SELECT * FROM wants");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->size(), 2u);
+  EXPECT_EQ(q->fact_schema().num_columns(), 2u);
+}
+
+TEST_F(QueryApiTest, WhereOnFactAndTemporalColumns) {
+  StatusOr<TPRelation> zak =
+      db_.Query("SELECT * FROM wants WHERE Loc = 'ZAK'");
+  ASSERT_TRUE(zak.ok()) << zak.status().ToString();
+  ASSERT_EQ(zak->size(), 1u);
+  EXPECT_EQ(zak->tuple(0).fact[0].AsString(), "Ann");
+
+  // _ts/_te are addressable in predicates.
+  StatusOr<TPRelation> late =
+      db_.Query("SELECT * FROM wants WHERE _ts >= 7");
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  ASSERT_EQ(late->size(), 1u);
+  EXPECT_EQ(late->tuple(0).fact[0].AsString(), "Jim");
+}
+
+TEST_F(QueryApiTest, ProjectionKeepsIntervalAndLineage) {
+  StatusOr<TPRelation> q =
+      db_.Query("SELECT Name AS Who FROM wants WHERE Loc = 'ZAK'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->fact_schema().num_columns(), 1u);
+  EXPECT_EQ(q->fact_schema().column(0).name, "Who");
+  EXPECT_EQ(q->tuple(0).interval, Interval(2, 8));
+  EXPECT_DOUBLE_EQ(q->Probability(0), 0.7);
+}
+
+TEST_F(QueryApiTest, OrderByAndLimit) {
+  StatusOr<TPRelation> q =
+      db_.Query("SELECT * FROM wants ORDER BY Name DESC");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 2u);
+  EXPECT_EQ(q->tuple(0).fact[0].AsString(), "Jim");
+
+  StatusOr<TPRelation> limited =
+      db_.Query("SELECT * FROM wants ORDER BY Name LIMIT 1 OFFSET 1");
+  ASSERT_TRUE(limited.ok());
+  ASSERT_EQ(limited->size(), 1u);
+  EXPECT_EQ(limited->tuple(0).fact[0].AsString(), "Jim");
+}
+
+TEST_F(QueryApiTest, ProbThreshold) {
+  StatusOr<TPRelation> q =
+      db_.Query("SELECT * FROM wants WITH PROB >= 0.75");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->tuple(0).fact[0].AsString(), "Jim");
+
+  // >= keeps the boundary, > drops it.
+  StatusOr<TPRelation> ge = db_.Query("SELECT * FROM wants WITH PROB >= 0.7");
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(ge->size(), 2u);
+  StatusOr<TPRelation> gt = db_.Query("SELECT * FROM wants WITH PROB > 0.7");
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ(gt->size(), 1u);
+}
+
+TEST_F(QueryApiTest, AcceptanceQuery) {
+  // WHERE + join + projection + ORDER BY + LIMIT + WITH PROB in one query.
+  const char* kQuery =
+      "SELECT Name, Hotel FROM wants LEFT JOIN hotels ON Loc "
+      "WHERE Loc = 'ZAK' ORDER BY _ts LIMIT 4 WITH PROB >= 0.05";
+  StatusOr<TPRelation> q = db_.Query(kQuery);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  // Cross-check against the legacy surface plus manual postprocessing.
+  StatusOr<TPRelation> join = db_.Query("wants LEFT JOIN hotels ON Loc");
+  ASSERT_TRUE(join.ok());
+  size_t expected = 0;
+  for (size_t i = 0; i < join->size(); ++i) {
+    if (join->tuple(i).fact[1].AsString() == "ZAK" &&
+        join->Probability(i) >= 0.05)
+      ++expected;
+  }
+  EXPECT_EQ(q->size(), std::min<size_t>(expected, 4));
+  EXPECT_EQ(q->fact_schema().num_columns(), 2u);
+  EXPECT_EQ(q->fact_schema().column(0).name, "Name");
+  EXPECT_EQ(q->fact_schema().column(1).name, "Hotel");
+  // ORDER BY _ts: intervals are emitted by ascending start.
+  for (size_t i = 1; i < q->size(); ++i)
+    EXPECT_LE(q->tuple(i - 1).interval.start, q->tuple(i).interval.start);
+}
+
+TEST_F(QueryApiTest, ExplainRendersLoweredTree) {
+  StatusOr<std::string> text = db_.Explain(
+      "SELECT Name, Hotel FROM wants LEFT JOIN hotels ON Loc "
+      "WHERE Loc = 'ZAK' ORDER BY Name LIMIT 3 WITH PROB >= 0.1");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("Logical plan:"), std::string::npos);
+  EXPECT_NE(text->find("Scan(wants)"), std::string::npos);
+  EXPECT_NE(text->find("Scan(hotels)"), std::string::npos);
+  EXPECT_NE(text->find("Join[left-outer, on Loc=Loc]"), std::string::npos);
+  EXPECT_NE(text->find("Filter[(Loc = 'ZAK')]"), std::string::npos);
+  EXPECT_NE(text->find("Sort[Name ASC]"), std::string::npos);
+  EXPECT_NE(text->find("Limit[3]"), std::string::npos);
+  EXPECT_NE(text->find("ProbThreshold[>= 0.1]"), std::string::npos);
+  // The lowered pipeline reports per-node row counts (engine/explain).
+  EXPECT_NE(text->find("Lowered pipeline"), std::string::npos);
+  EXPECT_NE(text->find("rows="), std::string::npos);
+}
+
+TEST_F(QueryApiTest, AggregatesWithLineageDisjunction) {
+  StatusOr<TPRelation> q = db_.Query(
+      "SELECT Station, COUNT(*) AS n, SUM(Temp) AS total, MIN(Temp), "
+      "MAX(Temp) FROM readings GROUP BY Station");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 2u);
+  ASSERT_EQ(q->fact_schema().num_columns(), 5u);
+  EXPECT_EQ(q->fact_schema().column(1).name, "n");
+  EXPECT_EQ(q->fact_schema().column(2).name, "total");
+  EXPECT_EQ(q->fact_schema().column(3).name, "min_Temp");
+
+  // Groups are emitted in ascending key order: A then B.
+  const TPTuple& a = q->tuple(0);
+  EXPECT_EQ(a.fact[0].AsString(), "A");
+  EXPECT_EQ(a.fact[1].AsInt64(), 2);
+  EXPECT_EQ(a.fact[2].AsInt64(), 3);
+  EXPECT_EQ(a.fact[3].AsInt64(), 1);
+  EXPECT_EQ(a.fact[4].AsInt64(), 2);
+  // The group's interval spans its tuples; its lineage is their
+  // disjunction: Pr[r1 ∨ r2] = 1 - 0.5 * 0.5.
+  EXPECT_EQ(a.interval, Interval(0, 6));
+  EXPECT_DOUBLE_EQ(q->Probability(0), 0.75);
+
+  const TPTuple& b = q->tuple(1);
+  EXPECT_EQ(b.fact[0].AsString(), "B");
+  EXPECT_EQ(b.fact[1].AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(q->Probability(1), 0.9);
+
+  // Global aggregate (no GROUP BY).
+  StatusOr<TPRelation> global =
+      db_.Query("SELECT COUNT(*) AS n FROM readings");
+  ASSERT_TRUE(global.ok()) << global.status().ToString();
+  ASSERT_EQ(global->size(), 1u);
+  EXPECT_EQ(global->tuple(0).fact[0].AsInt64(), 3);
+
+  // Select-list aliases rename group columns too.
+  StatusOr<TPRelation> aliased = db_.Query(
+      "SELECT Station AS s, COUNT(*) AS n FROM readings GROUP BY Station");
+  ASSERT_TRUE(aliased.ok()) << aliased.status().ToString();
+  EXPECT_EQ(aliased->fact_schema().column(0).name, "s");
+
+  // An aggregate over an empty input is empty (a TP tuple needs a
+  // validity interval, so there is no SQL-style COUNT=0 row).
+  StatusOr<TPRelation> empty =
+      db_.Query("SELECT COUNT(*) FROM readings WHERE Temp > 100");
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(empty->size(), 0u);
+}
+
+TEST_F(QueryApiTest, SetOperationsInSelectForm) {
+  StatusOr<TPRelation*> x = db_.CreateRelation("x", LocSchema("Name"));
+  StatusOr<TPRelation*> y = db_.CreateRelation("y", LocSchema("Name"));
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(y.ok());
+  ASSERT_TRUE((*x)->AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(0, 5),
+                               0.5)
+                  .ok());
+  ASSERT_TRUE((*y)->AppendBase({Datum("Ann"), Datum("ZAK")}, Interval(3, 9),
+                               0.5)
+                  .ok());
+  StatusOr<TPRelation> legacy = db_.Query("x UNION y");
+  StatusOr<TPRelation> select =
+      db_.Query("SELECT * FROM x UNION SELECT * FROM y");
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  EXPECT_EQ(select->size(), legacy->size());
+}
+
+TEST_F(QueryApiTest, QueryBuilderMatchesText) {
+  StatusOr<TPRelation> from_text = db_.Query(
+      "SELECT Name FROM wants LEFT JOIN hotels ON Loc "
+      "WHERE Loc = 'ZAK' ORDER BY Name LIMIT 10");
+  StatusOr<TPRelation> from_builder =
+      db_.Execute(QueryBuilder("wants")
+                      .Join(TPJoinKind::kLeftOuter, "hotels", "Loc")
+                      .Where("Loc = 'ZAK'")
+                      .Select({"Name"})
+                      .OrderBy("Name")
+                      .Limit(10));
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  ASSERT_TRUE(from_builder.ok()) << from_builder.status().ToString();
+  ASSERT_EQ(from_builder->size(), from_text->size());
+  for (size_t i = 0; i < from_text->size(); ++i) {
+    EXPECT_EQ(from_builder->tuple(i).fact, from_text->tuple(i).fact);
+    EXPECT_EQ(from_builder->tuple(i).interval, from_text->tuple(i).interval);
+  }
+}
+
+TEST_F(QueryApiTest, BuilderWithAstPredicate) {
+  StatusOr<TPRelation> q = db_.Execute(
+      QueryBuilder("wants").Where(AstCompare(
+          CompareOp::kEq, AstColumn("Loc"), AstLiteral(Datum("WEN")))));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->tuple(0).fact[0].AsString(), "Jim");
+}
+
+TEST_F(QueryApiTest, NumericPromotionInPredicates) {
+  // Temp is int64; a double literal must still compare numerically.
+  StatusOr<TPRelation> q =
+      db_.Query("SELECT * FROM readings WHERE Temp > 1.5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->size(), 2u);  // Temp 2 and 5
+}
+
+TEST_F(QueryApiTest, ExecutionErrors) {
+  // Unknown relation / column errors surface as Status, not crashes.
+  EXPECT_FALSE(db_.Query("SELECT * FROM nope").ok());
+  EXPECT_FALSE(db_.Query("SELECT * FROM wants WHERE Bogus = 1").ok());
+  EXPECT_FALSE(db_.Query("SELECT Bogus FROM wants").ok());
+  EXPECT_FALSE(db_.Query("SELECT * FROM wants ORDER BY Bogus").ok());
+  EXPECT_FALSE(
+      db_.Query("SELECT * FROM wants JOIN hotels ON NoSuchColumn").ok());
+  // Reserved columns cannot be projected away or duplicated.
+  EXPECT_FALSE(db_.Query("SELECT _ts FROM wants").ok());
+  // Plain selected columns must be grouped when aggregating.
+  EXPECT_FALSE(
+      db_.Query("SELECT Temp, COUNT(*) FROM readings GROUP BY Station")
+          .ok());
+  // SUM over a string column is rejected.
+  EXPECT_FALSE(db_.Query("SELECT SUM(Station) FROM readings").ok());
+}
+
+TEST_F(QueryApiTest, PlanReturnsLogicalTreeWithoutExecuting) {
+  StatusOr<LogicalPlan> plan =
+      db_.Plan("SELECT * FROM nowhere WHERE x = 1");
+  // Planning succeeds (names bind at execution time) ...
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->ToString().find("Scan(nowhere)"), std::string::npos);
+  // ... and execution reports the unknown relation.
+  EXPECT_FALSE(db_.Execute(*plan).ok());
+}
+
+}  // namespace
+}  // namespace tpdb
