@@ -1,0 +1,165 @@
+// Serial-vs-parallel throughput of the exec/ runtime: the NJ overlap join
+// and the TP set operations at 1/2/4/8 workers, emitting BENCH_exec.json
+// (the baseline for the exec trajectory).
+//
+// Unlike the figure benches this one is a plain main(): it sweeps thread
+// counts over its own pools, which the google-benchmark harness cannot
+// express cleanly, and machine-readable output matters more than
+// statistical repetition here (each point takes the best of 3 runs).
+//
+//   ./bench/bench_exec_parallel [out.json]
+//
+// TPDB_BENCH_SCALE multiplies the workload size (default 8000 tuples/side).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+
+namespace tpdb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  std::string op;
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;  // serial seconds / this
+  size_t result_rows = 0;
+};
+
+double TimeBestOf(int reps, const std::function<size_t()>& run,
+                  size_t* rows) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const Clock::time_point start = Clock::now();
+    *rows = run();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  const char* scale_env = std::getenv("TPDB_BENCH_SCALE");
+  const int64_t scale =
+      scale_env != nullptr && std::atoll(scale_env) > 0
+          ? std::atoll(scale_env)
+          : 1;
+  const int64_t tuples = 8000 * scale;
+
+  LineageManager manager;
+  Random rng(1234);
+  UniformWorkloadOptions options;
+  options.num_tuples = tuples;
+  // Probe-heavy shape: few keys and long durations make each driving tuple
+  // overlap many probe tuples, which is where parallelism pays.
+  options.num_facts = std::max<int64_t>(tuples / 40, 8);
+  options.history_length = 20000;
+  options.avg_duration = 120.0;
+  options.gap_probability = 0.2;
+  StatusOr<TPRelation> r = MakeUniformWorkload(&manager, "r", options, &rng);
+  TPDB_CHECK(r.ok()) << r.status().ToString();
+  StatusOr<TPRelation> s = MakeUniformWorkload(&manager, "s", options, &rng);
+  TPDB_CHECK(s.ok()) << s.status().ToString();
+
+  const JoinCondition theta = JoinCondition::Equals("key");
+  TPJoinOptions join_options;
+  join_options.validate_inputs = false;  // time the operator, not the check
+
+  std::vector<Measurement> results;
+  const int reps = 3;
+
+  const auto sweep = [&](const std::string& op,
+                         const std::function<size_t(ExecContext*)>& run) {
+    double serial_seconds = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      Measurement m;
+      m.op = op;
+      m.threads = threads;
+      if (threads == 1) {
+        // parallelism 1 = the serial operator path, no pool at all.
+        ExecContext ctx(nullptr, ExecOptions{.parallelism = 1});
+        m.seconds = TimeBestOf(
+            reps, [&] { return run(&ctx); }, &m.result_rows);
+        serial_seconds = m.seconds;
+      } else {
+        ThreadPool pool(static_cast<size_t>(threads));
+        ExecOptions exec_options;
+        exec_options.parallelism = threads;
+        exec_options.min_parallel_rows = 64;
+        ExecContext ctx(&pool, exec_options);
+        m.seconds = TimeBestOf(
+            reps, [&] { return run(&ctx); }, &m.result_rows);
+      }
+      m.speedup = serial_seconds / m.seconds;
+      std::printf("%-12s threads=%d  %8.3f ms  speedup=%.2fx  rows=%zu\n",
+                  op.c_str(), threads, m.seconds * 1000.0, m.speedup,
+                  m.result_rows);
+      results.push_back(m);
+    }
+  };
+
+  sweep("join_inner", [&](ExecContext* ctx) -> size_t {
+    StatusOr<TPRelation> out = ParallelTPJoin(
+        ctx, TPJoinKind::kInner, *r, *s, theta, join_options);
+    TPDB_CHECK(out.ok()) << out.status().ToString();
+    return out->size();
+  });
+  sweep("join_louter", [&](ExecContext* ctx) -> size_t {
+    StatusOr<TPRelation> out = ParallelTPJoin(
+        ctx, TPJoinKind::kLeftOuter, *r, *s, theta, join_options);
+    TPDB_CHECK(out.ok()) << out.status().ToString();
+    return out->size();
+  });
+  sweep("union", [&](ExecContext* ctx) -> size_t {
+    StatusOr<TPRelation> out =
+        ParallelTPSetOp(ctx, TPSetOpKind::kUnion, *r, *s);
+    TPDB_CHECK(out.ok()) << out.status().ToString();
+    return out->size();
+  });
+  sweep("intersect", [&](ExecContext* ctx) -> size_t {
+    StatusOr<TPRelation> out =
+        ParallelTPSetOp(ctx, TPSetOpKind::kIntersect, *r, *s);
+    TPDB_CHECK(out.ok()) << out.status().ToString();
+    return out->size();
+  });
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_exec.json";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  TPDB_CHECK(f != nullptr) << "cannot write " << out_path;
+  std::fprintf(f, "{\n  \"workload\": {\"tuples_per_side\": %lld, "
+               "\"keys\": %lld, \"theta\": \"key = key\"},\n",
+               static_cast<long long>(tuples),
+               static_cast<long long>(options.num_facts));
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n",
+               ThreadPool::HardwareParallelism());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"threads\": %d, \"seconds\": %.6f, "
+                 "\"speedup\": %.3f, \"rows\": %zu}%s\n",
+                 m.op.c_str(), m.threads, m.seconds, m.speedup,
+                 m.result_rows, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpdb
+
+int main(int argc, char** argv) { return tpdb::Main(argc, argv); }

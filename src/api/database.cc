@@ -7,6 +7,7 @@ namespace tpdb {
 
 StatusOr<TPRelation*> TPDatabase::CreateRelation(const std::string& name,
                                                  Schema fact_schema) {
+  const std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   if (relations_.count(name) > 0)
     return Status::AlreadyExists("relation '" + name + "' already exists");
   auto rel =
@@ -17,6 +18,7 @@ StatusOr<TPRelation*> TPDatabase::CreateRelation(const std::string& name,
 }
 
 Status TPDatabase::Register(TPRelation&& relation) {
+  const std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   if (relation.manager() != &manager_)
     return Status::InvalidArgument(
         "relation '" + relation.name() +
@@ -30,27 +32,43 @@ Status TPDatabase::Register(TPRelation&& relation) {
   return Status::OK();
 }
 
-StatusOr<TPRelation*> TPDatabase::Get(const std::string& name) {
+StatusOr<TPRelation*> TPDatabase::FindLocked(const std::string& name) {
   auto it = relations_.find(name);
   if (it == relations_.end())
     return Status::NotFound("no relation named '" + name + "'");
   return it->second.get();
 }
 
+StatusOr<const TPRelation*> TPDatabase::FindLocked(
+    const std::string& name) const {
+  StatusOr<TPRelation*> rel = const_cast<TPDatabase*>(this)->FindLocked(name);
+  if (!rel.ok()) return rel.status();
+  return const_cast<const TPRelation*>(*rel);
+}
+
+StatusOr<TPRelation*> TPDatabase::Get(const std::string& name) {
+  const std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return FindLocked(name);
+}
+
 StatusOr<const TPRelation*> TPDatabase::Get(const std::string& name) const {
-  auto it = relations_.find(name);
-  if (it == relations_.end())
-    return Status::NotFound("no relation named '" + name + "'");
-  return const_cast<const TPRelation*>(it->second.get());
+  const std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return FindLocked(name);
+}
+
+StatusOr<TPRelation*> TPDatabase::GetAssumingLocked(const std::string& name) {
+  return FindLocked(name);
 }
 
 Status TPDatabase::Drop(const std::string& name) {
+  const std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   if (relations_.erase(name) == 0)
     return Status::NotFound("no relation named '" + name + "'");
   return Status::OK();
 }
 
 std::vector<std::string> TPDatabase::RelationNames() const {
+  const std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   std::vector<std::string> names;
   names.reserve(relations_.size());
   for (const auto& [name, rel] : relations_) names.push_back(name);
@@ -63,13 +81,18 @@ StatusOr<TPRelation> TPDatabase::Join(TPJoinKind kind,
                                       const JoinCondition& theta,
                                       const TPJoinOptions& options,
                                       const std::string& register_as) {
-  StatusOr<TPRelation*> l = Get(left);
-  if (!l.ok()) return l.status();
-  StatusOr<TPRelation*> r = Get(right);
-  if (!r.ok()) return r.status();
-  TPJoinOptions opts = options;
-  if (!register_as.empty()) opts.result_name = register_as;
-  StatusOr<TPRelation> result = TPJoin(kind, **l, **r, theta, opts);
+  StatusOr<TPRelation> result = [&]() -> StatusOr<TPRelation> {
+    // Hold the catalog for lookup + join so concurrent DDL cannot drop an
+    // input mid-join; Register below takes the exclusive lock afterwards.
+    const std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    StatusOr<TPRelation*> l = FindLocked(left);
+    if (!l.ok()) return l.status();
+    StatusOr<TPRelation*> r = FindLocked(right);
+    if (!r.ok()) return r.status();
+    TPJoinOptions opts = options;
+    if (!register_as.empty()) opts.result_name = register_as;
+    return TPJoin(kind, **l, **r, theta, opts);
+  }();
   if (!result.ok()) return result.status();
   if (!register_as.empty()) {
     TPDB_RETURN_IF_ERROR(Register(TPRelation(*result)));

@@ -28,6 +28,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,12 @@
 namespace tpdb {
 
 /// Owns the lineage manager and the named relations of one database.
+///
+/// Thread-safe for concurrent use by multiple sessions (exec/session.h):
+/// query execution holds the catalog in shared (read) mode for its whole
+/// run, DDL (CreateRelation / Register / Drop) takes it exclusively, and
+/// the LineageManager is internally synchronized. Callers must not mutate
+/// a relation (via the pointers Get hands out) while queries run.
 class TPDatabase {
  public:
   TPDatabase() = default;
@@ -63,6 +70,16 @@ class TPDatabase {
   /// Looks up a relation by name.
   StatusOr<TPRelation*> Get(const std::string& name);
   StatusOr<const TPRelation*> Get(const std::string& name) const;
+
+  /// Lookup that skips the catalog lock — for callers already holding it
+  /// via ReadLockCatalog() (the planner, for the duration of a query).
+  StatusOr<TPRelation*> GetAssumingLocked(const std::string& name);
+
+  /// Acquires the catalog in shared mode; queries hold this while they
+  /// run so Drop/Register cannot invalidate relations mid-execution.
+  std::shared_lock<std::shared_mutex> ReadLockCatalog() const {
+    return std::shared_lock<std::shared_mutex>(catalog_mu_);
+  }
 
   /// Removes a relation. Fails if absent.
   Status Drop(const std::string& name);
@@ -99,7 +116,13 @@ class TPDatabase {
   StatusOr<std::string> Explain(const LogicalPlan& plan);
 
  private:
+  StatusOr<TPRelation*> FindLocked(const std::string& name);
+  StatusOr<const TPRelation*> FindLocked(const std::string& name) const;
+
   LineageManager manager_;
+  /// Guards relations_ (the map, not the relations' contents): shared for
+  /// lookups and query execution, exclusive for DDL.
+  mutable std::shared_mutex catalog_mu_;
   std::map<std::string, std::unique_ptr<TPRelation>> relations_;
 };
 

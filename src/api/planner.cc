@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <shared_mutex>
 #include <utility>
 
 #include "api/database.h"
@@ -11,6 +12,9 @@
 #include "engine/project.h"
 #include "engine/scan.h"
 #include "engine/sort.h"
+#include "exec/exec_context.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "lineage/probability.h"
 #include "tp/set_ops.h"
 
@@ -148,6 +152,93 @@ StatusOr<ExprPtr> CompilePredicate(const AstExprPtr& e, const Schema& schema) {
   return Status::Internal("unhandled predicate node");
 }
 
+/// True for stages that decide each row independently — the ones the
+/// parallel pipeline driver may run per-morsel with an ordered merge.
+bool IsRowLocal(LogicalOp op) {
+  return op == LogicalOp::kFilter || op == LogicalOp::kProject ||
+         op == LogicalOp::kProbThreshold;
+}
+
+/// Lowers ONE pipelined logical stage onto `op`. Pure (no planner state),
+/// so the parallel driver can instantiate the same chain once per morsel.
+StatusOr<OperatorPtr> LowerPipelineStage(const LogicalNode& stage,
+                                         OperatorPtr op,
+                                         LineageManager* manager) {
+  const Schema& schema = op->schema();
+  switch (stage.op) {
+    case LogicalOp::kFilter: {
+      StatusOr<ExprPtr> pred = CompilePredicate(stage.predicate, schema);
+      if (!pred.ok()) return pred.status();
+      return OperatorPtr(
+          std::make_unique<Filter>(std::move(op), std::move(*pred)));
+    }
+    case LogicalOp::kProject: {
+      std::vector<int> indices;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < stage.columns.size(); ++i) {
+        const std::string& name = stage.columns[i];
+        if (IsReservedColumn(name))
+          return Status::InvalidArgument(
+              "cannot project reserved column '" + name +
+              "' (interval and lineage are kept implicitly)");
+        const int idx = schema.IndexOf(name);
+        if (idx < 0)
+          return Status::NotFound("unknown column '" + name +
+                                  "' (have: " + schema.ToString() + ")");
+        indices.push_back(idx);
+        names.push_back(i < stage.aliases.size() && !stage.aliases[i].empty()
+                            ? stage.aliases[i]
+                            : name);
+      }
+      // Interval and lineage ride along on every projection.
+      for (const char* reserved : {kTsColumn, kTeColumn, kLineageColumn}) {
+        indices.push_back(schema.IndexOf(reserved));
+        names.push_back(reserved);
+      }
+      return OperatorPtr(std::make_unique<Project>(
+          std::move(op), std::move(indices), std::move(names)));
+    }
+    case LogicalOp::kSort: {
+      std::vector<SortKey> keys;
+      for (const OrderItem& item : stage.order_by) {
+        const int idx = schema.IndexOf(item.column);
+        if (idx < 0)
+          return Status::NotFound("unknown ORDER BY column '" + item.column +
+                                  "'");
+        keys.push_back(SortKey{idx, item.ascending});
+      }
+      return OperatorPtr(
+          std::make_unique<Sort>(std::move(op), std::move(keys)));
+    }
+    case LogicalOp::kLimit:
+      return OperatorPtr(std::make_unique<Limit>(
+          std::move(op), static_cast<size_t>(stage.limit),
+          static_cast<size_t>(stage.offset)));
+    case LogicalOp::kProbThreshold: {
+      const int lin = schema.IndexOf(kLineageColumn);
+      TPDB_CHECK(lin >= 0);
+      const double threshold = stage.min_prob;
+      const bool strict = stage.min_prob_strict;
+      // Exact probability of the tuple's lineage; results are memoized
+      // inside the manager, so repeated thresholds stay cheap.
+      ExprPtr prob_pred = Fn(
+          [manager, lin, threshold, strict](const Row& row) -> Datum {
+            ProbabilityEngine engine(manager);
+            const double p = engine.Probability(row[lin].AsLineage());
+            return Datum(
+                static_cast<int64_t>(strict ? p > threshold
+                                            : p >= threshold));
+          },
+          "prob" + std::string(strict ? ">" : ">=") +
+              std::to_string(threshold));
+      return OperatorPtr(
+          std::make_unique<Filter>(std::move(op), std::move(prob_pred)));
+    }
+    default:
+      return Status::Internal("non-pipelined node in chain");
+  }
+}
+
 /// Output column name of an aggregate, e.g. "count", "sum_Temp".
 std::string AggOutputName(const SelectItem& item) {
   if (!item.alias.empty()) return item.alias;
@@ -172,7 +263,29 @@ StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
                                       ExecStats* stats) {
   if (plan.root == nullptr)
     return Status::InvalidArgument("empty logical plan");
+
+  // Queries hold the catalog in shared mode for their whole run, so
+  // concurrent sessions read a stable catalog while DDL waits its turn.
+  const std::shared_lock<std::shared_mutex> catalog_lock =
+      db_->ReadLockCatalog();
+
+  // parallelism == 1 pins the serial path: no pool, no exec context — the
+  // evaluation below is bit-for-bit the pre-exec planner.
+  ExecOptions exec_options;
+  exec_options.parallelism = options_.parallelism;
+  exec_options.morsel_size = options_.morsel_size;
+  exec_options.min_parallel_rows = options_.min_parallel_rows;
+  ThreadPool* pool =
+      options_.parallelism == 1 ? nullptr : ThreadPool::Default();
+  ExecContext ctx(pool, exec_options);
+  ctx_ = ctx.parallelism() > 1 ? &ctx : nullptr;
+
   StatusOr<EvalResult> result = Eval(*plan.root, stats);
+  ctx_ = nullptr;
+  if (stats != nullptr) {
+    for (const WorkerStats& w : ctx.CollectWorkerStats())
+      stats->AddWorker(w);
+  }
   if (!result.ok()) return result.status();
   if (result->owned) return std::move(*result->owned);
   // A bare catalog scan at the root: copy once, here.
@@ -184,7 +297,7 @@ StatusOr<Planner::EvalResult> Planner::Eval(const LogicalNode& node,
   if (IsPipelined(node.op)) return EvalPipelined(node, stats);
   switch (node.op) {
     case LogicalOp::kScan: {
-      StatusOr<TPRelation*> rel = db_->Get(node.relation);
+      StatusOr<TPRelation*> rel = db_->GetAssumingLocked(node.relation);
       if (!rel.ok()) return rel.status();
       Report(stats, node.Label(), (*rel)->size(), 0.0);
       return EvalResult{std::nullopt, *rel};
@@ -216,7 +329,10 @@ StatusOr<Planner::EvalResult> Planner::EvalJoin(const LogicalNode& node,
 
   const Clock::time_point start = Clock::now();
   StatusOr<TPRelation> result =
-      TPJoin(node.join_kind, left->rel(), right->rel(), theta, opts);
+      ctx_ != nullptr
+          ? ParallelTPJoin(ctx_, node.join_kind, left->rel(), right->rel(),
+                           theta, opts)
+          : TPJoin(node.join_kind, left->rel(), right->rel(), theta, opts);
   if (!result.ok()) return result.status();
   Report(stats, node.Label(), result->size(), SecondsSince(start));
   return EvalResult{std::move(*result), nullptr};
@@ -231,14 +347,16 @@ StatusOr<Planner::EvalResult> Planner::EvalSetOp(const LogicalNode& node,
 
   const Clock::time_point start = Clock::now();
   StatusOr<TPRelation> result = [&]() -> StatusOr<TPRelation> {
+    TPSetOpKind kind;
     switch (node.set_op) {
-      case SetOpKind::kUnion: return TPUnion(left->rel(), right->rel());
-      case SetOpKind::kIntersect:
-        return TPIntersect(left->rel(), right->rel());
-      case SetOpKind::kExcept:
-        return TPDifference(left->rel(), right->rel());
+      case SetOpKind::kUnion: kind = TPSetOpKind::kUnion; break;
+      case SetOpKind::kIntersect: kind = TPSetOpKind::kIntersect; break;
+      case SetOpKind::kExcept: kind = TPSetOpKind::kDifference; break;
+      default: return Status::Internal("unhandled set operation");
     }
-    return Status::Internal("unhandled set operation");
+    return ctx_ != nullptr
+               ? ParallelTPSetOp(ctx_, kind, left->rel(), right->rel())
+               : TPSetOp(kind, left->rel(), right->rel());
   }();
   if (!result.ok()) return result.status();
   Report(stats, node.Label(), result->size(), SecondsSince(start));
@@ -389,95 +507,58 @@ StatusOr<Planner::EvalResult> Planner::EvalPipelined(const LogicalNode& node,
   if (!base.ok()) return base.status();
   LineageManager* manager = base->rel().manager();
 
-  const auto table = std::make_unique<Table>(base->rel().ToTable());
-  OperatorPtr op = std::make_unique<TableScan>(table.get());
+  // Bottom-up stage order (the order rows flow through them).
+  const std::vector<const LogicalNode*> stages(chain.rbegin(), chain.rend());
+  auto table = std::make_unique<Table>(base->rel().ToTable());
 
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    const LogicalNode& stage = **it;
-    const Schema& schema = op->schema();
-    switch (stage.op) {
-      case LogicalOp::kFilter: {
-        StatusOr<ExprPtr> pred = CompilePredicate(stage.predicate, schema);
-        if (!pred.ok()) return pred.status();
-        op = std::make_unique<Filter>(std::move(op), std::move(*pred));
-        break;
-      }
-      case LogicalOp::kProject: {
-        std::vector<int> indices;
-        std::vector<std::string> names;
-        for (size_t i = 0; i < stage.columns.size(); ++i) {
-          const std::string& name = stage.columns[i];
-          if (IsReservedColumn(name))
-            return Status::InvalidArgument(
-                "cannot project reserved column '" + name +
-                "' (interval and lineage are kept implicitly)");
-          const int idx = schema.IndexOf(name);
-          if (idx < 0)
-            return Status::NotFound("unknown column '" + name +
-                                    "' (have: " + schema.ToString() + ")");
-          indices.push_back(idx);
-          names.push_back(i < stage.aliases.size() &&
-                                  !stage.aliases[i].empty()
-                              ? stage.aliases[i]
-                              : name);
-        }
-        // Interval and lineage ride along on every projection.
-        for (const char* reserved :
-             {kTsColumn, kTeColumn, kLineageColumn}) {
-          indices.push_back(schema.IndexOf(reserved));
-          names.push_back(reserved);
-        }
-        op = std::make_unique<Project>(std::move(op), std::move(indices),
-                                       std::move(names));
-        break;
-      }
-      case LogicalOp::kSort: {
-        std::vector<SortKey> keys;
-        for (const OrderItem& item : stage.order_by) {
-          const int idx = schema.IndexOf(item.column);
-          if (idx < 0)
-            return Status::NotFound("unknown ORDER BY column '" +
-                                    item.column + "'");
-          keys.push_back(SortKey{idx, item.ascending});
-        }
-        op = std::make_unique<Sort>(std::move(op), std::move(keys));
-        break;
-      }
-      case LogicalOp::kLimit:
-        op = std::make_unique<Limit>(std::move(op),
-                                     static_cast<size_t>(stage.limit),
-                                     static_cast<size_t>(stage.offset));
-        break;
-      case LogicalOp::kProbThreshold: {
-        const int lin = schema.IndexOf(kLineageColumn);
-        TPDB_CHECK(lin >= 0);
-        const double threshold = stage.min_prob;
-        const bool strict = stage.min_prob_strict;
-        // Exact probability of the tuple's lineage; results are memoized
-        // inside the manager, so repeated thresholds stay cheap.
-        ExprPtr prob_pred = Fn(
-            [manager, lin, threshold, strict](const Row& row) -> Datum {
-              ProbabilityEngine engine(manager);
-              const double p = engine.Probability(row[lin].AsLineage());
-              return Datum(
-                  static_cast<int64_t>(strict ? p > threshold
-                                              : p >= threshold));
-            },
-            "prob" + std::string(strict ? ">" : ">=") +
-                std::to_string(threshold));
-        op = std::make_unique<Filter>(std::move(op), std::move(prob_pred));
-        break;
-      }
-      default:
-        return Status::Internal("non-pipelined node in chain");
+  // The leading run of row-local stages (filter / project / probability
+  // threshold) can go through the parallel driver: each morsel runs its
+  // own instance of the chain and the outputs merge in morsel order, so
+  // the rows match the serial pipeline exactly. Sort and limit — and any
+  // stage above them — stay serial. Explain keeps the whole chain serial:
+  // per-stage instrumentation counts rows of ONE pipeline instance.
+  size_t first_serial_stage = 0;
+  if (ctx_ != nullptr && stats == nullptr) {
+    size_t row_local = 0;
+    while (row_local < stages.size() && IsRowLocal(stages[row_local]->op))
+      ++row_local;
+    if (row_local > 0 && ctx_->ShouldParallelize(table->rows.size())) {
+      StatusOr<Table> out = ParallelPipeline(
+          ctx_, *table,
+          [&stages, row_local, manager](
+              OperatorPtr source) -> StatusOr<OperatorPtr> {
+            OperatorPtr op = std::move(source);
+            for (size_t i = 0; i < row_local; ++i) {
+              StatusOr<OperatorPtr> lowered =
+                  LowerPipelineStage(*stages[i], std::move(op), manager);
+              if (!lowered.ok()) return lowered.status();
+              op = std::move(*lowered);
+            }
+            return op;
+          });
+      if (!out.ok()) return out.status();
+      *table = std::move(*out);
+      first_serial_stage = row_local;
     }
-    if (stats != nullptr)
-      op = Instrument(stage.Label(), std::move(op), stats);
   }
 
-  const Table out = Materialize(op.get());
-  StatusOr<TPRelation> rel =
-      TPRelation::FromTable(base->rel().name(), out, manager);
+  StatusOr<TPRelation> rel = [&]() -> StatusOr<TPRelation> {
+    if (first_serial_stage == stages.size()) {
+      // Everything ran in the parallel driver; `table` is the result.
+      return TPRelation::FromTable(base->rel().name(), *table, manager);
+    }
+    OperatorPtr op = std::make_unique<TableScan>(table.get());
+    for (size_t i = first_serial_stage; i < stages.size(); ++i) {
+      StatusOr<OperatorPtr> lowered =
+          LowerPipelineStage(*stages[i], std::move(op), manager);
+      if (!lowered.ok()) return lowered.status();
+      op = std::move(*lowered);
+      if (stats != nullptr)
+        op = Instrument(stages[i]->Label(), std::move(op), stats);
+    }
+    const Table out = Materialize(op.get());
+    return TPRelation::FromTable(base->rel().name(), out, manager);
+  }();
   if (!rel.ok()) return rel.status();
   return EvalResult{std::move(*rel), nullptr};
 }

@@ -30,6 +30,7 @@
 
 namespace tpdb {
 
+class ExecContext;
 class TPDatabase;
 
 /// Physical knobs shared by every node of one execution.
@@ -40,6 +41,15 @@ struct PlannerOptions {
   bool validate_inputs = true;
   /// Name given to the result relation of the plan root ("" = derived).
   std::string result_name;
+  /// Worker threads for the exec/ parallel runtime: 1 = the serial path
+  /// (bit-for-bit identical to the pre-exec planner), 0 = hardware
+  /// concurrency, n > 1 = explicit worker count on the shared pool.
+  int parallelism = 0;
+  /// Tuples per morsel for the partitioned drivers.
+  size_t morsel_size = 1024;
+  /// Driving inputs smaller than this run serially even when
+  /// parallelism > 1 (task setup would dominate).
+  size_t min_parallel_rows = 512;
 };
 
 /// Executes logical plans against one database's catalog.
@@ -74,6 +84,9 @@ class Planner {
 
   TPDatabase* db_;
   PlannerOptions options_;
+  /// Parallel-runtime handle of the execution in flight (set by Execute;
+  /// null while idle and on the parallelism == 1 serial path).
+  ExecContext* ctx_ = nullptr;
 };
 
 }  // namespace tpdb

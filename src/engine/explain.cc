@@ -32,6 +32,17 @@ class InstrumentedOperator final : public Operator {
     return has_row;
   }
 
+  const Row* NextRef() override {
+    const auto start = std::chrono::steady_clock::now();
+    const Row* row = child_->NextRef();
+    stats_->seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (row != nullptr) ++stats_->rows;
+    return row;
+  }
+
   void Close() override { child_->Close(); }
 
  private:
@@ -47,6 +58,10 @@ NodeStats* ExecStats::AddNode(std::string label) {
   return nodes_.back().get();
 }
 
+void ExecStats::AddWorker(const WorkerStats& worker) {
+  workers_.push_back(worker);
+}
+
 std::string ExecStats::ToString() const {
   std::string out;
   for (const std::unique_ptr<NodeStats>& node : nodes_) {
@@ -56,6 +71,23 @@ std::string ExecStats::ToString() const {
                   static_cast<unsigned long long>(node->rows),
                   node->seconds * 1000.0);
     out += line;
+  }
+  if (!workers_.empty()) {
+    out += "parallel workers:\n";
+    for (const WorkerStats& w : workers_) {
+      char line[160];
+      char name[32];
+      if (w.worker < 0)
+        std::snprintf(name, sizeof(name), "  caller");
+      else
+        std::snprintf(name, sizeof(name), "  worker %d", w.worker);
+      std::snprintf(line, sizeof(line),
+                    "%-24s tasks=%-4llu rows=%-10llu time=%.3f ms\n", name,
+                    static_cast<unsigned long long>(w.tasks),
+                    static_cast<unsigned long long>(w.rows),
+                    w.seconds * 1000.0);
+      out += line;
+    }
   }
   return out;
 }

@@ -24,6 +24,16 @@ struct NodeStats {
                             ///< (inclusive of children)
 };
 
+/// Per-worker aggregates of the parallel runtime (exec/): how many morsel
+/// tasks each pool worker ran for this query, the rows they produced, and
+/// the wall time they spent inside tasks.
+struct WorkerStats {
+  int worker = -1;          ///< pool worker index; -1 = the session thread
+  uint64_t tasks = 0;
+  uint64_t rows = 0;
+  double seconds = 0.0;
+};
+
 /// Registry the instrumented wrappers report into. Must outlive the plan.
 class ExecStats {
  public:
@@ -34,12 +44,20 @@ class ExecStats {
     return nodes_;
   }
 
+  /// Records one worker's aggregate for the query (planner reports these
+  /// after a parallel execution).
+  void AddWorker(const WorkerStats& worker);
+
+  const std::vector<WorkerStats>& workers() const { return workers_; }
+
   /// Multi-line "label: rows=… time=…" rendering, in registration order
-  /// (register bottom-up to read the pipeline top-down).
+  /// (register bottom-up to read the pipeline top-down), followed by a
+  /// per-worker section when the query ran on the parallel runtime.
   std::string ToString() const;
 
  private:
   std::vector<std::unique_ptr<NodeStats>> nodes_;
+  std::vector<WorkerStats> workers_;
 };
 
 /// Wraps `child`, counting its rows and timing its Next() calls into a

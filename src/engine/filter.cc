@@ -13,4 +13,11 @@ bool Filter::Next(Row* out) {
   return false;
 }
 
+const Row* Filter::NextRef() {
+  while (const Row* row = child_->NextRef()) {
+    if (DatumTruthy(predicate_->Eval(*row))) return row;
+  }
+  return nullptr;
+}
+
 }  // namespace tpdb

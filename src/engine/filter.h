@@ -19,6 +19,9 @@ class Filter final : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   void Open() override { child_->Open(); }
   bool Next(Row* out) override;
+  /// Forwards the child's row pointer for passing tuples — a filter over a
+  /// table scan moves no data at all.
+  const Row* NextRef() override;
   void Close() override { child_->Close(); }
 
  private:

@@ -31,6 +31,17 @@ class Limit final : public Operator {
     ++emitted_;
     return true;
   }
+  const Row* NextRef() override {
+    while (skipped_ < offset_) {
+      if (child_->NextRef() == nullptr) return nullptr;
+      ++skipped_;
+    }
+    if (emitted_ >= limit_) return nullptr;
+    const Row* row = child_->NextRef();
+    if (row == nullptr) return nullptr;
+    ++emitted_;
+    return row;
+  }
   void Close() override { child_->Close(); }
 
  private:

@@ -7,6 +7,10 @@ Table Materialize(Operator* op) {
   Table out;
   out.schema = op->schema();
   op->Open();
+  // Next() + move, not NextRef(): row-constructing operators (sorts,
+  // joins, the default NextRef adapter) move their row all the way into
+  // the result, where the ref path would force a deep copy. Leaf scans
+  // pay one copy either way.
   Row row;
   while (op->Next(&row)) out.rows.push_back(std::move(row));
   op->Close();
@@ -16,9 +20,8 @@ Table Materialize(Operator* op) {
 size_t Drain(Operator* op) {
   TPDB_CHECK(op != nullptr);
   op->Open();
-  Row row;
   size_t count = 0;
-  while (op->Next(&row)) ++count;
+  while (op->NextRef() != nullptr) ++count;
   op->Close();
   return count;
 }

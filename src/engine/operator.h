@@ -27,8 +27,22 @@ class Operator {
   /// Produces the next row into `*out`; returns false at end of stream.
   virtual bool Next(Row* out) = 0;
 
+  /// Zero-copy pull: returns the next row, or nullptr at end of stream.
+  /// The pointer stays valid until the next Next()/NextRef()/Close() call
+  /// on this operator. Leaf scans index straight into storage and
+  /// pass-through operators (filter, limit, instrumentation) forward the
+  /// child's pointer, so a scan→filter pipeline moves no tuples at all;
+  /// the default adapter buffers Next() (one move for row-constructing
+  /// operators, one copy only where Next() itself copies).
+  virtual const Row* NextRef() {
+    return Next(&ref_buffer_) ? &ref_buffer_ : nullptr;
+  }
+
   /// Releases per-iteration resources.
   virtual void Close() = 0;
+
+ private:
+  Row ref_buffer_;  // backing storage for the default NextRef adapter
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -23,13 +23,22 @@ Project::Project(OperatorPtr child, std::vector<int> indices,
 }
 
 bool Project::Next(Row* out) {
-  Row row;
-  if (!child_->Next(&row)) return false;
+  const Row* row = child_->NextRef();
+  if (row == nullptr) return false;
   Row projected;
   projected.reserve(indices_.size());
-  for (const int idx : indices_) projected.push_back(row[idx]);
+  for (const int idx : indices_) projected.push_back((*row)[idx]);
   *out = std::move(projected);
   return true;
+}
+
+const Row* Project::NextRef() {
+  const Row* row = child_->NextRef();
+  if (row == nullptr) return nullptr;
+  projected_.clear();
+  projected_.reserve(indices_.size());
+  for (const int idx : indices_) projected_.push_back((*row)[idx]);
+  return &projected_;
 }
 
 }  // namespace tpdb

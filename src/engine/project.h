@@ -18,12 +18,16 @@ class Project final : public Operator {
   const Schema& schema() const override { return schema_; }
   void Open() override { child_->Open(); }
   bool Next(Row* out) override;
+  /// Builds the projection from the child's row reference (copies only the
+  /// projected columns, never the full input row).
+  const Row* NextRef() override;
   void Close() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
   std::vector<int> indices_;
   Schema schema_;
+  Row projected_;  // backing storage for NextRef
 };
 
 }  // namespace tpdb

@@ -1,30 +1,49 @@
-// TableScan: leaf operator over a materialized table.
+// TableScan: leaf operator over a materialized table (or a morsel of one).
 #ifndef TPDB_ENGINE_SCAN_H_
 #define TPDB_ENGINE_SCAN_H_
+
+#include <limits>
 
 #include "engine/operator.h"
 
 namespace tpdb {
 
 /// Scans an in-memory table. The table must outlive the operator.
+/// NextRef() is the hot path: it indexes straight into the table's row
+/// storage, so downstream pipelines pay no per-tuple copy for the scan.
 class TableScan final : public Operator {
  public:
-  explicit TableScan(const Table* table) : table_(table) {
+  explicit TableScan(const Table* table)
+      : TableScan(table, 0, std::numeric_limits<size_t>::max()) {}
+
+  /// Scans only rows [begin, min(end, size)) — the morsel form used by the
+  /// parallel pipeline driver.
+  TableScan(const Table* table, size_t begin, size_t end)
+      : table_(table), begin_(begin), end_(end), pos_(begin) {
     TPDB_CHECK(table != nullptr);
+    TPDB_CHECK_LE(begin_, end_);
   }
 
   const Schema& schema() const override { return table_->schema; }
-  void Open() override { pos_ = 0; }
+  void Open() override { pos_ = begin_; }
   bool Next(Row* out) override {
-    if (pos_ >= table_->rows.size()) return false;
+    if (pos_ >= Limit()) return false;
     *out = table_->rows[pos_++];
     return true;
+  }
+  const Row* NextRef() override {
+    if (pos_ >= Limit()) return nullptr;
+    return &table_->rows[pos_++];
   }
   void Close() override {}
 
  private:
+  size_t Limit() const { return std::min(end_, table_->rows.size()); }
+
   const Table* table_;
-  size_t pos_ = 0;
+  size_t begin_;
+  size_t end_;
+  size_t pos_;
 };
 
 }  // namespace tpdb

@@ -4,20 +4,81 @@
 
 namespace tpdb {
 
+namespace {
+
+constexpr uint64_t kKeyHashSeed = 0x12345678abcdefull;
+
+}  // namespace
+
+TemporalBuildSide MakeTemporalBuildSide(Operator* right,
+                                        const TemporalJoinSpec& spec) {
+  TPDB_CHECK(right != nullptr);
+  TemporalBuildSide build;
+  right->Open();
+  Row row;
+  while (right->Next(&row)) build.rows.push_back(std::move(row));
+  right->Close();
+  // Partition the right side by equi-key hash; within a partition sort by
+  // interval start so the probe visits matches in temporal order (LAWAU
+  // expects its input grouped by r tuple and sorted on window start).
+  for (uint32_t i = 0; i < build.rows.size(); ++i) {
+    uint64_t h = kKeyHashSeed;
+    bool has_null_key = false;
+    for (const auto& [l, r] : spec.equi_keys) {
+      (void)l;
+      if (build.rows[i][r].is_null()) has_null_key = true;
+      h = h * 0x9e3779b97f4a7c15ull + build.rows[i][r].Hash();
+    }
+    if (has_null_key) continue;  // never matches
+    build.partitions[h].rows.push_back(i);
+  }
+  const int rts = spec.right_ts;
+  for (auto& [h, part] : build.partitions) {
+    (void)h;
+    std::sort(part.rows.begin(), part.rows.end(),
+              [&](uint32_t a, uint32_t b) {
+                const int c =
+                    build.rows[a][rts].Compare(build.rows[b][rts]);
+                if (c != 0) return c < 0;
+                return a < b;
+              });
+  }
+  return build;
+}
+
 TemporalOuterJoin::TemporalOuterJoin(OperatorPtr left, OperatorPtr right,
                                      TemporalJoinSpec spec)
-    : left_(std::move(left)), right_(std::move(right)), spec_(std::move(spec)) {
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      spec_(std::move(spec)) {
   TPDB_CHECK(left_ != nullptr);
   TPDB_CHECK(right_ != nullptr);
   TPDB_CHECK_GE(spec_.left_ts, 0);
   TPDB_CHECK_GE(spec_.right_ts, 0);
-  schema_ = Schema::Concat(left_->schema(), right_->schema());
+  right_schema_ = right_->schema();
+  schema_ = Schema::Concat(left_->schema(), right_schema_);
+  schema_.AddColumn({"inter_ts", DatumType::kInt64});
+  schema_.AddColumn({"inter_te", DatumType::kInt64});
+}
+
+TemporalOuterJoin::TemporalOuterJoin(
+    OperatorPtr left, std::shared_ptr<const TemporalBuildSide> build,
+    Schema right_schema, TemporalJoinSpec spec)
+    : left_(std::move(left)),
+      spec_(std::move(spec)),
+      right_schema_(std::move(right_schema)),
+      shared_build_(std::move(build)) {
+  TPDB_CHECK(left_ != nullptr);
+  TPDB_CHECK(shared_build_ != nullptr);
+  TPDB_CHECK_GE(spec_.left_ts, 0);
+  TPDB_CHECK_GE(spec_.right_ts, 0);
+  schema_ = Schema::Concat(left_->schema(), right_schema_);
   schema_.AddColumn({"inter_ts", DatumType::kInt64});
   schema_.AddColumn({"inter_te", DatumType::kInt64});
 }
 
 uint64_t TemporalOuterJoin::LeftKeyHash(const Row& row) const {
-  uint64_t h = 0x12345678abcdefull;
+  uint64_t h = kKeyHashSeed;
   for (const auto& [l, r] : spec_.equi_keys) {
     (void)r;
     h = h * 0x9e3779b97f4a7c15ull + row[l].Hash();
@@ -36,56 +97,33 @@ bool TemporalOuterJoin::KeysEqual(const Row& left, const Row& right) const {
 
 void TemporalOuterJoin::Open() {
   left_->Open();
-  right_->Open();
-  right_rows_.clear();
-  partitions_.clear();
-  Row row;
-  while (right_->Next(&row)) right_rows_.push_back(std::move(row));
-  right_->Close();
-  // Partition the right side by equi-key hash; within a partition sort by
-  // interval start so the probe visits matches in temporal order (LAWAU
-  // expects its input grouped by r tuple and sorted on window start).
-  for (uint32_t i = 0; i < right_rows_.size(); ++i) {
-    uint64_t h = 0x12345678abcdefull;
-    bool has_null_key = false;
-    for (const auto& [l, r] : spec_.equi_keys) {
-      (void)l;
-      if (right_rows_[i][r].is_null()) has_null_key = true;
-      h = h * 0x9e3779b97f4a7c15ull + right_rows_[i][r].Hash();
-    }
-    if (has_null_key) continue;  // never matches
-    partitions_[h].rows.push_back(i);
-  }
-  const int rts = spec_.right_ts;
-  for (auto& [h, part] : partitions_) {
-    (void)h;
-    std::sort(part.rows.begin(), part.rows.end(),
-              [&](uint32_t a, uint32_t b) {
-                const int c = right_rows_[a][rts].Compare(right_rows_[b][rts]);
-                if (c != 0) return c < 0;
-                return a < b;
-              });
+  if (shared_build_ != nullptr) {
+    build_ = shared_build_.get();
+  } else {
+    owned_build_ = MakeTemporalBuildSide(right_.get(), spec_);
+    build_ = &owned_build_;
   }
   have_left_ = false;
 }
 
 bool TemporalOuterJoin::Next(Row* out) {
-  const size_t right_width = right_->schema().num_columns();
+  const size_t right_width = right_schema_.num_columns();
   while (true) {
     if (!have_left_) {
       if (!left_->Next(&current_left_)) return false;
       have_left_ = true;
       left_matched_ = false;
       probe_pos_ = 0;
-      auto it = partitions_.find(LeftKeyHash(current_left_));
-      current_partition_ = it == partitions_.end() ? nullptr : &it->second;
+      auto it = build_->partitions.find(LeftKeyHash(current_left_));
+      current_partition_ =
+          it == build_->partitions.end() ? nullptr : &it->second;
     }
     const Interval lt(current_left_[spec_.left_ts].AsInt64(),
                       current_left_[spec_.left_te].AsInt64());
     if (current_partition_ != nullptr) {
       while (probe_pos_ < current_partition_->rows.size()) {
         const Row& right_row =
-            right_rows_[current_partition_->rows[probe_pos_++]];
+            build_->rows[current_partition_->rows[probe_pos_++]];
         const Interval rt(right_row[spec_.right_ts].AsInt64(),
                           right_row[spec_.right_te].AsInt64());
         if (rt.start >= lt.end) {
@@ -122,9 +160,10 @@ bool TemporalOuterJoin::Next(Row* out) {
 
 void TemporalOuterJoin::Close() {
   left_->Close();
-  right_rows_.clear();
-  right_rows_.shrink_to_fit();
-  partitions_.clear();
+  owned_build_.rows.clear();
+  owned_build_.rows.shrink_to_fit();
+  owned_build_.partitions.clear();
+  build_ = nullptr;
 }
 
 }  // namespace tpdb

@@ -6,6 +6,7 @@
 #ifndef TPDB_ENGINE_TEMPORAL_OUTER_JOIN_H_
 #define TPDB_ENGINE_TEMPORAL_OUTER_JOIN_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -31,14 +32,39 @@ struct TemporalJoinSpec {
   JoinType join_type = JoinType::kLeftOuter;
 };
 
+/// The materialized, hash-partitioned build (right) side of a temporal
+/// equi-join. Immutable once built, so the parallel runtime can build it
+/// once and probe one shared instance from many morsel plans.
+struct TemporalBuildSide {
+  struct Partition {
+    /// Indices into `rows`, sorted by right interval start.
+    std::vector<uint32_t> rows;
+  };
+
+  std::vector<Row> rows;
+  std::unordered_map<uint64_t, Partition> partitions;
+};
+
+/// Drains `right` (Open/Next*/Close) and partitions it by the right-hand
+/// fields of `spec` (equi-key hash; within a partition sorted by interval
+/// start, which is the order the LAWAU/LAWAN sweeps expect).
+TemporalBuildSide MakeTemporalBuildSide(Operator* right,
+                                        const TemporalJoinSpec& spec);
+
 /// Pipelined on the left input; the right input is materialized and
-/// partitioned at Open(). Output schema: left ++ right ++ (inter_ts,
-/// inter_te); for unmatched left rows the right columns and the
-/// intersection are NULL.
+/// partitioned at Open() — or supplied pre-built and shared. Output
+/// schema: left ++ right ++ (inter_ts, inter_te); for unmatched left rows
+/// the right columns and the intersection are NULL.
 class TemporalOuterJoin final : public Operator {
  public:
   TemporalOuterJoin(OperatorPtr left, OperatorPtr right,
                     TemporalJoinSpec spec);
+
+  /// Shared-build form: probes `build` (read-only) instead of draining a
+  /// right child. `right_schema` is the build rows' schema.
+  TemporalOuterJoin(OperatorPtr left,
+                    std::shared_ptr<const TemporalBuildSide> build,
+                    Schema right_schema, TemporalJoinSpec spec);
 
   const Schema& schema() const override { return schema_; }
   void Open() override;
@@ -46,21 +72,20 @@ class TemporalOuterJoin final : public Operator {
   void Close() override;
 
  private:
-  struct Partition {
-    // Indices into right_rows_, sorted by right interval start.
-    std::vector<uint32_t> rows;
-  };
+  using Partition = TemporalBuildSide::Partition;
 
   uint64_t LeftKeyHash(const Row& row) const;
   bool KeysEqual(const Row& left, const Row& right) const;
 
   OperatorPtr left_;
-  OperatorPtr right_;
+  OperatorPtr right_;  // null in shared-build mode
   TemporalJoinSpec spec_;
+  Schema right_schema_;
   Schema schema_;
 
-  std::vector<Row> right_rows_;
-  std::unordered_map<uint64_t, Partition> partitions_;
+  std::shared_ptr<const TemporalBuildSide> shared_build_;
+  TemporalBuildSide owned_build_;
+  const TemporalBuildSide* build_ = nullptr;
 
   Row current_left_;
   bool have_left_ = false;

@@ -1,0 +1,43 @@
+#include "exec/exec_context.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+ExecContext::ExecContext(ThreadPool* pool, ExecOptions options)
+    : pool_(pool), options_(options) {
+  if (options_.morsel_size == 0) options_.morsel_size = kDefaultMorselSize;
+  int p = options_.parallelism;
+  if (p <= 0) p = static_cast<int>(ThreadPool::HardwareParallelism());
+  if (pool_ == nullptr) p = 1;
+  parallelism_ = std::max(p, 1);
+}
+
+void ExecContext::RecordTask(uint64_t rows, double seconds) {
+  const int worker = ThreadPool::CurrentWorker();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (WorkerStats& w : workers_) {
+    if (w.worker == worker) {
+      ++w.tasks;
+      w.rows += rows;
+      w.seconds += seconds;
+      return;
+    }
+  }
+  workers_.push_back(WorkerStats{worker, 1, rows, seconds});
+}
+
+std::vector<WorkerStats> ExecContext::CollectWorkerStats() const {
+  std::vector<WorkerStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = workers_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WorkerStats& a, const WorkerStats& b) {
+              return a.worker < b.worker;
+            });
+  return out;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,63 @@
+// ExecContext: the per-query handle onto the parallel runtime — the pool,
+// the parallelism/morsel knobs, and the per-worker timing registry that
+// engine/explain renders.
+#ifndef TPDB_EXEC_EXEC_CONTEXT_H_
+#define TPDB_EXEC_EXEC_CONTEXT_H_
+
+#include <mutex>
+#include <vector>
+
+#include "engine/explain.h"
+#include "exec/morsel.h"
+#include "exec/thread_pool.h"
+
+namespace tpdb {
+
+/// Knobs of the parallel execution runtime.
+struct ExecOptions {
+  /// Worker threads: 1 = serial (the pre-exec code path, bit-for-bit),
+  /// 0 = ThreadPool::HardwareParallelism().
+  int parallelism = 0;
+  /// Tuples per morsel handed to a worker.
+  size_t morsel_size = kDefaultMorselSize;
+  /// Driving inputs smaller than this run serially even when parallelism
+  /// > 1 (task setup would dominate).
+  size_t min_parallel_rows = 512;
+};
+
+/// Per-query execution state shared by the parallel drivers.
+class ExecContext {
+ public:
+  /// `pool` may be null, in which case tasks run on the calling thread.
+  ExecContext(ThreadPool* pool, ExecOptions options);
+
+  ThreadPool* pool() const { return pool_; }
+  const ExecOptions& options() const { return options_; }
+
+  /// Resolved worker count (>= 1; 0 in the options means hardware).
+  int parallelism() const { return parallelism_; }
+
+  /// True iff a driver with `driving_rows` input tuples should go parallel.
+  bool ShouldParallelize(size_t driving_rows) const {
+    return parallelism_ > 1 && driving_rows >= options_.min_parallel_rows;
+  }
+
+  /// Records one finished task of the current thread (pool worker or the
+  /// session thread helping). Thread-safe.
+  void RecordTask(uint64_t rows, double seconds);
+
+  /// Per-worker aggregates collected so far, sorted by worker index (the
+  /// session thread reports as worker -1).
+  std::vector<WorkerStats> CollectWorkerStats() const;
+
+ private:
+  ThreadPool* pool_;
+  ExecOptions options_;
+  int parallelism_;
+  mutable std::mutex mu_;
+  std::vector<WorkerStats> workers_;  // sparse, keyed by worker index
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,55 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+
+namespace tpdb {
+
+std::vector<Morsel> MakeMorsels(size_t n, size_t morsel_size,
+                                size_t max_morsels) {
+  std::vector<Morsel> morsels;
+  if (n == 0) return morsels;
+  if (morsel_size == 0) morsel_size = kDefaultMorselSize;
+  if (max_morsels > 0) {
+    // Grow the chunk so at most `max_morsels` chunks cover n (ceiling).
+    morsel_size = std::max(morsel_size, (n + max_morsels - 1) / max_morsels);
+  }
+  morsels.reserve((n + morsel_size - 1) / morsel_size);
+  for (size_t begin = 0; begin < n; begin += morsel_size)
+    morsels.push_back(Morsel{begin, std::min(begin + morsel_size, n)});
+  return morsels;
+}
+
+TPRelation SliceRelation(const TPRelation& rel, const Morsel& m) {
+  TPDB_CHECK_LE(m.begin, m.end);
+  TPDB_CHECK_LE(m.end, rel.size());
+  TPRelation out(rel.name(), rel.fact_schema(), rel.manager());
+  for (size_t i = m.begin; i < m.end; ++i) {
+    const TPTuple& t = rel.tuple(i);
+    const Status status = out.AppendDerived(t.fact, t.interval, t.lineage);
+    TPDB_CHECK(status.ok()) << status.ToString();  // source tuples are valid
+  }
+  return out;
+}
+
+uint64_t HashFactRow(const Row& fact) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const Datum& d : fact) h = h * 0x9e3779b97f4a7c15ull + d.Hash();
+  return h;
+}
+
+std::vector<TPRelation> HashPartitionRelation(const TPRelation& rel,
+                                              size_t parts) {
+  TPDB_CHECK_GE(parts, 1u);
+  std::vector<TPRelation> out;
+  out.reserve(parts);
+  for (size_t i = 0; i < parts; ++i)
+    out.emplace_back(rel.name(), rel.fact_schema(), rel.manager());
+  for (const TPTuple& t : rel.tuples()) {
+    TPRelation& target = out[HashFactRow(t.fact) % parts];
+    const Status status = target.AppendDerived(t.fact, t.interval, t.lineage);
+    TPDB_CHECK(status.ok()) << status.ToString();
+  }
+  return out;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,56 @@
+// Morsel partitioning: splits materialized tables and TP relations into
+// fixed-size chunks the scheduler hands to workers.
+//
+// Two partitioners:
+//   - contiguous morsels (MakeMorsels / SliceRelation) — used by the
+//     parallel joins and pipelines, where concatenating the per-morsel
+//     outputs in morsel order reproduces the serial emit order exactly
+//     (window pipelines emit per driving tuple, in driving-input order);
+//   - hash partitioning (HashPartitionRelation) — used by the parallel set
+//     operations, whose θ is equality on all fact columns: tuples that can
+//     interact land in the same partition, so partition pairs (r_i, s_i)
+//     run completely independent set-op pipelines.
+#ifndef TPDB_EXEC_MORSEL_H_
+#define TPDB_EXEC_MORSEL_H_
+
+#include <vector>
+
+#include "engine/row.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+/// Default number of tuples per morsel.
+inline constexpr size_t kDefaultMorselSize = 1024;
+
+/// A contiguous chunk [begin, end) of a table or relation.
+struct Morsel {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into chunks of ~`morsel_size` tuples. With `max_morsels`
+/// > 0 the chunk size grows instead of exceeding that many chunks (a cap
+/// used by drivers that pay a per-morsel setup cost, e.g. re-building the
+/// join's probe partition). n == 0 yields no morsels.
+std::vector<Morsel> MakeMorsels(size_t n, size_t morsel_size,
+                                size_t max_morsels = 0);
+
+/// Copies tuples [m.begin, m.end) of `rel` into a fresh relation bound to
+/// the same manager (same name and fact schema).
+TPRelation SliceRelation(const TPRelation& rel, const Morsel& m);
+
+/// Order-independent hash of a fact row (combines Datum::Hash per column).
+uint64_t HashFactRow(const Row& fact);
+
+/// Splits `rel` into `parts` relations by fact-row hash. Deterministic for
+/// a given `parts`; every tuple lands in exactly one partition, and tuples
+/// with equal facts share a partition.
+std::vector<TPRelation> HashPartitionRelation(const TPRelation& rel,
+                                              size_t parts);
+
+}  // namespace tpdb
+
+#endif  // TPDB_EXEC_MORSEL_H_

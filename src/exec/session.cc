@@ -1,0 +1,33 @@
+#include "exec/session.h"
+
+namespace tpdb {
+
+Session::Session(TPDatabase* db, SessionOptions options)
+    : db_(db), options_(options) {
+  TPDB_CHECK(db_ != nullptr);
+}
+
+StatusOr<TPRelation> Session::Query(const std::string& text) const {
+  StatusOr<LogicalPlan> plan = db_->Plan(text);
+  if (!plan.ok()) return plan.status();
+  return Execute(*plan);
+}
+
+StatusOr<TPRelation> Session::Execute(const LogicalPlan& plan) const {
+  Planner planner(db_, options_);
+  return planner.Execute(plan);
+}
+
+StatusOr<std::string> Session::Explain(const std::string& text) const {
+  StatusOr<LogicalPlan> plan = db_->Plan(text);
+  if (!plan.ok()) return plan.status();
+  ExecStats stats;
+  Planner planner(db_, options_);
+  StatusOr<TPRelation> result = planner.Execute(*plan, &stats);
+  if (!result.ok()) return result.status();
+  std::string out = "Logical plan:\n" + plan->ToString();
+  out += "\nLowered pipeline (bottom-up):\n" + stats.ToString();
+  return out;
+}
+
+}  // namespace tpdb

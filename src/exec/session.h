@@ -1,0 +1,52 @@
+// Session: one client's handle onto a shared TPDatabase.
+//
+// Any number of sessions may query the same database concurrently: query
+// execution takes the catalog in shared (read) mode, DDL (create /
+// register / drop) takes it exclusively, and the LineageManager interns
+// nodes thread-safely, so concurrent Query() calls need no external
+// locking. Each session carries its own planner knobs — most importantly
+// `parallelism`, which selects the serial path (1), hardware concurrency
+// (0) or an explicit worker count for the morsel drivers.
+#ifndef TPDB_EXEC_SESSION_H_
+#define TPDB_EXEC_SESSION_H_
+
+#include <string>
+
+#include "api/database.h"
+#include "api/planner.h"
+
+namespace tpdb {
+
+/// Per-session execution knobs. One set of knobs exists (the planner's);
+/// a session simply carries its own copy — most importantly
+/// `parallelism`: 1 = serial (bit-for-bit the pre-exec planner),
+/// 0 = hardware concurrency, n > 1 = explicit worker count.
+using SessionOptions = PlannerOptions;
+
+/// A lightweight, copyable view: sessions hold no catalog state of their
+/// own, only options. The database must outlive every session.
+class Session {
+ public:
+  explicit Session(TPDatabase* db, SessionOptions options = {});
+
+  TPDatabase* database() const { return db_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Parses, plans and executes one query under this session's options.
+  StatusOr<TPRelation> Query(const std::string& text) const;
+
+  /// Executes an already-built logical plan.
+  StatusOr<TPRelation> Execute(const LogicalPlan& plan) const;
+
+  /// Plans and runs `text`, rendering the logical tree, the lowered
+  /// pipeline and — for parallel runs — the per-worker timings.
+  StatusOr<std::string> Explain(const std::string& text) const;
+
+ private:
+  TPDatabase* db_;
+  SessionOptions options_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_EXEC_SESSION_H_

@@ -1,0 +1,164 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+
+namespace tpdb {
+
+namespace {
+/// Which pool owns the current thread, and its worker index there. The
+/// index is only meaningful against `current_pool`: a worker of pool A
+/// touching pool B (e.g. a task submitting to the shared Default() pool)
+/// must be treated as an external thread by B.
+thread_local const ThreadPool* current_pool = nullptr;
+thread_local int current_worker = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  TPDB_CHECK(task != nullptr);
+  // Prefer the submitting worker's own queue (locality); round-robin from
+  // external threads — including workers of OTHER pools, whose index
+  // would be meaningless (or out of bounds) here.
+  const size_t target =
+      current_pool == this && current_worker >= 0
+          ? static_cast<size_t>(current_worker)
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
+  // Count before publish: a taker decrements at take, so the counter must
+  // never be behind the queue contents (underflow would read as "busy").
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(size_t self) {
+  // Own queue first; stealing happens from the back of a victim's queue.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      std::function<void()> task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return task;
+    }
+  }
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      std::function<void()> task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+bool ThreadPool::RunOneTask() {
+  const size_t self = current_pool == this && current_worker >= 0
+                          ? static_cast<size_t>(current_worker)
+                          : 0;
+  std::function<void()> task = TakeTask(self);
+  if (task == nullptr) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  current_pool = this;
+  current_worker = static_cast<int>(self);
+  while (true) {
+    std::function<void()> task = TakeTask(self);
+    if (task != nullptr) {
+      // pending_ counts *queued* tasks, so decrement at take: idle
+      // workers must not spin while someone else runs a long task.
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_) return;
+    // Re-check under the wake lock: a Submit may have raced the scan.
+    if (pending_.load(std::memory_order_relaxed) > 0) continue;
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+int ThreadPool::CurrentWorker() { return current_worker; }
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool(HardwareParallelism());
+  return pool;
+}
+
+size_t ThreadPool::HardwareParallelism() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  TPDB_CHECK(fn != nullptr);
+  if (pool_ == nullptr) {
+    Finish(state_, fn());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->outstanding;
+  }
+  // The task captures the shared state, not the group: the group object may
+  // be gone by the time a stolen task finishes.
+  pool_->Submit(
+      [state = state_, fn = std::move(fn)] { Finish(state, fn()); });
+}
+
+void TaskGroup::Finish(const std::shared_ptr<State>& state, Status status) {
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->first_error.ok() && !status.ok())
+    state->first_error = std::move(status);
+  if (state->outstanding > 0 && --state->outstanding == 0)
+    state->done_cv.notify_all();
+}
+
+Status TaskGroup::Wait() {
+  if (pool_ == nullptr) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->first_error;
+  }
+  // Help: run queued tasks (this group's or anyone's — progress either way)
+  // instead of blocking, so nested or saturated pools cannot deadlock.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->outstanding == 0) return state_->first_error;
+    }
+    if (pool_->RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->outstanding == 0) return state_->first_error;
+    state_->done_cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace tpdb

@@ -1,0 +1,118 @@
+// Work-stealing thread pool + task scheduler: the core of the parallel
+// execution runtime (morsel-driven parallelism in the style of Leis et al.;
+// PostgreSQL's parallel executor is the shape the paper's system plugs
+// into).
+//
+// Each worker owns a deque of tasks: it pops from the front of its own
+// queue and steals from the back of a victim's queue when its own is
+// empty. Submission round-robins across workers so independent sessions
+// spread immediately.
+//
+// TaskGroup is the scheduler layer: a batch of Status-returning tasks
+// submitted together. Wait() *helps* — it runs queued tasks on the calling
+// thread while waiting — so a query never deadlocks even when the pool is
+// saturated by other sessions (and parallelism degrades gracefully to the
+// caller's thread when the pool has fewer threads than tasks).
+#ifndef TPDB_EXEC_THREAD_POOL_H_
+#define TPDB_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpdb {
+
+/// Fixed-size pool of worker threads with per-worker work-stealing deques.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. Never blocks; tasks run in unspecified order.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is available.
+  /// Returns false when every queue was empty at the time of the scan.
+  bool RunOneTask();
+
+  /// Index of the pool worker running the current thread, or -1 when called
+  /// from a thread the pool does not own (e.g. a session thread helping via
+  /// TaskGroup::Wait).
+  static int CurrentWorker();
+
+  /// Process-wide shared pool, lazily created with HardwareParallelism()
+  /// threads. Never destroyed (intentionally leaked: sessions may hold it
+  /// until exit).
+  static ThreadPool* Default();
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static size_t HardwareParallelism();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops from worker `self`'s front, else steals from another queue's
+  /// back. Returns an empty function when nothing was found.
+  std::function<void()> TakeTask(size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  /// Round-robin cursor for external submissions.
+  std::atomic<size_t> next_queue_{0};
+  /// Tasks queued but not yet taken (idle/wake bookkeeping only).
+  std::atomic<size_t> pending_{0};
+};
+
+/// A batch of tasks whose completion (and first error) the submitter waits
+/// for. The completion state is shared with the tasks, so the group object
+/// itself may be destroyed as soon as Wait() returns.
+class TaskGroup {
+ public:
+  /// `pool` may be null: tasks then run inline in Spawn (serial fallback).
+  explicit TaskGroup(ThreadPool* pool)
+      : pool_(pool), state_(std::make_shared<State>()) {}
+
+  /// Schedules `fn` on the pool. The first non-OK status wins Wait().
+  void Spawn(std::function<Status()> fn);
+
+  /// Blocks until every spawned task finished, helping run queued tasks on
+  /// the calling thread. Returns the first error (OK if none).
+  Status Wait();
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t outstanding = 0;
+    Status first_error = Status::OK();
+  };
+
+  static void Finish(const std::shared_ptr<State>& state, Status status);
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_EXEC_THREAD_POOL_H_

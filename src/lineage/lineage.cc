@@ -10,6 +10,7 @@ LineageManager::LineageManager() {
 }
 
 VarId LineageManager::RegisterVariable(double prob, std::string name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TPDB_CHECK(prob >= 0.0 && prob <= 1.0) << "probability out of range: " << prob;
   const VarId id = static_cast<VarId>(var_probs_.size());
   var_probs_.push_back(prob);
@@ -21,23 +22,28 @@ VarId LineageManager::RegisterVariable(double prob, std::string name) {
 }
 
 double LineageManager::VariableProbability(VarId v) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TPDB_CHECK_LT(v, var_probs_.size());
   return var_probs_[v];
 }
 
 void LineageManager::SetVariableProbability(VarId v, double prob) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TPDB_CHECK_LT(v, var_probs_.size());
   TPDB_CHECK(prob >= 0.0 && prob <= 1.0) << "probability out of range: " << prob;
   var_probs_[v] = prob;
   prob_cache_.clear();
+  ++prob_epoch_;
 }
 
 const std::string& LineageManager::VariableName(VarId v) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TPDB_CHECK_LT(v, var_names_.size());
   return var_names_[v];
 }
 
 StatusOr<VarId> LineageManager::FindVariable(const std::string& name) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = var_by_name_.find(name);
   if (it == var_by_name_.end())
     return Status::NotFound("no variable named " + name);
@@ -45,6 +51,7 @@ StatusOr<VarId> LineageManager::FindVariable(const std::string& name) const {
 }
 
 LineageRef LineageManager::Intern(Node n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = intern_.find(n);
   if (it != intern_.end()) return LineageRef{it->second};
   const uint32_t id = static_cast<uint32_t>(nodes_.size());
@@ -56,11 +63,13 @@ LineageRef LineageManager::Intern(Node n) {
 }
 
 LineageRef LineageManager::Var(VarId v) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TPDB_CHECK_LT(v, var_probs_.size()) << "unregistered variable";
   return Intern(Node{LineageKind::kVar, v, 0});
 }
 
 LineageRef LineageManager::Not(LineageRef a) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   switch (KindOf(a)) {
     case LineageKind::kTrue:
       return false_;
@@ -74,6 +83,7 @@ LineageRef LineageManager::Not(LineageRef a) {
 }
 
 LineageRef LineageManager::And(LineageRef a, LineageRef b) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (KindOf(a) == LineageKind::kFalse || KindOf(b) == LineageKind::kFalse)
     return false_;
   if (KindOf(a) == LineageKind::kTrue) return b;
@@ -84,6 +94,7 @@ LineageRef LineageManager::And(LineageRef a, LineageRef b) {
 }
 
 LineageRef LineageManager::Or(LineageRef a, LineageRef b) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (KindOf(a) == LineageKind::kTrue || KindOf(b) == LineageKind::kTrue)
     return true_;
   if (KindOf(a) == LineageKind::kFalse) return b;
@@ -94,6 +105,7 @@ LineageRef LineageManager::Or(LineageRef a, LineageRef b) {
 }
 
 LineageRef LineageManager::AndAll(std::span<const LineageRef> operands) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<LineageRef> ops(operands.begin(), operands.end());
   std::sort(ops.begin(), ops.end());
   ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
@@ -106,6 +118,7 @@ LineageRef LineageManager::AndAll(std::span<const LineageRef> operands) {
 }
 
 LineageRef LineageManager::OrAll(std::span<const LineageRef> operands) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<LineageRef> ops(operands.begin(), operands.end());
   std::sort(ops.begin(), ops.end());
   ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
@@ -115,10 +128,12 @@ LineageRef LineageManager::OrAll(std::span<const LineageRef> operands) {
 }
 
 LineageKind LineageManager::KindOf(LineageRef r) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return node(r).kind;
 }
 
 LineageRef LineageManager::Left(LineageRef r) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   TPDB_CHECK(n.kind == LineageKind::kNot || n.kind == LineageKind::kAnd ||
              n.kind == LineageKind::kOr);
@@ -126,18 +141,21 @@ LineageRef LineageManager::Left(LineageRef r) const {
 }
 
 LineageRef LineageManager::Right(LineageRef r) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   TPDB_CHECK(n.kind == LineageKind::kAnd || n.kind == LineageKind::kOr);
   return LineageRef{n.b};
 }
 
 VarId LineageManager::VarOf(LineageRef r) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   TPDB_CHECK(n.kind == LineageKind::kVar);
   return n.a;
 }
 
 const std::vector<VarId>& LineageManager::Variables(LineageRef r) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   std::vector<VarId>& cache = var_cache_[r.id];
   if (!cache.empty()) return cache;
@@ -167,6 +185,7 @@ const std::vector<VarId>& LineageManager::Variables(LineageRef r) {
 
 bool LineageManager::Evaluate(LineageRef r,
                               const std::vector<bool>& assignment) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   switch (n.kind) {
     case LineageKind::kTrue:
@@ -189,6 +208,7 @@ bool LineageManager::Evaluate(LineageRef r,
 }
 
 LineageRef LineageManager::Restrict(LineageRef r, VarId v, bool value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::unordered_map<uint32_t, LineageRef> memo;
   return RestrictRec(r, v, value, &memo);
 }
@@ -224,7 +244,30 @@ LineageRef LineageManager::RestrictRec(
   return result;
 }
 
+uint64_t LineageManager::probability_epoch() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return prob_epoch_;
+}
+
+bool LineageManager::LookupProbability(LineageRef r, double* out) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = prob_cache_.find(r.id);
+  if (it == prob_cache_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void LineageManager::StoreProbability(LineageRef r, double p,
+                                      uint64_t epoch) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // A concurrent SetVariableProbability invalidated this computation: its
+  // result may mix old and new marginals, so it must not enter the cache.
+  if (epoch != prob_epoch_) return;
+  prob_cache_.emplace(r.id, p);
+}
+
 bool LineageManager::Equivalent(LineageRef a, LineageRef b) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (a == b) return true;
   const std::vector<VarId>& va = Variables(a);
   const std::vector<VarId>& vb = Variables(b);

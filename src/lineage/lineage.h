@@ -11,6 +11,8 @@
 #define TPDB_LINEAGE_LINEAGE_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -33,6 +35,15 @@ enum class LineageKind : uint8_t { kTrue, kFalse, kVar, kNot, kAnd, kOr };
 /// elements, double negation, idempotence on syntactically equal children)
 /// and order commutative children canonically, then hash-cons, so
 /// structurally equal formulas receive equal ids.
+///
+/// Thread-safe: all methods may be called concurrently from the parallel
+/// execution runtime (exec/) — interning, variable registration and the
+/// memo caches are guarded by one internal lock. References returned by
+/// VariableName() and Variables() stay valid under concurrent growth (the
+/// backing containers are deques, and a memoized entry is immutable once
+/// filled). Note that concurrent interning makes node *ids* depend on
+/// thread interleaving; formulas stay structurally canonical either way,
+/// so probabilities and equivalence are unaffected.
 class LineageManager {
  public:
   LineageManager();
@@ -46,7 +57,10 @@ class LineageManager {
   VarId RegisterVariable(double prob, std::string name = "");
 
   /// Number of registered variables.
-  size_t num_variables() const { return var_probs_.size(); }
+  size_t num_variables() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return var_probs_.size();
+  }
 
   /// Marginal probability of variable `v`.
   double VariableProbability(VarId v) const;
@@ -88,7 +102,10 @@ class LineageManager {
   VarId VarOf(LineageRef r) const;
 
   /// Number of distinct nodes allocated (hash-consing statistic).
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return nodes_.size();
+  }
 
   /// Sorted distinct variables occurring in the formula (memoized).
   const std::vector<VarId>& Variables(LineageRef r);
@@ -111,6 +128,17 @@ class LineageManager {
     uint32_t a;  // child or VarId
     uint32_t b;  // second child (kAnd/kOr only)
   };
+
+  /// Probability-memo access for ProbabilityEngine (locked; the cache is
+  /// shared across engine instances and invalidated by
+  /// SetVariableProbability). Stores are epoch-guarded: a computation that
+  /// started before a SetVariableProbability ran must not repopulate the
+  /// freshly cleared cache with its stale result, so the engine snapshots
+  /// probability_epoch() up front and StoreProbability drops the value if
+  /// the epoch moved on.
+  uint64_t probability_epoch() const;
+  bool LookupProbability(LineageRef r, double* out) const;
+  void StoreProbability(LineageRef r, double p, uint64_t epoch);
 
   struct NodeKeyHash {
     size_t operator()(const Node& n) const {
@@ -135,15 +163,24 @@ class LineageManager {
   LineageRef RestrictRec(LineageRef r, VarId v, bool value,
                          std::unordered_map<uint32_t, LineageRef>* memo);
 
+  /// Guards every container below. Recursive because the construction
+  /// methods call each other (And → KindOf, AndAll → And, …).
+  mutable std::recursive_mutex mu_;
+
   std::vector<Node> nodes_;
   std::unordered_map<Node, uint32_t, NodeKeyHash, NodeKeyEq> intern_;
   std::vector<double> var_probs_;
-  std::vector<std::string> var_names_;
+  // Deque: VariableName() hands out references that must survive
+  // concurrent RegisterVariable calls.
+  std::deque<std::string> var_names_;
   std::unordered_map<std::string, VarId> var_by_name_;
-  // Memoized sorted variable sets per node id.
-  std::vector<std::vector<VarId>> var_cache_;
+  // Memoized sorted variable sets per node id. Deque for the same
+  // reference-stability reason; an entry is immutable once filled.
+  std::deque<std::vector<VarId>> var_cache_;
   // Probability memo lives here so SetVariableProbability can invalidate it.
   std::unordered_map<uint32_t, double> prob_cache_;
+  // Bumped by SetVariableProbability; guards stale memo stores.
+  uint64_t prob_epoch_ = 0;
 
   LineageRef true_;
   LineageRef false_;

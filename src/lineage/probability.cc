@@ -22,12 +22,15 @@ bool ProbabilityEngine::SharesVariables(LineageRef a, LineageRef b) {
 
 double ProbabilityEngine::Probability(LineageRef r) {
   TPDB_CHECK(!r.is_null()) << "probability of null lineage";
+  // Snapshot the memo epoch: results computed against these marginals are
+  // only cached if no SetVariableProbability intervenes.
+  epoch_ = mgr_->probability_epoch();
   return ProbRec(r);
 }
 
 double ProbabilityEngine::ProbRec(LineageRef r) {
-  auto it = mgr_->prob_cache_.find(r.id);
-  if (it != mgr_->prob_cache_.end()) return it->second;
+  double cached = 0.0;
+  if (mgr_->LookupProbability(r, &cached)) return cached;
 
   double result = 0.0;
   switch (mgr_->KindOf(r)) {
@@ -84,7 +87,7 @@ double ProbabilityEngine::ProbRec(LineageRef r) {
       break;
     }
   }
-  mgr_->prob_cache_.emplace(r.id, result);
+  mgr_->StoreProbability(r, result, epoch_);
   return result;
 }
 

@@ -46,6 +46,9 @@ class ProbabilityEngine {
 
   LineageManager* mgr_;
   uint64_t shannon_expansions_ = 0;
+  /// Memo epoch snapshotted at the top of Probability() (see
+  /// LineageManager::StoreProbability).
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace tpdb

@@ -55,8 +55,8 @@ Status EmitWindows(WindowPlan* plan, LineageManager* manager,
                    const EmitSpec& spec, TPRelation* result) {
   const WindowLayout& layout = plan->layout;
   plan->root->Open();
-  Row row;
-  while (plan->root->Next(&row)) {
+  while (const Row* row_ptr = plan->root->NextRef()) {
+    const Row& row = *row_ptr;
     const WindowClass cls = layout.ClassOf(row);
     if ((cls == WindowClass::kOverlapping && !spec.keep_overlapping) ||
         (cls == WindowClass::kUnmatched && !spec.keep_unmatched) ||
@@ -98,17 +98,49 @@ StatusOr<TPRelation> LineageAwareJoin(TPJoinKind kind, const TPRelation& r,
                                       const JoinCondition& theta,
                                       const TPJoinOptions& options,
                                       std::string name) {
-  LineageManager* manager = r.manager();
   TPRelation result(std::move(name),
                     TPJoinOutputSchema(kind, r.fact_schema(), s.fact_schema()),
-                    manager);
+                    r.manager());
+  const JoinPipelines pipelines = LineageAwareJoinPipelines(kind);
+  if (pipelines.r_driven) {
+    TPDB_RETURN_IF_ERROR(RunLineageAwareJoinPipeline(
+        kind, /*s_driven=*/false, r, s, theta, options.overlap_algorithm,
+        &result));
+  }
+  if (pipelines.s_driven) {
+    TPDB_RETURN_IF_ERROR(RunLineageAwareJoinPipeline(
+        kind, /*s_driven=*/true, r, s, theta, options.overlap_algorithm,
+        &result));
+  }
+  return result;
+}
 
+}  // namespace
+
+JoinPipelines LineageAwareJoinPipelines(TPJoinKind kind) {
+  JoinPipelines pipelines;
+  pipelines.r_driven = kind != TPJoinKind::kRightOuter;
+  pipelines.s_driven =
+      kind == TPJoinKind::kRightOuter || kind == TPJoinKind::kFullOuter;
+  return pipelines;
+}
+
+Status RunLineageAwareJoinPipeline(TPJoinKind kind, bool s_driven,
+                                   const TPRelation& r, const TPRelation& s,
+                                   const JoinCondition& theta,
+                                   OverlapAlgorithm algorithm,
+                                   TPRelation* result,
+                                   const OverlapProbeSide* probe) {
+  TPDB_CHECK(result != nullptr);
+  LineageManager* manager = r.manager();
   const WindowStage stage =
       kind == TPJoinKind::kInner ? WindowStage::kOverlap : WindowStage::kWuon;
 
-  if (kind != TPJoinKind::kRightOuter) {
+  if (!s_driven) {
+    TPDB_CHECK(kind != TPJoinKind::kRightOuter)
+        << "right outer join has no r-driven pipeline";
     StatusOr<WindowPlan> plan =
-        MakeWindowPlan(r, s, theta, stage, options.overlap_algorithm);
+        MakeWindowPlan(r, s, theta, stage, algorithm, probe);
     if (!plan.ok()) return plan.status();
     EmitSpec spec;
     spec.swapped = false;
@@ -130,25 +162,22 @@ StatusOr<TPRelation> LineageAwareJoin(TPJoinKind kind, const TPRelation& r,
       default:
         break;
     }
-    TPDB_RETURN_IF_ERROR(EmitWindows(&*plan, manager, spec, &result));
+    return EmitWindows(&*plan, manager, spec, result);
   }
 
-  if (kind == TPJoinKind::kRightOuter || kind == TPJoinKind::kFullOuter) {
-    StatusOr<WindowPlan> plan = MakeWindowPlan(
-        s, r, SwapJoinCondition(theta), stage, options.overlap_algorithm);
-    if (!plan.ok()) return plan.status();
-    EmitSpec spec;
-    spec.swapped = true;
-    // WO(r;s,θ) = WO(s;r,θ): the full-outer join already emitted the
-    // overlapping windows from the first pipeline.
-    spec.keep_overlapping = kind == TPJoinKind::kRightOuter;
-    TPDB_RETURN_IF_ERROR(EmitWindows(&*plan, manager, spec, &result));
-  }
-
-  return result;
+  TPDB_CHECK(kind == TPJoinKind::kRightOuter ||
+             kind == TPJoinKind::kFullOuter)
+      << "only the outer-join kinds run an s-driven pipeline";
+  StatusOr<WindowPlan> plan =
+      MakeWindowPlan(s, r, SwapJoinCondition(theta), stage, algorithm, probe);
+  if (!plan.ok()) return plan.status();
+  EmitSpec spec;
+  spec.swapped = true;
+  // WO(r;s,θ) = WO(s;r,θ): the full-outer join already emitted the
+  // overlapping windows from the r-driven pipeline.
+  spec.keep_overlapping = kind == TPJoinKind::kRightOuter;
+  return EmitWindows(&*plan, manager, spec, result);
 }
-
-}  // namespace
 
 StatusOr<TPRelation> TPJoin(TPJoinKind kind, const TPRelation& r,
                             const TPRelation& s, const JoinCondition& theta,

@@ -88,6 +88,36 @@ StatusOr<TPRelation> TPSemiJoin(const TPRelation& r, const TPRelation& s,
 Schema TPJoinOutputSchema(TPJoinKind kind, const Schema& r_facts,
                           const Schema& s_facts);
 
+// -- Pipeline-level entry points (the parallel driver's building blocks) --
+//
+// A lineage-aware join runs up to two window pipelines: the r-driven one
+// (windows per r tuple — every kind except right outer) and the s-driven
+// one (windows per s tuple — right and full outer). Each pipeline's output
+// depends on one driving tuple plus the whole other side, so exec/ can run
+// a pipeline over contiguous morsels of its driving input and concatenate
+// the partial outputs in morsel order to reproduce the serial emit order.
+
+/// Which pipelines `kind` runs.
+struct JoinPipelines {
+  bool r_driven = false;
+  bool s_driven = false;
+};
+JoinPipelines LineageAwareJoinPipelines(TPJoinKind kind);
+
+/// Runs ONE window pipeline of the lineage-aware `kind` over (r, s) —
+/// in join orientation, even for the s-driven pipeline — appending output
+/// tuples to `result`, whose schema must be TPJoinOutputSchema(kind, …).
+/// Serial LineageAwareJoin == r-driven pipeline, then s-driven pipeline.
+/// With `probe` (a MakeWindowProbeSide over the pipeline's probe input —
+/// s for the r-driven pipeline, r for the s-driven one), the window plan
+/// reuses the shared flattened table + partitioned build.
+Status RunLineageAwareJoinPipeline(TPJoinKind kind, bool s_driven,
+                                   const TPRelation& r, const TPRelation& s,
+                                   const JoinCondition& theta,
+                                   OverlapAlgorithm algorithm,
+                                   TPRelation* result,
+                                   const OverlapProbeSide* probe = nullptr);
+
 }  // namespace tpdb
 
 #endif  // TPDB_TP_OPERATORS_H_

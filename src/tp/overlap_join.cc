@@ -133,12 +133,33 @@ StatusOr<ThetaMatcher> ThetaMatcher::Make(const JoinCondition& theta,
   return ThetaMatcher(std::move(*keys), theta.predicate);
 }
 
-StatusOr<OperatorPtr> MakeOverlapWindowJoin(const Table* r_table,
-                                            const Schema& r_facts,
-                                            const Table* s_table,
-                                            const Schema& s_facts,
-                                            const JoinCondition& theta,
-                                            OverlapAlgorithm algorithm) {
+StatusOr<OverlapProbeSide> MakeOverlapProbeSide(
+    std::shared_ptr<const Table> s_table, const Schema& r_facts,
+    const Schema& s_facts, const JoinCondition& theta,
+    OverlapAlgorithm algorithm) {
+  TPDB_CHECK(s_table != nullptr);
+  OverlapProbeSide probe;
+  probe.s_table = std::move(s_table);
+  if (algorithm == OverlapAlgorithm::kNestedLoop) return probe;
+
+  StatusOr<std::vector<std::pair<int, int>>> keys =
+      ResolveCondition(theta, r_facts, s_facts);
+  if (!keys.ok()) return keys.status();
+  const int n_sf = static_cast<int>(s_facts.num_columns());
+  TemporalJoinSpec spec;  // only the right-hand fields matter for the build
+  for (const auto& [ri, si] : *keys) spec.equi_keys.emplace_back(1 + ri, si);
+  spec.right_ts = n_sf;
+  spec.right_te = n_sf + 1;
+  TableScan scan(probe.s_table.get());
+  probe.build = std::make_shared<const TemporalBuildSide>(
+      MakeTemporalBuildSide(&scan, spec));
+  return probe;
+}
+
+StatusOr<OperatorPtr> MakeOverlapWindowJoin(
+    const Table* r_table, const Schema& r_facts, const Table* s_table,
+    const Schema& s_facts, const JoinCondition& theta,
+    OverlapAlgorithm algorithm, const OverlapProbeSide* probe) {
   TPDB_CHECK(r_table != nullptr);
   TPDB_CHECK(s_table != nullptr);
   const int n_rf = static_cast<int>(r_facts.num_columns());
@@ -149,6 +170,13 @@ StatusOr<OperatorPtr> MakeOverlapWindowJoin(const Table* r_table,
       ResolveCondition(theta, r_facts, s_facts);
   if (!keys.ok()) return keys.status();
 
+  // A pre-built probe side pins the partitioned algorithm (the build is
+  // the partitioned plan's data structure).
+  if (probe != nullptr && probe->build != nullptr) {
+    TPDB_CHECK(probe->s_table.get() == s_table)
+        << "probe side built over a different s table";
+    algorithm = OverlapAlgorithm::kPartitioned;
+  }
   if (algorithm == OverlapAlgorithm::kAuto) {
     // Optimizer path: estimate from table statistics (interval columns sit
     // right after the facts in the flattened layout).
@@ -188,8 +216,13 @@ StatusOr<OperatorPtr> MakeOverlapWindowJoin(const Table* r_table,
     spec.right_te = n_sf + 1;
     spec.residual = residual;
     spec.join_type = JoinType::kLeftOuter;
-    joined = std::make_unique<TemporalOuterJoin>(std::move(left),
-                                                 std::move(right), spec);
+    if (probe != nullptr && probe->build != nullptr) {
+      joined = std::make_unique<TemporalOuterJoin>(
+          std::move(left), probe->build, right->schema(), spec);
+    } else {
+      joined = std::make_unique<TemporalOuterJoin>(std::move(left),
+                                                   std::move(right), spec);
+    }
   } else {
     ExprPtr pred = OverlapsExpr(layout.r_ts(), layout.r_te(), nl + n_sf,
                                 nl + n_sf + 1);

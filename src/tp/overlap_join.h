@@ -9,11 +9,13 @@
 #define TPDB_TP_OVERLAP_JOIN_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/operator.h"
+#include "engine/temporal_outer_join.h"
 #include "tp/tp_relation.h"
 #include "tp/window.h"
 
@@ -54,17 +56,36 @@ enum class OverlapAlgorithm {
   kAuto,
 };
 
+/// The flattened + pre-partitioned probe (s) side of an overlap join —
+/// immutable and shareable, so the parallel runtime can flatten and
+/// partition s ONCE and probe it from every morsel plan instead of paying
+/// the build per morsel. `build` is null for the nested-loop algorithm
+/// (only the flattened table is shared then).
+struct OverlapProbeSide {
+  std::shared_ptr<const Table> s_table;
+  std::shared_ptr<const TemporalBuildSide> build;
+};
+
+/// Flattens nothing: takes an already-flattened `s_table` and partitions
+/// it on the equi-keys of `theta` (for kPartitioned / kAuto).
+StatusOr<OverlapProbeSide> MakeOverlapProbeSide(
+    std::shared_ptr<const Table> s_table, const Schema& r_facts,
+    const Schema& s_facts, const JoinCondition& theta,
+    OverlapAlgorithm algorithm);
+
 /// Builds the pipelined plan computing WO(r;s,θ) ∪ {full-interval unmatched}
 /// over the flattened tables (which must stay alive while the operator
 /// runs). Output rows follow WindowLayout(r_facts, s_facts); within each rid
 /// the windows are ordered by start, which is exactly the order LAWAU
 /// expects — no extra sort is needed (the pipeline stays streaming).
-StatusOr<OperatorPtr> MakeOverlapWindowJoin(const Table* r_table,
-                                            const Schema& r_facts,
-                                            const Table* s_table,
-                                            const Schema& s_facts,
-                                            const JoinCondition& theta,
-                                            OverlapAlgorithm algorithm);
+///
+/// With a `probe` (whose s_table must be the one passed here), the
+/// partitioned algorithm probes the shared build instead of re-building;
+/// a non-null probe->build pins the partitioned algorithm.
+StatusOr<OperatorPtr> MakeOverlapWindowJoin(
+    const Table* r_table, const Schema& r_facts, const Table* s_table,
+    const Schema& s_facts, const JoinCondition& theta,
+    OverlapAlgorithm algorithm, const OverlapProbeSide* probe = nullptr);
 
 /// Resolves the equality column names of `theta` against the fact schemas.
 StatusOr<std::vector<std::pair<int, int>>> ResolveCondition(

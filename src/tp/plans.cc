@@ -10,13 +10,16 @@ namespace tpdb {
 StatusOr<WindowPlan> MakeWindowPlan(const TPRelation& r, const TPRelation& s,
                                     const JoinCondition& theta,
                                     WindowStage stage,
-                                    OverlapAlgorithm algorithm) {
+                                    OverlapAlgorithm algorithm,
+                                    const OverlapProbeSide* probe) {
   if (r.manager() != s.manager())
     return Status::InvalidArgument(
         "TP relations must share a LineageManager");
   WindowPlan plan;
   plan.r_table = std::make_unique<Table>(r.ToTable());
-  plan.s_table = std::make_unique<Table>(s.ToTable());
+  plan.s_table = probe != nullptr
+                     ? probe->s_table
+                     : std::make_shared<const Table>(s.ToTable());
   plan.layout =
       WindowLayout(static_cast<int>(r.fact_schema().num_columns()),
                    static_cast<int>(s.fact_schema().num_columns()));
@@ -24,7 +27,7 @@ StatusOr<WindowPlan> MakeWindowPlan(const TPRelation& r, const TPRelation& s,
   StatusOr<OperatorPtr> join =
       MakeOverlapWindowJoin(plan.r_table.get(), r.fact_schema(),
                             plan.s_table.get(), s.fact_schema(), theta,
-                            algorithm);
+                            algorithm, probe);
   if (!join.ok()) return join.status();
   OperatorPtr root = std::move(*join);
 
@@ -35,6 +38,14 @@ StatusOr<WindowPlan> MakeWindowPlan(const TPRelation& r, const TPRelation& s,
 
   plan.root = std::move(root);
   return plan;
+}
+
+StatusOr<OverlapProbeSide> MakeWindowProbeSide(const TPRelation& s,
+                                               const Schema& r_facts,
+                                               const JoinCondition& theta,
+                                               OverlapAlgorithm algorithm) {
+  return MakeOverlapProbeSide(std::make_shared<const Table>(s.ToTable()),
+                              r_facts, s.fact_schema(), theta, algorithm);
 }
 
 OperatorPtr MakeLawanOnly(const Table* wuo, WindowLayout layout,

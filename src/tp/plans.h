@@ -25,20 +25,32 @@ enum class WindowStage {
 
 /// A runnable window pipeline plus the materialized inputs it scans.
 /// Move-only; the tables are heap-allocated so operators' pointers stay
-/// valid across moves.
+/// valid across moves. The probe table is shared: morsel plans built by
+/// the parallel runtime all point at one flattened s.
 struct WindowPlan {
   std::unique_ptr<Table> r_table;
-  std::unique_ptr<Table> s_table;
+  std::shared_ptr<const Table> s_table;
   WindowLayout layout{0, 0};
   OperatorPtr root;
 };
 
-/// Builds the NJ pipeline over `r` and `s` up to `stage`.
+/// Builds the NJ pipeline over `r` and `s` up to `stage`. With `probe`
+/// (from MakeWindowProbeSide over the same `s`), the plan reuses the
+/// shared flattened table and partitioned build instead of re-deriving
+/// them — the parallel driver's path, where `r` is one morsel.
 StatusOr<WindowPlan> MakeWindowPlan(const TPRelation& r, const TPRelation& s,
                                     const JoinCondition& theta,
                                     WindowStage stage,
                                     OverlapAlgorithm algorithm =
-                                        OverlapAlgorithm::kPartitioned);
+                                        OverlapAlgorithm::kPartitioned,
+                                    const OverlapProbeSide* probe = nullptr);
+
+/// Flattens and (for the partitioned algorithm) hash-partitions `s` once,
+/// for sharing across many MakeWindowPlan calls.
+StatusOr<OverlapProbeSide> MakeWindowProbeSide(const TPRelation& s,
+                                               const Schema& r_facts,
+                                               const JoinCondition& theta,
+                                               OverlapAlgorithm algorithm);
 
 /// Continues a materialized WUO table with LAWAN only (used by the Fig. 6
 /// bench to time WN in isolation). `wuo` must outlive the operator.

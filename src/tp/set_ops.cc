@@ -52,8 +52,8 @@ Status EmitSetWindows(const TPRelation& r, const TPRelation& s,
   if (!plan.ok()) return plan.status();
   const WindowLayout& layout = plan->layout;
   plan->root->Open();
-  Row row;
-  while (plan->root->Next(&row)) {
+  while (const Row* row_ptr = plan->root->NextRef()) {
+    const Row& row = *row_ptr;
     const WindowClass cls = layout.ClassOf(row);
     SetConcat concat = SetConcat::kSkip;
     if (cls == WindowClass::kUnmatched)
@@ -97,50 +97,96 @@ Status EmitSetWindows(const TPRelation& r, const TPRelation& s,
   return Status::OK();
 }
 
-StatusOr<TPRelation> RunSetOp(const TPRelation& r, const TPRelation& s,
-                              const SetOpSpec& spec, std::string name) {
-  StatusOr<JoinCondition> theta = FullFactEquality(r, s);
-  if (!theta.ok()) return theta.status();
+/// The window-concatenation recipe of each set operation.
+SetOpSpec SpecOf(TPSetOpKind kind) {
+  SetOpSpec spec;
+  switch (kind) {
+    case TPSetOpKind::kUnion:
+      spec.unmatched = SetConcat::kLinR;
+      spec.negating = SetConcat::kOr;
+      spec.include_s_unmatched = true;
+      break;
+    case TPSetOpKind::kIntersect:
+      spec.negating = SetConcat::kAnd;
+      break;
+    case TPSetOpKind::kDifference:
+      spec.unmatched = SetConcat::kLinR;
+      spec.negating = SetConcat::kAndNot;
+      break;
+  }
+  return spec;
+}
+
+StatusOr<TPRelation> RunSetOp(TPSetOpKind kind, const TPRelation& r,
+                              const TPRelation& s, std::string name) {
   TPRelation result(std::move(name), r.fact_schema(), r.manager());
   TPDB_RETURN_IF_ERROR(
-      EmitSetWindows(r, s, *theta, spec, /*swapped=*/false, &result));
-  if (spec.include_s_unmatched) {
-    // Second pipeline with the inputs exchanged: its unmatched windows are
-    // the facts valid only in s.
-    JoinCondition swapped_theta = SwapJoinCondition(*theta);
-    TPDB_RETURN_IF_ERROR(EmitSetWindows(s, r, swapped_theta, spec,
-                                        /*swapped=*/true, &result));
+      RunSetOpPipeline(kind, /*s_driven=*/false, r, s, &result));
+  if (SetOpHasSDrivenPipeline(kind)) {
+    TPDB_RETURN_IF_ERROR(
+        RunSetOpPipeline(kind, /*s_driven=*/true, r, s, &result));
   }
   return result;
 }
 
 }  // namespace
 
+const char* TPSetOpKindName(TPSetOpKind kind) {
+  switch (kind) {
+    case TPSetOpKind::kUnion:
+      return "union";
+    case TPSetOpKind::kIntersect:
+      return "intersect";
+    case TPSetOpKind::kDifference:
+      return "except";
+  }
+  return "?";
+}
+
+bool SetOpHasSDrivenPipeline(TPSetOpKind kind) {
+  return SpecOf(kind).include_s_unmatched;
+}
+
+Status RunSetOpPipeline(TPSetOpKind kind, bool s_driven, const TPRelation& r,
+                        const TPRelation& s, TPRelation* result) {
+  TPDB_CHECK(result != nullptr);
+  StatusOr<JoinCondition> theta = FullFactEquality(r, s);
+  if (!theta.ok()) return theta.status();
+  const SetOpSpec spec = SpecOf(kind);
+  if (!s_driven)
+    return EmitSetWindows(r, s, *theta, spec, /*swapped=*/false, result);
+  // Pipeline with the inputs exchanged: its unmatched windows are the
+  // facts valid only in s.
+  TPDB_CHECK(spec.include_s_unmatched)
+      << TPSetOpKindName(kind) << " has no s-driven pipeline";
+  return EmitSetWindows(s, r, SwapJoinCondition(*theta), spec,
+                        /*swapped=*/true, result);
+}
+
+StatusOr<TPRelation> TPSetOp(TPSetOpKind kind, const TPRelation& r,
+                             const TPRelation& s, std::string result_name) {
+  if (result_name.empty())
+    result_name =
+        r.name() + "_" + TPSetOpKindName(kind) + "_" + s.name();
+  return RunSetOp(kind, r, s, std::move(result_name));
+}
+
 StatusOr<TPRelation> TPUnion(const TPRelation& r, const TPRelation& s,
                              std::string result_name) {
   if (result_name.empty()) result_name = r.name() + "_union_" + s.name();
-  SetOpSpec spec;
-  spec.unmatched = SetConcat::kLinR;
-  spec.negating = SetConcat::kOr;
-  spec.include_s_unmatched = true;
-  return RunSetOp(r, s, spec, std::move(result_name));
+  return RunSetOp(TPSetOpKind::kUnion, r, s, std::move(result_name));
 }
 
 StatusOr<TPRelation> TPIntersect(const TPRelation& r, const TPRelation& s,
                                  std::string result_name) {
   if (result_name.empty()) result_name = r.name() + "_intersect_" + s.name();
-  SetOpSpec spec;
-  spec.negating = SetConcat::kAnd;
-  return RunSetOp(r, s, spec, std::move(result_name));
+  return RunSetOp(TPSetOpKind::kIntersect, r, s, std::move(result_name));
 }
 
 StatusOr<TPRelation> TPDifference(const TPRelation& r, const TPRelation& s,
                                   std::string result_name) {
   if (result_name.empty()) result_name = r.name() + "_except_" + s.name();
-  SetOpSpec spec;
-  spec.unmatched = SetConcat::kLinR;
-  spec.negating = SetConcat::kAndNot;
-  return RunSetOp(r, s, spec, std::move(result_name));
+  return RunSetOp(TPSetOpKind::kDifference, r, s, std::move(result_name));
 }
 
 }  // namespace tpdb

@@ -38,6 +38,32 @@ StatusOr<TPRelation> TPIntersect(const TPRelation& r, const TPRelation& s,
 StatusOr<TPRelation> TPDifference(const TPRelation& r, const TPRelation& s,
                                   std::string result_name = "");
 
+/// The three set operations, as a tag for the generic entry points below.
+enum class TPSetOpKind { kUnion, kIntersect, kDifference };
+
+const char* TPSetOpKindName(TPSetOpKind kind);
+
+/// Dispatches to TPUnion / TPIntersect / TPDifference.
+StatusOr<TPRelation> TPSetOp(TPSetOpKind kind, const TPRelation& r,
+                             const TPRelation& s, std::string result_name = "");
+
+// -- Pipeline-level entry points (the parallel driver's building blocks) --
+//
+// A set operation runs one r-driven window pipeline (unmatched/negating
+// windows of r tuples) and — for union only — a second, s-driven pipeline
+// (the unmatched windows of s). Since θ is equality on ALL fact columns,
+// tuples that can interact have equal facts, so exec/ hash-partitions both
+// inputs by fact and runs fully independent pipeline pairs per partition.
+
+/// True iff `kind` also runs the s-driven (unmatched-of-s) pipeline.
+bool SetOpHasSDrivenPipeline(TPSetOpKind kind);
+
+/// Runs ONE pipeline of the set operation over (r, s) — in operation
+/// orientation, even for the s-driven pipeline — appending output tuples
+/// to `result` (schema = r's fact schema).
+Status RunSetOpPipeline(TPSetOpKind kind, bool s_driven, const TPRelation& r,
+                        const TPRelation& s, TPRelation* result);
+
 }  // namespace tpdb
 
 #endif  // TPDB_TP_SET_OPS_H_

@@ -43,6 +43,25 @@ Status TPRelation::AppendDerived(Row fact, Interval interval,
   return Status::OK();
 }
 
+Status TPRelation::Absorb(TPRelation&& other) {
+  if (other.manager_ != manager_)
+    return Status::InvalidArgument(
+        "Absorb: '" + other.name_ + "' is bound to a different "
+        "LineageManager than '" + name_ + "'");
+  if (other.fact_schema_.num_columns() != fact_schema_.num_columns())
+    return Status::InvalidArgument(
+        "Absorb: fact arity mismatch between '" + name_ + "' and '" +
+        other.name_ + "'");
+  if (tuples_.empty()) {
+    tuples_ = std::move(other.tuples_);
+  } else {
+    tuples_.reserve(tuples_.size() + other.tuples_.size());
+    for (TPTuple& t : other.tuples_) tuples_.push_back(std::move(t));
+  }
+  other.tuples_.clear();
+  return Status::OK();
+}
+
 Status TPRelation::Validate() const {
   // Group tuple intervals by fact and check pairwise disjointness.
   std::map<Row, std::vector<Interval>, bool (*)(const Row&, const Row&)>

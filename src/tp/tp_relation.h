@@ -63,6 +63,12 @@ class TPRelation {
   /// Appends a *derived* tuple with an existing lineage (used by operators).
   Status AppendDerived(Row fact, Interval interval, LineageRef lineage);
 
+  /// Moves every tuple of `other` (in order) to the end of this relation —
+  /// the merge step of the parallel drivers, which concatenate per-morsel
+  /// partial results. Both relations must share the manager and have
+  /// fact schemas of equal arity. `other` is left empty.
+  Status Absorb(TPRelation&& other);
+
   /// Verifies the duplicate-free-in-time invariant and basic well-formedness
   /// (non-empty intervals, non-null lineages, fact arity).
   Status Validate() const;

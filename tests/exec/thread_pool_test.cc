@@ -1,0 +1,160 @@
+// Scheduler-level tests: the pool runs everything it is given, propagates
+// task errors, helps when saturated, and the morsel partitioners cover
+// their input exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "exec/morsel.h"
+#include "exec/thread_pool.h"
+
+namespace tpdb {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 200; ++i) {
+    group.Spawn([&count]() -> Status {
+      count.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstError) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    group.Spawn([&count, i]() -> Status {
+      count.fetch_add(1, std::memory_order_relaxed);
+      if (i % 10 == 3) return Status::Internal("task failed");
+      return Status::OK();
+    });
+  }
+  const Status status = group.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(count.load(), 50) << "errors must not cancel sibling tasks";
+}
+
+TEST(ThreadPoolTest, NullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    group.Spawn([&count]() -> Status {
+      ++count;  // single-threaded by construction
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ThreadPoolTest, WaiterHelpsWhenPoolIsSmall) {
+  // A 1-thread pool with many tasks: Wait() must help drain the queues
+  // rather than deadlock or serialize behind a stuck worker.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Spawn([&count]() -> Status {
+      count.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIsInRangeInsideTasks) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<int> seen;
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Spawn([&]() -> Status {
+      const int worker = ThreadPool::CurrentWorker();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(worker);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  for (const int worker : seen) {
+    // -1 = the test thread helping from Wait(); otherwise a pool index.
+    EXPECT_GE(worker, -1);
+    EXPECT_LT(worker, 3);
+  }
+  EXPECT_EQ(ThreadPool::CurrentWorker(), -1);
+}
+
+TEST(MorselTest, MorselsTileTheInputExactly) {
+  for (const size_t n : {0u, 1u, 7u, 1024u, 1025u, 5000u}) {
+    const std::vector<Morsel> morsels = MakeMorsels(n, 256);
+    size_t expected_begin = 0;
+    for (const Morsel& m : morsels) {
+      EXPECT_EQ(m.begin, expected_begin);
+      EXPECT_LT(m.begin, m.end);
+      expected_begin = m.end;
+    }
+    EXPECT_EQ(expected_begin, n);
+  }
+}
+
+TEST(MorselTest, MaxMorselsGrowsTheChunk) {
+  const std::vector<Morsel> morsels = MakeMorsels(10000, 16, 8);
+  EXPECT_LE(morsels.size(), 8u);
+  size_t covered = 0;
+  for (const Morsel& m : morsels) covered += m.size();
+  EXPECT_EQ(covered, 10000u);
+}
+
+TEST(MorselTest, HashPartitionIsALosslessFactRouting) {
+  LineageManager manager;
+  Random rng(7);
+  UniformWorkloadOptions options;
+  options.num_tuples = 800;
+  options.num_facts = 60;
+  StatusOr<TPRelation> rel =
+      MakeUniformWorkload(&manager, "r", options, &rng);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+
+  const std::vector<TPRelation> parts = HashPartitionRelation(*rel, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  size_t total = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    total += parts[i].size();
+    // Tuples route by fact hash, so equal facts can never split across
+    // partitions.
+    for (const TPTuple& t : parts[i].tuples())
+      EXPECT_EQ(HashFactRow(t.fact) % 5, i);
+  }
+  EXPECT_EQ(total, rel->size());
+}
+
+TEST(MorselTest, SliceRelationCopiesTheRange) {
+  LineageManager manager;
+  Schema schema;
+  schema.AddColumn({"k", DatumType::kInt64});
+  TPRelation rel("r", schema, &manager);
+  for (int64_t i = 0; i < 10; ++i)
+    ASSERT_TRUE(
+        rel.AppendBase({Datum(i)}, Interval(i, i + 1), 0.5).ok());
+  const TPRelation slice = SliceRelation(rel, Morsel{3, 7});
+  ASSERT_EQ(slice.size(), 4u);
+  for (size_t i = 0; i < slice.size(); ++i) {
+    EXPECT_EQ(slice.tuple(i).fact[0].AsInt64(),
+              rel.tuple(i + 3).fact[0].AsInt64());
+    EXPECT_EQ(slice.tuple(i).lineage, rel.tuple(i + 3).lineage);
+  }
+}
+
+}  // namespace
+}  // namespace tpdb
