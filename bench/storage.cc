@@ -1,0 +1,242 @@
+// Snapshot persistence & cold-scan throughput, emitting BENCH_storage.json:
+//   * SaveSnapshot / LoadSnapshot wall time and MB/s over a time-ordered
+//     uniform workload;
+//   * in-memory scan vs. cold (mmap segment) scan vs. zone-map-pruned
+//     time-range scan, with segments scanned/skipped counters;
+//   * a round-trip gate: every relation of the reloaded database must be
+//     element-wise identical (facts, intervals, exact probabilities) to
+//     the source — the process exits non-zero on any mismatch, which is
+//     what CI keys off.
+//
+// Like bench_exec_parallel this is a plain main() (machine-readable output
+// and explicit sweeps matter more than statistical repetition):
+//
+//   ./bench/bench_storage [out.json] [existing.tpdb]
+//
+// With an existing .tpdb (e.g. from examples/ingest_snapshot) the workload
+// generation is skipped and the benches run over that snapshot's contents.
+// TPDB_BENCH_SCALE multiplies the generated workload size (default 20000
+// tuples/side).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "api/planner.h"
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "storage/snapshot.h"
+
+namespace tpdb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double TimeBestOf(int reps, const std::function<void()>& run) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const Clock::time_point start = Clock::now();
+    run();
+    best = std::min(
+        best, std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return best;
+}
+
+/// Appends `raw`'s tuples to a fresh relation named `name` in ascending
+/// interval-start order — the natural layout of append-in-time-order
+/// ingest, and the one that makes temporal zone maps selective.
+StatusOr<TPRelation> TimeOrdered(const std::string& name,
+                                 const TPRelation& raw) {
+  std::vector<size_t> order(raw.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return raw.tuple(a).interval < raw.tuple(b).interval;
+  });
+  TPRelation sorted(name, raw.fact_schema(), raw.manager());
+  for (const size_t i : order) {
+    const TPTuple& t = raw.tuple(i);
+    TPDB_RETURN_IF_ERROR(sorted.AppendDerived(t.fact, t.interval, t.lineage));
+  }
+  return sorted;
+}
+
+bool RelationsEqual(const TPRelation& a, const TPRelation& b) {
+  if (a.size() != b.size() ||
+      !(a.fact_schema() == b.fact_schema()))
+    return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.tuple(i).fact != b.tuple(i).fact ||
+        a.tuple(i).interval != b.tuple(i).interval ||
+        a.Probability(i) != b.Probability(i))
+      return false;
+  }
+  return true;
+}
+
+struct ScanResult {
+  std::string name;
+  double seconds = 0.0;
+  size_t rows = 0;
+  StorageStats storage;
+};
+
+/// Times `query` on `db` (best of `reps`), then replays it once with an
+/// ExecStats registry to harvest the storage counters.
+ScanResult MeasureScan(const std::string& name, TPDatabase* db,
+                       const std::string& query, int reps) {
+  ScanResult result;
+  result.name = name;
+  result.seconds = TimeBestOf(reps, [&] {
+    StatusOr<TPRelation> out = db->Query(query);
+    TPDB_CHECK(out.ok()) << out.status().ToString();
+    result.rows = out->size();
+  });
+  StatusOr<LogicalPlan> plan = db->Plan(query);
+  TPDB_CHECK(plan.ok()) << plan.status().ToString();
+  ExecStats stats;
+  Planner planner(db);
+  StatusOr<TPRelation> out = planner.Execute(*plan, &stats);
+  TPDB_CHECK(out.ok()) << out.status().ToString();
+  result.storage = stats.storage();
+  std::printf("%-16s %9.3f ms  rows=%-8zu segments=%llu/%llu skipped\n",
+              name.c_str(), result.seconds * 1000.0, result.rows,
+              static_cast<unsigned long long>(result.storage.segments_scanned),
+              static_cast<unsigned long long>(
+                  result.storage.segments_skipped));
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_storage.json";
+  const std::string preloaded = argc > 2 ? argv[2] : "";
+  const char* scale_env = std::getenv("TPDB_BENCH_SCALE");
+  const int64_t scale = scale_env != nullptr && std::atoll(scale_env) > 0
+                            ? std::atoll(scale_env)
+                            : 1;
+  const int64_t tuples = 20000 * scale;
+  const TimePoint history = 20000;
+  const int reps = 3;
+
+  // -- Source database ---------------------------------------------------
+  TPDatabase db;
+  if (!preloaded.empty()) {
+    const Status status = db.LoadSnapshot(preloaded);
+    TPDB_CHECK(status.ok()) << status.ToString();
+    // `db` is the in-memory baseline of the scan sweep: detach the cold
+    // backing the load attached, or "scan_inmemory" would itself run the
+    // cold segment-scan path.
+    for (const std::string& name : db.RelationNames())
+      (*db.Get(name))->set_cold_storage(nullptr);
+    std::printf("loaded workload from %s\n", preloaded.c_str());
+  } else {
+    Random rng(20260729);
+    UniformWorkloadOptions options;
+    options.num_tuples = tuples;
+    options.num_facts = std::max<int64_t>(tuples / 40, 8);
+    options.history_length = history;
+    options.avg_duration = 120.0;
+    for (const char* name : {"r", "s"}) {
+      StatusOr<TPRelation> raw = MakeUniformWorkload(
+          db.manager(), std::string(name) + "_raw", options, &rng);
+      TPDB_CHECK(raw.ok()) << raw.status().ToString();
+      StatusOr<TPRelation> sorted = TimeOrdered(name, *raw);
+      TPDB_CHECK(sorted.ok()) << sorted.status().ToString();
+      TPDB_CHECK(db.Register(std::move(*sorted)).ok());
+    }
+  }
+  const std::string rel = db.RelationNames().front();
+
+  // -- Save / load throughput -------------------------------------------
+  const std::string snapshot_path = out_path + ".scratch.tpdb";
+  const double save_seconds = TimeBestOf(reps, [&] {
+    const Status status = db.SaveSnapshot(snapshot_path);
+    TPDB_CHECK(status.ok()) << status.ToString();
+  });
+  std::FILE* f = std::fopen(snapshot_path.c_str(), "rb");
+  TPDB_CHECK(f != nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long file_bytes = std::ftell(f);
+  std::fclose(f);
+  const double mb = static_cast<double>(file_bytes) / (1024.0 * 1024.0);
+
+  const double load_seconds = TimeBestOf(reps, [&] {
+    TPDatabase fresh;
+    const Status status = fresh.LoadSnapshot(snapshot_path);
+    TPDB_CHECK(status.ok()) << status.ToString();
+  });
+  std::printf("snapshot: %.2f MB  save %.3f ms (%.0f MB/s)  load %.3f ms "
+              "(%.0f MB/s)\n",
+              mb, save_seconds * 1000.0, mb / save_seconds,
+              load_seconds * 1000.0, mb / load_seconds);
+
+  // -- Round-trip gate ---------------------------------------------------
+  TPDatabase reloaded;
+  TPDB_CHECK(reloaded.LoadSnapshot(snapshot_path).ok());
+  bool roundtrip_ok = db.RelationNames() == reloaded.RelationNames();
+  for (const std::string& name : db.RelationNames())
+    roundtrip_ok = roundtrip_ok &&
+                   RelationsEqual(**db.Get(name), **reloaded.Get(name));
+  std::printf("roundtrip: %s\n", roundtrip_ok ? "OK" : "MISMATCH");
+
+  // -- Scan sweep --------------------------------------------------------
+  // Temporal bounds of the relation drive the query windows.
+  const TPRelation& source = **db.Get(rel);
+  TimePoint lo = 0, hi = 1;
+  for (size_t i = 0; i < source.size(); ++i) {
+    lo = std::min(lo, source.tuple(i).interval.start);
+    hi = std::max(hi, source.tuple(i).interval.end);
+  }
+  const TimePoint cut = lo + (hi - lo) * 95 / 100;  // last 5% of history
+  const std::string full =
+      "SELECT * FROM " + rel + " WHERE _ts >= " + std::to_string(lo);
+  const std::string pruned = "SELECT * FROM " + rel + " WHERE _te > " +
+                             std::to_string(cut) + " AND _ts < " +
+                             std::to_string(hi);
+  std::vector<ScanResult> scans;
+  scans.push_back(MeasureScan("scan_inmemory", &db, full, reps));
+  scans.push_back(MeasureScan("scan_cold", &reloaded, full, reps));
+  scans.push_back(MeasureScan("scan_pruned", &reloaded, pruned, reps));
+
+  // -- JSON --------------------------------------------------------------
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  TPDB_CHECK(out != nullptr) << "cannot write " << out_path;
+  std::fprintf(out, "{\n  \"workload\": {\"relations\": %zu, "
+               "\"tuples_per_relation\": %zu},\n",
+               db.RelationNames().size(), source.size());
+  std::fprintf(out,
+               "  \"snapshot\": {\"file_bytes\": %ld, \"save_seconds\": "
+               "%.6f, \"save_mb_per_s\": %.1f, \"load_seconds\": %.6f, "
+               "\"load_mb_per_s\": %.1f},\n",
+               file_bytes, save_seconds, mb / save_seconds, load_seconds,
+               mb / load_seconds);
+  std::fprintf(out, "  \"scans\": [\n");
+  for (size_t i = 0; i < scans.size(); ++i) {
+    const ScanResult& s = scans[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"seconds\": %.6f, \"rows\": %zu, "
+        "\"segments_scanned\": %llu, \"segments_skipped\": %llu, "
+        "\"bytes_mapped\": %llu, \"decode_seconds\": %.6f}%s\n",
+        s.name.c_str(), s.seconds, s.rows,
+        static_cast<unsigned long long>(s.storage.segments_scanned),
+        static_cast<unsigned long long>(s.storage.segments_skipped),
+        static_cast<unsigned long long>(s.storage.bytes_mapped),
+        s.storage.decode_seconds, i + 1 < scans.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"roundtrip_ok\": %s\n}\n",
+               roundtrip_ok ? "true" : "false");
+  std::fclose(out);
+  std::remove(snapshot_path.c_str());
+  std::printf("wrote %s\n", out_path.c_str());
+  return roundtrip_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tpdb
+
+int main(int argc, char** argv) { return tpdb::Main(argc, argv); }

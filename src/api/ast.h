@@ -121,6 +121,23 @@ struct SelectStatement {
   bool min_prob_strict = false;
 };
 
+// -- Top-level statements -------------------------------------------------
+
+/// Statement forms of the query language beyond SELECT.
+enum class StatementKind {
+  kSelect,        ///< SELECT ... (or a legacy one-liner)
+  kSaveSnapshot,  ///< SAVE SNAPSHOT 'path'
+  kLoadSnapshot,  ///< LOAD SNAPSHOT 'path'
+};
+
+/// One parsed top-level statement. Only the payload of its `kind` is
+/// meaningful.
+struct ParsedStatement {
+  StatementKind kind = StatementKind::kSelect;
+  SelectStatement select;      ///< kSelect
+  std::string snapshot_path;   ///< kSaveSnapshot / kLoadSnapshot
+};
+
 }  // namespace tpdb
 
 #endif  // TPDB_API_AST_H_

@@ -107,7 +107,7 @@ StatusOr<TPRelation> TPDatabase::Query(const std::string& text) {
 }
 
 StatusOr<LogicalPlan> TPDatabase::Plan(const std::string& text) const {
-  StatusOr<SelectStatement> stmt = ParseQuery(text);
+  StatusOr<ParsedStatement> stmt = ParseStatement(text);
   if (!stmt.ok()) return stmt.status();
   return BuildLogicalPlan(*stmt);
 }
@@ -137,6 +137,46 @@ StatusOr<std::string> TPDatabase::Explain(const LogicalPlan& plan) {
   std::string out = "Logical plan:\n" + plan.ToString();
   out += "\nLowered pipeline (bottom-up):\n" + stats.ToString();
   return out;
+}
+
+Status TPDatabase::SaveSnapshot(const std::string& path,
+                                const storage::SnapshotOptions& options) {
+  // Hold the catalog in shared mode for the whole save so DDL cannot
+  // add or drop relations while the snapshot is being assembled.
+  const std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::vector<const TPRelation*> relations;
+  relations.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) relations.push_back(rel.get());
+  return storage::SaveSnapshotFile(&manager_, relations, path, options);
+}
+
+Status TPDatabase::LoadSnapshot(const std::string& path,
+                                const storage::SnapshotOptions& options) {
+  // The whole load runs under the exclusive catalog lock, like any other
+  // DDL: no Register/CreateRelation can take a snapshot name mid-load, so
+  // the pre-flight clash check below stays authoritative and a rejected
+  // load mutates nothing. (LoadSnapshotFile only touches the lineage
+  // manager — its own lock — never the catalog, so this cannot deadlock.
+  // Variable-name clashes are checked inside LoadSnapshotFile before the
+  // first registration.)
+  const std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  {
+    StatusOr<std::vector<std::string>> names =
+        storage::ReadSnapshotRelationNames(path);
+    if (!names.ok()) return names.status();
+    for (const std::string& name : *names)
+      if (relations_.count(name) > 0)
+        return Status::AlreadyExists("cannot load snapshot: relation '" +
+                                     name + "' already exists");
+  }
+  StatusOr<storage::LoadedSnapshot> loaded =
+      storage::LoadSnapshotFile(&manager_, path, options);
+  if (!loaded.ok()) return loaded.status();
+  for (TPRelation& rel : loaded->relations) {
+    const std::string name = rel.name();
+    relations_.emplace(name, std::make_unique<TPRelation>(std::move(rel)));
+  }
+  return Status::OK();
 }
 
 }  // namespace tpdb

@@ -20,6 +20,10 @@
 //   "wants LEFT JOIN hotels ON Loc", "r ANTI JOIN s ON key=id USING TA",
 //   "x UNION y" / "x INTERSECT y" / "x EXCEPT y"
 //
+// Persistence statements round-trip the whole database through the
+// columnar snapshot format of storage/snapshot.h:
+//   "SAVE SNAPSHOT 'db.tpdb'" / "LOAD SNAPSHOT 'db.tpdb'"
+//
 // Programs can skip the string front end entirely via QueryBuilder
 // (api/logical_plan.h) and Execute(), and inspect a query's lowered
 // operator tree with Explain().
@@ -34,6 +38,7 @@
 
 #include "api/logical_plan.h"
 #include "common/status.h"
+#include "storage/snapshot.h"
 #include "tp/operators.h"
 #include "tp/set_ops.h"
 #include "tp/tp_relation.h"
@@ -109,11 +114,28 @@ class TPDatabase {
 
   /// Plans and runs `text`, returning the logical tree plus the lowered
   /// operator pipeline with per-node row counts and wall times (rendered
-  /// through engine/explain).
+  /// through engine/explain), plus a storage section (segments scanned /
+  /// skipped, bytes mapped, decode time) when a scan ran cold.
   StatusOr<std::string> Explain(const std::string& text);
 
   /// Same, for an already-built plan.
   StatusOr<std::string> Explain(const LogicalPlan& plan);
+
+  /// Persists the whole database — catalog, every relation, and the
+  /// lineage state (variables, base probabilities, formulas) — to a
+  /// columnar snapshot at `path` (storage/snapshot.h; also reachable as
+  /// the statement "SAVE SNAPSHOT 'path'"). A database reloaded from the
+  /// snapshot answers every query with identical results and
+  /// probabilities.
+  Status SaveSnapshot(const std::string& path,
+                      const storage::SnapshotOptions& options = {});
+
+  /// Restores a snapshot into this database ("LOAD SNAPSHOT 'path'").
+  /// Relation and variable names must not clash with existing ones —
+  /// intended for a fresh database. Loaded relations keep the snapshot
+  /// mapped as their columnar cold-scan backing (zone-map pruning).
+  Status LoadSnapshot(const std::string& path,
+                      const storage::SnapshotOptions& options = {});
 
  private:
   StatusOr<TPRelation*> FindLocked(const std::string& name);

@@ -20,6 +20,8 @@ const char* LogicalOpName(LogicalOp op) {
     case LogicalOp::kSort: return "Sort";
     case LogicalOp::kLimit: return "Limit";
     case LogicalOp::kProbThreshold: return "ProbThreshold";
+    case LogicalOp::kSaveSnapshot: return "SaveSnapshot";
+    case LogicalOp::kLoadSnapshot: return "LoadSnapshot";
   }
   return "?";
 }
@@ -115,6 +117,20 @@ LogicalNodePtr LogicalNode::ProbThreshold(LogicalNodePtr child,
   return node;
 }
 
+LogicalNodePtr LogicalNode::SaveSnapshot(std::string path) {
+  auto node = std::make_unique<LogicalNode>();
+  node->op = LogicalOp::kSaveSnapshot;
+  node->snapshot_path = std::move(path);
+  return node;
+}
+
+LogicalNodePtr LogicalNode::LoadSnapshot(std::string path) {
+  auto node = std::make_unique<LogicalNode>();
+  node->op = LogicalOp::kLoadSnapshot;
+  node->snapshot_path = std::move(path);
+  return node;
+}
+
 std::string LogicalNode::Label() const {
   switch (op) {
     case LogicalOp::kScan:
@@ -168,6 +184,10 @@ std::string LogicalNode::Label() const {
                     min_prob_strict ? ">" : ">=", min_prob);
       return buf;
     }
+    case LogicalOp::kSaveSnapshot:
+      return "SaveSnapshot['" + snapshot_path + "']";
+    case LogicalOp::kLoadSnapshot:
+      return "LoadSnapshot['" + snapshot_path + "']";
   }
   return "?";
 }
@@ -273,6 +293,24 @@ StatusOr<LogicalPlan> BuildLogicalPlan(const SelectStatement& stmt) {
   LogicalPlan plan;
   plan.root = std::move(root);
   return plan;
+}
+
+StatusOr<LogicalPlan> BuildLogicalPlan(const ParsedStatement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return BuildLogicalPlan(stmt.select);
+    case StatementKind::kSaveSnapshot: {
+      LogicalPlan plan;
+      plan.root = LogicalNode::SaveSnapshot(stmt.snapshot_path);
+      return plan;
+    }
+    case StatementKind::kLoadSnapshot: {
+      LogicalPlan plan;
+      plan.root = LogicalNode::LoadSnapshot(stmt.snapshot_path);
+      return plan;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
 }
 
 QueryBuilder::QueryBuilder(std::string from) {

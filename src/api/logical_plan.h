@@ -28,6 +28,8 @@ enum class LogicalOp {
   kSort,           ///< ORDER BY
   kLimit,          ///< LIMIT / OFFSET
   kProbThreshold,  ///< WITH PROB >= p over exact lineage probabilities
+  kSaveSnapshot,   ///< persist the whole database (storage/snapshot.h)
+  kLoadSnapshot,   ///< restore a snapshot into this database
 };
 
 const char* LogicalOpName(LogicalOp op);
@@ -57,6 +59,7 @@ struct LogicalNode {
   int64_t offset = 0;                        // kLimit
   double min_prob = 0.0;                     // kProbThreshold
   bool min_prob_strict = false;              // kProbThreshold
+  std::string snapshot_path;                 // kSaveSnapshot / kLoadSnapshot
 
   static LogicalNodePtr Scan(std::string relation);
   static LogicalNodePtr Filter(LogicalNodePtr child, AstExprPtr predicate);
@@ -78,6 +81,8 @@ struct LogicalNode {
                               int64_t offset = 0);
   static LogicalNodePtr ProbThreshold(LogicalNodePtr child, double min_prob,
                                       bool strict = false);
+  static LogicalNodePtr SaveSnapshot(std::string path);
+  static LogicalNodePtr LoadSnapshot(std::string path);
 
   /// One-line description of this node, e.g. "Join[LEFT OUTER, on Loc=Loc]".
   std::string Label() const;
@@ -97,6 +102,10 @@ struct LogicalPlan {
 /// Scan → Join* → Filter → Aggregate|Project; then set operations fold the
 /// cores, and ProbThreshold → Sort → Limit apply to the combined result.
 StatusOr<LogicalPlan> BuildLogicalPlan(const SelectStatement& stmt);
+
+/// Same for a top-level statement; snapshot statements become single
+/// kSaveSnapshot / kLoadSnapshot root nodes.
+StatusOr<LogicalPlan> BuildLogicalPlan(const ParsedStatement& stmt);
 
 /// Fluent construction of logical plans, bypassing the string front end:
 ///

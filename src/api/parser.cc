@@ -117,6 +117,31 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+  StatusOr<ParsedStatement> ParseTopLevel() {
+    ParsedStatement stmt;
+    if ((IsKeyword("SAVE") || IsKeyword("LOAD")) && IsKeyword("SNAPSHOT", 1)) {
+      stmt.kind = IsKeyword("SAVE") ? StatementKind::kSaveSnapshot
+                                    : StatementKind::kLoadSnapshot;
+      Advance();  // SAVE / LOAD
+      Advance();  // SNAPSHOT
+      const Token& path = Peek();
+      if (path.kind != TokKind::kString)
+        return Status::InvalidArgument(
+            "expected quoted snapshot path, found '" + path.text + "'");
+      stmt.snapshot_path = path.text;
+      Advance();
+      if (Peek().kind != TokKind::kEnd)
+        return Status::InvalidArgument("trailing tokens at '" + Peek().text +
+                                       "'");
+      return stmt;
+    }
+    StatusOr<SelectStatement> select = ParseStatement();
+    if (!select.ok()) return select.status();
+    stmt.kind = StatementKind::kSelect;
+    stmt.select = std::move(*select);
+    return stmt;
+  }
+
   StatusOr<SelectStatement> ParseStatement() {
     SelectStatement stmt;
     if (IsKeyword("SELECT")) {
@@ -524,6 +549,15 @@ StatusOr<SelectStatement> ParseQuery(const std::string& text) {
     return Status::InvalidArgument("empty query");
   Parser parser(std::move(*tokens));
   return parser.ParseStatement();
+}
+
+StatusOr<ParsedStatement> ParseStatement(const std::string& text) {
+  StatusOr<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  if (tokens->size() <= 1)
+    return Status::InvalidArgument("empty query");
+  Parser parser(std::move(*tokens));
+  return parser.ParseTopLevel();
 }
 
 StatusOr<AstExprPtr> ParsePredicate(const std::string& text) {

@@ -17,6 +17,10 @@
 //
 //   <rel> [kind] JOIN <rel> ON <terms> [USING TA]
 //   <rel> UNION|INTERSECT|EXCEPT <rel>
+//
+// Top-level persistence statements (ParseStatement only):
+//
+//   SAVE SNAPSHOT '<path>'   |   LOAD SNAPSHOT '<path>'
 #ifndef TPDB_API_PARSER_H_
 #define TPDB_API_PARSER_H_
 
@@ -31,6 +35,10 @@ namespace tpdb {
 /// Returns InvalidArgument with a descriptive message on any syntax error;
 /// never aborts.
 StatusOr<SelectStatement> ParseQuery(const std::string& text);
+
+/// Parses one top-level statement: a query as above, or a persistence
+/// statement — "SAVE SNAPSHOT 'path'" / "LOAD SNAPSHOT 'path'".
+StatusOr<ParsedStatement> ParseStatement(const std::string& text);
 
 /// Parses a standalone predicate, e.g. "Loc = 'ZAK' AND _ts >= 4"
 /// (the WHERE sub-language; used by QueryBuilder::Where(std::string)).

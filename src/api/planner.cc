@@ -16,6 +16,7 @@
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "lineage/probability.h"
+#include "storage/scan.h"
 #include "tp/set_ops.h"
 
 namespace tpdb {
@@ -239,6 +240,67 @@ StatusOr<OperatorPtr> LowerPipelineStage(const LogicalNode& stage,
   }
 }
 
+/// Mirrors a comparison for a flipped "literal OP column" term.
+CompareOp MirrorCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;
+  }
+}
+
+/// Harvests conjunctive column-vs-numeric-literal bounds from a filter
+/// predicate into a scan predicate the cold path can prune on. Anything
+/// it cannot express (OR, NOT, column-vs-column, strings) contributes no
+/// bound — pruning stays conservative and the filter still runs.
+void CollectScanBounds(const AstExprPtr& e, storage::ScanPredicate* pred) {
+  if (e == nullptr) return;
+  if (e->kind == AstExprKind::kAnd) {
+    CollectScanBounds(e->left, pred);
+    CollectScanBounds(e->right, pred);
+    return;
+  }
+  if (e->kind != AstExprKind::kCompare) return;
+  const AstExpr* column = nullptr;
+  const AstExpr* literal = nullptr;
+  bool flipped = false;
+  if (e->left->kind == AstExprKind::kColumn &&
+      e->right->kind == AstExprKind::kLiteral) {
+    column = e->left.get();
+    literal = e->right.get();
+  } else if (e->left->kind == AstExprKind::kLiteral &&
+             e->right->kind == AstExprKind::kColumn) {
+    column = e->right.get();
+    literal = e->left.get();
+    flipped = true;
+  } else {
+    return;
+  }
+  double value = 0.0;
+  if (!DatumToDouble(literal->literal, &value)) return;
+  switch (flipped ? MirrorCompare(e->compare_op) : e->compare_op) {
+    case CompareOp::kEq:
+      pred->AddEquals(column->column, value);
+      break;
+    case CompareOp::kLt:
+      pred->AddUpperBound(column->column, value, /*strict=*/true);
+      break;
+    case CompareOp::kLe:
+      pred->AddUpperBound(column->column, value, /*strict=*/false);
+      break;
+    case CompareOp::kGt:
+      pred->AddLowerBound(column->column, value, /*strict=*/true);
+      break;
+    case CompareOp::kGe:
+      pred->AddLowerBound(column->column, value, /*strict=*/false);
+      break;
+    case CompareOp::kNe:
+      break;  // no range information
+  }
+}
+
 /// Output column name of an aggregate, e.g. "count", "sum_Temp".
 std::string AggOutputName(const SelectItem& item) {
   if (!item.alias.empty()) return item.alias;
@@ -263,6 +325,22 @@ StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
                                       ExecStats* stats) {
   if (plan.root == nullptr)
     return Status::InvalidArgument("empty logical plan");
+
+  // Snapshot statements run before the catalog lock below: SaveSnapshot
+  // takes its own shared lock, LoadSnapshot registers relations through
+  // the exclusive DDL path.
+  if (plan.root->op == LogicalOp::kSaveSnapshot ||
+      plan.root->op == LogicalOp::kLoadSnapshot) {
+    const Clock::time_point start = Clock::now();
+    const Status status =
+        plan.root->op == LogicalOp::kSaveSnapshot
+            ? db_->SaveSnapshot(plan.root->snapshot_path)
+            : db_->LoadSnapshot(plan.root->snapshot_path);
+    if (!status.ok()) return status;
+    Report(stats, plan.root->Label(), 0, SecondsSince(start));
+    return TPRelation("snapshot", Schema({{"path", DatumType::kString}}),
+                      db_->manager());
+  }
 
   // Queries hold the catalog in shared mode for their whole run, so
   // concurrent sessions read a stable catalog while DDL waits its turn.
@@ -308,6 +386,10 @@ StatusOr<Planner::EvalResult> Planner::Eval(const LogicalNode& node,
       return EvalSetOp(node, stats);
     case LogicalOp::kAggregate:
       return EvalAggregate(node, stats);
+    case LogicalOp::kSaveSnapshot:
+    case LogicalOp::kLoadSnapshot:
+      return Status::InvalidArgument(
+          "snapshot statements are only valid as the plan root");
     default:
       return Status::Internal("unhandled logical node");
   }
@@ -503,12 +585,24 @@ StatusOr<Planner::EvalResult> Planner::EvalPipelined(const LogicalNode& node,
     chain.push_back(cursor);
     cursor = cursor->children[0].get();
   }
+  // Bottom-up stage order (the order rows flow through them).
+  const std::vector<const LogicalNode*> stages(chain.rbegin(), chain.rend());
+
+  // Cold path: a chain rooted in a catalog scan whose relation carries a
+  // columnar snapshot backing reads the mapped segments directly instead
+  // of flattening the in-memory tuples — with zone maps pruning segments
+  // the pushed-down predicate rules out.
+  if (cursor->op == LogicalOp::kScan) {
+    StatusOr<TPRelation*> rel = db_->GetAssumingLocked(cursor->relation);
+    if (!rel.ok()) return rel.status();
+    if ((*rel)->cold_storage() != nullptr)
+      return EvalColdPipeline(**rel, *cursor, stages, stats);
+  }
+
   StatusOr<EvalResult> base = Eval(*cursor, stats);
   if (!base.ok()) return base.status();
   LineageManager* manager = base->rel().manager();
 
-  // Bottom-up stage order (the order rows flow through them).
-  const std::vector<const LogicalNode*> stages(chain.rbegin(), chain.rend());
   auto table = std::make_unique<Table>(base->rel().ToTable());
 
   // The leading run of row-local stages (filter / project / probability
@@ -561,6 +655,60 @@ StatusOr<Planner::EvalResult> Planner::EvalPipelined(const LogicalNode& node,
   }();
   if (!rel.ok()) return rel.status();
   return EvalResult{std::move(*rel), nullptr};
+}
+
+StatusOr<Planner::EvalResult> Planner::EvalColdPipeline(
+    const TPRelation& rel, const LogicalNode& scan_node,
+    const std::vector<const LogicalNode*>& stages, ExecStats* stats) {
+  const storage::SegmentedTable* table = rel.cold_storage().get();
+  LineageManager* manager = rel.manager();
+
+  // Push bounds from the leading run of row-local predicate stages into
+  // the scan. Stages past the first project/sort/limit see transformed
+  // rows (renamed columns, truncated streams), so they must not prune.
+  // Zone-map max_prob values reflect base probabilities as of the
+  // snapshot; after SetVariableProbability they could wrongly prune, so
+  // probability pushdown is gated on the manager's epoch (numeric and
+  // temporal bounds are unaffected — facts and intervals never restate).
+  const bool prob_maps_fresh =
+      manager->probability_epoch() == table->probability_epoch();
+  storage::ScanPredicate predicate;
+  for (const LogicalNode* stage : stages) {
+    if (stage->op == LogicalOp::kFilter) {
+      CollectScanBounds(stage->predicate, &predicate);
+    } else if (stage->op == LogicalOp::kProbThreshold) {
+      if (prob_maps_fresh)
+        predicate.AddMinProb(stage->min_prob, stage->min_prob_strict);
+    } else {
+      break;
+    }
+  }
+
+  StorageStats counters;
+  NodeStats* scan_stats =
+      stats != nullptr ? stats->AddNode(scan_node.Label() + " (cold)")
+                       : nullptr;
+  OperatorPtr op = std::make_unique<storage::SegmentScan>(
+      table, std::move(predicate), &counters);
+  for (const LogicalNode* stage : stages) {
+    StatusOr<OperatorPtr> lowered =
+        LowerPipelineStage(*stage, std::move(op), manager);
+    if (!lowered.ok()) return lowered.status();
+    op = std::move(*lowered);
+    if (stats != nullptr)
+      op = Instrument(stage->Label(), std::move(op), stats);
+  }
+  const Table out = Materialize(op.get());
+  if (stats != nullptr) {
+    scan_stats->rows = counters.rows_decoded;
+    scan_stats->open_calls = 1;
+    scan_stats->seconds = counters.decode_seconds;
+    stats->AddStorage(counters);
+  }
+  StatusOr<TPRelation> result =
+      TPRelation::FromTable(rel.name(), out, manager);
+  if (!result.ok()) return result.status();
+  return EvalResult{std::move(*result), nullptr};
 }
 
 }  // namespace tpdb

@@ -21,6 +21,7 @@
 #define TPDB_API_PLANNER_H_
 
 #include <optional>
+#include <vector>
 
 #include "api/logical_plan.h"
 #include "common/status.h"
@@ -77,6 +78,12 @@ class Planner {
   StatusOr<EvalResult> Eval(const LogicalNode& node, ExecStats* stats);
   StatusOr<EvalResult> EvalPipelined(const LogicalNode& node,
                                      ExecStats* stats);
+  /// The cold read path: serves a Scan→(Filter|Project|…)* chain straight
+  /// from the relation's columnar snapshot backing, pushing time-range,
+  /// numeric and probability bounds into the scan (zone-map pruning).
+  StatusOr<EvalResult> EvalColdPipeline(
+      const TPRelation& rel, const LogicalNode& scan_node,
+      const std::vector<const LogicalNode*>& stages, ExecStats* stats);
   StatusOr<EvalResult> EvalJoin(const LogicalNode& node, ExecStats* stats);
   StatusOr<EvalResult> EvalSetOp(const LogicalNode& node, ExecStats* stats);
   StatusOr<EvalResult> EvalAggregate(const LogicalNode& node,

@@ -1,0 +1,40 @@
+#include "datasets/ingest.h"
+
+#include "api/database.h"
+#include "datasets/meteo.h"
+#include "datasets/webkit.h"
+#include "storage/snapshot.h"
+
+namespace tpdb {
+
+Status IngestDataset(TPDatabase* db, const IngestOptions& options) {
+  TPDB_CHECK(db != nullptr);
+  if (options.dataset == "meteo") {
+    MeteoOptions meteo;
+    if (options.num_tuples > 0) meteo.num_tuples = options.num_tuples;
+    if (options.seed != 0) meteo.seed = options.seed;
+    StatusOr<MeteoDataset> data = MakeMeteoDataset(db->manager(), meteo);
+    if (!data.ok()) return data.status();
+    TPDB_RETURN_IF_ERROR(db->Register(std::move(data->r)));
+    TPDB_RETURN_IF_ERROR(db->Register(std::move(data->s)));
+  } else if (options.dataset == "webkit") {
+    WebkitOptions webkit;
+    if (options.num_tuples > 0) webkit.num_tuples = options.num_tuples;
+    if (options.seed != 0) webkit.seed = options.seed;
+    StatusOr<WebkitDataset> data = MakeWebkitDataset(db->manager(), webkit);
+    if (!data.ok()) return data.status();
+    TPDB_RETURN_IF_ERROR(db->Register(std::move(data->r)));
+    TPDB_RETURN_IF_ERROR(db->Register(std::move(data->s)));
+  } else {
+    return Status::InvalidArgument("unknown dataset '" + options.dataset +
+                                   "' (expected 'meteo' or 'webkit')");
+  }
+  if (!options.snapshot_path.empty()) {
+    storage::SnapshotOptions snapshot;
+    snapshot.segment_rows = options.segment_rows;
+    return db->SaveSnapshot(options.snapshot_path, snapshot);
+  }
+  return Status::OK();
+}
+
+}  // namespace tpdb

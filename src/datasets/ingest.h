@@ -1,0 +1,37 @@
+// One-shot dataset ingestion: generate a benchmark dataset pair (meteo or
+// webkit), register it into a database, and optionally persist the result
+// as a columnar snapshot (storage/snapshot.h) — so benches and examples
+// ingest once and every later run starts from `LOAD SNAPSHOT` instead of
+// regenerating.
+#ifndef TPDB_DATASETS_INGEST_H_
+#define TPDB_DATASETS_INGEST_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace tpdb {
+
+class TPDatabase;
+
+/// Parameters of one ingest run.
+struct IngestOptions {
+  /// "meteo" or "webkit".
+  std::string dataset = "webkit";
+  /// Tuples per relation (0 = the dataset's default).
+  int64_t num_tuples = 0;
+  /// Generator seed (0 = the dataset's default).
+  uint64_t seed = 0;
+  /// When non-empty, SaveSnapshot the database here after ingesting.
+  std::string snapshot_path;
+  /// Tuples per snapshot segment (zone-map granularity).
+  size_t segment_rows = 4096;
+};
+
+/// Generates the dataset pair into `db` (as "<dataset>_r" / "<dataset>_s")
+/// and, when `snapshot_path` is set, saves the whole database there.
+Status IngestDataset(TPDatabase* db, const IngestOptions& options);
+
+}  // namespace tpdb
+
+#endif  // TPDB_DATASETS_INGEST_H_

@@ -62,6 +62,18 @@ void ExecStats::AddWorker(const WorkerStats& worker) {
   workers_.push_back(worker);
 }
 
+void StorageStats::Merge(const StorageStats& other) {
+  segments_scanned += other.segments_scanned;
+  segments_skipped += other.segments_skipped;
+  rows_decoded += other.rows_decoded;
+  bytes_mapped += other.bytes_mapped;
+  decode_seconds += other.decode_seconds;
+}
+
+void ExecStats::AddStorage(const StorageStats& storage) {
+  storage_.Merge(storage);
+}
+
 std::string ExecStats::ToString() const {
   std::string out;
   for (const std::unique_ptr<NodeStats>& node : nodes_) {
@@ -88,6 +100,19 @@ std::string ExecStats::ToString() const {
                     w.seconds * 1000.0);
       out += line;
     }
+  }
+  if (storage_.Any()) {
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "storage:\n"
+                  "  segments scanned: %llu  segments skipped: %llu\n"
+                  "  bytes mapped: %llu\n"
+                  "  decode time: %.3f ms\n",
+                  static_cast<unsigned long long>(storage_.segments_scanned),
+                  static_cast<unsigned long long>(storage_.segments_skipped),
+                  static_cast<unsigned long long>(storage_.bytes_mapped),
+                  storage_.decode_seconds * 1000.0);
+    out += line;
   }
   return out;
 }

@@ -34,6 +34,22 @@ struct WorkerStats {
   double seconds = 0.0;
 };
 
+/// Aggregates of the columnar cold read path (storage/): how many segments
+/// the scans of a query touched vs. pruned via zone maps, the bytes of
+/// mapped snapshot they read, and the time spent decoding columns to rows.
+struct StorageStats {
+  uint64_t segments_scanned = 0;
+  uint64_t segments_skipped = 0;  ///< pruned by zone maps, never decoded
+  uint64_t rows_decoded = 0;
+  uint64_t bytes_mapped = 0;      ///< encoded bytes of the scanned segments
+  double decode_seconds = 0.0;
+
+  bool Any() const {
+    return segments_scanned > 0 || segments_skipped > 0 || rows_decoded > 0;
+  }
+  void Merge(const StorageStats& other);
+};
+
 /// Registry the instrumented wrappers report into. Must outlive the plan.
 class ExecStats {
  public:
@@ -50,14 +66,21 @@ class ExecStats {
 
   const std::vector<WorkerStats>& workers() const { return workers_; }
 
+  /// Merges one cold scan's counters into the query-wide storage section.
+  void AddStorage(const StorageStats& storage);
+
+  const StorageStats& storage() const { return storage_; }
+
   /// Multi-line "label: rows=… time=…" rendering, in registration order
   /// (register bottom-up to read the pipeline top-down), followed by a
-  /// per-worker section when the query ran on the parallel runtime.
+  /// per-worker section when the query ran on the parallel runtime and a
+  /// storage section when any scan was served from columnar segments.
   std::string ToString() const;
 
  private:
   std::vector<std::unique_ptr<NodeStats>> nodes_;
   std::vector<WorkerStats> workers_;
+  StorageStats storage_;
 };
 
 /// Wraps `child`, counting its rows and timing its Next() calls into a

@@ -120,6 +120,11 @@ class LineageManager {
   /// Intended for tests/assertions; aborts if more than 24 variables.
   bool Equivalent(LineageRef a, LineageRef b);
 
+  /// Monotone counter bumped by every SetVariableProbability call.
+  /// Consumers that cache derived probabilities (the memo below, snapshot
+  /// zone maps) snapshot this and treat a mismatch as "stale".
+  uint64_t probability_epoch() const;
+
  private:
   friend class ProbabilityEngine;
 
@@ -136,7 +141,6 @@ class LineageManager {
   /// freshly cleared cache with its stale result, so the engine snapshots
   /// probability_epoch() up front and StoreProbability drops the value if
   /// the epoch moved on.
-  uint64_t probability_epoch() const;
   bool LookupProbability(LineageRef r, double* out) const;
   void StoreProbability(LineageRef r, double p, uint64_t epoch);
 

@@ -1,0 +1,42 @@
+#include "storage/bytes.h"
+
+#include <array>
+
+namespace tpdb::storage {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const uint8_t byte : data)
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status ByteReader::GetString(std::string* out) {
+  uint32_t len = 0;
+  TPDB_RETURN_IF_ERROR(GetU32(&len));
+  if (len > remaining())
+    return Status::IOError("snapshot truncated: string needs " +
+                           std::to_string(len) + " bytes, have " +
+                           std::to_string(remaining()));
+  out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace tpdb::storage

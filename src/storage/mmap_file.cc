@@ -1,0 +1,49 @@
+#include "storage/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace tpdb::storage {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr && size_ > 0) ::munmap(addr_, size_);
+}
+
+StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(Errno("cannot open", path));
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(Errno("cannot stat", path));
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = Status::IOError(Errno("cannot mmap", path));
+      ::close(fd);
+      return status;
+    }
+  }
+  ::close(fd);  // the mapping keeps the file contents reachable
+  return std::shared_ptr<MappedFile>(new MappedFile(path, addr, size));
+}
+
+}  // namespace tpdb::storage

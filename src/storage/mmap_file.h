@@ -1,0 +1,45 @@
+// Read-only memory-mapped file — the backing of the cold scan path. The
+// mapping stays alive as long as any SegmentedTable (or other holder of
+// the shared_ptr) references it, so column spans handed out by the reader
+// never dangle.
+#ifndef TPDB_STORAGE_MMAP_FILE_H_
+#define TPDB_STORAGE_MMAP_FILE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace tpdb::storage {
+
+/// RAII read-only mapping of a whole file.
+class MappedFile {
+ public:
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Empty files map to an empty span.
+  static StatusOr<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  std::span<const uint8_t> data() const {
+    return std::span<const uint8_t>(static_cast<const uint8_t*>(addr_),
+                                    size_);
+  }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, void* addr, size_t size)
+      : path_(std::move(path)), addr_(addr), size_(size) {}
+
+  std::string path_;
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace tpdb::storage
+
+#endif  // TPDB_STORAGE_MMAP_FILE_H_

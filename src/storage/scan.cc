@@ -1,0 +1,144 @@
+#include "storage/scan.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "engine/schema.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb::storage {
+
+ScanRange* ScanPredicate::RangeOf(const std::string& column) {
+  for (auto& [name, range] : column_ranges)
+    if (name == column) return &range;
+  column_ranges.emplace_back(column, ScanRange{});
+  return &column_ranges.back().second;
+}
+
+void ScanPredicate::AddLowerBound(const std::string& column, double value,
+                                  bool strict) {
+  ScanRange* range = RangeOf(column);
+  if (value > range->lo || (value == range->lo && strict)) {
+    range->lo = value;
+    range->lo_strict = strict;
+  }
+}
+
+void ScanPredicate::AddUpperBound(const std::string& column, double value,
+                                  bool strict) {
+  ScanRange* range = RangeOf(column);
+  if (value < range->hi || (value == range->hi && strict)) {
+    range->hi = value;
+    range->hi_strict = strict;
+  }
+}
+
+void ScanPredicate::AddEquals(const std::string& column, double value) {
+  AddLowerBound(column, value, /*strict=*/false);
+  AddUpperBound(column, value, /*strict=*/false);
+}
+
+void ScanPredicate::AddMinProb(double min_prob, bool strict) {
+  if (min_prob > this->min_prob ||
+      (min_prob == this->min_prob && strict)) {
+    this->min_prob = min_prob;
+    this->min_prob_strict = strict;
+  }
+}
+
+bool SegmentMayMatch(const Segment& segment, const Schema& schema,
+                     const ScanPredicate& predicate) {
+  const ZoneMap& zone = segment.zone;
+  if (predicate.min_prob_strict ? zone.max_prob <= predicate.min_prob
+                                : zone.max_prob < predicate.min_prob)
+    return false;
+  for (const auto& [column, range] : predicate.column_ranges) {
+    // The dedicated temporal bounds hold even when a column's generic
+    // min/max is unavailable: every _ts is >= ts_min, every _te <= te_max
+    // (widened one ulp so the int64→double conversion stays conservative).
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (column == kTsColumn) {
+      const double ts_min =
+          std::nextafter(static_cast<double>(zone.ts_min), -kInf);
+      if (range.hi < ts_min || (range.hi_strict && range.hi == ts_min))
+        return false;
+    }
+    if (column == kTeColumn) {
+      const double te_max =
+          std::nextafter(static_cast<double>(zone.te_max), kInf);
+      if (range.lo > te_max || (range.lo_strict && range.lo == te_max))
+        return false;
+    }
+    const int idx = schema.IndexOf(column);
+    if (idx < 0 || static_cast<size_t>(idx) >= zone.bounds.size()) continue;
+    const ColumnBounds& bounds = zone.bounds[static_cast<size_t>(idx)];
+    if (!bounds.valid) continue;  // non-numeric or all-NULL: cannot prune
+    // Every row value lies in [bounds.min, bounds.max]; skip the segment
+    // when that envelope cannot intersect the predicate's range.
+    if (bounds.max < range.lo || (range.lo_strict && bounds.max == range.lo))
+      return false;
+    if (bounds.min > range.hi || (range.hi_strict && bounds.min == range.hi))
+      return false;
+  }
+  return true;
+}
+
+SegmentScan::SegmentScan(const SegmentedTable* table, ScanPredicate predicate,
+                         StorageStats* stats)
+    : table_(table), predicate_(std::move(predicate)), stats_(stats) {
+  TPDB_CHECK(table_ != nullptr);
+}
+
+void SegmentScan::Open() {
+  next_segment_ = 0;
+  buffer_pos_ = 0;
+  buffer_.clear();
+}
+
+bool SegmentScan::FillBuffer() {
+  using Clock = std::chrono::steady_clock;
+  while (next_segment_ < table_->segments().size()) {
+    const Segment& segment = table_->segments()[next_segment_++];
+    if (!SegmentMayMatch(segment, table_->schema(), predicate_)) {
+      if (stats_ != nullptr) ++stats_->segments_skipped;
+      continue;
+    }
+    const Clock::time_point start = Clock::now();
+    buffer_.resize(segment.num_rows);
+    for (size_t row = 0; row < segment.num_rows; ++row)
+      segment.DecodeRow(row, &buffer_[row]);
+    buffer_pos_ = 0;
+    if (stats_ != nullptr) {
+      ++stats_->segments_scanned;
+      stats_->rows_decoded += segment.num_rows;
+      stats_->bytes_mapped += segment.encoded_bytes;
+      stats_->decode_seconds +=
+          std::chrono::duration<double>(Clock::now() - start).count();
+    }
+    if (!buffer_.empty()) return true;
+  }
+  return false;
+}
+
+bool SegmentScan::Next(Row* out) {
+  const Row* row = NextRef();
+  if (row == nullptr) return false;
+  *out = *row;
+  return true;
+}
+
+const Row* SegmentScan::NextRef() {
+  while (buffer_pos_ >= buffer_.size()) {
+    buffer_.clear();
+    buffer_pos_ = 0;
+    if (!FillBuffer()) return nullptr;
+  }
+  return &buffer_[buffer_pos_++];
+}
+
+void SegmentScan::Close() {
+  buffer_.clear();
+  buffer_pos_ = 0;
+}
+
+}  // namespace tpdb::storage

@@ -1,0 +1,95 @@
+// SegmentScan: the cold read path. A Volcano leaf operator over a
+// SegmentedTable that consults each segment's zone map against the pushed-
+// down predicate before decoding anything — non-overlapping time ranges,
+// out-of-bounds numeric ranges and sub-threshold probability segments are
+// skipped whole. Matching segments are batch-decoded column-to-row one
+// segment at a time (bounded memory), and NextRef serves rows out of that
+// buffer without further copies.
+//
+// Pruning is conservative: a segment is skipped only when its zone map
+// proves no row can satisfy the predicate, so the (still applied)
+// downstream filter sees exactly the rows it would have seen without
+// pruning.
+#ifndef TPDB_STORAGE_SCAN_H_
+#define TPDB_STORAGE_SCAN_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/explain.h"
+#include "engine/operator.h"
+#include "storage/segment.h"
+
+namespace tpdb::storage {
+
+/// A conjunctive per-column range: lo {<,<=} value {<,<=} hi.
+struct ScanRange {
+  double lo = -std::numeric_limits<double>::infinity();
+  bool lo_strict = false;
+  double hi = std::numeric_limits<double>::infinity();
+  bool hi_strict = false;
+};
+
+/// The fragment of a query predicate a scan can prune on: conjunctive
+/// numeric column ranges (including _ts/_te time bounds) plus a lineage
+/// probability threshold. Anything the planner cannot express here simply
+/// stays out — the scan then prunes less but never wrongly. Callers
+/// setting `min_prob` directly must hold the invariant the planner
+/// enforces: the manager's probability_epoch() still equals the
+/// SegmentedTable's (zone-map max_prob is snapshot-time data).
+struct ScanPredicate {
+  std::vector<std::pair<std::string, ScanRange>> column_ranges;
+  double min_prob = 0.0;
+  bool min_prob_strict = false;
+
+  /// Tightens the range of `column` with `value` as a new lower bound.
+  void AddLowerBound(const std::string& column, double value, bool strict);
+  /// Tightens the range of `column` with `value` as a new upper bound.
+  void AddUpperBound(const std::string& column, double value, bool strict);
+  /// Equality pins both bounds.
+  void AddEquals(const std::string& column, double value);
+  /// Keeps the strongest probability threshold.
+  void AddMinProb(double min_prob, bool strict);
+
+  bool Empty() const {
+    return column_ranges.empty() && min_prob <= 0.0 && !min_prob_strict;
+  }
+
+ private:
+  ScanRange* RangeOf(const std::string& column);
+};
+
+/// True iff `segment`'s zone map admits at least one row satisfying
+/// `predicate` (column names resolved against `schema`).
+bool SegmentMayMatch(const Segment& segment, const Schema& schema,
+                     const ScanPredicate& predicate);
+
+/// Leaf operator over a SegmentedTable. The table (and its mapping) must
+/// outlive the operator; `stats` (optional) accumulates scan counters.
+class SegmentScan final : public Operator {
+ public:
+  SegmentScan(const SegmentedTable* table, ScanPredicate predicate,
+              StorageStats* stats = nullptr);
+
+  const Schema& schema() const override { return table_->schema(); }
+  void Open() override;
+  bool Next(Row* out) override;
+  const Row* NextRef() override;
+  void Close() override;
+
+ private:
+  /// Prunes/decodes segments until one yields rows or input is exhausted.
+  bool FillBuffer();
+
+  const SegmentedTable* table_;
+  ScanPredicate predicate_;
+  StorageStats* stats_;
+  size_t next_segment_ = 0;
+  size_t buffer_pos_ = 0;
+  std::vector<Row> buffer_;
+};
+
+}  // namespace tpdb::storage
+
+#endif  // TPDB_STORAGE_SCAN_H_

@@ -1,0 +1,432 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "engine/schema.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb::storage {
+
+namespace {
+
+/// Datum tags of the kGeneric encoding.
+enum class GenericTag : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kLineage = 4,
+};
+
+/// Widens [min, max] by one ulp on each side so that int64 values rounded
+/// during the double conversion can never fall outside the stored bounds
+/// (pruning must stay conservative).
+ColumnBounds WidenedBounds(double min, double max) {
+  ColumnBounds b;
+  b.valid = true;
+  b.min = std::nextafter(min, -std::numeric_limits<double>::infinity());
+  b.max = std::nextafter(max, std::numeric_limits<double>::infinity());
+  return b;
+}
+
+}  // namespace
+
+Datum ColumnChunk::ValueAt(size_t row) const {
+  switch (encoding) {
+    case ColumnEncoding::kAllNull:
+      return Datum::Null();
+    case ColumnEncoding::kPlainInt64:
+      return IsNull(row) ? Datum::Null() : Datum(ints[row]);
+    case ColumnEncoding::kPlainDouble:
+      return IsNull(row) ? Datum::Null() : Datum(doubles[row]);
+    case ColumnEncoding::kDictString:
+      return IsNull(row) ? Datum::Null() : Datum(dict[codes[row]]);
+    case ColumnEncoding::kLineage:
+      return Datum(lineage[row]);
+    case ColumnEncoding::kGeneric:
+      return generic[row];
+  }
+  return Datum::Null();
+}
+
+void Segment::DecodeRow(size_t row, Row* out) const {
+  out->clear();
+  out->reserve(chunks.size());
+  for (const ColumnChunk& chunk : chunks) out->push_back(chunk.ValueAt(row));
+}
+
+SegmentedTable::SegmentedTable(Schema schema, std::vector<Segment> segments,
+                               std::shared_ptr<MappedFile> backing,
+                               uint64_t probability_epoch)
+    : schema_(std::move(schema)),
+      segments_(std::move(segments)),
+      backing_(std::move(backing)),
+      probability_epoch_(probability_epoch) {
+  for (const Segment& s : segments_) num_rows_ += s.num_rows;
+}
+
+StatusOr<uint32_t> LineageIdMap::LocalOf(LineageRef ref) const {
+  const auto it = std::lower_bound(
+      ref_to_local.begin(), ref_to_local.end(), ref.id,
+      [](const std::pair<uint32_t, uint32_t>& e, uint32_t id) {
+        return e.first < id;
+      });
+  if (it == ref_to_local.end() || it->first != ref.id)
+    return Status::Internal("lineage ref not in snapshot id map");
+  return it->second;
+}
+
+StatusOr<LineageRef> LineageIdMap::RefOf(uint32_t local) const {
+  if (local == LineageRef::kNullId) return LineageRef::Null();
+  if (local >= local_to_ref.size())
+    return Status::IOError("snapshot corrupt: lineage id " +
+                           std::to_string(local) + " out of range");
+  return local_to_ref[local];
+}
+
+StatusOr<std::string> EncodeSegmentBlob(const Table& table, size_t begin,
+                                        size_t end,
+                                        const std::vector<double>& probs,
+                                        const LineageIdMap& ids) {
+  const size_t num_rows = end - begin;
+  const size_t num_cols = table.schema.num_columns();
+  const int ts_idx = table.schema.IndexOf(kTsColumn);
+  const int te_idx = table.schema.IndexOf(kTeColumn);
+
+  ByteWriter w;
+  w.PutU64(num_rows);
+
+  // -- Zone map ----------------------------------------------------------
+  ZoneMap zone;
+  zone.max_prob = 0.0;
+  for (size_t r = begin; r < end; ++r) {
+    if (ts_idx >= 0)
+      zone.ts_min = std::min(zone.ts_min, table.rows[r][ts_idx].AsInt64());
+    if (te_idx >= 0)
+      zone.te_max = std::max(zone.te_max, table.rows[r][te_idx].AsInt64());
+    if (r < probs.size()) zone.max_prob = std::max(zone.max_prob, probs[r]);
+  }
+  w.PutI64(zone.ts_min);
+  w.PutI64(zone.te_max);
+  w.PutF64(zone.max_prob);
+  w.PutU32(static_cast<uint32_t>(num_cols));
+  for (size_t c = 0; c < num_cols; ++c) {
+    bool numeric = true;
+    bool any = false;
+    double min = 0.0, max = 0.0;
+    for (size_t r = begin; r < end && numeric; ++r) {
+      const Datum& v = table.rows[r][c];
+      if (v.is_null()) continue;
+      double x = 0.0;
+      if (v.type() == DatumType::kInt64) {
+        x = static_cast<double>(v.AsInt64());
+      } else if (v.type() == DatumType::kDouble) {
+        x = v.AsDouble();
+      } else {
+        numeric = false;
+        break;
+      }
+      if (!any) {
+        min = max = x;
+        any = true;
+      } else {
+        min = std::min(min, x);
+        max = std::max(max, x);
+      }
+    }
+    const ColumnBounds bounds =
+        numeric && any ? WidenedBounds(min, max) : ColumnBounds{};
+    w.PutU8(bounds.valid ? 1 : 0);
+    w.PutF64(bounds.min);
+    w.PutF64(bounds.max);
+  }
+
+  // -- Column chunks -----------------------------------------------------
+  for (size_t c = 0; c < num_cols; ++c) {
+    // Pick the encoding from the values actually present: uniform typed
+    // chunks get the columnar layouts, anything mixed falls back to the
+    // tagged generic encoding so every Datum round-trips exactly.
+    size_t nulls = 0;
+    bool all_int = true, all_double = true, all_string = true,
+         all_lineage = true;
+    for (size_t r = begin; r < end; ++r) {
+      const Datum& v = table.rows[r][c];
+      switch (v.type()) {
+        case DatumType::kNull:
+          ++nulls;
+          all_lineage = false;
+          break;
+        case DatumType::kInt64:
+          all_double = all_string = all_lineage = false;
+          break;
+        case DatumType::kDouble:
+          all_int = all_string = all_lineage = false;
+          break;
+        case DatumType::kString:
+          all_int = all_double = all_lineage = false;
+          break;
+        case DatumType::kLineage:
+          all_int = all_double = all_string = false;
+          break;
+      }
+    }
+    ColumnEncoding encoding;
+    if (nulls == num_rows) {
+      encoding = ColumnEncoding::kAllNull;
+    } else if (all_int) {
+      encoding = ColumnEncoding::kPlainInt64;
+    } else if (all_double) {
+      encoding = ColumnEncoding::kPlainDouble;
+    } else if (all_string) {
+      encoding = ColumnEncoding::kDictString;
+    } else if (all_lineage && nulls == 0) {
+      encoding = ColumnEncoding::kLineage;
+    } else {
+      encoding = ColumnEncoding::kGeneric;
+    }
+    w.PutU8(static_cast<uint8_t>(encoding));
+    w.PutU8(static_cast<uint8_t>(table.schema.column(c).type));
+
+    const auto put_bitmap = [&] {
+      std::vector<uint8_t> bitmap((num_rows + 7) / 8, 0);
+      for (size_t r = begin; r < end; ++r)
+        if (table.rows[r][c].is_null())
+          bitmap[(r - begin) / 8] |= 1u << ((r - begin) % 8);
+      w.PutRaw(bitmap.data(), bitmap.size());
+    };
+
+    switch (encoding) {
+      case ColumnEncoding::kAllNull:
+        break;
+      case ColumnEncoding::kPlainInt64: {
+        put_bitmap();
+        w.AlignTo(8);
+        for (size_t r = begin; r < end; ++r) {
+          const Datum& v = table.rows[r][c];
+          w.PutI64(v.is_null() ? 0 : v.AsInt64());
+        }
+        break;
+      }
+      case ColumnEncoding::kPlainDouble: {
+        put_bitmap();
+        w.AlignTo(8);
+        for (size_t r = begin; r < end; ++r) {
+          const Datum& v = table.rows[r][c];
+          w.PutF64(v.is_null() ? 0.0 : v.AsDouble());
+        }
+        break;
+      }
+      case ColumnEncoding::kDictString: {
+        put_bitmap();
+        std::map<std::string, uint32_t> dict;
+        std::vector<const std::string*> ordered;
+        for (size_t r = begin; r < end; ++r) {
+          const Datum& v = table.rows[r][c];
+          if (v.is_null()) continue;
+          const auto [it, inserted] =
+              dict.emplace(v.AsString(), static_cast<uint32_t>(dict.size()));
+          if (inserted) ordered.push_back(&it->first);
+        }
+        w.PutU32(static_cast<uint32_t>(ordered.size()));
+        for (const std::string* s : ordered) w.PutString(*s);
+        w.AlignTo(4);
+        for (size_t r = begin; r < end; ++r) {
+          const Datum& v = table.rows[r][c];
+          w.PutU32(v.is_null() ? 0 : dict.at(v.AsString()));
+        }
+        break;
+      }
+      case ColumnEncoding::kLineage: {
+        w.AlignTo(4);
+        for (size_t r = begin; r < end; ++r) {
+          const LineageRef ref = table.rows[r][c].AsLineage();
+          if (ref.is_null()) {
+            w.PutU32(LineageRef::kNullId);
+            continue;
+          }
+          StatusOr<uint32_t> local = ids.LocalOf(ref);
+          if (!local.ok()) return local.status();
+          w.PutU32(*local);
+        }
+        break;
+      }
+      case ColumnEncoding::kGeneric: {
+        for (size_t r = begin; r < end; ++r) {
+          const Datum& v = table.rows[r][c];
+          switch (v.type()) {
+            case DatumType::kNull:
+              w.PutU8(static_cast<uint8_t>(GenericTag::kNull));
+              break;
+            case DatumType::kInt64:
+              w.PutU8(static_cast<uint8_t>(GenericTag::kInt64));
+              w.PutI64(v.AsInt64());
+              break;
+            case DatumType::kDouble:
+              w.PutU8(static_cast<uint8_t>(GenericTag::kDouble));
+              w.PutF64(v.AsDouble());
+              break;
+            case DatumType::kString:
+              w.PutU8(static_cast<uint8_t>(GenericTag::kString));
+              w.PutString(v.AsString());
+              break;
+            case DatumType::kLineage: {
+              w.PutU8(static_cast<uint8_t>(GenericTag::kLineage));
+              const LineageRef ref = v.AsLineage();
+              if (ref.is_null()) {
+                w.PutU32(LineageRef::kNullId);
+                break;
+              }
+              StatusOr<uint32_t> local = ids.LocalOf(ref);
+              if (!local.ok()) return local.status();
+              w.PutU32(*local);
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  w.AlignTo(8);  // keep the next segment's blob 8-aligned in the file
+  return std::move(w).TakeBuffer();
+}
+
+StatusOr<Segment> ParseSegmentBlob(std::span<const uint8_t> blob,
+                                   const Schema& schema,
+                                   const LineageIdMap& ids) {
+  ByteReader r(blob);
+  Segment seg;
+  seg.encoded_bytes = blob.size();
+
+  uint64_t num_rows = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU64(&num_rows));
+  if (num_rows > blob.size())  // a blob stores >= 1 byte per row
+    return Status::IOError("snapshot corrupt: implausible segment row count");
+  seg.num_rows = static_cast<size_t>(num_rows);
+
+  TPDB_RETURN_IF_ERROR(r.GetI64(&seg.zone.ts_min));
+  TPDB_RETURN_IF_ERROR(r.GetI64(&seg.zone.te_max));
+  TPDB_RETURN_IF_ERROR(r.GetF64(&seg.zone.max_prob));
+  uint32_t num_cols = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU32(&num_cols));
+  if (num_cols != schema.num_columns())
+    return Status::IOError("snapshot corrupt: segment has " +
+                           std::to_string(num_cols) + " columns, schema has " +
+                           std::to_string(schema.num_columns()));
+  seg.zone.bounds.resize(num_cols);
+  for (ColumnBounds& b : seg.zone.bounds) {
+    uint8_t valid = 0;
+    TPDB_RETURN_IF_ERROR(r.GetU8(&valid));
+    b.valid = valid != 0;
+    TPDB_RETURN_IF_ERROR(r.GetF64(&b.min));
+    TPDB_RETURN_IF_ERROR(r.GetF64(&b.max));
+  }
+
+  seg.chunks.resize(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    ColumnChunk& chunk = seg.chunks[c];
+    uint8_t encoding = 0, declared = 0;
+    TPDB_RETURN_IF_ERROR(r.GetU8(&encoding));
+    TPDB_RETURN_IF_ERROR(r.GetU8(&declared));
+    if (encoding > static_cast<uint8_t>(ColumnEncoding::kGeneric))
+      return Status::IOError("snapshot corrupt: unknown column encoding " +
+                             std::to_string(encoding));
+    chunk.encoding = static_cast<ColumnEncoding>(encoding);
+    chunk.declared = static_cast<DatumType>(declared);
+
+    const size_t bitmap_bytes = (seg.num_rows + 7) / 8;
+    switch (chunk.encoding) {
+      case ColumnEncoding::kAllNull:
+        break;
+      case ColumnEncoding::kPlainInt64:
+        TPDB_RETURN_IF_ERROR(r.GetSpan(bitmap_bytes, &chunk.null_bitmap));
+        TPDB_RETURN_IF_ERROR(r.AlignTo(8));
+        TPDB_RETURN_IF_ERROR(r.GetSpan(seg.num_rows, &chunk.ints));
+        break;
+      case ColumnEncoding::kPlainDouble:
+        TPDB_RETURN_IF_ERROR(r.GetSpan(bitmap_bytes, &chunk.null_bitmap));
+        TPDB_RETURN_IF_ERROR(r.AlignTo(8));
+        TPDB_RETURN_IF_ERROR(r.GetSpan(seg.num_rows, &chunk.doubles));
+        break;
+      case ColumnEncoding::kDictString: {
+        TPDB_RETURN_IF_ERROR(r.GetSpan(bitmap_bytes, &chunk.null_bitmap));
+        uint32_t dict_n = 0;
+        TPDB_RETURN_IF_ERROR(r.GetU32(&dict_n));
+        if (dict_n > r.remaining())
+          return Status::IOError(
+              "snapshot corrupt: implausible dictionary size");
+        chunk.dict.resize(dict_n);
+        for (std::string& s : chunk.dict)
+          TPDB_RETURN_IF_ERROR(r.GetString(&s));
+        TPDB_RETURN_IF_ERROR(r.AlignTo(4));
+        TPDB_RETURN_IF_ERROR(r.GetSpan(seg.num_rows, &chunk.codes));
+        for (size_t row = 0; row < seg.num_rows; ++row)
+          if (!chunk.IsNull(row) && chunk.codes[row] >= dict_n)
+            return Status::IOError(
+                "snapshot corrupt: dictionary code out of range");
+        break;
+      }
+      case ColumnEncoding::kLineage: {
+        TPDB_RETURN_IF_ERROR(r.AlignTo(4));
+        std::span<const uint32_t> locals;
+        TPDB_RETURN_IF_ERROR(r.GetSpan(seg.num_rows, &locals));
+        chunk.lineage.reserve(seg.num_rows);
+        for (const uint32_t local : locals) {
+          StatusOr<LineageRef> ref = ids.RefOf(local);
+          if (!ref.ok()) return ref.status();
+          chunk.lineage.push_back(*ref);
+        }
+        break;
+      }
+      case ColumnEncoding::kGeneric: {
+        chunk.generic.reserve(seg.num_rows);
+        for (size_t row = 0; row < seg.num_rows; ++row) {
+          uint8_t tag = 0;
+          TPDB_RETURN_IF_ERROR(r.GetU8(&tag));
+          switch (static_cast<GenericTag>(tag)) {
+            case GenericTag::kNull:
+              chunk.generic.push_back(Datum::Null());
+              break;
+            case GenericTag::kInt64: {
+              int64_t v = 0;
+              TPDB_RETURN_IF_ERROR(r.GetI64(&v));
+              chunk.generic.push_back(Datum(v));
+              break;
+            }
+            case GenericTag::kDouble: {
+              double v = 0;
+              TPDB_RETURN_IF_ERROR(r.GetF64(&v));
+              chunk.generic.push_back(Datum(v));
+              break;
+            }
+            case GenericTag::kString: {
+              std::string s;
+              TPDB_RETURN_IF_ERROR(r.GetString(&s));
+              chunk.generic.push_back(Datum(std::move(s)));
+              break;
+            }
+            case GenericTag::kLineage: {
+              uint32_t local = 0;
+              TPDB_RETURN_IF_ERROR(r.GetU32(&local));
+              StatusOr<LineageRef> ref = ids.RefOf(local);
+              if (!ref.ok()) return ref.status();
+              chunk.generic.push_back(Datum(*ref));
+              break;
+            }
+            default:
+              return Status::IOError(
+                  "snapshot corrupt: unknown generic datum tag " +
+                  std::to_string(tag));
+          }
+        }
+        break;
+      }
+    }
+  }
+  return seg;
+}
+
+}  // namespace tpdb::storage

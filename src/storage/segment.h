@@ -1,0 +1,155 @@
+// Columnar segments: the storage unit of the snapshot format and the cold
+// scan path.
+//
+// A relation is stored as a sequence of segments of up to `segment_rows`
+// tuples over the flattened engine layout (fact columns ++ _ts ++ _te ++
+// _lin). Each segment holds one encoded chunk per column plus a zone map —
+// per-column min/max for numeric columns, the segment's temporal bounds,
+// and the maximum tuple probability — which the scan uses to skip whole
+// segments that cannot satisfy a pushed-down predicate.
+//
+// Column encodings:
+//   kAllNull    — every value NULL; no data
+//   kPlainInt64 — null bitmap + raw int64 array (also _ts/_te)
+//   kPlainDouble— null bitmap + raw double array
+//   kDictString — null bitmap + string dictionary + u32 code array
+//   kLineage    — u32 lineage-node id array (file-local ids on disk,
+//                 resolved LineageRefs in memory; kNullId encodes NULL)
+//   kGeneric    — per-value tagged datums (fallback for mixed-type chunks)
+//
+// Decoded chunks view their raw arrays directly in the mapped snapshot
+// (zero-copy); dictionaries, lineage refs and generic values are small and
+// decoded eagerly at load time.
+#ifndef TPDB_STORAGE_SEGMENT_H_
+#define TPDB_STORAGE_SEGMENT_H_
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/row.h"
+#include "storage/bytes.h"
+#include "storage/mmap_file.h"
+#include "temporal/interval.h"
+
+namespace tpdb::storage {
+
+enum class ColumnEncoding : uint8_t {
+  kAllNull = 0,
+  kPlainInt64 = 1,
+  kPlainDouble = 2,
+  kDictString = 3,
+  kLineage = 4,
+  kGeneric = 5,
+};
+
+/// Min/max of a numeric column within one segment (NULLs excluded).
+/// `valid` is false for non-numeric or all-NULL chunks — no pruning there.
+struct ColumnBounds {
+  bool valid = false;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Per-segment statistics consulted before any row is decoded.
+struct ZoneMap {
+  /// Temporal bounds: the union of the segment's intervals lies within
+  /// [ts_min, te_max).
+  TimePoint ts_min = std::numeric_limits<TimePoint>::max();
+  TimePoint te_max = std::numeric_limits<TimePoint>::min();
+  /// Maximum exact tuple probability in the segment (at encode time).
+  double max_prob = 0.0;
+  /// One entry per flattened column (fact ++ _ts ++ _te ++ _lin).
+  std::vector<ColumnBounds> bounds;
+};
+
+/// One decoded (or mapped) column of a segment.
+struct ColumnChunk {
+  ColumnEncoding encoding = ColumnEncoding::kAllNull;
+  DatumType declared = DatumType::kNull;
+  std::span<const uint8_t> null_bitmap;   ///< bit i set = row i NULL
+  std::span<const int64_t> ints;          ///< kPlainInt64
+  std::span<const double> doubles;        ///< kPlainDouble
+  std::span<const uint32_t> codes;        ///< kDictString
+  std::vector<std::string> dict;          ///< kDictString
+  std::vector<LineageRef> lineage;        ///< kLineage (resolved)
+  std::vector<Datum> generic;             ///< kGeneric
+
+  bool IsNull(size_t row) const {
+    return (null_bitmap[row / 8] >> (row % 8)) & 1u;
+  }
+
+  /// The value of `row` as a Datum (copies strings; ints/doubles read
+  /// straight from the mapped array).
+  Datum ValueAt(size_t row) const;
+};
+
+/// One segment: a zone map plus one chunk per flattened column.
+struct Segment {
+  size_t num_rows = 0;
+  size_t encoded_bytes = 0;  ///< size of this segment's blob in the file
+  ZoneMap zone;
+  std::vector<ColumnChunk> chunks;
+
+  /// Decodes row `row` into `*out` (resized to the column count).
+  void DecodeRow(size_t row, Row* out) const;
+};
+
+/// A relation's segments plus the flattened schema they follow. Keeps the
+/// mapped snapshot alive for the lifetime of the spans inside the chunks.
+class SegmentedTable {
+ public:
+  /// `probability_epoch` is the owning manager's probability_epoch() at
+  /// load time: zone-map max_prob values are only trusted while the
+  /// manager still reports the same epoch (SetVariableProbability bumps
+  /// it, staling every stored probability bound).
+  SegmentedTable(Schema schema, std::vector<Segment> segments,
+                 std::shared_ptr<MappedFile> backing,
+                 uint64_t probability_epoch);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+  size_t num_rows() const { return num_rows_; }
+  uint64_t probability_epoch() const { return probability_epoch_; }
+
+ private:
+  Schema schema_;
+  std::vector<Segment> segments_;
+  std::shared_ptr<MappedFile> backing_;
+  size_t num_rows_ = 0;
+  uint64_t probability_epoch_ = 0;
+};
+
+/// Maps file-local lineage ids (dense, per snapshot) to arena refs and
+/// back. Save builds ref→local by walking every stored formula; load
+/// rebuilds local→ref through the manager's constructors.
+struct LineageIdMap {
+  std::vector<std::pair<uint32_t, uint32_t>> ref_to_local;  // sorted by ref
+  std::vector<LineageRef> local_to_ref;
+
+  StatusOr<uint32_t> LocalOf(LineageRef ref) const;
+  StatusOr<LineageRef> RefOf(uint32_t local) const;
+};
+
+/// Encodes rows [begin, end) of `table` into one segment blob (the bytes
+/// that go in the snapshot, zone map included). `probs` holds the exact
+/// tuple probability of each row of the full table (zone-map max_prob).
+/// Pure function of its inputs, so segments encode in parallel.
+StatusOr<std::string> EncodeSegmentBlob(const Table& table, size_t begin,
+                                        size_t end,
+                                        const std::vector<double>& probs,
+                                        const LineageIdMap& ids);
+
+/// Parses one segment blob (as produced by EncodeSegmentBlob). Raw arrays
+/// become spans into the blob's bytes — the caller guarantees the backing
+/// memory outlives the segment (SegmentedTable holds the mapping).
+StatusOr<Segment> ParseSegmentBlob(std::span<const uint8_t> blob,
+                                   const Schema& schema,
+                                   const LineageIdMap& ids);
+
+}  // namespace tpdb::storage
+
+#endif  // TPDB_STORAGE_SEGMENT_H_

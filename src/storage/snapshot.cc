@@ -1,0 +1,543 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "exec/thread_pool.h"
+#include "lineage/lineage.h"
+#include "lineage/probability.h"
+
+namespace tpdb::storage {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 24;
+constexpr size_t kTrailerBytes = 4;  // CRC-32 of the payload
+
+/// The format stores scalars in host byte order and is specified as
+/// little-endian; refuse to write spec-violating files (or misparse
+/// foreign ones) on a big-endian host.
+Status CheckHostEndianness() {
+  if constexpr (std::endian::native != std::endian::little)
+    return Status::Internal(
+        "the snapshot format requires a little-endian host");
+  return Status::OK();
+}
+
+ThreadPool* PoolFor(const SnapshotOptions& options) {
+  return options.parallelism == 1 ? nullptr : ThreadPool::Default();
+}
+
+/// Serialized lineage node (kind + children / variable id).
+struct FileNode {
+  uint8_t kind;
+  uint32_t a;
+  uint32_t b;
+};
+
+/// Emits every node reachable from `root` in child-before-parent order,
+/// assigning dense file-local ids. Iterative: OR chains over many matches
+/// make lineage DAGs deep.
+void CollectNodes(const LineageManager& manager, LineageRef root,
+                  std::unordered_map<uint32_t, uint32_t>* local_of,
+                  std::vector<FileNode>* nodes) {
+  if (root.is_null() || local_of->count(root.id) > 0) return;
+  std::vector<std::pair<LineageRef, bool>> stack;  // (node, children done)
+  stack.push_back({root, false});
+  while (!stack.empty()) {
+    auto [ref, expanded] = stack.back();
+    stack.pop_back();
+    if (local_of->count(ref.id) > 0) continue;
+    const LineageKind kind = manager.KindOf(ref);
+    if (!expanded) {
+      stack.push_back({ref, true});
+      if (kind == LineageKind::kNot) {
+        stack.push_back({manager.Left(ref), false});
+      } else if (kind == LineageKind::kAnd || kind == LineageKind::kOr) {
+        stack.push_back({manager.Left(ref), false});
+        stack.push_back({manager.Right(ref), false});
+      }
+      continue;
+    }
+    FileNode node{static_cast<uint8_t>(kind), 0, 0};
+    switch (kind) {
+      case LineageKind::kTrue:
+      case LineageKind::kFalse:
+        break;
+      case LineageKind::kVar:
+        node.a = manager.VarOf(ref);
+        break;
+      case LineageKind::kNot:
+        node.a = local_of->at(manager.Left(ref).id);
+        break;
+      case LineageKind::kAnd:
+      case LineageKind::kOr:
+        node.a = local_of->at(manager.Left(ref).id);
+        node.b = local_of->at(manager.Right(ref).id);
+        break;
+    }
+    local_of->emplace(ref.id, static_cast<uint32_t>(nodes->size()));
+    nodes->push_back(node);
+  }
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& header,
+                       const std::string& payload, uint32_t crc) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    return Status::IOError("cannot create '" + tmp +
+                           "': " + std::strerror(errno));
+  const auto write_all = [f](const void* data, size_t n) {
+    return n == 0 || std::fwrite(data, 1, n, f) == n;
+  };
+  // Flush and fsync before the rename: filesystems may otherwise persist
+  // the rename ahead of the data, leaving a truncated file under the
+  // final name after a crash.
+  const bool ok = write_all(header.data(), header.size()) &&
+                  write_all(payload.data(), payload.size()) &&
+                  write_all(&crc, sizeof(crc)) && std::fflush(f) == 0 &&
+                  ::fsync(::fileno(f)) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename '" + tmp + "' to '" + path +
+                           "': " + std::strerror(errno));
+  }
+  // Persist the rename itself (directory entry).
+  const std::string::size_type slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best-effort: some filesystems reject dir fsync
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+/// Flattened engine schema of a relation (fact ++ _ts ++ _te ++ _lin).
+Schema FlattenedSchema(const Schema& fact_schema) {
+  Schema schema = fact_schema;
+  schema.AddColumn({kTsColumn, DatumType::kInt64});
+  schema.AddColumn({kTeColumn, DatumType::kInt64});
+  schema.AddColumn({kLineageColumn, DatumType::kLineage});
+  return schema;
+}
+
+/// Validates magic, version, size — and the payload CRC when `check_crc`
+/// — and returns the payload byte range of a mapped snapshot.
+StatusOr<std::span<const uint8_t>> ValidateSnapshotPayload(
+    const MappedFile& file, bool check_crc) {
+  const std::string& path = file.path();
+  const std::span<const uint8_t> data = file.data();
+  if (data.size() < kHeaderBytes + kTrailerBytes)
+    return Status::IOError("'" + path + "' is not a snapshot: too small");
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
+    return Status::IOError("'" + path + "' is not a snapshot: bad magic");
+  ByteReader header(data.subspan(sizeof(kSnapshotMagic)));
+  uint32_t version = 0, flags = 0;
+  uint64_t payload_size = 0;
+  TPDB_RETURN_IF_ERROR(header.GetU32(&version));
+  TPDB_RETURN_IF_ERROR(header.GetU32(&flags));
+  TPDB_RETURN_IF_ERROR(header.GetU64(&payload_size));
+  if (version != kSnapshotVersion)
+    return Status::IOError("unsupported snapshot version " +
+                           std::to_string(version) + " in '" + path + "'");
+  if (data.size() != kHeaderBytes + payload_size + kTrailerBytes)
+    return Status::IOError(
+        "snapshot '" + path + "' truncated: header promises " +
+        std::to_string(kHeaderBytes + payload_size + kTrailerBytes) +
+        " bytes, file has " + std::to_string(data.size()));
+  const std::span<const uint8_t> payload =
+      data.subspan(kHeaderBytes, payload_size);
+  if (check_crc) {
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, data.data() + kHeaderBytes + payload_size,
+                sizeof(stored_crc));
+    if (Crc32(payload) != stored_crc)
+      return Status::IOError("snapshot '" + path + "' corrupt: CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace
+
+Status SaveSnapshotFile(LineageManager* manager,
+                        const std::vector<const TPRelation*>& relations,
+                        const std::string& path,
+                        const SnapshotOptions& options) {
+  TPDB_CHECK(manager != nullptr);
+  TPDB_RETURN_IF_ERROR(CheckHostEndianness());
+  const size_t segment_rows =
+      options.segment_rows > 0 ? options.segment_rows : 4096;
+  ByteWriter payload;
+
+  // Epoch snapshot: variable probabilities are serialized now, zone-map
+  // max_prob values later; a SetVariableProbability in between would make
+  // the file internally inconsistent, so the save is aborted below if the
+  // epoch moves.
+  const uint64_t epoch = manager->probability_epoch();
+
+  // -- Lineage section: every variable, then every reachable node -------
+  const size_t num_vars = manager->num_variables();
+  payload.PutU64(num_vars);
+  for (VarId v = 0; v < num_vars; ++v) {
+    payload.PutF64(manager->VariableProbability(v));
+    payload.PutString(manager->VariableName(v));
+  }
+  std::unordered_map<uint32_t, uint32_t> local_of;
+  std::vector<FileNode> nodes;
+  for (const TPRelation* rel : relations) {
+    TPDB_CHECK(rel != nullptr && rel->manager() == manager)
+        << "snapshot relations must share the manager";
+    for (const TPTuple& tuple : rel->tuples())
+      CollectNodes(*manager, tuple.lineage, &local_of, &nodes);
+  }
+  payload.PutU64(nodes.size());
+  for (const FileNode& n : nodes) {
+    payload.PutU8(n.kind);
+    payload.PutU32(n.a);
+    payload.PutU32(n.b);
+  }
+  LineageIdMap ids;
+  ids.ref_to_local.assign(local_of.begin(), local_of.end());
+  std::sort(ids.ref_to_local.begin(), ids.ref_to_local.end());
+
+  // -- Catalog section ---------------------------------------------------
+  payload.PutU32(static_cast<uint32_t>(relations.size()));
+  for (const TPRelation* rel : relations) {
+    payload.PutString(rel->name());
+    const Schema& facts = rel->fact_schema();
+    payload.PutU32(static_cast<uint32_t>(facts.num_columns()));
+    for (const Column& col : facts.columns()) {
+      payload.PutString(col.name);
+      payload.PutU8(static_cast<uint8_t>(col.type));
+    }
+    payload.PutU64(rel->size());
+
+    const Table table = rel->ToTable();
+    const size_t num_segments =
+        (table.rows.size() + segment_rows - 1) / segment_rows;
+    payload.PutU32(static_cast<uint32_t>(num_segments));
+
+    // Encode all segments of this relation in parallel; each task also
+    // computes the exact tuple probabilities its zone map needs (memoized
+    // inside the thread-safe manager, so shared subformulas pay once).
+    std::vector<std::string> blobs(num_segments);
+    std::vector<Status> blob_status(num_segments);
+    std::vector<double> probs(table.rows.size(), 0.0);
+    TaskGroup group(PoolFor(options));
+    for (size_t s = 0; s < num_segments; ++s) {
+      const size_t begin = s * segment_rows;
+      const size_t end = std::min(begin + segment_rows, table.rows.size());
+      group.Spawn([&, s, begin, end]() -> Status {
+        ProbabilityEngine engine(manager);
+        for (size_t i = begin; i < end; ++i)
+          probs[i] = engine.Probability(rel->tuple(i).lineage);
+        StatusOr<std::string> blob =
+            EncodeSegmentBlob(table, begin, end, probs, ids);
+        if (!blob.ok()) return blob.status();
+        blobs[s] = std::move(*blob);
+        return Status::OK();
+      });
+    }
+    TPDB_RETURN_IF_ERROR(group.Wait());
+    for (const std::string& blob : blobs) {
+      payload.AlignTo(8);
+      payload.PutU64(blob.size());  // u64 keeps the blob itself 8-aligned
+      payload.PutRaw(blob.data(), blob.size());
+    }
+  }
+
+  if (manager->probability_epoch() != epoch)
+    return Status::Internal(
+        "base probabilities changed while the snapshot was being written "
+        "('" + path + "'); retry the save");
+
+  // -- Header + checksum -------------------------------------------------
+  ByteWriter header;
+  header.PutRaw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.PutU32(kSnapshotVersion);
+  header.PutU32(0);  // flags
+  header.PutU64(payload.size());
+  TPDB_CHECK(header.size() == kHeaderBytes);
+  const uint32_t crc = Crc32(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(payload.buffer().data()),
+      payload.size()));
+  return WriteFileAtomic(path, header.buffer(), payload.buffer(), crc);
+}
+
+StatusOr<LoadedSnapshot> LoadSnapshotFile(LineageManager* manager,
+                                          const std::string& path,
+                                          const SnapshotOptions& options) {
+  TPDB_CHECK(manager != nullptr);
+  TPDB_RETURN_IF_ERROR(CheckHostEndianness());
+  StatusOr<std::shared_ptr<MappedFile>> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  StatusOr<std::span<const uint8_t>> payload_or =
+      ValidateSnapshotPayload(**mapped, /*check_crc=*/true);
+  if (!payload_or.ok()) return payload_or.status();
+  const std::span<const uint8_t> payload = *payload_or;
+
+  ByteReader r(payload);
+
+  // -- Lineage section ---------------------------------------------------
+  uint64_t num_vars = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU64(&num_vars));
+  if (num_vars > r.remaining() / 12)  // each var takes >= 12 bytes
+    return Status::IOError("snapshot corrupt: implausible variable count");
+  std::vector<std::pair<double, std::string>> vars(
+      static_cast<size_t>(num_vars));
+  for (auto& [prob, name] : vars) {
+    TPDB_RETURN_IF_ERROR(r.GetF64(&prob));
+    TPDB_RETURN_IF_ERROR(r.GetString(&name));
+    if (prob < 0.0 || prob > 1.0)
+      return Status::IOError("snapshot corrupt: variable probability " +
+                             std::to_string(prob) + " out of [0,1]");
+  }
+  // Clash check before the first registration: loading into a database
+  // whose manager already knows one of the names would silently re-bind
+  // lineages (and RegisterVariable aborts on duplicates).
+  for (const auto& [prob, name] : vars) {
+    if (manager->FindVariable(name).ok())
+      return Status::AlreadyExists(
+          "cannot load snapshot: variable '" + name +
+          "' already exists in this database's lineage manager");
+  }
+  // Epoch BEFORE the first registration: if a concurrent
+  // SetVariableProbability lands anywhere during this load, the stamped
+  // epoch is already stale and the planner will not trust the zone-map
+  // probability bounds.
+  const uint64_t epoch = manager->probability_epoch();
+  std::vector<VarId> var_map(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i)
+    var_map[i] = manager->RegisterVariable(vars[i].first, vars[i].second);
+
+  uint64_t num_nodes = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU64(&num_nodes));
+  if (num_nodes > r.remaining() / 9)  // each node takes 9 bytes
+    return Status::IOError("snapshot corrupt: implausible node count");
+  LineageIdMap ids;
+  ids.local_to_ref.reserve(static_cast<size_t>(num_nodes));
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    uint8_t kind = 0;
+    uint32_t a = 0, b = 0;
+    TPDB_RETURN_IF_ERROR(r.GetU8(&kind));
+    TPDB_RETURN_IF_ERROR(r.GetU32(&a));
+    TPDB_RETURN_IF_ERROR(r.GetU32(&b));
+    const auto child = [&](uint32_t local) -> StatusOr<LineageRef> {
+      if (local >= i)
+        return Status::IOError(
+            "snapshot corrupt: lineage node references a later node");
+      return ids.local_to_ref[local];
+    };
+    LineageRef ref;
+    switch (static_cast<LineageKind>(kind)) {
+      case LineageKind::kTrue:
+        ref = manager->True();
+        break;
+      case LineageKind::kFalse:
+        ref = manager->False();
+        break;
+      case LineageKind::kVar:
+        if (a >= var_map.size())
+          return Status::IOError(
+              "snapshot corrupt: lineage variable out of range");
+        ref = manager->Var(var_map[a]);
+        break;
+      case LineageKind::kNot: {
+        StatusOr<LineageRef> ca = child(a);
+        if (!ca.ok()) return ca.status();
+        ref = manager->Not(*ca);
+        break;
+      }
+      case LineageKind::kAnd:
+      case LineageKind::kOr: {
+        StatusOr<LineageRef> ca = child(a);
+        if (!ca.ok()) return ca.status();
+        StatusOr<LineageRef> cb = child(b);
+        if (!cb.ok()) return cb.status();
+        ref = static_cast<LineageKind>(kind) == LineageKind::kAnd
+                  ? manager->And(*ca, *cb)
+                  : manager->Or(*ca, *cb);
+        break;
+      }
+      default:
+        return Status::IOError("snapshot corrupt: unknown lineage kind " +
+                               std::to_string(kind));
+    }
+    ids.local_to_ref.push_back(ref);
+  }
+
+  // -- Catalog section ---------------------------------------------------
+  uint32_t num_relations = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU32(&num_relations));
+  LoadedSnapshot loaded;
+  loaded.relations.reserve(num_relations);
+  for (uint32_t rel_i = 0; rel_i < num_relations; ++rel_i) {
+    std::string name;
+    TPDB_RETURN_IF_ERROR(r.GetString(&name));
+    uint32_t num_cols = 0;
+    TPDB_RETURN_IF_ERROR(r.GetU32(&num_cols));
+    if (num_cols > r.remaining() / 5)  // each column takes >= 5 bytes
+      return Status::IOError("snapshot corrupt: implausible column count");
+    std::vector<Column> fact_cols(num_cols);
+    for (Column& col : fact_cols) {
+      TPDB_RETURN_IF_ERROR(r.GetString(&col.name));
+      uint8_t type = 0;
+      TPDB_RETURN_IF_ERROR(r.GetU8(&type));
+      if (type > static_cast<uint8_t>(DatumType::kLineage))
+        return Status::IOError("snapshot corrupt: unknown column type " +
+                               std::to_string(type));
+      col.type = static_cast<DatumType>(type);
+    }
+    uint64_t tuple_count = 0;
+    TPDB_RETURN_IF_ERROR(r.GetU64(&tuple_count));
+    uint32_t num_segments = 0;
+    TPDB_RETURN_IF_ERROR(r.GetU32(&num_segments));
+
+    const Schema fact_schema{std::move(fact_cols)};
+    const Schema flattened = FlattenedSchema(fact_schema);
+    std::vector<Segment> segments;
+    segments.reserve(num_segments);
+    for (uint32_t s = 0; s < num_segments; ++s) {
+      TPDB_RETURN_IF_ERROR(r.AlignTo(8));
+      uint64_t blob_size = 0;
+      TPDB_RETURN_IF_ERROR(r.GetU64(&blob_size));
+      std::span<const uint8_t> blob;
+      TPDB_RETURN_IF_ERROR(r.GetBlob(static_cast<size_t>(blob_size), &blob));
+      StatusOr<Segment> seg = ParseSegmentBlob(blob, flattened, ids);
+      if (!seg.ok()) return seg.status();
+      segments.push_back(std::move(*seg));
+    }
+
+    // Rebuild the tuples, decoding segments in parallel.
+    TPRelation rel(name, fact_schema, manager);
+    struct DecodedTuple {
+      Row fact;
+      Interval interval;
+      LineageRef lineage;
+    };
+    std::vector<std::vector<DecodedTuple>> decoded(segments.size());
+    const int ts_idx = flattened.IndexOf(kTsColumn);
+    const int te_idx = flattened.IndexOf(kTeColumn);
+    const int lin_idx = flattened.IndexOf(kLineageColumn);
+    TaskGroup group(PoolFor(options));
+    for (size_t s = 0; s < segments.size(); ++s) {
+      group.Spawn([&, s]() -> Status {
+        const Segment& seg = segments[s];
+        std::vector<DecodedTuple>& out = decoded[s];
+        out.resize(seg.num_rows);
+        for (size_t row = 0; row < seg.num_rows; ++row) {
+          DecodedTuple& t = out[row];
+          t.fact.reserve(num_cols);
+          for (uint32_t c = 0; c < num_cols; ++c)
+            t.fact.push_back(seg.chunks[c].ValueAt(row));
+          const Datum ts = seg.chunks[ts_idx].ValueAt(row);
+          const Datum te = seg.chunks[te_idx].ValueAt(row);
+          const Datum lin = seg.chunks[lin_idx].ValueAt(row);
+          if (ts.type() != DatumType::kInt64 ||
+              te.type() != DatumType::kInt64 ||
+              lin.type() != DatumType::kLineage)
+            return Status::IOError(
+                "snapshot corrupt: reserved column has wrong type in '" +
+                name + "'");
+          t.interval = Interval(ts.AsInt64(), te.AsInt64());
+          t.lineage = lin.AsLineage();
+        }
+        return Status::OK();
+      });
+    }
+    TPDB_RETURN_IF_ERROR(group.Wait());
+    size_t total = 0;
+    for (std::vector<DecodedTuple>& seg_tuples : decoded) {
+      total += seg_tuples.size();
+      for (DecodedTuple& t : seg_tuples)
+        TPDB_RETURN_IF_ERROR(
+            rel.AppendDerived(std::move(t.fact), t.interval, t.lineage));
+    }
+    if (total != tuple_count)
+      return Status::IOError("snapshot corrupt: relation '" + name +
+                             "' promises " + std::to_string(tuple_count) +
+                             " tuples, segments hold " +
+                             std::to_string(total));
+
+    rel.set_cold_storage(std::make_shared<SegmentedTable>(
+        flattened, std::move(segments), *mapped, epoch));
+    loaded.relations.push_back(std::move(rel));
+  }
+  if (r.remaining() != 0)
+    return Status::IOError("snapshot corrupt: trailing bytes in payload");
+  return loaded;
+}
+
+StatusOr<std::vector<std::string>> ReadSnapshotRelationNames(
+    const std::string& path) {
+  StatusOr<std::shared_ptr<MappedFile>> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  // No CRC here: this pre-flight only skims structure (bounds-checked
+  // reads everywhere), and the full load that follows validates it.
+  StatusOr<std::span<const uint8_t>> payload =
+      ValidateSnapshotPayload(**mapped, /*check_crc=*/false);
+  if (!payload.ok()) return payload.status();
+  ByteReader r(*payload);
+
+  // Lineage section: skip vars and nodes.
+  uint64_t num_vars = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU64(&num_vars));
+  if (num_vars > r.remaining() / 12)
+    return Status::IOError("snapshot corrupt: implausible variable count");
+  for (uint64_t i = 0; i < num_vars; ++i) {
+    TPDB_RETURN_IF_ERROR(r.Skip(sizeof(double)));
+    TPDB_RETURN_IF_ERROR(r.SkipString());
+  }
+  uint64_t num_nodes = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU64(&num_nodes));
+  if (num_nodes > r.remaining() / 9)
+    return Status::IOError("snapshot corrupt: implausible node count");
+  TPDB_RETURN_IF_ERROR(r.Skip(static_cast<size_t>(num_nodes) * 9));
+
+  // Catalog section: names, skipping schemas and segment blobs.
+  uint32_t num_relations = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU32(&num_relations));
+  std::vector<std::string> names;
+  names.reserve(num_relations);
+  for (uint32_t rel_i = 0; rel_i < num_relations; ++rel_i) {
+    std::string name;
+    TPDB_RETURN_IF_ERROR(r.GetString(&name));
+    names.push_back(std::move(name));
+    uint32_t num_cols = 0;
+    TPDB_RETURN_IF_ERROR(r.GetU32(&num_cols));
+    if (num_cols > r.remaining() / 5)
+      return Status::IOError("snapshot corrupt: implausible column count");
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      TPDB_RETURN_IF_ERROR(r.SkipString());
+      TPDB_RETURN_IF_ERROR(r.Skip(1));
+    }
+    TPDB_RETURN_IF_ERROR(r.Skip(sizeof(uint64_t)));  // tuple count
+    uint32_t num_segments = 0;
+    TPDB_RETURN_IF_ERROR(r.GetU32(&num_segments));
+    for (uint32_t s = 0; s < num_segments; ++s) {
+      TPDB_RETURN_IF_ERROR(r.AlignTo(8));
+      uint64_t blob_size = 0;
+      TPDB_RETURN_IF_ERROR(r.GetU64(&blob_size));
+      TPDB_RETURN_IF_ERROR(r.Skip(static_cast<size_t>(blob_size)));
+    }
+  }
+  return names;
+}
+
+}  // namespace tpdb::storage

@@ -1,0 +1,84 @@
+// Snapshot persistence: a versioned, checksummed on-disk image of a whole
+// database — catalog, relations (as columnar segments, see
+// storage/segment.h) and the lineage state they depend on (variables with
+// base probabilities, hash-consed formula nodes) — so a reloaded database
+// answers every query with identical results and probabilities.
+//
+// File layout (little-endian; full spec in README.md):
+//
+//   [ 0..7 ]  magic "TPDBSNP1"
+//   [ 8..11]  format version (u32, currently 1)
+//   [12..15]  flags (u32, reserved)
+//   [16..23]  payload size in bytes (u64)
+//   [24..  ]  payload:
+//               lineage: vars (prob, name)*, nodes (kind, a, b)*
+//               catalog: per relation name, fact schema, tuple count and
+//               8-aligned segment blobs (EncodeSegmentBlob format)
+//   [  -4.. ] CRC-32 of the payload
+//
+// Readers validate magic, version, size and checksum before touching the
+// payload; every malformed-input path returns a Status (never aborts).
+// Loading maps the file and keeps it mapped: the returned relations carry
+// a SegmentedTable view into the mapping (the cold scan path).
+//
+// Segment encode and row decode fan out over the exec/ thread pool;
+// `parallelism` follows the planner convention (1 = serial, 0 = shared
+// pool at hardware width).
+#ifndef TPDB_STORAGE_SNAPSHOT_H_
+#define TPDB_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/segment.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb::storage {
+
+inline constexpr char kSnapshotMagic[8] = {'T', 'P', 'D', 'B',
+                                           'S', 'N', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Knobs of snapshot save/load.
+struct SnapshotOptions {
+  /// Tuples per segment (the zone-map pruning granularity).
+  size_t segment_rows = 4096;
+  /// 1 = serial; anything else encodes/decodes segments on the shared
+  /// exec/ thread pool.
+  int parallelism = 0;
+};
+
+/// One relation reconstructed from a snapshot, with its columnar backing
+/// attached (TPRelation::cold_storage) for the zero-copy scan path.
+struct LoadedSnapshot {
+  std::vector<TPRelation> relations;
+};
+
+/// Writes `relations` (all bound to `manager`) plus the manager's variable
+/// state to `path`. Atomic: the snapshot appears under its final name only
+/// once fully written and checksummed.
+Status SaveSnapshotFile(LineageManager* manager,
+                        const std::vector<const TPRelation*>& relations,
+                        const std::string& path,
+                        const SnapshotOptions& options = {});
+
+/// Reads a snapshot written by SaveSnapshotFile, registering its variables
+/// into `manager` (fails without side effects on the catalog if any
+/// variable name already exists) and rebuilding every relation. Formulas
+/// are re-interned through the manager, so probabilities are identical to
+/// the saved database's.
+StatusOr<LoadedSnapshot> LoadSnapshotFile(LineageManager* manager,
+                                          const std::string& path,
+                                          const SnapshotOptions& options = {});
+
+/// Reads just the relation names stored in a snapshot, without touching
+/// any manager state — the pre-flight TPDatabase::LoadSnapshot uses to
+/// reject name clashes before the load mutates anything.
+StatusOr<std::vector<std::string>> ReadSnapshotRelationNames(
+    const std::string& path);
+
+}  // namespace tpdb::storage
+
+#endif  // TPDB_STORAGE_SNAPSHOT_H_

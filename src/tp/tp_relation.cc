@@ -40,6 +40,7 @@ Status TPRelation::AppendDerived(Row fact, Interval interval,
   if (lineage.is_null())
     return Status::InvalidArgument("null lineage in " + name_);
   tuples_.push_back(TPTuple{std::move(fact), lineage, interval});
+  cold_storage_.reset();  // the columnar backing no longer matches
   return Status::OK();
 }
 
@@ -59,6 +60,8 @@ Status TPRelation::Absorb(TPRelation&& other) {
     for (TPTuple& t : other.tuples_) tuples_.push_back(std::move(t));
   }
   other.tuples_.clear();
+  cold_storage_.reset();
+  other.cold_storage_.reset();
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 #ifndef TPDB_TP_TP_RELATION_H_
 #define TPDB_TP_TP_RELATION_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@
 #include "temporal/interval.h"
 
 namespace tpdb {
+
+namespace storage {
+class SegmentedTable;
+}  // namespace storage
 
 /// One temporal-probabilistic tuple.
 struct TPTuple {
@@ -88,11 +93,27 @@ class TPRelation {
   /// p), mainly for examples and debugging.
   std::string ToString() const;
 
+  /// Columnar cold-storage backing (storage/segment.h) attached by
+  /// LoadSnapshot: the mapped segments this relation was rebuilt from,
+  /// which the planner scans directly — with zone-map pruning — instead of
+  /// flattening the tuples. Null for relations without a snapshot backing;
+  /// any mutation of the relation detaches it (the segments would go
+  /// stale). Probability zone maps carry the manager's epoch at load time,
+  /// and the planner stops probability pruning once SetVariableProbability
+  /// moves the epoch on (numeric/temporal pruning stays valid).
+  const std::shared_ptr<const storage::SegmentedTable>& cold_storage() const {
+    return cold_storage_;
+  }
+  void set_cold_storage(std::shared_ptr<const storage::SegmentedTable> s) {
+    cold_storage_ = std::move(s);
+  }
+
  private:
   std::string name_;
   Schema fact_schema_;
   LineageManager* manager_;
   std::vector<TPTuple> tuples_;
+  std::shared_ptr<const storage::SegmentedTable> cold_storage_;
 };
 
 }  // namespace tpdb
