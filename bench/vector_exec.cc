@@ -1,0 +1,213 @@
+// Row vs batch execution throughput, emitting BENCH_vector.json:
+//   * a scan→filter→aggregate sweep (the hot analytic shape) over the
+//     in-memory catalog and over a cold columnar snapshot, at 1/4/8
+//     worker threads, under vectorize=off (row path) and vectorize=on
+//     (ColumnBatch path);
+//   * a scan→filter (no aggregate) sweep over the same inputs;
+//   * a divergence gate: for every input × thread count, the batch path's
+//     result must be element-wise identical (facts, intervals, exact
+//     probabilities, order) to the row path's — the process exits
+//     non-zero on any mismatch, which is what CI keys off.
+//
+// Like bench_storage this is a plain main():
+//
+//   ./bench/bench_vector_exec [out.json]
+//
+// TPDB_BENCH_SCALE multiplies the workload size (default 30000 tuples).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "api/planner.h"
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "exec/session.h"
+#include "lineage/probability.h"
+
+namespace tpdb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double TimeBestOf(int reps, const std::function<void()>& run) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const Clock::time_point start = Clock::now();
+    run();
+    best = std::min(
+        best, std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return best;
+}
+
+/// Time-ordered copy of `raw` (ascending interval start) — the natural
+/// ingest layout, and the one that keeps temporal zone maps selective.
+StatusOr<TPRelation> TimeOrdered(const std::string& name,
+                                 const TPRelation& raw) {
+  std::vector<size_t> order(raw.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return raw.tuple(a).interval < raw.tuple(b).interval;
+  });
+  TPRelation sorted(name, raw.fact_schema(), raw.manager());
+  for (const size_t i : order) {
+    const TPTuple& t = raw.tuple(i);
+    TPDB_RETURN_IF_ERROR(sorted.AppendDerived(t.fact, t.interval, t.lineage));
+  }
+  return sorted;
+}
+
+bool SameResults(const TPRelation& a, const TPRelation& b) {
+  if (a.size() != b.size() || !(a.fact_schema() == b.fact_schema()))
+    return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (CompareRows(a.tuple(i).fact, b.tuple(i).fact) != 0 ||
+        a.tuple(i).interval != b.tuple(i).interval ||
+        a.Probability(i) != b.Probability(i))
+      return false;
+  }
+  return true;
+}
+
+struct Measurement {
+  std::string input;   // "inmemory" | "cold"
+  std::string query;   // "filter_agg" | "filter"
+  int threads = 1;
+  std::string mode;    // "row" | "batch"
+  double seconds = 0.0;
+  size_t rows = 0;
+  double tuples_per_s = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_vector.json";
+  const char* scale_env = std::getenv("TPDB_BENCH_SCALE");
+  const int64_t scale = scale_env != nullptr && std::atoll(scale_env) > 0
+                            ? std::atoll(scale_env)
+                            : 1;
+  const int64_t tuples = 30000 * scale;
+  const int reps = 3;
+
+  // -- Workload ----------------------------------------------------------
+  TPDatabase warm;
+  {
+    Random rng(20260729);
+    UniformWorkloadOptions options;
+    options.num_tuples = tuples;
+    options.num_facts = std::max<int64_t>(tuples / 40, 8);
+    options.history_length = 20000;
+    options.avg_duration = 120.0;
+    StatusOr<TPRelation> raw =
+        MakeUniformWorkload(warm.manager(), "r_raw", options, &rng);
+    TPDB_CHECK(raw.ok()) << raw.status().ToString();
+    StatusOr<TPRelation> sorted = TimeOrdered("r", *raw);
+    TPDB_CHECK(sorted.ok()) << sorted.status().ToString();
+    TPDB_CHECK(warm.Register(std::move(*sorted)).ok());
+  }
+  const int64_t key_cut = std::max<int64_t>(tuples / 40, 8) / 3;
+  const std::string q_filter_agg =
+      "SELECT key, COUNT(*) AS n, MAX(key) FROM r WHERE key >= " +
+      std::to_string(key_cut) + " GROUP BY key";
+  const std::string q_filter =
+      "SELECT * FROM r WHERE key >= " + std::to_string(key_cut);
+
+  // Cold copy: snapshot → fresh database with the mmapped segment backing.
+  const std::string snapshot_path = out_path + ".scratch.tpdb";
+  TPDB_CHECK(warm.SaveSnapshot(snapshot_path).ok());
+  TPDatabase cold;
+  TPDB_CHECK(cold.LoadSnapshot(snapshot_path).ok());
+  TPDB_CHECK((*cold.Get("r"))->cold_storage() != nullptr);
+
+  const size_t total_rows = (*warm.Get("r"))->size();
+  std::vector<Measurement> results;
+  bool parity_ok = true;
+
+  const auto sweep = [&](const std::string& input, TPDatabase* db) {
+    for (const auto& [qname, query] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"filter_agg", q_filter_agg}, {"filter", q_filter}}) {
+      for (const int threads : {1, 4, 8}) {
+        std::unique_ptr<TPRelation> row_result, batch_result;
+        for (const bool vectorize : {false, true}) {
+          SessionOptions options;
+          options.vectorize = vectorize;
+          options.parallelism = threads;
+          const Session session(db, options);
+          Measurement m;
+          m.input = input;
+          m.query = qname;
+          m.threads = threads;
+          m.mode = vectorize ? "batch" : "row";
+          m.seconds = TimeBestOf(reps, [&] {
+            StatusOr<TPRelation> out = session.Query(query);
+            TPDB_CHECK(out.ok()) << out.status().ToString();
+            m.rows = out->size();
+            auto& slot = vectorize ? batch_result : row_result;
+            slot = std::make_unique<TPRelation>(std::move(*out));
+          });
+          m.tuples_per_s = static_cast<double>(total_rows) / m.seconds;
+          results.push_back(m);
+          std::printf(
+              "%-9s %-11s %d-thread %-5s  %9.3f ms  rows=%-7zu "
+              "(%.1f Mtuples/s)\n",
+              input.c_str(), qname.c_str(), threads, m.mode.c_str(),
+              m.seconds * 1000.0, m.rows, m.tuples_per_s / 1e6);
+        }
+        if (!SameResults(*row_result, *batch_result)) {
+          parity_ok = false;
+          std::fprintf(stderr,
+                       "MISMATCH: %s/%s at %d threads — batch result "
+                       "diverges from row result\n",
+                       input.c_str(), qname.c_str(), threads);
+        }
+      }
+    }
+  };
+  sweep("inmemory", &warm);
+  sweep("cold", &cold);
+
+  // Headline: single-thread row vs batch on the cold filter+aggregate.
+  double row_1t = 0, batch_1t = 0;
+  for (const Measurement& m : results)
+    if (m.input == "cold" && m.query == "filter_agg" && m.threads == 1)
+      (m.mode == "row" ? row_1t : batch_1t) = m.seconds;
+  const double speedup = batch_1t > 0 ? row_1t / batch_1t : 0.0;
+  std::printf("cold scan→filter→aggregate, 1 thread: batch is %.2fx the "
+              "row path\nparity: %s\n",
+              speedup, parity_ok ? "OK" : "MISMATCH");
+
+  // -- JSON --------------------------------------------------------------
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  TPDB_CHECK(out != nullptr) << "cannot write " << out_path;
+  std::fprintf(out, "{\n  \"workload\": {\"tuples\": %zu},\n", total_rows);
+  std::fprintf(out, "  \"measurements\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(out,
+                 "    {\"input\": \"%s\", \"query\": \"%s\", \"threads\": "
+                 "%d, \"mode\": \"%s\", \"seconds\": %.6f, \"rows\": %zu, "
+                 "\"tuples_per_s\": %.0f}%s\n",
+                 m.input.c_str(), m.query.c_str(), m.threads, m.mode.c_str(),
+                 m.seconds, m.rows, m.tuples_per_s,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"speedup_cold_filter_agg_1thread\": %.3f,\n"
+               "  \"parity_ok\": %s\n}\n",
+               speedup, parity_ok ? "true" : "false");
+  std::fclose(out);
+  std::remove(snapshot_path.c_str());
+  std::printf("wrote %s\n", out_path.c_str());
+  return parity_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tpdb
+
+int main(int argc, char** argv) { return tpdb::Main(argc, argv); }

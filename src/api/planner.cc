@@ -12,6 +12,9 @@
 #include "engine/project.h"
 #include "engine/scan.h"
 #include "engine/sort.h"
+#include "engine/vector/adapters.h"
+#include "engine/vector/batch_ops.h"
+#include "engine/vector/predicate.h"
 #include "exec/exec_context.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
@@ -160,6 +163,40 @@ bool IsRowLocal(LogicalOp op) {
          op == LogicalOp::kProbThreshold;
 }
 
+/// Resolved form of one projection stage: source indices and output names
+/// (the reserved interval/lineage columns ride along at the end). Shared
+/// by the row and batch lowerings so both validate identically.
+struct ProjectPlan {
+  std::vector<int> indices;
+  std::vector<std::string> names;
+};
+
+StatusOr<ProjectPlan> PlanProjectStage(const LogicalNode& stage,
+                                       const Schema& schema) {
+  ProjectPlan plan;
+  for (size_t i = 0; i < stage.columns.size(); ++i) {
+    const std::string& name = stage.columns[i];
+    if (IsReservedColumn(name))
+      return Status::InvalidArgument(
+          "cannot project reserved column '" + name +
+          "' (interval and lineage are kept implicitly)");
+    const int idx = schema.IndexOf(name);
+    if (idx < 0)
+      return Status::NotFound("unknown column '" + name +
+                              "' (have: " + schema.ToString() + ")");
+    plan.indices.push_back(idx);
+    plan.names.push_back(i < stage.aliases.size() && !stage.aliases[i].empty()
+                             ? stage.aliases[i]
+                             : name);
+  }
+  // Interval and lineage ride along on every projection.
+  for (const char* reserved : {kTsColumn, kTeColumn, kLineageColumn}) {
+    plan.indices.push_back(schema.IndexOf(reserved));
+    plan.names.push_back(reserved);
+  }
+  return plan;
+}
+
 /// Lowers ONE pipelined logical stage onto `op`. Pure (no planner state),
 /// so the parallel driver can instantiate the same chain once per morsel.
 StatusOr<OperatorPtr> LowerPipelineStage(const LogicalNode& stage,
@@ -174,30 +211,10 @@ StatusOr<OperatorPtr> LowerPipelineStage(const LogicalNode& stage,
           std::make_unique<Filter>(std::move(op), std::move(*pred)));
     }
     case LogicalOp::kProject: {
-      std::vector<int> indices;
-      std::vector<std::string> names;
-      for (size_t i = 0; i < stage.columns.size(); ++i) {
-        const std::string& name = stage.columns[i];
-        if (IsReservedColumn(name))
-          return Status::InvalidArgument(
-              "cannot project reserved column '" + name +
-              "' (interval and lineage are kept implicitly)");
-        const int idx = schema.IndexOf(name);
-        if (idx < 0)
-          return Status::NotFound("unknown column '" + name +
-                                  "' (have: " + schema.ToString() + ")");
-        indices.push_back(idx);
-        names.push_back(i < stage.aliases.size() && !stage.aliases[i].empty()
-                            ? stage.aliases[i]
-                            : name);
-      }
-      // Interval and lineage ride along on every projection.
-      for (const char* reserved : {kTsColumn, kTeColumn, kLineageColumn}) {
-        indices.push_back(schema.IndexOf(reserved));
-        names.push_back(reserved);
-      }
+      StatusOr<ProjectPlan> plan = PlanProjectStage(stage, schema);
+      if (!plan.ok()) return plan.status();
       return OperatorPtr(std::make_unique<Project>(
-          std::move(op), std::move(indices), std::move(names)));
+          std::move(op), std::move(plan->indices), std::move(plan->names)));
     }
     case LogicalOp::kSort: {
       std::vector<SortKey> keys;
@@ -312,6 +329,271 @@ std::string AggOutputName(const SelectItem& item) {
     case AggFn::kMax: fn = "max"; break;
   }
   return item.column == "*" ? fn : fn + "_" + item.column;
+}
+
+// -- Vectorized lowering ---------------------------------------------------
+
+StatusOr<vec::VOperand> CompileVectorOperand(const AstExpr& e,
+                                             const Schema& schema) {
+  if (e.kind == AstExprKind::kColumn) {
+    const int idx = schema.IndexOf(e.column);
+    if (idx < 0)
+      return Status::NotFound("unknown column '" + e.column + "'");
+    return vec::VOperand::Column(idx);
+  }
+  if (e.kind == AstExprKind::kLiteral)
+    return vec::VOperand::Literal(e.literal);
+  return Status::InvalidArgument("operand shape not vectorizable");
+}
+
+/// Compiles a predicate AST into a vectorized expression over `schema`,
+/// with the same column resolution and numeric-promotion decisions as
+/// CompilePredicate. Shapes the vector evaluator does not cover (e.g. a
+/// comparison whose operand is itself a comparison) return an error and
+/// the planner keeps that stage on the row path — which also owns the
+/// user-facing error reporting for genuinely malformed predicates.
+StatusOr<vec::VectorExprPtr> CompileVectorPredicate(const AstExprPtr& e,
+                                                    const Schema& schema) {
+  TPDB_CHECK(e != nullptr);
+  switch (e->kind) {
+    case AstExprKind::kColumn:
+    case AstExprKind::kLiteral: {
+      StatusOr<vec::VOperand> op = CompileVectorOperand(*e, schema);
+      if (!op.ok()) return op.status();
+      return vec::VTruthy(std::move(*op));
+    }
+    case AstExprKind::kCompare: {
+      StatusOr<vec::VOperand> a = CompileVectorOperand(*e->left, schema);
+      if (!a.ok()) return a.status();
+      StatusOr<vec::VOperand> b = CompileVectorOperand(*e->right, schema);
+      if (!b.ok()) return b.status();
+      const DatumType ta = StaticType(*e->left, schema);
+      const DatumType tb = StaticType(*e->right, schema);
+      const bool numeric_mix =
+          (ta == DatumType::kInt64 && tb == DatumType::kDouble) ||
+          (ta == DatumType::kDouble && tb == DatumType::kInt64);
+      return vec::VCompare(e->compare_op, numeric_mix, std::move(*a),
+                           std::move(*b));
+    }
+    case AstExprKind::kAnd:
+    case AstExprKind::kOr: {
+      StatusOr<vec::VectorExprPtr> a = CompileVectorPredicate(e->left, schema);
+      if (!a.ok()) return a.status();
+      StatusOr<vec::VectorExprPtr> b =
+          CompileVectorPredicate(e->right, schema);
+      if (!b.ok()) return b.status();
+      return e->kind == AstExprKind::kAnd
+                 ? vec::VAnd(std::move(*a), std::move(*b))
+                 : vec::VOr(std::move(*a), std::move(*b));
+    }
+    case AstExprKind::kNot: {
+      StatusOr<vec::VectorExprPtr> a = CompileVectorPredicate(e->left, schema);
+      if (!a.ok()) return a.status();
+      return vec::VNot(std::move(*a));
+    }
+    case AstExprKind::kIsNull: {
+      if (e->left->kind == AstExprKind::kColumn ||
+          e->left->kind == AstExprKind::kLiteral) {
+        StatusOr<vec::VOperand> op = CompileVectorOperand(*e->left, schema);
+        if (!op.ok()) return op.status();
+        return vec::VIsNull(std::move(*op));
+      }
+      StatusOr<vec::VectorExprPtr> a = CompileVectorPredicate(e->left, schema);
+      if (!a.ok()) return a.status();
+      return vec::VIsNullOf(std::move(*a));
+    }
+  }
+  return Status::Internal("unhandled predicate node");
+}
+
+/// How many leading stages the batch path can lower over a source with
+/// `schema` — filters with vectorizable predicates, projections,
+/// probability thresholds, and (unless `row_local_only`, the parallel
+/// driver's constraint) limits. Tracks the schema across projections;
+/// `out_schema`, when given, receives the schema after the lowered run.
+size_t CountBatchStages(Schema schema,
+                        const std::vector<const LogicalNode*>& stages,
+                        bool row_local_only, Schema* out_schema = nullptr) {
+  size_t n = 0;
+  for (const LogicalNode* stage : stages) {
+    switch (stage->op) {
+      case LogicalOp::kFilter:
+        if (!CompileVectorPredicate(stage->predicate, schema).ok())
+          goto done;
+        break;
+      case LogicalOp::kProject: {
+        StatusOr<ProjectPlan> plan = PlanProjectStage(*stage, schema);
+        if (!plan.ok()) goto done;
+        std::vector<Column> cols;
+        cols.reserve(plan->indices.size());
+        for (size_t i = 0; i < plan->indices.size(); ++i) {
+          Column c = schema.column(static_cast<size_t>(plan->indices[i]));
+          c.name = plan->names[i];
+          cols.push_back(std::move(c));
+        }
+        schema = Schema(std::move(cols));
+        break;
+      }
+      case LogicalOp::kProbThreshold:
+        break;
+      case LogicalOp::kLimit:
+        if (row_local_only) goto done;
+        break;
+      default:
+        goto done;
+    }
+    ++n;
+  }
+done:
+  if (out_schema != nullptr) *out_schema = std::move(schema);
+  return n;
+}
+
+/// Lowers exactly `count` leading stages — pre-validated by
+/// CountBatchStages — onto batch operators over `op`. With `stats`, each
+/// stage is instrumented as a "(vec)" node (rows = active rows emitted).
+vec::BatchOperatorPtr LowerBatchStages(
+    vec::BatchOperatorPtr op, const std::vector<const LogicalNode*>& stages,
+    size_t count, LineageManager* manager, VectorStats* vstats,
+    ExecStats* stats) {
+  for (size_t i = 0; i < count; ++i) {
+    const LogicalNode& stage = *stages[i];
+    switch (stage.op) {
+      case LogicalOp::kFilter: {
+        StatusOr<vec::VectorExprPtr> pred =
+            CompileVectorPredicate(stage.predicate, op->schema());
+        TPDB_CHECK(pred.ok()) << pred.status().ToString();
+        op = std::make_unique<vec::BatchFilter>(std::move(op),
+                                                std::move(*pred), vstats);
+        break;
+      }
+      case LogicalOp::kProject: {
+        StatusOr<ProjectPlan> plan = PlanProjectStage(stage, op->schema());
+        TPDB_CHECK(plan.ok()) << plan.status().ToString();
+        op = std::make_unique<vec::BatchProject>(
+            std::move(op), std::move(plan->indices), std::move(plan->names));
+        break;
+      }
+      case LogicalOp::kProbThreshold:
+        op = std::make_unique<vec::BatchProbThreshold>(
+            std::move(op), manager, stage.min_prob, stage.min_prob_strict,
+            vstats);
+        break;
+      case LogicalOp::kLimit:
+        op = std::make_unique<vec::BatchLimit>(
+            std::move(op), static_cast<size_t>(stage.limit),
+            static_cast<size_t>(stage.offset), vstats);
+        break;
+      default:
+        TPDB_CHECK(false) << "non-batch stage in pre-validated chain";
+    }
+    if (stats != nullptr)
+      op = vec::InstrumentBatch(stage.Label() + " (vec)", std::move(op),
+                                stats);
+  }
+  return op;
+}
+
+/// The scan predicate the cold paths push down: conjunctive bounds from
+/// the leading run of filter / probability-threshold stages, with the
+/// probability dimension epoch-gated (zone-map max_prob is snapshot-time
+/// data — see EvalColdPipeline).
+storage::ScanPredicate CollectColdScanPredicate(
+    const std::vector<const LogicalNode*>& stages, LineageManager* manager,
+    const storage::SegmentedTable* table) {
+  const bool prob_maps_fresh =
+      manager->probability_epoch() == table->probability_epoch();
+  storage::ScanPredicate predicate;
+  for (const LogicalNode* stage : stages) {
+    if (stage->op == LogicalOp::kFilter) {
+      CollectScanBounds(stage->predicate, &predicate);
+    } else if (stage->op == LogicalOp::kProbThreshold) {
+      if (prob_maps_fresh)
+        predicate.AddMinProb(stage->min_prob, stage->min_prob_strict);
+    } else {
+      break;
+    }
+  }
+  return predicate;
+}
+
+/// Runs the row-path stages [first, stages.size()) over `table` and
+/// converts the result back to a relation — the tail of a batch pipeline
+/// whose prefix was merged by the parallel driver.
+StatusOr<TPRelation> FinishRowStagesOverTable(
+    std::string name, Table table,
+    const std::vector<const LogicalNode*>& stages, size_t first,
+    LineageManager* manager) {
+  if (first == stages.size())
+    return TPRelation::FromTable(std::move(name), table, manager);
+  OperatorPtr op = std::make_unique<TableScan>(&table);
+  for (size_t i = first; i < stages.size(); ++i) {
+    StatusOr<OperatorPtr> next =
+        LowerPipelineStage(*stages[i], std::move(op), manager);
+    if (!next.ok()) return next.status();
+    op = std::move(*next);
+  }
+  const Table out = Materialize(op.get());
+  return TPRelation::FromTable(std::move(name), out, manager);
+}
+
+/// Resolved aggregate: group/aggregate column indices (into the fact
+/// schema — which equals the flattened prefix) and the output fact
+/// columns. Shared by the row and batch aggregate paths so both validate
+/// identically.
+struct AggPlan {
+  std::vector<int> group_idx;
+  std::vector<int> agg_idx;  ///< -1 for COUNT(*)
+  std::vector<Column> out_cols;
+};
+
+StatusOr<AggPlan> ResolveAggregatePlan(const LogicalNode& node,
+                                       const Schema& facts) {
+  AggPlan plan;
+  for (size_t g = 0; g < node.group_by.size(); ++g) {
+    const std::string& name = node.group_by[g];
+    const int idx = facts.IndexOf(name);
+    if (idx < 0)
+      return Status::NotFound("unknown GROUP BY column '" + name + "'");
+    plan.group_idx.push_back(idx);
+    Column col = facts.column(static_cast<size_t>(idx));
+    if (g < node.group_aliases.size() && !node.group_aliases[g].empty())
+      col.name = node.group_aliases[g];
+    plan.out_cols.push_back(std::move(col));
+  }
+  for (const SelectItem& item : node.aggregates) {
+    int idx = -1;
+    DatumType type = DatumType::kInt64;
+    if (item.column == "*") {
+      if (item.fn != AggFn::kCount)
+        return Status::InvalidArgument("'*' is only valid for COUNT");
+    } else {
+      idx = facts.IndexOf(item.column);
+      if (idx < 0)
+        return Status::NotFound("unknown aggregate column '" + item.column +
+                                "'");
+      type = facts.column(static_cast<size_t>(idx)).type;
+    }
+    if (item.fn == AggFn::kSum && type != DatumType::kInt64 &&
+        type != DatumType::kDouble)
+      return Status::InvalidArgument("SUM requires a numeric column, got '" +
+                                     item.column + "'");
+    plan.agg_idx.push_back(idx);
+    plan.out_cols.push_back(
+        {AggOutputName(item),
+         item.fn == AggFn::kCount ? DatumType::kInt64 : type});
+  }
+  return plan;
+}
+
+vec::BatchAggFn MapAggFn(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return vec::BatchAggFn::kCount;
+    case AggFn::kSum: return vec::BatchAggFn::kSum;
+    case AggFn::kMin: return vec::BatchAggFn::kMin;
+    case AggFn::kMax: return vec::BatchAggFn::kMax;
+  }
+  return vec::BatchAggFn::kCount;
 }
 
 }  // namespace
@@ -447,48 +729,22 @@ StatusOr<Planner::EvalResult> Planner::EvalSetOp(const LogicalNode& node,
 
 StatusOr<Planner::EvalResult> Planner::EvalAggregate(const LogicalNode& node,
                                                      ExecStats* stats) {
+  if (options_.vectorize) {
+    StatusOr<std::optional<EvalResult>> batch = TryBatchAggregate(node, stats);
+    if (!batch.ok()) return batch.status();
+    if (batch->has_value()) return std::move(**batch);
+  }
+
   StatusOr<EvalResult> child = Eval(*node.children[0], stats);
   if (!child.ok()) return child.status();
   const TPRelation& input = child->rel();
   const Clock::time_point start = Clock::now();
-  const Schema& facts = input.fact_schema();
 
-  std::vector<int> group_idx;
-  std::vector<Column> out_cols;
-  for (size_t g = 0; g < node.group_by.size(); ++g) {
-    const std::string& name = node.group_by[g];
-    const int idx = facts.IndexOf(name);
-    if (idx < 0)
-      return Status::NotFound("unknown GROUP BY column '" + name + "'");
-    group_idx.push_back(idx);
-    Column col = facts.column(static_cast<size_t>(idx));
-    if (g < node.group_aliases.size() && !node.group_aliases[g].empty())
-      col.name = node.group_aliases[g];
-    out_cols.push_back(std::move(col));
-  }
-  std::vector<int> agg_idx;
-  for (const SelectItem& item : node.aggregates) {
-    int idx = -1;
-    DatumType type = DatumType::kInt64;
-    if (item.column == "*") {
-      if (item.fn != AggFn::kCount)
-        return Status::InvalidArgument("'*' is only valid for COUNT");
-    } else {
-      idx = facts.IndexOf(item.column);
-      if (idx < 0)
-        return Status::NotFound("unknown aggregate column '" + item.column +
-                                "'");
-      type = facts.column(static_cast<size_t>(idx)).type;
-    }
-    if (item.fn == AggFn::kSum && type != DatumType::kInt64 &&
-        type != DatumType::kDouble)
-      return Status::InvalidArgument("SUM requires a numeric column, got '" +
-                                     item.column + "'");
-    agg_idx.push_back(idx);
-    out_cols.push_back(
-        {AggOutputName(item),
-         item.fn == AggFn::kCount ? DatumType::kInt64 : type});
-  }
+  StatusOr<AggPlan> plan = ResolveAggregatePlan(node, input.fact_schema());
+  if (!plan.ok()) return plan.status();
+  const std::vector<int>& group_idx = plan->group_idx;
+  const std::vector<int>& agg_idx = plan->agg_idx;
+  std::vector<Column>& out_cols = plan->out_cols;
 
   struct Group {
     std::vector<Datum> acc;  // one slot per aggregate (count as int64)
@@ -595,8 +851,15 @@ StatusOr<Planner::EvalResult> Planner::EvalPipelined(const LogicalNode& node,
   if (cursor->op == LogicalOp::kScan) {
     StatusOr<TPRelation*> rel = db_->GetAssumingLocked(cursor->relation);
     if (!rel.ok()) return rel.status();
-    if ((*rel)->cold_storage() != nullptr)
+    if ((*rel)->cold_storage() != nullptr) {
+      if (options_.vectorize) {
+        StatusOr<std::optional<EvalResult>> batch =
+            EvalColdBatch(**rel, *cursor, stages, stats);
+        if (!batch.ok()) return batch.status();
+        if (batch->has_value()) return std::move(**batch);
+      }
       return EvalColdPipeline(**rel, *cursor, stages, stats);
+    }
   }
 
   StatusOr<EvalResult> base = Eval(*cursor, stats);
@@ -604,6 +867,13 @@ StatusOr<Planner::EvalResult> Planner::EvalPipelined(const LogicalNode& node,
   LineageManager* manager = base->rel().manager();
 
   auto table = std::make_unique<Table>(base->rel().ToTable());
+
+  if (options_.vectorize) {
+    StatusOr<std::optional<EvalResult>> batch =
+        EvalWarmBatch(base->rel().name(), *table, manager, stages, stats);
+    if (!batch.ok()) return batch.status();
+    if (batch->has_value()) return std::move(**batch);
+  }
 
   // The leading run of row-local stages (filter / project / probability
   // threshold) can go through the parallel driver: each morsel runs its
@@ -670,19 +940,8 @@ StatusOr<Planner::EvalResult> Planner::EvalColdPipeline(
   // snapshot; after SetVariableProbability they could wrongly prune, so
   // probability pushdown is gated on the manager's epoch (numeric and
   // temporal bounds are unaffected — facts and intervals never restate).
-  const bool prob_maps_fresh =
-      manager->probability_epoch() == table->probability_epoch();
-  storage::ScanPredicate predicate;
-  for (const LogicalNode* stage : stages) {
-    if (stage->op == LogicalOp::kFilter) {
-      CollectScanBounds(stage->predicate, &predicate);
-    } else if (stage->op == LogicalOp::kProbThreshold) {
-      if (prob_maps_fresh)
-        predicate.AddMinProb(stage->min_prob, stage->min_prob_strict);
-    } else {
-      break;
-    }
-  }
+  storage::ScanPredicate predicate =
+      CollectColdScanPredicate(stages, manager, table);
 
   StorageStats counters;
   NodeStats* scan_stats =
@@ -709,6 +968,305 @@ StatusOr<Planner::EvalResult> Planner::EvalColdPipeline(
       TPRelation::FromTable(rel.name(), out, manager);
   if (!result.ok()) return result.status();
   return EvalResult{std::move(*result), nullptr};
+}
+
+StatusOr<std::optional<Planner::EvalResult>> Planner::EvalColdBatch(
+    const TPRelation& rel, const LogicalNode& scan_node,
+    const std::vector<const LogicalNode*>& stages, ExecStats* stats) {
+  const storage::SegmentedTable* table = rel.cold_storage().get();
+  LineageManager* manager = rel.manager();
+  const storage::ScanPredicate predicate =
+      CollectColdScanPredicate(stages, manager, table);
+
+  // Parallel: morsels of whole segments run the row-local batch prefix
+  // independently (zone-map pruning composes per morsel); the merged
+  // table — in segment order, i.e. the serial scan order — feeds any
+  // remaining stages on the row path. Explain keeps the run serial so
+  // per-stage counters describe one pipeline instance.
+  if (ctx_ != nullptr && stats == nullptr &&
+      ctx_->ShouldParallelize(table->num_rows()) &&
+      table->segments().size() >= 2) {
+    const size_t lowered =
+        CountBatchStages(table->schema(), stages, /*row_local_only=*/true);
+    if (lowered > 0) {
+      const size_t max_morsels =
+          static_cast<size_t>(ctx_->parallelism()) * 4;
+      const std::vector<Morsel> morsels =
+          MakeMorsels(table->segments().size(), 1, max_morsels);
+      StatusOr<Table> merged = ParallelBatchPipeline(
+          ctx_, morsels.size(),
+          [&](size_t i) -> StatusOr<vec::BatchOperatorPtr> {
+            return vec::BatchOperatorPtr(
+                std::make_unique<storage::SegmentBatchScan>(
+                    table, predicate, morsels[i].begin, morsels[i].end));
+          },
+          [&](vec::BatchOperatorPtr src) -> StatusOr<vec::BatchOperatorPtr> {
+            return LowerBatchStages(std::move(src), stages, lowered, manager,
+                                    nullptr, nullptr);
+          });
+      if (!merged.ok()) return merged.status();
+      StatusOr<TPRelation> result = FinishRowStagesOverTable(
+          rel.name(), std::move(*merged), stages, lowered, manager);
+      if (!result.ok()) return result.status();
+      return std::optional<EvalResult>(
+          EvalResult{std::move(*result), nullptr});
+    }
+  }
+
+  // Serial: chunk-level batch scan → lowered batch stages → (adapter +
+  // remaining row stages, when the chain has a non-vectorizable tail).
+  const size_t lowered =
+      CountBatchStages(table->schema(), stages, /*row_local_only=*/false);
+  if (lowered == 0) return std::optional<EvalResult>();
+
+  VectorStats vstats;
+  StorageStats counters;
+  NodeStats* scan_stats =
+      stats != nullptr ? stats->AddNode(scan_node.Label() + " (cold)")
+                       : nullptr;
+  vec::BatchOperatorPtr op = std::make_unique<storage::SegmentBatchScan>(
+      table, predicate, &counters, &vstats);
+  op = LowerBatchStages(std::move(op), stages, lowered, manager, &vstats,
+                        stats);
+  Table out;
+  if (lowered == stages.size()) {
+    out = vec::MaterializeBatches(op.get(), &vstats);
+  } else {
+    OperatorPtr rop =
+        std::make_unique<vec::BatchToRowAdapter>(std::move(op), &vstats);
+    for (size_t i = lowered; i < stages.size(); ++i) {
+      StatusOr<OperatorPtr> next =
+          LowerPipelineStage(*stages[i], std::move(rop), manager);
+      if (!next.ok()) return next.status();
+      rop = std::move(*next);
+      if (stats != nullptr)
+        rop = Instrument(stages[i]->Label(), std::move(rop), stats);
+    }
+    out = Materialize(rop.get());
+  }
+  if (stats != nullptr) {
+    scan_stats->rows = counters.rows_decoded;
+    scan_stats->open_calls = 1;
+    scan_stats->seconds = counters.decode_seconds;
+    stats->AddStorage(counters);
+    stats->AddVector(vstats);
+  }
+  StatusOr<TPRelation> result =
+      TPRelation::FromTable(rel.name(), out, manager);
+  if (!result.ok()) return result.status();
+  return std::optional<EvalResult>(EvalResult{std::move(*result), nullptr});
+}
+
+StatusOr<std::optional<Planner::EvalResult>> Planner::EvalWarmBatch(
+    const std::string& name, const Table& table, LineageManager* manager,
+    const std::vector<const LogicalNode*>& stages, ExecStats* stats) {
+  // Parallel: contiguous morsels of the flattened table through the
+  // row-local batch prefix, ordered merge, remaining stages on the row
+  // path (mirrors the row path's ParallelPipeline conditions).
+  if (ctx_ != nullptr && stats == nullptr &&
+      ctx_->ShouldParallelize(table.rows.size())) {
+    const size_t lowered =
+        CountBatchStages(table.schema, stages, /*row_local_only=*/true);
+    if (lowered > 0) {
+      const std::vector<Morsel> morsels =
+          MakeMorsels(table.rows.size(), ctx_->options().morsel_size);
+      if (morsels.size() >= 2) {
+        StatusOr<Table> merged = ParallelBatchPipeline(
+            ctx_, morsels.size(),
+            [&](size_t i) -> StatusOr<vec::BatchOperatorPtr> {
+              return vec::BatchOperatorPtr(
+                  std::make_unique<vec::TableBatchScan>(
+                      &table, morsels[i].begin, morsels[i].end));
+            },
+            [&](vec::BatchOperatorPtr src)
+                -> StatusOr<vec::BatchOperatorPtr> {
+              return LowerBatchStages(std::move(src), stages, lowered,
+                                      manager, nullptr, nullptr);
+            });
+        if (!merged.ok()) return merged.status();
+        StatusOr<TPRelation> result = FinishRowStagesOverTable(
+            name, std::move(*merged), stages, lowered, manager);
+        if (!result.ok()) return result.status();
+        return std::optional<EvalResult>(
+            EvalResult{std::move(*result), nullptr});
+      }
+    }
+  }
+
+  const size_t lowered =
+      CountBatchStages(table.schema, stages, /*row_local_only=*/false);
+  if (lowered == 0) return std::optional<EvalResult>();
+
+  VectorStats vstats;
+  vec::BatchOperatorPtr op =
+      std::make_unique<vec::TableBatchScan>(&table, &vstats);
+  op = LowerBatchStages(std::move(op), stages, lowered, manager, &vstats,
+                        stats);
+  Table out;
+  if (lowered == stages.size()) {
+    out = vec::MaterializeBatches(op.get(), &vstats);
+  } else {
+    OperatorPtr rop =
+        std::make_unique<vec::BatchToRowAdapter>(std::move(op), &vstats);
+    for (size_t i = lowered; i < stages.size(); ++i) {
+      StatusOr<OperatorPtr> next =
+          LowerPipelineStage(*stages[i], std::move(rop), manager);
+      if (!next.ok()) return next.status();
+      rop = std::move(*next);
+      if (stats != nullptr)
+        rop = Instrument(stages[i]->Label(), std::move(rop), stats);
+    }
+    out = Materialize(rop.get());
+  }
+  if (stats != nullptr) stats->AddVector(vstats);
+  StatusOr<TPRelation> result = TPRelation::FromTable(name, out, manager);
+  if (!result.ok()) return result.status();
+  return std::optional<EvalResult>(EvalResult{std::move(*result), nullptr});
+}
+
+StatusOr<std::optional<Planner::EvalResult>> Planner::TryBatchAggregate(
+    const LogicalNode& node, ExecStats* stats) {
+  // The child must be a pipelined chain rooted at a catalog scan, and
+  // every stage must vectorize — the aggregate consumes the whole stream
+  // batch-at-a-time, reading only the columns it references.
+  std::vector<const LogicalNode*> chain;
+  const LogicalNode* cursor = node.children[0].get();
+  while (IsPipelined(cursor->op)) {
+    chain.push_back(cursor);
+    cursor = cursor->children[0].get();
+  }
+  if (cursor->op != LogicalOp::kScan) return std::optional<EvalResult>();
+  const std::vector<const LogicalNode*> stages(chain.rbegin(), chain.rend());
+
+  StatusOr<TPRelation*> rel = db_->GetAssumingLocked(cursor->relation);
+  if (!rel.ok()) return rel.status();
+  LineageManager* manager = (*rel)->manager();
+  const storage::SegmentedTable* cold = (*rel)->cold_storage().get();
+
+  // The flattened source schema is derivable without materializing rows
+  // (facts ++ _ts/_te/_lin), so the vectorizability check runs before the
+  // warm path pays for ToTable().
+  Schema source_schema;
+  if (cold != nullptr) {
+    source_schema = cold->schema();
+  } else {
+    source_schema = (*rel)->fact_schema();
+    source_schema.AddColumn({kTsColumn, DatumType::kInt64});
+    source_schema.AddColumn({kTeColumn, DatumType::kInt64});
+    source_schema.AddColumn({kLineageColumn, DatumType::kLineage});
+  }
+  Schema flat;
+  if (CountBatchStages(source_schema, stages, /*row_local_only=*/false,
+                       &flat) != stages.size())
+    return std::optional<EvalResult>();
+  std::unique_ptr<Table> warm;  // flattened backing of the warm path
+  if (cold == nullptr) warm = std::make_unique<Table>((*rel)->ToTable());
+
+  // Group/aggregate columns resolve against the fact prefix of the
+  // flattened schema (the reserved columns sit at the end), so the
+  // validation — and its errors — match the row path's exactly.
+  TPDB_CHECK_GE(flat.num_columns(), 3u);
+  const Schema facts(std::vector<Column>(flat.columns().begin(),
+                                         flat.columns().end() - 3));
+  StatusOr<AggPlan> plan = ResolveAggregatePlan(node, facts);
+  if (!plan.ok()) return plan.status();
+  std::vector<vec::BatchAggItem> items;
+  items.reserve(node.aggregates.size());
+  for (size_t j = 0; j < node.aggregates.size(); ++j)
+    items.push_back(
+        vec::BatchAggItem{MapAggFn(node.aggregates[j].fn), plan->agg_idx[j]});
+  std::vector<Column> out_cols = std::move(plan->out_cols);
+  out_cols.push_back({kTsColumn, DatumType::kInt64});
+  out_cols.push_back({kTeColumn, DatumType::kInt64});
+  out_cols.push_back({kLineageColumn, DatumType::kLineage});
+  Schema out_schema(std::move(out_cols));
+
+  const storage::ScanPredicate predicate =
+      cold != nullptr ? CollectColdScanPredicate(stages, manager, cold)
+                      : storage::ScanPredicate();
+
+  VectorStats vstats;
+  StorageStats counters;
+  NodeStats* scan_stats = nullptr;
+  std::unique_ptr<Table> merged;  // parallel prefix output
+  vec::BatchOperatorPtr op;
+
+  // Parallel prefix: the stages are row-local (limits never sit below an
+  // aggregate in built plans), so the same morsel drivers apply; the
+  // aggregate itself consumes the ordered merge serially.
+  const size_t driving_rows =
+      cold != nullptr ? cold->num_rows() : warm->rows.size();
+  const bool parallel =
+      ctx_ != nullptr && stats == nullptr && !stages.empty() &&
+      ctx_->ShouldParallelize(driving_rows) &&
+      CountBatchStages(source_schema, stages, /*row_local_only=*/true) ==
+          stages.size() &&
+      (cold == nullptr || cold->segments().size() >= 2);
+  if (parallel) {
+    const std::vector<Morsel> morsels =
+        cold != nullptr
+            ? MakeMorsels(cold->segments().size(), 1,
+                          static_cast<size_t>(ctx_->parallelism()) * 4)
+            : MakeMorsels(warm->rows.size(), ctx_->options().morsel_size);
+    // A single morsel would only add a materialize + re-transpose round
+    // trip over the serial stream below.
+    if (morsels.size() >= 2) {
+      StatusOr<Table> out = ParallelBatchPipeline(
+          ctx_, morsels.size(),
+          [&](size_t i) -> StatusOr<vec::BatchOperatorPtr> {
+            if (cold != nullptr)
+              return vec::BatchOperatorPtr(
+                  std::make_unique<storage::SegmentBatchScan>(
+                      cold, predicate, morsels[i].begin, morsels[i].end));
+            return vec::BatchOperatorPtr(
+                std::make_unique<vec::TableBatchScan>(
+                    warm.get(), morsels[i].begin, morsels[i].end));
+          },
+          [&](vec::BatchOperatorPtr src) -> StatusOr<vec::BatchOperatorPtr> {
+            return LowerBatchStages(std::move(src), stages, stages.size(),
+                                    manager, nullptr, nullptr);
+          });
+      if (!out.ok()) return out.status();
+      merged = std::make_unique<Table>(std::move(*out));
+      op = std::make_unique<vec::TableBatchScan>(merged.get(), nullptr);
+    }
+  }
+  if (op == nullptr && cold != nullptr) {
+    scan_stats = stats != nullptr
+                     ? stats->AddNode(cursor->Label() + " (cold)")
+                     : nullptr;
+    op = std::make_unique<storage::SegmentBatchScan>(cold, predicate,
+                                                     &counters, &vstats);
+    op = LowerBatchStages(std::move(op), stages, stages.size(), manager,
+                          &vstats, stats);
+  } else if (op == nullptr) {
+    if (stats != nullptr)
+      Report(stats, cursor->Label(), (*rel)->size(), 0.0);
+    op = std::make_unique<vec::TableBatchScan>(warm.get(), &vstats);
+    op = LowerBatchStages(std::move(op), stages, stages.size(), manager,
+                          &vstats, stats);
+  }
+
+  op = std::make_unique<vec::BatchHashAggregate>(
+      std::move(op), std::move(plan->group_idx), std::move(items),
+      std::move(out_schema), manager);
+  if (stats != nullptr)
+    op = vec::InstrumentBatch(node.Label() + " (vec)", std::move(op), stats);
+  const Table out = vec::MaterializeBatches(op.get(), &vstats);
+
+  if (stats != nullptr) {
+    if (scan_stats != nullptr) {
+      scan_stats->rows = counters.rows_decoded;
+      scan_stats->open_calls = 1;
+      scan_stats->seconds = counters.decode_seconds;
+      stats->AddStorage(counters);
+    }
+    stats->AddVector(vstats);
+  }
+  StatusOr<TPRelation> result =
+      TPRelation::FromTable((*rel)->name() + "_agg", out, manager);
+  if (!result.ok()) return result.status();
+  return std::optional<EvalResult>(EvalResult{std::move(*result), nullptr});
 }
 
 }  // namespace tpdb

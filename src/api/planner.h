@@ -51,6 +51,14 @@ struct PlannerOptions {
   /// Driving inputs smaller than this run serially even when
   /// parallelism > 1 (task setup would dominate).
   size_t min_parallel_rows = 512;
+  /// Batch-at-a-time execution (engine/vector/): the planner lowers the
+  /// leading Scan→Filter→Project(→Aggregate/Limit) prefix of a pipeline
+  /// onto ColumnBatch operators — zero-copy over columnar snapshots, typed
+  /// column loops for predicates — and falls back to the row path for
+  /// anything it cannot vectorize (sort, exotic predicates). Results are
+  /// element-wise and order identical either way; `false` forces the
+  /// row path bit-for-bit.
+  bool vectorize = true;
 };
 
 /// Executes logical plans against one database's catalog.
@@ -84,6 +92,22 @@ class Planner {
   StatusOr<EvalResult> EvalColdPipeline(
       const TPRelation& rel, const LogicalNode& scan_node,
       const std::vector<const LogicalNode*>& stages, ExecStats* stats);
+  /// Vectorized pipeline paths (engine/vector/): lower the leading
+  /// batch-supported run of `stages` onto a ColumnBatch pipeline — over
+  /// the mapped segments (cold) or the flattened table (warm) — with the
+  /// row path picking up any remaining stages through BatchToRowAdapter.
+  /// Return nullopt when no stage vectorizes; the caller then runs the
+  /// row path (which also owns error reporting for malformed stages).
+  StatusOr<std::optional<EvalResult>> EvalColdBatch(
+      const TPRelation& rel, const LogicalNode& scan_node,
+      const std::vector<const LogicalNode*>& stages, ExecStats* stats);
+  StatusOr<std::optional<EvalResult>> EvalWarmBatch(
+      const std::string& name, const Table& table, LineageManager* manager,
+      const std::vector<const LogicalNode*>& stages, ExecStats* stats);
+  /// Vectorized aggregation: when the aggregate's child is a fully
+  /// batch-lowerable Scan→Filter… chain, group straight off the batches.
+  StatusOr<std::optional<EvalResult>> TryBatchAggregate(
+      const LogicalNode& node, ExecStats* stats);
   StatusOr<EvalResult> EvalJoin(const LogicalNode& node, ExecStats* stats);
   StatusOr<EvalResult> EvalSetOp(const LogicalNode& node, ExecStats* stats);
   StatusOr<EvalResult> EvalAggregate(const LogicalNode& node,

@@ -74,6 +74,17 @@ void ExecStats::AddStorage(const StorageStats& storage) {
   storage_.Merge(storage);
 }
 
+void VectorStats::Merge(const VectorStats& other) {
+  batches += other.batches;
+  rows_scanned += other.rows_scanned;
+  rows_emitted += other.rows_emitted;
+  rows_pruned += other.rows_pruned;
+}
+
+void ExecStats::AddVector(const VectorStats& vector) {
+  vector_.Merge(vector);
+}
+
 std::string ExecStats::ToString() const {
   std::string out;
   for (const std::unique_ptr<NodeStats>& node : nodes_) {
@@ -112,6 +123,23 @@ std::string ExecStats::ToString() const {
                   static_cast<unsigned long long>(storage_.segments_skipped),
                   static_cast<unsigned long long>(storage_.bytes_mapped),
                   storage_.decode_seconds * 1000.0);
+    out += line;
+  }
+  if (vector_.Any()) {
+    char line[220];
+    std::snprintf(
+        line, sizeof(line),
+        "vectorized:\n"
+        "  batches: %llu  avg batch fill: %.1f rows\n"
+        "  rows scanned: %llu  emitted: %llu  pruned by selection: %llu\n",
+        static_cast<unsigned long long>(vector_.batches),
+        vector_.batches > 0
+            ? static_cast<double>(vector_.rows_emitted) /
+                  static_cast<double>(vector_.batches)
+            : 0.0,
+        static_cast<unsigned long long>(vector_.rows_scanned),
+        static_cast<unsigned long long>(vector_.rows_emitted),
+        static_cast<unsigned long long>(vector_.rows_pruned));
     out += line;
   }
   return out;

@@ -50,6 +50,21 @@ struct StorageStats {
   void Merge(const StorageStats& other);
 };
 
+/// Aggregates of the vectorized execution path (engine/vector/): batches
+/// produced by the batch sources, rows entering the batch pipelines, rows
+/// surviving to the sink, and rows short-circuited by selection vectors —
+/// deselected by batch filters/thresholds/limits without ever being
+/// materialized as rows.
+struct VectorStats {
+  uint64_t batches = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_emitted = 0;
+  uint64_t rows_pruned = 0;
+
+  bool Any() const { return batches > 0 || rows_scanned > 0; }
+  void Merge(const VectorStats& other);
+};
+
 /// Registry the instrumented wrappers report into. Must outlive the plan.
 class ExecStats {
  public:
@@ -71,16 +86,23 @@ class ExecStats {
 
   const StorageStats& storage() const { return storage_; }
 
+  /// Merges one batch pipeline's counters into the vectorized section.
+  void AddVector(const VectorStats& vector);
+
+  const VectorStats& vector() const { return vector_; }
+
   /// Multi-line "label: rows=… time=…" rendering, in registration order
   /// (register bottom-up to read the pipeline top-down), followed by a
-  /// per-worker section when the query ran on the parallel runtime and a
-  /// storage section when any scan was served from columnar segments.
+  /// per-worker section when the query ran on the parallel runtime, a
+  /// storage section when any scan was served from columnar segments, and
+  /// a vectorized section when any pipeline ran batch-at-a-time.
   std::string ToString() const;
 
  private:
   std::vector<std::unique_ptr<NodeStats>> nodes_;
   std::vector<WorkerStats> workers_;
   StorageStats storage_;
+  VectorStats vector_;
 };
 
 /// Wraps `child`, counting its rows and timing its Next() calls into a

@@ -28,6 +28,7 @@ class LitExpr final : public Expr {
   explicit LitExpr(Datum value) : value_(std::move(value)) {}
   Datum Eval(const Row&) const override { return value_; }
   std::string ToString() const override { return value_.ToString(); }
+  bool constant() const override { return true; }
 
  private:
   Datum value_;
@@ -63,6 +64,13 @@ class CompareExpr final : public Expr {
     return "(" + a_->ToString() + " " + kNames[static_cast<int>(op_)] + " " +
            b_->ToString() + ")";
   }
+  bool constant() const override { return a_->constant() && b_->constant(); }
+  ExprPtr Fold() const override {
+    ExprPtr a = FoldConstants(a_);
+    ExprPtr b = FoldConstants(b_);
+    if (a == a_ && b == b_) return nullptr;
+    return Compare(op_, std::move(a), std::move(b));
+  }
 
  private:
   CompareOp op_;
@@ -95,6 +103,14 @@ class AndOrExpr final : public Expr {
     return "(" + a_->ToString() + (is_and_ ? " AND " : " OR ") +
            b_->ToString() + ")";
   }
+  bool constant() const override { return a_->constant() && b_->constant(); }
+  ExprPtr Fold() const override {
+    ExprPtr a = FoldConstants(a_);
+    ExprPtr b = FoldConstants(b_);
+    if (a == a_ && b == b_) return nullptr;
+    return is_and_ ? AndExpr(std::move(a), std::move(b))
+                   : OrExpr(std::move(a), std::move(b));
+  }
 
  private:
   bool is_and_;
@@ -113,6 +129,11 @@ class NotOpExpr final : public Expr {
   std::string ToString() const override {
     return "(NOT " + a_->ToString() + ")";
   }
+  bool constant() const override { return a_->constant(); }
+  ExprPtr Fold() const override {
+    ExprPtr a = FoldConstants(a_);
+    return a == a_ ? nullptr : NotExpr(std::move(a));
+  }
 
  private:
   ExprPtr a_;
@@ -126,6 +147,11 @@ class IsNullExpr final : public Expr {
   }
   std::string ToString() const override {
     return "(" + a_->ToString() + " IS NULL)";
+  }
+  bool constant() const override { return a_->constant(); }
+  ExprPtr Fold() const override {
+    ExprPtr a = FoldConstants(a_);
+    return a == a_ ? nullptr : IsNull(std::move(a));
   }
 
  private:
@@ -186,6 +212,18 @@ ExprPtr ColumnsEqual(const std::vector<std::pair<int, int>>& pairs) {
     acc = AndExpr(std::move(acc), Eq(Col(l), Col(r)));
   }
   return acc;
+}
+
+ExprPtr FoldConstants(const ExprPtr& e) {
+  TPDB_CHECK(e != nullptr);
+  if (e->constant()) {
+    if (dynamic_cast<const LitExpr*>(e.get()) != nullptr) return e;
+    // A constant tree reads no columns: evaluate it once, keep the value.
+    static const Row kEmptyRow;
+    return Lit(e->Eval(kEmptyRow));
+  }
+  ExprPtr folded = e->Fold();
+  return folded != nullptr ? folded : e;
 }
 
 bool DatumTruthy(const Datum& d) {

@@ -28,6 +28,12 @@ class Expr {
   virtual Datum Eval(const Row& row) const = 0;
   /// Diagnostic rendering.
   virtual std::string ToString() const = 0;
+  /// True iff the value does not depend on the input row (literals and
+  /// operator trees over literals; Col and Fn are never constant).
+  virtual bool constant() const { return false; }
+  /// Folding hook for FoldConstants: a rewrite of this node with folded
+  /// children, or null when nothing below changed.
+  virtual ExprPtr Fold() const { return nullptr; }
 };
 
 /// Comparison operators.
@@ -62,6 +68,11 @@ ExprPtr ColumnsEqual(const std::vector<std::pair<int, int>>& pairs);
 /// Wraps an arbitrary function as an expression — the escape hatch for
 /// general θ conditions that are not column comparisons.
 ExprPtr Fn(std::function<Datum(const Row&)> fn, std::string name = "fn");
+
+/// Returns `e` with every maximal constant subtree evaluated once and
+/// replaced by a literal. Filter and NestedLoopJoin apply this when they
+/// are built, so constant arms of a predicate cost nothing per row.
+ExprPtr FoldConstants(const ExprPtr& e);
 
 /// True iff `d` is non-null and truthy (non-zero int64).
 bool DatumTruthy(const Datum& d);

@@ -10,8 +10,10 @@ namespace tpdb {
 /// Pipelined selection σ_pred(child).
 class Filter final : public Operator {
  public:
+  // Constant subtrees of the predicate are folded once here, so they cost
+  // nothing per Next() (column offsets are already resolved at build).
   Filter(OperatorPtr child, ExprPtr predicate)
-      : child_(std::move(child)), predicate_(std::move(predicate)) {
+      : child_(std::move(child)), predicate_(FoldConstants(predicate)) {
     TPDB_CHECK(child_ != nullptr);
     TPDB_CHECK(predicate_ != nullptr);
   }

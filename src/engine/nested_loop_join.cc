@@ -6,7 +6,7 @@ NestedLoopJoin::NestedLoopJoin(OperatorPtr left, OperatorPtr right,
                                ExprPtr predicate, JoinType join_type)
     : left_(std::move(left)),
       right_(std::move(right)),
-      predicate_(std::move(predicate)),
+      predicate_(FoldConstants(predicate)),
       join_type_(join_type) {
   TPDB_CHECK(left_ != nullptr);
   TPDB_CHECK(right_ != nullptr);
@@ -29,7 +29,9 @@ void NestedLoopJoin::Open() {
 bool NestedLoopJoin::Next(Row* out) {
   while (true) {
     if (!have_left_) {
-      if (!left_->Next(&current_left_)) return false;
+      const Row* left_row = left_->NextRef();
+      if (left_row == nullptr) return false;
+      current_left_ = *left_row;  // copy-assign reuses the buffer
       have_left_ = true;
       left_matched_ = false;
       right_pos_ = 0;

@@ -12,9 +12,9 @@ int CompareRows(const Row& a, const Row& b) {
   return a.size() < b.size() ? -1 : 1;
 }
 
-Row ConcatRows(const Row& a, const Row& b) {
+Row ConcatRows(const Row& a, const Row& b, size_t reserve_extra) {
   Row out;
-  out.reserve(a.size() + b.size());
+  out.reserve(a.size() + b.size() + reserve_extra);
   out.insert(out.end(), a.begin(), a.end());
   out.insert(out.end(), b.begin(), b.end());
   return out;

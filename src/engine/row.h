@@ -16,8 +16,10 @@ using Row = std::vector<Datum>;
 /// Lexicographic three-way comparison.
 int CompareRows(const Row& a, const Row& b);
 
-/// Concatenation of two rows.
-Row ConcatRows(const Row& a, const Row& b);
+/// Concatenation of two rows. `reserve_extra` pre-reserves room for
+/// columns the caller will append (joins add interval/window columns), so
+/// the row never reallocates element-wise afterwards.
+Row ConcatRows(const Row& a, const Row& b, size_t reserve_extra = 0);
 
 /// Row of `n` SQL NULLs.
 Row NullRow(size_t n);

@@ -110,7 +110,12 @@ bool TemporalOuterJoin::Next(Row* out) {
   const size_t right_width = right_schema_.num_columns();
   while (true) {
     if (!have_left_) {
-      if (!left_->Next(&current_left_)) return false;
+      // NextRef + copy-assign reuses current_left_'s buffers instead of
+      // taking a freshly allocated row per driving tuple (RowIdScan and
+      // the other leaf scans serve refs without building one).
+      const Row* left_row = left_->NextRef();
+      if (left_row == nullptr) return false;
+      current_left_ = *left_row;
       have_left_ = true;
       left_matched_ = false;
       probe_pos_ = 0;
@@ -133,7 +138,8 @@ bool TemporalOuterJoin::Next(Row* out) {
         }
         if (!lt.Overlaps(rt)) continue;
         if (!KeysEqual(current_left_, right_row)) continue;  // hash collision
-        Row joined = ConcatRows(current_left_, right_row);
+        Row joined = ConcatRows(current_left_, right_row,
+                                /*reserve_extra=*/2);
         if (spec_.residual != nullptr &&
             !DatumTruthy(spec_.residual->Eval(joined)))
           continue;
@@ -149,7 +155,8 @@ bool TemporalOuterJoin::Next(Row* out) {
         spec_.join_type == JoinType::kLeftOuter && !left_matched_;
     have_left_ = false;
     if (emit_unmatched) {
-      Row joined = ConcatRows(current_left_, NullRow(right_width));
+      Row joined = ConcatRows(current_left_, NullRow(right_width),
+                              /*reserve_extra=*/2);
       joined.push_back(Datum::Null());
       joined.push_back(Datum::Null());
       *out = std::move(joined);

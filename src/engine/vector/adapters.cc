@@ -1,0 +1,80 @@
+#include "engine/vector/adapters.h"
+
+namespace tpdb::vec {
+
+BatchToRowAdapter::BatchToRowAdapter(BatchOperatorPtr child,
+                                     VectorStats* stats)
+    : child_(std::move(child)), stats_(stats) {
+  TPDB_CHECK(child_ != nullptr);
+}
+
+void BatchToRowAdapter::Open() {
+  child_->Open();
+  current_ = nullptr;
+  pos_ = 0;
+}
+
+const Row* BatchToRowAdapter::NextRef() {
+  while (current_ == nullptr || pos_ >= current_->ActiveRows()) {
+    current_ = child_->NextBatch();
+    pos_ = 0;
+    if (current_ == nullptr) return nullptr;
+  }
+  current_->DecodeRow(current_->ActiveRow(pos_++), &buffer_);
+  if (stats_ != nullptr) ++stats_->rows_emitted;
+  return &buffer_;
+}
+
+bool BatchToRowAdapter::Next(Row* out) {
+  const Row* row = NextRef();
+  if (row == nullptr) return false;
+  *out = *row;
+  return true;
+}
+
+void BatchToRowAdapter::Close() {
+  child_->Close();
+  current_ = nullptr;
+  pos_ = 0;
+}
+
+RowToBatchAdapter::RowToBatchAdapter(OperatorPtr child, VectorStats* stats)
+    : child_(std::move(child)), stats_(stats) {
+  TPDB_CHECK(child_ != nullptr);
+}
+
+const ColumnBatch* RowToBatchAdapter::NextBatch() {
+  rows_.clear();
+  while (rows_.size() < kBatchRows) {
+    const Row* row = child_->NextRef();
+    if (row == nullptr) break;
+    rows_.push_back(*row);
+  }
+  if (rows_.empty()) return nullptr;
+  TransposeRows(rows_, 0, rows_.size(), &batch_);
+  if (stats_ != nullptr) {
+    ++stats_->batches;
+    stats_->rows_scanned += rows_.size();
+  }
+  return &batch_;
+}
+
+Table MaterializeBatches(BatchOperator* op, VectorStats* stats) {
+  Table out;
+  out.schema = op->schema();
+  op->Open();
+  while (const ColumnBatch* batch = op->NextBatch()) {
+    const size_t n = batch->ActiveRows();
+    out.rows.reserve(out.rows.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      Row row;
+      batch->DecodeRow(batch->ActiveRow(i), &row);
+      out.rows.push_back(std::move(row));
+    }
+    if (stats != nullptr) stats->rows_emitted += n;
+  }
+  op->Close();
+  return out;
+}
+
+}  // namespace tpdb::vec

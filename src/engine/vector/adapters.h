@@ -1,0 +1,64 @@
+// Adapters between the batch and row execution paths, so batch pipelines
+// compose with the untouched LAWAU/LAWAN row operators: BatchToRowAdapter
+// exposes a batch pipeline as a Volcano Operator (the planner puts row
+// stages like Sort above it), RowToBatchAdapter lifts any row operator
+// into a batch source, and MaterializeBatches runs a batch pipeline to
+// completion into a Table.
+#ifndef TPDB_ENGINE_VECTOR_ADAPTERS_H_
+#define TPDB_ENGINE_VECTOR_ADAPTERS_H_
+
+#include <vector>
+
+#include "engine/explain.h"
+#include "engine/operator.h"
+#include "engine/vector/batch_operator.h"
+
+namespace tpdb::vec {
+
+/// Serves the active rows of a batch pipeline one at a time (NextRef
+/// decodes into a reused buffer — one row materialization per tuple, same
+/// as the row-path scan).
+class BatchToRowAdapter final : public Operator {
+ public:
+  explicit BatchToRowAdapter(BatchOperatorPtr child,
+                             VectorStats* stats = nullptr);
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override;
+  bool Next(Row* out) override;
+  const Row* NextRef() override;
+  void Close() override;
+
+ private:
+  BatchOperatorPtr child_;
+  VectorStats* stats_;
+  const ColumnBatch* current_ = nullptr;
+  size_t pos_ = 0;
+  Row buffer_;
+};
+
+/// Buffers up to kBatchRows rows from a row operator and transposes them
+/// into typed column vectors.
+class RowToBatchAdapter final : public BatchOperator {
+ public:
+  explicit RowToBatchAdapter(OperatorPtr child, VectorStats* stats = nullptr);
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override { child_->Open(); }
+  const ColumnBatch* NextBatch() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  VectorStats* stats_;
+  std::vector<Row> rows_;
+  ColumnBatch batch_;
+};
+
+/// Runs `op` (Open/NextBatch*/Close) and materializes the active rows, in
+/// selection order, into a Table. Counts emitted rows into `stats`.
+Table MaterializeBatches(BatchOperator* op, VectorStats* stats = nullptr);
+
+}  // namespace tpdb::vec
+
+#endif  // TPDB_ENGINE_VECTOR_ADAPTERS_H_

@@ -1,0 +1,156 @@
+#include "engine/vector/column_batch.h"
+
+namespace tpdb::vec {
+
+Datum ColumnVector::ValueAt(size_t row) const {
+  switch (rep) {
+    case Rep::kAllNull:
+      return Datum::Null();
+    case Rep::kInt64:
+      return IsNull(row) ? Datum::Null() : Datum(ints[row]);
+    case Rep::kDouble:
+      return IsNull(row) ? Datum::Null() : Datum(doubles[row]);
+    case Rep::kString:
+      return IsNull(row) ? Datum::Null() : Datum(strings[row]);
+    case Rep::kDict:
+      return IsNull(row) ? Datum::Null() : Datum((*dict)[codes[row]]);
+    case Rep::kLineage:
+      return Datum(lineage[row]);
+    case Rep::kGeneric:
+      return generic[row];
+  }
+  return Datum::Null();
+}
+
+ColumnVector ColumnVector::View() const {
+  ColumnVector v;
+  v.rep = rep;
+  v.null_bits = null_bits;
+  v.null_bit_offset = null_bit_offset;
+  v.ints = ints;
+  v.doubles = doubles;
+  v.strings = strings;
+  v.dict = dict;
+  v.codes = codes;
+  v.lineage = lineage;
+  v.generic = generic;
+  return v;
+}
+
+void ColumnBatch::DecodeRow(size_t row, Row* out) const {
+  out->clear();
+  out->reserve(columns.size());
+  for (const ColumnVector& col : columns) out->push_back(col.ValueAt(row));
+}
+
+void ColumnBatch::AssignView(const ColumnBatch& src) {
+  num_rows = src.num_rows;
+  columns.clear();
+  columns.reserve(src.columns.size());
+  for (const ColumnVector& col : src.columns) columns.push_back(col.View());
+  sel_all = src.sel_all;
+  sel = src.sel;
+}
+
+namespace {
+
+/// Transposes one column, picking the densest representation the values
+/// admit (same decision tree as the segment encoder).
+void TransposeColumn(const std::vector<Row>& rows, size_t begin, size_t end,
+                     size_t col, ColumnVector* out) {
+  const size_t n = end - begin;
+  size_t nulls = 0;
+  bool all_int = true, all_double = true, all_string = true,
+       all_lineage = true;
+  for (size_t r = begin; r < end; ++r) {
+    switch (rows[r][col].type()) {
+      case DatumType::kNull:
+        ++nulls;
+        all_lineage = false;
+        break;
+      case DatumType::kInt64:
+        all_double = all_string = all_lineage = false;
+        break;
+      case DatumType::kDouble:
+        all_int = all_string = all_lineage = false;
+        break;
+      case DatumType::kString:
+        all_int = all_double = all_lineage = false;
+        break;
+      case DatumType::kLineage:
+        all_int = all_double = all_string = false;
+        break;
+    }
+  }
+
+  *out = ColumnVector();
+  if (nulls == n) {
+    out->rep = ColumnVector::Rep::kAllNull;
+    return;
+  }
+  const auto build_bitmap = [&] {
+    if (nulls == 0) return;
+    out->owned_null_bits.assign((n + 7) / 8, 0);
+    for (size_t r = begin; r < end; ++r)
+      if (rows[r][col].is_null())
+        out->owned_null_bits[(r - begin) / 8] |= 1u << ((r - begin) % 8);
+    out->null_bits = out->owned_null_bits;
+  };
+  if (all_int) {
+    out->rep = ColumnVector::Rep::kInt64;
+    build_bitmap();
+    out->owned_ints.reserve(n);
+    for (size_t r = begin; r < end; ++r) {
+      const Datum& v = rows[r][col];
+      out->owned_ints.push_back(v.is_null() ? 0 : v.AsInt64());
+    }
+    out->ints = out->owned_ints;
+  } else if (all_double) {
+    out->rep = ColumnVector::Rep::kDouble;
+    build_bitmap();
+    out->owned_doubles.reserve(n);
+    for (size_t r = begin; r < end; ++r) {
+      const Datum& v = rows[r][col];
+      out->owned_doubles.push_back(v.is_null() ? 0.0 : v.AsDouble());
+    }
+    out->doubles = out->owned_doubles;
+  } else if (all_string) {
+    out->rep = ColumnVector::Rep::kString;
+    build_bitmap();
+    out->owned_strings.reserve(n);
+    for (size_t r = begin; r < end; ++r) {
+      const Datum& v = rows[r][col];
+      out->owned_strings.push_back(v.is_null() ? std::string() : v.AsString());
+    }
+    out->strings = out->owned_strings;
+  } else if (all_lineage && nulls == 0) {
+    out->rep = ColumnVector::Rep::kLineage;
+    out->owned_lineage.reserve(n);
+    for (size_t r = begin; r < end; ++r)
+      out->owned_lineage.push_back(rows[r][col].AsLineage());
+    out->lineage = out->owned_lineage;
+  } else {
+    out->rep = ColumnVector::Rep::kGeneric;
+    out->owned_generic.reserve(n);
+    for (size_t r = begin; r < end; ++r)
+      out->owned_generic.push_back(rows[r][col]);
+    out->generic = out->owned_generic;
+  }
+}
+
+}  // namespace
+
+void TransposeRows(const std::vector<Row>& rows, size_t begin, size_t end,
+                   ColumnBatch* out) {
+  TPDB_CHECK_LT(begin, end);
+  TPDB_CHECK_LE(end, rows.size());
+  const size_t num_cols = rows[begin].size();
+  out->num_rows = end - begin;
+  out->sel_all = true;
+  out->sel.clear();
+  out->columns.resize(num_cols);
+  for (size_t c = 0; c < num_cols; ++c)
+    TransposeColumn(rows, begin, end, c, &out->columns[c]);
+}
+
+}  // namespace tpdb::vec

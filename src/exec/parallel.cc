@@ -8,6 +8,7 @@
 
 #include "engine/materialize.h"
 #include "engine/scan.h"
+#include "engine/vector/adapters.h"
 
 namespace tpdb {
 
@@ -225,6 +226,41 @@ StatusOr<Table> ParallelPipeline(ExecContext* ctx, const Table& input,
   TPDB_RETURN_IF_ERROR(group.Wait());
 
   // Ordered merge: morsel order == scan order == the serial row order.
+  Table out;
+  out.schema = slots[0].schema;
+  size_t total = 0;
+  for (const Table& t : slots) total += t.rows.size();
+  out.rows.reserve(total);
+  for (Table& t : slots)
+    for (Row& row : t.rows) out.rows.push_back(std::move(row));
+  return out;
+}
+
+StatusOr<Table> ParallelBatchPipeline(ExecContext* ctx, size_t num_morsels,
+                                      const BatchSourceFactory& source,
+                                      const BatchChainFactory& chain) {
+  TPDB_CHECK(ctx != nullptr);
+  TPDB_CHECK(source != nullptr);
+  TPDB_CHECK(chain != nullptr);
+  TPDB_CHECK_GT(num_morsels, 0u);
+
+  std::vector<Table> slots(num_morsels);
+  TaskGroup group(ctx->pool());
+  for (size_t i = 0; i < num_morsels; ++i) {
+    group.Spawn([&, i]() -> Status {
+      const Clock::time_point start = Clock::now();
+      StatusOr<vec::BatchOperatorPtr> src = source(i);
+      if (!src.ok()) return src.status();
+      StatusOr<vec::BatchOperatorPtr> op = chain(std::move(*src));
+      if (!op.ok()) return op.status();
+      slots[i] = vec::MaterializeBatches(op->get());
+      ctx->RecordTask(slots[i].rows.size(), SecondsSince(start));
+      return Status::OK();
+    });
+  }
+  TPDB_RETURN_IF_ERROR(group.Wait());
+
+  // Ordered merge: morsel order == source order == the serial row order.
   Table out;
   out.schema = slots[0].schema;
   size_t total = 0;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <string>
 
+#include "engine/vector/batch_operator.h"
 #include "exec/exec_context.h"
 #include "tp/operators.h"
 #include "tp/set_ops.h"
@@ -58,6 +59,27 @@ using PipelineFactory =
 /// merged table byte-identical to a serial run of the same chain.
 StatusOr<Table> ParallelPipeline(ExecContext* ctx, const Table& input,
                                  const PipelineFactory& factory);
+
+/// Builds the batch source for morsel `i` (a TableBatchScan over a row
+/// range, a SegmentBatchScan over a segment range, …). Must be safe to
+/// call concurrently.
+using BatchSourceFactory =
+    std::function<StatusOr<vec::BatchOperatorPtr>(size_t morsel)>;
+
+/// Builds one instance of a row-local batch operator chain over `source`.
+/// Must be safe to call concurrently (compiled predicates carry per-batch
+/// scratch state, so every morsel gets its own chain).
+using BatchChainFactory =
+    std::function<StatusOr<vec::BatchOperatorPtr>(vec::BatchOperatorPtr)>;
+
+/// Runs `chain` over every one of `num_morsels` independent batch sources
+/// and merges the materialized per-morsel outputs in morsel order. The
+/// chain must be row-local (filter / project / probability threshold — no
+/// limit or aggregation), which makes the merged table byte-identical to
+/// one serial run over the concatenated sources.
+StatusOr<Table> ParallelBatchPipeline(ExecContext* ctx, size_t num_morsels,
+                                      const BatchSourceFactory& source,
+                                      const BatchChainFactory& chain);
 
 }  // namespace tpdb
 

@@ -1,7 +1,9 @@
 #include "storage/scan.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "engine/schema.h"
 #include "tp/tp_relation.h"
@@ -141,4 +143,118 @@ void SegmentScan::Close() {
   buffer_pos_ = 0;
 }
 
+namespace {
+
+/// Views rows [off, off + n) of a segment chunk as a batch column — pure
+/// span arithmetic, no value is decoded. Null bitmaps keep the chunk's
+/// byte array with a bit offset (they are bit-packed, so they cannot be
+/// subspanned at arbitrary rows).
+vec::ColumnVector ViewChunk(const ColumnChunk& chunk, size_t off, size_t n) {
+  using Rep = vec::ColumnVector::Rep;
+  vec::ColumnVector v;
+  switch (chunk.encoding) {
+    case ColumnEncoding::kAllNull:
+      v.rep = Rep::kAllNull;
+      break;
+    case ColumnEncoding::kPlainInt64:
+      v.rep = Rep::kInt64;
+      v.ints = chunk.ints.subspan(off, n);
+      v.null_bits = chunk.null_bitmap;
+      v.null_bit_offset = off;
+      break;
+    case ColumnEncoding::kPlainDouble:
+      v.rep = Rep::kDouble;
+      v.doubles = chunk.doubles.subspan(off, n);
+      v.null_bits = chunk.null_bitmap;
+      v.null_bit_offset = off;
+      break;
+    case ColumnEncoding::kDictString:
+      v.rep = Rep::kDict;
+      v.dict = &chunk.dict;
+      v.codes = chunk.codes.subspan(off, n);
+      v.null_bits = chunk.null_bitmap;
+      v.null_bit_offset = off;
+      break;
+    case ColumnEncoding::kLineage:
+      v.rep = Rep::kLineage;
+      v.lineage = std::span<const LineageRef>(chunk.lineage).subspan(off, n);
+      break;
+    case ColumnEncoding::kGeneric:
+      v.rep = Rep::kGeneric;
+      v.generic = std::span<const Datum>(chunk.generic).subspan(off, n);
+      break;
+  }
+  return v;
+}
+
+}  // namespace
+
+SegmentBatchScan::SegmentBatchScan(const SegmentedTable* table,
+                                   ScanPredicate predicate,
+                                   StorageStats* stats,
+                                   VectorStats* vstats)
+    : SegmentBatchScan(table, std::move(predicate), 0,
+                       table->segments().size(), stats, vstats) {}
+
+SegmentBatchScan::SegmentBatchScan(const SegmentedTable* table,
+                                   ScanPredicate predicate, size_t seg_begin,
+                                   size_t seg_end, StorageStats* stats,
+                                   VectorStats* vstats)
+    : table_(table),
+      predicate_(std::move(predicate)),
+      seg_begin_(seg_begin),
+      seg_end_(std::min(seg_end, table->segments().size())),
+      stats_(stats),
+      vstats_(vstats),
+      segment_(seg_begin) {
+  TPDB_CHECK(table_ != nullptr);
+  TPDB_CHECK_LE(seg_begin_, seg_end_);
+}
+
+void SegmentBatchScan::Open() {
+  segment_ = seg_begin_;
+  row_ = 0;
+}
+
+const vec::ColumnBatch* SegmentBatchScan::NextBatch() {
+  while (segment_ < seg_end_) {
+    const Segment& segment = table_->segments()[segment_];
+    if (row_ == 0) {
+      // First visit of this segment: prune or commit to scanning it.
+      if (segment.num_rows == 0 ||
+          !SegmentMayMatch(segment, table_->schema(), predicate_)) {
+        if (stats_ != nullptr && segment.num_rows > 0)
+          ++stats_->segments_skipped;
+        ++segment_;
+        continue;
+      }
+      if (stats_ != nullptr) {
+        ++stats_->segments_scanned;
+        stats_->bytes_mapped += segment.encoded_bytes;
+      }
+    }
+    const size_t n = std::min(vec::kBatchRows, segment.num_rows - row_);
+    batch_.num_rows = n;
+    batch_.sel_all = true;
+    batch_.sel.clear();
+    batch_.columns.clear();
+    batch_.columns.reserve(segment.chunks.size());
+    for (const ColumnChunk& chunk : segment.chunks)
+      batch_.columns.push_back(ViewChunk(chunk, row_, n));
+    row_ += n;
+    if (row_ >= segment.num_rows) {
+      ++segment_;
+      row_ = 0;
+    }
+    if (stats_ != nullptr) stats_->rows_decoded += n;
+    if (vstats_ != nullptr) {
+      ++vstats_->batches;
+      vstats_->rows_scanned += n;
+    }
+    return &batch_;
+  }
+  return nullptr;
+}
+
 }  // namespace tpdb::storage
+

@@ -19,6 +19,7 @@
 
 #include "engine/explain.h"
 #include "engine/operator.h"
+#include "engine/vector/batch_operator.h"
 #include "storage/segment.h"
 
 namespace tpdb::storage {
@@ -88,6 +89,43 @@ class SegmentScan final : public Operator {
   size_t next_segment_ = 0;
   size_t buffer_pos_ = 0;
   std::vector<Row> buffer_;
+};
+
+/// Chunk-level batch scan: the vectorized cold read path. Serves
+/// ColumnBatches of up to vec::kBatchRows rows whose column vectors view
+/// the mapped segment chunks directly — no per-row materialization at all;
+/// downstream batch filters only narrow the selection vector. Zone-map
+/// pruning composes unchanged (the same SegmentMayMatch check as the row
+/// scan, against the same pushed-down predicate).
+///
+/// The segment-range form scans only segments [seg_begin, seg_end) — the
+/// morsel unit of the parallel batch driver: concatenating per-range
+/// outputs in range order reproduces the full scan's row order exactly.
+class SegmentBatchScan final : public vec::BatchOperator {
+ public:
+  SegmentBatchScan(const SegmentedTable* table, ScanPredicate predicate,
+                   StorageStats* stats = nullptr,
+                   VectorStats* vstats = nullptr);
+  SegmentBatchScan(const SegmentedTable* table, ScanPredicate predicate,
+                   size_t seg_begin, size_t seg_end,
+                   StorageStats* stats = nullptr,
+                   VectorStats* vstats = nullptr);
+
+  const Schema& schema() const override { return table_->schema(); }
+  void Open() override;
+  const vec::ColumnBatch* NextBatch() override;
+  void Close() override {}
+
+ private:
+  const SegmentedTable* table_;
+  ScanPredicate predicate_;
+  size_t seg_begin_;
+  size_t seg_end_;
+  StorageStats* stats_;
+  VectorStats* vstats_;
+  size_t segment_ = 0;  ///< current segment index
+  size_t row_ = 0;      ///< next row within the current segment
+  vec::ColumnBatch batch_;
 };
 
 }  // namespace tpdb::storage

@@ -25,15 +25,22 @@ class RowIdScan final : public Operator {
   const Schema& schema() const override { return schema_; }
   void Open() override { pos_ = 0; }
   bool Next(Row* out) override {
-    if (pos_ >= table_->rows.size()) return false;
-    Row row;
-    row.reserve(table_->rows[pos_].size() + 1);
-    row.push_back(Datum(static_cast<int64_t>(pos_)));
-    row.insert(row.end(), table_->rows[pos_].begin(),
-               table_->rows[pos_].end());
-    ++pos_;
-    *out = std::move(row);
+    const Row* row = NextRef();
+    if (row == nullptr) return false;
+    *out = *row;
     return true;
+  }
+  /// Real zero-allocation pull: the rid prefix and the fact columns are
+  /// assigned into one reused buffer indexed straight into table storage —
+  /// no fresh Row per tuple, unlike the default NextRef adapter.
+  const Row* NextRef() override {
+    if (pos_ >= table_->rows.size()) return nullptr;
+    const Row& src = table_->rows[pos_];
+    buffer_.resize(src.size() + 1);
+    buffer_[0] = Datum(static_cast<int64_t>(pos_));
+    std::copy(src.begin(), src.end(), buffer_.begin() + 1);
+    ++pos_;
+    return &buffer_;
   }
   void Close() override {}
 
@@ -41,6 +48,7 @@ class RowIdScan final : public Operator {
   const Table* table_;
   Schema schema_;
   size_t pos_ = 0;
+  Row buffer_;
 };
 
 /// Normalizes join output to the canonical window layout: computes the
@@ -62,6 +70,7 @@ class WindowFinisher final : public Operator {
     // intersection columns (partitioned join); normalize to canonical width
     // with freshly computed window bounds.
     const size_t base = static_cast<size_t>(layout_.w_ts());
+    row.reserve(base + 3);  // window bounds + class appended below
     row.resize(base);
     const Interval rt = layout_.RIntervalOf(row);
     const bool matched = !row[layout_.s_lin()].is_null();
