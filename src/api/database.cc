@@ -135,6 +135,8 @@ StatusOr<std::string> TPDatabase::Explain(const LogicalPlan& plan) {
   StatusOr<TPRelation> result = planner.Execute(plan, &stats);
   if (!result.ok()) return result.status();
   std::string out = "Logical plan:\n" + plan.ToString();
+  if (!stats.physical_plan().empty())
+    out += "\nPhysical plan (est | actual):\n" + stats.physical_plan();
   out += "\nLowered pipeline (bottom-up):\n" + stats.ToString();
   return out;
 }

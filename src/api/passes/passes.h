@@ -1,0 +1,62 @@
+// Optimizer passes over the physical plan IR (api/physical_plan.h). The
+// planner runs them in a fixed pipeline between binding and execution:
+//
+//   1. FoldConstantsPass      — evaluate constant predicate subtrees with
+//      the engine's exact three-valued semantics; always-true filters
+//      disappear from the tree.
+//   2. PushdownPass           — move predicate filters and probability
+//      thresholds down through sorts and projections (rewriting column
+//      names through aliases), order cheap predicate filters before
+//      expensive probability thresholds, and harvest the conjunctive
+//      bounds of the leading filter run into the PhysScan's ScanPredicate
+//      (the zone maps prune on it; the probability dimension is
+//      epoch-gated).
+//   3. PruneProjectionsPass   — collapse stacked projections into one and
+//      drop identity projections.
+//   4. SelectModesPass        — the cost model: estimate per-node
+//      cardinalities (cold scans via zone maps — EstimateScanRows over the
+//      pushed predicate), cost row vs batch execution of every pipeline,
+//      annotate each stage and source with its chosen ExecMode (PhysScan
+//      becomes PhysBatchScan on the batch path), and insert PhysExchange
+//      over row-local prefixes worth running on the morsel drivers. This
+//      replaces the hard-coded `vectorize` / `parallelism` branching of
+//      the pre-IR planner; the PlannerOptions knobs survive as overrides
+//      (vectorize=false pins the row path bit-for-bit, =true forces the
+//      batch path where it applies, unset picks by cost).
+//
+// Every pass preserves results element-wise (values, intervals, exact
+// probabilities, emit order) — the physical-plan parity suite sweeps
+// optimize on/off × modes to prove it.
+#ifndef TPDB_API_PASSES_PASSES_H_
+#define TPDB_API_PASSES_PASSES_H_
+
+#include "api/physical_plan.h"
+#include "api/planner.h"
+#include "common/status.h"
+
+namespace tpdb {
+
+/// Everything a pass may consult. `parallelism` is the resolved worker
+/// count of the execution in flight (1 = serial).
+struct PassContext {
+  const PlannerOptions* options = nullptr;
+  int parallelism = 1;
+};
+
+Status FoldConstantsPass(PhysicalPlan* plan);
+Status PushdownPass(PhysicalPlan* plan);
+Status PruneProjectionsPass(PhysicalPlan* plan);
+Status SelectModesPass(PhysicalPlan* plan, const PassContext& ctx);
+
+/// Folds a predicate AST with the engine's exact semantics (Kleene 3VL,
+/// Datum comparison with int64↔double promotion). Returns the input
+/// pointer when nothing folds. Exposed for tests and the pushdown pass.
+AstExprPtr FoldAstExpr(const AstExprPtr& e);
+
+/// The full pipeline, honoring PlannerOptions::optimize (when false, only
+/// the mandatory mode-selection pass runs — the parity baseline).
+Status RunPassPipeline(PhysicalPlan* plan, const PassContext& ctx);
+
+}  // namespace tpdb
+
+#endif  // TPDB_API_PASSES_PASSES_H_

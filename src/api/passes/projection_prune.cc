@@ -1,0 +1,91 @@
+// Projection pruning: stacked projections collapse into one (the upper
+// projection's sources are resolved through the lower's aliases), and
+// identity projections — every fact column kept in order under its own
+// name — disappear entirely. Both rewrites preserve the output schema and
+// rows exactly; they only remove per-row copying stages.
+#include <utility>
+#include <vector>
+
+#include "api/lowering_common.h"
+#include "api/passes/passes.h"
+
+namespace tpdb {
+
+namespace {
+
+/// Output name of projected column `i`.
+std::string OutputName(const PhysicalNode& project, size_t i) {
+  return i < project.aliases.size() && !project.aliases[i].empty()
+             ? project.aliases[i]
+             : project.columns[i];
+}
+
+/// Composes Project(upper, Project(lower, x)) into one projection over x.
+/// Returns false when an upper source does not resolve (malformed plans
+/// keep their stages and report the error at lowering, as before).
+bool ComposeProjects(PhysicalNode* upper, const PhysicalNode& lower) {
+  std::vector<std::string> columns;
+  std::vector<std::string> aliases;
+  columns.reserve(upper->columns.size());
+  aliases.reserve(upper->columns.size());
+  for (size_t i = 0; i < upper->columns.size(); ++i) {
+    // Resolve the upper source through the lower projection's outputs
+    // (IndexOf semantics: first match wins, like execution).
+    const std::string& source = upper->columns[i];
+    size_t j = 0;
+    for (; j < lower.columns.size(); ++j)
+      if (OutputName(lower, j) == source) break;
+    if (j == lower.columns.size()) return false;
+    columns.push_back(lower.columns[j]);
+    aliases.push_back(OutputName(*upper, i));
+  }
+  upper->columns = std::move(columns);
+  upper->aliases = std::move(aliases);
+  return true;
+}
+
+/// True when the projection keeps every fact column of its input, in
+/// order, under its own name — a per-row copy with no effect.
+bool IsIdentityProject(const PhysicalNode& project) {
+  const Schema& input = project.children[0]->schema;
+  TPDB_CHECK_GE(input.num_columns(), 3u);
+  const size_t facts = input.num_columns() - 3;
+  if (project.columns.size() != facts) return false;
+  for (size_t i = 0; i < facts; ++i) {
+    if (project.columns[i] != input.column(i).name) return false;
+    if (input.IndexOf(project.columns[i]) != static_cast<int>(i))
+      return false;  // duplicate name resolving elsewhere
+    if (OutputName(project, i) != input.column(i).name) return false;
+  }
+  return true;
+}
+
+void PruneNode(PhysicalNodePtr& node) {
+  for (PhysicalNodePtr& child : node->children) PruneNode(child);
+  while (node->op == PhysOp::kProject) {
+    PhysicalNode& child = *node->children[0];
+    if (child.op == PhysOp::kProject && ComposeProjects(node.get(), child)) {
+      // Splice the lower projection out; the composed node's schema is
+      // unchanged (it still emits the same output columns).
+      PhysicalNodePtr grandchild = std::move(child.children[0]);
+      node->children[0] = std::move(grandchild);
+      continue;
+    }
+    if (IsIdentityProject(*node)) {
+      PhysicalNodePtr only = std::move(node->children[0]);
+      node = std::move(only);
+      continue;
+    }
+    break;
+  }
+}
+
+}  // namespace
+
+Status PruneProjectionsPass(PhysicalPlan* plan) {
+  TPDB_CHECK(plan != nullptr && plan->root != nullptr);
+  PruneNode(plan->root);
+  return Status::OK();
+}
+
+}  // namespace tpdb

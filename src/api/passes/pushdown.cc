@@ -1,0 +1,198 @@
+// Predicate & probability-threshold pushdown. Within each pipelined chain
+// (the maximal run of PhysFilter / PhysProject / PhysSort / PhysLimit over
+// one source), filters sink toward the source:
+//
+//   - past PhysSort — the engine sort is stable, so filtering before or
+//     after sorting yields the same rows in the same order;
+//   - past PhysProject — predicate column references are rewritten through
+//     the projection's aliases back to source names (probability
+//     thresholds read only the lineage column, which rides along, and move
+//     unconditionally);
+//   - cheap predicate filters move ahead of expensive probability
+//     thresholds (both are stream filters of one conjunction — reordering
+//     preserves the surviving set and the emit order).
+//
+// Nothing ever crosses a PhysLimit (that would change which rows survive),
+// and chains never cross barriers (joins, set ops, aggregates) — TP window
+// semantics do not commute with σ on the join output.
+//
+// Afterwards the conjunctive bounds of the leading filter run are
+// harvested into the cold source's ScanPredicate — the predicate moves
+// INTO PhysScan, where the segment zone maps prune on it.
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "api/lowering_common.h"
+#include "api/passes/passes.h"
+
+namespace tpdb {
+
+namespace {
+
+/// Rewrites every column reference of `e` through `renames`; returns null
+/// when a referenced column has no source mapping (the filter then stays
+/// above the projection).
+AstExprPtr RenameColumns(const AstExprPtr& e,
+                         const std::map<std::string, std::string>& renames) {
+  if (e == nullptr) return nullptr;
+  switch (e->kind) {
+    case AstExprKind::kColumn: {
+      if (IsReservedColumn(e->column)) return e;
+      auto it = renames.find(e->column);
+      if (it == renames.end()) return nullptr;
+      if (it->second == e->column) return e;
+      return AstColumn(it->second);
+    }
+    case AstExprKind::kLiteral:
+      return e;
+    case AstExprKind::kCompare: {
+      const AstExprPtr a = RenameColumns(e->left, renames);
+      const AstExprPtr b = RenameColumns(e->right, renames);
+      if (a == nullptr || b == nullptr) return nullptr;
+      if (a == e->left && b == e->right) return e;
+      return AstCompare(e->compare_op, a, b);
+    }
+    case AstExprKind::kAnd:
+    case AstExprKind::kOr: {
+      const AstExprPtr a = RenameColumns(e->left, renames);
+      const AstExprPtr b = RenameColumns(e->right, renames);
+      if (a == nullptr || b == nullptr) return nullptr;
+      if (a == e->left && b == e->right) return e;
+      return e->kind == AstExprKind::kAnd ? AstAnd(a, b) : AstOr(a, b);
+    }
+    case AstExprKind::kNot: {
+      const AstExprPtr a = RenameColumns(e->left, renames);
+      if (a == nullptr) return nullptr;
+      return a == e->left ? e : AstNot(a);
+    }
+    case AstExprKind::kIsNull: {
+      const AstExprPtr a = RenameColumns(e->left, renames);
+      if (a == nullptr) return nullptr;
+      return a == e->left ? e : AstIsNull(a);
+    }
+  }
+  return nullptr;
+}
+
+/// Output name → source name map of a projection stage.
+std::map<std::string, std::string> ProjectRenames(const PhysicalNode& project) {
+  std::map<std::string, std::string> renames;
+  for (size_t i = 0; i < project.columns.size(); ++i) {
+    const std::string out =
+        i < project.aliases.size() && !project.aliases[i].empty()
+            ? project.aliases[i]
+            : project.columns[i];
+    renames.emplace(out, project.columns[i]);  // first mapping wins
+  }
+  return renames;
+}
+
+/// Tries to move the filter `above` below the stage `below`; returns true
+/// (after rewriting the predicate, when needed) if the swap is legal.
+bool CanSink(PhysicalNode* above, const PhysicalNode& below) {
+  if (above->op != PhysOp::kFilter) return false;
+  switch (below.op) {
+    case PhysOp::kSort:
+      return true;  // stable sort commutes with stream filters
+    case PhysOp::kProject: {
+      if (above->is_prob) return true;  // reads only the lineage column
+      const AstExprPtr rewritten =
+          RenameColumns(above->predicate, ProjectRenames(below));
+      if (rewritten == nullptr) return false;
+      above->predicate = rewritten;
+      return true;
+    }
+    case PhysOp::kFilter:
+      // Cheap-first: predicate filters sink below probability thresholds.
+      return below.is_prob && !above->is_prob;
+    default:
+      return false;  // never across a limit
+  }
+}
+
+Status PushChain(PhysicalNodePtr& top);
+
+Status PushChildren(PhysicalNode* node) {
+  for (PhysicalNodePtr& child : node->children)
+    TPDB_RETURN_IF_ERROR(PushChain(child));
+  return Status::OK();
+}
+
+Status PushChain(PhysicalNodePtr& top) {
+  if (!IsPipelinedPhysOp(top->op)) return PushChildren(top.get());
+
+  // Detach the chain (top-down) from its source.
+  std::vector<PhysicalNodePtr> top_down;
+  PhysicalNodePtr cursor = std::move(top);
+  while (IsPipelinedPhysOp(cursor->op)) {
+    PhysicalNodePtr child = std::move(cursor->children[0]);
+    cursor->children.clear();
+    top_down.push_back(std::move(cursor));
+    cursor = std::move(child);
+  }
+  PhysicalNodePtr source = std::move(cursor);
+  TPDB_RETURN_IF_ERROR(PushChildren(source.get()));
+
+  // Bottom-up stage order (the order rows flow through them).
+  std::vector<PhysicalNodePtr> stages;
+  stages.reserve(top_down.size());
+  for (auto it = top_down.rbegin(); it != top_down.rend(); ++it)
+    stages.push_back(std::move(*it));
+
+  // Bubble filters downward until fixpoint. Each swap strictly sinks a
+  // filter, so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < stages.size(); ++i) {
+      if (CanSink(stages[i].get(), *stages[i - 1])) {
+        std::swap(stages[i - 1], stages[i]);
+        changed = true;
+      }
+    }
+  }
+
+  // Stage schemas follow their (possibly new) positions.
+  Schema schema = source->schema;
+  for (PhysicalNodePtr& stage : stages) {
+    if (stage->op == PhysOp::kProject) {
+      StatusOr<ProjectPlan> plan =
+          PlanProjectStage(stage->columns, stage->aliases, schema);
+      if (!plan.ok()) return plan.status();
+      schema = ProjectOutputSchema(*plan, schema);
+    }
+    stage->schema = schema;
+  }
+
+  // The predicate moves into the scan: conjunctive bounds of the leading
+  // filter run, for the zone maps to prune on (cold sources only — warm
+  // scans have no segment statistics).
+  if ((source->op == PhysOp::kScan || source->op == PhysOp::kBatchScan) &&
+      source->cold) {
+    std::vector<PhysicalNode*> ptrs;
+    ptrs.reserve(stages.size());
+    for (const PhysicalNodePtr& stage : stages) ptrs.push_back(stage.get());
+    source->scan_predicate = CollectColdScanPredicate(
+        ptrs, source->rel->manager(), source->rel->cold_storage().get());
+  }
+
+  // Reattach bottom-up.
+  PhysicalNodePtr acc = std::move(source);
+  for (PhysicalNodePtr& stage : stages) {
+    stage->children.clear();
+    stage->children.push_back(std::move(acc));
+    acc = std::move(stage);
+  }
+  top = std::move(acc);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PushdownPass(PhysicalPlan* plan) {
+  TPDB_CHECK(plan != nullptr && plan->root != nullptr);
+  return PushChain(plan->root);
+}
+
+}  // namespace tpdb

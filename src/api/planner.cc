@@ -2,23 +2,22 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <utility>
+#include <vector>
 
 #include "api/database.h"
-#include "engine/filter.h"
-#include "engine/limit.h"
+#include "api/lowering_common.h"
+#include "api/passes/passes.h"
+#include "baseline/ta_join.h"
 #include "engine/materialize.h"
-#include "engine/project.h"
 #include "engine/scan.h"
-#include "engine/sort.h"
 #include "engine/vector/adapters.h"
 #include "engine/vector/batch_ops.h"
-#include "engine/vector/predicate.h"
 #include "exec/exec_context.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
-#include "lineage/probability.h"
 #include "storage/scan.h"
 #include "tp/set_ops.h"
 
@@ -32,568 +31,63 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Reports one TP-level (non-Volcano) operator into the stats registry.
-void Report(ExecStats* stats, std::string label, uint64_t rows,
-            double seconds) {
-  if (stats == nullptr) return;
-  NodeStats* node = stats->AddNode(std::move(label));
-  node->rows = rows;
-  node->open_calls = 1;
-  node->seconds = seconds;
+/// Reports one whole-operator node (join, set op, scan, exchange region)
+/// into the registry and links it to its physical node for the tree
+/// rendering.
+NodeStats* ReportNode(ExecStats* stats, PhysicalNode* node, std::string label,
+                      uint64_t rows, double seconds) {
+  if (stats == nullptr) return nullptr;
+  NodeStats* slot = stats->AddNode(std::move(label));
+  slot->rows = rows;
+  slot->open_calls = 1;
+  slot->seconds = seconds;
+  if (node != nullptr) node->actual = slot;
+  return slot;
 }
 
-bool IsPipelined(LogicalOp op) {
-  return op == LogicalOp::kFilter || op == LogicalOp::kProject ||
-         op == LogicalOp::kSort || op == LogicalOp::kLimit ||
-         op == LogicalOp::kProbThreshold;
-}
-
-bool IsReservedColumn(const std::string& name) {
-  return name == kTsColumn || name == kTeColumn || name == kLineageColumn;
-}
-
-/// Static result type of a predicate operand against `schema` (used to
-/// decide whether a comparison needs int64↔double promotion).
-DatumType StaticType(const AstExpr& e, const Schema& schema) {
-  switch (e.kind) {
-    case AstExprKind::kColumn: {
-      const int idx = schema.IndexOf(e.column);
-      return idx >= 0 ? schema.column(static_cast<size_t>(idx)).type
-                      : DatumType::kNull;
-    }
-    case AstExprKind::kLiteral:
-      return e.literal.type();
-    default:
-      return DatumType::kInt64;  // comparisons and connectives are boolean
+TPSetOpKind MapSetOpKind(SetOpKind kind) {
+  switch (kind) {
+    case SetOpKind::kUnion: return TPSetOpKind::kUnion;
+    case SetOpKind::kIntersect: return TPSetOpKind::kIntersect;
+    case SetOpKind::kExcept: return TPSetOpKind::kDifference;
   }
+  return TPSetOpKind::kUnion;
 }
 
-bool DatumToDouble(const Datum& d, double* out) {
-  if (d.type() == DatumType::kInt64) {
-    *out = static_cast<double>(d.AsInt64());
-    return true;
-  }
-  if (d.type() == DatumType::kDouble) {
-    *out = d.AsDouble();
-    return true;
-  }
-  return false;
-}
-
-/// Comparison with numeric promotion: int64 and double operands are
-/// compared as doubles (Datum::Compare alone orders by type rank).
-ExprPtr PromotedCompare(CompareOp op, ExprPtr a, ExprPtr b) {
-  return Fn(
-      [op, a, b](const Row& row) -> Datum {
-        const Datum da = a->Eval(row);
-        const Datum db = b->Eval(row);
-        if (da.is_null() || db.is_null()) return Datum::Null();
-        double x = 0, y = 0;
-        if (!DatumToDouble(da, &x) || !DatumToDouble(db, &y))
-          return Datum::Null();
-        bool result = false;
-        switch (op) {
-          case CompareOp::kEq: result = x == y; break;
-          case CompareOp::kNe: result = x != y; break;
-          case CompareOp::kLt: result = x < y; break;
-          case CompareOp::kLe: result = x <= y; break;
-          case CompareOp::kGt: result = x > y; break;
-          case CompareOp::kGe: result = x >= y; break;
-        }
-        return Datum(static_cast<int64_t>(result));
-      },
-      std::string("num") + CompareOpSymbol(op));
-}
-
-/// Compiles a predicate AST into an engine expression over `schema`.
-StatusOr<ExprPtr> CompilePredicate(const AstExprPtr& e, const Schema& schema) {
-  TPDB_CHECK(e != nullptr);
-  switch (e->kind) {
-    case AstExprKind::kColumn: {
-      const int idx = schema.IndexOf(e->column);
-      if (idx < 0)
-        return Status::NotFound("unknown column '" + e->column +
-                                "' (have: " + schema.ToString() + ")");
-      return Col(idx, e->column);
-    }
-    case AstExprKind::kLiteral:
-      return Lit(e->literal);
-    case AstExprKind::kCompare: {
-      StatusOr<ExprPtr> a = CompilePredicate(e->left, schema);
-      if (!a.ok()) return a.status();
-      StatusOr<ExprPtr> b = CompilePredicate(e->right, schema);
-      if (!b.ok()) return b.status();
-      const DatumType ta = StaticType(*e->left, schema);
-      const DatumType tb = StaticType(*e->right, schema);
-      const bool numeric_mix =
-          (ta == DatumType::kInt64 && tb == DatumType::kDouble) ||
-          (ta == DatumType::kDouble && tb == DatumType::kInt64);
-      if (numeric_mix)
-        return PromotedCompare(e->compare_op, std::move(*a), std::move(*b));
-      return Compare(e->compare_op, std::move(*a), std::move(*b));
-    }
-    case AstExprKind::kAnd:
-    case AstExprKind::kOr: {
-      StatusOr<ExprPtr> a = CompilePredicate(e->left, schema);
-      if (!a.ok()) return a.status();
-      StatusOr<ExprPtr> b = CompilePredicate(e->right, schema);
-      if (!b.ok()) return b.status();
-      return e->kind == AstExprKind::kAnd
-                 ? AndExpr(std::move(*a), std::move(*b))
-                 : OrExpr(std::move(*a), std::move(*b));
-    }
-    case AstExprKind::kNot: {
-      StatusOr<ExprPtr> a = CompilePredicate(e->left, schema);
-      if (!a.ok()) return a.status();
-      return NotExpr(std::move(*a));
-    }
-    case AstExprKind::kIsNull: {
-      StatusOr<ExprPtr> a = CompilePredicate(e->left, schema);
-      if (!a.ok()) return a.status();
-      return IsNull(std::move(*a));
-    }
-  }
-  return Status::Internal("unhandled predicate node");
-}
-
-/// True for stages that decide each row independently — the ones the
-/// parallel pipeline driver may run per-morsel with an ordered merge.
-bool IsRowLocal(LogicalOp op) {
-  return op == LogicalOp::kFilter || op == LogicalOp::kProject ||
-         op == LogicalOp::kProbThreshold;
-}
-
-/// Resolved form of one projection stage: source indices and output names
-/// (the reserved interval/lineage columns ride along at the end). Shared
-/// by the row and batch lowerings so both validate identically.
-struct ProjectPlan {
-  std::vector<int> indices;
-  std::vector<std::string> names;
-};
-
-StatusOr<ProjectPlan> PlanProjectStage(const LogicalNode& stage,
-                                       const Schema& schema) {
-  ProjectPlan plan;
-  for (size_t i = 0; i < stage.columns.size(); ++i) {
-    const std::string& name = stage.columns[i];
-    if (IsReservedColumn(name))
-      return Status::InvalidArgument(
-          "cannot project reserved column '" + name +
-          "' (interval and lineage are kept implicitly)");
-    const int idx = schema.IndexOf(name);
-    if (idx < 0)
-      return Status::NotFound("unknown column '" + name +
-                              "' (have: " + schema.ToString() + ")");
-    plan.indices.push_back(idx);
-    plan.names.push_back(i < stage.aliases.size() && !stage.aliases[i].empty()
-                             ? stage.aliases[i]
-                             : name);
-  }
-  // Interval and lineage ride along on every projection.
-  for (const char* reserved : {kTsColumn, kTeColumn, kLineageColumn}) {
-    plan.indices.push_back(schema.IndexOf(reserved));
-    plan.names.push_back(reserved);
-  }
-  return plan;
-}
-
-/// Lowers ONE pipelined logical stage onto `op`. Pure (no planner state),
-/// so the parallel driver can instantiate the same chain once per morsel.
-StatusOr<OperatorPtr> LowerPipelineStage(const LogicalNode& stage,
-                                         OperatorPtr op,
-                                         LineageManager* manager) {
-  const Schema& schema = op->schema();
-  switch (stage.op) {
-    case LogicalOp::kFilter: {
-      StatusOr<ExprPtr> pred = CompilePredicate(stage.predicate, schema);
-      if (!pred.ok()) return pred.status();
-      return OperatorPtr(
-          std::make_unique<Filter>(std::move(op), std::move(*pred)));
-    }
-    case LogicalOp::kProject: {
-      StatusOr<ProjectPlan> plan = PlanProjectStage(stage, schema);
-      if (!plan.ok()) return plan.status();
-      return OperatorPtr(std::make_unique<Project>(
-          std::move(op), std::move(plan->indices), std::move(plan->names)));
-    }
-    case LogicalOp::kSort: {
-      std::vector<SortKey> keys;
-      for (const OrderItem& item : stage.order_by) {
-        const int idx = schema.IndexOf(item.column);
-        if (idx < 0)
-          return Status::NotFound("unknown ORDER BY column '" + item.column +
-                                  "'");
-        keys.push_back(SortKey{idx, item.ascending});
-      }
-      return OperatorPtr(
-          std::make_unique<Sort>(std::move(op), std::move(keys)));
-    }
-    case LogicalOp::kLimit:
-      return OperatorPtr(std::make_unique<Limit>(
-          std::move(op), static_cast<size_t>(stage.limit),
-          static_cast<size_t>(stage.offset)));
-    case LogicalOp::kProbThreshold: {
-      const int lin = schema.IndexOf(kLineageColumn);
-      TPDB_CHECK(lin >= 0);
-      const double threshold = stage.min_prob;
-      const bool strict = stage.min_prob_strict;
-      // Exact probability of the tuple's lineage; results are memoized
-      // inside the manager, so repeated thresholds stay cheap.
-      ExprPtr prob_pred = Fn(
-          [manager, lin, threshold, strict](const Row& row) -> Datum {
-            ProbabilityEngine engine(manager);
-            const double p = engine.Probability(row[lin].AsLineage());
-            return Datum(
-                static_cast<int64_t>(strict ? p > threshold
-                                            : p >= threshold));
-          },
-          "prob" + std::string(strict ? ">" : ">=") +
-              std::to_string(threshold));
-      return OperatorPtr(
-          std::make_unique<Filter>(std::move(op), std::move(prob_pred)));
-    }
-    default:
-      return Status::Internal("non-pipelined node in chain");
-  }
-}
-
-/// Mirrors a comparison for a flipped "literal OP column" term.
-CompareOp MirrorCompare(CompareOp op) {
-  switch (op) {
-    case CompareOp::kLt: return CompareOp::kGt;
-    case CompareOp::kLe: return CompareOp::kGe;
-    case CompareOp::kGt: return CompareOp::kLt;
-    case CompareOp::kGe: return CompareOp::kLe;
-    default: return op;
-  }
-}
-
-/// Harvests conjunctive column-vs-numeric-literal bounds from a filter
-/// predicate into a scan predicate the cold path can prune on. Anything
-/// it cannot express (OR, NOT, column-vs-column, strings) contributes no
-/// bound — pruning stays conservative and the filter still runs.
-void CollectScanBounds(const AstExprPtr& e, storage::ScanPredicate* pred) {
-  if (e == nullptr) return;
-  if (e->kind == AstExprKind::kAnd) {
-    CollectScanBounds(e->left, pred);
-    CollectScanBounds(e->right, pred);
-    return;
-  }
-  if (e->kind != AstExprKind::kCompare) return;
-  const AstExpr* column = nullptr;
-  const AstExpr* literal = nullptr;
-  bool flipped = false;
-  if (e->left->kind == AstExprKind::kColumn &&
-      e->right->kind == AstExprKind::kLiteral) {
-    column = e->left.get();
-    literal = e->right.get();
-  } else if (e->left->kind == AstExprKind::kLiteral &&
-             e->right->kind == AstExprKind::kColumn) {
-    column = e->right.get();
-    literal = e->left.get();
-    flipped = true;
-  } else {
-    return;
-  }
-  double value = 0.0;
-  if (!DatumToDouble(literal->literal, &value)) return;
-  switch (flipped ? MirrorCompare(e->compare_op) : e->compare_op) {
-    case CompareOp::kEq:
-      pred->AddEquals(column->column, value);
-      break;
-    case CompareOp::kLt:
-      pred->AddUpperBound(column->column, value, /*strict=*/true);
-      break;
-    case CompareOp::kLe:
-      pred->AddUpperBound(column->column, value, /*strict=*/false);
-      break;
-    case CompareOp::kGt:
-      pred->AddLowerBound(column->column, value, /*strict=*/true);
-      break;
-    case CompareOp::kGe:
-      pred->AddLowerBound(column->column, value, /*strict=*/false);
-      break;
-    case CompareOp::kNe:
-      break;  // no range information
-  }
-}
-
-/// Output column name of an aggregate, e.g. "count", "sum_Temp".
-std::string AggOutputName(const SelectItem& item) {
-  if (!item.alias.empty()) return item.alias;
-  std::string fn;
-  switch (item.fn) {
-    case AggFn::kCount: fn = "count"; break;
-    case AggFn::kSum: fn = "sum"; break;
-    case AggFn::kMin: fn = "min"; break;
-    case AggFn::kMax: fn = "max"; break;
-  }
-  return item.column == "*" ? fn : fn + "_" + item.column;
-}
-
-// -- Vectorized lowering ---------------------------------------------------
-
-StatusOr<vec::VOperand> CompileVectorOperand(const AstExpr& e,
-                                             const Schema& schema) {
-  if (e.kind == AstExprKind::kColumn) {
-    const int idx = schema.IndexOf(e.column);
-    if (idx < 0)
-      return Status::NotFound("unknown column '" + e.column + "'");
-    return vec::VOperand::Column(idx);
-  }
-  if (e.kind == AstExprKind::kLiteral)
-    return vec::VOperand::Literal(e.literal);
-  return Status::InvalidArgument("operand shape not vectorizable");
-}
-
-/// Compiles a predicate AST into a vectorized expression over `schema`,
-/// with the same column resolution and numeric-promotion decisions as
-/// CompilePredicate. Shapes the vector evaluator does not cover (e.g. a
-/// comparison whose operand is itself a comparison) return an error and
-/// the planner keeps that stage on the row path — which also owns the
-/// user-facing error reporting for genuinely malformed predicates.
-StatusOr<vec::VectorExprPtr> CompileVectorPredicate(const AstExprPtr& e,
-                                                    const Schema& schema) {
-  TPDB_CHECK(e != nullptr);
-  switch (e->kind) {
-    case AstExprKind::kColumn:
-    case AstExprKind::kLiteral: {
-      StatusOr<vec::VOperand> op = CompileVectorOperand(*e, schema);
-      if (!op.ok()) return op.status();
-      return vec::VTruthy(std::move(*op));
-    }
-    case AstExprKind::kCompare: {
-      StatusOr<vec::VOperand> a = CompileVectorOperand(*e->left, schema);
-      if (!a.ok()) return a.status();
-      StatusOr<vec::VOperand> b = CompileVectorOperand(*e->right, schema);
-      if (!b.ok()) return b.status();
-      const DatumType ta = StaticType(*e->left, schema);
-      const DatumType tb = StaticType(*e->right, schema);
-      const bool numeric_mix =
-          (ta == DatumType::kInt64 && tb == DatumType::kDouble) ||
-          (ta == DatumType::kDouble && tb == DatumType::kInt64);
-      return vec::VCompare(e->compare_op, numeric_mix, std::move(*a),
-                           std::move(*b));
-    }
-    case AstExprKind::kAnd:
-    case AstExprKind::kOr: {
-      StatusOr<vec::VectorExprPtr> a = CompileVectorPredicate(e->left, schema);
-      if (!a.ok()) return a.status();
-      StatusOr<vec::VectorExprPtr> b =
-          CompileVectorPredicate(e->right, schema);
-      if (!b.ok()) return b.status();
-      return e->kind == AstExprKind::kAnd
-                 ? vec::VAnd(std::move(*a), std::move(*b))
-                 : vec::VOr(std::move(*a), std::move(*b));
-    }
-    case AstExprKind::kNot: {
-      StatusOr<vec::VectorExprPtr> a = CompileVectorPredicate(e->left, schema);
-      if (!a.ok()) return a.status();
-      return vec::VNot(std::move(*a));
-    }
-    case AstExprKind::kIsNull: {
-      if (e->left->kind == AstExprKind::kColumn ||
-          e->left->kind == AstExprKind::kLiteral) {
-        StatusOr<vec::VOperand> op = CompileVectorOperand(*e->left, schema);
-        if (!op.ok()) return op.status();
-        return vec::VIsNull(std::move(*op));
-      }
-      StatusOr<vec::VectorExprPtr> a = CompileVectorPredicate(e->left, schema);
-      if (!a.ok()) return a.status();
-      return vec::VIsNullOf(std::move(*a));
-    }
-  }
-  return Status::Internal("unhandled predicate node");
-}
-
-/// How many leading stages the batch path can lower over a source with
-/// `schema` — filters with vectorizable predicates, projections,
-/// probability thresholds, and (unless `row_local_only`, the parallel
-/// driver's constraint) limits. Tracks the schema across projections;
-/// `out_schema`, when given, receives the schema after the lowered run.
-size_t CountBatchStages(Schema schema,
-                        const std::vector<const LogicalNode*>& stages,
-                        bool row_local_only, Schema* out_schema = nullptr) {
-  size_t n = 0;
-  for (const LogicalNode* stage : stages) {
-    switch (stage->op) {
-      case LogicalOp::kFilter:
-        if (!CompileVectorPredicate(stage->predicate, schema).ok())
-          goto done;
-        break;
-      case LogicalOp::kProject: {
-        StatusOr<ProjectPlan> plan = PlanProjectStage(*stage, schema);
-        if (!plan.ok()) goto done;
-        std::vector<Column> cols;
-        cols.reserve(plan->indices.size());
-        for (size_t i = 0; i < plan->indices.size(); ++i) {
-          Column c = schema.column(static_cast<size_t>(plan->indices[i]));
-          c.name = plan->names[i];
-          cols.push_back(std::move(c));
-        }
-        schema = Schema(std::move(cols));
-        break;
-      }
-      case LogicalOp::kProbThreshold:
-        break;
-      case LogicalOp::kLimit:
-        if (row_local_only) goto done;
-        break;
-      default:
-        goto done;
-    }
-    ++n;
-  }
-done:
-  if (out_schema != nullptr) *out_schema = std::move(schema);
-  return n;
-}
-
-/// Lowers exactly `count` leading stages — pre-validated by
-/// CountBatchStages — onto batch operators over `op`. With `stats`, each
-/// stage is instrumented as a "(vec)" node (rows = active rows emitted).
-vec::BatchOperatorPtr LowerBatchStages(
-    vec::BatchOperatorPtr op, const std::vector<const LogicalNode*>& stages,
-    size_t count, LineageManager* manager, VectorStats* vstats,
-    ExecStats* stats) {
-  for (size_t i = 0; i < count; ++i) {
-    const LogicalNode& stage = *stages[i];
-    switch (stage.op) {
-      case LogicalOp::kFilter: {
-        StatusOr<vec::VectorExprPtr> pred =
-            CompileVectorPredicate(stage.predicate, op->schema());
-        TPDB_CHECK(pred.ok()) << pred.status().ToString();
-        op = std::make_unique<vec::BatchFilter>(std::move(op),
-                                                std::move(*pred), vstats);
-        break;
-      }
-      case LogicalOp::kProject: {
-        StatusOr<ProjectPlan> plan = PlanProjectStage(stage, op->schema());
-        TPDB_CHECK(plan.ok()) << plan.status().ToString();
-        op = std::make_unique<vec::BatchProject>(
-            std::move(op), std::move(plan->indices), std::move(plan->names));
-        break;
-      }
-      case LogicalOp::kProbThreshold:
-        op = std::make_unique<vec::BatchProbThreshold>(
-            std::move(op), manager, stage.min_prob, stage.min_prob_strict,
-            vstats);
-        break;
-      case LogicalOp::kLimit:
-        op = std::make_unique<vec::BatchLimit>(
-            std::move(op), static_cast<size_t>(stage.limit),
-            static_cast<size_t>(stage.offset), vstats);
-        break;
-      default:
-        TPDB_CHECK(false) << "non-batch stage in pre-validated chain";
-    }
-    if (stats != nullptr)
-      op = vec::InstrumentBatch(stage.Label() + " (vec)", std::move(op),
-                                stats);
-  }
-  return op;
-}
-
-/// The scan predicate the cold paths push down: conjunctive bounds from
-/// the leading run of filter / probability-threshold stages, with the
-/// probability dimension epoch-gated (zone-map max_prob is snapshot-time
-/// data — see EvalColdPipeline).
-storage::ScanPredicate CollectColdScanPredicate(
-    const std::vector<const LogicalNode*>& stages, LineageManager* manager,
-    const storage::SegmentedTable* table) {
-  const bool prob_maps_fresh =
-      manager->probability_epoch() == table->probability_epoch();
-  storage::ScanPredicate predicate;
-  for (const LogicalNode* stage : stages) {
-    if (stage->op == LogicalOp::kFilter) {
-      CollectScanBounds(stage->predicate, &predicate);
-    } else if (stage->op == LogicalOp::kProbThreshold) {
-      if (prob_maps_fresh)
-        predicate.AddMinProb(stage->min_prob, stage->min_prob_strict);
-    } else {
-      break;
-    }
-  }
-  return predicate;
-}
-
-/// Runs the row-path stages [first, stages.size()) over `table` and
-/// converts the result back to a relation — the tail of a batch pipeline
-/// whose prefix was merged by the parallel driver.
-StatusOr<TPRelation> FinishRowStagesOverTable(
-    std::string name, Table table,
-    const std::vector<const LogicalNode*>& stages, size_t first,
-    LineageManager* manager) {
-  if (first == stages.size())
-    return TPRelation::FromTable(std::move(name), table, manager);
-  OperatorPtr op = std::make_unique<TableScan>(&table);
+/// Lowers stages [first, stages.size()) on the row path over `op`,
+/// instrumenting each stage into `stats` when given.
+StatusOr<OperatorPtr> LowerRowTail(OperatorPtr op,
+                                   const std::vector<PhysicalNode*>& stages,
+                                   size_t first, LineageManager* manager,
+                                   ExecStats* stats) {
   for (size_t i = first; i < stages.size(); ++i) {
     StatusOr<OperatorPtr> next =
         LowerPipelineStage(*stages[i], std::move(op), manager);
     if (!next.ok()) return next.status();
     op = std::move(*next);
-  }
-  const Table out = Materialize(op.get());
-  return TPRelation::FromTable(std::move(name), out, manager);
-}
-
-/// Resolved aggregate: group/aggregate column indices (into the fact
-/// schema — which equals the flattened prefix) and the output fact
-/// columns. Shared by the row and batch aggregate paths so both validate
-/// identically.
-struct AggPlan {
-  std::vector<int> group_idx;
-  std::vector<int> agg_idx;  ///< -1 for COUNT(*)
-  std::vector<Column> out_cols;
-};
-
-StatusOr<AggPlan> ResolveAggregatePlan(const LogicalNode& node,
-                                       const Schema& facts) {
-  AggPlan plan;
-  for (size_t g = 0; g < node.group_by.size(); ++g) {
-    const std::string& name = node.group_by[g];
-    const int idx = facts.IndexOf(name);
-    if (idx < 0)
-      return Status::NotFound("unknown GROUP BY column '" + name + "'");
-    plan.group_idx.push_back(idx);
-    Column col = facts.column(static_cast<size_t>(idx));
-    if (g < node.group_aliases.size() && !node.group_aliases[g].empty())
-      col.name = node.group_aliases[g];
-    plan.out_cols.push_back(std::move(col));
-  }
-  for (const SelectItem& item : node.aggregates) {
-    int idx = -1;
-    DatumType type = DatumType::kInt64;
-    if (item.column == "*") {
-      if (item.fn != AggFn::kCount)
-        return Status::InvalidArgument("'*' is only valid for COUNT");
-    } else {
-      idx = facts.IndexOf(item.column);
-      if (idx < 0)
-        return Status::NotFound("unknown aggregate column '" + item.column +
-                                "'");
-      type = facts.column(static_cast<size_t>(idx)).type;
+    if (stats != nullptr) {
+      NodeStats* slot = stats->AddNode(stages[i]->Label());
+      stages[i]->actual = slot;
+      op = Instrument(slot, std::move(op));
     }
-    if (item.fn == AggFn::kSum && type != DatumType::kInt64 &&
-        type != DatumType::kDouble)
-      return Status::InvalidArgument("SUM requires a numeric column, got '" +
-                                     item.column + "'");
-    plan.agg_idx.push_back(idx);
-    plan.out_cols.push_back(
-        {AggOutputName(item),
-         item.fn == AggFn::kCount ? DatumType::kInt64 : type});
   }
-  return plan;
+  return op;
 }
 
-vec::BatchAggFn MapAggFn(AggFn fn) {
-  switch (fn) {
-    case AggFn::kCount: return vec::BatchAggFn::kCount;
-    case AggFn::kSum: return vec::BatchAggFn::kSum;
-    case AggFn::kMin: return vec::BatchAggFn::kMin;
-    case AggFn::kMax: return vec::BatchAggFn::kMax;
-  }
-  return vec::BatchAggFn::kCount;
+/// The serial tail of a batch chain: materialize directly when every
+/// stage lowered batch, else adapter + instrumented row stages.
+StatusOr<Table> FinishBatchTail(vec::BatchOperatorPtr op,
+                                const ChainExec& chain,
+                                LineageManager* manager, VectorStats* vstats,
+                                ExecStats* stats) {
+  if (chain.batch_prefix == chain.stages.size())
+    return vec::MaterializeBatches(op.get(), vstats);
+  OperatorPtr rop =
+      std::make_unique<vec::BatchToRowAdapter>(std::move(op), vstats);
+  StatusOr<OperatorPtr> tail = LowerRowTail(
+      std::move(rop), chain.stages, chain.batch_prefix, manager, stats);
+  if (!tail.ok()) return tail.status();
+  return Materialize(tail->get());
 }
 
 }  // namespace
@@ -619,7 +113,11 @@ StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
             ? db_->SaveSnapshot(plan.root->snapshot_path)
             : db_->LoadSnapshot(plan.root->snapshot_path);
     if (!status.ok()) return status;
-    Report(stats, plan.root->Label(), 0, SecondsSince(start));
+    if (stats != nullptr) {
+      NodeStats* node = stats->AddNode(plan.root->Label());
+      node->open_calls = 1;
+      node->seconds = SecondsSince(start);
+    }
     return TPRelation("snapshot", Schema({{"path", DatumType::kString}}),
                       db_->manager());
   }
@@ -630,7 +128,7 @@ StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
       db_->ReadLockCatalog();
 
   // parallelism == 1 pins the serial path: no pool, no exec context — the
-  // evaluation below is bit-for-bit the pre-exec planner.
+  // evaluation below is bit-for-bit the serial planner.
   ExecOptions exec_options;
   exec_options.parallelism = options_.parallelism;
   exec_options.morsel_size = options_.morsel_size;
@@ -640,11 +138,19 @@ StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
   ExecContext ctx(pool, exec_options);
   ctx_ = ctx.parallelism() > 1 ? &ctx : nullptr;
 
-  StatusOr<EvalResult> result = Eval(*plan.root, stats);
+  // Bind → optimize → execute: the one lowering path.
+  StatusOr<PhysicalPlan> physical = LowerLocked(plan, ctx.parallelism());
+  if (!physical.ok()) {
+    ctx_ = nullptr;
+    return physical.status();
+  }
+
+  StatusOr<EvalResult> result = ExecNode(physical->root.get(), stats);
   ctx_ = nullptr;
   if (stats != nullptr) {
     for (const WorkerStats& w : ctx.CollectWorkerStats())
       stats->AddWorker(w);
+    stats->set_physical_plan(physical->ToString());
   }
   if (!result.ok()) return result.status();
   if (result->owned) return std::move(*result->owned);
@@ -652,99 +158,370 @@ StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
   return TPRelation(*result->borrowed);
 }
 
-StatusOr<Planner::EvalResult> Planner::Eval(const LogicalNode& node,
-                                            ExecStats* stats) {
-  if (IsPipelined(node.op)) return EvalPipelined(node, stats);
-  switch (node.op) {
-    case LogicalOp::kScan: {
-      StatusOr<TPRelation*> rel = db_->GetAssumingLocked(node.relation);
-      if (!rel.ok()) return rel.status();
-      Report(stats, node.Label(), (*rel)->size(), 0.0);
-      return EvalResult{std::nullopt, *rel};
-    }
-    case LogicalOp::kJoin:
-      return EvalJoin(node, stats);
-    case LogicalOp::kSetOp:
-      return EvalSetOp(node, stats);
-    case LogicalOp::kAggregate:
-      return EvalAggregate(node, stats);
-    case LogicalOp::kSaveSnapshot:
-    case LogicalOp::kLoadSnapshot:
-      return Status::InvalidArgument(
-          "snapshot statements are only valid as the plan root");
-    default:
-      return Status::Internal("unhandled logical node");
-  }
+StatusOr<PhysicalPlan> Planner::Lower(const LogicalPlan& plan) {
+  if (plan.root == nullptr)
+    return Status::InvalidArgument("empty logical plan");
+  if (plan.root->op == LogicalOp::kSaveSnapshot ||
+      plan.root->op == LogicalOp::kLoadSnapshot)
+    return Status::InvalidArgument(
+        "snapshot statements have no physical plan");
+  // Resolve the worker count the way ExecContext would, without touching
+  // the shared pool — a plan-inspection call must not spawn threads.
+  int parallelism = options_.parallelism;
+  if (parallelism <= 0)
+    parallelism = static_cast<int>(ThreadPool::HardwareParallelism());
+  parallelism = std::max(parallelism, 1);
+  const std::shared_lock<std::shared_mutex> catalog_lock =
+      db_->ReadLockCatalog();
+  return LowerLocked(plan, parallelism);
 }
 
-StatusOr<Planner::EvalResult> Planner::EvalJoin(const LogicalNode& node,
+StatusOr<PhysicalPlan> Planner::LowerLocked(const LogicalPlan& plan,
+                                            int parallelism) {
+  StatusOr<PhysicalPlan> physical = BuildPhysicalPlan(plan, db_);
+  if (!physical.ok()) return physical.status();
+  const PassContext pass_ctx{&options_, parallelism};
+  TPDB_RETURN_IF_ERROR(RunPassPipeline(&*physical, pass_ctx));
+  return physical;
+}
+
+StatusOr<Planner::EvalResult> Planner::ExecNode(PhysicalNode* node,
                                                 ExecStats* stats) {
-  StatusOr<EvalResult> left = Eval(*node.children[0], stats);
-  if (!left.ok()) return left.status();
-  StatusOr<EvalResult> right = Eval(*node.children[1], stats);
-  if (!right.ok()) return right.status();
-
-  JoinCondition theta;
-  theta.equal_columns = node.join_on;
-  TPJoinOptions opts;
-  opts.strategy = node.strategy;
-  opts.overlap_algorithm = options_.overlap_algorithm;
-  opts.validate_inputs = options_.validate_inputs;
-
-  const Clock::time_point start = Clock::now();
-  StatusOr<TPRelation> result =
-      ctx_ != nullptr
-          ? ParallelTPJoin(ctx_, node.join_kind, left->rel(), right->rel(),
-                           theta, opts)
-          : TPJoin(node.join_kind, left->rel(), right->rel(), theta, opts);
-  if (!result.ok()) return result.status();
-  Report(stats, node.Label(), result->size(), SecondsSince(start));
-  return EvalResult{std::move(*result), nullptr};
+  switch (node->op) {
+    case PhysOp::kScan:
+    case PhysOp::kBatchScan:
+      // A bare source outside any chain: zero-copy borrow.
+      ReportNode(stats, node, node->Label(), node->rel->size(), 0.0);
+      return EvalResult{std::nullopt, node->rel};
+    case PhysOp::kFilter:
+    case PhysOp::kProject:
+    case PhysOp::kSort:
+    case PhysOp::kLimit:
+    case PhysOp::kExchange:
+      return ExecPipeline(node, stats);
+    case PhysOp::kAggregate:
+      return ExecAggregate(node, stats);
+    case PhysOp::kTPJoin:
+    case PhysOp::kAlign:
+      return ExecJoin(node, stats);
+    case PhysOp::kTPSetOp:
+      return ExecSetOp(node, stats);
+  }
+  return Status::Internal("unhandled physical node");
 }
 
-StatusOr<Planner::EvalResult> Planner::EvalSetOp(const LogicalNode& node,
-                                                 ExecStats* stats) {
-  StatusOr<EvalResult> left = Eval(*node.children[0], stats);
+StatusOr<Planner::EvalResult> Planner::ExecJoin(PhysicalNode* node,
+                                                ExecStats* stats) {
+  StatusOr<EvalResult> left = ExecNode(node->children[0].get(), stats);
   if (!left.ok()) return left.status();
-  StatusOr<EvalResult> right = Eval(*node.children[1], stats);
+  StatusOr<EvalResult> right = ExecNode(node->children[1].get(), stats);
   if (!right.ok()) return right.status();
 
   const Clock::time_point start = Clock::now();
   StatusOr<TPRelation> result = [&]() -> StatusOr<TPRelation> {
-    TPSetOpKind kind;
-    switch (node.set_op) {
-      case SetOpKind::kUnion: kind = TPSetOpKind::kUnion; break;
-      case SetOpKind::kIntersect: kind = TPSetOpKind::kIntersect; break;
-      case SetOpKind::kExcept: kind = TPSetOpKind::kDifference; break;
-      default: return Status::Internal("unhandled set operation");
+    if (node->op == PhysOp::kAlign) {
+      // The temporal-alignment strategy, constructed from the PhysAlign
+      // node (always serial — the TA baseline has no parallel driver).
+      TPAlignSpec spec;
+      spec.kind = node->join_kind;
+      spec.theta.equal_columns = node->join_on;
+      spec.validate_inputs = options_.validate_inputs;
+      return TemporalAlignmentJoin(spec, left->rel(), right->rel());
     }
+    TPJoinSpec spec;
+    spec.kind = node->join_kind;
+    spec.theta.equal_columns = node->join_on;
+    spec.options.strategy = JoinStrategy::kLineageAware;
+    spec.options.overlap_algorithm = options_.overlap_algorithm;
+    spec.options.validate_inputs = options_.validate_inputs;
     return ctx_ != nullptr
-               ? ParallelTPSetOp(ctx_, kind, left->rel(), right->rel())
-               : TPSetOp(kind, left->rel(), right->rel());
+               ? ParallelTPJoin(ctx_, spec, left->rel(), right->rel())
+               : TPJoin(spec, left->rel(), right->rel());
   }();
   if (!result.ok()) return result.status();
-  Report(stats, node.Label(), result->size(), SecondsSince(start));
+  ReportNode(stats, node, node->Label(), result->size(), SecondsSince(start));
   return EvalResult{std::move(*result), nullptr};
 }
 
-StatusOr<Planner::EvalResult> Planner::EvalAggregate(const LogicalNode& node,
-                                                     ExecStats* stats) {
-  if (options_.vectorize) {
-    StatusOr<std::optional<EvalResult>> batch = TryBatchAggregate(node, stats);
-    if (!batch.ok()) return batch.status();
-    if (batch->has_value()) return std::move(**batch);
+StatusOr<Planner::EvalResult> Planner::ExecSetOp(PhysicalNode* node,
+                                                 ExecStats* stats) {
+  StatusOr<EvalResult> left = ExecNode(node->children[0].get(), stats);
+  if (!left.ok()) return left.status();
+  StatusOr<EvalResult> right = ExecNode(node->children[1].get(), stats);
+  if (!right.ok()) return right.status();
+
+  const Clock::time_point start = Clock::now();
+  TPSetOpSpec spec;
+  spec.kind = MapSetOpKind(node->set_op);
+  StatusOr<TPRelation> result =
+      ctx_ != nullptr ? ParallelTPSetOp(ctx_, spec, left->rel(), right->rel())
+                      : TPSetOp(spec, left->rel(), right->rel());
+  if (!result.ok()) return result.status();
+  ReportNode(stats, node, node->Label(), result->size(), SecondsSince(start));
+  return EvalResult{std::move(*result), nullptr};
+}
+
+StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
+                                                    ExecStats* stats) {
+  ChainExec chain = CollectExecChain(top);
+  PhysicalNode* source = chain.source;
+
+  // -- Cold catalog chains read the mapped segments directly. ------------
+  if (IsCatalogSource(*source) && source->cold) {
+    const storage::SegmentedTable* table = source->rel->cold_storage().get();
+    LineageManager* manager = source->rel->manager();
+    const storage::ScanPredicate& predicate = source->scan_predicate;
+
+    if (chain.batch_prefix > 0) {
+      // Parallel: morsels of whole segments run the row-local batch
+      // prefix independently (zone-map pruning composes per morsel); the
+      // merged table — in segment order, i.e. the serial scan order —
+      // feeds any remaining stages on the row path. Per-morsel storage
+      // and vector counters merge into the explain registry, so pruning
+      // is reported even on the parallel route.
+      if (chain.exchange != nullptr && ctx_ != nullptr &&
+          ctx_->ShouldParallelize(table->num_rows()) &&
+          table->segments().size() >= 2) {
+        const size_t lowered = chain.parallel_prefix;
+        const size_t max_morsels =
+            static_cast<size_t>(ctx_->parallelism()) * 4;
+        const std::vector<Morsel> morsels =
+            MakeMorsels(table->segments().size(), 1, max_morsels);
+        std::vector<StorageStats> counters(morsels.size());
+        std::vector<VectorStats> vcounters(morsels.size());
+        const Clock::time_point start = Clock::now();
+        StatusOr<Table> merged = ParallelBatchPipeline(
+            ctx_, morsels.size(),
+            [&](size_t i) -> StatusOr<vec::BatchOperatorPtr> {
+              return vec::BatchOperatorPtr(
+                  std::make_unique<storage::SegmentBatchScan>(
+                      table, predicate, morsels[i].begin, morsels[i].end,
+                      &counters[i], &vcounters[i]));
+            },
+            [&](vec::BatchOperatorPtr src)
+                -> StatusOr<vec::BatchOperatorPtr> {
+              return LowerBatchStages(std::move(src), chain.stages, lowered,
+                                      manager, nullptr, nullptr);
+            });
+        if (!merged.ok()) return merged.status();
+        if (stats != nullptr) {
+          StorageStats storage;
+          VectorStats vstats;
+          for (const StorageStats& c : counters) storage.Merge(c);
+          for (const VectorStats& v : vcounters) vstats.Merge(v);
+          vstats.rows_emitted += merged->rows.size();
+          NodeStats* scan_stats = ReportNode(
+              stats, source, source->Label() + " (cold)",
+              storage.rows_decoded, storage.decode_seconds);
+          scan_stats->open_calls = 1;
+          stats->AddStorage(storage);
+          stats->AddVector(vstats);
+          ReportNode(stats, chain.exchange, chain.exchange->Label(),
+                     merged->rows.size(), SecondsSince(start));
+        }
+        StatusOr<TPRelation> result = FinishRowStagesOverTable(
+            source->rel->name(), std::move(*merged), chain.stages, lowered,
+            manager);
+        if (!result.ok()) return result.status();
+        return EvalResult{std::move(*result), nullptr};
+      }
+
+      // Serial: chunk-level batch scan → lowered batch stages → (adapter
+      // + remaining row stages, when the chain has a non-batch tail).
+      VectorStats vstats;
+      StorageStats counters;
+      NodeStats* scan_stats =
+          stats != nullptr ? stats->AddNode(source->Label() + " (cold)")
+                           : nullptr;
+      if (scan_stats != nullptr) source->actual = scan_stats;
+      vec::BatchOperatorPtr op = std::make_unique<storage::SegmentBatchScan>(
+          table, predicate, &counters, &vstats);
+      op = LowerBatchStages(std::move(op), chain.stages, chain.batch_prefix,
+                            manager, &vstats, stats);
+      StatusOr<Table> out =
+          FinishBatchTail(std::move(op), chain, manager, &vstats, stats);
+      if (!out.ok()) return out.status();
+      if (stats != nullptr) {
+        scan_stats->rows = counters.rows_decoded;
+        scan_stats->open_calls = 1;
+        scan_stats->seconds = counters.decode_seconds;
+        stats->AddStorage(counters);
+        stats->AddVector(vstats);
+      }
+      StatusOr<TPRelation> result =
+          TPRelation::FromTable(source->rel->name(), *out, manager);
+      if (!result.ok()) return result.status();
+      return EvalResult{std::move(*result), nullptr};
+    }
+
+    // Row-mode cold chain (serial — the decode already dominates).
+    StorageStats counters;
+    NodeStats* scan_stats =
+        stats != nullptr ? stats->AddNode(source->Label() + " (cold)")
+                         : nullptr;
+    if (scan_stats != nullptr) source->actual = scan_stats;
+    StatusOr<OperatorPtr> lowered = LowerRowTail(
+        std::make_unique<storage::SegmentScan>(table, predicate, &counters),
+        chain.stages, 0, manager, stats);
+    if (!lowered.ok()) return lowered.status();
+    const Table out = Materialize(lowered->get());
+    if (stats != nullptr) {
+      scan_stats->rows = counters.rows_decoded;
+      scan_stats->open_calls = 1;
+      scan_stats->seconds = counters.decode_seconds;
+      stats->AddStorage(counters);
+    }
+    StatusOr<TPRelation> result =
+        TPRelation::FromTable(source->rel->name(), out, manager);
+    if (!result.ok()) return result.status();
+    return EvalResult{std::move(*result), nullptr};
   }
 
-  StatusOr<EvalResult> child = Eval(*node.children[0], stats);
+  // -- Warm chains run over the flattened table of their source. ---------
+  std::string name;
+  LineageManager* manager = nullptr;
+  auto table = std::make_unique<Table>();
+  if (IsCatalogSource(*source)) {
+    name = source->rel->name();
+    manager = source->rel->manager();
+    ReportNode(stats, source, source->Label(), source->rel->size(), 0.0);
+    *table = source->rel->ToTable();
+  } else {
+    StatusOr<EvalResult> base = ExecNode(source, stats);
+    if (!base.ok()) return base.status();
+    name = base->rel().name();
+    manager = base->rel().manager();
+    *table = base->rel().ToTable();
+  }
+
+  if (chain.batch_prefix > 0) {
+    // Parallel: contiguous morsels of the flattened table through the
+    // row-local batch prefix, ordered merge, remaining stages on the row
+    // path.
+    if (chain.exchange != nullptr && ctx_ != nullptr &&
+        ctx_->ShouldParallelize(table->rows.size())) {
+      const std::vector<Morsel> morsels =
+          MakeMorsels(table->rows.size(), ctx_->options().morsel_size);
+      if (morsels.size() >= 2) {
+        const size_t lowered = chain.parallel_prefix;
+        std::vector<VectorStats> vcounters(morsels.size());
+        const Clock::time_point start = Clock::now();
+        StatusOr<Table> merged = ParallelBatchPipeline(
+            ctx_, morsels.size(),
+            [&](size_t i) -> StatusOr<vec::BatchOperatorPtr> {
+              return vec::BatchOperatorPtr(
+                  std::make_unique<vec::TableBatchScan>(
+                      table.get(), morsels[i].begin, morsels[i].end,
+                      &vcounters[i]));
+            },
+            [&](vec::BatchOperatorPtr src)
+                -> StatusOr<vec::BatchOperatorPtr> {
+              return LowerBatchStages(std::move(src), chain.stages, lowered,
+                                      manager, nullptr, nullptr);
+            });
+        if (!merged.ok()) return merged.status();
+        if (stats != nullptr) {
+          VectorStats vstats;
+          for (const VectorStats& v : vcounters) vstats.Merge(v);
+          vstats.rows_emitted += merged->rows.size();
+          stats->AddVector(vstats);
+          ReportNode(stats, chain.exchange, chain.exchange->Label(),
+                     merged->rows.size(), SecondsSince(start));
+        }
+        StatusOr<TPRelation> result = FinishRowStagesOverTable(
+            name, std::move(*merged), chain.stages, lowered, manager);
+        if (!result.ok()) return result.status();
+        return EvalResult{std::move(*result), nullptr};
+      }
+    }
+
+    // Serial batch.
+    VectorStats vstats;
+    vec::BatchOperatorPtr op =
+        std::make_unique<vec::TableBatchScan>(table.get(), &vstats);
+    op = LowerBatchStages(std::move(op), chain.stages, chain.batch_prefix,
+                          manager, &vstats, stats);
+    StatusOr<Table> out =
+        FinishBatchTail(std::move(op), chain, manager, &vstats, stats);
+    if (!out.ok()) return out.status();
+    if (stats != nullptr) stats->AddVector(vstats);
+    StatusOr<TPRelation> result = TPRelation::FromTable(name, *out, manager);
+    if (!result.ok()) return result.status();
+    return EvalResult{std::move(*result), nullptr};
+  }
+
+  // Row path: the exchange's row-local prefix goes through the parallel
+  // driver (each morsel runs its own chain instance; outputs merge in
+  // morsel order, matching the serial pipeline exactly); sort, limit and
+  // everything above stay serial.
+  size_t first_serial_stage = 0;
+  if (chain.exchange != nullptr && ctx_ != nullptr &&
+      ctx_->ShouldParallelize(table->rows.size())) {
+    const size_t row_local = chain.parallel_prefix;
+    const Clock::time_point start = Clock::now();
+    StatusOr<Table> out = ParallelPipeline(
+        ctx_, *table,
+        [&chain, row_local,
+         manager](OperatorPtr source_op) -> StatusOr<OperatorPtr> {
+          OperatorPtr op = std::move(source_op);
+          for (size_t i = 0; i < row_local; ++i) {
+            StatusOr<OperatorPtr> lowered =
+                LowerPipelineStage(*chain.stages[i], std::move(op), manager);
+            if (!lowered.ok()) return lowered.status();
+            op = std::move(*lowered);
+          }
+          return op;
+        });
+    if (!out.ok()) return out.status();
+    *table = std::move(*out);
+    first_serial_stage = row_local;
+    if (stats != nullptr)
+      ReportNode(stats, chain.exchange, chain.exchange->Label(),
+                 table->rows.size(), SecondsSince(start));
+  }
+
+  StatusOr<TPRelation> rel = [&]() -> StatusOr<TPRelation> {
+    if (first_serial_stage == chain.stages.size()) {
+      // Everything ran in the parallel driver; `table` is the result.
+      return TPRelation::FromTable(name, *table, manager);
+    }
+    StatusOr<OperatorPtr> lowered =
+        LowerRowTail(std::make_unique<TableScan>(table.get()), chain.stages,
+                     first_serial_stage, manager, stats);
+    if (!lowered.ok()) return lowered.status();
+    const Table out = Materialize(lowered->get());
+    return TPRelation::FromTable(name, out, manager);
+  }();
+  if (!rel.ok()) return rel.status();
+  return EvalResult{std::move(*rel), nullptr};
+}
+
+StatusOr<Planner::EvalResult> Planner::ExecAggregate(PhysicalNode* node,
+                                                     ExecStats* stats) {
+  if (node->mode == ExecMode::kBatch) {
+    StatusOr<std::optional<EvalResult>> batch =
+        ExecBatchAggregate(node, stats);
+    if (!batch.ok()) return batch.status();
+    if (batch->has_value()) return std::move(**batch);
+    // The batch plan did not apply at run time (degenerate input); the row
+    // aggregate computes the identical result.
+  }
+  return ExecRowAggregate(node, stats);
+}
+
+StatusOr<Planner::EvalResult> Planner::ExecRowAggregate(PhysicalNode* node,
+                                                        ExecStats* stats) {
+  StatusOr<EvalResult> child = ExecNode(node->children[0].get(), stats);
   if (!child.ok()) return child.status();
   const TPRelation& input = child->rel();
   const Clock::time_point start = Clock::now();
 
-  StatusOr<AggPlan> plan = ResolveAggregatePlan(node, input.fact_schema());
+  StatusOr<AggPlan> plan =
+      ResolveAggregatePlan(node->group_by, node->group_aliases,
+                           node->aggregates, input.fact_schema());
   if (!plan.ok()) return plan.status();
   const std::vector<int>& group_idx = plan->group_idx;
   const std::vector<int>& agg_idx = plan->agg_idx;
-  std::vector<Column>& out_cols = plan->out_cols;
 
   struct Group {
     std::vector<Datum> acc;  // one slot per aggregate (count as int64)
@@ -765,7 +542,7 @@ StatusOr<Planner::EvalResult> Planner::EvalAggregate(const LogicalNode& node,
     auto [it, inserted] = groups.try_emplace(std::move(key));
     Group& g = it->second;
     if (inserted) {
-      g.acc.assign(node.aggregates.size(), Datum::Null());
+      g.acc.assign(node->aggregates.size(), Datum::Null());
       g.min_ts = tuple.interval.start;
       g.max_te = tuple.interval.end;
     } else {
@@ -773,8 +550,8 @@ StatusOr<Planner::EvalResult> Planner::EvalAggregate(const LogicalNode& node,
       g.max_te = std::max(g.max_te, tuple.interval.end);
     }
     g.lineages.push_back(tuple.lineage);
-    for (size_t j = 0; j < node.aggregates.size(); ++j) {
-      const SelectItem& item = node.aggregates[j];
+    for (size_t j = 0; j < node->aggregates.size(); ++j) {
+      const SelectItem& item = node->aggregates[j];
       const Datum* value = agg_idx[j] >= 0
                                ? &tuple.fact[static_cast<size_t>(agg_idx[j])]
                                : nullptr;
@@ -811,12 +588,12 @@ StatusOr<Planner::EvalResult> Planner::EvalAggregate(const LogicalNode& node,
     }
   }
 
-  TPRelation result(input.name() + "_agg", Schema(std::move(out_cols)),
+  TPRelation result(input.name() + "_agg", Schema(std::move(plan->out_cols)),
                     input.manager());
   for (auto& [key, g] : groups) {
     Row fact = key;
-    for (size_t j = 0; j < node.aggregates.size(); ++j) {
-      if (node.aggregates[j].fn == AggFn::kCount && g.acc[j].is_null())
+    for (size_t j = 0; j < node->aggregates.size(); ++j) {
+      if (node->aggregates[j].fn == AggFn::kCount && g.acc[j].is_null())
         g.acc[j] = Datum(static_cast<int64_t>(0));
       fact.push_back(std::move(g.acc[j]));
     }
@@ -826,364 +603,46 @@ StatusOr<Planner::EvalResult> Planner::EvalAggregate(const LogicalNode& node,
     TPDB_RETURN_IF_ERROR(result.AppendDerived(
         std::move(fact), Interval(g.min_ts, g.max_te), lineage));
   }
-  Report(stats, node.Label(), result.size(), SecondsSince(start));
+  ReportNode(stats, node, node->Label(), result.size(), SecondsSince(start));
   return EvalResult{std::move(result), nullptr};
 }
 
-StatusOr<Planner::EvalResult> Planner::EvalPipelined(const LogicalNode& node,
-                                                     ExecStats* stats) {
-  // Collect the maximal chain of pipelined nodes below (and including)
-  // `node`, top-down; the chain is lowered to ONE engine pipeline over the
-  // flattened table of the barrier child's result.
-  std::vector<const LogicalNode*> chain;
-  const LogicalNode* cursor = &node;
-  while (IsPipelined(cursor->op)) {
-    chain.push_back(cursor);
-    cursor = cursor->children[0].get();
-  }
-  // Bottom-up stage order (the order rows flow through them).
-  const std::vector<const LogicalNode*> stages(chain.rbegin(), chain.rend());
+StatusOr<std::optional<Planner::EvalResult>> Planner::ExecBatchAggregate(
+    PhysicalNode* node, ExecStats* stats) {
+  // The child chain was pre-validated by the mode pass: a fully batchable
+  // Scan→Filter… chain over a catalog relation, optionally with an
+  // exchange over its (row-local) whole length.
+  ChainExec chain = CollectExecChain(node->children[0].get());
+  PhysicalNode* source = chain.source;
+  TPDB_CHECK(IsCatalogSource(*source));
+  const TPRelation* rel = source->rel;
+  LineageManager* manager = rel->manager();
+  const storage::SegmentedTable* cold =
+      source->cold ? rel->cold_storage().get() : nullptr;
 
-  // Cold path: a chain rooted in a catalog scan whose relation carries a
-  // columnar snapshot backing reads the mapped segments directly instead
-  // of flattening the in-memory tuples — with zone maps pruning segments
-  // the pushed-down predicate rules out.
-  if (cursor->op == LogicalOp::kScan) {
-    StatusOr<TPRelation*> rel = db_->GetAssumingLocked(cursor->relation);
-    if (!rel.ok()) return rel.status();
-    if ((*rel)->cold_storage() != nullptr) {
-      if (options_.vectorize) {
-        StatusOr<std::optional<EvalResult>> batch =
-            EvalColdBatch(**rel, *cursor, stages, stats);
-        if (!batch.ok()) return batch.status();
-        if (batch->has_value()) return std::move(**batch);
-      }
-      return EvalColdPipeline(**rel, *cursor, stages, stats);
-    }
-  }
-
-  StatusOr<EvalResult> base = Eval(*cursor, stats);
-  if (!base.ok()) return base.status();
-  LineageManager* manager = base->rel().manager();
-
-  auto table = std::make_unique<Table>(base->rel().ToTable());
-
-  if (options_.vectorize) {
-    StatusOr<std::optional<EvalResult>> batch =
-        EvalWarmBatch(base->rel().name(), *table, manager, stages, stats);
-    if (!batch.ok()) return batch.status();
-    if (batch->has_value()) return std::move(**batch);
-  }
-
-  // The leading run of row-local stages (filter / project / probability
-  // threshold) can go through the parallel driver: each morsel runs its
-  // own instance of the chain and the outputs merge in morsel order, so
-  // the rows match the serial pipeline exactly. Sort and limit — and any
-  // stage above them — stay serial. Explain keeps the whole chain serial:
-  // per-stage instrumentation counts rows of ONE pipeline instance.
-  size_t first_serial_stage = 0;
-  if (ctx_ != nullptr && stats == nullptr) {
-    size_t row_local = 0;
-    while (row_local < stages.size() && IsRowLocal(stages[row_local]->op))
-      ++row_local;
-    if (row_local > 0 && ctx_->ShouldParallelize(table->rows.size())) {
-      StatusOr<Table> out = ParallelPipeline(
-          ctx_, *table,
-          [&stages, row_local, manager](
-              OperatorPtr source) -> StatusOr<OperatorPtr> {
-            OperatorPtr op = std::move(source);
-            for (size_t i = 0; i < row_local; ++i) {
-              StatusOr<OperatorPtr> lowered =
-                  LowerPipelineStage(*stages[i], std::move(op), manager);
-              if (!lowered.ok()) return lowered.status();
-              op = std::move(*lowered);
-            }
-            return op;
-          });
-      if (!out.ok()) return out.status();
-      *table = std::move(*out);
-      first_serial_stage = row_local;
-    }
-  }
-
-  StatusOr<TPRelation> rel = [&]() -> StatusOr<TPRelation> {
-    if (first_serial_stage == stages.size()) {
-      // Everything ran in the parallel driver; `table` is the result.
-      return TPRelation::FromTable(base->rel().name(), *table, manager);
-    }
-    OperatorPtr op = std::make_unique<TableScan>(table.get());
-    for (size_t i = first_serial_stage; i < stages.size(); ++i) {
-      StatusOr<OperatorPtr> lowered =
-          LowerPipelineStage(*stages[i], std::move(op), manager);
-      if (!lowered.ok()) return lowered.status();
-      op = std::move(*lowered);
-      if (stats != nullptr)
-        op = Instrument(stages[i]->Label(), std::move(op), stats);
-    }
-    const Table out = Materialize(op.get());
-    return TPRelation::FromTable(base->rel().name(), out, manager);
-  }();
-  if (!rel.ok()) return rel.status();
-  return EvalResult{std::move(*rel), nullptr};
-}
-
-StatusOr<Planner::EvalResult> Planner::EvalColdPipeline(
-    const TPRelation& rel, const LogicalNode& scan_node,
-    const std::vector<const LogicalNode*>& stages, ExecStats* stats) {
-  const storage::SegmentedTable* table = rel.cold_storage().get();
-  LineageManager* manager = rel.manager();
-
-  // Push bounds from the leading run of row-local predicate stages into
-  // the scan. Stages past the first project/sort/limit see transformed
-  // rows (renamed columns, truncated streams), so they must not prune.
-  // Zone-map max_prob values reflect base probabilities as of the
-  // snapshot; after SetVariableProbability they could wrongly prune, so
-  // probability pushdown is gated on the manager's epoch (numeric and
-  // temporal bounds are unaffected — facts and intervals never restate).
-  storage::ScanPredicate predicate =
-      CollectColdScanPredicate(stages, manager, table);
-
-  StorageStats counters;
-  NodeStats* scan_stats =
-      stats != nullptr ? stats->AddNode(scan_node.Label() + " (cold)")
-                       : nullptr;
-  OperatorPtr op = std::make_unique<storage::SegmentScan>(
-      table, std::move(predicate), &counters);
-  for (const LogicalNode* stage : stages) {
-    StatusOr<OperatorPtr> lowered =
-        LowerPipelineStage(*stage, std::move(op), manager);
-    if (!lowered.ok()) return lowered.status();
-    op = std::move(*lowered);
-    if (stats != nullptr)
-      op = Instrument(stage->Label(), std::move(op), stats);
-  }
-  const Table out = Materialize(op.get());
-  if (stats != nullptr) {
-    scan_stats->rows = counters.rows_decoded;
-    scan_stats->open_calls = 1;
-    scan_stats->seconds = counters.decode_seconds;
-    stats->AddStorage(counters);
-  }
-  StatusOr<TPRelation> result =
-      TPRelation::FromTable(rel.name(), out, manager);
-  if (!result.ok()) return result.status();
-  return EvalResult{std::move(*result), nullptr};
-}
-
-StatusOr<std::optional<Planner::EvalResult>> Planner::EvalColdBatch(
-    const TPRelation& rel, const LogicalNode& scan_node,
-    const std::vector<const LogicalNode*>& stages, ExecStats* stats) {
-  const storage::SegmentedTable* table = rel.cold_storage().get();
-  LineageManager* manager = rel.manager();
-  const storage::ScanPredicate predicate =
-      CollectColdScanPredicate(stages, manager, table);
-
-  // Parallel: morsels of whole segments run the row-local batch prefix
-  // independently (zone-map pruning composes per morsel); the merged
-  // table — in segment order, i.e. the serial scan order — feeds any
-  // remaining stages on the row path. Explain keeps the run serial so
-  // per-stage counters describe one pipeline instance.
-  if (ctx_ != nullptr && stats == nullptr &&
-      ctx_->ShouldParallelize(table->num_rows()) &&
-      table->segments().size() >= 2) {
-    const size_t lowered =
-        CountBatchStages(table->schema(), stages, /*row_local_only=*/true);
-    if (lowered > 0) {
-      const size_t max_morsels =
-          static_cast<size_t>(ctx_->parallelism()) * 4;
-      const std::vector<Morsel> morsels =
-          MakeMorsels(table->segments().size(), 1, max_morsels);
-      StatusOr<Table> merged = ParallelBatchPipeline(
-          ctx_, morsels.size(),
-          [&](size_t i) -> StatusOr<vec::BatchOperatorPtr> {
-            return vec::BatchOperatorPtr(
-                std::make_unique<storage::SegmentBatchScan>(
-                    table, predicate, morsels[i].begin, morsels[i].end));
-          },
-          [&](vec::BatchOperatorPtr src) -> StatusOr<vec::BatchOperatorPtr> {
-            return LowerBatchStages(std::move(src), stages, lowered, manager,
-                                    nullptr, nullptr);
-          });
-      if (!merged.ok()) return merged.status();
-      StatusOr<TPRelation> result = FinishRowStagesOverTable(
-          rel.name(), std::move(*merged), stages, lowered, manager);
-      if (!result.ok()) return result.status();
-      return std::optional<EvalResult>(
-          EvalResult{std::move(*result), nullptr});
-    }
-  }
-
-  // Serial: chunk-level batch scan → lowered batch stages → (adapter +
-  // remaining row stages, when the chain has a non-vectorizable tail).
-  const size_t lowered =
-      CountBatchStages(table->schema(), stages, /*row_local_only=*/false);
-  if (lowered == 0) return std::optional<EvalResult>();
-
-  VectorStats vstats;
-  StorageStats counters;
-  NodeStats* scan_stats =
-      stats != nullptr ? stats->AddNode(scan_node.Label() + " (cold)")
-                       : nullptr;
-  vec::BatchOperatorPtr op = std::make_unique<storage::SegmentBatchScan>(
-      table, predicate, &counters, &vstats);
-  op = LowerBatchStages(std::move(op), stages, lowered, manager, &vstats,
-                        stats);
-  Table out;
-  if (lowered == stages.size()) {
-    out = vec::MaterializeBatches(op.get(), &vstats);
-  } else {
-    OperatorPtr rop =
-        std::make_unique<vec::BatchToRowAdapter>(std::move(op), &vstats);
-    for (size_t i = lowered; i < stages.size(); ++i) {
-      StatusOr<OperatorPtr> next =
-          LowerPipelineStage(*stages[i], std::move(rop), manager);
-      if (!next.ok()) return next.status();
-      rop = std::move(*next);
-      if (stats != nullptr)
-        rop = Instrument(stages[i]->Label(), std::move(rop), stats);
-    }
-    out = Materialize(rop.get());
-  }
-  if (stats != nullptr) {
-    scan_stats->rows = counters.rows_decoded;
-    scan_stats->open_calls = 1;
-    scan_stats->seconds = counters.decode_seconds;
-    stats->AddStorage(counters);
-    stats->AddVector(vstats);
-  }
-  StatusOr<TPRelation> result =
-      TPRelation::FromTable(rel.name(), out, manager);
-  if (!result.ok()) return result.status();
-  return std::optional<EvalResult>(EvalResult{std::move(*result), nullptr});
-}
-
-StatusOr<std::optional<Planner::EvalResult>> Planner::EvalWarmBatch(
-    const std::string& name, const Table& table, LineageManager* manager,
-    const std::vector<const LogicalNode*>& stages, ExecStats* stats) {
-  // Parallel: contiguous morsels of the flattened table through the
-  // row-local batch prefix, ordered merge, remaining stages on the row
-  // path (mirrors the row path's ParallelPipeline conditions).
-  if (ctx_ != nullptr && stats == nullptr &&
-      ctx_->ShouldParallelize(table.rows.size())) {
-    const size_t lowered =
-        CountBatchStages(table.schema, stages, /*row_local_only=*/true);
-    if (lowered > 0) {
-      const std::vector<Morsel> morsels =
-          MakeMorsels(table.rows.size(), ctx_->options().morsel_size);
-      if (morsels.size() >= 2) {
-        StatusOr<Table> merged = ParallelBatchPipeline(
-            ctx_, morsels.size(),
-            [&](size_t i) -> StatusOr<vec::BatchOperatorPtr> {
-              return vec::BatchOperatorPtr(
-                  std::make_unique<vec::TableBatchScan>(
-                      &table, morsels[i].begin, morsels[i].end));
-            },
-            [&](vec::BatchOperatorPtr src)
-                -> StatusOr<vec::BatchOperatorPtr> {
-              return LowerBatchStages(std::move(src), stages, lowered,
-                                      manager, nullptr, nullptr);
-            });
-        if (!merged.ok()) return merged.status();
-        StatusOr<TPRelation> result = FinishRowStagesOverTable(
-            name, std::move(*merged), stages, lowered, manager);
-        if (!result.ok()) return result.status();
-        return std::optional<EvalResult>(
-            EvalResult{std::move(*result), nullptr});
-      }
-    }
-  }
-
-  const size_t lowered =
-      CountBatchStages(table.schema, stages, /*row_local_only=*/false);
-  if (lowered == 0) return std::optional<EvalResult>();
-
-  VectorStats vstats;
-  vec::BatchOperatorPtr op =
-      std::make_unique<vec::TableBatchScan>(&table, &vstats);
-  op = LowerBatchStages(std::move(op), stages, lowered, manager, &vstats,
-                        stats);
-  Table out;
-  if (lowered == stages.size()) {
-    out = vec::MaterializeBatches(op.get(), &vstats);
-  } else {
-    OperatorPtr rop =
-        std::make_unique<vec::BatchToRowAdapter>(std::move(op), &vstats);
-    for (size_t i = lowered; i < stages.size(); ++i) {
-      StatusOr<OperatorPtr> next =
-          LowerPipelineStage(*stages[i], std::move(rop), manager);
-      if (!next.ok()) return next.status();
-      rop = std::move(*next);
-      if (stats != nullptr)
-        rop = Instrument(stages[i]->Label(), std::move(rop), stats);
-    }
-    out = Materialize(rop.get());
-  }
-  if (stats != nullptr) stats->AddVector(vstats);
-  StatusOr<TPRelation> result = TPRelation::FromTable(name, out, manager);
-  if (!result.ok()) return result.status();
-  return std::optional<EvalResult>(EvalResult{std::move(*result), nullptr});
-}
-
-StatusOr<std::optional<Planner::EvalResult>> Planner::TryBatchAggregate(
-    const LogicalNode& node, ExecStats* stats) {
-  // The child must be a pipelined chain rooted at a catalog scan, and
-  // every stage must vectorize — the aggregate consumes the whole stream
-  // batch-at-a-time, reading only the columns it references.
-  std::vector<const LogicalNode*> chain;
-  const LogicalNode* cursor = node.children[0].get();
-  while (IsPipelined(cursor->op)) {
-    chain.push_back(cursor);
-    cursor = cursor->children[0].get();
-  }
-  if (cursor->op != LogicalOp::kScan) return std::optional<EvalResult>();
-  const std::vector<const LogicalNode*> stages(chain.rbegin(), chain.rend());
-
-  StatusOr<TPRelation*> rel = db_->GetAssumingLocked(cursor->relation);
-  if (!rel.ok()) return rel.status();
-  LineageManager* manager = (*rel)->manager();
-  const storage::SegmentedTable* cold = (*rel)->cold_storage().get();
-
-  // The flattened source schema is derivable without materializing rows
-  // (facts ++ _ts/_te/_lin), so the vectorizability check runs before the
-  // warm path pays for ToTable().
-  Schema source_schema;
-  if (cold != nullptr) {
-    source_schema = cold->schema();
-  } else {
-    source_schema = (*rel)->fact_schema();
-    source_schema.AddColumn({kTsColumn, DatumType::kInt64});
-    source_schema.AddColumn({kTeColumn, DatumType::kInt64});
-    source_schema.AddColumn({kLineageColumn, DatumType::kLineage});
-  }
   Schema flat;
-  if (CountBatchStages(source_schema, stages, /*row_local_only=*/false,
-                       &flat) != stages.size())
-    return std::optional<EvalResult>();
-  std::unique_ptr<Table> warm;  // flattened backing of the warm path
-  if (cold == nullptr) warm = std::make_unique<Table>((*rel)->ToTable());
+  const size_t batchable = CountBatchStages(source->schema, chain.stages,
+                                            /*row_local_only=*/false, &flat);
+  if (batchable != chain.stages.size()) return std::optional<EvalResult>();
 
   // Group/aggregate columns resolve against the fact prefix of the
   // flattened schema (the reserved columns sit at the end), so the
   // validation — and its errors — match the row path's exactly.
-  TPDB_CHECK_GE(flat.num_columns(), 3u);
-  const Schema facts(std::vector<Column>(flat.columns().begin(),
-                                         flat.columns().end() - 3));
-  StatusOr<AggPlan> plan = ResolveAggregatePlan(node, facts);
+  StatusOr<AggPlan> plan = ResolveAggregatePlan(
+      node->group_by, node->group_aliases, node->aggregates,
+      FactSchemaOf(flat));
   if (!plan.ok()) return plan.status();
   std::vector<vec::BatchAggItem> items;
-  items.reserve(node.aggregates.size());
-  for (size_t j = 0; j < node.aggregates.size(); ++j)
+  items.reserve(node->aggregates.size());
+  for (size_t j = 0; j < node->aggregates.size(); ++j)
     items.push_back(
-        vec::BatchAggItem{MapAggFn(node.aggregates[j].fn), plan->agg_idx[j]});
-  std::vector<Column> out_cols = std::move(plan->out_cols);
-  out_cols.push_back({kTsColumn, DatumType::kInt64});
-  out_cols.push_back({kTeColumn, DatumType::kInt64});
-  out_cols.push_back({kLineageColumn, DatumType::kLineage});
-  Schema out_schema(std::move(out_cols));
+        vec::BatchAggItem{MapAggFn(node->aggregates[j].fn), plan->agg_idx[j]});
+  Schema out_schema =
+      FlattenFactSchema(Schema(std::move(plan->out_cols)));
 
-  const storage::ScanPredicate predicate =
-      cold != nullptr ? CollectColdScanPredicate(stages, manager, cold)
-                      : storage::ScanPredicate();
+  const storage::ScanPredicate& predicate = source->scan_predicate;
+  std::unique_ptr<Table> warm;  // flattened backing of the warm path
+  if (cold == nullptr) warm = std::make_unique<Table>(rel->ToTable());
 
   VectorStats vstats;
   StorageStats counters;
@@ -1191,18 +650,13 @@ StatusOr<std::optional<Planner::EvalResult>> Planner::TryBatchAggregate(
   std::unique_ptr<Table> merged;  // parallel prefix output
   vec::BatchOperatorPtr op;
 
-  // Parallel prefix: the stages are row-local (limits never sit below an
-  // aggregate in built plans), so the same morsel drivers apply; the
+  // Parallel prefix: the exchange covers the whole (row-local) chain; the
   // aggregate itself consumes the ordered merge serially.
-  const size_t driving_rows =
-      cold != nullptr ? cold->num_rows() : warm->rows.size();
-  const bool parallel =
-      ctx_ != nullptr && stats == nullptr && !stages.empty() &&
-      ctx_->ShouldParallelize(driving_rows) &&
-      CountBatchStages(source_schema, stages, /*row_local_only=*/true) ==
-          stages.size() &&
-      (cold == nullptr || cold->segments().size() >= 2);
-  if (parallel) {
+  if (chain.exchange != nullptr && ctx_ != nullptr &&
+      !chain.stages.empty() &&
+      ctx_->ShouldParallelize(cold != nullptr ? cold->num_rows()
+                                              : warm->rows.size()) &&
+      (cold == nullptr || cold->segments().size() >= 2)) {
     const std::vector<Morsel> morsels =
         cold != nullptr
             ? MakeMorsels(cold->segments().size(), 1,
@@ -1211,47 +665,73 @@ StatusOr<std::optional<Planner::EvalResult>> Planner::TryBatchAggregate(
     // A single morsel would only add a materialize + re-transpose round
     // trip over the serial stream below.
     if (morsels.size() >= 2) {
+      std::vector<StorageStats> pcounters(morsels.size());
+      std::vector<VectorStats> pvcounters(morsels.size());
+      const Clock::time_point start = Clock::now();
       StatusOr<Table> out = ParallelBatchPipeline(
           ctx_, morsels.size(),
           [&](size_t i) -> StatusOr<vec::BatchOperatorPtr> {
             if (cold != nullptr)
               return vec::BatchOperatorPtr(
                   std::make_unique<storage::SegmentBatchScan>(
-                      cold, predicate, morsels[i].begin, morsels[i].end));
+                      cold, predicate, morsels[i].begin, morsels[i].end,
+                      &pcounters[i], &pvcounters[i]));
             return vec::BatchOperatorPtr(
                 std::make_unique<vec::TableBatchScan>(
-                    warm.get(), morsels[i].begin, morsels[i].end));
+                    warm.get(), morsels[i].begin, morsels[i].end,
+                    &pvcounters[i]));
           },
           [&](vec::BatchOperatorPtr src) -> StatusOr<vec::BatchOperatorPtr> {
-            return LowerBatchStages(std::move(src), stages, stages.size(),
-                                    manager, nullptr, nullptr);
+            return LowerBatchStages(std::move(src), chain.stages,
+                                    chain.stages.size(), manager, nullptr,
+                                    nullptr);
           });
       if (!out.ok()) return out.status();
+      if (stats != nullptr) {
+        StorageStats storage;
+        for (const StorageStats& c : pcounters) storage.Merge(c);
+        for (const VectorStats& v : pvcounters) vstats.Merge(v);
+        if (cold != nullptr) {
+          NodeStats* slot = ReportNode(stats, source,
+                                       source->Label() + " (cold)",
+                                       storage.rows_decoded,
+                                       storage.decode_seconds);
+          slot->open_calls = 1;
+          stats->AddStorage(storage);
+        } else {
+          ReportNode(stats, source, source->Label(), rel->size(), 0.0);
+        }
+        ReportNode(stats, chain.exchange, chain.exchange->Label(),
+                   out->rows.size(), SecondsSince(start));
+      }
       merged = std::make_unique<Table>(std::move(*out));
       op = std::make_unique<vec::TableBatchScan>(merged.get(), nullptr);
     }
   }
   if (op == nullptr && cold != nullptr) {
     scan_stats = stats != nullptr
-                     ? stats->AddNode(cursor->Label() + " (cold)")
+                     ? stats->AddNode(source->Label() + " (cold)")
                      : nullptr;
+    if (scan_stats != nullptr) source->actual = scan_stats;
     op = std::make_unique<storage::SegmentBatchScan>(cold, predicate,
                                                      &counters, &vstats);
-    op = LowerBatchStages(std::move(op), stages, stages.size(), manager,
-                          &vstats, stats);
+    op = LowerBatchStages(std::move(op), chain.stages, chain.stages.size(),
+                          manager, &vstats, stats);
   } else if (op == nullptr) {
-    if (stats != nullptr)
-      Report(stats, cursor->Label(), (*rel)->size(), 0.0);
+    ReportNode(stats, source, source->Label(), rel->size(), 0.0);
     op = std::make_unique<vec::TableBatchScan>(warm.get(), &vstats);
-    op = LowerBatchStages(std::move(op), stages, stages.size(), manager,
-                          &vstats, stats);
+    op = LowerBatchStages(std::move(op), chain.stages, chain.stages.size(),
+                          manager, &vstats, stats);
   }
 
   op = std::make_unique<vec::BatchHashAggregate>(
       std::move(op), std::move(plan->group_idx), std::move(items),
       std::move(out_schema), manager);
-  if (stats != nullptr)
-    op = vec::InstrumentBatch(node.Label() + " (vec)", std::move(op), stats);
+  if (stats != nullptr) {
+    NodeStats* slot = stats->AddNode(node->Label() + " (vec)");
+    node->actual = slot;
+    op = vec::InstrumentBatch(slot, std::move(op));
+  }
   const Table out = vec::MaterializeBatches(op.get(), &vstats);
 
   if (stats != nullptr) {
@@ -1264,7 +744,7 @@ StatusOr<std::optional<Planner::EvalResult>> Planner::TryBatchAggregate(
     stats->AddVector(vstats);
   }
   StatusOr<TPRelation> result =
-      TPRelation::FromTable((*rel)->name() + "_agg", out, manager);
+      TPRelation::FromTable(rel->name() + "_agg", out, manager);
   if (!result.ok()) return result.status();
   return std::optional<EvalResult>(EvalResult{std::move(*result), nullptr});
 }

@@ -1,29 +1,30 @@
-// Planner — the last stage of the layered API. Lowers a logical plan onto
-// the executors the seed already ships:
+// Planner — the last stage of the layered API. Since the physical-plan IR
+// refactor it is a thin three-step driver:
 //
-//   - kJoin    → tp/operators.h TPJoin (NJ window plans or the TA baseline)
-//   - kSetOp   → tp/set_ops.h TPUnion / TPIntersect / TPDifference
-//   - kFilter / kProject / kSort / kLimit / kProbThreshold → one fused
-//     engine/ Volcano pipeline (TableScan → Filter → … → Limit) over the
-//     flattened table (fact columns ++ _ts ++ _te ++ _lin), converted back
-//     with TPRelation::FromTable
-//   - kAggregate → grouped aggregation where each group's interval is the
-//     span of its tuples and its lineage is the disjunction of their
-//     lineages (probability stays exact). An aggregate over an empty input
-//     yields an empty relation — unlike SQL's global COUNT, a TP tuple
-//     cannot exist without a validity interval
+//   1. BuildPhysicalPlan (api/physical_plan.h): bind the logical tree
+//      against the catalog into a typed physical-operator tree.
+//   2. RunPassPipeline (api/passes/): constant folding, predicate &
+//      probability-threshold pushdown into the scans, projection pruning,
+//      and zone-map-costed row/batch/parallel mode selection.
+//   3. Execute the annotated tree: pipelined chains (PhysFilter /
+//      PhysProject / PhysSort / PhysLimit over a source) fuse into one
+//      engine/ or engine/vector/ operator chain per their ExecMode
+//      annotations, PhysExchange regions run on the exec/ morsel drivers
+//      with an ordered merge, and PhysTPJoin / PhysTPSetOp / PhysAlign
+//      construct the tp/ and baseline/ operators from their node specs.
 //
-// When an ExecStats registry is supplied, every lowered engine operator is
-// wrapped with engine/explain Instrument and every TP-level operator
-// reports its row count and wall time into the same registry — this is
-// what TPDatabase::Explain renders.
+// There is exactly one lowering path: every query — row or batch, serial
+// or parallel, warm or cold — routes through the same physical tree, and
+// Explain renders that tree with per-node cost estimates next to actuals.
 #ifndef TPDB_API_PLANNER_H_
 #define TPDB_API_PLANNER_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "api/logical_plan.h"
+#include "api/physical_plan.h"
 #include "common/status.h"
 #include "engine/explain.h"
 #include "tp/overlap_join.h"
@@ -51,14 +52,17 @@ struct PlannerOptions {
   /// Driving inputs smaller than this run serially even when
   /// parallelism > 1 (task setup would dominate).
   size_t min_parallel_rows = 512;
-  /// Batch-at-a-time execution (engine/vector/): the planner lowers the
-  /// leading Scan→Filter→Project(→Aggregate/Limit) prefix of a pipeline
-  /// onto ColumnBatch operators — zero-copy over columnar snapshots, typed
-  /// column loops for predicates — and falls back to the row path for
-  /// anything it cannot vectorize (sort, exotic predicates). Results are
-  /// element-wise and order identical either way; `false` forces the
-  /// row path bit-for-bit.
-  bool vectorize = true;
+  /// Batch-at-a-time execution (engine/vector/). Unset (the default): the
+  /// mode-selection pass picks row vs batch per pipeline by cost — batch
+  /// for cold scans and large warm inputs, row where the transpose would
+  /// dominate. `true` forces the batch path wherever a stage vectorizes;
+  /// `false` pins the row path bit-for-bit. Results are element-wise and
+  /// order identical under every setting.
+  std::optional<bool> vectorize;
+  /// Run the optimizing passes (constant folding, pushdown, projection
+  /// pruning). `false` keeps only the mandatory mode-selection pass — the
+  /// parity baseline the physical-plan suite compares against.
+  bool optimize = true;
 };
 
 /// Executes logical plans against one database's catalog.
@@ -68,9 +72,17 @@ class Planner {
 
   /// Runs `plan` to completion. With `stats`, every lowered operator
   /// reports rows and wall time into the registry (registration order is
-  /// bottom-up per pipeline, matching ExecStats::ToString).
+  /// bottom-up per pipeline, matching ExecStats::ToString), and the
+  /// registry's physical_plan() is set to the executed tree rendered with
+  /// estimates next to actuals.
   StatusOr<TPRelation> Execute(const LogicalPlan& plan,
                                ExecStats* stats = nullptr);
+
+  /// Binds and optimizes `plan` without executing it (takes the catalog
+  /// lock internally). The returned tree references catalog relations —
+  /// valid until the next DDL on the database. Snapshot statements are not
+  /// lowerable.
+  StatusOr<PhysicalPlan> Lower(const LogicalPlan& plan);
 
  private:
   /// A node's result: either a relation the planner materialized, or a
@@ -83,35 +95,21 @@ class Planner {
     const TPRelation& rel() const { return owned ? *owned : *borrowed; }
   };
 
-  StatusOr<EvalResult> Eval(const LogicalNode& node, ExecStats* stats);
-  StatusOr<EvalResult> EvalPipelined(const LogicalNode& node,
-                                     ExecStats* stats);
-  /// The cold read path: serves a Scan→(Filter|Project|…)* chain straight
-  /// from the relation's columnar snapshot backing, pushing time-range,
-  /// numeric and probability bounds into the scan (zone-map pruning).
-  StatusOr<EvalResult> EvalColdPipeline(
-      const TPRelation& rel, const LogicalNode& scan_node,
-      const std::vector<const LogicalNode*>& stages, ExecStats* stats);
-  /// Vectorized pipeline paths (engine/vector/): lower the leading
-  /// batch-supported run of `stages` onto a ColumnBatch pipeline — over
-  /// the mapped segments (cold) or the flattened table (warm) — with the
-  /// row path picking up any remaining stages through BatchToRowAdapter.
-  /// Return nullopt when no stage vectorizes; the caller then runs the
-  /// row path (which also owns error reporting for malformed stages).
-  StatusOr<std::optional<EvalResult>> EvalColdBatch(
-      const TPRelation& rel, const LogicalNode& scan_node,
-      const std::vector<const LogicalNode*>& stages, ExecStats* stats);
-  StatusOr<std::optional<EvalResult>> EvalWarmBatch(
-      const std::string& name, const Table& table, LineageManager* manager,
-      const std::vector<const LogicalNode*>& stages, ExecStats* stats);
-  /// Vectorized aggregation: when the aggregate's child is a fully
-  /// batch-lowerable Scan→Filter… chain, group straight off the batches.
-  StatusOr<std::optional<EvalResult>> TryBatchAggregate(
-      const LogicalNode& node, ExecStats* stats);
-  StatusOr<EvalResult> EvalJoin(const LogicalNode& node, ExecStats* stats);
-  StatusOr<EvalResult> EvalSetOp(const LogicalNode& node, ExecStats* stats);
-  StatusOr<EvalResult> EvalAggregate(const LogicalNode& node,
-                                     ExecStats* stats);
+  /// Binds + optimizes under an already-held catalog lock, annotating for
+  /// `parallelism` resolved workers (shared by Execute and Lower).
+  StatusOr<PhysicalPlan> LowerLocked(const LogicalPlan& plan,
+                                     int parallelism);
+
+  StatusOr<EvalResult> ExecNode(PhysicalNode* node, ExecStats* stats);
+  /// Executes the maximal pipelined chain rooted at `top` (stages +
+  /// optional exchange marker over a source) per its mode annotations.
+  StatusOr<EvalResult> ExecPipeline(PhysicalNode* top, ExecStats* stats);
+  StatusOr<EvalResult> ExecJoin(PhysicalNode* node, ExecStats* stats);
+  StatusOr<EvalResult> ExecSetOp(PhysicalNode* node, ExecStats* stats);
+  StatusOr<EvalResult> ExecAggregate(PhysicalNode* node, ExecStats* stats);
+  StatusOr<EvalResult> ExecRowAggregate(PhysicalNode* node, ExecStats* stats);
+  StatusOr<std::optional<EvalResult>> ExecBatchAggregate(PhysicalNode* node,
+                                                         ExecStats* stats);
 
   TPDatabase* db_;
   PlannerOptions options_;

@@ -404,4 +404,20 @@ StatusOr<TPRelation> TemporalAlignmentJoin(TPJoinKind kind,
   return result;
 }
 
+StatusOr<TPRelation> TemporalAlignmentJoin(const TPAlignSpec& spec,
+                                           const TPRelation& r,
+                                           const TPRelation& s) {
+  if (r.manager() != s.manager())
+    return Status::InvalidArgument(
+        "TP relations must share a LineageManager");
+  if (spec.validate_inputs) {
+    TPDB_RETURN_IF_ERROR(r.Validate());
+    TPDB_RETURN_IF_ERROR(s.Validate());
+  }
+  std::string name = spec.result_name;
+  if (name.empty())
+    name = r.name() + "_" + TPJoinKindName(spec.kind) + "_" + s.name();
+  return TemporalAlignmentJoin(spec.kind, r, s, spec.theta, std::move(name));
+}
+
 }  // namespace tpdb

@@ -64,6 +64,22 @@ StatusOr<TPRelation> TemporalAlignmentJoin(TPJoinKind kind,
                                            const JoinCondition& theta,
                                            std::string name);
 
+/// Plan-node payload of a temporal-alignment join — the executor of a
+/// PhysAlign node (api/physical_plan.h) builds one of these from the node.
+/// Unlike the raw TemporalAlignmentJoin above it owns the full operator
+/// contract: manager check, optional input validation, result naming.
+struct TPAlignSpec {
+  TPJoinKind kind = TPJoinKind::kInner;
+  JoinCondition theta;
+  bool validate_inputs = true;
+  std::string result_name;  ///< "" = derived from the inputs
+};
+
+/// Runs the alignment join described by `spec` over (r, s).
+StatusOr<TPRelation> TemporalAlignmentJoin(const TPAlignSpec& spec,
+                                           const TPRelation& r,
+                                           const TPRelation& s);
+
 }  // namespace tpdb
 
 #endif  // TPDB_BASELINE_TA_JOIN_H_

@@ -152,4 +152,8 @@ OperatorPtr Instrument(std::string label, OperatorPtr child,
       std::move(child), stats->AddNode(std::move(label)));
 }
 
+OperatorPtr Instrument(NodeStats* node, OperatorPtr child) {
+  return std::make_unique<InstrumentedOperator>(std::move(child), node);
+}
+
 }  // namespace tpdb

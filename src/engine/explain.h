@@ -9,6 +9,7 @@
 #include <chrono>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/operator.h"
@@ -91,6 +92,14 @@ class ExecStats {
 
   const VectorStats& vector() const { return vector_; }
 
+  /// Rendered physical tree of the executed plan, with per-node cost
+  /// estimates next to actuals (set by the planner after execution;
+  /// TPDatabase::Explain prints it as its own section).
+  void set_physical_plan(std::string plan) {
+    physical_plan_ = std::move(plan);
+  }
+  const std::string& physical_plan() const { return physical_plan_; }
+
   /// Multi-line "label: rows=… time=…" rendering, in registration order
   /// (register bottom-up to read the pipeline top-down), followed by a
   /// per-worker section when the query ran on the parallel runtime, a
@@ -103,12 +112,18 @@ class ExecStats {
   std::vector<WorkerStats> workers_;
   StorageStats storage_;
   VectorStats vector_;
+  std::string physical_plan_;
 };
 
 /// Wraps `child`, counting its rows and timing its Next() calls into a
 /// fresh node of `stats`.
 OperatorPtr Instrument(std::string label, OperatorPtr child,
                        ExecStats* stats);
+
+/// Same, reporting into a pre-registered node — used by the physical-plan
+/// executors, which share one NodeStats slot between a plan node and its
+/// lowered operator.
+OperatorPtr Instrument(NodeStats* node, OperatorPtr child);
 
 }  // namespace tpdb
 

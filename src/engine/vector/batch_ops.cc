@@ -383,4 +383,8 @@ BatchOperatorPtr InstrumentBatch(std::string label, BatchOperatorPtr child,
       std::move(child), stats->AddNode(std::move(label)));
 }
 
+BatchOperatorPtr InstrumentBatch(NodeStats* node, BatchOperatorPtr child) {
+  return std::make_unique<InstrumentedBatchOperator>(std::move(child), node);
+}
+
 }  // namespace tpdb::vec

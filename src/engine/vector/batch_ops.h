@@ -179,6 +179,11 @@ class BatchHashAggregate final : public BatchOperator {
 BatchOperatorPtr InstrumentBatch(std::string label, BatchOperatorPtr child,
                                  ExecStats* stats);
 
+/// Same, reporting into a pre-registered node — used by the physical-plan
+/// executors, which share one NodeStats slot between a plan node and its
+/// lowered operator.
+BatchOperatorPtr InstrumentBatch(NodeStats* node, BatchOperatorPtr child);
+
 }  // namespace tpdb::vec
 
 #endif  // TPDB_ENGINE_VECTOR_BATCH_OPS_H_

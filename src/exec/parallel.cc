@@ -271,4 +271,17 @@ StatusOr<Table> ParallelBatchPipeline(ExecContext* ctx, size_t num_morsels,
   return out;
 }
 
+StatusOr<TPRelation> ParallelTPJoin(ExecContext* ctx, const TPJoinSpec& spec,
+                                    const TPRelation& r,
+                                    const TPRelation& s) {
+  return ParallelTPJoin(ctx, spec.kind, r, s, spec.theta, spec.options);
+}
+
+StatusOr<TPRelation> ParallelTPSetOp(ExecContext* ctx,
+                                     const TPSetOpSpec& spec,
+                                     const TPRelation& r,
+                                     const TPRelation& s) {
+  return ParallelTPSetOp(ctx, spec.kind, r, s, spec.result_name);
+}
+
 }  // namespace tpdb

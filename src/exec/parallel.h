@@ -48,6 +48,15 @@ StatusOr<TPRelation> ParallelTPSetOp(ExecContext* ctx, TPSetOpKind kind,
                                      const TPRelation& r, const TPRelation& s,
                                      std::string result_name = "");
 
+/// Spec forms — the physical-plan executors construct the spec from a
+/// PhysTPJoin / PhysTPSetOp node and dispatch here when a context is live.
+StatusOr<TPRelation> ParallelTPJoin(ExecContext* ctx, const TPJoinSpec& spec,
+                                    const TPRelation& r, const TPRelation& s);
+StatusOr<TPRelation> ParallelTPSetOp(ExecContext* ctx,
+                                     const TPSetOpSpec& spec,
+                                     const TPRelation& r,
+                                     const TPRelation& s);
+
 /// Builds one instance of a row-local operator chain over `source` (a scan
 /// of one morsel). Must be safe to call concurrently.
 using PipelineFactory =

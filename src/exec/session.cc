@@ -26,6 +26,8 @@ StatusOr<std::string> Session::Explain(const std::string& text) const {
   StatusOr<TPRelation> result = planner.Execute(*plan, &stats);
   if (!result.ok()) return result.status();
   std::string out = "Logical plan:\n" + plan->ToString();
+  if (!stats.physical_plan().empty())
+    out += "\nPhysical plan (est | actual):\n" + stats.physical_plan();
   out += "\nLowered pipeline (bottom-up):\n" + stats.ToString();
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "engine/schema.h"
@@ -46,6 +47,35 @@ void ScanPredicate::AddMinProb(double min_prob, bool strict) {
     this->min_prob = min_prob;
     this->min_prob_strict = strict;
   }
+}
+
+std::string ScanPredicate::ToString() const {
+  std::string out;
+  for (const auto& [name, range] : column_ranges) {
+    if (!out.empty()) out += " AND ";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s in %s%g, %g%s", name.c_str(),
+                  range.lo_strict ? "(" : "[", range.lo, range.hi,
+                  range.hi_strict ? ")" : "]");
+    out += buf;
+  }
+  if (min_prob > 0.0 || min_prob_strict) {
+    if (!out.empty()) out += " AND ";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "prob %s %g", min_prob_strict ? ">" : ">=",
+                  min_prob);
+    out += buf;
+  }
+  return out;
+}
+
+size_t EstimateScanRows(const SegmentedTable& table,
+                        const ScanPredicate& predicate) {
+  size_t rows = 0;
+  for (const Segment& segment : table.segments())
+    if (SegmentMayMatch(segment, table.schema(), predicate))
+      rows += segment.num_rows;
+  return rows;
 }
 
 bool SegmentMayMatch(const Segment& segment, const Schema& schema,

@@ -57,6 +57,9 @@ struct ScanPredicate {
     return column_ranges.empty() && min_prob <= 0.0 && !min_prob_strict;
   }
 
+  /// "key in [3, 7) AND prob >= 0.5" rendering for Explain's physical tree.
+  std::string ToString() const;
+
  private:
   ScanRange* RangeOf(const std::string& column);
 };
@@ -65,6 +68,13 @@ struct ScanPredicate {
 /// `predicate` (column names resolved against `schema`).
 bool SegmentMayMatch(const Segment& segment, const Schema& schema,
                      const ScanPredicate& predicate);
+
+/// Zone-map cardinality estimate: total rows of the segments `predicate`
+/// cannot prune. The mode-selection pass costs cold scans with this (an
+/// upper bound on the rows the scan will decode — pruning is conservative,
+/// the per-row filter still runs above).
+size_t EstimateScanRows(const SegmentedTable& table,
+                        const ScanPredicate& predicate);
 
 /// Leaf operator over a SegmentedTable. The table (and its mapping) must
 /// outlive the operator; `stats` (optional) accumulates scan counters.

@@ -202,6 +202,11 @@ StatusOr<TPRelation> TPJoin(TPJoinKind kind, const TPRelation& r,
   return Status::Internal("unknown join strategy");
 }
 
+StatusOr<TPRelation> TPJoin(const TPJoinSpec& spec, const TPRelation& r,
+                            const TPRelation& s) {
+  return TPJoin(spec.kind, r, s, spec.theta, spec.options);
+}
+
 StatusOr<TPRelation> TPInnerJoin(const TPRelation& r, const TPRelation& s,
                                  const JoinCondition& theta,
                                  const TPJoinOptions& options) {

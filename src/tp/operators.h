@@ -63,6 +63,21 @@ StatusOr<TPRelation> TPJoin(TPJoinKind kind, const TPRelation& r,
                             const TPRelation& s, const JoinCondition& theta,
                             const TPJoinOptions& options = {});
 
+/// Plan-node payload of a TP join: everything needed to construct the
+/// operator, minus the inputs (which arrive from the children of the
+/// physical node). The executor of a PhysTPJoin node (api/physical_plan.h)
+/// builds one of these from the node and hands it to TPJoin — or to
+/// exec/parallel.h's ParallelTPJoin when a context is in play.
+struct TPJoinSpec {
+  TPJoinKind kind = TPJoinKind::kInner;
+  JoinCondition theta;
+  TPJoinOptions options;
+};
+
+/// Runs the join described by `spec` over (r, s).
+StatusOr<TPRelation> TPJoin(const TPJoinSpec& spec, const TPRelation& r,
+                            const TPRelation& s);
+
 // Convenience wrappers.
 StatusOr<TPRelation> TPInnerJoin(const TPRelation& r, const TPRelation& s,
                                  const JoinCondition& theta,

@@ -171,6 +171,11 @@ StatusOr<TPRelation> TPSetOp(TPSetOpKind kind, const TPRelation& r,
   return RunSetOp(kind, r, s, std::move(result_name));
 }
 
+StatusOr<TPRelation> TPSetOp(const TPSetOpSpec& spec, const TPRelation& r,
+                             const TPRelation& s) {
+  return TPSetOp(spec.kind, r, s, spec.result_name);
+}
+
 StatusOr<TPRelation> TPUnion(const TPRelation& r, const TPRelation& s,
                              std::string result_name) {
   if (result_name.empty()) result_name = r.name() + "_union_" + s.name();

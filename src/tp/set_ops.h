@@ -47,6 +47,18 @@ const char* TPSetOpKindName(TPSetOpKind kind);
 StatusOr<TPRelation> TPSetOp(TPSetOpKind kind, const TPRelation& r,
                              const TPRelation& s, std::string result_name = "");
 
+/// Plan-node payload of a TP set operation — the executor of a PhysTPSetOp
+/// node (api/physical_plan.h) builds one of these from the node and hands
+/// it to TPSetOp, or to exec/parallel.h's ParallelTPSetOp.
+struct TPSetOpSpec {
+  TPSetOpKind kind = TPSetOpKind::kUnion;
+  std::string result_name;
+};
+
+/// Runs the set operation described by `spec` over (r, s).
+StatusOr<TPRelation> TPSetOp(const TPSetOpSpec& spec, const TPRelation& r,
+                             const TPRelation& s);
+
 // -- Pipeline-level entry points (the parallel driver's building blocks) --
 //
 // A set operation runs one r-driven window pipeline (unmatched/negating
