@@ -1,0 +1,256 @@
+// Network server throughput & latency, emitting BENCH_server.json:
+//   * QPS and p50/p99 query latency over loopback at 1 / 8 / 64 / 256
+//     concurrent client connections (each connection is a thread running
+//     a stream of small selective queries);
+//   * a parity gate: the wire result of every benched query must be
+//     element-wise identical — rows, intervals, exact probabilities — to
+//     the same query run in-process. The process exits non-zero on any
+//     divergence or query failure, which is what CI keys off.
+//
+// Like bench_storage this is a plain main():
+//
+//   ./bench/bench_server [out.json]
+//
+// TPDB_BENCH_SCALE multiplies the per-sweep query count (default 8 per
+// connection, at least 256 per sweep).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "exec/session.h"
+#include "lineage/probability.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace tpdb::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SweepResult {
+  size_t connections = 0;
+  size_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool ok = true;
+};
+
+double Percentile(std::vector<double>* latencies, double p) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(latencies->size())));
+  return (*latencies)[idx];
+}
+
+/// Element-wise parity of one query: in-process session vs. loopback
+/// client. Exact equality on facts, intervals and probabilities (the
+/// server ships the in-process doubles bit-for-bit).
+bool CheckParity(TPDatabase* db, Client* client, const std::string& query) {
+  Session session(db);
+  StatusOr<TPRelation> local = session.Query(query);
+  if (!local.ok()) {
+    std::fprintf(stderr, "parity: local '%s' failed: %s\n", query.c_str(),
+                 local.status().ToString().c_str());
+    return false;
+  }
+  StatusOr<ClientResult> wire = client->Query(query);
+  if (!wire.ok()) {
+    std::fprintf(stderr, "parity: wire '%s' failed: %s\n", query.c_str(),
+                 wire.status().ToString().c_str());
+    return false;
+  }
+  if (wire->rows.size() != local->size()) {
+    std::fprintf(stderr, "parity: '%s' row count %zu vs %zu\n", query.c_str(),
+                 wire->rows.size(), local->size());
+    return false;
+  }
+  // The server streams rows in tuple order, so compare positionally.
+  ProbabilityEngine engine(local->manager());
+  const size_t num_cols = wire->schema.num_columns();
+  for (size_t i = 0; i < local->size(); ++i) {
+    const TPTuple& t = local->tuple(i);
+    const Row& row = wire->rows[i];
+    if (row.size() != num_cols || num_cols != t.fact.size() + 3) return false;
+    for (size_t c = 0; c < t.fact.size(); ++c)
+      if (!(row[c] == t.fact[c])) return false;
+    if (row[num_cols - 3].AsInt64() != t.interval.start ||
+        row[num_cols - 2].AsInt64() != t.interval.end ||
+        row[num_cols - 1].AsDouble() != engine.Probability(t.lineage))
+      return false;
+  }
+  return true;
+}
+
+SweepResult RunSweep(uint16_t port, size_t connections,
+                     size_t queries_per_conn,
+                     const std::vector<std::string>& queries) {
+  SweepResult result;
+  result.connections = connections;
+  result.queries = connections * queries_per_conn;
+  std::vector<std::vector<double>> latencies(connections);
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const Clock::time_point start = Clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      StatusOr<std::unique_ptr<Client>> client =
+          Client::Connect({.host = "127.0.0.1", .port = port});
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      latencies[c].reserve(queries_per_conn);
+      for (size_t q = 0; q < queries_per_conn; ++q) {
+        const std::string& query = queries[(c + q) % queries.size()];
+        const Clock::time_point t0 = Clock::now();
+        StatusOr<ClientResult> r = (*client)->Query(query);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double>(Clock::now() - t0).count() *
+            1000.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> all;
+  for (const std::vector<double>& per_conn : latencies)
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  result.ok = failures.load() == 0 && all.size() == result.queries;
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(all.size()) / result.seconds
+                   : 0.0;
+  result.p50_ms = Percentile(&all, 0.50);
+  result.p99_ms = Percentile(&all, 0.99);
+  std::printf(
+      "conns=%-4zu queries=%-6zu %7.3f s  %8.1f qps  p50=%6.3f ms  "
+      "p99=%6.3f ms%s\n",
+      result.connections, all.size(), result.seconds, result.qps,
+      result.p50_ms, result.p99_ms, result.ok ? "" : "  FAILURES");
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_server.json";
+  const char* scale_env = std::getenv("TPDB_BENCH_SCALE");
+  const int64_t scale = scale_env != nullptr && std::atoll(scale_env) > 0
+                            ? std::atoll(scale_env)
+                            : 1;
+
+  TPDatabase db;
+  {
+    Random rng(20260808);
+    UniformWorkloadOptions options;
+    options.num_tuples = 5000;
+    options.num_facts = 200;
+    options.history_length = 10000;
+    options.gap_probability = 0.3;
+    for (const char* name : {"r", "s"}) {
+      StatusOr<TPRelation> rel =
+          MakeUniformWorkload(db.manager(), name, options, &rng);
+      TPDB_CHECK(rel.ok()) << rel.status().ToString();
+      TPDB_CHECK(db.Register(std::move(*rel)).ok());
+    }
+  }
+
+  ServerOptions options;
+  options.max_connections = 512;  // the 256-connection sweep must fit
+  Server server(&db, options);
+  const Status started = server.Start();
+  TPDB_CHECK(started.ok()) << started.ToString();
+  std::printf("serving on 127.0.0.1:%u\n", server.port());
+
+  // Small selective queries: the sweep measures protocol + dispatch
+  // overhead and fairness under concurrency, not join runtime.
+  const std::vector<std::string> queries = {
+      "SELECT * FROM r WHERE key < 10",
+      "SELECT * FROM s WHERE key < 6",
+      "SELECT * FROM r WHERE key < 25 ORDER BY key",
+  };
+
+  // -- Parity gate -------------------------------------------------------
+  bool parity_ok = true;
+  {
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::Connect({.host = "127.0.0.1", .port = server.port()});
+    TPDB_CHECK(client.ok()) << client.status().ToString();
+    for (const std::string& query : queries)
+      parity_ok = CheckParity(&db, client->get(), query) && parity_ok;
+    // One heavyweight parity check through the join path as well.
+    parity_ok = CheckParity(&db, client->get(),
+                            "SELECT * FROM r INNER JOIN s ON key "
+                            "WHERE key < 40") &&
+                parity_ok;
+    std::printf("parity: %s\n", parity_ok ? "ok" : "MISMATCH");
+  }
+
+  // -- Concurrency sweep -------------------------------------------------
+  std::vector<SweepResult> sweeps;
+  for (const size_t conns : {size_t{1}, size_t{8}, size_t{64}, size_t{256}}) {
+    const size_t per_conn = std::max<size_t>(
+        8 * static_cast<size_t>(scale), (256 * scale) / conns);
+    sweeps.push_back(RunSweep(server.port(), conns, per_conn, queries));
+  }
+
+  const ServerStats stats = server.Stats();
+  server.Shutdown();
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  TPDB_CHECK(out != nullptr) << "cannot write " << out_path;
+  std::fprintf(out, "{\n  \"parity_ok\": %s,\n",
+               parity_ok ? "true" : "false");
+  std::fprintf(out,
+               "  \"server\": {\"queries_ok\": %llu, \"batches_sent\": %llu, "
+               "\"bytes_sent\": %llu, \"protocol_errors\": %llu},\n",
+               static_cast<unsigned long long>(stats.queries_ok),
+               static_cast<unsigned long long>(stats.batches_sent),
+               static_cast<unsigned long long>(stats.bytes_sent),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  std::fprintf(out, "  \"sweeps\": [\n");
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepResult& s = sweeps[i];
+    std::fprintf(out,
+                 "    {\"connections\": %zu, \"queries\": %zu, "
+                 "\"seconds\": %.6f, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"ok\": %s}%s\n",
+                 s.connections, s.queries, s.seconds, s.qps, s.p50_ms,
+                 s.p99_ms, s.ok ? "true" : "false",
+                 i + 1 < sweeps.size() ? "," : "");
+  }
+  bool sweeps_ok = true;
+  for (const SweepResult& s : sweeps) sweeps_ok = sweeps_ok && s.ok;
+  std::fprintf(out, "  ],\n  \"sweeps_ok\": %s\n}\n",
+               sweeps_ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!parity_ok || !sweeps_ok) {
+    std::fprintf(stderr, "FAILED: %s\n",
+                 !parity_ok ? "wire/in-process divergence"
+                            : "query failures during sweep");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpdb::server
+
+int main(int argc, char** argv) { return tpdb::server::Main(argc, argv); }

@@ -1,0 +1,130 @@
+// tpdb_shell: interactive SQL shell over the binary wire protocol.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/tpdb_shell [host] [port]
+//
+// Commands:
+//   <query>            run a query, pretty-print the streamed result
+//   \e <query>         EXPLAIN: run server-side, show the full plan report
+//   \p <query>         PREPARE: parse + plan only, show the logical tree
+//   \q                 quit
+//
+// Set TPDB_AUTH_TOKEN to authenticate against a token-protected server.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace tpdb;
+
+namespace {
+
+std::string DatumText(const Datum& d) {
+  if (d.is_null()) return "NULL";
+  switch (d.type()) {
+    case DatumType::kInt64:
+      return std::to_string(d.AsInt64());
+    case DatumType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", d.AsDouble());
+      return buf;
+    }
+    case DatumType::kString:
+      return d.AsString();
+    default:
+      return d.ToString();
+  }
+}
+
+void PrintResult(const server::ClientResult& result) {
+  const size_t num_cols = result.schema.num_columns();
+  std::vector<size_t> widths(num_cols);
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(result.rows.size());
+  for (size_t c = 0; c < num_cols; ++c)
+    widths[c] = result.schema.column(c).name.size();
+  for (const Row& row : result.rows) {
+    std::vector<std::string> line;
+    line.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      line.push_back(DatumText(row[c]));
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  for (size_t c = 0; c < num_cols; ++c)
+    std::printf("%-*s%s", static_cast<int>(widths[c]),
+                result.schema.column(c).name.c_str(),
+                c + 1 < num_cols ? "  " : "\n");
+  for (size_t c = 0; c < num_cols; ++c)
+    std::printf("%s%s", std::string(widths[c], '-').c_str(),
+                c + 1 < num_cols ? "  " : "\n");
+  for (const std::vector<std::string>& line : cells)
+    for (size_t c = 0; c < num_cols; ++c)
+      std::printf("%-*s%s", static_cast<int>(widths[c]), line[c].c_str(),
+                  c + 1 < num_cols ? "  " : "\n");
+  std::printf("(%llu row%s)\n",
+              static_cast<unsigned long long>(result.total_rows),
+              result.total_rows == 1 ? "" : "s");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ClientOptions options;
+  options.host = argc > 1 ? argv[1] : "127.0.0.1";
+  options.port =
+      argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2])) : 5433;
+  options.client_name = "tpdb_shell";
+  if (const char* token = std::getenv("TPDB_AUTH_TOKEN"))
+    options.auth_token = token;
+
+  StatusOr<std::unique_ptr<server::Client>> client =
+      server::Client::Connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect to %s:%u: %s\n",
+                 options.host.c_str(), options.port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected: %s\n", (*client)->banner().c_str());
+  std::printf("type a query, \\e <query> to explain, \\p <query> to plan, "
+              "\\q to quit\n");
+
+  std::string line;
+  for (;;) {
+    std::printf("tpdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim surrounding whitespace.
+    const size_t begin = line.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) continue;
+    line = line.substr(begin, line.find_last_not_of(" \t\r\n") - begin + 1);
+    if (line == "\\q" || line == "quit" || line == "exit") break;
+
+    if (line.rfind("\\e ", 0) == 0 || line.rfind("\\p ", 0) == 0) {
+      const bool explain = line[1] == 'e';
+      const std::string query = line.substr(3);
+      StatusOr<std::string> text = explain ? (*client)->Explain(query)
+                                           : (*client)->Prepare(query);
+      if (text.ok())
+        std::printf("%s\n", text->c_str());
+      else
+        std::printf("error: %s\n", text.status().ToString().c_str());
+      continue;
+    }
+
+    StatusOr<server::ClientResult> result = (*client)->Query(line);
+    if (result.ok())
+      PrintResult(*result);
+    else
+      std::printf("error: %s\n", result.status().ToString().c_str());
+  }
+  (void)(*client)->Close().ok();
+  return 0;
+}

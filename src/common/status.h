@@ -21,6 +21,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kIOError,
+  kResourceExhausted,
 };
 
 /// Result of a fallible operation. Cheap to copy when OK (no allocation).
@@ -47,6 +48,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

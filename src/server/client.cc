@@ -1,0 +1,192 @@
+#include "server/client.h"
+
+#include "engine/vector/column_batch.h"
+#include "server/socket.h"
+#include "storage/batch_codec.h"
+
+namespace tpdb::server {
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(
+    const ClientOptions& options) {
+  StatusOr<int> fd = ConnectTo(options.host, options.port);
+  if (!fd.ok()) return fd.status();
+  std::unique_ptr<Client> client(new Client(*fd, options.max_frame_bytes));
+  TPDB_RETURN_IF_ERROR(client->SendFrame(
+      MsgType::kHello, BuildHello({kProtocolMagic, kProtocolVersion,
+                                   options.auth_token,
+                                   options.client_name})));
+  Frame frame;
+  TPDB_RETURN_IF_ERROR(client->NextFrame(&frame));
+  if (frame.type == MsgType::kError) {
+    ErrorMsg err;
+    TPDB_RETURN_IF_ERROR(ParseError(frame.payload, &err));
+    return ErrorToStatus(err);
+  }
+  if (frame.type != MsgType::kHelloOk)
+    return Status::IOError("handshake failed: unexpected frame type " +
+                           std::to_string(static_cast<int>(frame.type)));
+  HelloOkMsg ok;
+  TPDB_RETURN_IF_ERROR(ParseHelloOk(frame.payload, &ok));
+  client->banner_ = std::move(ok.banner);
+  return client;
+}
+
+Client::~Client() { (void)Close().ok(); }
+
+Status Client::Close() {
+  if (fd_ < 0) return Status::OK();
+  const Status sent = SendFrame(MsgType::kClose, BuildGoodbye("bye"));
+  if (sent.ok()) {
+    // Wait for the server's Goodbye (or the socket to close) so the
+    // server sees an orderly shutdown rather than a reset.
+    Frame frame;
+    while (NextFrame(&frame).ok() && frame.type != MsgType::kGoodbye) {
+    }
+  }
+  CloseFd(fd_);
+  fd_ = -1;
+  return Status::OK();
+}
+
+Status Client::SendFrame(MsgType type, std::string_view payload) {
+  std::string out;
+  AppendFrame(type, payload, &out);
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) return Status::IOError("client is closed");
+  return SendAll(fd_, out.data(), out.size());
+}
+
+Status Client::NextFrame(Frame* out) {
+  char buf[64 * 1024];
+  for (;;) {
+    bool have = false;
+    TPDB_RETURN_IF_ERROR(reader_.Next(out, &have));
+    if (have) return Status::OK();
+    StatusOr<size_t> n = RecvSome(fd_, buf, sizeof(buf));
+    if (!n.ok()) return n.status();
+    if (*n == 0) return Status::IOError("connection closed by server");
+    reader_.Append(buf, *n);
+  }
+}
+
+StatusOr<ClientResult> Client::Query(const std::string& sql) {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  const uint64_t id = next_query_id_++;
+  inflight_query_id_.store(id);
+  const Status sent = SendFrame(MsgType::kQuery, BuildQuery({id, sql}));
+  if (!sent.ok()) {
+    inflight_query_id_.store(0);
+    return sent;
+  }
+  ClientResult result;
+  bool saw_schema = false;
+  for (;;) {
+    Frame frame;
+    const Status st = NextFrame(&frame);
+    if (!st.ok()) {
+      inflight_query_id_.store(0);
+      return st;
+    }
+    switch (frame.type) {
+      case MsgType::kSchema: {
+        SchemaMsg msg;
+        TPDB_RETURN_IF_ERROR(ParseSchema(frame.payload, &msg));
+        result.schema = std::move(msg.schema);
+        saw_schema = true;
+        break;
+      }
+      case MsgType::kBatch: {
+        uint64_t batch_query_id = 0;
+        std::string_view batch_payload;
+        TPDB_RETURN_IF_ERROR(
+            ParseBatchPrefix(frame.payload, &batch_query_id, &batch_payload));
+        if (batch_query_id != id || !saw_schema) {
+          inflight_query_id_.store(0);
+          return Status::IOError("protocol error: stray Batch frame");
+        }
+        vec::ColumnBatch batch;
+        TPDB_RETURN_IF_ERROR(storage::DecodeColumnBatch(
+            {reinterpret_cast<const uint8_t*>(batch_payload.data()),
+             batch_payload.size()},
+            /*ids=*/nullptr, &batch));
+        result.rows.reserve(result.rows.size() + batch.ActiveRows());
+        for (size_t i = 0; i < batch.ActiveRows(); ++i) {
+          Row row;
+          batch.DecodeRow(batch.ActiveRow(i), &row);
+          result.rows.push_back(std::move(row));
+        }
+        break;
+      }
+      case MsgType::kDone: {
+        DoneMsg msg;
+        TPDB_RETURN_IF_ERROR(ParseDone(frame.payload, &msg));
+        inflight_query_id_.store(0);
+        if (!saw_schema || msg.total_rows != result.rows.size())
+          return Status::IOError(
+              "protocol error: Done row count disagrees with the stream");
+        result.total_rows = msg.total_rows;
+        return result;
+      }
+      case MsgType::kError: {
+        ErrorMsg msg;
+        TPDB_RETURN_IF_ERROR(ParseError(frame.payload, &msg));
+        inflight_query_id_.store(0);
+        return ErrorToStatus(msg);
+      }
+      case MsgType::kGoodbye: {
+        std::string reason;
+        (void)ParseGoodbye(frame.payload, &reason).ok();
+        inflight_query_id_.store(0);
+        return Status::IOError("server closed the connection: " + reason);
+      }
+      default:
+        inflight_query_id_.store(0);
+        return Status::IOError("protocol error: unexpected frame type " +
+                               std::to_string(static_cast<int>(frame.type)));
+    }
+  }
+}
+
+StatusOr<std::string> Client::TextRoundTrip(MsgType kind,
+                                            const std::string& sql) {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  const uint64_t id = next_query_id_++;
+  TPDB_RETURN_IF_ERROR(SendFrame(kind, BuildQuery({id, sql})));
+  for (;;) {
+    Frame frame;
+    TPDB_RETURN_IF_ERROR(NextFrame(&frame));
+    if (frame.type == MsgType::kPlanText) {
+      PlanTextMsg msg;
+      TPDB_RETURN_IF_ERROR(ParsePlanText(frame.payload, &msg));
+      return std::move(msg.text);
+    }
+    if (frame.type == MsgType::kError) {
+      ErrorMsg msg;
+      TPDB_RETURN_IF_ERROR(ParseError(frame.payload, &msg));
+      return ErrorToStatus(msg);
+    }
+    if (frame.type == MsgType::kGoodbye) {
+      std::string reason;
+      (void)ParseGoodbye(frame.payload, &reason).ok();
+      return Status::IOError("server closed the connection: " + reason);
+    }
+    return Status::IOError("protocol error: unexpected frame type " +
+                           std::to_string(static_cast<int>(frame.type)));
+  }
+}
+
+StatusOr<std::string> Client::Prepare(const std::string& sql) {
+  return TextRoundTrip(MsgType::kPrepare, sql);
+}
+
+StatusOr<std::string> Client::Explain(const std::string& sql) {
+  return TextRoundTrip(MsgType::kExplain, sql);
+}
+
+Status Client::CancelInflight() {
+  const uint64_t id = inflight_query_id_.load();
+  if (id == 0) return Status::OK();
+  return SendFrame(MsgType::kCancel, BuildCancel({id}));
+}
+
+}  // namespace tpdb::server

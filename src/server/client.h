@@ -1,0 +1,99 @@
+// Blocking C++ client for the tpdb wire protocol — the other end of
+// server/server.h. One Client is one connection (handshake on Connect);
+// Query/Prepare/Explain are synchronous round trips. Not thread-safe
+// except for CancelInflight, which may be called from another thread to
+// interrupt a Query in progress.
+#ifndef TPDB_SERVER_CLIENT_H_
+#define TPDB_SERVER_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/row.h"
+#include "engine/schema.h"
+#include "server/wire.h"
+
+namespace tpdb::server {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Must match the server's token when the server requires one.
+  std::string auth_token;
+  /// Advisory; shows up in nothing but the Hello frame today.
+  std::string client_name = "tpdb-client";
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// A fully materialized query result. The schema is the wire shape: the
+/// fact columns followed by _ts, _te and _prob (the exact tuple
+/// probability, computed server-side).
+struct ClientResult {
+  Schema schema;
+  std::vector<Row> rows;
+  /// Row count announced by the server's Done frame (== rows.size()).
+  uint64_t total_rows = 0;
+};
+
+class Client {
+ public:
+  /// Connects and performs the handshake; fails on refused connections,
+  /// version mismatch or a rejected auth token.
+  static StatusOr<std::unique_ptr<Client>> Connect(
+      const ClientOptions& options);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One synchronous query: Query frame out, Schema + Batch* + Done frames
+  /// back, decoded into a ClientResult. An Error frame becomes the
+  /// returned status (with the server's StatusCode preserved).
+  StatusOr<ClientResult> Query(const std::string& sql);
+
+  /// Parses and plans without executing; returns the logical plan text.
+  StatusOr<std::string> Prepare(const std::string& sql);
+
+  /// Runs the query server-side and returns the full explain report
+  /// (logical tree, lowered pipelines, timings).
+  StatusOr<std::string> Explain(const std::string& sql);
+
+  /// Best-effort cancel of the query currently inside Query() — intended
+  /// to be called from another thread. The Query() call itself then
+  /// returns either the cancellation error or, if the race was lost, the
+  /// completed result.
+  Status CancelInflight();
+
+  /// Polite goodbye (Close frame, wait for Goodbye), then closes the
+  /// socket. The destructor calls this implicitly.
+  Status Close();
+
+  /// Server banner from the handshake.
+  const std::string& banner() const { return banner_; }
+
+ private:
+  Client(int fd, size_t max_frame_bytes) : fd_(fd), reader_(max_frame_bytes) {}
+
+  Status SendFrame(MsgType type, std::string_view payload);
+  /// Blocks until one whole frame arrives (or the peer hangs up).
+  Status NextFrame(Frame* out);
+  StatusOr<std::string> TextRoundTrip(MsgType kind, const std::string& sql);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::string banner_;
+  uint64_t next_query_id_ = 1;
+  /// Query id the current Query() round trip is waiting on (0 = none);
+  /// what CancelInflight targets.
+  std::atomic<uint64_t> inflight_query_id_{0};
+  /// Serializes socket writes (CancelInflight races the query thread).
+  std::mutex send_mu_;
+};
+
+}  // namespace tpdb::server
+
+#endif  // TPDB_SERVER_CLIENT_H_

@@ -1,0 +1,179 @@
+// Network front door of the engine: a non-blocking epoll reactor that
+// accepts TCP connections speaking the binary wire protocol
+// (server/wire.h), dispatches each query onto the exec/ ThreadPool through
+// a per-connection Session, and streams results back as serialized
+// ColumnBatch frames with socket-level backpressure.
+//
+// Threading model (one reactor, N pool workers):
+//
+//   * One reactor thread owns every fd, the epoll set, all connection
+//     state and all buffers. It never blocks on a socket.
+//   * Query execution runs on the shared exec/ ThreadPool. A worker only
+//     touches its connection's mailbox (mutex-guarded outcome slot) and
+//     the server's wake eventfd — never a socket — so accept / dispatch /
+//     shutdown are free of data races by construction.
+//   * Results stream with backpressure: the reactor encodes batches only
+//     while the connection's send buffer is below a watermark and relies
+//     on EPOLLOUT to resume when the client drains; a stalled client
+//     therefore pins at most watermark + one frame of memory.
+//
+// Admission control: connections beyond max_connections and queries beyond
+// max_concurrent_queries are answered with a ResourceExhausted Error frame
+// (the connection survives in the query case); a result whose estimated
+// size exceeds per_session_result_bytes is dropped server-side and
+// surfaced the same way. Graceful shutdown stops accepting, rejects new
+// queries, drains in-flight queries and their result streams, then says
+// Goodbye on every connection.
+#ifndef TPDB_SERVER_SERVER_H_
+#define TPDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "exec/session.h"
+#include "server/wire.h"
+
+namespace tpdb::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Required handshake token; empty = no authentication.
+  std::string auth_token;
+  /// Admission: connections beyond this are rejected at accept.
+  size_t max_connections = 256;
+  /// Admission: queries executing or queued on the pool across all
+  /// connections; 0 = unlimited. Excess queries get an Error frame.
+  size_t max_concurrent_queries = 0;
+  /// Per-session memory cap on a materialized result (estimated bytes);
+  /// 0 = unlimited. Exceeding it yields a ResourceExhausted Error frame.
+  size_t per_session_result_bytes = 256u << 20;
+  /// Per-frame payload cap enforced on received frames.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Stop encoding further batches while a connection's send buffer holds
+  /// at least this many bytes (resumed by EPOLLOUT as the client drains).
+  size_t send_high_watermark = 256u << 10;
+  /// Rows per Batch frame.
+  size_t batch_rows = 1024;
+  /// How long Shutdown waits for in-flight queries and streams to drain
+  /// before force-closing the stragglers.
+  int shutdown_grace_ms = 10'000;
+  /// Planner knobs of the per-connection sessions (serial by default so
+  /// one query occupies one pool worker; raise for parallel plans).
+  SessionOptions session{.parallelism = 1};
+};
+
+/// Monotonic counters, readable at any time (Stats() copies them).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t handshakes_ok = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  uint64_t queries_rejected = 0;
+  uint64_t queries_cancelled = 0;
+  uint64_t batches_sent = 0;
+  uint64_t bytes_sent = 0;
+};
+
+struct Connection;
+
+/// One server bound to one TPDatabase. Start() spawns the reactor thread;
+/// Shutdown() (or the destructor) drains and joins it. The database must
+/// outlive the server.
+class Server {
+ public:
+  explicit Server(TPDatabase* db, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the reactor. Fails on bind errors or on a
+  /// big-endian host (the wire format, like the snapshot format, is
+  /// little-endian).
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Graceful shutdown: stop accepting, reject new queries, drain
+  /// in-flight queries and result streams (bounded by shutdown_grace_ms),
+  /// close every connection, join the reactor. Idempotent.
+  void Shutdown();
+
+  /// Snapshot of the monotonic counters.
+  ServerStats Stats() const;
+
+ private:
+  friend struct Connection;
+
+  void ReactorLoop();
+  void HandleAccept();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleWritable(const std::shared_ptr<Connection>& conn);
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const Frame& frame);
+  void HandleOutcomes();
+  void DispatchQuery(const std::shared_ptr<Connection>& conn, MsgType kind,
+                     uint64_t query_id, std::string sql);
+  void RunQuery(std::shared_ptr<Connection> conn, MsgType kind,
+                uint64_t query_id, std::string sql);
+  void PumpStream(const std::shared_ptr<Connection>& conn);
+  void FlushOut(const std::shared_ptr<Connection>& conn);
+  void SendError(const std::shared_ptr<Connection>& conn, uint64_t query_id,
+                 const Status& status);
+  void CloseConn(const std::shared_ptr<Connection>& conn);
+  void CloseAfterFlush(const std::shared_ptr<Connection>& conn,
+                       const std::string& goodbye_reason);
+  void UpdateEpoll(const std::shared_ptr<Connection>& conn);
+  void BeginShutdownDrain();
+  void Wake();
+
+  TPDatabase* db_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread reactor_;
+  bool started_ = false;
+
+  std::atomic<bool> shutting_down_{false};
+  bool drain_started_ = false;  // reactor-only
+
+  /// Reactor-owned connection table, keyed by connection id (epoll events
+  /// carry the id, so a recycled fd can never alias a stale connection).
+  std::map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = wake fd
+
+  /// Connections whose worker deposited an outcome (workers push, the
+  /// reactor drains after a wake).
+  std::mutex ready_mu_;
+  std::vector<uint64_t> ready_;
+
+  /// Queries dispatched to the pool and not yet deposited; Shutdown waits
+  /// for this to reach zero so workers never outlive the server.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace tpdb::server
+
+#endif  // TPDB_SERVER_SERVER_H_

@@ -1,0 +1,130 @@
+#include "server/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tpdb::server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+StatusOr<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::InvalidArgument("not an IPv4 address: '" + host +
+                                   "' (the server speaks dotted-quad hosts)");
+  return addr;
+}
+
+}  // namespace
+
+StatusOr<int> ListenOn(const std::string& host, uint16_t port, int backlog) {
+  StatusOr<sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) <
+      0) {
+    const Status st = Errno("bind " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) < 0) {
+    const Status st = Errno("listen");
+    CloseFd(fd);
+    return st;
+  }
+  const Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    CloseFd(fd);
+    return nb;
+  }
+  return fd;
+}
+
+StatusOr<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    return Errno("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+StatusOr<int> ConnectTo(const std::string& host, uint16_t port) {
+  StatusOr<sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                   sizeof(*addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status st = Errno("connect " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return st;
+  }
+  const Status nd = SetNoDelay(fd);
+  if (!nd.ok()) {
+    CloseFd(fd);
+    return nd;
+  }
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return Errno("fcntl(O_NONBLOCK)");
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0)
+    return Errno("setsockopt(TCP_NODELAY)");
+  return Status::OK();
+}
+
+Status SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> RecvSome(int fd, char* out, size_t n) {
+  ssize_t rc;
+  do {
+    rc = ::recv(fd, out, n, 0);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("recv");
+  return static_cast<size_t>(rc);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace tpdb::server

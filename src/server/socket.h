@@ -1,0 +1,45 @@
+// Thin POSIX socket helpers shared by the server reactor, the blocking
+// client library and the protocol tests. All functions return Status
+// instead of errno side channels, and every send path uses MSG_NOSIGNAL so
+// a peer hanging up never raises SIGPIPE.
+#ifndef TPDB_SERVER_SOCKET_H_
+#define TPDB_SERVER_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace tpdb::server {
+
+/// Creates a non-blocking listening TCP socket bound to host:port
+/// (SO_REUSEADDR; port 0 picks an ephemeral port). Returns the fd.
+StatusOr<int> ListenOn(const std::string& host, uint16_t port, int backlog);
+
+/// The locally bound port of a socket (resolves ephemeral binds).
+StatusOr<uint16_t> LocalPort(int fd);
+
+/// Blocking connect to host:port with TCP_NODELAY. Returns the fd.
+StatusOr<int> ConnectTo(const std::string& host, uint16_t port);
+
+/// Marks `fd` non-blocking (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm — both ends of the protocol write whole
+/// frames, so coalescing only adds latency.
+Status SetNoDelay(int fd);
+
+/// Blocking send of the whole buffer (loops over partial writes; EINTR
+/// retried; MSG_NOSIGNAL).
+Status SendAll(int fd, const char* data, size_t n);
+
+/// Blocking receive of up to `n` bytes; returns the count, 0 on orderly
+/// peer shutdown.
+StatusOr<size_t> RecvSome(int fd, char* out, size_t n);
+
+/// Closes `fd` if >= 0 (EINTR-safe, idempotent via the -1 convention).
+void CloseFd(int fd);
+
+}  // namespace tpdb::server
+
+#endif  // TPDB_SERVER_SOCKET_H_

@@ -1,0 +1,181 @@
+// Binary wire protocol of the network server: length-prefixed, CRC-framed
+// messages over a byte stream, in the libpq tradition of a small fixed
+// frame header plus typed payloads (little-endian, like the snapshot
+// format — both ends of a connection run the storage byte codec).
+//
+// Frame layout (all integers little-endian):
+//
+//   +----------------+---------+------------------+----------------------+
+//   | u32 payload_len| u8 type | payload bytes    | u32 crc32(type ++    |
+//   |                |         | (payload_len)    |           payload)   |
+//   +----------------+---------+------------------+----------------------+
+//
+// A frame whose payload_len exceeds the configured maximum, or whose CRC
+// does not match, is a protocol error: the peer answers with an Error
+// frame when it still can and closes the connection — the stream cannot be
+// resynchronized after garbage.
+//
+// Handshake: the client's first frame must be Hello (magic, protocol
+// version, auth token); the server answers HelloOk or Error+close. After
+// that the client issues Query / Prepare / Explain / Cancel / Close and
+// the server streams per-query replies: Schema, zero or more Batch frames
+// (storage/batch_codec.h payloads), then Done — or PlanText for
+// Prepare/Explain, or Error. Every per-query frame echoes the client's
+// query id, so Cancel can name the query it targets.
+#ifndef TPDB_SERVER_WIRE_H_
+#define TPDB_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/schema.h"
+
+namespace tpdb::server {
+
+/// "TPDB" (little-endian u32) — first field of the Hello payload.
+inline constexpr uint32_t kProtocolMagic = 0x42445054u;
+/// Protocol version this build speaks.
+inline constexpr uint32_t kProtocolVersion = 1;
+/// Default cap on a frame's payload size (connection options may lower or
+/// raise it; both peers enforce their own).
+inline constexpr size_t kDefaultMaxFrameBytes = 32u << 20;
+
+/// Message types. Client → server: kHello..kClose. Server → client:
+/// kError..kGoodbye.
+enum class MsgType : uint8_t {
+  kHello = 1,    ///< magic, version, auth token, client name
+  kQuery = 2,    ///< query id, SQL text (statements included)
+  kPrepare = 3,  ///< query id, SQL text — parse/plan only, no execution
+  kExplain = 4,  ///< query id, SQL text — execute, return Explain rendering
+  kCancel = 5,   ///< query id — best-effort cancel of an in-flight query
+  kClose = 6,    ///< orderly connection close
+
+  kError = 16,     ///< query id (0 = connection-level), status code, message
+  kHelloOk = 17,   ///< negotiated version, server banner
+  kSchema = 18,    ///< query id, result schema — first frame of a result
+  kBatch = 19,     ///< query id, one encoded ColumnBatch
+  kDone = 20,      ///< query id, total row count — last frame of a result
+  kPlanText = 21,  ///< query id, rendered plan / Explain text
+  kGoodbye = 22,   ///< reason — server is closing this connection
+};
+
+/// One decoded frame: the type byte plus the raw payload.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+/// Appends one complete frame (header, payload, CRC) onto `out`.
+void AppendFrame(MsgType type, std::string_view payload, std::string* out);
+
+/// Incremental frame decoder over a connection's receive stream. Feed
+/// bytes with Append; Next extracts complete frames one at a time and
+/// validates length bound and CRC. After a non-OK Next the stream is
+/// unrecoverable and the connection must be closed.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete frame into `*out`. Sets `*have` to false
+  /// (and returns OK) when more bytes are needed. Returns a non-OK status
+  /// on an oversized length prefix or a CRC mismatch.
+  Status Next(Frame* out, bool* have);
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+// -- Typed payloads --------------------------------------------------------
+//
+// Each message's payload has a Build (struct → bytes) and a Parse
+// (bytes → struct) helper; Parse returns a descriptive InvalidArgument on
+// any truncated or malformed payload, never crashes.
+
+struct HelloMsg {
+  uint32_t magic = kProtocolMagic;
+  uint32_t version = kProtocolVersion;
+  std::string auth_token;
+  std::string client_name;
+};
+std::string BuildHello(const HelloMsg& msg);
+Status ParseHello(std::string_view payload, HelloMsg* out);
+
+struct HelloOkMsg {
+  uint32_t version = kProtocolVersion;
+  std::string banner;
+};
+std::string BuildHelloOk(const HelloOkMsg& msg);
+Status ParseHelloOk(std::string_view payload, HelloOkMsg* out);
+
+/// Query, Prepare and Explain share one payload shape.
+struct QueryMsg {
+  uint64_t query_id = 0;
+  std::string sql;
+};
+std::string BuildQuery(const QueryMsg& msg);
+Status ParseQuery(std::string_view payload, QueryMsg* out);
+
+struct CancelMsg {
+  uint64_t query_id = 0;
+};
+std::string BuildCancel(const CancelMsg& msg);
+Status ParseCancel(std::string_view payload, CancelMsg* out);
+
+struct ErrorMsg {
+  uint64_t query_id = 0;  ///< 0 = connection-level error
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+std::string BuildError(const ErrorMsg& msg);
+Status ParseError(std::string_view payload, ErrorMsg* out);
+/// The Status an Error frame denotes (code + message).
+Status ErrorToStatus(const ErrorMsg& msg);
+
+struct SchemaMsg {
+  uint64_t query_id = 0;
+  Schema schema;
+};
+std::string BuildSchema(const SchemaMsg& msg);
+Status ParseSchema(std::string_view payload, SchemaMsg* out);
+
+/// A Batch payload is `u64 query_id` followed by a storage/batch_codec.h
+/// payload; these helpers handle the id prefix only.
+std::string BuildBatchPrefix(uint64_t query_id);
+Status ParseBatchPrefix(std::string_view payload, uint64_t* query_id,
+                        std::string_view* batch_payload);
+
+struct DoneMsg {
+  uint64_t query_id = 0;
+  uint64_t total_rows = 0;
+};
+std::string BuildDone(const DoneMsg& msg);
+Status ParseDone(std::string_view payload, DoneMsg* out);
+
+struct PlanTextMsg {
+  uint64_t query_id = 0;
+  std::string text;
+};
+std::string BuildPlanText(const PlanTextMsg& msg);
+Status ParsePlanText(std::string_view payload, PlanTextMsg* out);
+
+std::string BuildGoodbye(const std::string& reason);
+Status ParseGoodbye(std::string_view payload, std::string* reason);
+
+/// StatusCode <-> wire integer. Unknown wire values map to kInternal so a
+/// newer peer's codes degrade instead of failing.
+uint32_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint32_t wire);
+
+}  // namespace tpdb::server
+
+#endif  // TPDB_SERVER_WIRE_H_

@@ -1,0 +1,77 @@
+#include "storage/batch_codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "storage/column_codec.h"
+
+namespace tpdb::storage {
+
+Status EncodeColumnBatch(const Schema& schema, const vec::ColumnBatch& batch,
+                         const LineageIdMap* ids, ByteWriter* w) {
+  if (schema.num_columns() != batch.columns.size())
+    return Status::InvalidArgument(
+        "batch encode: schema has " + std::to_string(schema.num_columns()) +
+        " columns, batch has " + std::to_string(batch.columns.size()));
+  const size_t num_rows = batch.ActiveRows();
+  w->PutU64(num_rows);
+  w->PutU32(static_cast<uint32_t>(batch.columns.size()));
+  // Materialize each column's active rows once (ValueAt returns by value);
+  // the shared codec then sees a dense column like the snapshot writer's.
+  std::vector<Datum> values;
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    values.clear();
+    values.reserve(num_rows);
+    for (size_t i = 0; i < num_rows; ++i)
+      values.push_back(batch.columns[c].ValueAt(batch.ActiveRow(i)));
+    TPDB_RETURN_IF_ERROR(EncodeColumn(
+        num_rows, schema.column(c).type,
+        [&](size_t r) -> const Datum& { return values[r]; }, ids, w));
+  }
+  return Status::OK();
+}
+
+Status DecodeColumnBatch(std::span<const uint8_t> payload,
+                         const LineageIdMap* ids, vec::ColumnBatch* out) {
+  // Copy into an 8-aligned scratch buffer so the codec's zero-copy span
+  // accessors (which require alignment) work no matter where the payload
+  // bytes live; the decoded batch owns its storage, so the scratch dies
+  // with this call.
+  std::vector<uint64_t> aligned((payload.size() + 7) / 8);
+  if (!payload.empty())
+    std::memcpy(aligned.data(), payload.data(), payload.size());
+  ByteReader r(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(aligned.data()), payload.size()));
+
+  uint64_t num_rows = 0;
+  uint32_t num_cols = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU64(&num_rows));
+  TPDB_RETURN_IF_ERROR(r.GetU32(&num_cols));
+  if (num_rows > payload.size())  // a non-empty batch stores >= 1 byte/row
+    return Status::IOError("batch corrupt: implausible row count");
+  if (num_cols > payload.size())
+    return Status::IOError("batch corrupt: implausible column count");
+
+  std::vector<ColumnChunk> chunks(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c)
+    TPDB_RETURN_IF_ERROR(DecodeColumn(&r, num_rows, ids, &chunks[c]));
+
+  *out = vec::ColumnBatch();
+  if (num_rows == 0) {
+    out->columns.resize(num_cols);
+    return Status::OK();
+  }
+  // Materialize rows, then transpose back into typed owned columns — the
+  // same representation choices the encoder made, so a re-encode of the
+  // decoded batch is byte-identical.
+  std::vector<Row> rows(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    rows[i].reserve(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c)
+      rows[i].push_back(chunks[c].ValueAt(i));
+  }
+  vec::TransposeRows(rows, 0, rows.size(), out);
+  return Status::OK();
+}
+
+}  // namespace tpdb::storage

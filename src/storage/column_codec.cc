@@ -1,0 +1,265 @@
+#include "storage/column_codec.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tpdb::storage {
+
+namespace {
+
+/// Lineage ref → wire id. Snapshot-local when an id map is present, the raw
+/// arena id otherwise.
+StatusOr<uint32_t> WireIdOf(LineageRef ref, const LineageIdMap* ids) {
+  if (ref.is_null()) return LineageRef::kNullId;
+  if (ids == nullptr) return ref.id;
+  return ids->LocalOf(ref);
+}
+
+/// Wire id → lineage ref (inverse of WireIdOf).
+StatusOr<LineageRef> RefOfWireId(uint32_t id, const LineageIdMap* ids) {
+  if (ids == nullptr) return LineageRef{id};
+  return ids->RefOf(id);
+}
+
+}  // namespace
+
+Status EncodeColumn(size_t num_rows, DatumType declared,
+                    const ColumnSource& at, const LineageIdMap* ids,
+                    ByteWriter* w) {
+  // Pick the encoding from the values actually present: uniform typed
+  // chunks get the columnar layouts, anything mixed falls back to the
+  // tagged generic encoding so every Datum round-trips exactly.
+  size_t nulls = 0;
+  bool all_int = true, all_double = true, all_string = true,
+       all_lineage = true;
+  for (size_t r = 0; r < num_rows; ++r) {
+    const Datum& v = at(r);
+    switch (v.type()) {
+      case DatumType::kNull:
+        ++nulls;
+        all_lineage = false;
+        break;
+      case DatumType::kInt64:
+        all_double = all_string = all_lineage = false;
+        break;
+      case DatumType::kDouble:
+        all_int = all_string = all_lineage = false;
+        break;
+      case DatumType::kString:
+        all_int = all_double = all_lineage = false;
+        break;
+      case DatumType::kLineage:
+        all_int = all_double = all_string = false;
+        break;
+    }
+  }
+  ColumnEncoding encoding;
+  if (nulls == num_rows) {
+    encoding = ColumnEncoding::kAllNull;
+  } else if (all_int) {
+    encoding = ColumnEncoding::kPlainInt64;
+  } else if (all_double) {
+    encoding = ColumnEncoding::kPlainDouble;
+  } else if (all_string) {
+    encoding = ColumnEncoding::kDictString;
+  } else if (all_lineage && nulls == 0) {
+    encoding = ColumnEncoding::kLineage;
+  } else {
+    encoding = ColumnEncoding::kGeneric;
+  }
+  w->PutU8(static_cast<uint8_t>(encoding));
+  w->PutU8(static_cast<uint8_t>(declared));
+
+  const auto put_bitmap = [&] {
+    std::vector<uint8_t> bitmap((num_rows + 7) / 8, 0);
+    for (size_t r = 0; r < num_rows; ++r)
+      if (at(r).is_null()) bitmap[r / 8] |= 1u << (r % 8);
+    w->PutRaw(bitmap.data(), bitmap.size());
+  };
+
+  switch (encoding) {
+    case ColumnEncoding::kAllNull:
+      break;
+    case ColumnEncoding::kPlainInt64: {
+      put_bitmap();
+      w->AlignTo(8);
+      for (size_t r = 0; r < num_rows; ++r) {
+        const Datum& v = at(r);
+        w->PutI64(v.is_null() ? 0 : v.AsInt64());
+      }
+      break;
+    }
+    case ColumnEncoding::kPlainDouble: {
+      put_bitmap();
+      w->AlignTo(8);
+      for (size_t r = 0; r < num_rows; ++r) {
+        const Datum& v = at(r);
+        w->PutF64(v.is_null() ? 0.0 : v.AsDouble());
+      }
+      break;
+    }
+    case ColumnEncoding::kDictString: {
+      put_bitmap();
+      std::map<std::string, uint32_t> dict;
+      std::vector<const std::string*> ordered;
+      for (size_t r = 0; r < num_rows; ++r) {
+        const Datum& v = at(r);
+        if (v.is_null()) continue;
+        const auto [it, inserted] =
+            dict.emplace(v.AsString(), static_cast<uint32_t>(dict.size()));
+        if (inserted) ordered.push_back(&it->first);
+      }
+      w->PutU32(static_cast<uint32_t>(ordered.size()));
+      for (const std::string* s : ordered) w->PutString(*s);
+      w->AlignTo(4);
+      for (size_t r = 0; r < num_rows; ++r) {
+        const Datum& v = at(r);
+        w->PutU32(v.is_null() ? 0 : dict.at(v.AsString()));
+      }
+      break;
+    }
+    case ColumnEncoding::kLineage: {
+      w->AlignTo(4);
+      for (size_t r = 0; r < num_rows; ++r) {
+        StatusOr<uint32_t> id = WireIdOf(at(r).AsLineage(), ids);
+        if (!id.ok()) return id.status();
+        w->PutU32(*id);
+      }
+      break;
+    }
+    case ColumnEncoding::kGeneric: {
+      for (size_t r = 0; r < num_rows; ++r) {
+        const Datum& v = at(r);
+        switch (v.type()) {
+          case DatumType::kNull:
+            w->PutU8(static_cast<uint8_t>(GenericTag::kNull));
+            break;
+          case DatumType::kInt64:
+            w->PutU8(static_cast<uint8_t>(GenericTag::kInt64));
+            w->PutI64(v.AsInt64());
+            break;
+          case DatumType::kDouble:
+            w->PutU8(static_cast<uint8_t>(GenericTag::kDouble));
+            w->PutF64(v.AsDouble());
+            break;
+          case DatumType::kString:
+            w->PutU8(static_cast<uint8_t>(GenericTag::kString));
+            w->PutString(v.AsString());
+            break;
+          case DatumType::kLineage: {
+            w->PutU8(static_cast<uint8_t>(GenericTag::kLineage));
+            StatusOr<uint32_t> id = WireIdOf(v.AsLineage(), ids);
+            if (!id.ok()) return id.status();
+            w->PutU32(*id);
+            break;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeColumn(ByteReader* r, size_t num_rows, const LineageIdMap* ids,
+                    ColumnChunk* chunk) {
+  uint8_t encoding = 0, declared = 0;
+  TPDB_RETURN_IF_ERROR(r->GetU8(&encoding));
+  TPDB_RETURN_IF_ERROR(r->GetU8(&declared));
+  if (encoding > static_cast<uint8_t>(ColumnEncoding::kGeneric))
+    return Status::IOError("snapshot corrupt: unknown column encoding " +
+                           std::to_string(encoding));
+  chunk->encoding = static_cast<ColumnEncoding>(encoding);
+  chunk->declared = static_cast<DatumType>(declared);
+
+  const size_t bitmap_bytes = (num_rows + 7) / 8;
+  switch (chunk->encoding) {
+    case ColumnEncoding::kAllNull:
+      break;
+    case ColumnEncoding::kPlainInt64:
+      TPDB_RETURN_IF_ERROR(r->GetSpan(bitmap_bytes, &chunk->null_bitmap));
+      TPDB_RETURN_IF_ERROR(r->AlignTo(8));
+      TPDB_RETURN_IF_ERROR(r->GetSpan(num_rows, &chunk->ints));
+      break;
+    case ColumnEncoding::kPlainDouble:
+      TPDB_RETURN_IF_ERROR(r->GetSpan(bitmap_bytes, &chunk->null_bitmap));
+      TPDB_RETURN_IF_ERROR(r->AlignTo(8));
+      TPDB_RETURN_IF_ERROR(r->GetSpan(num_rows, &chunk->doubles));
+      break;
+    case ColumnEncoding::kDictString: {
+      TPDB_RETURN_IF_ERROR(r->GetSpan(bitmap_bytes, &chunk->null_bitmap));
+      uint32_t dict_n = 0;
+      TPDB_RETURN_IF_ERROR(r->GetU32(&dict_n));
+      if (dict_n > r->remaining())
+        return Status::IOError("snapshot corrupt: implausible dictionary size");
+      chunk->dict.resize(dict_n);
+      for (std::string& s : chunk->dict) TPDB_RETURN_IF_ERROR(r->GetString(&s));
+      TPDB_RETURN_IF_ERROR(r->AlignTo(4));
+      TPDB_RETURN_IF_ERROR(r->GetSpan(num_rows, &chunk->codes));
+      for (size_t row = 0; row < num_rows; ++row)
+        if (!chunk->IsNull(row) && chunk->codes[row] >= dict_n)
+          return Status::IOError(
+              "snapshot corrupt: dictionary code out of range");
+      break;
+    }
+    case ColumnEncoding::kLineage: {
+      TPDB_RETURN_IF_ERROR(r->AlignTo(4));
+      std::span<const uint32_t> locals;
+      TPDB_RETURN_IF_ERROR(r->GetSpan(num_rows, &locals));
+      chunk->lineage.reserve(num_rows);
+      for (const uint32_t local : locals) {
+        StatusOr<LineageRef> ref = RefOfWireId(local, ids);
+        if (!ref.ok()) return ref.status();
+        chunk->lineage.push_back(*ref);
+      }
+      break;
+    }
+    case ColumnEncoding::kGeneric: {
+      chunk->generic.reserve(num_rows);
+      for (size_t row = 0; row < num_rows; ++row) {
+        uint8_t tag = 0;
+        TPDB_RETURN_IF_ERROR(r->GetU8(&tag));
+        switch (static_cast<GenericTag>(tag)) {
+          case GenericTag::kNull:
+            chunk->generic.push_back(Datum::Null());
+            break;
+          case GenericTag::kInt64: {
+            int64_t v = 0;
+            TPDB_RETURN_IF_ERROR(r->GetI64(&v));
+            chunk->generic.push_back(Datum(v));
+            break;
+          }
+          case GenericTag::kDouble: {
+            double v = 0;
+            TPDB_RETURN_IF_ERROR(r->GetF64(&v));
+            chunk->generic.push_back(Datum(v));
+            break;
+          }
+          case GenericTag::kString: {
+            std::string s;
+            TPDB_RETURN_IF_ERROR(r->GetString(&s));
+            chunk->generic.push_back(Datum(std::move(s)));
+            break;
+          }
+          case GenericTag::kLineage: {
+            uint32_t local = 0;
+            TPDB_RETURN_IF_ERROR(r->GetU32(&local));
+            StatusOr<LineageRef> ref = RefOfWireId(local, ids);
+            if (!ref.ok()) return ref.status();
+            chunk->generic.push_back(Datum(*ref));
+            break;
+          }
+          default:
+            return Status::IOError(
+                "snapshot corrupt: unknown generic datum tag " +
+                std::to_string(tag));
+        }
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpdb::storage

@@ -1,0 +1,60 @@
+// Shared per-column byte codec: the column encodings of the segment format
+// (storage/segment.h), factored out so both the snapshot writer and the
+// network wire protocol (server/) serialize columns through one
+// implementation instead of two diverging copies.
+//
+// A column is encoded as
+//
+//   u8 encoding | u8 declared type | <encoding-specific data>
+//
+// with the same layouts the segment format documents: null bitmap + raw
+// arrays for plain int64/double, dictionary + u32 codes for strings, u32 id
+// arrays for lineage, tagged datums for the generic fallback. Alignment
+// padding is relative to the enclosing ByteWriter/ByteReader start, exactly
+// as in segment blobs.
+//
+// Lineage ids: with a LineageIdMap the codec writes snapshot-local dense
+// ids (the on-disk format). With `ids == nullptr` it writes the raw arena
+// ids instead — the wire format, where the receiving peer either shares the
+// process (ids resolve) or treats lineage as an opaque token.
+#ifndef TPDB_STORAGE_COLUMN_CODEC_H_
+#define TPDB_STORAGE_COLUMN_CODEC_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "storage/segment.h"
+
+namespace tpdb::storage {
+
+/// Datum tags of the kGeneric encoding.
+enum class GenericTag : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kLineage = 4,
+};
+
+/// Dense value accessor for one column: the value of row i, 0 <= i < n.
+/// (The snapshot writer adapts row-major tables, the batch codec adapts
+/// ColumnVectors.)
+using ColumnSource = std::function<const Datum&(size_t)>;
+
+/// Encodes one column of `num_rows` values onto `w`: picks the encoding
+/// from the values actually present (uniform typed chunks get the columnar
+/// layouts, mixed chunks the tagged generic fallback) and writes the
+/// encoding byte, the declared-type byte and the data.
+Status EncodeColumn(size_t num_rows, DatumType declared,
+                    const ColumnSource& at, const LineageIdMap* ids,
+                    ByteWriter* w);
+
+/// Inverse of EncodeColumn. Raw arrays become spans into `r`'s underlying
+/// bytes — the caller keeps that memory alive for the chunk's lifetime (and
+/// 8-aligns its start, as segment blobs and wire payload buffers both do).
+Status DecodeColumn(ByteReader* r, size_t num_rows, const LineageIdMap* ids,
+                    ColumnChunk* chunk);
+
+}  // namespace tpdb::storage
+
+#endif  // TPDB_STORAGE_COLUMN_CODEC_H_

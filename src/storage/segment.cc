@@ -2,23 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "engine/schema.h"
+#include "storage/column_codec.h"
 #include "tp/tp_relation.h"
 
 namespace tpdb::storage {
 
 namespace {
-
-/// Datum tags of the kGeneric encoding.
-enum class GenericTag : uint8_t {
-  kNull = 0,
-  kInt64 = 1,
-  kDouble = 2,
-  kString = 3,
-  kLineage = 4,
-};
 
 /// Widens [min, max] by one ulp on each side so that int64 values rounded
 /// during the double conversion can never fall outside the stored bounds
@@ -143,151 +134,12 @@ StatusOr<std::string> EncodeSegmentBlob(const Table& table, size_t begin,
     w.PutF64(bounds.max);
   }
 
-  // -- Column chunks -----------------------------------------------------
+  // -- Column chunks (shared codec; see storage/column_codec.h) ----------
   for (size_t c = 0; c < num_cols; ++c) {
-    // Pick the encoding from the values actually present: uniform typed
-    // chunks get the columnar layouts, anything mixed falls back to the
-    // tagged generic encoding so every Datum round-trips exactly.
-    size_t nulls = 0;
-    bool all_int = true, all_double = true, all_string = true,
-         all_lineage = true;
-    for (size_t r = begin; r < end; ++r) {
-      const Datum& v = table.rows[r][c];
-      switch (v.type()) {
-        case DatumType::kNull:
-          ++nulls;
-          all_lineage = false;
-          break;
-        case DatumType::kInt64:
-          all_double = all_string = all_lineage = false;
-          break;
-        case DatumType::kDouble:
-          all_int = all_string = all_lineage = false;
-          break;
-        case DatumType::kString:
-          all_int = all_double = all_lineage = false;
-          break;
-        case DatumType::kLineage:
-          all_int = all_double = all_string = false;
-          break;
-      }
-    }
-    ColumnEncoding encoding;
-    if (nulls == num_rows) {
-      encoding = ColumnEncoding::kAllNull;
-    } else if (all_int) {
-      encoding = ColumnEncoding::kPlainInt64;
-    } else if (all_double) {
-      encoding = ColumnEncoding::kPlainDouble;
-    } else if (all_string) {
-      encoding = ColumnEncoding::kDictString;
-    } else if (all_lineage && nulls == 0) {
-      encoding = ColumnEncoding::kLineage;
-    } else {
-      encoding = ColumnEncoding::kGeneric;
-    }
-    w.PutU8(static_cast<uint8_t>(encoding));
-    w.PutU8(static_cast<uint8_t>(table.schema.column(c).type));
-
-    const auto put_bitmap = [&] {
-      std::vector<uint8_t> bitmap((num_rows + 7) / 8, 0);
-      for (size_t r = begin; r < end; ++r)
-        if (table.rows[r][c].is_null())
-          bitmap[(r - begin) / 8] |= 1u << ((r - begin) % 8);
-      w.PutRaw(bitmap.data(), bitmap.size());
-    };
-
-    switch (encoding) {
-      case ColumnEncoding::kAllNull:
-        break;
-      case ColumnEncoding::kPlainInt64: {
-        put_bitmap();
-        w.AlignTo(8);
-        for (size_t r = begin; r < end; ++r) {
-          const Datum& v = table.rows[r][c];
-          w.PutI64(v.is_null() ? 0 : v.AsInt64());
-        }
-        break;
-      }
-      case ColumnEncoding::kPlainDouble: {
-        put_bitmap();
-        w.AlignTo(8);
-        for (size_t r = begin; r < end; ++r) {
-          const Datum& v = table.rows[r][c];
-          w.PutF64(v.is_null() ? 0.0 : v.AsDouble());
-        }
-        break;
-      }
-      case ColumnEncoding::kDictString: {
-        put_bitmap();
-        std::map<std::string, uint32_t> dict;
-        std::vector<const std::string*> ordered;
-        for (size_t r = begin; r < end; ++r) {
-          const Datum& v = table.rows[r][c];
-          if (v.is_null()) continue;
-          const auto [it, inserted] =
-              dict.emplace(v.AsString(), static_cast<uint32_t>(dict.size()));
-          if (inserted) ordered.push_back(&it->first);
-        }
-        w.PutU32(static_cast<uint32_t>(ordered.size()));
-        for (const std::string* s : ordered) w.PutString(*s);
-        w.AlignTo(4);
-        for (size_t r = begin; r < end; ++r) {
-          const Datum& v = table.rows[r][c];
-          w.PutU32(v.is_null() ? 0 : dict.at(v.AsString()));
-        }
-        break;
-      }
-      case ColumnEncoding::kLineage: {
-        w.AlignTo(4);
-        for (size_t r = begin; r < end; ++r) {
-          const LineageRef ref = table.rows[r][c].AsLineage();
-          if (ref.is_null()) {
-            w.PutU32(LineageRef::kNullId);
-            continue;
-          }
-          StatusOr<uint32_t> local = ids.LocalOf(ref);
-          if (!local.ok()) return local.status();
-          w.PutU32(*local);
-        }
-        break;
-      }
-      case ColumnEncoding::kGeneric: {
-        for (size_t r = begin; r < end; ++r) {
-          const Datum& v = table.rows[r][c];
-          switch (v.type()) {
-            case DatumType::kNull:
-              w.PutU8(static_cast<uint8_t>(GenericTag::kNull));
-              break;
-            case DatumType::kInt64:
-              w.PutU8(static_cast<uint8_t>(GenericTag::kInt64));
-              w.PutI64(v.AsInt64());
-              break;
-            case DatumType::kDouble:
-              w.PutU8(static_cast<uint8_t>(GenericTag::kDouble));
-              w.PutF64(v.AsDouble());
-              break;
-            case DatumType::kString:
-              w.PutU8(static_cast<uint8_t>(GenericTag::kString));
-              w.PutString(v.AsString());
-              break;
-            case DatumType::kLineage: {
-              w.PutU8(static_cast<uint8_t>(GenericTag::kLineage));
-              const LineageRef ref = v.AsLineage();
-              if (ref.is_null()) {
-                w.PutU32(LineageRef::kNullId);
-                break;
-              }
-              StatusOr<uint32_t> local = ids.LocalOf(ref);
-              if (!local.ok()) return local.status();
-              w.PutU32(*local);
-              break;
-            }
-          }
-        }
-        break;
-      }
-    }
+    TPDB_RETURN_IF_ERROR(EncodeColumn(
+        num_rows, table.schema.column(c).type,
+        [&](size_t r) -> const Datum& { return table.rows[begin + r][c]; },
+        &ids, &w));
   }
 
   w.AlignTo(8);  // keep the next segment's blob 8-aligned in the file
@@ -326,106 +178,8 @@ StatusOr<Segment> ParseSegmentBlob(std::span<const uint8_t> blob,
   }
 
   seg.chunks.resize(num_cols);
-  for (uint32_t c = 0; c < num_cols; ++c) {
-    ColumnChunk& chunk = seg.chunks[c];
-    uint8_t encoding = 0, declared = 0;
-    TPDB_RETURN_IF_ERROR(r.GetU8(&encoding));
-    TPDB_RETURN_IF_ERROR(r.GetU8(&declared));
-    if (encoding > static_cast<uint8_t>(ColumnEncoding::kGeneric))
-      return Status::IOError("snapshot corrupt: unknown column encoding " +
-                             std::to_string(encoding));
-    chunk.encoding = static_cast<ColumnEncoding>(encoding);
-    chunk.declared = static_cast<DatumType>(declared);
-
-    const size_t bitmap_bytes = (seg.num_rows + 7) / 8;
-    switch (chunk.encoding) {
-      case ColumnEncoding::kAllNull:
-        break;
-      case ColumnEncoding::kPlainInt64:
-        TPDB_RETURN_IF_ERROR(r.GetSpan(bitmap_bytes, &chunk.null_bitmap));
-        TPDB_RETURN_IF_ERROR(r.AlignTo(8));
-        TPDB_RETURN_IF_ERROR(r.GetSpan(seg.num_rows, &chunk.ints));
-        break;
-      case ColumnEncoding::kPlainDouble:
-        TPDB_RETURN_IF_ERROR(r.GetSpan(bitmap_bytes, &chunk.null_bitmap));
-        TPDB_RETURN_IF_ERROR(r.AlignTo(8));
-        TPDB_RETURN_IF_ERROR(r.GetSpan(seg.num_rows, &chunk.doubles));
-        break;
-      case ColumnEncoding::kDictString: {
-        TPDB_RETURN_IF_ERROR(r.GetSpan(bitmap_bytes, &chunk.null_bitmap));
-        uint32_t dict_n = 0;
-        TPDB_RETURN_IF_ERROR(r.GetU32(&dict_n));
-        if (dict_n > r.remaining())
-          return Status::IOError(
-              "snapshot corrupt: implausible dictionary size");
-        chunk.dict.resize(dict_n);
-        for (std::string& s : chunk.dict)
-          TPDB_RETURN_IF_ERROR(r.GetString(&s));
-        TPDB_RETURN_IF_ERROR(r.AlignTo(4));
-        TPDB_RETURN_IF_ERROR(r.GetSpan(seg.num_rows, &chunk.codes));
-        for (size_t row = 0; row < seg.num_rows; ++row)
-          if (!chunk.IsNull(row) && chunk.codes[row] >= dict_n)
-            return Status::IOError(
-                "snapshot corrupt: dictionary code out of range");
-        break;
-      }
-      case ColumnEncoding::kLineage: {
-        TPDB_RETURN_IF_ERROR(r.AlignTo(4));
-        std::span<const uint32_t> locals;
-        TPDB_RETURN_IF_ERROR(r.GetSpan(seg.num_rows, &locals));
-        chunk.lineage.reserve(seg.num_rows);
-        for (const uint32_t local : locals) {
-          StatusOr<LineageRef> ref = ids.RefOf(local);
-          if (!ref.ok()) return ref.status();
-          chunk.lineage.push_back(*ref);
-        }
-        break;
-      }
-      case ColumnEncoding::kGeneric: {
-        chunk.generic.reserve(seg.num_rows);
-        for (size_t row = 0; row < seg.num_rows; ++row) {
-          uint8_t tag = 0;
-          TPDB_RETURN_IF_ERROR(r.GetU8(&tag));
-          switch (static_cast<GenericTag>(tag)) {
-            case GenericTag::kNull:
-              chunk.generic.push_back(Datum::Null());
-              break;
-            case GenericTag::kInt64: {
-              int64_t v = 0;
-              TPDB_RETURN_IF_ERROR(r.GetI64(&v));
-              chunk.generic.push_back(Datum(v));
-              break;
-            }
-            case GenericTag::kDouble: {
-              double v = 0;
-              TPDB_RETURN_IF_ERROR(r.GetF64(&v));
-              chunk.generic.push_back(Datum(v));
-              break;
-            }
-            case GenericTag::kString: {
-              std::string s;
-              TPDB_RETURN_IF_ERROR(r.GetString(&s));
-              chunk.generic.push_back(Datum(std::move(s)));
-              break;
-            }
-            case GenericTag::kLineage: {
-              uint32_t local = 0;
-              TPDB_RETURN_IF_ERROR(r.GetU32(&local));
-              StatusOr<LineageRef> ref = ids.RefOf(local);
-              if (!ref.ok()) return ref.status();
-              chunk.generic.push_back(Datum(*ref));
-              break;
-            }
-            default:
-              return Status::IOError(
-                  "snapshot corrupt: unknown generic datum tag " +
-                  std::to_string(tag));
-          }
-        }
-        break;
-      }
-    }
-  }
+  for (uint32_t c = 0; c < num_cols; ++c)
+    TPDB_RETURN_IF_ERROR(DecodeColumn(&r, seg.num_rows, &ids, &seg.chunks[c]));
   return seg;
 }
 

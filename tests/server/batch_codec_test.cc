@@ -1,0 +1,178 @@
+// The wire batch codec must be a lossless involution: decode(encode(b))
+// holds the same values, and re-encoding the decoded batch reproduces the
+// original payload byte for byte (the encoding choice is a pure function
+// of the column values, so the wire format admits exactly one encoding of
+// a given batch).
+#include "storage/batch_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/vector/column_batch.h"
+#include "lineage/lineage.h"
+#include "storage/bytes.h"
+
+namespace tpdb::storage {
+namespace {
+
+Schema MixedSchema() {
+  Schema schema;
+  schema.AddColumn({"i", DatumType::kInt64});
+  schema.AddColumn({"d", DatumType::kDouble});
+  schema.AddColumn({"s", DatumType::kString});
+  schema.AddColumn({"m", DatumType::kString});  // mixed → generic fallback
+  return schema;
+}
+
+std::vector<Row> MixedRows() {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 100; ++i) {
+    Row row;
+    row.push_back(i % 7 == 0 ? Datum::Null() : Datum(i * 11));
+    row.push_back(Datum(0.5 * static_cast<double>(i)));
+    row.push_back(Datum("city-" + std::to_string(i % 5)));  // dict-friendly
+    if (i % 3 == 0)
+      row.push_back(Datum(i));  // ints in a string column → kGeneric
+    else
+      row.push_back(Datum("tag-" + std::to_string(i)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string Encode(const Schema& schema, const vec::ColumnBatch& batch) {
+  ByteWriter w;
+  const Status st = EncodeColumnBatch(schema, batch, /*ids=*/nullptr, &w);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return w.buffer();
+}
+
+vec::ColumnBatch Decode(const std::string& payload) {
+  vec::ColumnBatch batch;
+  const Status st = DecodeColumnBatch(
+      {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
+      /*ids=*/nullptr, &batch);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return batch;
+}
+
+TEST(BatchCodecTest, RoundtripPreservesValuesAndReencodesByteIdentical) {
+  const Schema schema = MixedSchema();
+  const std::vector<Row> rows = MixedRows();
+  vec::ColumnBatch batch;
+  vec::TransposeRows(rows, 0, rows.size(), &batch);
+
+  const std::string payload = Encode(schema, batch);
+  const vec::ColumnBatch decoded = Decode(payload);
+
+  ASSERT_EQ(decoded.num_rows, rows.size());
+  ASSERT_EQ(decoded.columns.size(), schema.num_columns());
+  EXPECT_TRUE(decoded.sel_all);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    Row row;
+    decoded.DecodeRow(r, &row);
+    ASSERT_EQ(row.size(), rows[r].size());
+    for (size_t c = 0; c < row.size(); ++c)
+      EXPECT_TRUE(row[c] == rows[r][c]) << "row " << r << " col " << c;
+  }
+
+  EXPECT_EQ(Encode(schema, decoded), payload);
+}
+
+TEST(BatchCodecTest, SelectionVectorIsCompactedOnTheWire) {
+  const Schema schema = MixedSchema();
+  const std::vector<Row> rows = MixedRows();
+  vec::ColumnBatch batch;
+  vec::TransposeRows(rows, 0, rows.size(), &batch);
+  batch.sel_all = false;
+  for (uint32_t r = 1; r < rows.size(); r += 3) batch.sel.push_back(r);
+
+  const std::string payload = Encode(schema, batch);
+  const vec::ColumnBatch decoded = Decode(payload);
+
+  ASSERT_EQ(decoded.ActiveRows(), batch.sel.size());
+  EXPECT_TRUE(decoded.sel_all);  // compacted: selection order became order
+  for (size_t i = 0; i < batch.sel.size(); ++i) {
+    Row row;
+    decoded.DecodeRow(i, &row);
+    EXPECT_EQ(CompareRows(row, rows[batch.sel[i]]), 0) << "active row " << i;
+  }
+
+  // The compacted batch is already in wire shape: encoding it again must
+  // reproduce the same bytes.
+  EXPECT_EQ(Encode(schema, decoded), payload);
+}
+
+TEST(BatchCodecTest, EmptyBatchRoundtrips) {
+  const Schema schema = MixedSchema();
+  vec::ColumnBatch empty;
+  empty.num_rows = 0;
+  empty.columns.resize(schema.num_columns());
+
+  const std::string payload = Encode(schema, empty);
+  const vec::ColumnBatch decoded = Decode(payload);
+  EXPECT_EQ(decoded.num_rows, 0u);
+  ASSERT_EQ(decoded.columns.size(), schema.num_columns());
+  EXPECT_EQ(Encode(schema, decoded), payload);
+}
+
+TEST(BatchCodecTest, LineageColumnShipsRawArenaIds) {
+  LineageManager manager;
+  Schema schema;
+  schema.AddColumn({"lin", DatumType::kLineage});
+  std::vector<Row> rows;
+  const VarId x = manager.RegisterVariable(0.5, "x");
+  const VarId y = manager.RegisterVariable(0.25, "y");
+  const VarId z = manager.RegisterVariable(0.75, "z");
+  const LineageRef a = manager.Var(x);
+  const LineageRef b = manager.And(manager.Var(y), manager.Var(z));
+  for (const LineageRef ref : {a, b, manager.Or(a, b)})
+    rows.push_back({Datum(ref)});
+
+  vec::ColumnBatch batch;
+  vec::TransposeRows(rows, 0, rows.size(), &batch);
+  const std::string payload = Encode(schema, batch);
+  const vec::ColumnBatch decoded = Decode(payload);
+  ASSERT_EQ(decoded.num_rows, rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    Row row;
+    decoded.DecodeRow(r, &row);
+    // With ids == nullptr the codec moves the raw ref id verbatim, so the
+    // decoded ref points at the same arena node.
+    EXPECT_EQ(row[0].AsLineage(), rows[r][0].AsLineage());
+  }
+  EXPECT_EQ(Encode(schema, decoded), payload);
+}
+
+TEST(BatchCodecTest, RejectsCorruptPayloads) {
+  const Schema schema = MixedSchema();
+  const std::vector<Row> rows = MixedRows();
+  vec::ColumnBatch batch;
+  vec::TransposeRows(rows, 0, rows.size(), &batch);
+  const std::string payload = Encode(schema, batch);
+
+  vec::ColumnBatch out;
+  // Truncations at every length must error or produce a valid batch —
+  // never crash. (Short prefixes that still parse are impossible here
+  // because the row count header promises more data than remains.)
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const Status st = DecodeColumnBatch(
+        {reinterpret_cast<const uint8_t*>(payload.data()), len},
+        /*ids=*/nullptr, &out);
+    EXPECT_FALSE(st.ok()) << "prefix of " << len << " bytes decoded";
+  }
+
+  // An absurd row count must be rejected up front, not allocated.
+  std::string bogus = payload;
+  bogus[0] = bogus[1] = bogus[2] = bogus[3] = '\xff';
+  EXPECT_FALSE(DecodeColumnBatch(
+                   {reinterpret_cast<const uint8_t*>(bogus.data()),
+                    bogus.size()},
+                   /*ids=*/nullptr, &out)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tpdb::storage

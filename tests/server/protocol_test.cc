@@ -1,0 +1,311 @@
+// Adversarial wire-protocol tests: whatever bytes a client throws at the
+// server — truncated frames, bit flips, absurd length prefixes, garbage
+// handshakes — the server answers with a clean Error frame and/or a close,
+// never a crash, and keeps serving well-behaved clients afterwards.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/socket.h"
+#include "server/wire.h"
+
+namespace tpdb::server {
+namespace {
+
+std::string ValidHelloBytes(const std::string& token = "") {
+  std::string out;
+  AppendFrame(MsgType::kHello,
+              BuildHello({kProtocolMagic, kProtocolVersion, token, "test"}),
+              &out);
+  return out;
+}
+
+std::string ValidQueryBytes(uint64_t id, const std::string& sql) {
+  std::string out;
+  AppendFrame(MsgType::kQuery, BuildQuery({id, sql}), &out);
+  return out;
+}
+
+// -- FrameReader unit level ------------------------------------------------
+
+TEST(FrameReaderTest, EveryPrefixTruncationIsSafe) {
+  const std::string stream = ValidHelloBytes() + ValidQueryBytes(7, "r");
+  for (size_t len = 0; len <= stream.size(); ++len) {
+    FrameReader reader(kDefaultMaxFrameBytes);
+    reader.Append(stream.data(), len);
+    Frame frame;
+    bool have = true;
+    size_t frames = 0;
+    for (;;) {
+      const Status st = reader.Next(&frame, &have);
+      ASSERT_TRUE(st.ok()) << "prefix " << len << ": " << st.ToString();
+      if (!have) break;
+      ++frames;
+    }
+    // A prefix yields only the frames it fully contains, in order.
+    EXPECT_LE(frames, 2u);
+  }
+  // Byte-at-a-time delivery reassembles both frames.
+  FrameReader reader(kDefaultMaxFrameBytes);
+  size_t frames = 0;
+  for (const char byte : stream) {
+    reader.Append(&byte, 1);
+    Frame frame;
+    bool have = false;
+    ASSERT_TRUE(reader.Next(&frame, &have).ok());
+    if (have) ++frames;
+  }
+  EXPECT_EQ(frames, 2u);
+}
+
+TEST(FrameReaderTest, EverySingleBitFlipIsCaught) {
+  const std::string frame_bytes = ValidQueryBytes(1, "r JOIN s ON a");
+  for (size_t byte = 0; byte < frame_bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = frame_bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      FrameReader reader(kDefaultMaxFrameBytes);
+      reader.Append(corrupt.data(), corrupt.size());
+      Frame frame;
+      bool have = false;
+      const Status st = reader.Next(&frame, &have);
+      if (byte < 4) {
+        // A flipped length prefix makes the frame longer/shorter: either
+        // an over-limit error, an incomplete frame, or a CRC mismatch —
+        // never a successfully parsed frame.
+        EXPECT_FALSE(st.ok() && have) << "byte " << byte << " bit " << bit;
+      } else {
+        // A flip in type, payload or CRC must trip the checksum.
+        ASSERT_TRUE(!st.ok() || !have) << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(FrameReaderTest, OversizedLengthPrefixIsRejectedUpFront) {
+  FrameReader reader(/*max_frame_bytes=*/1024);
+  const uint32_t len = 0xffffffffu;
+  char prefix[4];
+  std::memcpy(prefix, &len, sizeof(len));
+  reader.Append(prefix, sizeof(prefix));
+  Frame frame;
+  bool have = false;
+  const Status st = reader.Next(&frame, &have);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("exceeds"), std::string::npos);
+}
+
+// -- Against a live server -------------------------------------------------
+
+class ProtocolAbuseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(7);
+    UniformWorkloadOptions options;
+    options.num_tuples = 50;
+    options.num_facts = 10;
+    options.history_length = 500;
+    StatusOr<TPRelation> rel =
+        MakeUniformWorkload(db_.manager(), "r", options, &rng);
+    ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+    ASSERT_TRUE(db_.Register(std::move(*rel)).ok());
+    ASSERT_TRUE(server_.Start().ok());
+  }
+
+  void TearDown() override { server_.Shutdown(); }
+
+  /// Sends raw bytes, collects every frame until the server closes, and
+  /// returns them. Protocol-abuse connections always end in a close.
+  std::vector<Frame> RawExchange(const std::string& bytes) {
+    StatusOr<int> fd = ConnectTo("127.0.0.1", server_.port());
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    if (!fd.ok()) return {};
+    EXPECT_TRUE(SendAll(*fd, bytes.data(), bytes.size()).ok());
+    ::shutdown(*fd, SHUT_WR);  // half-close: nothing more is coming
+    std::vector<Frame> frames;
+    FrameReader reader(kDefaultMaxFrameBytes);
+    char buf[4096];
+    for (;;) {
+      StatusOr<size_t> n = RecvSome(*fd, buf, sizeof(buf));
+      if (!n.ok() || *n == 0) break;
+      reader.Append(buf, *n);
+      Frame frame;
+      bool have = false;
+      while (reader.Next(&frame, &have).ok() && have)
+        frames.push_back(frame);
+    }
+    CloseFd(*fd);
+    return frames;
+  }
+
+  /// The liveness probe: a well-behaved client must still get answers.
+  void ExpectServerStillServes() {
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::Connect({.host = "127.0.0.1", .port = server_.port()});
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    StatusOr<ClientResult> result = (*client)->Query("SELECT * FROM r");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->rows.size(), 0u);
+  }
+
+  static bool HasError(const std::vector<Frame>& frames) {
+    for (const Frame& f : frames)
+      if (f.type == MsgType::kError) return true;
+    return false;
+  }
+
+  TPDatabase db_;
+  Server server_{&db_};
+};
+
+TEST_F(ProtocolAbuseTest, TruncatedFrameThenHangupIsHandled) {
+  const std::string stream = ValidHelloBytes() + ValidQueryBytes(1, "r");
+  // Cut the stream at every length that ends mid-frame; the server sees a
+  // partial frame followed by EOF and must just drop the connection.
+  for (const size_t len :
+       {size_t{1}, size_t{3}, size_t{6}, stream.size() - 1}) {
+    RawExchange(stream.substr(0, len));
+  }
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolAbuseTest, BitFlippedCrcGetsErrorFrameAndClose) {
+  std::string stream = ValidHelloBytes();
+  stream.back() ^= 0x40;  // corrupt the CRC trailer of the Hello frame
+  const std::vector<Frame> frames = RawExchange(stream);
+  EXPECT_TRUE(HasError(frames));
+  ExpectServerStillServes();
+  EXPECT_GE(server_.Stats().protocol_errors, 1u);
+}
+
+TEST_F(ProtocolAbuseTest, OversizedLengthPrefixGetsErrorFrameAndClose) {
+  std::string stream(8, '\0');
+  const uint32_t len = 0x7fffffffu;
+  std::memcpy(stream.data(), &len, sizeof(len));
+  const std::vector<Frame> frames = RawExchange(stream);
+  ASSERT_TRUE(HasError(frames));
+  for (const Frame& f : frames) {
+    if (f.type != MsgType::kError) continue;
+    ErrorMsg msg;
+    ASSERT_TRUE(ParseError(f.payload, &msg).ok());
+    EXPECT_NE(msg.message.find("exceeds"), std::string::npos);
+  }
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolAbuseTest, GarbageHandshakeGetsCleanErrorOrClose) {
+  // Deterministic pseudo-random garbage, several rounds. Most rounds die
+  // in the framing layer (length/CRC); a round that happens to frame
+  // correctly still fails the Hello magic check.
+  Random rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    std::string garbage;
+    const int len = 1 + static_cast<int>(rng.Next() % 300);
+    for (int i = 0; i < len; ++i)
+      garbage.push_back(static_cast<char>(rng.Next() & 0xff));
+    RawExchange(garbage);
+  }
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolAbuseTest, WellFormedFrameWithWrongMagicIsRejected) {
+  std::string stream;
+  AppendFrame(MsgType::kHello,
+              BuildHello({0xdeadbeef, kProtocolVersion, "", "imposter"}),
+              &stream);
+  const std::vector<Frame> frames = RawExchange(stream);
+  ASSERT_TRUE(HasError(frames));
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolAbuseTest, QueryBeforeHelloIsRejected) {
+  const std::vector<Frame> frames = RawExchange(ValidQueryBytes(1, "r"));
+  ASSERT_TRUE(HasError(frames));
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolAbuseTest, UnknownMessageTypeAfterHandshakeIsRejected) {
+  std::string stream = ValidHelloBytes();
+  AppendFrame(static_cast<MsgType>(200), "mystery", &stream);
+  const std::vector<Frame> frames = RawExchange(stream);
+  ASSERT_TRUE(HasError(frames));
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolAbuseTest, TruncatedTypedPayloadIsRejected) {
+  // A frame that passes CRC but whose Query payload is too short for its
+  // declared fields.
+  std::string stream = ValidHelloBytes();
+  AppendFrame(MsgType::kQuery, std::string(3, '\x01'), &stream);
+  const std::vector<Frame> frames = RawExchange(stream);
+  ASSERT_TRUE(HasError(frames));
+  ExpectServerStillServes();
+}
+
+class AuthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.auth_token = "sesame";
+    server_ = std::make_unique<Server>(&db_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Shutdown(); }
+
+  TPDatabase db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(AuthTest, BadTokenIsRejectedGoodTokenAccepted) {
+  StatusOr<std::unique_ptr<Client>> bad = Client::Connect(
+      {.host = "127.0.0.1", .port = server_->port(), .auth_token = "guess"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("authentication"), std::string::npos);
+
+  StatusOr<std::unique_ptr<Client>> good = Client::Connect(
+      {.host = "127.0.0.1", .port = server_->port(), .auth_token = "sesame"});
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_FALSE((*good)->banner().empty());
+}
+
+TEST_F(AuthTest, WrongProtocolVersionIsRejected) {
+  StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  std::string stream;
+  AppendFrame(MsgType::kHello,
+              BuildHello({kProtocolMagic, kProtocolVersion + 7, "sesame",
+                          "time-traveler"}),
+              &stream);
+  ASSERT_TRUE(SendAll(*fd, stream.data(), stream.size()).ok());
+  FrameReader reader(kDefaultMaxFrameBytes);
+  char buf[4096];
+  bool saw_version_error = false;
+  for (;;) {
+    StatusOr<size_t> n = RecvSome(*fd, buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    reader.Append(buf, *n);
+    Frame frame;
+    bool have = false;
+    while (reader.Next(&frame, &have).ok() && have) {
+      if (frame.type != MsgType::kError) continue;
+      ErrorMsg msg;
+      ASSERT_TRUE(ParseError(frame.payload, &msg).ok());
+      saw_version_error =
+          msg.message.find("version") != std::string::npos;
+    }
+  }
+  CloseFd(*fd);
+  EXPECT_TRUE(saw_version_error);
+}
+
+}  // namespace
+}  // namespace tpdb::server

@@ -1,0 +1,402 @@
+// End-to-end server tests: a query answered over loopback must agree
+// element-wise — rows, intervals, exact probabilities — with the same
+// query run in-process, including under 8+ concurrent client threads
+// mixing queries with DDL; plus admission control, cancellation and
+// graceful-shutdown behavior.
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "exec/session.h"
+#include "lineage/probability.h"
+#include "server/client.h"
+
+namespace tpdb::server {
+namespace {
+
+/// A wire row reduced to comparable form (fact ++ interval ++ probability,
+/// matching the canonical form the session tests use in-process).
+struct CanonicalTuple {
+  Row fact;
+  Interval interval;
+  double probability;
+};
+
+bool CanonicalLess(const CanonicalTuple& a, const CanonicalTuple& b) {
+  const int c = CompareRows(a.fact, b.fact);
+  if (c != 0) return c < 0;
+  return a.interval < b.interval;
+}
+
+std::vector<CanonicalTuple> CanonicalizeLocal(const TPRelation& rel) {
+  ProbabilityEngine engine(rel.manager());
+  std::vector<CanonicalTuple> out;
+  out.reserve(rel.size());
+  for (const TPTuple& t : rel.tuples())
+    out.push_back({t.fact, t.interval, engine.Probability(t.lineage)});
+  std::sort(out.begin(), out.end(), CanonicalLess);
+  return out;
+}
+
+std::vector<CanonicalTuple> CanonicalizeWire(const ClientResult& result) {
+  // Wire schema: fact columns ++ _ts ++ _te ++ _prob.
+  const size_t num_cols = result.schema.num_columns();
+  EXPECT_GE(num_cols, 3u);
+  std::vector<CanonicalTuple> out;
+  out.reserve(result.rows.size());
+  for (const Row& row : result.rows) {
+    EXPECT_EQ(row.size(), num_cols);
+    CanonicalTuple t;
+    t.fact.assign(row.begin(), row.end() - 3);
+    t.interval = Interval(row[num_cols - 3].AsInt64(),
+                          row[num_cols - 2].AsInt64());
+    t.probability = row[num_cols - 1].AsDouble();
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(), CanonicalLess);
+  return out;
+}
+
+void ExpectParity(const TPRelation& local, const ClientResult& wire) {
+  const std::vector<CanonicalTuple> e = CanonicalizeLocal(local);
+  const std::vector<CanonicalTuple> a = CanonicalizeWire(wire);
+  ASSERT_EQ(e.size(), a.size());
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(CompareRows(e[i].fact, a[i].fact), 0) << "row " << i;
+    EXPECT_EQ(e[i].interval, a[i].interval) << "row " << i;
+    // The probability is computed once server-side and shipped as raw
+    // double bits, so parity is exact, not approximate.
+    EXPECT_EQ(e[i].probability, a[i].probability) << "row " << i;
+  }
+}
+
+class ServerEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(99);
+    UniformWorkloadOptions options;
+    options.num_tuples = 600;
+    options.num_facts = 80;
+    options.history_length = 2000;
+    options.gap_probability = 0.3;
+    for (const char* name : {"r", "s"}) {
+      StatusOr<TPRelation> rel =
+          MakeUniformWorkload(db_.manager(), name, options, &rng);
+      ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+      ASSERT_TRUE(db_.Register(std::move(*rel)).ok());
+    }
+  }
+
+  void StartServer(ServerOptions options = {}) {
+    server_ = std::make_unique<Server>(&db_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_) server_->Shutdown();
+  }
+
+  StatusOr<std::unique_ptr<Client>> Connect() {
+    return Client::Connect({.host = "127.0.0.1", .port = server_->port()});
+  }
+
+  TPDatabase db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerEndToEndTest, WireResultsMatchInProcessElementWise) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Session session(&db_);
+  const std::vector<std::string> queries = {
+      "SELECT * FROM r",
+      "SELECT * FROM r WHERE key < 40",
+      "SELECT * FROM r INNER JOIN s ON key",
+      "r ANTI JOIN s ON key",
+      "r UNION s",
+      "r EXCEPT s",
+      "SELECT * FROM r INNER JOIN s ON key WHERE key < 60 ORDER BY key",
+  };
+  for (const std::string& query : queries) {
+    StatusOr<TPRelation> local = session.Query(query);
+    ASSERT_TRUE(local.ok()) << query << ": " << local.status().ToString();
+    StatusOr<ClientResult> wire = (*client)->Query(query);
+    ASSERT_TRUE(wire.ok()) << query << ": " << wire.status().ToString();
+    ASSERT_NO_FATAL_FAILURE(ExpectParity(*local, *wire)) << query;
+  }
+}
+
+TEST_F(ServerEndToEndTest, EmptyResultStreamsSchemaAndDoneOnly) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  StatusOr<ClientResult> wire =
+      (*client)->Query("SELECT * FROM r WHERE key < -1");
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->rows.size(), 0u);
+  EXPECT_EQ(wire->total_rows, 0u);
+  EXPECT_GE(wire->schema.num_columns(), 3u);
+}
+
+TEST_F(ServerEndToEndTest, LargeResultStreamsInMultipleBatches) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  // "r UNION s" yields well over one 1024-row batch.
+  StatusOr<ClientResult> wire = (*client)->Query("r UNION s");
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_GT(wire->rows.size(), 1024u);
+  EXPECT_GE(server_->Stats().batches_sent, 2u);
+  Session session(&db_);
+  StatusOr<TPRelation> local = session.Query("r UNION s");
+  ASSERT_TRUE(local.ok());
+  ExpectParity(*local, *wire);
+}
+
+TEST_F(ServerEndToEndTest, QueryErrorsTravelWithTheirStatusCode) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  StatusOr<ClientResult> bad = (*client)->Query("r FROB s");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  StatusOr<ClientResult> missing = (*client)->Query("SELECT * FROM no_such_relation");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The connection survives query errors.
+  StatusOr<ClientResult> ok = (*client)->Query("SELECT * FROM r");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(ServerEndToEndTest, PrepareAndExplainReturnPlanText) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  StatusOr<std::string> plan =
+      (*client)->Prepare("SELECT * FROM r INNER JOIN s ON key");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("Join"), std::string::npos) << *plan;
+  StatusOr<std::string> explain = (*client)->Explain("r UNION s");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_FALSE(explain->empty());
+  StatusOr<std::string> bad = (*client)->Prepare("r FROB s");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(ServerEndToEndTest, SnapshotStatementsWorkOverTheWire) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  const std::string path =
+      ::testing::TempDir() + "/tpdb_wire_snapshot.tpdb";
+  StatusOr<ClientResult> save =
+      (*client)->Query("SAVE SNAPSHOT '" + path + "'");
+  ASSERT_TRUE(save.ok()) << save.status().ToString();
+
+  // Load it into a second database served on another port and check the
+  // relation came through.
+  TPDatabase restored;
+  Server server2(&restored);
+  ASSERT_TRUE(server2.Start().ok());
+  StatusOr<std::unique_ptr<Client>> client2 =
+      Client::Connect({.host = "127.0.0.1", .port = server2.port()});
+  ASSERT_TRUE(client2.ok());
+  StatusOr<ClientResult> load =
+      (*client2)->Query("LOAD SNAPSHOT '" + path + "'");
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  StatusOr<ClientResult> wire = (*client2)->Query("SELECT * FROM r");
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  Session session(&db_);
+  StatusOr<TPRelation> local = session.Query("SELECT * FROM r");
+  ASSERT_TRUE(local.ok());
+  // Probabilities survive the snapshot bit-exactly, so full parity holds
+  // even across the save/load round trip.
+  ExpectParity(*local, *wire);
+  server2.Shutdown();
+  std::remove(path.c_str());
+}
+
+TEST_F(ServerEndToEndTest, EightConcurrentClientsMixingQueriesAndDdl) {
+  StartServer();
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  const std::vector<std::string> queries = {
+      "SELECT * FROM r",
+      "SELECT * FROM r WHERE key < 50",
+      "SELECT * FROM r INNER JOIN s ON key",
+      "r UNION s",
+      "r EXCEPT s",
+      "r ANTI JOIN s ON key",
+  };
+  // Precompute expected canonical results in-process.
+  Session session(&db_);
+  std::vector<std::vector<CanonicalTuple>> expected;
+  for (const std::string& query : queries) {
+    StatusOr<TPRelation> local = session.Query(query);
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    expected.push_back(CanonicalizeLocal(*local));
+  }
+  const std::string snapshot_dir = ::testing::TempDir();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      StatusOr<std::unique_ptr<Client>> client = Client::Connect(
+          {.host = "127.0.0.1", .port = server_->port()});
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        // One thread interleaves DDL (snapshot saves hold the catalog in
+        // read mode like queries; they exercise the statement path).
+        if (t == 0 && round % 2 == 1) {
+          const std::string path = snapshot_dir + "/tpdb_ddl_" +
+                                   std::to_string(round) + ".tpdb";
+          StatusOr<ClientResult> save =
+              (*client)->Query("SAVE SNAPSHOT '" + path + "'");
+          if (!save.ok()) ++failures;
+          std::remove(path.c_str());
+          continue;
+        }
+        const size_t q = static_cast<size_t>(t + round) % queries.size();
+        StatusOr<ClientResult> wire = (*client)->Query(queries[q]);
+        if (!wire.ok()) {
+          ++failures;
+          continue;
+        }
+        const std::vector<CanonicalTuple> got = CanonicalizeWire(*wire);
+        if (got.size() != expected[q].size()) {
+          ++failures;
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i)
+          if (CompareRows(got[i].fact, expected[q][i].fact) != 0 ||
+              !(got[i].interval == expected[q][i].interval) ||
+              got[i].probability != expected[q][i].probability) {
+            ++failures;
+            break;
+          }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server_->Stats().handshakes_ok, static_cast<uint64_t>(kThreads));
+}
+
+TEST_F(ServerEndToEndTest, ConnectionLimitRejectsTheExtraClient) {
+  ServerOptions options;
+  options.max_connections = 2;
+  StartServer(options);
+  StatusOr<std::unique_ptr<Client>> a = Connect();
+  StatusOr<std::unique_ptr<Client>> b = Connect();
+  ASSERT_TRUE(a.ok() && b.ok());
+  StatusOr<std::unique_ptr<Client>> c = Connect();
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(server_->Stats().connections_rejected, 1u);
+  // Closing one admits the next.
+  ASSERT_TRUE((*a)->Close().ok());
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    StatusOr<std::unique_ptr<Client>> d = Connect();
+    if (d.ok()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "slot was never released after Close()";
+}
+
+TEST_F(ServerEndToEndTest, ResultMemoryLimitSurfacesAsResourceExhausted) {
+  ServerOptions options;
+  options.per_session_result_bytes = 1024;  // far below any full scan
+  StartServer(options);
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  StatusOr<ClientResult> big = (*client)->Query("SELECT * FROM r");
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(big.status().message().find("memory limit"), std::string::npos);
+  // The session survives and can still run small queries.
+  StatusOr<ClientResult> small =
+      (*client)->Query("SELECT * FROM r WHERE key < -1");
+  EXPECT_TRUE(small.ok()) << small.status().ToString();
+}
+
+TEST_F(ServerEndToEndTest, CancelIsBestEffort) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  std::atomic<bool> done{false};
+  std::thread canceller([&] {
+    // Spam cancels while the query runs; whichever side wins the race,
+    // the Query call below must return something sane.
+    while (!done.load()) {
+      if (!(*client)->CancelInflight().ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  StatusOr<ClientResult> result =
+      (*client)->Query("SELECT * FROM r INNER JOIN s ON key");
+  done.store(true);
+  canceller.join();
+  if (result.ok()) {
+    Session session(&db_);
+    StatusOr<TPRelation> local =
+        session.Query("SELECT * FROM r INNER JOIN s ON key");
+    ASSERT_TRUE(local.ok());
+    ExpectParity(*local, *result);
+  } else {
+    EXPECT_NE(result.status().message().find("cancel"), std::string::npos);
+  }
+  // Either way the connection keeps working.
+  StatusOr<ClientResult> after = (*client)->Query("SELECT * FROM r");
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST_F(ServerEndToEndTest, GracefulShutdownSaysGoodbyeAndRejectsLatecomers) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  const uint16_t port = server_->port();
+  server_->Shutdown();
+  // The held connection was told Goodbye; its next query fails cleanly.
+  StatusOr<ClientResult> late = (*client)->Query("SELECT * FROM r");
+  EXPECT_FALSE(late.ok());
+  // New connections are refused outright (the listener is gone).
+  StatusOr<std::unique_ptr<Client>> newcomer =
+      Client::Connect({.host = "127.0.0.1", .port = port});
+  EXPECT_FALSE(newcomer.ok());
+  server_.reset();
+}
+
+TEST_F(ServerEndToEndTest, StatsCountTheTraffic) {
+  StartServer();
+  {
+    StatusOr<std::unique_ptr<Client>> client = Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Query("SELECT * FROM r").ok());
+    ASSERT_FALSE((*client)->Query("r FROB s").ok());
+  }
+  const ServerStats stats = server_->Stats();
+  EXPECT_GE(stats.connections_accepted, 1u);
+  EXPECT_GE(stats.handshakes_ok, 1u);
+  EXPECT_GE(stats.queries_ok, 1u);
+  EXPECT_GE(stats.queries_failed, 1u);
+  EXPECT_GE(stats.batches_sent, 1u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+}
+
+}  // namespace
+}  // namespace tpdb::server
