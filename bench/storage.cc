@@ -1,12 +1,18 @@
-// Snapshot persistence & cold-scan throughput, emitting BENCH_storage.json:
+// Snapshot persistence, compression & cold-scan throughput, emitting
+// BENCH_storage.json:
 //   * SaveSnapshot / LoadSnapshot wall time and MB/s over a time-ordered
-//     uniform workload;
-//   * in-memory scan vs. cold (mmap segment) scan vs. zone-map-pruned
-//     time-range scan, with segments scanned/skipped counters;
-//   * a round-trip gate: every relation of the reloaded database must be
+//     uniform workload, saved both compressed and uncompressed — the
+//     bytes-on-disk of the two files give the compression ratio;
+//   * per-codec accounting of the compressed file's chunks (raw/rle/for:
+//     chunk counts, packed vs. plain-equivalent bytes);
+//   * in-memory scan vs. cold scan (compressed and uncompressed backing)
+//     vs. zone-map-pruned time-range scan, with segments scanned/skipped
+//     and decode-time counters;
+//   * two gates, either of which makes the process exit non-zero (what CI
+//     keys off): every relation of each reloaded database must be
 //     element-wise identical (facts, intervals, exact probabilities) to
-//     the source — the process exits non-zero on any mismatch, which is
-//     what CI keys off.
+//     the source, and the compressed cold scan must hold within 10% of
+//     the uncompressed cold scan's throughput.
 //
 // Like bench_exec_parallel this is a plain main() (machine-readable output
 // and explicit sweeps matter more than statistical repetition):
@@ -29,6 +35,8 @@
 #include "api/planner.h"
 #include "common/random.h"
 #include "datasets/generator.h"
+#include "storage/compress/compression.h"
+#include "storage/segment.h"
 #include "storage/snapshot.h"
 
 namespace tpdb {
@@ -111,6 +119,47 @@ ScanResult MeasureScan(const std::string& name, TPDatabase* db,
   return result;
 }
 
+/// Bytes-on-disk of `path`.
+long FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  TPDB_CHECK(f != nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long bytes = std::ftell(f);
+  std::fclose(f);
+  return bytes;
+}
+
+/// Per-codec accounting over every cold relation of `db`: how many packed
+/// chunks each method wrote and the packed vs. plain-equivalent bytes.
+struct CodecTally {
+  size_t chunks = 0;
+  size_t packed_bytes = 0;
+  size_t unpacked_bytes = 0;
+};
+
+std::vector<std::pair<std::string, CodecTally>> TallyCodecs(TPDatabase* db) {
+  std::vector<std::pair<std::string, CodecTally>> tallies;
+  for (const storage::CompressionMethod method :
+       {storage::CompressionMethod::kRaw, storage::CompressionMethod::kRle,
+        storage::CompressionMethod::kFor})
+    tallies.emplace_back(storage::GetCompressionRoutines(method)->name,
+                         CodecTally{});
+  for (const std::string& name : db->RelationNames()) {
+    const auto& cold = (*db->Get(name))->cold_storage();
+    if (cold == nullptr) continue;
+    for (const storage::Segment& segment : cold->segments())
+      for (const storage::ColumnChunk& chunk : segment.chunks) {
+        if (!chunk.deferred()) continue;
+        CodecTally& tally =
+            tallies[static_cast<size_t>(chunk.block.method)].second;
+        ++tally.chunks;
+        tally.packed_bytes += chunk.packed_bytes;
+        tally.unpacked_bytes += chunk.unpacked_bytes;
+      }
+  }
+  return tallies;
+}
+
 int Main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_storage.json";
   const std::string preloaded = argc > 2 ? argv[2] : "";
@@ -151,17 +200,23 @@ int Main(int argc, char** argv) {
   }
   const std::string rel = db.RelationNames().front();
 
-  // -- Save / load throughput -------------------------------------------
+  // -- Save / load throughput, compressed and uncompressed ---------------
   const std::string snapshot_path = out_path + ".scratch.tpdb";
+  const std::string plain_path = out_path + ".scratch.plain.tpdb";
   const double save_seconds = TimeBestOf(reps, [&] {
     const Status status = db.SaveSnapshot(snapshot_path);
     TPDB_CHECK(status.ok()) << status.ToString();
   });
-  std::FILE* f = std::fopen(snapshot_path.c_str(), "rb");
-  TPDB_CHECK(f != nullptr);
-  std::fseek(f, 0, SEEK_END);
-  const long file_bytes = std::ftell(f);
-  std::fclose(f);
+  {
+    storage::SnapshotOptions plain_options;
+    plain_options.compress = false;
+    const Status status = db.SaveSnapshot(plain_path, plain_options);
+    TPDB_CHECK(status.ok()) << status.ToString();
+  }
+  const long file_bytes = FileBytes(snapshot_path);
+  const long plain_bytes = FileBytes(plain_path);
+  const double disk_ratio =
+      static_cast<double>(plain_bytes) / static_cast<double>(file_bytes);
   const double mb = static_cast<double>(file_bytes) / (1024.0 * 1024.0);
 
   const double load_seconds = TimeBestOf(reps, [&] {
@@ -173,15 +228,29 @@ int Main(int argc, char** argv) {
               "(%.0f MB/s)\n",
               mb, save_seconds * 1000.0, mb / save_seconds,
               load_seconds * 1000.0, mb / load_seconds);
+  std::printf("compression: %ld -> %ld bytes on disk (%.2fx)\n", plain_bytes,
+              file_bytes, disk_ratio);
 
-  // -- Round-trip gate ---------------------------------------------------
+  // -- Round-trip gate (both encodings) ----------------------------------
   TPDatabase reloaded;
   TPDB_CHECK(reloaded.LoadSnapshot(snapshot_path).ok());
-  bool roundtrip_ok = db.RelationNames() == reloaded.RelationNames();
+  TPDatabase reloaded_plain;
+  TPDB_CHECK(reloaded_plain.LoadSnapshot(plain_path).ok());
+  bool roundtrip_ok = db.RelationNames() == reloaded.RelationNames() &&
+                      db.RelationNames() == reloaded_plain.RelationNames();
   for (const std::string& name : db.RelationNames())
-    roundtrip_ok = roundtrip_ok &&
-                   RelationsEqual(**db.Get(name), **reloaded.Get(name));
+    roundtrip_ok =
+        roundtrip_ok && RelationsEqual(**db.Get(name), **reloaded.Get(name)) &&
+        RelationsEqual(**db.Get(name), **reloaded_plain.Get(name));
   std::printf("roundtrip: %s\n", roundtrip_ok ? "OK" : "MISMATCH");
+
+  // -- Per-codec accounting of the compressed backing --------------------
+  const std::vector<std::pair<std::string, CodecTally>> codecs =
+      TallyCodecs(&reloaded);
+  for (const auto& [name, tally] : codecs)
+    std::printf("codec %-4s  chunks=%-6zu packed=%-10zu plain=%zu\n",
+                name.c_str(), tally.chunks, tally.packed_bytes,
+                tally.unpacked_bytes);
 
   // -- Scan sweep --------------------------------------------------------
   // Temporal bounds of the relation drive the query windows.
@@ -200,7 +269,19 @@ int Main(int argc, char** argv) {
   std::vector<ScanResult> scans;
   scans.push_back(MeasureScan("scan_inmemory", &db, full, reps));
   scans.push_back(MeasureScan("scan_cold", &reloaded, full, reps));
+  scans.push_back(MeasureScan("scan_cold_plain", &reloaded_plain, full, reps));
   scans.push_back(MeasureScan("scan_pruned", &reloaded, pruned, reps));
+
+  // -- Throughput gate ---------------------------------------------------
+  // Decoding the packed chunks must not cost more than 10% of the
+  // uncompressed cold scan; anything worse means the codec choice (or the
+  // decode path) regressed.
+  const double cold_seconds = scans[1].seconds;
+  const double plain_seconds = scans[2].seconds;
+  const bool throughput_ok = cold_seconds <= 1.10 * plain_seconds;
+  std::printf("cold-scan gate: compressed %.3f ms vs plain %.3f ms (%s)\n",
+              cold_seconds * 1000.0, plain_seconds * 1000.0,
+              throughput_ok ? "OK" : "REGRESSED");
 
   // -- JSON --------------------------------------------------------------
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -214,26 +295,46 @@ int Main(int argc, char** argv) {
                "\"load_mb_per_s\": %.1f},\n",
                file_bytes, save_seconds, mb / save_seconds, load_seconds,
                mb / load_seconds);
-  std::fprintf(out, "  \"scans\": [\n");
+  std::fprintf(out,
+               "  \"compression\": {\"file_bytes_plain\": %ld, "
+               "\"file_bytes_compressed\": %ld, \"ratio\": %.4f, "
+               "\"codecs\": [\n",
+               plain_bytes, file_bytes, disk_ratio);
+  for (size_t i = 0; i < codecs.size(); ++i) {
+    const auto& [codec_name, tally] = codecs[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"chunks\": %zu, \"packed_bytes\": "
+                 "%zu, \"unpacked_bytes\": %zu}%s\n",
+                 codec_name.c_str(), tally.chunks, tally.packed_bytes,
+                 tally.unpacked_bytes, i + 1 < codecs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n  \"scans\": [\n");
   for (size_t i = 0; i < scans.size(); ++i) {
     const ScanResult& s = scans[i];
     std::fprintf(
         out,
         "    {\"name\": \"%s\", \"seconds\": %.6f, \"rows\": %zu, "
         "\"segments_scanned\": %llu, \"segments_skipped\": %llu, "
-        "\"bytes_mapped\": %llu, \"decode_seconds\": %.6f}%s\n",
+        "\"chunks_skipped_compressed\": %llu, \"bytes_mapped\": %llu, "
+        "\"compressed_bytes\": %llu, \"decode_seconds\": %.6f}%s\n",
         s.name.c_str(), s.seconds, s.rows,
         static_cast<unsigned long long>(s.storage.segments_scanned),
         static_cast<unsigned long long>(s.storage.segments_skipped),
+        static_cast<unsigned long long>(
+            s.storage.chunks_skipped_compressed),
         static_cast<unsigned long long>(s.storage.bytes_mapped),
+        static_cast<unsigned long long>(s.storage.compressed_bytes),
         s.storage.decode_seconds, i + 1 < scans.size() ? "," : "");
   }
-  std::fprintf(out, "  ],\n  \"roundtrip_ok\": %s\n}\n",
-               roundtrip_ok ? "true" : "false");
+  std::fprintf(out,
+               "  ],\n  \"roundtrip_ok\": %s,\n  \"throughput_ok\": %s\n}\n",
+               roundtrip_ok ? "true" : "false",
+               throughput_ok ? "true" : "false");
   std::fclose(out);
   std::remove(snapshot_path.c_str());
+  std::remove(plain_path.c_str());
   std::printf("wrote %s\n", out_path.c_str());
-  return roundtrip_ok ? 0 : 1;
+  return roundtrip_ok && throughput_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 //   <query>            run a query, pretty-print the streamed result
 //   \e <query>         EXPLAIN: run server-side, show the full plan report
 //   \p <query>         PREPARE: parse + plan only, show the logical tree
+//   \s                 storage statistics (segments, WAL, compression)
 //   \q                 quit
 //
 // Set TPDB_AUTH_TOKEN to authenticate against a token-protected server.
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
   }
   std::printf("connected: %s\n", (*client)->banner().c_str());
   std::printf("type a query, \\e <query> to explain, \\p <query> to plan, "
-              "\\q to quit\n");
+              "\\s for storage stats, \\q to quit\n");
 
   std::string line;
   for (;;) {
@@ -106,6 +107,15 @@ int main(int argc, char** argv) {
     if (begin == std::string::npos) continue;
     line = line.substr(begin, line.find_last_not_of(" \t\r\n") - begin + 1);
     if (line == "\\q" || line == "quit" || line == "exit") break;
+
+    if (line == "\\s") {
+      StatusOr<std::string> stats = (*client)->Stats();
+      if (stats.ok())
+        std::printf("%s", stats->c_str());
+      else
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+      continue;
+    }
 
     if (line.rfind("\\e ", 0) == 0 || line.rfind("\\p ", 0) == 0) {
       const bool explain = line[1] == 'e';

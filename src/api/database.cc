@@ -1,9 +1,19 @@
 #include "api/database.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "api/parser.h"
 #include "api/planner.h"
+#include "exec/thread_pool.h"
+#include "storage/compact/compactor.h"
 
 namespace tpdb {
+
+TPDatabase::~TPDatabase() {
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  compact_cv_.wait(lock, [&] { return compactions_inflight_ == 0; });
+}
 
 StatusOr<TPRelation*> TPDatabase::CreateRelation(const std::string& name,
                                                  Schema fact_schema) {
@@ -14,7 +24,314 @@ StatusOr<TPRelation*> TPDatabase::CreateRelation(const std::string& name,
       std::make_unique<TPRelation>(name, std::move(fact_schema), &manager_);
   TPRelation* ptr = rel.get();
   relations_.emplace(name, std::move(rel));
+  if (wal_ != nullptr) {
+    storage::WalRecord record;
+    record.kind = storage::WalRecordKind::kCreateRelation;
+    record.relation = name;
+    record.fact_schema = ptr->fact_schema();
+    StatusOr<uint64_t> seq = wal_->Append(std::move(record));
+    if (!seq.ok()) {
+      relations_.erase(name);  // not durable, so not created
+      return seq.status();
+    }
+  }
   return ptr;
+}
+
+Status TPDatabase::Append(const std::string& relation,
+                          std::vector<AppendRow> rows) {
+  if (rows.empty()) return Status::OK();
+  const std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  StatusOr<TPRelation*> rel = FindLocked(relation);
+  if (!rel.ok()) return rel.status();
+  return AppendRowsLocked(*rel, std::move(rows), /*log=*/true);
+}
+
+Status TPDatabase::AppendRowsLocked(TPRelation* rel,
+                                    std::vector<AppendRow> rows, bool log) {
+  // Validate every row up front so the batch applies all-or-nothing:
+  // AppendBase below cannot fail once these checks pass.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const AppendRow& row = rows[i];
+    if (row.fact.size() != rel->fact_schema().num_columns())
+      return Status::InvalidArgument(
+          rel->name() + ": fact arity " + std::to_string(row.fact.size()) +
+          " does not match schema arity " +
+          std::to_string(rel->fact_schema().num_columns()));
+    if (row.interval.empty())
+      return Status::InvalidArgument("empty interval " +
+                                     row.interval.ToString());
+    if (row.prob < 0.0 || row.prob > 1.0)
+      return Status::InvalidArgument("probability out of [0,1]: " +
+                                     std::to_string(row.prob));
+    for (const Datum& v : row.fact)
+      if (v.type() == DatumType::kLineage)
+        return Status::InvalidArgument(
+            "lineage values cannot appear in base facts");
+    if (row.var_name.empty()) continue;
+    if (manager_.FindVariable(row.var_name).ok())
+      return Status::AlreadyExists("variable '" + row.var_name +
+                                   "' already exists");
+    for (size_t j = 0; j < i; ++j)
+      if (rows[j].var_name == row.var_name)
+        return Status::InvalidArgument("duplicate variable name '" +
+                                       row.var_name + "' in one append");
+  }
+
+  std::shared_ptr<const storage::SegmentedTable> cold = rel->cold_storage();
+  const size_t first = rel->size();
+  storage::WalRecord record;
+  record.kind = storage::WalRecordKind::kAppendRows;
+  record.relation = rel->name();
+  record.rows.reserve(rows.size());
+  for (AppendRow& row : rows) {
+    storage::WalAppendRow logged;
+    logged.prob = row.prob;
+    logged.ts = row.interval.start;
+    logged.te = row.interval.end;
+    logged.fact = row.fact;
+    TPDB_RETURN_IF_ERROR(rel->AppendBase(std::move(row.fact), row.interval,
+                                         row.prob, row.var_name));
+    // Log the name actually registered so replay reproduces auto names.
+    const TPTuple& tuple = rel->tuple(rel->size() - 1);
+    logged.var_name = manager_.VariableName(manager_.VarOf(tuple.lineage));
+    record.rows.push_back(std::move(logged));
+  }
+  if (log && wal_ != nullptr) {
+    StatusOr<uint64_t> seq = wal_->Append(std::move(record));
+    if (!seq.ok()) return seq.status();
+  }
+  if (cold != nullptr) {
+    TPDB_RETURN_IF_ERROR(ExtendColdLocked(rel, std::move(cold), first));
+    MaybeScheduleCompactionLocked(rel);
+  }
+  return Status::OK();
+}
+
+Status TPDatabase::ExtendColdLocked(
+    TPRelation* rel, std::shared_ptr<const storage::SegmentedTable> cold,
+    size_t first) {
+  // The table was created mutable; the relation's accessor is const only
+  // to fence off everything outside the exclusive-locked append paths.
+  TPDB_RETURN_IF_ERROR(storage::AppendDeltaSegment(
+      std::const_pointer_cast<storage::SegmentedTable>(cold).get(),
+      rel->fact_schema(), rel->tuples(), first, &manager_));
+  rel->set_cold_storage(std::move(cold));
+  return Status::OK();
+}
+
+Status TPDatabase::Compact(const std::string& relation) {
+  {
+    std::unique_lock<std::mutex> lock(compact_mu_);
+    compact_cv_.wait(lock,
+                     [&] { return compacting_.count(relation) == 0; });
+    compacting_.insert(relation);
+  }
+  const Status status = CompactRelation(relation);
+  {
+    // Notify under the lock: the destructor destroys the condvar as soon
+    // as it observes the predicate, so touching it after releasing the
+    // mutex would race with that teardown.
+    const std::lock_guard<std::mutex> lock(compact_mu_);
+    compacting_.erase(relation);
+    compact_cv_.notify_all();
+  }
+  return status;
+}
+
+void TPDatabase::MaybeScheduleCompactionLocked(TPRelation* rel) {
+  const size_t threshold = compaction_threshold_.load();
+  if (threshold == 0) return;
+  const auto& cold = rel->cold_storage();
+  if (cold == nullptr || cold->num_delta_segments() < threshold) return;
+  const std::string name = rel->name();
+  {
+    const std::lock_guard<std::mutex> lock(compact_mu_);
+    if (!compacting_.insert(name).second) return;  // one at a time
+    ++compactions_inflight_;
+  }
+  ThreadPool::Default()->Submit([this, name] {
+    // Best-effort: an error leaves the deltas in place for the next try.
+    const Status ignored = CompactRelation(name);
+    (void)ignored;
+    {
+      // Notify under the lock (see Compact): once inflight hits zero the
+      // destructor may destroy the condvar.
+      const std::lock_guard<std::mutex> lock(compact_mu_);
+      compacting_.erase(name);
+      --compactions_inflight_;
+      compact_cv_.notify_all();
+    }
+  });
+}
+
+Status TPDatabase::CompactRelation(const std::string& name) {
+  // Phase 1: copy the rebuild input under the shared lock.
+  storage::CompactionInput input;
+  size_t captured = 0;
+  {
+    const std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    StatusOr<TPRelation*> rel = FindLocked(name);
+    if (!rel.ok()) return rel.status();
+    if ((*rel)->cold_storage() == nullptr ||
+        (*rel)->cold_storage()->num_delta_segments() == 0)
+      return Status::OK();
+    input.fact_schema = (*rel)->fact_schema();
+    input.tuples = (*rel)->tuples();
+    input.manager = &manager_;
+    input.segment_rows = compaction_segment_rows_.load();
+    captured = input.tuples.size();
+  }
+
+  // Phase 2: the pure rebuild — no locks held, readers run undisturbed.
+  StatusOr<storage::CompactionResult> built =
+      storage::BuildCompacted(std::move(input));
+  if (!built.ok()) return built.status();
+
+  // Phase 3: swap under the exclusive lock. Rows appended while phase 2
+  // ran (the only cold-preserving mutation) become a fresh tail delta.
+  const std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  StatusOr<TPRelation*> rel = FindLocked(name);
+  if (!rel.ok()) return Status::OK();  // dropped meanwhile
+  TPRelation* r = *rel;
+  if (r->cold_storage() == nullptr || r->size() < captured)
+    return Status::OK();  // detached or replaced meanwhile: rebuild is stale
+  TPDB_RETURN_IF_ERROR(storage::AppendDeltaSegment(
+      built->table.get(), r->fact_schema(), r->tuples(), captured,
+      &manager_));
+  built->tuples.reserve(r->size());
+  for (size_t i = captured; i < r->size(); ++i)
+    built->tuples.push_back(r->tuple(i));
+  TPDB_RETURN_IF_ERROR(
+      r->ReplaceContents(std::move(built->tuples), built->table));
+  {
+    const std::lock_guard<std::mutex> stats_lock(compact_mu_);
+    ++compactions_done_;
+  }
+  return Status::OK();
+}
+
+TPDatabase::DatabaseStats TPDatabase::Stats() const {
+  DatabaseStats stats;
+  {
+    const std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    for (const auto& [name, rel] : relations_) {
+      RelationStats r;
+      r.name = name;
+      r.rows = rel->size();
+      if (const auto& cold = rel->cold_storage(); cold != nullptr) {
+        r.cold = true;
+        r.base_segments = cold->num_base_segments();
+        r.delta_segments = cold->num_delta_segments();
+        r.encoded_bytes = cold->encoded_bytes();
+        r.packed_bytes = cold->packed_bytes();
+        r.unpacked_bytes = cold->unpacked_bytes();
+      }
+      stats.relations.push_back(std::move(r));
+    }
+    if (wal_ != nullptr) {
+      stats.wal_enabled = true;
+      stats.wal_bytes = wal_->bytes();
+      stats.wal_records = wal_->records();
+      stats.wal_sequence = wal_->last_sequence();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(compact_mu_);
+    stats.compactions = compactions_done_;
+  }
+  return stats;
+}
+
+double TPDatabase::DatabaseStats::CompressionRatio() const {
+  size_t actual = 0;
+  size_t plain = 0;
+  for (const RelationStats& r : relations) {
+    actual += r.encoded_bytes;
+    plain += r.encoded_bytes - r.packed_bytes + r.unpacked_bytes;
+  }
+  return actual == 0 ? 1.0
+                     : static_cast<double>(plain) / static_cast<double>(actual);
+}
+
+std::string TPDatabase::DatabaseStats::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-20s %10s %8s %8s %12s %12s\n",
+                "relation", "rows", "base", "delta", "encoded", "packed");
+  out += line;
+  for (const RelationStats& r : relations) {
+    if (r.cold) {
+      std::snprintf(line, sizeof(line), "%-20s %10zu %8zu %8zu %12zu %12zu\n",
+                    r.name.c_str(), r.rows, r.base_segments, r.delta_segments,
+                    r.encoded_bytes, r.packed_bytes);
+    } else {
+      std::snprintf(line, sizeof(line), "%-20s %10zu %8s %8s %12s %12s\n",
+                    r.name.c_str(), r.rows, "-", "-", "-", "-");
+    }
+    out += line;
+  }
+  if (wal_enabled) {
+    std::snprintf(line, sizeof(line),
+                  "wal: %zu bytes, %" PRIu64 " records, last sequence %" PRIu64
+                  "\n",
+                  wal_bytes, wal_records, wal_sequence);
+  } else {
+    std::snprintf(line, sizeof(line), "wal: disabled\n");
+  }
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "compactions: %" PRIu64 "  compression ratio: %.2fx\n",
+                compactions, CompressionRatio());
+  out += line;
+  return out;
+}
+
+Status TPDatabase::EnableWal(const std::string& path) {
+  const std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  if (wal_ != nullptr)
+    return Status::InvalidArgument("wal already enabled");
+  StatusOr<storage::WalReadResult> read = storage::ReadWal(path);
+  if (!read.ok()) return read.status();
+  for (const storage::WalRecord& record : read->records) {
+    if (record.sequence <= wal_floor_.load()) continue;
+    TPDB_RETURN_IF_ERROR(ReplayWalRecordLocked(record));
+  }
+  StatusOr<std::unique_ptr<storage::WalWriter>> writer =
+      storage::WalWriter::Open(path, wal_floor_.load());
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(*writer);
+  return Status::OK();
+}
+
+Status TPDatabase::ReplayWalRecordLocked(const storage::WalRecord& record) {
+  switch (record.kind) {
+    case storage::WalRecordKind::kCreateRelation: {
+      if (relations_.count(record.relation) > 0)
+        return Status::IOError("wal replay: relation '" + record.relation +
+                               "' already exists");
+      relations_.emplace(record.relation,
+                         std::make_unique<TPRelation>(
+                             record.relation, record.fact_schema, &manager_));
+      return Status::OK();
+    }
+    case storage::WalRecordKind::kAppendRows: {
+      StatusOr<TPRelation*> rel = FindLocked(record.relation);
+      if (!rel.ok()) return rel.status();
+      std::vector<AppendRow> rows;
+      rows.reserve(record.rows.size());
+      for (const storage::WalAppendRow& logged : record.rows) {
+        AppendRow row;
+        row.fact = logged.fact;
+        row.interval = Interval(logged.ts, logged.te);
+        row.prob = logged.prob;
+        row.var_name = logged.var_name;
+        rows.push_back(std::move(row));
+      }
+      return AppendRowsLocked(*rel, std::move(rows), /*log=*/false);
+    }
+  }
+  return Status::IOError("wal replay: unknown record kind");
 }
 
 Status TPDatabase::Register(TPRelation&& relation) {
@@ -149,7 +466,17 @@ Status TPDatabase::SaveSnapshot(const std::string& path,
   std::vector<const TPRelation*> relations;
   relations.reserve(relations_.size());
   for (const auto& [name, rel] : relations_) relations.push_back(rel.get());
-  return storage::SaveSnapshotFile(&manager_, relations, path, options);
+  storage::SnapshotOptions opts = options;
+  if (wal_ != nullptr) opts.wal_sequence = wal_->last_sequence();
+  TPDB_RETURN_IF_ERROR(
+      storage::SaveSnapshotFile(&manager_, relations, path, opts));
+  if (wal_ != nullptr) {
+    // Every logged record is now inside the snapshot: empty the log. A
+    // crash before the truncate just replays records the floor skips.
+    wal_floor_.store(opts.wal_sequence);
+    TPDB_RETURN_IF_ERROR(wal_->Reset());
+  }
+  return Status::OK();
 }
 
 Status TPDatabase::LoadSnapshot(const std::string& path,
@@ -178,6 +505,8 @@ Status TPDatabase::LoadSnapshot(const std::string& path,
     const std::string name = rel.name();
     relations_.emplace(name, std::make_unique<TPRelation>(std::move(rel)));
   }
+  // Replay (EnableWal) resumes after the last record this file subsumed.
+  wal_floor_.store(loaded->wal_sequence);
   return Status::OK();
 }
 

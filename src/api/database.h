@@ -30,8 +30,12 @@
 #ifndef TPDB_API_DATABASE_H_
 #define TPDB_API_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -39,6 +43,7 @@
 #include "api/logical_plan.h"
 #include "common/status.h"
 #include "storage/snapshot.h"
+#include "storage/wal/wal.h"
 #include "tp/operators.h"
 #include "tp/set_ops.h"
 #include "tp/tp_relation.h"
@@ -55,6 +60,8 @@ namespace tpdb {
 class TPDatabase {
  public:
   TPDatabase() = default;
+  /// Joins any in-flight background compactions.
+  ~TPDatabase();
 
   // Not copyable (relations reference the owned manager).
   TPDatabase(const TPDatabase&) = delete;
@@ -62,9 +69,81 @@ class TPDatabase {
 
   LineageManager* manager() { return &manager_; }
 
-  /// Creates an empty relation. Fails if the name is taken.
+  /// Creates an empty relation. Fails if the name is taken. Logged to the
+  /// WAL when one is enabled.
   StatusOr<TPRelation*> CreateRelation(const std::string& name,
                                        Schema fact_schema);
+
+  /// One row of an Append call.
+  struct AppendRow {
+    Row fact;
+    Interval interval;
+    double prob = 1.0;
+    std::string var_name;  ///< "" = auto-assign ("x" + variable id)
+  };
+
+  /// The durable append path: validates every row, applies them as base
+  /// tuples (all-or-nothing), logs one WAL record (when EnableWal ran) and
+  /// fsyncs before returning OK — an acknowledged append survives any
+  /// crash. A relation served from cold storage additionally gets the rows
+  /// as an in-memory compressed delta segment, so cold scans stay
+  /// coherent without detaching from the snapshot mapping.
+  Status Append(const std::string& relation, std::vector<AppendRow> rows);
+
+  /// Arms the WAL at `path`: replays any records beyond the last loaded
+  /// snapshot's wal_sequence (call after LoadSnapshot), truncates torn
+  /// tails, then logs every subsequent CreateRelation/Append. The WAL
+  /// covers exactly those two mutations; Drop/Register and operator
+  /// results become durable only through the next SaveSnapshot.
+  Status EnableWal(const std::string& path);
+
+  bool wal_enabled() const { return wal_ != nullptr; }
+  const storage::WalWriter* wal() const { return wal_.get(); }
+
+  /// Synchronously compacts `relation`'s cold storage (storage/compact):
+  /// delta segments merge into compressed, interval-sorted base segments
+  /// with fresh zone maps. The rebuild runs without the catalog lock;
+  /// readers only wait for the final pointer swap. No-op for relations
+  /// without cold storage or without deltas.
+  Status Compact(const std::string& relation);
+
+  /// Appends schedule a background compaction (on the shared exec/ pool)
+  /// once a cold relation accumulates this many delta segments.
+  /// 0 disables the trigger. Default 8.
+  void set_compaction_threshold(size_t segments) {
+    compaction_threshold_ = segments;
+  }
+  /// Tuples per base segment written by compaction (default 4096).
+  void set_compaction_segment_rows(size_t rows) {
+    compaction_segment_rows_ = rows;
+  }
+
+  /// Storage accounting of one relation (Stats()).
+  struct RelationStats {
+    std::string name;
+    size_t rows = 0;
+    bool cold = false;  ///< has a columnar cold-scan backing
+    size_t base_segments = 0;
+    size_t delta_segments = 0;
+    size_t encoded_bytes = 0;   ///< total segment blob bytes
+    size_t packed_bytes = 0;    ///< bytes stored compressed within those
+    size_t unpacked_bytes = 0;  ///< plain-encoding size of the packed bytes
+  };
+
+  /// Database-wide storage statistics (the shell's \s command).
+  struct DatabaseStats {
+    std::vector<RelationStats> relations;
+    bool wal_enabled = false;
+    size_t wal_bytes = 0;
+    uint64_t wal_records = 0;
+    uint64_t wal_sequence = 0;
+    uint64_t compactions = 0;
+    /// Plain-equivalent bytes over actual bytes across cold relations
+    /// (1.0 when nothing is compressed or nothing is cold).
+    double CompressionRatio() const;
+    std::string ToString() const;
+  };
+  DatabaseStats Stats() const;
 
   /// Registers an existing relation (e.g. a join result) under its name,
   /// taking ownership. The relation must use this database's manager and
@@ -141,11 +220,44 @@ class TPDatabase {
   StatusOr<TPRelation*> FindLocked(const std::string& name);
   StatusOr<const TPRelation*> FindLocked(const std::string& name) const;
 
+  /// Shared body of Append and WAL replay (which must not re-log).
+  Status AppendRowsLocked(TPRelation* rel, std::vector<AppendRow> rows,
+                          bool log);
+  /// Re-encodes tuples [first, size) as one compressed delta segment
+  /// behind `cold`'s base segments and re-attaches it to the relation.
+  Status ExtendColdLocked(TPRelation* rel,
+                          std::shared_ptr<const storage::SegmentedTable> cold,
+                          size_t first);
+  Status ReplayWalRecordLocked(const storage::WalRecord& record);
+  /// Copy-rebuild-swap of one relation (storage/compact). Callers
+  /// serialize per relation through compacting_.
+  Status CompactRelation(const std::string& name);
+  /// Fires a background compaction when `rel` crossed the delta
+  /// threshold. Caller holds the exclusive catalog lock.
+  void MaybeScheduleCompactionLocked(TPRelation* rel);
+
   LineageManager manager_;
   /// Guards relations_ (the map, not the relations' contents): shared for
   /// lookups and query execution, exclusive for DDL.
   mutable std::shared_mutex catalog_mu_;
   std::map<std::string, std::unique_ptr<TPRelation>> relations_;
+  /// Armed by EnableWal; internally synchronized. Appends to it happen
+  /// under the exclusive catalog lock, snapshot saves under the shared
+  /// one — the writer's own mutex covers that overlap.
+  std::unique_ptr<storage::WalWriter> wal_;
+  /// Sequence of the last WAL record the current on-disk snapshot
+  /// subsumes: replay skips records at or below it.
+  std::atomic<uint64_t> wal_floor_{0};
+
+  std::atomic<size_t> compaction_threshold_{8};
+  std::atomic<size_t> compaction_segment_rows_{4096};
+  /// Guards the compaction bookkeeping below (never held together with
+  /// catalog_mu_ except compact_mu_ inside catalog_mu_).
+  mutable std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  std::set<std::string> compacting_;  ///< relations with a compaction running
+  size_t compactions_inflight_ = 0;   ///< background tasks not yet finished
+  uint64_t compactions_done_ = 0;
 };
 
 }  // namespace tpdb

@@ -136,6 +136,16 @@ struct ModeContext {
   int parallelism;
 };
 
+/// Multiplier on the cold scan units when surviving segments hold packed
+/// chunks that must be decompressed (storage::EstimateDecodeFactor).
+/// Applied to both the row and the batch unit so compression never flips
+/// the row-vs-batch decision, only serial-vs-parallel and scan totals.
+/// Requires source.scan_predicate to be harvested (AnnotateSource).
+double ColdDecodeFactor(const PhysicalNode& source) {
+  return storage::EstimateDecodeFactor(*source.rel->cold_storage(),
+                                       source.scan_predicate);
+}
+
 Status Annotate(PhysicalNodePtr& node, const ModeContext& c);
 
 /// Chain shape shared by the pipeline and aggregate annotators.
@@ -173,7 +183,9 @@ Status AnnotateSource(Chain* chain, const ModeContext& c, bool for_batch) {
           source.rel->cold_storage().get());
       const double rows = static_cast<double>(storage::EstimateScanRows(
           *source.rel->cold_storage(), source.scan_predicate));
-      source.est = {rows, rows * (for_batch ? kColdBatchScan : kColdRowScan)};
+      const double decode = ColdDecodeFactor(source);
+      source.est = {rows, rows * decode *
+                              (for_batch ? kColdBatchScan : kColdRowScan)};
     } else {
       const double rows = static_cast<double>(source.rel->size());
       source.est = {rows, rows * (for_batch ? kWarmBatchScan : kWarmRowScan)};
@@ -201,9 +213,11 @@ size_t DecideBatchCount(const Chain& chain, const ModeContext& c,
   // Cost both lowerings and keep the cheaper one.
   const bool cold = IsCatalogSource(*chain.source) && chain.source->cold;
   const bool catalog = IsCatalogSource(*chain.source);
+  const double decode = cold ? ColdDecodeFactor(*chain.source) : 1.0;
   const double row_scan =
-      catalog ? (cold ? kColdRowScan : kWarmRowScan) : kWarmRowScan;
-  const double batch_scan = cold ? kColdBatchScan : kWarmBatchScan;
+      catalog ? (cold ? kColdRowScan * decode : kWarmRowScan) : kWarmRowScan;
+  const double batch_scan =
+      cold ? kColdBatchScan * decode : kWarmBatchScan;
   const double row_cost =
       CostChain(chain.stages, source_rows, source_rows * row_scan, 0, false);
   const double batch_cost = CostChain(
@@ -271,7 +285,9 @@ Status AnnotateChain(PhysicalNodePtr& top, const ModeContext& c) {
     chain.source->op = PhysOp::kBatchScan;
     chain.source->mode = ExecMode::kBatch;
     chain.source->est.cost =
-        source_rows * (chain.source->cold ? kColdBatchScan : kWarmBatchScan);
+        source_rows *
+        (chain.source->cold ? kColdBatchScan * ColdDecodeFactor(*chain.source)
+                            : kWarmBatchScan);
   }
   CostChain(chain.stages, source_rows, chain.source->est.cost, batch_count,
             /*annotate=*/true);
@@ -301,12 +317,13 @@ Status AnnotateAggregate(PhysicalNodePtr& node, const ModeContext& c) {
         TPDB_RETURN_IF_ERROR(AnnotateSource(&chain, c, /*for_batch=*/false));
         const double rows = chain.source->est.rows;
         const bool cold = chain.source->cold;
-        const double row_cost =
-            CostChain(chain.stages, rows,
-                      rows * (cold ? kColdRowScan : kWarmRowScan), 0, false);
+        const double decode = cold ? ColdDecodeFactor(*chain.source) : 1.0;
+        const double row_cost = CostChain(
+            chain.stages, rows,
+            rows * (cold ? kColdRowScan * decode : kWarmRowScan), 0, false);
         const double batch_cost =
             CostChain(chain.stages, rows,
-                      rows * (cold ? kColdBatchScan : kWarmBatchScan),
+                      rows * (cold ? kColdBatchScan * decode : kWarmBatchScan),
                       chain.stages.size(), false);
         const double out_rows =
             chain.stages.empty()

@@ -65,8 +65,10 @@ void ExecStats::AddWorker(const WorkerStats& worker) {
 void StorageStats::Merge(const StorageStats& other) {
   segments_scanned += other.segments_scanned;
   segments_skipped += other.segments_skipped;
+  chunks_skipped_compressed += other.chunks_skipped_compressed;
   rows_decoded += other.rows_decoded;
   bytes_mapped += other.bytes_mapped;
+  compressed_bytes += other.compressed_bytes;
   decode_seconds += other.decode_seconds;
 }
 
@@ -113,16 +115,20 @@ std::string ExecStats::ToString() const {
     }
   }
   if (storage_.Any()) {
-    char line[200];
-    std::snprintf(line, sizeof(line),
-                  "storage:\n"
-                  "  segments scanned: %llu  segments skipped: %llu\n"
-                  "  bytes mapped: %llu\n"
-                  "  decode time: %.3f ms\n",
-                  static_cast<unsigned long long>(storage_.segments_scanned),
-                  static_cast<unsigned long long>(storage_.segments_skipped),
-                  static_cast<unsigned long long>(storage_.bytes_mapped),
-                  storage_.decode_seconds * 1000.0);
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "storage:\n"
+        "  segments scanned: %llu  segments skipped: %llu"
+        "  skipped compressed-domain: %llu\n"
+        "  bytes mapped: %llu  compressed: %llu\n"
+        "  decode time: %.3f ms\n",
+        static_cast<unsigned long long>(storage_.segments_scanned),
+        static_cast<unsigned long long>(storage_.segments_skipped),
+        static_cast<unsigned long long>(storage_.chunks_skipped_compressed),
+        static_cast<unsigned long long>(storage_.bytes_mapped),
+        static_cast<unsigned long long>(storage_.compressed_bytes),
+        storage_.decode_seconds * 1000.0);
     out += line;
   }
   if (vector_.Any()) {

@@ -41,12 +41,20 @@ struct WorkerStats {
 struct StorageStats {
   uint64_t segments_scanned = 0;
   uint64_t segments_skipped = 0;  ///< pruned by zone maps, never decoded
+  /// Segments pruned compressed-domain: admitted by the zone map but
+  /// rejected by the exact min/max of a packed chunk's block header,
+  /// without decompressing a value.
+  uint64_t chunks_skipped_compressed = 0;
   uint64_t rows_decoded = 0;
   uint64_t bytes_mapped = 0;      ///< encoded bytes of the scanned segments
+  /// Compressed bytes among the scanned segments' chunks (their
+  /// decompression time is part of decode_seconds).
+  uint64_t compressed_bytes = 0;
   double decode_seconds = 0.0;
 
   bool Any() const {
-    return segments_scanned > 0 || segments_skipped > 0 || rows_decoded > 0;
+    return segments_scanned > 0 || segments_skipped > 0 ||
+           chunks_skipped_compressed > 0 || rows_decoded > 0;
   }
   void Merge(const StorageStats& other);
 };

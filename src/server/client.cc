@@ -175,6 +175,66 @@ StatusOr<std::string> Client::TextRoundTrip(MsgType kind,
   }
 }
 
+StatusOr<uint64_t> Client::Append(const std::string& relation,
+                                  std::vector<AppendRowMsg> rows) {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  for (const AppendRowMsg& row : rows)
+    for (const Datum& d : row.fact)
+      if (d.type() == DatumType::kLineage)
+        return Status::InvalidArgument(
+            "lineage datums cannot be appended over the wire");
+  const uint64_t id = next_query_id_++;
+  AppendMsg msg;
+  msg.query_id = id;
+  msg.relation = relation;
+  msg.rows = std::move(rows);
+  TPDB_RETURN_IF_ERROR(SendFrame(MsgType::kAppend, BuildAppend(msg)));
+  Frame frame;
+  TPDB_RETURN_IF_ERROR(NextFrame(&frame));
+  if (frame.type == MsgType::kDone) {
+    DoneMsg done;
+    TPDB_RETURN_IF_ERROR(ParseDone(frame.payload, &done));
+    return done.total_rows;
+  }
+  if (frame.type == MsgType::kError) {
+    ErrorMsg err;
+    TPDB_RETURN_IF_ERROR(ParseError(frame.payload, &err));
+    return ErrorToStatus(err);
+  }
+  if (frame.type == MsgType::kGoodbye) {
+    std::string reason;
+    (void)ParseGoodbye(frame.payload, &reason).ok();
+    return Status::IOError("server closed the connection: " + reason);
+  }
+  return Status::IOError("protocol error: unexpected frame type " +
+                         std::to_string(static_cast<int>(frame.type)));
+}
+
+StatusOr<std::string> Client::Stats() {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  const uint64_t id = next_query_id_++;
+  TPDB_RETURN_IF_ERROR(SendFrame(MsgType::kStats, BuildStats({id})));
+  Frame frame;
+  TPDB_RETURN_IF_ERROR(NextFrame(&frame));
+  if (frame.type == MsgType::kPlanText) {
+    PlanTextMsg msg;
+    TPDB_RETURN_IF_ERROR(ParsePlanText(frame.payload, &msg));
+    return std::move(msg.text);
+  }
+  if (frame.type == MsgType::kError) {
+    ErrorMsg msg;
+    TPDB_RETURN_IF_ERROR(ParseError(frame.payload, &msg));
+    return ErrorToStatus(msg);
+  }
+  if (frame.type == MsgType::kGoodbye) {
+    std::string reason;
+    (void)ParseGoodbye(frame.payload, &reason).ok();
+    return Status::IOError("server closed the connection: " + reason);
+  }
+  return Status::IOError("protocol error: unexpected frame type " +
+                         std::to_string(static_cast<int>(frame.type)));
+}
+
 StatusOr<std::string> Client::Prepare(const std::string& sql) {
   return TextRoundTrip(MsgType::kPrepare, sql);
 }

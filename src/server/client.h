@@ -62,6 +62,17 @@ class Client {
   /// (logical tree, lowered pipelines, timings).
   StatusOr<std::string> Explain(const std::string& sql);
 
+  /// Durable append: the server validates the rows, applies them
+  /// all-or-nothing and (when its WAL is armed) fsyncs a WAL record before
+  /// acknowledging. Returns the appended row count. Fact datums may not be
+  /// lineage values.
+  StatusOr<uint64_t> Append(const std::string& relation,
+                            std::vector<AppendRowMsg> rows);
+
+  /// Storage statistics rendered server-side (segments, deltas, WAL
+  /// bytes, compression ratio) — the shell's \s command.
+  StatusOr<std::string> Stats();
+
   /// Best-effort cancel of the query currently inside Query() — intended
   /// to be called from another thread. The Query() call itself then
   /// returns either the cancellation error or, if the race was lost, the

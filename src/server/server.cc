@@ -59,6 +59,7 @@ struct QueryOutcome {
   Status status;
   std::shared_ptr<WireResult> result;  // kQuery, on success
   std::string text;                    // kPrepare / kExplain, on success
+  uint64_t appended_rows = 0;          // kAppend, on success
 };
 
 /// Per-connection state. Every field except the mailbox (`mu`/`outcome`)
@@ -249,7 +250,14 @@ void Server::HandleAccept() {
       return;  // EAGAIN or a transient accept error — try again on epoll
     }
     if (conns_.size() >= options_.max_connections) {
-      // Admission: a best-effort Error frame, then close.
+      // Admission: a best-effort Error frame, then close. Count the
+      // rejection before sending — the send is what unblocks the client,
+      // so counting after it would let a Stats() reader observe the
+      // rejection with a stale counter.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.connections_rejected;
+      }
       std::string out;
       AppendFrame(MsgType::kError,
                   BuildError({0, StatusCode::kResourceExhausted,
@@ -260,8 +268,6 @@ void Server::HandleAccept() {
       [[maybe_unused]] const ssize_t rc =
           ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
       CloseFd(fd);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.connections_rejected;
       continue;
     }
     (void)SetNoDelay(fd).ok();
@@ -381,6 +387,44 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       DispatchQuery(conn, frame.type, msg.query_id, std::move(msg.sql));
       return;
     }
+    case MsgType::kAppend: {
+      AppendMsg msg;
+      const Status st = ParseAppend(frame.payload, &msg);
+      if (!st.ok()) {
+        SendError(conn, 0, st);
+        conn->want_close = true;
+        return;
+      }
+      if (conn->state != Connection::State::kReady) {
+        SendError(conn, msg.query_id,
+                  Status::InvalidArgument(
+                      "another query is already in flight on this session"));
+        return;
+      }
+      DispatchAppend(conn, std::move(msg));
+      return;
+    }
+    case MsgType::kStats: {
+      StatsMsg msg;
+      const Status st = ParseStats(frame.payload, &msg);
+      if (!st.ok()) {
+        SendError(conn, 0, st);
+        conn->want_close = true;
+        return;
+      }
+      if (conn->state != Connection::State::kReady) {
+        SendError(conn, msg.query_id,
+                  Status::InvalidArgument(
+                      "another query is already in flight on this session"));
+        return;
+      }
+      // Cheap enough to answer from the reactor: a shared catalog lock and
+      // a walk over the relations' counters, no query execution.
+      AppendFrame(MsgType::kPlanText,
+                  BuildPlanText({msg.query_id, db_->Stats().ToString()}),
+                  &conn->outbuf);
+      return;
+    }
     case MsgType::kCancel: {
       CancelMsg msg;
       if (!ParseCancel(frame.payload, &msg).ok()) return;  // advisory
@@ -408,8 +452,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
   }
 }
 
-void Server::DispatchQuery(const std::shared_ptr<Connection>& conn,
-                           MsgType kind, uint64_t query_id, std::string sql) {
+bool Server::AdmitWork(const std::shared_ptr<Connection>& conn,
+                       uint64_t query_id) {
   if (shutting_down_.load(std::memory_order_relaxed)) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -417,7 +461,7 @@ void Server::DispatchQuery(const std::shared_ptr<Connection>& conn,
     }
     SendError(conn, query_id,
               Status::ResourceExhausted("server is shutting down"));
-    return;
+    return false;
   }
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -432,17 +476,31 @@ void Server::DispatchQuery(const std::shared_ptr<Connection>& conn,
                     "concurrent query limit of " +
                     std::to_string(options_.max_concurrent_queries) +
                     " reached"));
-      return;
+      return false;
     }
     ++inflight_;
   }
   conn->state = Connection::State::kExecuting;
   conn->query_id = query_id;
   conn->cancel.store(false);
+  return true;
+}
+
+void Server::DispatchQuery(const std::shared_ptr<Connection>& conn,
+                           MsgType kind, uint64_t query_id, std::string sql) {
+  if (!AdmitWork(conn, query_id)) return;
   ThreadPool::Default()->Submit(
       [this, conn, kind, query_id, sql = std::move(sql)]() mutable {
         RunQuery(conn, kind, query_id, std::move(sql));
       });
+}
+
+void Server::DispatchAppend(const std::shared_ptr<Connection>& conn,
+                            AppendMsg msg) {
+  if (!AdmitWork(conn, msg.query_id)) return;
+  ThreadPool::Default()->Submit([this, conn, msg = std::move(msg)]() mutable {
+    RunAppend(conn, std::move(msg));
+  });
 }
 
 void Server::RunQuery(std::shared_ptr<Connection> conn, MsgType kind,
@@ -502,6 +560,31 @@ void Server::RunQuery(std::shared_ptr<Connection> conn, MsgType kind,
     }
   }
 
+  DepositOutcome(conn, std::move(outcome));
+}
+
+void Server::RunAppend(std::shared_ptr<Connection> conn, AppendMsg msg) {
+  auto outcome = std::make_unique<QueryOutcome>();
+  outcome->query_id = msg.query_id;
+  outcome->kind = MsgType::kAppend;
+
+  if (conn->cancel.load()) {
+    outcome->status = Status::Internal("query cancelled by client");
+  } else {
+    std::vector<TPDatabase::AppendRow> rows;
+    rows.reserve(msg.rows.size());
+    for (AppendRowMsg& row : msg.rows)
+      rows.push_back({std::move(row.fact), Interval(row.ts, row.te), row.prob,
+                      std::move(row.var_name)});
+    outcome->status =
+        conn->session.database()->Append(msg.relation, std::move(rows));
+    if (outcome->status.ok()) outcome->appended_rows = msg.rows.size();
+  }
+  DepositOutcome(conn, std::move(outcome));
+}
+
+void Server::DepositOutcome(const std::shared_ptr<Connection>& conn,
+                            std::unique_ptr<QueryOutcome> outcome) {
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->outcome = std::move(outcome);
@@ -545,6 +628,13 @@ void Server::HandleOutcomes() {
       }
       SendError(conn, outcome->query_id, outcome->status);
       conn->state = Connection::State::kReady;
+    } else if (outcome->kind == MsgType::kAppend) {
+      AppendFrame(MsgType::kDone,
+                  BuildDone({outcome->query_id, outcome->appended_rows}),
+                  &conn->outbuf);
+      conn->state = Connection::State::kReady;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.queries_ok;
     } else if (outcome->kind != MsgType::kQuery) {
       AppendFrame(MsgType::kPlanText,
                   BuildPlanText({outcome->query_id, std::move(outcome->text)}),

@@ -87,6 +87,7 @@ struct ServerStats {
 };
 
 struct Connection;
+struct QueryOutcome;
 
 /// One server bound to one TPDatabase. Start() spawns the reactor thread;
 /// Shutdown() (or the destructor) drains and joins it. The database must
@@ -128,8 +129,17 @@ class Server {
   void HandleOutcomes();
   void DispatchQuery(const std::shared_ptr<Connection>& conn, MsgType kind,
                      uint64_t query_id, std::string sql);
+  void DispatchAppend(const std::shared_ptr<Connection>& conn, AppendMsg msg);
+  /// Shared admission control of the pool-dispatch paths: rejects during
+  /// shutdown and over the concurrent-query limit, else claims an inflight
+  /// slot and moves the connection to kExecuting.
+  bool AdmitWork(const std::shared_ptr<Connection>& conn, uint64_t query_id);
   void RunQuery(std::shared_ptr<Connection> conn, MsgType kind,
                 uint64_t query_id, std::string sql);
+  void RunAppend(std::shared_ptr<Connection> conn, AppendMsg msg);
+  /// Deposits a finished worker's outcome and wakes the reactor.
+  void DepositOutcome(const std::shared_ptr<Connection>& conn,
+                      std::unique_ptr<QueryOutcome> outcome);
   void PumpStream(const std::shared_ptr<Connection>& conn);
   void FlushOut(const std::shared_ptr<Connection>& conn);
   void SendError(const std::shared_ptr<Connection>& conn, uint64_t query_id,

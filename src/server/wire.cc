@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "storage/bytes.h"
+#include "storage/column_codec.h"
 
 namespace tpdb::server {
 
@@ -133,6 +134,68 @@ std::string BuildCancel(const CancelMsg& msg) {
 Status ParseCancel(std::string_view payload, CancelMsg* out) {
   ByteReader r(AsBytes(payload));
   if (!r.GetU64(&out->query_id).ok()) return Truncated("Cancel");
+  return Status::OK();
+}
+
+std::string BuildAppend(const AppendMsg& msg) {
+  ByteWriter w;
+  w.PutU64(msg.query_id);
+  w.PutString(msg.relation);
+  w.PutU32(static_cast<uint32_t>(msg.rows.size()));
+  for (const AppendRowMsg& row : msg.rows) {
+    w.PutF64(row.prob);
+    w.PutI64(row.ts);
+    w.PutI64(row.te);
+    w.PutString(row.var_name);
+    w.PutU32(static_cast<uint32_t>(row.fact.size()));
+    for (const Datum& d : row.fact) {
+      // Lineage datums are not representable on the wire; the caller
+      // (Client::Append) never produces them and the server re-validates.
+      const Status st = storage::EncodeTaggedDatum(d, /*ids=*/nullptr, &w);
+      TPDB_CHECK(st.ok());
+    }
+  }
+  return std::move(w).TakeBuffer();
+}
+
+Status ParseAppend(std::string_view payload, AppendMsg* out) {
+  ByteReader r(AsBytes(payload));
+  uint32_t num_rows = 0;
+  if (!r.GetU64(&out->query_id).ok() || !r.GetString(&out->relation).ok() ||
+      !r.GetU32(&num_rows).ok())
+    return Truncated("Append");
+  if (num_rows > payload.size()) return Truncated("Append");
+  out->rows.clear();
+  out->rows.reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    AppendRowMsg row;
+    uint32_t arity = 0;
+    if (!r.GetF64(&row.prob).ok() || !r.GetI64(&row.ts).ok() ||
+        !r.GetI64(&row.te).ok() || !r.GetString(&row.var_name).ok() ||
+        !r.GetU32(&arity).ok())
+      return Truncated("Append");
+    if (arity > payload.size()) return Truncated("Append");
+    row.fact.reserve(arity);
+    for (uint32_t c = 0; c < arity; ++c) {
+      Datum d;
+      if (!storage::DecodeTaggedDatum(&r, /*ids=*/nullptr, &d).ok())
+        return Truncated("Append");
+      row.fact.push_back(std::move(d));
+    }
+    out->rows.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+std::string BuildStats(const StatsMsg& msg) {
+  ByteWriter w;
+  w.PutU64(msg.query_id);
+  return std::move(w).TakeBuffer();
+}
+
+Status ParseStats(std::string_view payload, StatsMsg* out) {
+  ByteReader r(AsBytes(payload));
+  if (!r.GetU64(&out->query_id).ok()) return Truncated("Stats");
   return Status::OK();
 }
 

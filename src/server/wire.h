@@ -17,11 +17,12 @@
 //
 // Handshake: the client's first frame must be Hello (magic, protocol
 // version, auth token); the server answers HelloOk or Error+close. After
-// that the client issues Query / Prepare / Explain / Cancel / Close and
-// the server streams per-query replies: Schema, zero or more Batch frames
-// (storage/batch_codec.h payloads), then Done — or PlanText for
-// Prepare/Explain, or Error. Every per-query frame echoes the client's
-// query id, so Cancel can name the query it targets.
+// that the client issues Query / Prepare / Explain / Append / Stats /
+// Cancel / Close and the server streams per-query replies: Schema, zero or
+// more Batch frames (storage/batch_codec.h payloads), then Done — or
+// PlanText for Prepare/Explain/Stats, or a bare Done (appended row count)
+// for Append, or Error. Every per-query frame echoes the client's query
+// id, so Cancel can name the query it targets.
 #ifndef TPDB_SERVER_WIRE_H_
 #define TPDB_SERVER_WIRE_H_
 
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/row.h"
 #include "engine/schema.h"
 
 namespace tpdb::server {
@@ -52,6 +54,8 @@ enum class MsgType : uint8_t {
   kExplain = 4,  ///< query id, SQL text — execute, return Explain rendering
   kCancel = 5,   ///< query id — best-effort cancel of an in-flight query
   kClose = 6,    ///< orderly connection close
+  kAppend = 7,   ///< query id, relation, rows — durable append (WAL path)
+  kStats = 8,    ///< query id — storage statistics, answered with PlanText
 
   kError = 16,     ///< query id (0 = connection-level), status code, message
   kHelloOk = 17,   ///< negotiated version, server banner
@@ -130,6 +134,37 @@ struct CancelMsg {
 };
 std::string BuildCancel(const CancelMsg& msg);
 Status ParseCancel(std::string_view payload, CancelMsg* out);
+
+/// One row of an Append request: the fact datums (tagged, see
+/// storage/column_codec.h), the marginal probability, the validity
+/// interval [ts, te) and an optional variable name ("" = server-assigned).
+struct AppendRowMsg {
+  Row fact;
+  double prob = 1.0;
+  int64_t ts = 0;
+  int64_t te = 0;
+  std::string var_name;
+};
+
+/// The durable append path over the wire: the server runs
+/// TPDatabase::Append (all-or-nothing validation, WAL record + fsync) and
+/// answers with Done carrying the appended row count, or Error. Lineage
+/// datums are not representable — the server rejects them.
+struct AppendMsg {
+  uint64_t query_id = 0;
+  std::string relation;
+  std::vector<AppendRowMsg> rows;
+};
+std::string BuildAppend(const AppendMsg& msg);
+Status ParseAppend(std::string_view payload, AppendMsg* out);
+
+/// Storage statistics request (the shell's \s): answered with a PlanText
+/// frame carrying the rendered DatabaseStats table.
+struct StatsMsg {
+  uint64_t query_id = 0;
+};
+std::string BuildStats(const StatsMsg& msg);
+Status ParseStats(std::string_view payload, StatsMsg* out);
 
 struct ErrorMsg {
   uint64_t query_id = 0;  ///< 0 = connection-level error

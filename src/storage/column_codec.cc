@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/compress/compression.h"
+
 namespace tpdb::storage {
 
 namespace {
@@ -22,11 +24,87 @@ StatusOr<LineageRef> RefOfWireId(uint32_t id, const LineageIdMap* ids) {
   return ids->RefOf(id);
 }
 
+/// Block header + payload size of compressing `values` (for the
+/// compress-or-stay-plain decision).
+size_t PackedSize(std::span<const int64_t> values) {
+  constexpr size_t kBlockHeader = 1 + 8 + 8 + 4;  // method, min, max, len
+  return kBlockHeader +
+         GetCompressionRoutines(ChooseCompression(values))->estimate(values);
+}
+
 }  // namespace
+
+Status EncodeTaggedDatum(const Datum& v, const LineageIdMap* ids,
+                         ByteWriter* w) {
+  switch (v.type()) {
+    case DatumType::kNull:
+      w->PutU8(static_cast<uint8_t>(GenericTag::kNull));
+      break;
+    case DatumType::kInt64:
+      w->PutU8(static_cast<uint8_t>(GenericTag::kInt64));
+      w->PutI64(v.AsInt64());
+      break;
+    case DatumType::kDouble:
+      w->PutU8(static_cast<uint8_t>(GenericTag::kDouble));
+      w->PutF64(v.AsDouble());
+      break;
+    case DatumType::kString:
+      w->PutU8(static_cast<uint8_t>(GenericTag::kString));
+      w->PutString(v.AsString());
+      break;
+    case DatumType::kLineage: {
+      w->PutU8(static_cast<uint8_t>(GenericTag::kLineage));
+      StatusOr<uint32_t> id = WireIdOf(v.AsLineage(), ids);
+      if (!id.ok()) return id.status();
+      w->PutU32(*id);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeTaggedDatum(ByteReader* r, const LineageIdMap* ids, Datum* out) {
+  uint8_t tag = 0;
+  TPDB_RETURN_IF_ERROR(r->GetU8(&tag));
+  switch (static_cast<GenericTag>(tag)) {
+    case GenericTag::kNull:
+      *out = Datum::Null();
+      return Status::OK();
+    case GenericTag::kInt64: {
+      int64_t v = 0;
+      TPDB_RETURN_IF_ERROR(r->GetI64(&v));
+      *out = Datum(v);
+      return Status::OK();
+    }
+    case GenericTag::kDouble: {
+      double v = 0;
+      TPDB_RETURN_IF_ERROR(r->GetF64(&v));
+      *out = Datum(v);
+      return Status::OK();
+    }
+    case GenericTag::kString: {
+      std::string s;
+      TPDB_RETURN_IF_ERROR(r->GetString(&s));
+      *out = Datum(std::move(s));
+      return Status::OK();
+    }
+    case GenericTag::kLineage: {
+      uint32_t local = 0;
+      TPDB_RETURN_IF_ERROR(r->GetU32(&local));
+      StatusOr<LineageRef> ref = RefOfWireId(local, ids);
+      if (!ref.ok()) return ref.status();
+      *out = Datum(*ref);
+      return Status::OK();
+    }
+    default:
+      return Status::IOError("snapshot corrupt: unknown generic datum tag " +
+                             std::to_string(tag));
+  }
+}
 
 Status EncodeColumn(size_t num_rows, DatumType declared,
                     const ColumnSource& at, const LineageIdMap* ids,
-                    ByteWriter* w) {
+                    ByteWriter* w, const ColumnCodecOptions& options) {
   // Pick the encoding from the values actually present: uniform typed
   // chunks get the columnar layouts, anything mixed falls back to the
   // tagged generic encoding so every Datum round-trips exactly.
@@ -68,6 +146,47 @@ Status EncodeColumn(size_t num_rows, DatumType declared,
   } else {
     encoding = ColumnEncoding::kGeneric;
   }
+
+  // With compression on, the int64-normal-form encodings upgrade to their
+  // packed variants — but only when a codec actually beats the plain
+  // layout, so uncompressible chunks keep their zero-copy mapping.
+  std::vector<int64_t> packed;  // the values a packed chunk would compress
+  std::map<std::string, uint32_t> dict;
+  std::vector<const std::string*> ordered;
+  if (options.compress && encoding == ColumnEncoding::kPlainInt64) {
+    packed.reserve(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      const Datum& v = at(r);
+      packed.push_back(v.is_null() ? 0 : v.AsInt64());
+    }
+    if (PackedSize(packed) < num_rows * sizeof(int64_t))
+      encoding = ColumnEncoding::kPackedInt64;
+  } else if (options.compress && encoding == ColumnEncoding::kDictString) {
+    for (size_t r = 0; r < num_rows; ++r) {
+      const Datum& v = at(r);
+      if (v.is_null()) continue;
+      const auto [it, inserted] =
+          dict.emplace(v.AsString(), static_cast<uint32_t>(dict.size()));
+      if (inserted) ordered.push_back(&it->first);
+    }
+    packed.reserve(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      const Datum& v = at(r);
+      packed.push_back(v.is_null() ? 0 : dict.at(v.AsString()));
+    }
+    if (PackedSize(packed) < num_rows * sizeof(uint32_t))
+      encoding = ColumnEncoding::kPackedDict;
+  } else if (options.compress && encoding == ColumnEncoding::kLineage) {
+    packed.reserve(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      StatusOr<uint32_t> id = WireIdOf(at(r).AsLineage(), ids);
+      if (!id.ok()) return id.status();
+      packed.push_back(*id);
+    }
+    if (PackedSize(packed) < num_rows * sizeof(uint32_t))
+      encoding = ColumnEncoding::kPackedLineage;
+  }
+
   w->PutU8(static_cast<uint8_t>(encoding));
   w->PutU8(static_cast<uint8_t>(declared));
 
@@ -129,33 +248,24 @@ Status EncodeColumn(size_t num_rows, DatumType declared,
       break;
     }
     case ColumnEncoding::kGeneric: {
-      for (size_t r = 0; r < num_rows; ++r) {
-        const Datum& v = at(r);
-        switch (v.type()) {
-          case DatumType::kNull:
-            w->PutU8(static_cast<uint8_t>(GenericTag::kNull));
-            break;
-          case DatumType::kInt64:
-            w->PutU8(static_cast<uint8_t>(GenericTag::kInt64));
-            w->PutI64(v.AsInt64());
-            break;
-          case DatumType::kDouble:
-            w->PutU8(static_cast<uint8_t>(GenericTag::kDouble));
-            w->PutF64(v.AsDouble());
-            break;
-          case DatumType::kString:
-            w->PutU8(static_cast<uint8_t>(GenericTag::kString));
-            w->PutString(v.AsString());
-            break;
-          case DatumType::kLineage: {
-            w->PutU8(static_cast<uint8_t>(GenericTag::kLineage));
-            StatusOr<uint32_t> id = WireIdOf(v.AsLineage(), ids);
-            if (!id.ok()) return id.status();
-            w->PutU32(*id);
-            break;
-          }
-        }
-      }
+      for (size_t r = 0; r < num_rows; ++r)
+        TPDB_RETURN_IF_ERROR(EncodeTaggedDatum(at(r), ids, w));
+      break;
+    }
+    case ColumnEncoding::kPackedInt64: {
+      put_bitmap();
+      CompressInt64Block(packed, w);
+      break;
+    }
+    case ColumnEncoding::kPackedDict: {
+      put_bitmap();
+      w->PutU32(static_cast<uint32_t>(ordered.size()));
+      for (const std::string* s : ordered) w->PutString(*s);
+      CompressInt64Block(packed, w);
+      break;
+    }
+    case ColumnEncoding::kPackedLineage: {
+      CompressInt64Block(packed, w);
       break;
     }
   }
@@ -167,12 +277,13 @@ Status DecodeColumn(ByteReader* r, size_t num_rows, const LineageIdMap* ids,
   uint8_t encoding = 0, declared = 0;
   TPDB_RETURN_IF_ERROR(r->GetU8(&encoding));
   TPDB_RETURN_IF_ERROR(r->GetU8(&declared));
-  if (encoding > static_cast<uint8_t>(ColumnEncoding::kGeneric))
+  if (encoding > static_cast<uint8_t>(ColumnEncoding::kPackedLineage))
     return Status::IOError("snapshot corrupt: unknown column encoding " +
                            std::to_string(encoding));
   chunk->encoding = static_cast<ColumnEncoding>(encoding);
   chunk->declared = static_cast<DatumType>(declared);
 
+  constexpr size_t kBlockHeader = 1 + 8 + 8 + 4;
   const size_t bitmap_bytes = (num_rows + 7) / 8;
   switch (chunk->encoding) {
     case ColumnEncoding::kAllNull:
@@ -218,44 +329,53 @@ Status DecodeColumn(ByteReader* r, size_t num_rows, const LineageIdMap* ids,
     case ColumnEncoding::kGeneric: {
       chunk->generic.reserve(num_rows);
       for (size_t row = 0; row < num_rows; ++row) {
-        uint8_t tag = 0;
-        TPDB_RETURN_IF_ERROR(r->GetU8(&tag));
-        switch (static_cast<GenericTag>(tag)) {
-          case GenericTag::kNull:
-            chunk->generic.push_back(Datum::Null());
-            break;
-          case GenericTag::kInt64: {
-            int64_t v = 0;
-            TPDB_RETURN_IF_ERROR(r->GetI64(&v));
-            chunk->generic.push_back(Datum(v));
-            break;
-          }
-          case GenericTag::kDouble: {
-            double v = 0;
-            TPDB_RETURN_IF_ERROR(r->GetF64(&v));
-            chunk->generic.push_back(Datum(v));
-            break;
-          }
-          case GenericTag::kString: {
-            std::string s;
-            TPDB_RETURN_IF_ERROR(r->GetString(&s));
-            chunk->generic.push_back(Datum(std::move(s)));
-            break;
-          }
-          case GenericTag::kLineage: {
-            uint32_t local = 0;
-            TPDB_RETURN_IF_ERROR(r->GetU32(&local));
-            StatusOr<LineageRef> ref = RefOfWireId(local, ids);
-            if (!ref.ok()) return ref.status();
-            chunk->generic.push_back(Datum(*ref));
-            break;
-          }
-          default:
-            return Status::IOError(
-                "snapshot corrupt: unknown generic datum tag " +
-                std::to_string(tag));
-        }
+        Datum v;
+        TPDB_RETURN_IF_ERROR(DecodeTaggedDatum(r, ids, &v));
+        chunk->generic.push_back(std::move(v));
       }
+      break;
+    }
+    case ColumnEncoding::kPackedInt64: {
+      TPDB_RETURN_IF_ERROR(r->GetSpan(bitmap_bytes, &chunk->null_bitmap));
+      TPDB_RETURN_IF_ERROR(ParseInt64Block(r, &chunk->block));
+      chunk->packed_bytes = kBlockHeader + chunk->block.payload.size();
+      chunk->unpacked_bytes = num_rows * sizeof(int64_t);
+      break;
+    }
+    case ColumnEncoding::kPackedDict: {
+      TPDB_RETURN_IF_ERROR(r->GetSpan(bitmap_bytes, &chunk->null_bitmap));
+      uint32_t dict_n = 0;
+      TPDB_RETURN_IF_ERROR(r->GetU32(&dict_n));
+      if (dict_n > r->remaining())
+        return Status::IOError("snapshot corrupt: implausible dictionary size");
+      chunk->dict.resize(dict_n);
+      for (std::string& s : chunk->dict) TPDB_RETURN_IF_ERROR(r->GetString(&s));
+      TPDB_RETURN_IF_ERROR(ParseInt64Block(r, &chunk->block));
+      chunk->packed_bytes = kBlockHeader + chunk->block.payload.size();
+      chunk->unpacked_bytes = num_rows * sizeof(uint32_t);
+      // Code range check happens at materialization, after decompression.
+      break;
+    }
+    case ColumnEncoding::kPackedLineage: {
+      // Resolution needs the load-time id map, so lineage decompresses
+      // eagerly; in memory the chunk is indistinguishable from kLineage.
+      CompressedBlock block;
+      TPDB_RETURN_IF_ERROR(ParseInt64Block(r, &block));
+      std::vector<int64_t> locals;
+      TPDB_RETURN_IF_ERROR(DecompressInt64Block(block, num_rows, &locals));
+      chunk->lineage.reserve(num_rows);
+      for (const int64_t local : locals) {
+        if (local < 0 || local > UINT32_MAX)
+          return Status::IOError(
+              "snapshot corrupt: packed lineage id out of range");
+        StatusOr<LineageRef> ref =
+            RefOfWireId(static_cast<uint32_t>(local), ids);
+        if (!ref.ok()) return ref.status();
+        chunk->lineage.push_back(*ref);
+      }
+      chunk->packed_bytes = kBlockHeader + block.payload.size();
+      chunk->unpacked_bytes = num_rows * sizeof(uint32_t);
+      chunk->encoding = ColumnEncoding::kLineage;
       break;
     }
   }

@@ -13,6 +13,13 @@
 // padding is relative to the enclosing ByteWriter/ByteReader start, exactly
 // as in segment blobs.
 //
+// With ColumnCodecOptions::compress set, the int64-normal-form encodings
+// (plain ints, dictionary codes, lineage ids) are routed through the
+// storage/compress codecs instead: the encoder picks the smallest method
+// per chunk and falls back to the plain zero-copy layout whenever raw wins,
+// so compression never loses bytes. The wire formats keep compression off —
+// they re-encode decoded batches byte-identically.
+//
 // Lineage ids: with a LineageIdMap the codec writes snapshot-local dense
 // ids (the on-disk format). With `ids == nullptr` it writes the raw arena
 // ids instead — the wire format, where the receiving peer either shares the
@@ -47,13 +54,24 @@ using ColumnSource = std::function<const Datum&(size_t)>;
 /// encoding byte, the declared-type byte and the data.
 Status EncodeColumn(size_t num_rows, DatumType declared,
                     const ColumnSource& at, const LineageIdMap* ids,
-                    ByteWriter* w);
+                    ByteWriter* w, const ColumnCodecOptions& options = {});
 
 /// Inverse of EncodeColumn. Raw arrays become spans into `r`'s underlying
 /// bytes — the caller keeps that memory alive for the chunk's lifetime (and
 /// 8-aligns its start, as segment blobs and wire payload buffers both do).
+/// Packed int/code chunks come back deferred (see ColumnChunk::block);
+/// packed lineage decompresses eagerly, because id resolution needs the
+/// load-time id map.
 Status DecodeColumn(ByteReader* r, size_t num_rows, const LineageIdMap* ids,
                     ColumnChunk* chunk);
+
+/// Writes one datum in the kGeneric tagged layout (u8 tag + value). Also
+/// the row format of WAL append records.
+Status EncodeTaggedDatum(const Datum& v, const LineageIdMap* ids,
+                         ByteWriter* w);
+
+/// Inverse of EncodeTaggedDatum.
+Status DecodeTaggedDatum(ByteReader* r, const LineageIdMap* ids, Datum* out);
 
 }  // namespace tpdb::storage
 

@@ -1,0 +1,141 @@
+#include "storage/compact/compactor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "exec/thread_pool.h"
+#include "lineage/probability.h"
+
+namespace tpdb::storage {
+
+namespace {
+
+Schema FlattenedSchema(const Schema& fact_schema) {
+  Schema schema = fact_schema;
+  schema.AddColumn({kTsColumn, DatumType::kInt64});
+  schema.AddColumn({kTeColumn, DatumType::kInt64});
+  schema.AddColumn({kLineageColumn, DatumType::kLineage});
+  return schema;
+}
+
+/// Flattened engine table of tuples[first..] (fact ++ _ts ++ _te ++ _lin).
+Table FlattenTuples(const Schema& fact_schema,
+                    const std::vector<TPTuple>& tuples, size_t first) {
+  Table out;
+  out.schema = FlattenedSchema(fact_schema);
+  out.rows.reserve(tuples.size() - first);
+  for (size_t i = first; i < tuples.size(); ++i) {
+    const TPTuple& t = tuples[i];
+    Row row = t.fact;
+    row.push_back(Datum(t.interval.start));
+    row.push_back(Datum(t.interval.end));
+    row.push_back(Datum(t.lineage));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<CompactionResult> BuildCompacted(CompactionInput input) {
+  TPDB_CHECK(input.manager != nullptr);
+  CompactionResult result;
+  result.tuples = std::move(input.tuples);
+  std::stable_sort(result.tuples.begin(), result.tuples.end(),
+                   [](const TPTuple& a, const TPTuple& b) {
+                     if (a.interval.start != b.interval.start)
+                       return a.interval.start < b.interval.start;
+                     return a.interval.end < b.interval.end;
+                   });
+
+  // Sample the epoch before computing any probability: if a
+  // SetVariableProbability lands mid-build, the stamp is already behind
+  // the manager's epoch and the planner ignores the (possibly stale)
+  // probability zone maps.
+  const uint64_t epoch = input.manager->probability_epoch();
+  const Table table = FlattenTuples(input.fact_schema, result.tuples, 0);
+  const size_t n = result.tuples.size();
+  const size_t segment_rows = std::max<size_t>(1, input.segment_rows);
+  const size_t num_segments = (n + segment_rows - 1) / segment_rows;
+
+  std::vector<double> probs(n, 0.0);
+  std::vector<std::string> blobs(num_segments);
+  ThreadPool* pool =
+      input.parallelism == 1 ? nullptr : ThreadPool::Default();
+  TaskGroup group(pool);
+  for (size_t s = 0; s < num_segments; ++s) {
+    group.Spawn([&, s]() -> Status {
+      const size_t begin = s * segment_rows;
+      const size_t end = std::min(begin + segment_rows, n);
+      ProbabilityEngine engine(input.manager);
+      for (size_t i = begin; i < end; ++i)
+        probs[i] = engine.Probability(result.tuples[i].lineage);
+      StatusOr<std::string> blob =
+          EncodeSegmentBlob(table, begin, end, probs, /*ids=*/nullptr,
+                            ColumnCodecOptions{.compress = true});
+      if (!blob.ok()) return blob.status();
+      blobs[s] = std::move(*blob);
+      return Status::OK();
+    });
+  }
+  TPDB_RETURN_IF_ERROR(group.Wait());
+
+  // One owned backing buffer, each blob at an 8-aligned offset (their
+  // internal alignment is relative to the blob start).
+  std::vector<size_t> offsets(num_segments, 0);
+  size_t total = 0;
+  for (size_t s = 0; s < num_segments; ++s) {
+    total = (total + 7) / 8 * 8;
+    offsets[s] = total;
+    total += blobs[s].size();
+  }
+  auto backing = std::make_shared<std::string>();
+  backing->resize(total, '\0');
+  for (size_t s = 0; s < num_segments; ++s)
+    std::memcpy(backing->data() + offsets[s], blobs[s].data(),
+                blobs[s].size());
+
+  std::vector<Segment> segments;
+  segments.reserve(num_segments);
+  for (size_t s = 0; s < num_segments; ++s) {
+    StatusOr<Segment> segment = ParseSegmentBlob(
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(backing->data()) + offsets[s],
+            blobs[s].size()),
+        table.schema, /*ids=*/nullptr);
+    if (!segment.ok()) return segment.status();
+    segments.push_back(std::move(*segment));
+  }
+  result.table = std::make_shared<SegmentedTable>(
+      table.schema, std::move(segments), backing, epoch);
+  return result;
+}
+
+Status AppendDeltaSegment(SegmentedTable* table, const Schema& fact_schema,
+                          const std::vector<TPTuple>& tuples, size_t first,
+                          LineageManager* manager) {
+  TPDB_CHECK(table != nullptr && manager != nullptr);
+  if (first >= tuples.size()) return Status::OK();
+  const Table delta = FlattenTuples(fact_schema, tuples, first);
+  const size_t n = delta.rows.size();
+  std::vector<double> probs(n, 0.0);
+  ProbabilityEngine engine(manager);
+  for (size_t i = 0; i < n; ++i)
+    probs[i] = engine.Probability(tuples[first + i].lineage);
+  StatusOr<std::string> blob =
+      EncodeSegmentBlob(delta, 0, n, probs, /*ids=*/nullptr,
+                        ColumnCodecOptions{.compress = true});
+  if (!blob.ok()) return blob.status();
+  auto backing = std::make_shared<std::string>(std::move(*blob));
+  StatusOr<Segment> segment = ParseSegmentBlob(
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(backing->data()), backing->size()),
+      delta.schema, /*ids=*/nullptr);
+  if (!segment.ok()) return segment.status();
+  std::vector<Segment> segments;
+  segments.push_back(std::move(*segment));
+  table->ExtendDelta(std::move(segments), std::move(backing));
+  return Status::OK();
+}
+
+}  // namespace tpdb::storage

@@ -1,0 +1,65 @@
+// Compaction: folds a relation's delta segments (appended since the last
+// snapshot load, see TPDatabase::Append) back into compressed base
+// segments.
+//
+// Appends accumulate as one small delta segment each behind a relation's
+// mapped base segments. Deltas keep cold scans coherent, but they are
+// tiny (poor compression, per-segment fixed costs) and unsorted (weak
+// zone maps). Compaction rebuilds the whole table: tuples re-sorted by
+// interval start (then end, stably — equal keys keep their append order),
+// re-encoded at full segment granularity with compression on, zone maps
+// rebuilt over the sorted order so temporal pruning bites again.
+//
+// The rebuild is a pure function (BuildCompacted) over a copied tuple
+// prefix, so the driver (TPDatabase) runs it on the exec/ thread pool
+// without holding any lock; only the final pointer swap takes the
+// exclusive catalog lock. Rows appended while the rebuild ran form a
+// fresh tail delta at swap time — compaction never blocks appends or
+// readers for longer than the swap itself.
+#ifndef TPDB_STORAGE_COMPACT_COMPACTOR_H_
+#define TPDB_STORAGE_COMPACT_COMPACTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/segment.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb::storage {
+
+struct CompactionInput {
+  Schema fact_schema;
+  std::vector<TPTuple> tuples;  ///< copied under the shared catalog lock
+  LineageManager* manager = nullptr;
+  size_t segment_rows = 4096;
+  /// 1 = serial; else probabilities and segments go wide on the shared
+  /// exec/ pool.
+  int parallelism = 0;
+};
+
+struct CompactionResult {
+  /// The input tuples, stably sorted by (interval start, interval end).
+  /// Row i of `table` is tuples[i] — the order the relation must adopt.
+  std::vector<TPTuple> tuples;
+  std::shared_ptr<SegmentedTable> table;
+};
+
+/// Rebuilds `input.tuples` as a fully compacted SegmentedTable: sorts,
+/// computes exact tuple probabilities for the zone maps, encodes
+/// compressed base segments into one owned backing buffer. Takes no locks
+/// and touches no shared mutable state besides the (internally
+/// synchronized) manager.
+StatusOr<CompactionResult> BuildCompacted(CompactionInput input);
+
+/// Encodes `tuples[first..]` as one compressed delta segment blob and
+/// appends it to `table` (ExtendDelta). The swap-time tail step, also used
+/// by TPDatabase::Append for cold relations. Caller holds the exclusive
+/// catalog lock.
+Status AppendDeltaSegment(SegmentedTable* table, const Schema& fact_schema,
+                          const std::vector<TPTuple>& tuples, size_t first,
+                          LineageManager* manager);
+
+}  // namespace tpdb::storage
+
+#endif  // TPDB_STORAGE_COMPACT_COMPACTOR_H_

@@ -1,0 +1,99 @@
+// Pluggable per-column compression of the segment format, in the shape of
+// PostgreSQL's compression-method API (access/compression/cmapi): each
+// method is a small vtable of routines, chunks record the method id of the
+// codec that wrote them, and a raw passthrough is always available as the
+// fallback when nothing helps.
+//
+// All methods operate on int64 value blocks — the normal form every
+// compressible chunk reduces to: plain int64 columns (including _ts/_te)
+// directly, dictionary string codes and lineage ids widened from u32.
+// Doubles stay uncompressed (plain chunks); mixed chunks stay generic.
+//
+// Methods:
+//   kRaw — verbatim little-endian int64 array; the identity fallback
+//   kRle — (u32 run length, i64 value) pairs; wins on long runs
+//   kFor — frame of reference: i64 base + bit width + LSB-first packed
+//          offsets; wins on value ranges far narrower than 64 bits
+//          (sorted _ts/_te blocks, dense keys, dictionary codes)
+//
+// A compressed block is stored as
+//
+//   u8 method | i64 min | i64 max | u32 payload_len | payload bytes
+//
+// where min/max are the exact bounds of the stored values. They serve the
+// compressed-domain pruning of storage/scan.h: unlike the zone map's
+// ulp-widened doubles, these bounds are exact integers, so boundary
+// predicates can skip a chunk without decompressing a single value.
+//
+// Decompression is bounds-checked and returns Status on any malformed
+// payload (truncated runs, implausible bit widths) — corruption surfaces
+// as an error, never a crash.
+#ifndef TPDB_STORAGE_COMPRESS_COMPRESSION_H_
+#define TPDB_STORAGE_COMPRESS_COMPRESSION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/bytes.h"
+
+namespace tpdb::storage {
+
+/// On-disk codec ids. Append-only: a chunk header stores the raw value.
+enum class CompressionMethod : uint8_t {
+  kRaw = 0,
+  kRle = 1,
+  kFor = 2,
+};
+
+/// The per-method vtable (the cmapi idiom): every method provides its
+/// name, an exact size estimate (so the encoder can pick the smallest
+/// without encoding twice), the compressor and the decompressor.
+struct CompressionRoutines {
+  const char* name;
+  /// Exact compressed payload size of `values`, in bytes.
+  size_t (*estimate)(std::span<const int64_t> values);
+  /// Appends the compressed payload of `values` onto `w`.
+  void (*compress)(std::span<const int64_t> values, ByteWriter* w);
+  /// Inverse of compress: decodes exactly `count` values from `payload`
+  /// into `out` (pre-sized by the caller).
+  Status (*decompress)(std::span<const uint8_t> payload, size_t count,
+                       int64_t* out);
+};
+
+/// The routines of `method`; never null (ids are validated by Lookup).
+const CompressionRoutines* GetCompressionRoutines(CompressionMethod method);
+
+/// Validates an on-disk method id.
+StatusOr<CompressionMethod> LookupCompressionMethod(uint8_t id);
+
+/// Picks the method with the smallest payload for `values` (ties favor
+/// lower ids, so raw wins when nothing compresses).
+CompressionMethod ChooseCompression(std::span<const int64_t> values);
+
+/// One compressed block, parsed but not yet decompressed: the header
+/// fields plus a view of the payload (into the mapped file or an owned
+/// buffer — whatever backs the enclosing ByteReader).
+struct CompressedBlock {
+  CompressionMethod method = CompressionMethod::kRaw;
+  int64_t min = 0;  ///< exact minimum of the stored values
+  int64_t max = 0;  ///< exact maximum of the stored values
+  std::span<const uint8_t> payload;
+};
+
+/// Compresses `values` with ChooseCompression's pick and writes the full
+/// block (header + payload) onto `w`.
+void CompressInt64Block(std::span<const int64_t> values, ByteWriter* w);
+
+/// Reads one block's header and payload view from `r` without
+/// decompressing anything.
+Status ParseInt64Block(ByteReader* r, CompressedBlock* out);
+
+/// Decompresses a parsed block into `out` (resized to `count`).
+Status DecompressInt64Block(const CompressedBlock& block, size_t count,
+                            std::vector<int64_t>* out);
+
+}  // namespace tpdb::storage
+
+#endif  // TPDB_STORAGE_COMPRESS_COMPRESSION_H_

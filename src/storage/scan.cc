@@ -73,9 +73,78 @@ size_t EstimateScanRows(const SegmentedTable& table,
                         const ScanPredicate& predicate) {
   size_t rows = 0;
   for (const Segment& segment : table.segments())
-    if (SegmentMayMatch(segment, table.schema(), predicate))
+    if (SegmentMayMatch(segment, table.schema(), predicate) &&
+        CompressedChunksMayMatch(segment, table.schema(), predicate))
       rows += segment.num_rows;
   return rows;
+}
+
+double EstimateDecodeFactor(const SegmentedTable& table,
+                            const ScanPredicate& predicate) {
+  size_t encoded = 0, packed = 0;
+  for (const Segment& segment : table.segments()) {
+    if (!SegmentMayMatch(segment, table.schema(), predicate) ||
+        !CompressedChunksMayMatch(segment, table.schema(), predicate))
+      continue;
+    encoded += segment.encoded_bytes;
+    packed += segment.packed_bytes;
+  }
+  if (encoded == 0) return 1.0;
+  return 1.0 + 0.5 * (static_cast<double>(packed) /
+                      static_cast<double>(encoded));
+}
+
+namespace {
+
+/// Conservative intersection test of a double predicate range against the
+/// exact int64 bounds of a packed block. Bound conversion rounds toward
+/// the range's interior (ceil/floor); the ±1 strict-inequality tightening
+/// only applies where doubles represent integers exactly, so the test can
+/// under-prune but never over-prune.
+bool IntRangeMayMatch(const ScanRange& range, int64_t vmin, int64_t vmax) {
+  constexpr double kTwo63 = 9223372036854775808.0;  // 2^63
+  constexpr double kExactInts = 9007199254740992.0;  // 2^53
+  if (std::isfinite(range.lo)) {
+    double c = std::ceil(range.lo);
+    if (range.lo_strict && c == range.lo && std::fabs(c) < kExactInts)
+      c += 1.0;
+    if (c >= kTwo63) return false;  // lower bound above every int64
+    const int64_t lo =
+        c <= -kTwo63 ? std::numeric_limits<int64_t>::min()
+                     : static_cast<int64_t>(c);
+    if (vmax < lo) return false;
+  }
+  if (std::isfinite(range.hi)) {
+    double f = std::floor(range.hi);
+    if (range.hi_strict && f == range.hi && std::fabs(f) < kExactInts)
+      f -= 1.0;
+    if (f < -kTwo63) return false;  // upper bound below every int64
+    const int64_t hi =
+        f >= kTwo63 ? std::numeric_limits<int64_t>::max()
+                    : static_cast<int64_t>(f);
+    if (vmin > hi) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool CompressedChunksMayMatch(const Segment& segment, const Schema& schema,
+                              const ScanPredicate& predicate) {
+  for (const auto& [column, range] : predicate.column_ranges) {
+    const int idx = schema.IndexOf(column);
+    if (idx < 0 || static_cast<size_t>(idx) >= segment.chunks.size())
+      continue;
+    const ColumnChunk& chunk = segment.chunks[static_cast<size_t>(idx)];
+    // Only packed int64 chunks carry value-ordered exact bounds
+    // (dictionary code bounds say nothing about the strings they stand
+    // for). NULL placeholders inside the block only widen [min, max] —
+    // widening never prunes a live row.
+    if (chunk.encoding != ColumnEncoding::kPackedInt64) continue;
+    if (!IntRangeMayMatch(range, chunk.block.min, chunk.block.max))
+      return false;
+  }
+  return true;
 }
 
 bool SegmentMayMatch(const Segment& segment, const Schema& schema,
@@ -135,15 +204,30 @@ bool SegmentScan::FillBuffer() {
       if (stats_ != nullptr) ++stats_->segments_skipped;
       continue;
     }
+    if (!CompressedChunksMayMatch(segment, table_->schema(), predicate_)) {
+      if (stats_ != nullptr) ++stats_->chunks_skipped_compressed;
+      continue;
+    }
     const Clock::time_point start = Clock::now();
+    StatusOr<std::vector<const ColumnChunk*>> chunks =
+        MaterializeSegment(segment, &storage_);
+    // The snapshot's CRC already vouched for these bytes at load time; a
+    // malformed block here is a programming error, not input corruption.
+    TPDB_CHECK(chunks.ok()) << chunks.status().ToString();
     buffer_.resize(segment.num_rows);
-    for (size_t row = 0; row < segment.num_rows; ++row)
-      segment.DecodeRow(row, &buffer_[row]);
+    for (size_t row = 0; row < segment.num_rows; ++row) {
+      Row& out = buffer_[row];
+      out.clear();
+      out.reserve(chunks->size());
+      for (const ColumnChunk* chunk : *chunks)
+        out.push_back(chunk->ValueAt(row));
+    }
     buffer_pos_ = 0;
     if (stats_ != nullptr) {
       ++stats_->segments_scanned;
       stats_->rows_decoded += segment.num_rows;
       stats_->bytes_mapped += segment.encoded_bytes;
+      stats_->compressed_bytes += segment.packed_bytes;
       stats_->decode_seconds +=
           std::chrono::duration<double>(Clock::now() - start).count();
     }
@@ -200,7 +284,7 @@ vec::ColumnVector ViewChunk(const ColumnChunk& chunk, size_t off, size_t n) {
       break;
     case ColumnEncoding::kDictString:
       v.rep = Rep::kDict;
-      v.dict = &chunk.dict;
+      v.dict = &chunk.Dict();
       v.codes = chunk.codes.subspan(off, n);
       v.null_bits = chunk.null_bitmap;
       v.null_bit_offset = off;
@@ -212,6 +296,12 @@ vec::ColumnVector ViewChunk(const ColumnChunk& chunk, size_t off, size_t n) {
     case ColumnEncoding::kGeneric:
       v.rep = Rep::kGeneric;
       v.generic = std::span<const Datum>(chunk.generic).subspan(off, n);
+      break;
+    case ColumnEncoding::kPackedInt64:
+    case ColumnEncoding::kPackedDict:
+    case ColumnEncoding::kPackedLineage:
+      TPDB_CHECK(false) << "ViewChunk on a deferred packed chunk; "
+                           "MaterializeSegment first";
       break;
   }
   return v;
@@ -247,6 +337,7 @@ void SegmentBatchScan::Open() {
 }
 
 const vec::ColumnBatch* SegmentBatchScan::NextBatch() {
+  using Clock = std::chrono::steady_clock;
   while (segment_ < seg_end_) {
     const Segment& segment = table_->segments()[segment_];
     if (row_ == 0) {
@@ -258,9 +349,24 @@ const vec::ColumnBatch* SegmentBatchScan::NextBatch() {
         ++segment_;
         continue;
       }
+      if (!CompressedChunksMayMatch(segment, table_->schema(), predicate_)) {
+        if (stats_ != nullptr) ++stats_->chunks_skipped_compressed;
+        ++segment_;
+        continue;
+      }
+      // Decompress the segment's packed chunks once; every batch of this
+      // segment views the materialized arrays.
+      const Clock::time_point start = Clock::now();
+      StatusOr<std::vector<const ColumnChunk*>> chunks =
+          MaterializeSegment(segment, &storage_);
+      TPDB_CHECK(chunks.ok()) << chunks.status().ToString();
+      views_ = std::move(*chunks);
       if (stats_ != nullptr) {
         ++stats_->segments_scanned;
         stats_->bytes_mapped += segment.encoded_bytes;
+        stats_->compressed_bytes += segment.packed_bytes;
+        stats_->decode_seconds +=
+            std::chrono::duration<double>(Clock::now() - start).count();
       }
     }
     const size_t n = std::min(vec::kBatchRows, segment.num_rows - row_);
@@ -268,9 +374,9 @@ const vec::ColumnBatch* SegmentBatchScan::NextBatch() {
     batch_.sel_all = true;
     batch_.sel.clear();
     batch_.columns.clear();
-    batch_.columns.reserve(segment.chunks.size());
-    for (const ColumnChunk& chunk : segment.chunks)
-      batch_.columns.push_back(ViewChunk(chunk, row_, n));
+    batch_.columns.reserve(views_.size());
+    for (const ColumnChunk* chunk : views_)
+      batch_.columns.push_back(ViewChunk(*chunk, row_, n));
     row_ += n;
     if (row_ >= segment.num_rows) {
       ++segment_;

@@ -69,12 +69,28 @@ struct ScanPredicate {
 bool SegmentMayMatch(const Segment& segment, const Schema& schema,
                      const ScanPredicate& predicate);
 
+/// Compressed-domain pruning: true iff every packed int64 chunk named by
+/// `predicate` admits at least one row, judged by the exact min/max in the
+/// chunk's block header — sharper than the zone map's ulp-widened double
+/// bounds (e.g. `x > exact_max` prunes here but not there), and still
+/// without decompressing a single value.
+bool CompressedChunksMayMatch(const Segment& segment, const Schema& schema,
+                              const ScanPredicate& predicate);
+
 /// Zone-map cardinality estimate: total rows of the segments `predicate`
-/// cannot prune. The mode-selection pass costs cold scans with this (an
-/// upper bound on the rows the scan will decode — pruning is conservative,
-/// the per-row filter still runs above).
+/// cannot prune (zone map and compressed-domain checks both applied). The
+/// mode-selection pass costs cold scans with this (an upper bound on the
+/// rows the scan will decode — pruning is conservative, the per-row filter
+/// still runs above).
 size_t EstimateScanRows(const SegmentedTable& table,
                         const ScanPredicate& predicate);
+
+/// Relative per-row decode cost of the segments `predicate` leaves alive:
+/// 1.0 for fully plain (zero-copy) segments, growing with the fraction of
+/// their bytes that must be decompressed first. The mode-selection pass
+/// multiplies this into its cold-scan cost units.
+double EstimateDecodeFactor(const SegmentedTable& table,
+                            const ScanPredicate& predicate);
 
 /// Leaf operator over a SegmentedTable. The table (and its mapping) must
 /// outlive the operator; `stats` (optional) accumulates scan counters.
@@ -99,6 +115,7 @@ class SegmentScan final : public Operator {
   size_t next_segment_ = 0;
   size_t buffer_pos_ = 0;
   std::vector<Row> buffer_;
+  ChunkStorage storage_;  ///< scratch for decompressing packed chunks
 };
 
 /// Chunk-level batch scan: the vectorized cold read path. Serves
@@ -136,6 +153,11 @@ class SegmentBatchScan final : public vec::BatchOperator {
   size_t segment_ = 0;  ///< current segment index
   size_t row_ = 0;      ///< next row within the current segment
   vec::ColumnBatch batch_;
+  /// Chunk views of the current segment, packed chunks decompressed into
+  /// `storage_` on the segment's first visit; batches view these until the
+  /// segment is exhausted.
+  std::vector<const ColumnChunk*> views_;
+  ChunkStorage storage_;
 };
 
 }  // namespace tpdb::storage

@@ -33,11 +33,16 @@ Datum ColumnChunk::ValueAt(size_t row) const {
     case ColumnEncoding::kPlainDouble:
       return IsNull(row) ? Datum::Null() : Datum(doubles[row]);
     case ColumnEncoding::kDictString:
-      return IsNull(row) ? Datum::Null() : Datum(dict[codes[row]]);
+      return IsNull(row) ? Datum::Null() : Datum(Dict()[codes[row]]);
     case ColumnEncoding::kLineage:
       return Datum(lineage[row]);
     case ColumnEncoding::kGeneric:
       return generic[row];
+    case ColumnEncoding::kPackedInt64:
+    case ColumnEncoding::kPackedDict:
+    case ColumnEncoding::kPackedLineage:
+      TPDB_CHECK(false) << "ValueAt on a deferred packed chunk; "
+                           "MaterializeSegment first";
   }
   return Datum::Null();
 }
@@ -48,14 +53,97 @@ void Segment::DecodeRow(size_t row, Row* out) const {
   for (const ColumnChunk& chunk : chunks) out->push_back(chunk.ValueAt(row));
 }
 
+StatusOr<std::vector<const ColumnChunk*>> MaterializeSegment(
+    const Segment& segment, ChunkStorage* storage) {
+  storage->chunks.clear();
+  storage->ints.clear();
+  storage->codes.clear();
+  // Reserve so the spans into storage arrays survive later pushes.
+  size_t deferred = 0;
+  for (const ColumnChunk& chunk : segment.chunks)
+    if (chunk.deferred()) ++deferred;
+  storage->chunks.reserve(deferred);
+  storage->ints.reserve(deferred);
+  storage->codes.reserve(deferred);
+
+  std::vector<const ColumnChunk*> views;
+  views.reserve(segment.chunks.size());
+  for (const ColumnChunk& chunk : segment.chunks) {
+    if (!chunk.deferred()) {
+      views.push_back(&chunk);
+      continue;
+    }
+    storage->ints.emplace_back();
+    std::vector<int64_t>& values = storage->ints.back();
+    TPDB_RETURN_IF_ERROR(
+        DecompressInt64Block(chunk.block, segment.num_rows, &values));
+    storage->chunks.emplace_back();
+    ColumnChunk& mat = storage->chunks.back();
+    mat.declared = chunk.declared;
+    mat.null_bitmap = chunk.null_bitmap;
+    if (chunk.encoding == ColumnEncoding::kPackedInt64) {
+      mat.encoding = ColumnEncoding::kPlainInt64;
+      mat.ints = values;
+    } else {
+      // kPackedDict: narrow the decompressed codes back to u32 and
+      // re-check them against the dictionary (deferred from decode).
+      mat.encoding = ColumnEncoding::kDictString;
+      mat.dict_src = &chunk.dict;
+      storage->codes.emplace_back();
+      std::vector<uint32_t>& codes = storage->codes.back();
+      codes.reserve(segment.num_rows);
+      for (size_t row = 0; row < segment.num_rows; ++row) {
+        const int64_t code = values[row];
+        const bool null = mat.IsNull(row);
+        if (!null && (code < 0 ||
+                      static_cast<size_t>(code) >= mat.Dict().size()))
+          return Status::IOError(
+              "snapshot corrupt: packed dictionary code out of range");
+        codes.push_back(null ? 0 : static_cast<uint32_t>(code));
+      }
+      mat.codes = codes;
+    }
+    views.push_back(&mat);
+  }
+  return views;
+}
+
 SegmentedTable::SegmentedTable(Schema schema, std::vector<Segment> segments,
-                               std::shared_ptr<MappedFile> backing,
+                               std::shared_ptr<const void> backing,
                                uint64_t probability_epoch)
     : schema_(std::move(schema)),
       segments_(std::move(segments)),
-      backing_(std::move(backing)),
       probability_epoch_(probability_epoch) {
+  backings_.push_back(std::move(backing));
   for (const Segment& s : segments_) num_rows_ += s.num_rows;
+  num_base_segments_ = segments_.size();
+}
+
+size_t SegmentedTable::packed_bytes() const {
+  size_t total = 0;
+  for (const Segment& s : segments_) total += s.packed_bytes;
+  return total;
+}
+
+size_t SegmentedTable::unpacked_bytes() const {
+  size_t total = 0;
+  for (const Segment& s : segments_) total += s.unpacked_bytes;
+  return total;
+}
+
+size_t SegmentedTable::encoded_bytes() const {
+  size_t total = 0;
+  for (const Segment& s : segments_) total += s.encoded_bytes;
+  return total;
+}
+
+void SegmentedTable::ExtendDelta(std::vector<Segment> segments,
+                                 std::shared_ptr<const void> backing) {
+  for (Segment& s : segments) {
+    num_rows_ += s.num_rows;
+    segments_.push_back(std::move(s));
+  }
+  backings_.push_back(std::move(backing));
 }
 
 StatusOr<uint32_t> LineageIdMap::LocalOf(LineageRef ref) const {
@@ -80,7 +168,8 @@ StatusOr<LineageRef> LineageIdMap::RefOf(uint32_t local) const {
 StatusOr<std::string> EncodeSegmentBlob(const Table& table, size_t begin,
                                         size_t end,
                                         const std::vector<double>& probs,
-                                        const LineageIdMap& ids) {
+                                        const LineageIdMap* ids,
+                                        const ColumnCodecOptions& options) {
   const size_t num_rows = end - begin;
   const size_t num_cols = table.schema.num_columns();
   const int ts_idx = table.schema.IndexOf(kTsColumn);
@@ -139,7 +228,7 @@ StatusOr<std::string> EncodeSegmentBlob(const Table& table, size_t begin,
     TPDB_RETURN_IF_ERROR(EncodeColumn(
         num_rows, table.schema.column(c).type,
         [&](size_t r) -> const Datum& { return table.rows[begin + r][c]; },
-        &ids, &w));
+        ids, &w, options));
   }
 
   w.AlignTo(8);  // keep the next segment's blob 8-aligned in the file
@@ -148,7 +237,7 @@ StatusOr<std::string> EncodeSegmentBlob(const Table& table, size_t begin,
 
 StatusOr<Segment> ParseSegmentBlob(std::span<const uint8_t> blob,
                                    const Schema& schema,
-                                   const LineageIdMap& ids) {
+                                   const LineageIdMap* ids) {
   ByteReader r(blob);
   Segment seg;
   seg.encoded_bytes = blob.size();
@@ -178,8 +267,11 @@ StatusOr<Segment> ParseSegmentBlob(std::span<const uint8_t> blob,
   }
 
   seg.chunks.resize(num_cols);
-  for (uint32_t c = 0; c < num_cols; ++c)
-    TPDB_RETURN_IF_ERROR(DecodeColumn(&r, seg.num_rows, &ids, &seg.chunks[c]));
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    TPDB_RETURN_IF_ERROR(DecodeColumn(&r, seg.num_rows, ids, &seg.chunks[c]));
+    seg.packed_bytes += seg.chunks[c].packed_bytes;
+    seg.unpacked_bytes += seg.chunks[c].unpacked_bytes;
+  }
   return seg;
 }
 

@@ -9,17 +9,25 @@
 // segments that cannot satisfy a pushed-down predicate.
 //
 // Column encodings:
-//   kAllNull    — every value NULL; no data
-//   kPlainInt64 — null bitmap + raw int64 array (also _ts/_te)
-//   kPlainDouble— null bitmap + raw double array
-//   kDictString — null bitmap + string dictionary + u32 code array
-//   kLineage    — u32 lineage-node id array (file-local ids on disk,
-//                 resolved LineageRefs in memory; kNullId encodes NULL)
-//   kGeneric    — per-value tagged datums (fallback for mixed-type chunks)
+//   kAllNull      — every value NULL; no data
+//   kPlainInt64   — null bitmap + raw int64 array (also _ts/_te)
+//   kPlainDouble  — null bitmap + raw double array
+//   kDictString   — null bitmap + string dictionary + u32 code array
+//   kLineage      — u32 lineage-node id array (file-local ids on disk,
+//                   resolved LineageRefs in memory; kNullId encodes NULL)
+//   kGeneric      — per-value tagged datums (fallback for mixed-type chunks)
+//   kPackedInt64  — null bitmap + compressed int64 block (storage/compress)
+//   kPackedDict   — null bitmap + dictionary + compressed code block
+//   kPackedLineage— compressed id block (decompressed eagerly at load:
+//                   id resolution needs the load-time LineageIdMap)
 //
-// Decoded chunks view their raw arrays directly in the mapped snapshot
-// (zero-copy); dictionaries, lineage refs and generic values are small and
-// decoded eagerly at load time.
+// Decoded plain chunks view their raw arrays directly in the mapped
+// snapshot (zero-copy); dictionaries, lineage refs and generic values are
+// small and decoded eagerly at load time. Packed int/code chunks stay
+// compressed in memory as a parsed-but-undecompressed block — scans
+// decompress them on demand into scan-local ChunkStorage (so concurrent
+// scans of one table never share mutable state), after the block's exact
+// min/max has had a chance to prune the chunk compressed-domain.
 #ifndef TPDB_STORAGE_SEGMENT_H_
 #define TPDB_STORAGE_SEGMENT_H_
 
@@ -32,10 +40,22 @@
 #include "common/status.h"
 #include "engine/row.h"
 #include "storage/bytes.h"
+#include "storage/compress/compression.h"
 #include "storage/mmap_file.h"
 #include "temporal/interval.h"
 
 namespace tpdb::storage {
+
+/// Knobs of the column codec (storage/column_codec.h). The defaults
+/// reproduce the historical plain format. Lives here rather than in
+/// column_codec.h so EncodeSegmentBlob can take it without an include
+/// cycle.
+struct ColumnCodecOptions {
+  /// Compress int64-normal-form chunks (plain ints, dictionary codes,
+  /// lineage ids) through storage/compress. Chunks where no codec beats
+  /// raw keep their plain zero-copy encodings.
+  bool compress = false;
+};
 
 enum class ColumnEncoding : uint8_t {
   kAllNull = 0,
@@ -44,6 +64,9 @@ enum class ColumnEncoding : uint8_t {
   kDictString = 3,
   kLineage = 4,
   kGeneric = 5,
+  kPackedInt64 = 6,
+  kPackedDict = 7,
+  kPackedLineage = 8,
 };
 
 /// Min/max of a numeric column within one segment (NULLs excluded).
@@ -66,7 +89,7 @@ struct ZoneMap {
   std::vector<ColumnBounds> bounds;
 };
 
-/// One decoded (or mapped) column of a segment.
+/// One decoded (or mapped, or still-compressed) column of a segment.
 struct ColumnChunk {
   ColumnEncoding encoding = ColumnEncoding::kAllNull;
   DatumType declared = DatumType::kNull;
@@ -74,16 +97,43 @@ struct ColumnChunk {
   std::span<const int64_t> ints;          ///< kPlainInt64
   std::span<const double> doubles;        ///< kPlainDouble
   std::span<const uint32_t> codes;        ///< kDictString
-  std::vector<std::string> dict;          ///< kDictString
+  std::vector<std::string> dict;          ///< kDictString, kPackedDict
+  /// Set on chunks materialized from a kPackedDict chunk: the source
+  /// chunk's dictionary, which outlives the scan. Readers must go through
+  /// Dict() — dictionary consumers key caches on the dictionary's address
+  /// (vector/predicate.cc), so a materialized chunk must expose the
+  /// stable per-segment dictionary, not a copy in reused scan scratch.
+  const std::vector<std::string>* dict_src = nullptr;
   std::vector<LineageRef> lineage;        ///< kLineage (resolved)
   std::vector<Datum> generic;             ///< kGeneric
+
+  /// kPackedInt64/kPackedDict: the compressed block, parsed but not yet
+  /// decompressed. Its exact min/max (of the ints or the codes) drives
+  /// compressed-domain pruning without touching the payload.
+  CompressedBlock block;
+  /// Bytes this chunk stores compressed / would store plain. Zero for
+  /// chunks that never went through a codec.
+  size_t packed_bytes = 0;
+  size_t unpacked_bytes = 0;
+
+  /// True while the chunk's values live only in `block` — reading them
+  /// requires MaterializeSegment first.
+  bool deferred() const {
+    return encoding == ColumnEncoding::kPackedInt64 ||
+           encoding == ColumnEncoding::kPackedDict;
+  }
 
   bool IsNull(size_t row) const {
     return (null_bitmap[row / 8] >> (row % 8)) & 1u;
   }
 
+  /// The dictionary of a kDictString chunk, whether owned or aliased.
+  const std::vector<std::string>& Dict() const {
+    return dict_src != nullptr ? *dict_src : dict;
+  }
+
   /// The value of `row` as a Datum (copies strings; ints/doubles read
-  /// straight from the mapped array).
+  /// straight from the mapped array). CHECK-fails on a deferred chunk.
   Datum ValueAt(size_t row) const;
 };
 
@@ -91,15 +141,41 @@ struct ColumnChunk {
 struct Segment {
   size_t num_rows = 0;
   size_t encoded_bytes = 0;  ///< size of this segment's blob in the file
+  size_t packed_bytes = 0;   ///< bytes stored compressed across the chunks
+  size_t unpacked_bytes = 0; ///< plain-encoding size of those same bytes
   ZoneMap zone;
   std::vector<ColumnChunk> chunks;
 
   /// Decodes row `row` into `*out` (resized to the column count).
+  /// CHECK-fails if any chunk is deferred — use MaterializeSegment.
   void DecodeRow(size_t row, Row* out) const;
 };
 
+/// Scan-local scratch for one segment visit: owns the decompressed arrays
+/// and the materialized chunk views of the segment's deferred chunks.
+/// One ChunkStorage per scan — segments themselves are shared immutable.
+struct ChunkStorage {
+  std::vector<ColumnChunk> chunks;          ///< materialized plain chunks
+  std::vector<std::vector<int64_t>> ints;   ///< backing for their spans
+  std::vector<std::vector<uint32_t>> codes;
+};
+
+/// Per-column views of `segment`'s chunks with every deferred chunk
+/// decompressed into `storage` as its plain equivalent (kPackedInt64 →
+/// kPlainInt64, kPackedDict → kDictString); plain chunks are returned
+/// as-is. `storage` is reset on every call and must outlive the returned
+/// pointers. Malformed payloads surface as a Status, never a crash.
+StatusOr<std::vector<const ColumnChunk*>> MaterializeSegment(
+    const Segment& segment, ChunkStorage* storage);
+
 /// A relation's segments plus the flattened schema they follow. Keeps the
-/// mapped snapshot alive for the lifetime of the spans inside the chunks.
+/// backing buffers (mapped snapshot, owned delta blobs) alive for the
+/// lifetime of the spans inside the chunks.
+///
+/// A table is `num_base_segments` compacted base segments followed by any
+/// number of delta segments appended since (ExtendDelta). Mutation happens
+/// only under the catalog's exclusive lock; readers see a consistent
+/// snapshot for the duration of their shared lock.
 class SegmentedTable {
  public:
   /// `probability_epoch` is the owning manager's probability_epoch() at
@@ -107,19 +183,35 @@ class SegmentedTable {
   /// manager still reports the same epoch (SetVariableProbability bumps
   /// it, staling every stored probability bound).
   SegmentedTable(Schema schema, std::vector<Segment> segments,
-                 std::shared_ptr<MappedFile> backing,
+                 std::shared_ptr<const void> backing,
                  uint64_t probability_epoch);
 
   const Schema& schema() const { return schema_; }
   const std::vector<Segment>& segments() const { return segments_; }
   size_t num_rows() const { return num_rows_; }
+  size_t num_base_segments() const { return num_base_segments_; }
+  size_t num_delta_segments() const {
+    return segments_.size() - num_base_segments_;
+  }
   uint64_t probability_epoch() const { return probability_epoch_; }
+
+  /// Total packed/unpacked byte tallies across all segments.
+  size_t packed_bytes() const;
+  size_t unpacked_bytes() const;
+  size_t encoded_bytes() const;
+
+  /// Appends delta segments (an in-memory append batch) behind the base
+  /// segments, keeping `backing` alive. Caller holds the exclusive
+  /// catalog lock.
+  void ExtendDelta(std::vector<Segment> segments,
+                   std::shared_ptr<const void> backing);
 
  private:
   Schema schema_;
   std::vector<Segment> segments_;
-  std::shared_ptr<MappedFile> backing_;
+  std::vector<std::shared_ptr<const void>> backings_;
   size_t num_rows_ = 0;
+  size_t num_base_segments_ = 0;
   uint64_t probability_epoch_ = 0;
 };
 
@@ -137,18 +229,21 @@ struct LineageIdMap {
 /// Encodes rows [begin, end) of `table` into one segment blob (the bytes
 /// that go in the snapshot, zone map included). `probs` holds the exact
 /// tuple probability of each row of the full table (zone-map max_prob).
-/// Pure function of its inputs, so segments encode in parallel.
+/// `ids == nullptr` writes raw arena lineage ids (in-process delta and
+/// compaction segments); a map writes snapshot-local ids. Pure function of
+/// its inputs, so segments encode in parallel.
 StatusOr<std::string> EncodeSegmentBlob(const Table& table, size_t begin,
                                         size_t end,
                                         const std::vector<double>& probs,
-                                        const LineageIdMap& ids);
+                                        const LineageIdMap* ids,
+                                        const ColumnCodecOptions& options = {});
 
 /// Parses one segment blob (as produced by EncodeSegmentBlob). Raw arrays
 /// become spans into the blob's bytes — the caller guarantees the backing
 /// memory outlives the segment (SegmentedTable holds the mapping).
 StatusOr<Segment> ParseSegmentBlob(std::span<const uint8_t> blob,
                                    const Schema& schema,
-                                   const LineageIdMap& ids);
+                                   const LineageIdMap* ids);
 
 }  // namespace tpdb::storage
 

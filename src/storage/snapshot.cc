@@ -191,13 +191,23 @@ Status SaveSnapshotFile(LineageManager* manager,
   // epoch moves.
   const uint64_t epoch = manager->probability_epoch();
 
+  payload.PutU64(options.wal_sequence);
+
   // -- Lineage section: every variable, then every reachable node -------
+  // Names are omitted entirely when every variable kept its auto-assigned
+  // name ("x" + id) — the common bulk-ingest case, where per-variable
+  // string framing would otherwise rival the probability data in size.
   const size_t num_vars = manager->num_variables();
   payload.PutU64(num_vars);
-  for (VarId v = 0; v < num_vars; ++v) {
+  bool auto_named = true;
+  for (VarId v = 0; v < num_vars && auto_named; ++v)
+    auto_named = manager->VariableName(v) == "x" + std::to_string(v);
+  payload.PutU8(auto_named ? 1 : 0);
+  if (!auto_named)
+    for (VarId v = 0; v < num_vars; ++v)
+      payload.PutString(manager->VariableName(v));
+  for (VarId v = 0; v < num_vars; ++v)
     payload.PutF64(manager->VariableProbability(v));
-    payload.PutString(manager->VariableName(v));
-  }
   std::unordered_map<uint32_t, uint32_t> local_of;
   std::vector<FileNode> nodes;
   for (const TPRelation* rel : relations) {
@@ -206,12 +216,17 @@ Status SaveSnapshotFile(LineageManager* manager,
     for (const TPTuple& tuple : rel->tuples())
       CollectNodes(*manager, tuple.lineage, &local_of, &nodes);
   }
+  // Nodes as three column-wise compressed blocks: kinds RLE down to almost
+  // nothing, child ids frame-of-reference-pack well (they are dense and
+  // mostly ascending).
   payload.PutU64(nodes.size());
-  for (const FileNode& n : nodes) {
-    payload.PutU8(n.kind);
-    payload.PutU32(n.a);
-    payload.PutU32(n.b);
-  }
+  std::vector<int64_t> node_column(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) node_column[i] = nodes[i].kind;
+  CompressInt64Block(node_column, &payload);
+  for (size_t i = 0; i < nodes.size(); ++i) node_column[i] = nodes[i].a;
+  CompressInt64Block(node_column, &payload);
+  for (size_t i = 0; i < nodes.size(); ++i) node_column[i] = nodes[i].b;
+  CompressInt64Block(node_column, &payload);
   LineageIdMap ids;
   ids.ref_to_local.assign(local_of.begin(), local_of.end());
   std::sort(ids.ref_to_local.begin(), ids.ref_to_local.end());
@@ -247,8 +262,9 @@ Status SaveSnapshotFile(LineageManager* manager,
         ProbabilityEngine engine(manager);
         for (size_t i = begin; i < end; ++i)
           probs[i] = engine.Probability(rel->tuple(i).lineage);
-        StatusOr<std::string> blob =
-            EncodeSegmentBlob(table, begin, end, probs, ids);
+        StatusOr<std::string> blob = EncodeSegmentBlob(
+            table, begin, end, probs, &ids,
+            ColumnCodecOptions{.compress = options.compress});
         if (!blob.ok()) return blob.status();
         blobs[s] = std::move(*blob);
         return Status::OK();
@@ -294,16 +310,29 @@ StatusOr<LoadedSnapshot> LoadSnapshotFile(LineageManager* manager,
 
   ByteReader r(payload);
 
+  uint64_t wal_sequence = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU64(&wal_sequence));
+
   // -- Lineage section ---------------------------------------------------
   uint64_t num_vars = 0;
   TPDB_RETURN_IF_ERROR(r.GetU64(&num_vars));
-  if (num_vars > r.remaining() / 12)  // each var takes >= 12 bytes
+  if (num_vars > r.remaining() / 8)  // each var stores >= its f64 prob
     return Status::IOError("snapshot corrupt: implausible variable count");
+  uint8_t names_mode = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU8(&names_mode));
+  if (names_mode > 1)
+    return Status::IOError("snapshot corrupt: unknown names mode " +
+                           std::to_string(names_mode));
   std::vector<std::pair<double, std::string>> vars(
       static_cast<size_t>(num_vars));
+  for (uint64_t v = 0; v < num_vars; ++v) {
+    if (names_mode == 1)
+      vars[v].second = "x" + std::to_string(v);
+    else
+      TPDB_RETURN_IF_ERROR(r.GetString(&vars[v].second));
+  }
   for (auto& [prob, name] : vars) {
     TPDB_RETURN_IF_ERROR(r.GetF64(&prob));
-    TPDB_RETURN_IF_ERROR(r.GetString(&name));
     if (prob < 0.0 || prob > 1.0)
       return Status::IOError("snapshot corrupt: variable probability " +
                              std::to_string(prob) + " out of [0,1]");
@@ -328,16 +357,30 @@ StatusOr<LoadedSnapshot> LoadSnapshotFile(LineageManager* manager,
 
   uint64_t num_nodes = 0;
   TPDB_RETURN_IF_ERROR(r.GetU64(&num_nodes));
-  if (num_nodes > r.remaining() / 9)  // each node takes 9 bytes
+  if (num_nodes > UINT32_MAX)  // file-local node ids are u32
     return Status::IOError("snapshot corrupt: implausible node count");
+  std::vector<int64_t> kinds, as, bs;
+  {
+    CompressedBlock block;
+    TPDB_RETURN_IF_ERROR(ParseInt64Block(&r, &block));
+    TPDB_RETURN_IF_ERROR(
+        DecompressInt64Block(block, static_cast<size_t>(num_nodes), &kinds));
+    TPDB_RETURN_IF_ERROR(ParseInt64Block(&r, &block));
+    TPDB_RETURN_IF_ERROR(
+        DecompressInt64Block(block, static_cast<size_t>(num_nodes), &as));
+    TPDB_RETURN_IF_ERROR(ParseInt64Block(&r, &block));
+    TPDB_RETURN_IF_ERROR(
+        DecompressInt64Block(block, static_cast<size_t>(num_nodes), &bs));
+  }
   LineageIdMap ids;
   ids.local_to_ref.reserve(static_cast<size_t>(num_nodes));
   for (uint64_t i = 0; i < num_nodes; ++i) {
-    uint8_t kind = 0;
-    uint32_t a = 0, b = 0;
-    TPDB_RETURN_IF_ERROR(r.GetU8(&kind));
-    TPDB_RETURN_IF_ERROR(r.GetU32(&a));
-    TPDB_RETURN_IF_ERROR(r.GetU32(&b));
+    if (kinds[i] < 0 || kinds[i] > UINT8_MAX || as[i] < 0 ||
+        as[i] > UINT32_MAX || bs[i] < 0 || bs[i] > UINT32_MAX)
+      return Status::IOError("snapshot corrupt: lineage node out of range");
+    const uint8_t kind = static_cast<uint8_t>(kinds[i]);
+    const uint32_t a = static_cast<uint32_t>(as[i]);
+    const uint32_t b = static_cast<uint32_t>(bs[i]);
     const auto child = [&](uint32_t local) -> StatusOr<LineageRef> {
       if (local >= i)
         return Status::IOError(
@@ -419,7 +462,7 @@ StatusOr<LoadedSnapshot> LoadSnapshotFile(LineageManager* manager,
       TPDB_RETURN_IF_ERROR(r.GetU64(&blob_size));
       std::span<const uint8_t> blob;
       TPDB_RETURN_IF_ERROR(r.GetBlob(static_cast<size_t>(blob_size), &blob));
-      StatusOr<Segment> seg = ParseSegmentBlob(blob, flattened, ids);
+      StatusOr<Segment> seg = ParseSegmentBlob(blob, flattened, &ids);
       if (!seg.ok()) return seg.status();
       segments.push_back(std::move(*seg));
     }
@@ -439,16 +482,22 @@ StatusOr<LoadedSnapshot> LoadSnapshotFile(LineageManager* manager,
     for (size_t s = 0; s < segments.size(); ++s) {
       group.Spawn([&, s]() -> Status {
         const Segment& seg = segments[s];
+        // Packed chunks decompress into task-local scratch; the in-memory
+        // SegmentedTable keeps them compressed.
+        ChunkStorage storage;
+        StatusOr<std::vector<const ColumnChunk*>> chunks =
+            MaterializeSegment(seg, &storage);
+        if (!chunks.ok()) return chunks.status();
         std::vector<DecodedTuple>& out = decoded[s];
         out.resize(seg.num_rows);
         for (size_t row = 0; row < seg.num_rows; ++row) {
           DecodedTuple& t = out[row];
           t.fact.reserve(num_cols);
           for (uint32_t c = 0; c < num_cols; ++c)
-            t.fact.push_back(seg.chunks[c].ValueAt(row));
-          const Datum ts = seg.chunks[ts_idx].ValueAt(row);
-          const Datum te = seg.chunks[te_idx].ValueAt(row);
-          const Datum lin = seg.chunks[lin_idx].ValueAt(row);
+            t.fact.push_back((*chunks)[c]->ValueAt(row));
+          const Datum ts = (*chunks)[ts_idx]->ValueAt(row);
+          const Datum te = (*chunks)[te_idx]->ValueAt(row);
+          const Datum lin = (*chunks)[lin_idx]->ValueAt(row);
           if (ts.type() != DatumType::kInt64 ||
               te.type() != DatumType::kInt64 ||
               lin.type() != DatumType::kLineage)
@@ -481,6 +530,7 @@ StatusOr<LoadedSnapshot> LoadSnapshotFile(LineageManager* manager,
   }
   if (r.remaining() != 0)
     return Status::IOError("snapshot corrupt: trailing bytes in payload");
+  loaded.wal_sequence = wal_sequence;
   return loaded;
 }
 
@@ -495,20 +545,27 @@ StatusOr<std::vector<std::string>> ReadSnapshotRelationNames(
   if (!payload.ok()) return payload.status();
   ByteReader r(*payload);
 
+  TPDB_RETURN_IF_ERROR(r.Skip(sizeof(uint64_t)));  // wal_sequence
+
   // Lineage section: skip vars and nodes.
   uint64_t num_vars = 0;
   TPDB_RETURN_IF_ERROR(r.GetU64(&num_vars));
-  if (num_vars > r.remaining() / 12)
+  if (num_vars > r.remaining() / 8)
     return Status::IOError("snapshot corrupt: implausible variable count");
-  for (uint64_t i = 0; i < num_vars; ++i) {
-    TPDB_RETURN_IF_ERROR(r.Skip(sizeof(double)));
-    TPDB_RETURN_IF_ERROR(r.SkipString());
+  uint8_t names_mode = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU8(&names_mode));
+  if (names_mode > 1)
+    return Status::IOError("snapshot corrupt: unknown names mode " +
+                           std::to_string(names_mode));
+  if (names_mode == 0)
+    for (uint64_t i = 0; i < num_vars; ++i)
+      TPDB_RETURN_IF_ERROR(r.SkipString());
+  TPDB_RETURN_IF_ERROR(r.Skip(static_cast<size_t>(num_vars) * 8));
+  TPDB_RETURN_IF_ERROR(r.Skip(sizeof(uint64_t)));  // node count
+  for (int block_i = 0; block_i < 3; ++block_i) {
+    CompressedBlock block;  // parse = bounds-checked skip, no decompression
+    TPDB_RETURN_IF_ERROR(ParseInt64Block(&r, &block));
   }
-  uint64_t num_nodes = 0;
-  TPDB_RETURN_IF_ERROR(r.GetU64(&num_nodes));
-  if (num_nodes > r.remaining() / 9)
-    return Status::IOError("snapshot corrupt: implausible node count");
-  TPDB_RETURN_IF_ERROR(r.Skip(static_cast<size_t>(num_nodes) * 9));
 
   // Catalog section: names, skipping schemas and segment blobs.
   uint32_t num_relations = 0;

@@ -7,14 +7,23 @@
 // File layout (little-endian; full spec in README.md):
 //
 //   [ 0..7 ]  magic "TPDBSNP1"
-//   [ 8..11]  format version (u32, currently 1)
+//   [ 8..11]  format version (u32, currently 2)
 //   [12..15]  flags (u32, reserved)
 //   [16..23]  payload size in bytes (u64)
 //   [24..  ]  payload:
-//               lineage: vars (prob, name)*, nodes (kind, a, b)*
+//               wal_sequence (u64): the last WAL record folded into this
+//               snapshot — replay resumes after it
+//               lineage: vars (u64 n, u8 names_mode, names when explicit,
+//               raw f64 probability array), nodes (u64 n + compressed
+//               int64 blocks of kinds, left ids, right ids — the lineage
+//               section is about half of a typical snapshot, so it goes
+//               through the same storage/compress codecs as the columns)
 //               catalog: per relation name, fact schema, tuple count and
 //               8-aligned segment blobs (EncodeSegmentBlob format)
 //   [  -4.. ] CRC-32 of the payload
+//
+// names_mode 1 means every variable carries its auto-assigned name
+// ("x" + var id) and the strings are omitted; 0 stores them explicitly.
 //
 // Readers validate magic, version, size and checksum before touching the
 // payload; every malformed-input path returns a Status (never aborts).
@@ -39,7 +48,7 @@ namespace tpdb::storage {
 
 inline constexpr char kSnapshotMagic[8] = {'T', 'P', 'D', 'B',
                                            'S', 'N', 'P', '1'};
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Knobs of snapshot save/load.
 struct SnapshotOptions {
@@ -48,12 +57,21 @@ struct SnapshotOptions {
   /// 1 = serial; anything else encodes/decodes segments on the shared
   /// exec/ thread pool.
   int parallelism = 0;
+  /// Compress column chunks and the lineage node arrays (storage/compress).
+  /// Off reproduces the fully zero-copy plain chunk layout.
+  bool compress = true;
+  /// Stamped into the file on save: the sequence number of the last WAL
+  /// record this snapshot subsumes (0 = no WAL).
+  uint64_t wal_sequence = 0;
 };
 
 /// One relation reconstructed from a snapshot, with its columnar backing
 /// attached (TPRelation::cold_storage) for the zero-copy scan path.
 struct LoadedSnapshot {
   std::vector<TPRelation> relations;
+  /// The wal_sequence the file was saved with: WAL replay skips records
+  /// with sequence <= this.
+  uint64_t wal_sequence = 0;
 };
 
 /// Writes `relations` (all bound to `manager`) plus the manager's variable

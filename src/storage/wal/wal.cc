@@ -1,0 +1,293 @@
+#include "storage/wal/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/bytes.h"
+#include "storage/column_codec.h"
+
+namespace tpdb::storage {
+
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string EncodeRecordPayload(const WalRecord& record) {
+  ByteWriter w;
+  w.PutU64(record.sequence);
+  w.PutU8(static_cast<uint8_t>(record.kind));
+  switch (record.kind) {
+    case WalRecordKind::kCreateRelation: {
+      w.PutString(record.relation);
+      w.PutU32(static_cast<uint32_t>(record.fact_schema.num_columns()));
+      for (const Column& col : record.fact_schema.columns()) {
+        w.PutString(col.name);
+        w.PutU8(static_cast<uint8_t>(col.type));
+      }
+      break;
+    }
+    case WalRecordKind::kAppendRows: {
+      w.PutString(record.relation);
+      w.PutU32(static_cast<uint32_t>(record.rows.size()));
+      for (const WalAppendRow& row : record.rows) {
+        w.PutString(row.var_name);
+        w.PutF64(row.prob);
+        w.PutI64(row.ts);
+        w.PutI64(row.te);
+        w.PutU32(static_cast<uint32_t>(row.fact.size()));
+        for (const Datum& v : row.fact) {
+          // Base facts hold plain values; lineage datums cannot appear.
+          const Status s = EncodeTaggedDatum(v, nullptr, &w);
+          TPDB_CHECK(s.ok()) << s.ToString();
+        }
+      }
+      break;
+    }
+  }
+  return std::move(w).TakeBuffer();
+}
+
+Status DecodeRecordPayload(std::span<const uint8_t> payload,
+                           WalRecord* record) {
+  ByteReader r(payload);
+  TPDB_RETURN_IF_ERROR(r.GetU64(&record->sequence));
+  uint8_t kind = 0;
+  TPDB_RETURN_IF_ERROR(r.GetU8(&kind));
+  switch (static_cast<WalRecordKind>(kind)) {
+    case WalRecordKind::kCreateRelation: {
+      record->kind = WalRecordKind::kCreateRelation;
+      TPDB_RETURN_IF_ERROR(r.GetString(&record->relation));
+      uint32_t ncols = 0;
+      TPDB_RETURN_IF_ERROR(r.GetU32(&ncols));
+      std::vector<Column> cols;
+      for (uint32_t c = 0; c < ncols; ++c) {
+        Column col;
+        TPDB_RETURN_IF_ERROR(r.GetString(&col.name));
+        uint8_t type = 0;
+        TPDB_RETURN_IF_ERROR(r.GetU8(&type));
+        if (type > static_cast<uint8_t>(DatumType::kLineage))
+          return Status::IOError("wal: unknown column type " +
+                                 std::to_string(type));
+        col.type = static_cast<DatumType>(type);
+        cols.push_back(std::move(col));
+      }
+      record->fact_schema = Schema(std::move(cols));
+      break;
+    }
+    case WalRecordKind::kAppendRows: {
+      record->kind = WalRecordKind::kAppendRows;
+      TPDB_RETURN_IF_ERROR(r.GetString(&record->relation));
+      uint32_t nrows = 0;
+      TPDB_RETURN_IF_ERROR(r.GetU32(&nrows));
+      for (uint32_t i = 0; i < nrows; ++i) {
+        WalAppendRow row;
+        TPDB_RETURN_IF_ERROR(r.GetString(&row.var_name));
+        TPDB_RETURN_IF_ERROR(r.GetF64(&row.prob));
+        TPDB_RETURN_IF_ERROR(r.GetI64(&row.ts));
+        TPDB_RETURN_IF_ERROR(r.GetI64(&row.te));
+        uint32_t arity = 0;
+        TPDB_RETURN_IF_ERROR(r.GetU32(&arity));
+        if (arity > r.remaining())
+          return Status::IOError("wal: row arity overruns the record");
+        row.fact.reserve(arity);
+        for (uint32_t c = 0; c < arity; ++c) {
+          Datum v;
+          TPDB_RETURN_IF_ERROR(DecodeTaggedDatum(&r, nullptr, &v));
+          row.fact.push_back(std::move(v));
+        }
+        record->rows.push_back(std::move(row));
+      }
+      break;
+    }
+    default:
+      return Status::IOError("wal: unknown record kind " +
+                             std::to_string(kind));
+  }
+  if (r.remaining() != 0)
+    return Status::IOError("wal: trailing bytes in record payload");
+  return Status::OK();
+}
+
+/// Scans the longest valid record prefix of `bytes`. Invalid framing or
+/// content anywhere just ends the scan — the caller treats the rest as a
+/// torn tail.
+WalReadResult ScanRecords(std::span<const uint8_t> bytes) {
+  WalReadResult result;
+  ByteReader r(bytes);
+  while (r.remaining() >= sizeof(uint32_t)) {
+    uint32_t len = 0;
+    if (!r.GetU32(&len).ok()) break;
+    if (len < 9 || len + sizeof(uint32_t) > r.remaining()) break;
+    std::span<const uint8_t> payload;
+    if (!r.GetBlob(len, &payload).ok()) break;
+    uint32_t crc = 0;
+    if (!r.GetU32(&crc).ok()) break;
+    if (Crc32(payload) != crc) break;
+    WalRecord record;
+    if (!DecodeRecordPayload(payload, &record).ok()) break;
+    // Sequences must move strictly forward; a rollback means the file was
+    // overwritten mid-record at some point — stop trusting it here.
+    if (!result.records.empty() &&
+        record.sequence <= result.records.back().sequence)
+      break;
+    result.records.push_back(std::move(record));
+    result.valid_bytes = r.position();
+  }
+  return result;
+}
+
+StatusOr<std::string> ReadWholeFile(const std::string& path, bool* exists) {
+  // POSIX read, not ifstream: libstdc++'s filebuf throws out of underflow
+  // when handed a directory, and a WAL path must only ever surface Status.
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      *exists = false;
+      return std::string();
+    }
+    return ErrnoError("cannot open wal", path);
+  }
+  *exists = true;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status s = ErrnoError("cannot stat wal", path);
+    ::close(fd);
+    return s;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("wal path '" + path + "' is not a regular file");
+  }
+  std::string bytes;
+  bytes.reserve(static_cast<size_t>(st.st_size));
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = ErrnoError("cannot read wal", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace
+
+StatusOr<WalReadResult> ReadWal(const std::string& path) {
+  bool exists = false;
+  StatusOr<std::string> bytes = ReadWholeFile(path, &exists);
+  if (!bytes.ok()) return bytes.status();
+  if (!exists) return WalReadResult{};
+  return ScanRecords(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(bytes->data()), bytes->size()));
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                     uint64_t sequence_floor) {
+  bool exists = false;
+  StatusOr<std::string> bytes = ReadWholeFile(path, &exists);
+  if (!bytes.ok()) return bytes.status();
+  WalReadResult scanned;
+  if (exists)
+    scanned = ScanRecords(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(bytes->data()), bytes->size()));
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return ErrnoError("cannot open wal", path);
+  // Drop the torn tail so every future append lands after a valid record.
+  if (::ftruncate(fd, static_cast<off_t>(scanned.valid_bytes)) != 0) {
+    const Status s = ErrnoError("cannot truncate wal", path);
+    ::close(fd);
+    return s;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    const Status s = ErrnoError("cannot seek wal", path);
+    ::close(fd);
+    return s;
+  }
+  uint64_t last = sequence_floor;
+  if (!scanned.records.empty())
+    last = std::max(last, scanned.records.back().sequence);
+  return std::unique_ptr<WalWriter>(new WalWriter(
+      fd, path, last, scanned.valid_bytes, scanned.records.size()));
+}
+
+WalWriter::WalWriter(int fd, std::string path, uint64_t last_sequence,
+                     size_t bytes, uint64_t records)
+    : fd_(fd),
+      path_(std::move(path)),
+      last_sequence_(last_sequence),
+      bytes_(bytes),
+      records_(records) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<uint64_t> WalWriter::Append(WalRecord record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  record.sequence = last_sequence_ + 1;
+  const std::string payload = EncodeRecordPayload(record);
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutRaw(payload.data(), payload.size());
+  frame.PutU32(Crc32(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size())));
+  const std::string& out = frame.buffer();
+  size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n = ::write(fd_, out.data() + written, out.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Leave the partial frame in place: its checksum cannot validate, so
+      // readers (and the next Open) treat it as a torn tail.
+      return ErrnoError("cannot write wal", path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) return ErrnoError("cannot sync wal", path_);
+  last_sequence_ = record.sequence;
+  bytes_ += out.size();
+  ++records_;
+  return record.sequence;
+}
+
+Status WalWriter::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (::ftruncate(fd_, 0) != 0)
+    return ErrnoError("cannot truncate wal", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0)
+    return ErrnoError("cannot seek wal", path_);
+  if (::fsync(fd_) != 0) return ErrnoError("cannot sync wal", path_);
+  bytes_ = 0;
+  records_ = 0;
+  return Status::OK();
+}
+
+uint64_t WalWriter::last_sequence() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_sequence_;
+}
+
+size_t WalWriter::bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+uint64_t WalWriter::records() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+}  // namespace tpdb::storage

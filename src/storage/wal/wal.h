@@ -1,0 +1,122 @@
+// Write-ahead log: the durable append path between two snapshots.
+//
+// A snapshot (storage/snapshot.h) is a full, atomic image of the database;
+// the WAL makes the appends *since* the last snapshot durable without
+// rewriting it. TPDatabase::Append applies rows in memory and then appends
+// one framed record here, fsyncing before it acknowledges — a process
+// killed at any point loses no acknowledged append: on restart, loading
+// the snapshot and replaying the WAL reproduces the exact pre-crash
+// catalog, tuples, variable names and probabilities.
+//
+// On-disk framing (little-endian, like every storage/ format):
+//
+//   u32 payload_len | payload bytes | u32 crc32(payload)
+//
+// repeated back to back. Record payload:
+//
+//   u64 sequence | u8 kind | body
+//
+//   kCreateRelation: string name | u32 ncols | (string name, u8 type)*
+//   kAppendRows:     string relation | u32 nrows | per row:
+//                      string var_name | f64 prob | i64 ts | i64 te |
+//                      u32 arity | arity tagged datums
+//                      (storage/column_codec.h EncodeTaggedDatum)
+//
+// Sequences increase monotonically across the WAL's whole lifetime and
+// never reset: a snapshot records the last sequence it subsumes
+// (SnapshotOptions::wal_sequence) and replay skips records at or below
+// that floor, so replaying an over-long WAL against a newer snapshot is
+// harmless.
+//
+// Torn tails: readers (and WalWriter::Open) accept the longest prefix of
+// records whose length, checksum and payload all validate, and ignore —
+// Open truncates — everything after the first invalid byte. A crash
+// mid-write therefore only ever costs the unacknowledged record being
+// written; corruption never crashes the process, it just ends replay.
+#ifndef TPDB_STORAGE_WAL_WAL_H_
+#define TPDB_STORAGE_WAL_WAL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/row.h"
+#include "engine/schema.h"
+
+namespace tpdb::storage {
+
+enum class WalRecordKind : uint8_t {
+  kCreateRelation = 1,
+  kAppendRows = 2,
+};
+
+/// One appended base tuple as logged: enough to replay AppendBase with the
+/// identical variable name and probability.
+struct WalAppendRow {
+  std::string var_name;  ///< the registered name (auto names included)
+  double prob = 1.0;
+  int64_t ts = 0;
+  int64_t te = 0;
+  Row fact;
+};
+
+struct WalRecord {
+  uint64_t sequence = 0;  ///< assigned by WalWriter::Append
+  WalRecordKind kind = WalRecordKind::kAppendRows;
+  std::string relation;
+  Schema fact_schema;               ///< kCreateRelation
+  std::vector<WalAppendRow> rows;   ///< kAppendRows
+};
+
+/// The records of the WAL at `path`: its longest valid prefix, in order,
+/// plus how many bytes that prefix spans (everything after is a torn or
+/// corrupt tail). A missing file reads as an empty log.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  size_t valid_bytes = 0;
+};
+StatusOr<WalReadResult> ReadWal(const std::string& path);
+
+/// Appender over one WAL file. Thread-safe; every Append is synced to
+/// stable storage before it returns OK.
+class WalWriter {
+ public:
+  /// Opens (creating if absent) the WAL at `path`, truncates any invalid
+  /// tail, and positions sequences after max(`sequence_floor`, the last
+  /// valid record in the file).
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                   uint64_t sequence_floor);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Stamps the next sequence onto `record`, appends the framed record and
+  /// fsyncs. Returns the assigned sequence.
+  StatusOr<uint64_t> Append(WalRecord record);
+
+  /// Empties the file (after a successful snapshot subsumed every record).
+  /// Sequences keep counting — the snapshot remembers the floor.
+  Status Reset();
+
+  uint64_t last_sequence() const;
+  size_t bytes() const;      ///< current valid file size
+  uint64_t records() const;  ///< records appended since Open (plus preexisting)
+
+ private:
+  WalWriter(int fd, std::string path, uint64_t last_sequence, size_t bytes,
+            uint64_t records);
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  uint64_t last_sequence_ = 0;
+  size_t bytes_ = 0;
+  uint64_t records_ = 0;
+};
+
+}  // namespace tpdb::storage
+
+#endif  // TPDB_STORAGE_WAL_WAL_H_

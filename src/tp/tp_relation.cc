@@ -44,6 +44,23 @@ Status TPRelation::AppendDerived(Row fact, Interval interval,
   return Status::OK();
 }
 
+Status TPRelation::ReplaceContents(
+    std::vector<TPTuple> tuples,
+    std::shared_ptr<const storage::SegmentedTable> cold) {
+  for (const TPTuple& t : tuples) {
+    if (t.fact.size() != fact_schema_.num_columns())
+      return Status::InvalidArgument(
+          name_ + ": fact arity " + std::to_string(t.fact.size()) +
+          " does not match schema arity " +
+          std::to_string(fact_schema_.num_columns()));
+    if (t.lineage.is_null())
+      return Status::InvalidArgument("null lineage in " + name_);
+  }
+  tuples_ = std::move(tuples);
+  cold_storage_ = std::move(cold);
+  return Status::OK();
+}
+
 Status TPRelation::Absorb(TPRelation&& other) {
   if (other.manager_ != manager_)
     return Status::InvalidArgument(

@@ -74,6 +74,13 @@ class TPRelation {
   /// fact schemas of equal arity. `other` is left empty.
   Status Absorb(TPRelation&& other);
 
+  /// Replaces the relation's contents wholesale with `tuples` and the
+  /// columnar backing `cold` describing the same data in the same order —
+  /// the compaction swap (storage/compact). Unlike the append paths this
+  /// keeps (attaches) the cold backing; the caller vouches they match.
+  Status ReplaceContents(std::vector<TPTuple> tuples,
+                         std::shared_ptr<const storage::SegmentedTable> cold);
+
   /// Verifies the duplicate-free-in-time invariant and basic well-formedness
   /// (non-empty intervals, non-null lineages, fact arity).
   Status Validate() const;

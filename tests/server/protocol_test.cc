@@ -35,6 +35,55 @@ std::string ValidQueryBytes(uint64_t id, const std::string& sql) {
   return out;
 }
 
+// -- Typed payload level ---------------------------------------------------
+
+TEST(WirePayloadTest, AppendAndStatsRoundTrip) {
+  AppendMsg msg;
+  msg.query_id = 42;
+  msg.relation = "bookings";
+  msg.rows.push_back(
+      {{Datum(int64_t{7}), Datum("GVA"), Datum(3.5), Datum::Null()},
+       0.25,
+       -3,
+       11,
+       "b1"});
+  msg.rows.push_back({{}, 1.0, 0, 1, ""});  // zero-arity fact
+  const std::string payload = BuildAppend(msg);
+  AppendMsg back;
+  ASSERT_TRUE(ParseAppend(payload, &back).ok());
+  EXPECT_EQ(back.query_id, 42u);
+  EXPECT_EQ(back.relation, "bookings");
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_EQ(back.rows[0].fact.size(), 4u);
+  EXPECT_EQ(back.rows[0].fact[0].AsInt64(), 7);
+  EXPECT_EQ(back.rows[0].fact[1].AsString(), "GVA");
+  EXPECT_EQ(back.rows[0].fact[2].AsDouble(), 3.5);
+  EXPECT_TRUE(back.rows[0].fact[3].is_null());
+  EXPECT_EQ(back.rows[0].prob, 0.25);
+  EXPECT_EQ(back.rows[0].ts, -3);
+  EXPECT_EQ(back.rows[0].te, 11);
+  EXPECT_EQ(back.rows[0].var_name, "b1");
+  EXPECT_EQ(back.rows[1].fact.size(), 0u);
+
+  const std::string stats_payload = BuildStats({9});
+  StatsMsg stats;
+  ASSERT_TRUE(ParseStats(stats_payload, &stats).ok());
+  EXPECT_EQ(stats.query_id, 9u);
+}
+
+TEST(WirePayloadTest, EveryAppendPayloadTruncationIsRejectedNotCrashed) {
+  AppendMsg msg;
+  msg.query_id = 1;
+  msg.relation = "r";
+  msg.rows.push_back({{Datum(int64_t{5}), Datum("x")}, 0.5, 0, 4, "v"});
+  const std::string payload = BuildAppend(msg);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    AppendMsg out;
+    EXPECT_FALSE(ParseAppend(payload.substr(0, cut), &out).ok())
+        << "prefix of " << cut << " bytes parsed as a whole payload";
+  }
+}
+
 // -- FrameReader unit level ------------------------------------------------
 
 TEST(FrameReaderTest, EveryPrefixTruncationIsSafe) {

@@ -398,5 +398,87 @@ TEST_F(ServerEndToEndTest, StatsCountTheTraffic) {
   EXPECT_GT(stats.bytes_sent, 0u);
 }
 
+TEST_F(ServerEndToEndTest, AppendOverTheWireHitsTheWal) {
+  const std::string wal_path = ::testing::TempDir() + "/wire_append.wal";
+  std::remove(wal_path.c_str());
+  ASSERT_TRUE(db_.EnableWal(wal_path).ok());
+  ASSERT_TRUE(db_.CreateRelation(
+                     "bookings", Schema({{"key", DatumType::kInt64},
+                                         {"loc", DatumType::kString}}))
+                  .ok());
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  std::vector<AppendRowMsg> rows;
+  rows.push_back({{Datum(int64_t{1}), Datum("GVA")}, 0.5, 0, 10, "b1"});
+  rows.push_back({{Datum(int64_t{2}), Datum("ZAK")}, 0.25, 5, 20, "b2"});
+  rows.push_back({{Datum(int64_t{3}), Datum::Null()}, 1.0, 7, 9, ""});
+  StatusOr<uint64_t> appended = (*client)->Append("bookings", rows);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_EQ(*appended, 3u);
+
+  // Acknowledged means logged: the create and the append are both on disk.
+  ASSERT_TRUE(db_.wal_enabled());
+  EXPECT_EQ(db_.wal()->records(), 2u);
+  EXPECT_GT(db_.wal()->bytes(), 0u);
+
+  // The rows are immediately queryable with their exact probabilities.
+  StatusOr<ClientResult> wire =
+      (*client)->Query("SELECT * FROM bookings ORDER BY key");
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  ASSERT_EQ(wire->rows.size(), 3u);
+  const size_t n = wire->schema.num_columns();
+  EXPECT_EQ(wire->rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(wire->rows[0][n - 1].AsDouble(), 0.5);
+  EXPECT_EQ(wire->rows[1][n - 1].AsDouble(), 0.25);
+  EXPECT_EQ(wire->rows[2][n - 1].AsDouble(), 1.0);
+  std::remove(wal_path.c_str());
+}
+
+TEST_F(ServerEndToEndTest, AppendValidationErrorsTravelAndNothingIsApplied) {
+  ASSERT_TRUE(
+      db_.CreateRelation("w", Schema({{"key", DatumType::kInt64}})).ok());
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+
+  // Unknown relation.
+  StatusOr<uint64_t> missing =
+      (*client)->Append("nope", {{{Datum(int64_t{1})}, 1.0, 0, 1, ""}});
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // Second row is invalid (empty interval): all-or-nothing, so the valid
+  // first row must not be applied either.
+  std::vector<AppendRowMsg> rows;
+  rows.push_back({{Datum(int64_t{1})}, 1.0, 0, 10, ""});
+  rows.push_back({{Datum(int64_t{2})}, 1.0, 5, 5, ""});
+  StatusOr<uint64_t> bad = (*client)->Append("w", rows);
+  EXPECT_FALSE(bad.ok());
+  ASSERT_TRUE(db_.Get("w").ok());
+  EXPECT_EQ((*db_.Get("w"))->size(), 0u);
+
+  // The connection survives an append error.
+  StatusOr<uint64_t> good =
+      (*client)->Append("w", {{{Datum(int64_t{7})}, 0.75, 0, 3, ""}});
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(*good, 1u);
+  EXPECT_EQ((*db_.Get("w"))->size(), 1u);
+}
+
+TEST_F(ServerEndToEndTest, StorageStatsTravelAsRenderedText) {
+  StartServer();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok());
+  StatusOr<std::string> stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // The fixture's relations and the WAL line must both show up.
+  EXPECT_NE(stats->find("r"), std::string::npos);
+  EXPECT_NE(stats->find("s"), std::string::npos);
+  EXPECT_NE(stats->find("wal: disabled"), std::string::npos);
+  // Stats leave the session ready for a normal query.
+  EXPECT_TRUE((*client)->Query("SELECT * FROM r").ok());
+}
+
 }  // namespace
 }  // namespace tpdb::server
