@@ -1,15 +1,24 @@
 // Network server throughput & latency, emitting BENCH_server.json:
 //   * QPS and p50/p99 query latency over loopback at 1 / 8 / 64 / 256
 //     concurrent client connections (each connection is a thread running
-//     a stream of small selective queries);
+//     a stream of small selective queries). Latency quantiles come from
+//     the shared obs:: log-bucketed histogram (the same estimator the
+//     metrics registry exports), one HistogramData per connection, merged
+//     per sweep;
 //   * a parity gate: the wire result of every benched query must be
 //     element-wise identical — rows, intervals, exact probabilities — to
 //     the same query run in-process. The process exits non-zero on any
-//     divergence or query failure, which is what CI keys off.
+//     divergence or query failure, which is what CI keys off;
+//   * a metrics artifact: the server's full Prometheus exposition after
+//     the sweeps, fetched over the wire (kMetrics);
+//   * an overhead gate: point TPDB_BENCH_BASELINE at the BENCH_server.json
+//     of a -DTPDB_NO_METRICS=ON build and the instrumented build must stay
+//     within TPDB_METRICS_OVERHEAD_PCT (default 3) percent of its best
+//     sweep QPS, else the process exits non-zero.
 //
 // Like bench_storage this is a plain main():
 //
-//   ./bench/bench_server [out.json]
+//   ./bench/bench_server [out.json] [metrics.prom]
 //
 // TPDB_BENCH_SCALE multiplies the per-sweep query count (default 8 per
 // connection, at least 256 per sweep).
@@ -18,6 +27,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -28,6 +38,7 @@
 #include "datasets/generator.h"
 #include "exec/session.h"
 #include "lineage/probability.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -46,13 +57,24 @@ struct SweepResult {
   bool ok = true;
 };
 
-double Percentile(std::vector<double>* latencies, double p) {
-  if (latencies->empty()) return 0.0;
-  std::sort(latencies->begin(), latencies->end());
-  const size_t idx = std::min(
-      latencies->size() - 1,
-      static_cast<size_t>(p * static_cast<double>(latencies->size())));
-  return (*latencies)[idx];
+/// Best sweep QPS recorded in an earlier BENCH_server.json — the
+/// uninstrumented baseline of the overhead gate. Zero when absent or
+/// unparsable (no "qps": fields).
+double MaxQpsInJsonFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0.0;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  double best = 0.0;
+  const char* p = text.c_str();
+  while ((p = std::strstr(p, "\"qps\":")) != nullptr) {
+    best = std::max(best, std::strtod(p + 6, nullptr));
+    p += 6;
+  }
+  return best;
 }
 
 /// Element-wise parity of one query: in-process session vs. loopback
@@ -100,7 +122,11 @@ SweepResult RunSweep(uint16_t port, size_t connections,
   SweepResult result;
   result.connections = connections;
   result.queries = connections * queries_per_conn;
-  std::vector<std::vector<double>> latencies(connections);
+  // One plain (non-atomic) histogram per connection thread, merged after
+  // the join — the same log-bucketed estimator the metrics registry
+  // exports, so the benched quantiles and the server's own
+  // tpdb_server_execute_us agree on method.
+  std::vector<obs::HistogramData> latencies(connections);
   std::atomic<size_t> failures{0};
   std::vector<std::thread> threads;
   threads.reserve(connections);
@@ -113,42 +139,42 @@ SweepResult RunSweep(uint16_t port, size_t connections,
         ++failures;
         return;
       }
-      latencies[c].reserve(queries_per_conn);
       for (size_t q = 0; q < queries_per_conn; ++q) {
         const std::string& query = queries[(c + q) % queries.size()];
-        const Clock::time_point t0 = Clock::now();
+        const uint64_t t0 = obs::NowUs();
         StatusOr<ClientResult> r = (*client)->Query(query);
         if (!r.ok()) {
           ++failures;
           continue;
         }
-        latencies[c].push_back(
-            std::chrono::duration<double>(Clock::now() - t0).count() *
-            1000.0);
+        latencies[c].Record(obs::NowUs() - t0);
       }
     });
   }
   for (std::thread& t : threads) t.join();
   result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
-  std::vector<double> all;
-  for (const std::vector<double>& per_conn : latencies)
-    all.insert(all.end(), per_conn.begin(), per_conn.end());
-  result.ok = failures.load() == 0 && all.size() == result.queries;
+  obs::HistogramData merged;
+  for (const obs::HistogramData& per_conn : latencies)
+    merged.Merge(per_conn);
+  result.ok = failures.load() == 0 && merged.count == result.queries;
   result.qps = result.seconds > 0.0
-                   ? static_cast<double>(all.size()) / result.seconds
+                   ? static_cast<double>(merged.count) / result.seconds
                    : 0.0;
-  result.p50_ms = Percentile(&all, 0.50);
-  result.p99_ms = Percentile(&all, 0.99);
+  result.p50_ms = merged.Quantile(0.50) / 1000.0;
+  result.p99_ms = merged.Quantile(0.99) / 1000.0;
   std::printf(
       "conns=%-4zu queries=%-6zu %7.3f s  %8.1f qps  p50=%6.3f ms  "
       "p99=%6.3f ms%s\n",
-      result.connections, all.size(), result.seconds, result.qps,
-      result.p50_ms, result.p99_ms, result.ok ? "" : "  FAILURES");
+      result.connections, static_cast<size_t>(merged.count), result.seconds,
+      result.qps, result.p50_ms, result.p99_ms,
+      result.ok ? "" : "  FAILURES");
   return result;
 }
 
 int Main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_server.json";
+  const std::string metrics_path =
+      argc > 2 ? argv[2] : "BENCH_server_metrics.prom";
   const char* scale_env = std::getenv("TPDB_BENCH_SCALE");
   const int64_t scale = scale_env != nullptr && std::atoll(scale_env) > 0
                             ? std::atoll(scale_env)
@@ -209,13 +235,31 @@ int Main(int argc, char** argv) {
     sweeps.push_back(RunSweep(server.port(), conns, per_conn, queries));
   }
 
+  // -- Metrics artifact --------------------------------------------------
+  // The server's full Prometheus exposition after the sweeps, fetched the
+  // way an operator would: over the wire.
+  {
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::Connect({.host = "127.0.0.1", .port = server.port()});
+    TPDB_CHECK(client.ok()) << client.status().ToString();
+    StatusOr<std::string> exposition = (*client)->Metrics();
+    TPDB_CHECK(exposition.ok()) << exposition.status().ToString();
+    FILE* prom = std::fopen(metrics_path.c_str(), "w");
+    TPDB_CHECK(prom != nullptr) << "cannot write " << metrics_path;
+    std::fwrite(exposition->data(), 1, exposition->size(), prom);
+    std::fclose(prom);
+    std::printf("wrote %s (%zu bytes)\n", metrics_path.c_str(),
+                exposition->size());
+  }
+
   const ServerStats stats = server.Stats();
   server.Shutdown();
 
   FILE* out = std::fopen(out_path.c_str(), "w");
   TPDB_CHECK(out != nullptr) << "cannot write " << out_path;
-  std::fprintf(out, "{\n  \"parity_ok\": %s,\n",
-               parity_ok ? "true" : "false");
+  std::fprintf(out, "{\n  \"parity_ok\": %s,\n  \"metrics_compiled_in\": %s,\n",
+               parity_ok ? "true" : "false",
+               obs::kMetricsCompiledIn ? "true" : "false");
   std::fprintf(out,
                "  \"server\": {\"queries_ok\": %llu, \"batches_sent\": %llu, "
                "\"bytes_sent\": %llu, \"protocol_errors\": %llu},\n",
@@ -246,6 +290,33 @@ int Main(int argc, char** argv) {
                  !parity_ok ? "wire/in-process divergence"
                             : "query failures during sweep");
     return 1;
+  }
+
+  // -- Overhead gate -----------------------------------------------------
+  // Compare best sweep QPS against a TPDB_NO_METRICS baseline run.
+  if (const char* baseline_path = std::getenv("TPDB_BENCH_BASELINE")) {
+    const double baseline_qps = MaxQpsInJsonFile(baseline_path);
+    double best_qps = 0.0;
+    for (const SweepResult& s : sweeps) best_qps = std::max(best_qps, s.qps);
+    const char* pct_env = std::getenv("TPDB_METRICS_OVERHEAD_PCT");
+    const double pct = pct_env != nullptr ? std::strtod(pct_env, nullptr) : 3.0;
+    if (baseline_qps <= 0.0) {
+      std::fprintf(stderr, "overhead gate: no baseline QPS in %s — skipped\n",
+                   baseline_path);
+    } else {
+      const double floor_qps = baseline_qps * (1.0 - pct / 100.0);
+      std::printf(
+          "overhead gate: best %.1f qps vs baseline %.1f qps "
+          "(floor %.1f, %.1f%% budget)\n",
+          best_qps, baseline_qps, floor_qps, pct);
+      if (best_qps < floor_qps) {
+        std::fprintf(stderr,
+                     "FAILED: metrics overhead exceeds %.1f%% "
+                     "(%.1f qps < %.1f qps floor)\n",
+                     pct, best_qps, floor_qps);
+        return 1;
+      }
+    }
   }
   return 0;
 }

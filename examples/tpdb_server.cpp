@@ -2,7 +2,12 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/tpdb_server [port] [snapshot.tpdb]
+//   ./build/examples/tpdb_server [port] [snapshot.tpdb] \
+//       [--metrics-dump=SECONDS] [--slow-query-ms=N]
+//
+// --metrics-dump=SECONDS periodically prints the Prometheus exposition of
+// the metrics registry to stderr; --slow-query-ms=N logs any query slower
+// than N milliseconds (also settable via TPDB_SLOW_QUERY_MS).
 //
 // With no snapshot argument the server generates a small demo workload
 // (relations `r` and `s`, int64 `key` column) so a shell can connect and
@@ -16,10 +21,14 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "api/database.h"
 #include "common/random.h"
 #include "datasets/generator.h"
+#include "obs/metrics.h"
+#include "obs/slow_query.h"
 #include "server/server.h"
 
 using namespace tpdb;
@@ -33,9 +42,27 @@ void OnSignal(int) { g_stop = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
-  const uint16_t port =
-      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 5433;
-  const std::string snapshot = argc > 2 ? argv[2] : "";
+  uint16_t port = 5433;
+  std::string snapshot;
+  long metrics_dump_s = 0;
+  long slow_query_ms = -1;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-dump=", 15) == 0) {
+      metrics_dump_s = std::atol(arg + 15);
+    } else if (std::strncmp(arg, "--slow-query-ms=", 16) == 0) {
+      slow_query_ms = std::atol(arg + 16);
+    } else if (arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      return 2;
+    } else if (positional++ == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg));
+    } else {
+      snapshot = arg;
+    }
+  }
+  if (slow_query_ms >= 0) obs::SlowQueryLog::SetThresholdMs(slow_query_ms);
 
   TPDatabase db;
   if (!snapshot.empty()) {
@@ -80,9 +107,14 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  long ticks = 0;
   while (!g_stop) {
     struct timespec ts = {0, 200 * 1000 * 1000};
     nanosleep(&ts, nullptr);
+    // 5 ticks per second; dump the registry every metrics_dump_s seconds.
+    if (metrics_dump_s > 0 && ++ticks % (5 * metrics_dump_s) == 0)
+      std::fprintf(stderr, "%s",
+                   obs::MetricsRegistry::Default().RenderPrometheus().c_str());
   }
 
   std::printf("\ndraining...\n");

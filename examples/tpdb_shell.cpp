@@ -8,7 +8,9 @@
 //   <query>            run a query, pretty-print the streamed result
 //   \e <query>         EXPLAIN: run server-side, show the full plan report
 //   \p <query>         PREPARE: parse + plan only, show the logical tree
-//   \s                 storage statistics (segments, WAL, compression)
+//   \t <query>         TRACE: run traced, print chrome://tracing JSON
+//   \s                 storage + server statistics
+//   \m [json]          metrics snapshot (Prometheus text, or JSON)
 //   \q                 quit
 //
 // Set TPDB_AUTH_TOKEN to authenticate against a token-protected server.
@@ -95,7 +97,8 @@ int main(int argc, char** argv) {
   }
   std::printf("connected: %s\n", (*client)->banner().c_str());
   std::printf("type a query, \\e <query> to explain, \\p <query> to plan, "
-              "\\s for storage stats, \\q to quit\n");
+              "\\t <query> to trace, \\s for stats, \\m for metrics, "
+              "\\q to quit\n");
 
   std::string line;
   for (;;) {
@@ -117,11 +120,24 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    if (line.rfind("\\e ", 0) == 0 || line.rfind("\\p ", 0) == 0) {
-      const bool explain = line[1] == 'e';
+    if (line == "\\m" || line == "\\m json") {
+      StatusOr<std::string> metrics = (*client)->Metrics(
+          line == "\\m json" ? server::MetricsFormat::kJson
+                             : server::MetricsFormat::kPrometheus);
+      if (metrics.ok())
+        std::printf("%s\n", metrics->c_str());
+      else
+        std::printf("error: %s\n", metrics.status().ToString().c_str());
+      continue;
+    }
+
+    if (line.rfind("\\e ", 0) == 0 || line.rfind("\\p ", 0) == 0 ||
+        line.rfind("\\t ", 0) == 0) {
+      const char kind = line[1];
       const std::string query = line.substr(3);
-      StatusOr<std::string> text = explain ? (*client)->Explain(query)
-                                           : (*client)->Prepare(query);
+      StatusOr<std::string> text = kind == 'e'   ? (*client)->Explain(query)
+                                   : kind == 'p' ? (*client)->Prepare(query)
+                                                 : (*client)->TraceQuery(query);
       if (text.ok())
         std::printf("%s\n", text->c_str());
       else

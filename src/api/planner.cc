@@ -18,6 +18,8 @@
 #include "exec/exec_context.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/scan.h"
 #include "tp/set_ops.h"
 
@@ -26,6 +28,22 @@ namespace tpdb {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Engine-wide query metrics — every execution path funnels through
+/// Planner::Execute, so this is the one place the per-query counters live.
+struct EngineMetrics {
+  obs::Counter* queries = obs::MetricsRegistry::Default().counter(
+      "tpdb_engine_queries_total", "engine",
+      "Logical plans executed (all paths: in-process and server).");
+  obs::Histogram* query_us = obs::MetricsRegistry::Default().histogram(
+      "tpdb_engine_query_us", "engine",
+      "End-to-end plan execution latency in microseconds.");
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m;
+    return m;
+  }
+};
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -101,6 +119,9 @@ StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
                                       ExecStats* stats) {
   if (plan.root == nullptr)
     return Status::InvalidArgument("empty logical plan");
+  EngineMetrics::Get().queries->Add();
+  const obs::ScopedLatencyTimer query_timer(EngineMetrics::Get().query_us);
+  obs::TraceContext* trace = stats != nullptr ? stats->trace() : nullptr;
 
   // Snapshot statements run before the catalog lock below: SaveSnapshot
   // takes its own shared lock, LoadSnapshot registers relations through
@@ -139,18 +160,30 @@ StatusOr<TPRelation> Planner::Execute(const LogicalPlan& plan,
   ctx_ = ctx.parallelism() > 1 ? &ctx : nullptr;
 
   // Bind → optimize → execute: the one lowering path.
+  const uint64_t optimize_span =
+      trace != nullptr ? trace->StartSpan("optimize") : 0;
   StatusOr<PhysicalPlan> physical = LowerLocked(plan, ctx.parallelism());
+  if (trace != nullptr) trace->EndSpan(optimize_span);
   if (!physical.ok()) {
     ctx_ = nullptr;
     return physical.status();
   }
 
+  const uint64_t execute_span =
+      trace != nullptr ? trace->StartSpan("execute") : 0;
   StatusOr<EvalResult> result = ExecNode(physical->root.get(), stats);
   ctx_ = nullptr;
+  if (trace != nullptr) trace->EndSpan(execute_span);
   if (stats != nullptr) {
     for (const WorkerStats& w : ctx.CollectWorkerStats())
       stats->AddWorker(w);
     stats->set_physical_plan(physical->ToString());
+    // Mirror the executed tree into the trace AFTER set_physical_plan:
+    // both read the same NodeStats slots, so the span payloads and the
+    // rendered actuals agree node-for-node by construction.
+    if (trace != nullptr)
+      obs::AddPlanSpans(*physical->root, execute_span,
+                        trace->spans()[execute_span - 1].start_us, trace);
   }
   if (!result.ok()) return result.status();
   if (result->owned) return std::move(*result->owned);

@@ -1,16 +1,111 @@
 // Lightweight assertion / logging macros in the spirit of the database
-// codebases this project follows (CHECK-style invariant enforcement that is
-// active in all build types, plus DCHECK for debug-only checks).
+// codebases this project follows: CHECK-style invariant enforcement that is
+// active in all build types, DCHECK for debug-only checks, and a minimal
+// leveled logger (TPDB_LOG) for the long-running subsystems — server, WAL,
+// compactor — whose failure paths must be visible to an operator, not
+// silent.
+//
+// TPDB_LOG(WARN) << "wal: " << detail;
+//
+// writes one line to stderr:  [   12.345] W wal.cc:101] wal: detail
+// where the timestamp is steady-clock seconds since the first log call.
+// The minimum level comes from the TPDB_LOG_LEVEL environment variable
+// ("debug" | "info" | "warn" | "error" | "off", default "info") and can be
+// overridden programmatically with SetMinLogLevel. A disabled level costs
+// one relaxed atomic load and a branch.
 #ifndef TPDB_COMMON_LOGGING_H_
 #define TPDB_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 
 namespace tpdb {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
 namespace internal {
+
+inline std::atomic<int>& LogLevelSlot() {
+  static std::atomic<int> slot{-1};  // -1 = not yet read from the env
+  return slot;
+}
+
+inline LogLevel LevelFromEnv() {
+  const char* env = std::getenv("TPDB_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+inline LogLevel MinLogLevel() {
+  int v = LogLevelSlot().load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(LevelFromEnv());
+    LogLevelSlot().store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+/// Seconds on the steady clock since the first call (i.e. roughly process
+/// uptime) — monotonic log timestamps that survive wall-clock jumps.
+inline double LogUptimeSeconds() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin)
+      .count();
+}
+
+/// Stream collector flushing one formatted line to stderr on destruction.
+class LogMessageBuilder {
+ public:
+  LogMessageBuilder(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessageBuilder() {
+    static constexpr char kTags[] = {'D', 'I', 'W', 'E'};
+    const char* base = std::strrchr(file_, '/');
+    const std::string body = stream_.str();
+    // One fprintf so concurrent writers do not interleave mid-line.
+    std::fprintf(stderr, "[%9.3f] %c %s:%d] %s\n", LogUptimeSeconds(),
+                 kTags[static_cast<int>(level_) & 3],
+                 base != nullptr ? base + 1 : file_, line_, body.c_str());
+  }
+  template <typename T>
+  LogMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// TPDB_LOG(INFO) pastes to kLogINFO below.
+inline constexpr LogLevel kLogDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogWARN = LogLevel::kWarn;
+inline constexpr LogLevel kLogERROR = LogLevel::kError;
 
 // Terminates the process with a formatted message. Kept out-of-line-ish via
 // [[noreturn]] so the hot path only pays for the branch.
@@ -44,7 +139,22 @@ class CheckMessageBuilder {
 };
 
 }  // namespace internal
+
+/// Programmatic override of the minimum log level (takes precedence over
+/// TPDB_LOG_LEVEL once called).
+inline void SetMinLogLevel(LogLevel level) {
+  internal::LogLevelSlot().store(static_cast<int>(level),
+                                 std::memory_order_relaxed);
+}
+
+inline LogLevel MinLogLevel() { return internal::MinLogLevel(); }
+
 }  // namespace tpdb
+
+#define TPDB_LOG(severity)                                               \
+  if (::tpdb::internal::kLog##severity >= ::tpdb::internal::MinLogLevel()) \
+  ::tpdb::internal::LogMessageBuilder(::tpdb::internal::kLog##severity,  \
+                                      __FILE__, __LINE__)
 
 #define TPDB_CHECK(condition)                                        \
   if (!(condition))                                                  \

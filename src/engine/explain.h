@@ -14,6 +14,10 @@
 
 #include "engine/operator.h"
 
+namespace tpdb::obs {
+class TraceContext;
+}  // namespace tpdb::obs
+
 namespace tpdb {
 
 /// Collected per-node execution statistics.
@@ -108,6 +112,13 @@ class ExecStats {
   }
   const std::string& physical_plan() const { return physical_plan_; }
 
+  /// Optional per-query trace (obs/trace.h). When set, the planner records
+  /// optimize/execute phase spans and mirrors the executed physical tree —
+  /// with these NodeStats as payloads — into it. Not owned; must outlive
+  /// the execution.
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+  obs::TraceContext* trace() const { return trace_; }
+
   /// Multi-line "label: rows=… time=…" rendering, in registration order
   /// (register bottom-up to read the pipeline top-down), followed by a
   /// per-worker section when the query ran on the parallel runtime, a
@@ -121,6 +132,7 @@ class ExecStats {
   StorageStats storage_;
   VectorStats vector_;
   std::string physical_plan_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 /// Wraps `child`, counting its rows and timing its Next() calls into a

@@ -1,5 +1,9 @@
 #include "exec/session.h"
 
+#include <chrono>
+
+#include "obs/slow_query.h"
+
 namespace tpdb {
 
 Session::Session(TPDatabase* db, SessionOptions options)
@@ -8,9 +12,19 @@ Session::Session(TPDatabase* db, SessionOptions options)
 }
 
 StatusOr<TPRelation> Session::Query(const std::string& text) const {
+  const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
   StatusOr<LogicalPlan> plan = db_->Plan(text);
   if (!plan.ok()) return plan.status();
-  return Execute(*plan);
+  StatusOr<TPRelation> result = Execute(*plan);
+  if (result.ok()) {
+    obs::SlowQueryLog::Record(
+        text,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count(),
+        result->size());
+  }
+  return result;
 }
 
 StatusOr<TPRelation> Session::Execute(const LogicalPlan& plan) const {
@@ -29,6 +43,30 @@ StatusOr<std::string> Session::Explain(const std::string& text) const {
   if (!stats.physical_plan().empty())
     out += "\nPhysical plan (est | actual):\n" + stats.physical_plan();
   out += "\nLowered pipeline (bottom-up):\n" + stats.ToString();
+  return out;
+}
+
+StatusOr<Session::TraceResult> Session::Trace(const std::string& text,
+                                              uint64_t trace_id) const {
+  TraceResult out;
+  out.trace = obs::TraceContext(trace_id);
+  const uint64_t query_span = out.trace.StartSpan("query");
+  const uint64_t parse_span = out.trace.StartSpan("parse");
+  StatusOr<LogicalPlan> plan = db_->Plan(text);
+  out.trace.EndSpan(parse_span);
+  if (!plan.ok()) return plan.status();
+  ExecStats stats;
+  stats.set_trace(&out.trace);
+  Planner planner(db_, options_);
+  StatusOr<TPRelation> result = planner.Execute(*plan, &stats);
+  out.trace.EndSpan(query_span);
+  if (!result.ok()) return result.status();
+  out.physical_plan = stats.physical_plan();
+  out.rows = result->size();
+  obs::SlowQueryLog::Record(
+      text,
+      static_cast<double>(out.trace.spans()[query_span - 1].dur_us) / 1e6,
+      out.rows);
   return out;
 }
 

@@ -14,6 +14,7 @@
 
 #include "api/database.h"
 #include "api/planner.h"
+#include "obs/trace.h"
 
 namespace tpdb {
 
@@ -41,6 +42,18 @@ class Session {
   /// Plans and runs `text`, rendering the logical tree, the lowered
   /// pipeline and — for parallel runs — the per-worker timings.
   StatusOr<std::string> Explain(const std::string& text) const;
+
+  /// One traced execution of `text`: the trace's span tree (parse →
+  /// optimize → execute → one span per physical node) and the physical
+  /// plan rendering come from the SAME run, reading the same NodeStats —
+  /// the per-node actuals in both views are identical by construction.
+  struct TraceResult {
+    obs::TraceContext trace;
+    std::string physical_plan;  ///< "est | actual" tree of this run
+    uint64_t rows = 0;
+  };
+  StatusOr<TraceResult> Trace(const std::string& text,
+                              uint64_t trace_id = 0) const;
 
  private:
   TPDatabase* db_;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace tpdb {
 
 namespace {
@@ -11,6 +13,26 @@ namespace {
 /// must be treated as an external thread by B.
 thread_local const ThreadPool* current_pool = nullptr;
 thread_local int current_worker = -1;
+
+/// Pool-wide (all pools share these: in practice one Default() pool runs
+/// the process) scheduling metrics.
+struct PoolMetrics {
+  obs::Counter* tasks = obs::MetricsRegistry::Default().counter(
+      "tpdb_exec_tasks_total", "exec", "Tasks submitted to thread pools.");
+  obs::Counter* steals = obs::MetricsRegistry::Default().counter(
+      "tpdb_exec_steals_total", "exec",
+      "Tasks taken from another worker's queue.");
+  obs::Gauge* queue_depth = obs::MetricsRegistry::Default().gauge(
+      "tpdb_exec_queue_depth", "exec",
+      "Tasks currently queued and not yet taken.");
+  obs::Histogram* task_us = obs::MetricsRegistry::Default().histogram(
+      "tpdb_exec_task_us", "exec", "Task run time in microseconds.");
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m;
+    return m;
+  }
+};
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -45,6 +67,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   // Count before publish: a taker decrements at take, so the counter must
   // never be behind the queue contents (underflow would read as "busy").
   pending_.fetch_add(1, std::memory_order_relaxed);
+  PoolMetrics::Get().tasks->Add();
+  PoolMetrics::Get().queue_depth->Add(1);
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
@@ -69,6 +93,7 @@ std::function<void()> ThreadPool::TakeTask(size_t self) {
     if (!q.tasks.empty()) {
       std::function<void()> task = std::move(q.tasks.back());
       q.tasks.pop_back();
+      PoolMetrics::Get().steals->Add();
       return task;
     }
   }
@@ -82,7 +107,11 @@ bool ThreadPool::RunOneTask() {
   std::function<void()> task = TakeTask(self);
   if (task == nullptr) return false;
   pending_.fetch_sub(1, std::memory_order_relaxed);
-  task();
+  PoolMetrics::Get().queue_depth->Sub(1);
+  {
+    const obs::ScopedLatencyTimer timer(PoolMetrics::Get().task_us);
+    task();
+  }
   return true;
 }
 
@@ -95,7 +124,11 @@ void ThreadPool::WorkerLoop(size_t self) {
       // pending_ counts *queued* tasks, so decrement at take: idle
       // workers must not spin while someone else runs a long task.
       pending_.fetch_sub(1, std::memory_order_relaxed);
-      task();
+      PoolMetrics::Get().queue_depth->Sub(1);
+      {
+        const obs::ScopedLatencyTimer timer(PoolMetrics::Get().task_us);
+        task();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mu_);

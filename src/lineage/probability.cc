@@ -2,7 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace tpdb {
+
+namespace {
+
+/// Probability-engine metrics: how often lineage gets evaluated and how
+/// often the hash-consed formula DAG's memo answers instead of recursion.
+struct ProbMetrics {
+  obs::Counter* evals = obs::MetricsRegistry::Default().counter(
+      "tpdb_prob_evals_total", "prob",
+      "Top-level lineage probability evaluations.");
+  obs::Counter* memo_hits = obs::MetricsRegistry::Default().counter(
+      "tpdb_prob_dag_memo_hits_total", "prob",
+      "Formula-DAG probability lookups answered from the memo.");
+  obs::Counter* shannon = obs::MetricsRegistry::Default().counter(
+      "tpdb_prob_shannon_expansions_total", "prob",
+      "Shannon expansions forced by variable-sharing subformulas.");
+
+  static const ProbMetrics& Get() {
+    static const ProbMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 bool ProbabilityEngine::SharesVariables(LineageRef a, LineageRef b) {
   const std::vector<VarId>& va = mgr_->Variables(a);
@@ -22,6 +47,7 @@ bool ProbabilityEngine::SharesVariables(LineageRef a, LineageRef b) {
 
 double ProbabilityEngine::Probability(LineageRef r) {
   TPDB_CHECK(!r.is_null()) << "probability of null lineage";
+  ProbMetrics::Get().evals->Add();
   // Snapshot the memo epoch: results computed against these marginals are
   // only cached if no SetVariableProbability intervenes.
   epoch_ = mgr_->probability_epoch();
@@ -30,7 +56,10 @@ double ProbabilityEngine::Probability(LineageRef r) {
 
 double ProbabilityEngine::ProbRec(LineageRef r) {
   double cached = 0.0;
-  if (mgr_->LookupProbability(r, &cached)) return cached;
+  if (mgr_->LookupProbability(r, &cached)) {
+    ProbMetrics::Get().memo_hits->Add();
+    return cached;
+  }
 
   double result = 0.0;
   switch (mgr_->KindOf(r)) {
@@ -79,6 +108,7 @@ double ProbabilityEngine::ProbRec(LineageRef r) {
         }
         TPDB_CHECK(found);
         ++shannon_expansions_;
+        ProbMetrics::Get().shannon->Add();
         const double pv = mgr_->VariableProbability(pivot);
         const LineageRef hi = mgr_->Restrict(r, pivot, true);
         const LineageRef lo = mgr_->Restrict(r, pivot, false);

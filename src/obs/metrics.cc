@@ -1,0 +1,225 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace tpdb::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+uint64_t HistogramData::MaxEstimate() const {
+  for (uint32_t i = kHistNumBuckets; i-- > 0;) {
+    if (buckets[i] != 0) return HistBucketUpper(i);
+  }
+  return 0;
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 0-based, nearest-rank with interpolation
+  // inside the bucket that contains it.
+  const double target = q * static_cast<double>(count - 1);
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < kHistNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t in_bucket = buckets[i];
+    if (target < static_cast<double>(seen + in_bucket)) {
+      const double frac =
+          in_bucket == 1
+              ? 0.5
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket - 1);
+      const double lower = static_cast<double>(HistBucketLower(i));
+      const double upper = static_cast<double>(HistBucketUpper(i));
+      return lower + frac * (upper - lower);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(MaxEstimate());
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData out;
+#ifndef TPDB_NO_METRICS
+  for (const Shard& s : shards_) {
+    for (uint32_t i = 0; i < kHistNumBuckets; ++i) {
+      const uint64_t n = s.buckets[i].load(std::memory_order_relaxed);
+      out.buckets[i] += n;
+      out.count += n;
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+#endif
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Register(const std::string& name,
+                                                  Kind kind,
+                                                  const std::string& subsystem,
+                                                  const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    TPDB_CHECK(it->second.kind == kind)
+        << "metric '" << name << "' re-registered as a different kind";
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.subsystem = subsystem;
+  entry.help = help;
+  switch (kind) {
+    case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &metrics_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& subsystem,
+                                  const std::string& help) {
+  return Register(name, Kind::kCounter, subsystem, help)->counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const std::string& subsystem,
+                              const std::string& help) {
+  return Register(name, Kind::kGauge, subsystem, help)->gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& subsystem,
+                                      const std::string& help) {
+  return Register(name, Kind::kHistogram, subsystem, help)->histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : metrics_) {
+    out += "# HELP " + name + " " + entry.help + "\n";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(entry.counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(entry.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const HistogramData snap = entry.histogram->Snapshot();
+        uint64_t cumulative = 0;
+        for (uint32_t i = 0; i < kHistNumBuckets; ++i) {
+          if (snap.buckets[i] == 0) continue;
+          cumulative += snap.buckets[i];
+          out += name + "_bucket{le=\"" +
+                 std::to_string(HistBucketUpper(i)) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) +
+               "\n";
+        out += name + "_sum " + std::to_string(snap.sum) + "\n";
+        out += name + "_count " + std::to_string(snap.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        if (!counters.empty()) counters += ",";
+        AppendJsonEscaped(name, &counters);
+        counters += ":" + std::to_string(entry.counter->Value());
+        break;
+      }
+      case Kind::kGauge: {
+        if (!gauges.empty()) gauges += ",";
+        AppendJsonEscaped(name, &gauges);
+        gauges += ":" + std::to_string(entry.gauge->Value());
+        break;
+      }
+      case Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        const HistogramData snap = entry.histogram->Snapshot();
+        AppendJsonEscaped(name, &histograms);
+        histograms += ":{\"count\":" + std::to_string(snap.count) +
+                      ",\"sum\":" + std::to_string(snap.sum) +
+                      ",\"mean\":" + FormatDouble(snap.Mean()) +
+                      ",\"p50\":" + FormatDouble(snap.Quantile(0.5)) +
+                      ",\"p95\":" + FormatDouble(snap.Quantile(0.95)) +
+                      ",\"p99\":" + FormatDouble(snap.Quantile(0.99)) +
+                      ",\"max\":" + std::to_string(snap.MaxEstimate()) +
+                      ",\"subsystem\":";
+        AppendJsonEscaped(entry.subsystem, &histograms);
+        histograms += "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+std::vector<MetricsRegistry::MetricInfo> MetricsRegistry::List() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricInfo> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    const char* kind = entry.kind == Kind::kCounter   ? "counter"
+                       : entry.kind == Kind::kGauge   ? "gauge"
+                                                      : "histogram";
+    out.push_back(MetricInfo{name, entry.subsystem, entry.help, kind});
+  }
+  return out;
+}
+
+}  // namespace tpdb::obs

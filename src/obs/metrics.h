@@ -1,0 +1,318 @@
+// Cumulative runtime telemetry in the spirit of Postgres's pg_stat_* views
+// and Prometheus client libraries: a process-wide MetricsRegistry of named
+// counters, gauges, and latency histograms that every subsystem records
+// into on its hot paths.
+//
+// Design constraints, in order:
+//   1. Recording must be near-free under concurrency. Counters and
+//      histograms shard their state across cacheline-padded slots indexed
+//      by a thread-local shard id, so concurrent writers on different
+//      cores do not bounce a line; each write is one or two relaxed
+//      fetch_adds.
+//   2. Reads are rare and may be slow. Snapshots merge the shards.
+//   3. Quantiles come from log-bucketed histograms: each power-of-two
+//      octave splits into 8 sub-buckets, so a bucket is at most 12.5%
+//      wide relative to its lower bound — quantile estimates carry a
+//      bounded relative error without storing samples.
+//   4. Building with -DTPDB_NO_METRICS compiles every Record/Add/Set to a
+//      no-op (the benchmark gate measures the enabled build against this
+//      baseline). The registry and metric objects still exist so call
+//      sites compile unchanged; only the hot-path writes vanish.
+//
+// The snapshot type (HistogramData) is plain data with the bucketing and
+// quantile math attached, usable on its own — bench code records into a
+// local HistogramData (single-threaded, never compiled out) so the whole
+// repo has exactly one quantile implementation.
+#ifndef TPDB_OBS_METRICS_H_
+#define TPDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tpdb::obs {
+
+#ifdef TPDB_NO_METRICS
+inline constexpr bool kMetricsCompiledIn = false;
+#else
+inline constexpr bool kMetricsCompiledIn = true;
+#endif
+
+/// Writer-side sharding degree (power of two). Eight slots is enough to
+/// take contention off any core count this engine targets while keeping a
+/// Counter at 512 bytes.
+inline constexpr uint32_t kMetricShards = 8;
+
+/// Stable per-thread shard index in [0, kMetricShards).
+inline uint32_t CurrentShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return shard;
+}
+
+/// Appends `s` as a quoted, escaped JSON string literal — shared by the
+/// registry and trace renderers.
+void AppendJsonEscaped(const std::string& s, std::string* out);
+
+/// Microseconds on the steady clock (monotonic; origin unspecified).
+inline uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// -- Histogram bucketing ---------------------------------------------------
+
+/// log2(sub-buckets per octave).
+inline constexpr uint32_t kHistSubBits = 3;
+inline constexpr uint32_t kHistSubBuckets = 1u << kHistSubBits;  // 8
+/// Buckets 0..7 hold the exact values 0..7; octaves [2^b, 2^{b+1}) for
+/// b in [3, 63] each contribute 8 sub-buckets.
+inline constexpr uint32_t kHistNumBuckets =
+    kHistSubBuckets +
+    (64 - kHistSubBits) * kHistSubBuckets;  // 8 exact + 61 octaves * 8 = 496
+
+/// Bucket index for a recorded value.
+inline uint32_t HistBucket(uint64_t v) {
+  if (v < kHistSubBuckets) return static_cast<uint32_t>(v);
+  const uint32_t b = 63 - static_cast<uint32_t>(std::countl_zero(v));
+  const uint32_t sub =
+      static_cast<uint32_t>(v >> (b - kHistSubBits)) & (kHistSubBuckets - 1);
+  return kHistSubBuckets + (b - kHistSubBits) * kHistSubBuckets + sub;
+}
+
+/// Inclusive lower bound of a bucket.
+inline uint64_t HistBucketLower(uint32_t idx) {
+  if (idx < kHistSubBuckets) return idx;
+  const uint32_t b = kHistSubBits + (idx - kHistSubBuckets) / kHistSubBuckets;
+  const uint32_t sub = (idx - kHistSubBuckets) % kHistSubBuckets;
+  return (uint64_t{1} << b) + (uint64_t{sub} << (b - kHistSubBits));
+}
+
+/// Exclusive upper bound of a bucket (saturates at the top).
+inline uint64_t HistBucketUpper(uint32_t idx) {
+  if (idx < kHistSubBuckets) return idx + 1;
+  const uint32_t b = kHistSubBits + (idx - kHistSubBuckets) / kHistSubBuckets;
+  const uint64_t width = uint64_t{1} << (b - kHistSubBits);
+  const uint64_t lower = HistBucketLower(idx);
+  return lower > ~uint64_t{0} - width ? ~uint64_t{0} : lower + width;
+}
+
+/// A merged, plain-data histogram: the one home of the quantile math.
+/// Mergeable (bucket-wise addition) and directly recordable when atomicity
+/// is not needed (bench latency collection). Never compiled out.
+struct HistogramData {
+  std::array<uint64_t, kHistNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  void Record(uint64_t value) {
+    buckets[HistBucket(value)] += 1;
+    count += 1;
+    sum += value;
+  }
+
+  void Merge(const HistogramData& other) {
+    for (uint32_t i = 0; i < kHistNumBuckets; ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+  }
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Largest non-empty bucket's upper bound (0 when empty) — an upper
+  /// estimate of the maximum recorded value.
+  uint64_t MaxEstimate() const;
+
+  /// Quantile estimate for q in [0, 1], linearly interpolated inside the
+  /// target bucket. Relative error is bounded by the bucket width: exact
+  /// below 8, at most 12.5% beyond.
+  double Quantile(double q) const;
+};
+
+// -- Writer-side metric types ----------------------------------------------
+
+/// Monotonic counter, sharded across padded cachelines.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+#ifndef TPDB_NO_METRICS
+    shards_[CurrentShard()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Point-in-time signed value (queue depths, active counts). A single
+/// atomic: gauges see orders of magnitude fewer writes than counters.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+#ifndef TPDB_NO_METRICS
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(int64_t n) {
+#ifndef TPDB_NO_METRICS
+    v_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  void Sub(int64_t n) { Add(-n); }
+
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Concurrent log-bucketed histogram; Snapshot() merges the shards into a
+/// HistogramData. Values are whatever unit the metric's name declares
+/// (this codebase uses microseconds for latencies, bytes for sizes).
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+#ifndef TPDB_NO_METRICS
+    Shard& s = shards_[CurrentShard()];
+    s.buckets[HistBucket(value)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  HistogramData Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistNumBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Scope guard recording its lifetime (microseconds) into a histogram.
+/// Under TPDB_NO_METRICS the clock reads vanish with the Record.
+class ScopedLatencyTimer {
+ public:
+#ifndef TPDB_NO_METRICS
+  explicit ScopedLatencyTimer(Histogram* h) : h_(h), start_us_(NowUs()) {}
+  ~ScopedLatencyTimer() {
+    if (h_ != nullptr) h_->Record(NowUs() - start_us_);
+  }
+
+ private:
+  Histogram* h_;
+  uint64_t start_us_;
+#else
+  explicit ScopedLatencyTimer(Histogram*) {}
+#endif
+ public:
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+};
+
+// -- Registry --------------------------------------------------------------
+
+/// Process-wide registry of named metrics. Registration is mutex-guarded
+/// and expected once per call site (handles are cached in function-local
+/// statics); returned pointers are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem reports into. Never
+  /// destroyed (instrumented code may run during static teardown).
+  static MetricsRegistry& Default();
+
+  /// Registers (or looks up) a metric. `subsystem` groups the metric in
+  /// the JSON rendering and the README catalogue; `help` becomes the
+  /// Prometheus # HELP line. Re-registering a name returns the existing
+  /// metric; registering it as a different kind aborts.
+  Counter* counter(const std::string& name, const std::string& subsystem,
+                   const std::string& help);
+  Gauge* gauge(const std::string& name, const std::string& subsystem,
+               const std::string& help);
+  Histogram* histogram(const std::string& name, const std::string& subsystem,
+                       const std::string& help);
+
+  /// Prometheus text exposition format (counters + gauges as-is,
+  /// histograms with cumulative non-empty buckets, _sum and _count).
+  std::string RenderPrometheus() const;
+
+  /// JSON rendering with derived quantiles per histogram:
+  /// {"counters":{...},"gauges":{...},
+  ///  "histograms":{name:{count,sum,mean,p50,p95,p99,max,subsystem}}}.
+  std::string RenderJson() const;
+
+  /// Name/subsystem/kind rows, sorted by name — the metrics catalogue.
+  struct MetricInfo {
+    std::string name;
+    std::string subsystem;
+    std::string help;
+    const char* kind;  // "counter" | "gauge" | "histogram"
+  };
+  std::vector<MetricInfo> List() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string subsystem;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* Register(const std::string& name, Kind kind,
+                  const std::string& subsystem, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace tpdb::obs
+
+#endif  // TPDB_OBS_METRICS_H_

@@ -1,0 +1,69 @@
+#include "obs/slow_query.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace tpdb::obs {
+
+namespace {
+
+/// Threshold in microseconds; < 0 = disabled, INT64_MIN = unread env.
+std::atomic<int64_t>& ThresholdSlot() {
+  static std::atomic<int64_t> slot{INT64_MIN};
+  return slot;
+}
+
+int64_t ThresholdUs() {
+  int64_t v = ThresholdSlot().load(std::memory_order_relaxed);
+  if (v == INT64_MIN) {
+    v = -1;
+    if (const char* env = std::getenv("TPDB_SLOW_QUERY_MS")) {
+      char* end = nullptr;
+      const double ms = std::strtod(env, &end);
+      if (end != env && ms >= 0) v = static_cast<int64_t>(ms * 1e3);
+    }
+    ThresholdSlot().store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+Counter* SlowQueryCounter() {
+  static Counter* const c = MetricsRegistry::Default().counter(
+      "tpdb_engine_slow_queries_total", "engine",
+      "Queries slower than the slow-query-log threshold.");
+  return c;
+}
+
+}  // namespace
+
+void SlowQueryLog::SetThresholdMs(double ms) {
+  ThresholdSlot().store(ms < 0 ? -1 : static_cast<int64_t>(ms * 1e3),
+                        std::memory_order_relaxed);
+}
+
+double SlowQueryLog::ThresholdMs() {
+  const int64_t us = ThresholdUs();
+  return us < 0 ? -1.0 : static_cast<double>(us) / 1e3;
+}
+
+void SlowQueryLog::Record(std::string_view sql, double seconds,
+                          uint64_t rows) {
+  const int64_t threshold_us = ThresholdUs();
+  if (threshold_us < 0) return;
+  const int64_t took_us = static_cast<int64_t>(seconds * 1e6);
+  if (took_us < threshold_us) return;
+  SlowQueryCounter()->Add();
+  char took[32];
+  std::snprintf(took, sizeof(took), "%.3f",
+                static_cast<double>(took_us) / 1e3);
+  TPDB_LOG(WARN) << "slow query (" << took << " ms, " << rows
+                 << " rows): " << std::string(sql);
+}
+
+}  // namespace tpdb::obs

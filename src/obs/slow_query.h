@@ -1,0 +1,31 @@
+// Threshold-gated slow-query log: queries whose end-to-end execution
+// exceeds a configurable wall-time threshold are logged at WARN with their
+// SQL text, duration and row count, and counted in
+// tpdb_engine_slow_queries_total. Disabled by default; enable with the
+// TPDB_SLOW_QUERY_MS environment variable, the server's --slow-query-ms
+// flag, or SetThresholdMs.
+#ifndef TPDB_OBS_SLOW_QUERY_H_
+#define TPDB_OBS_SLOW_QUERY_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tpdb::obs {
+
+class SlowQueryLog {
+ public:
+  /// Threshold in milliseconds; a negative value disables the log.
+  static void SetThresholdMs(double ms);
+
+  /// Current threshold (ms), or a negative value when disabled. First
+  /// call reads TPDB_SLOW_QUERY_MS.
+  static double ThresholdMs();
+
+  /// Records one finished query: logs + counts it when `seconds` crosses
+  /// the threshold. Cheap when disabled (one relaxed load + compare).
+  static void Record(std::string_view sql, double seconds, uint64_t rows);
+};
+
+}  // namespace tpdb::obs
+
+#endif  // TPDB_OBS_SLOW_QUERY_H_

@@ -147,11 +147,10 @@ StatusOr<ClientResult> Client::Query(const std::string& sql) {
   }
 }
 
-StatusOr<std::string> Client::TextRoundTrip(MsgType kind,
-                                            const std::string& sql) {
+StatusOr<std::string> Client::TextRequest(MsgType kind,
+                                          std::string_view payload) {
   if (fd_ < 0) return Status::IOError("client is closed");
-  const uint64_t id = next_query_id_++;
-  TPDB_RETURN_IF_ERROR(SendFrame(kind, BuildQuery({id, sql})));
+  TPDB_RETURN_IF_ERROR(SendFrame(kind, payload));
   for (;;) {
     Frame frame;
     TPDB_RETURN_IF_ERROR(NextFrame(&frame));
@@ -173,6 +172,11 @@ StatusOr<std::string> Client::TextRoundTrip(MsgType kind,
     return Status::IOError("protocol error: unexpected frame type " +
                            std::to_string(static_cast<int>(frame.type)));
   }
+}
+
+StatusOr<std::string> Client::TextRoundTrip(MsgType kind,
+                                            const std::string& sql) {
+  return TextRequest(kind, BuildQuery({next_query_id_++, sql}));
 }
 
 StatusOr<uint64_t> Client::Append(const std::string& relation,
@@ -211,28 +215,16 @@ StatusOr<uint64_t> Client::Append(const std::string& relation,
 }
 
 StatusOr<std::string> Client::Stats() {
-  if (fd_ < 0) return Status::IOError("client is closed");
-  const uint64_t id = next_query_id_++;
-  TPDB_RETURN_IF_ERROR(SendFrame(MsgType::kStats, BuildStats({id})));
-  Frame frame;
-  TPDB_RETURN_IF_ERROR(NextFrame(&frame));
-  if (frame.type == MsgType::kPlanText) {
-    PlanTextMsg msg;
-    TPDB_RETURN_IF_ERROR(ParsePlanText(frame.payload, &msg));
-    return std::move(msg.text);
-  }
-  if (frame.type == MsgType::kError) {
-    ErrorMsg msg;
-    TPDB_RETURN_IF_ERROR(ParseError(frame.payload, &msg));
-    return ErrorToStatus(msg);
-  }
-  if (frame.type == MsgType::kGoodbye) {
-    std::string reason;
-    (void)ParseGoodbye(frame.payload, &reason).ok();
-    return Status::IOError("server closed the connection: " + reason);
-  }
-  return Status::IOError("protocol error: unexpected frame type " +
-                         std::to_string(static_cast<int>(frame.type)));
+  return TextRequest(MsgType::kStats, BuildStats({next_query_id_++}));
+}
+
+StatusOr<std::string> Client::Metrics(MetricsFormat format) {
+  return TextRequest(MsgType::kMetrics,
+                     BuildMetrics({next_query_id_++, format}));
+}
+
+StatusOr<std::string> Client::TraceQuery(const std::string& sql) {
+  return TextRoundTrip(MsgType::kTraceQuery, sql);
 }
 
 StatusOr<std::string> Client::Prepare(const std::string& sql) {

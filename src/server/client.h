@@ -70,8 +70,20 @@ class Client {
                             std::vector<AppendRowMsg> rows);
 
   /// Storage statistics rendered server-side (segments, deltas, WAL
-  /// bytes, compression ratio) — the shell's \s command.
+  /// bytes, compression ratio) plus the server's own counters — the
+  /// shell's \s command.
   StatusOr<std::string> Stats();
+
+  /// Metrics registry snapshot rendered server-side — the shell's \m
+  /// command. Prometheus text exposition or one JSON object.
+  StatusOr<std::string> Metrics(
+      MetricsFormat format = MetricsFormat::kPrometheus);
+
+  /// Runs the query server-side with tracing enabled and returns the
+  /// chrome://tracing JSON artifact (spans for parse/optimize/execute and
+  /// every physical plan node, with the Explain rendering embedded under
+  /// otherData.physical_plan).
+  StatusOr<std::string> TraceQuery(const std::string& sql);
 
   /// Best-effort cancel of the query currently inside Query() — intended
   /// to be called from another thread. The Query() call itself then
@@ -92,6 +104,9 @@ class Client {
   Status SendFrame(MsgType type, std::string_view payload);
   /// Blocks until one whole frame arrives (or the peer hangs up).
   Status NextFrame(Frame* out);
+  /// Sends one request frame and waits for the PlanText reply — the shape
+  /// shared by Prepare/Explain/Stats/Metrics/TraceQuery.
+  StatusOr<std::string> TextRequest(MsgType kind, std::string_view payload);
   StatusOr<std::string> TextRoundTrip(MsgType kind, const std::string& sql);
 
   int fd_ = -1;

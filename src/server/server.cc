@@ -8,11 +8,15 @@
 #include <bit>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
+#include "common/logging.h"
 #include "engine/vector/column_batch.h"
 #include "exec/thread_pool.h"
 #include "lineage/probability.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/socket.h"
 #include "storage/batch_codec.h"
 #include "storage/bytes.h"
@@ -23,6 +27,46 @@ namespace tpdb::server {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Wire-server metrics: admission, traffic volume, and the per-request
+/// latency split between pool queue wait and actual execution.
+struct ServerMetrics {
+  obs::Gauge* active_connections = obs::MetricsRegistry::Default().gauge(
+      "tpdb_server_active_connections", "server",
+      "Currently open client connections.");
+  obs::Counter* connections = obs::MetricsRegistry::Default().counter(
+      "tpdb_server_connections_total", "server",
+      "Client connections accepted.");
+  obs::Counter* conn_rejects = obs::MetricsRegistry::Default().counter(
+      "tpdb_server_conn_rejects_total", "server",
+      "Connections rejected at accept (admission control).");
+  obs::Counter* query_rejects = obs::MetricsRegistry::Default().counter(
+      "tpdb_server_query_rejects_total", "server",
+      "Queries rejected by admission control or shutdown.");
+  obs::Counter* requests = obs::MetricsRegistry::Default().counter(
+      "tpdb_server_requests_total", "server",
+      "Query/Prepare/Explain/Append/Trace requests dispatched to the pool.");
+  obs::Counter* protocol_errors = obs::MetricsRegistry::Default().counter(
+      "tpdb_server_protocol_errors_total", "server",
+      "Malformed frames, bad handshakes and CRC mismatches.");
+  obs::Counter* bytes_received = obs::MetricsRegistry::Default().counter(
+      "tpdb_server_bytes_received_total", "server",
+      "Bytes read off client sockets.");
+  obs::Counter* bytes_sent = obs::MetricsRegistry::Default().counter(
+      "tpdb_server_bytes_sent_total", "server",
+      "Bytes written to client sockets.");
+  obs::Histogram* queue_wait_us = obs::MetricsRegistry::Default().histogram(
+      "tpdb_server_queue_wait_us", "server",
+      "Dispatch-to-worker-pickup wait in microseconds.");
+  obs::Histogram* execute_us = obs::MetricsRegistry::Default().histogram(
+      "tpdb_server_execute_us", "server",
+      "Worker-side request execution time in microseconds.");
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics m;
+    return m;
+  }
+};
 
 /// Sentinel epoll ids of the two non-connection fds.
 constexpr uint64_t kListenId = 0;
@@ -104,6 +148,37 @@ struct Connection {
   size_t pending_out() const { return outbuf.size() - outoff; }
 };
 
+std::string ServerStats::ToString() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "server:\n"
+      "  uptime               %.1f s\n"
+      "  connections          %llu active, %llu accepted, %llu rejected\n"
+      "  handshakes ok        %llu\n"
+      "  queries              %llu active, %llu ok, %llu failed, "
+      "%llu rejected, %llu cancelled\n"
+      "  ready queue depth    %llu\n"
+      "  batches sent         %llu\n"
+      "  bytes                %llu sent, %llu received\n"
+      "  protocol errors      %llu\n",
+      uptime_seconds, static_cast<unsigned long long>(active_connections),
+      static_cast<unsigned long long>(connections_accepted),
+      static_cast<unsigned long long>(connections_rejected),
+      static_cast<unsigned long long>(handshakes_ok),
+      static_cast<unsigned long long>(active_queries),
+      static_cast<unsigned long long>(queries_ok),
+      static_cast<unsigned long long>(queries_failed),
+      static_cast<unsigned long long>(queries_rejected),
+      static_cast<unsigned long long>(queries_cancelled),
+      static_cast<unsigned long long>(ready_queue_depth),
+      static_cast<unsigned long long>(batches_sent),
+      static_cast<unsigned long long>(bytes_sent),
+      static_cast<unsigned long long>(bytes_received),
+      static_cast<unsigned long long>(protocol_errors));
+  return buf;
+}
+
 Server::Server(TPDatabase* db, ServerOptions options)
     : db_(db), options_(std::move(options)) {
   TPDB_CHECK(db_ != nullptr);
@@ -150,7 +225,9 @@ Status Server::Start() {
   shutting_down_.store(false);
   drain_started_ = false;
   started_ = true;
+  start_time_ = Clock::now();
   reactor_ = std::thread(&Server::ReactorLoop, this);
+  TPDB_LOG(INFO) << "server listening on " << options_.host << ":" << port_;
   return Status::OK();
 }
 
@@ -170,11 +247,28 @@ void Server::Shutdown() {
   CloseFd(wake_fd_);
   epoll_fd_ = wake_fd_ = -1;
   started_ = false;
+  TPDB_LOG(INFO) << "server on port " << port_ << " shut down";
 }
 
 ServerStats Server::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats = stats_;
+  }
+  stats.active_connections = active_conns_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    stats.active_queries = inflight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    stats.ready_queue_depth = ready_.size();
+  }
+  if (started_)
+    stats.uptime_seconds =
+        std::chrono::duration<double>(Clock::now() - start_time_).count();
+  return stats;
 }
 
 void Server::Wake() {
@@ -258,6 +352,7 @@ void Server::HandleAccept() {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.connections_rejected;
       }
+      ServerMetrics::Get().conn_rejects->Add();
       std::string out;
       AppendFrame(MsgType::kError,
                   BuildError({0, StatusCode::kResourceExhausted,
@@ -280,6 +375,9 @@ void Server::HandleAccept() {
     ev.data.u64 = id;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
     conns_[id]->epoll_mask = EPOLLIN;
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().connections->Add();
+    ServerMetrics::Get().active_connections->Add(1);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.connections_accepted;
   }
@@ -288,10 +386,12 @@ void Server::HandleAccept() {
 void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
   char buf[64 * 1024];
   bool peer_eof = false;
+  uint64_t received = 0;
   for (;;) {
     const ssize_t rc = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (rc > 0) {
       conn->reader.Append(buf, static_cast<size_t>(rc));
+      received += static_cast<uint64_t>(rc);
       continue;
     }
     if (rc == 0) {  // orderly peer shutdown — handle buffered frames first
@@ -302,6 +402,11 @@ void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     CloseConn(conn);
     return;
+  }
+  if (received > 0) {
+    ServerMetrics::Get().bytes_received->Add(received);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bytes_received += received;
   }
   Frame frame;
   bool have = false;
@@ -314,6 +419,7 @@ void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
       }
+      ServerMetrics::Get().protocol_errors->Add();
       SendError(conn, 0, st);
       conn->want_close = true;
       break;
@@ -351,6 +457,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
       }
+      ServerMetrics::Get().protocol_errors->Add();
       SendError(conn, 0, st);
       conn->want_close = true;
       return;
@@ -369,7 +476,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
   switch (frame.type) {
     case MsgType::kQuery:
     case MsgType::kPrepare:
-    case MsgType::kExplain: {
+    case MsgType::kExplain:
+    case MsgType::kTraceQuery: {
       QueryMsg msg;
       const Status st = ParseQuery(frame.payload, &msg);
       if (!st.ok()) {
@@ -421,7 +529,33 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       // Cheap enough to answer from the reactor: a shared catalog lock and
       // a walk over the relations' counters, no query execution.
       AppendFrame(MsgType::kPlanText,
-                  BuildPlanText({msg.query_id, db_->Stats().ToString()}),
+                  BuildPlanText({msg.query_id, db_->Stats().ToString() +
+                                                   Stats().ToString()}),
+                  &conn->outbuf);
+      return;
+    }
+    case MsgType::kMetrics: {
+      MetricsMsg msg;
+      const Status st = ParseMetrics(frame.payload, &msg);
+      if (!st.ok()) {
+        SendError(conn, 0, st);
+        conn->want_close = true;
+        return;
+      }
+      if (conn->state != Connection::State::kReady) {
+        SendError(conn, msg.query_id,
+                  Status::InvalidArgument(
+                      "another query is already in flight on this session"));
+        return;
+      }
+      // Rendering walks the registry under its mutex and merges counter
+      // shards — microseconds of work, answered inline like kStats.
+      std::string text =
+          msg.format == MetricsFormat::kJson
+              ? obs::MetricsRegistry::Default().RenderJson()
+              : obs::MetricsRegistry::Default().RenderPrometheus();
+      AppendFrame(MsgType::kPlanText,
+                  BuildPlanText({msg.query_id, std::move(text)}),
                   &conn->outbuf);
       return;
     }
@@ -442,6 +576,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
       }
+      ServerMetrics::Get().protocol_errors->Add();
       SendError(conn, 0,
                 Status::InvalidArgument(
                     "protocol error: unexpected message type " +
@@ -459,6 +594,7 @@ bool Server::AdmitWork(const std::shared_ptr<Connection>& conn,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.queries_rejected;
     }
+    ServerMetrics::Get().query_rejects->Add();
     SendError(conn, query_id,
               Status::ResourceExhausted("server is shutting down"));
     return false;
@@ -471,6 +607,7 @@ bool Server::AdmitWork(const std::shared_ptr<Connection>& conn,
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
         ++stats_.queries_rejected;
       }
+      ServerMetrics::Get().query_rejects->Add();
       SendError(conn, query_id,
                 Status::ResourceExhausted(
                     "concurrent query limit of " +
@@ -483,14 +620,18 @@ bool Server::AdmitWork(const std::shared_ptr<Connection>& conn,
   conn->state = Connection::State::kExecuting;
   conn->query_id = query_id;
   conn->cancel.store(false);
+  ServerMetrics::Get().requests->Add();
   return true;
 }
 
 void Server::DispatchQuery(const std::shared_ptr<Connection>& conn,
                            MsgType kind, uint64_t query_id, std::string sql) {
   if (!AdmitWork(conn, query_id)) return;
+  const uint64_t dispatch_us = obs::NowUs();
   ThreadPool::Default()->Submit(
-      [this, conn, kind, query_id, sql = std::move(sql)]() mutable {
+      [this, conn, kind, query_id, dispatch_us, sql = std::move(sql)]() mutable {
+        ServerMetrics::Get().queue_wait_us->Record(obs::NowUs() - dispatch_us);
+        const obs::ScopedLatencyTimer timer(ServerMetrics::Get().execute_us);
         RunQuery(conn, kind, query_id, std::move(sql));
       });
 }
@@ -498,9 +639,13 @@ void Server::DispatchQuery(const std::shared_ptr<Connection>& conn,
 void Server::DispatchAppend(const std::shared_ptr<Connection>& conn,
                             AppendMsg msg) {
   if (!AdmitWork(conn, msg.query_id)) return;
-  ThreadPool::Default()->Submit([this, conn, msg = std::move(msg)]() mutable {
-    RunAppend(conn, std::move(msg));
-  });
+  const uint64_t dispatch_us = obs::NowUs();
+  ThreadPool::Default()->Submit(
+      [this, conn, dispatch_us, msg = std::move(msg)]() mutable {
+        ServerMetrics::Get().queue_wait_us->Record(obs::NowUs() - dispatch_us);
+        const obs::ScopedLatencyTimer timer(ServerMetrics::Get().execute_us);
+        RunAppend(conn, std::move(msg));
+      });
 }
 
 void Server::RunQuery(std::shared_ptr<Connection> conn, MsgType kind,
@@ -525,6 +670,16 @@ void Server::RunQuery(std::shared_ptr<Connection> conn, MsgType kind,
       outcome->text = std::move(*text);
     else
       outcome->status = text.status();
+  } else if (kind == MsgType::kTraceQuery) {
+    // Traced execution: the client's query id becomes the trace id, and
+    // the reply is the chrome://tracing artifact with the Explain
+    // rendering embedded (both views come from the same NodeStats).
+    StatusOr<Session::TraceResult> traced =
+        conn->session.Trace(sql, query_id);
+    if (traced.ok())
+      outcome->text = traced->trace.ToChromeJson(traced->physical_plan);
+    else
+      outcome->status = traced.status();
   } else {
     StatusOr<TPRelation> result = conn->session.Query(sql);
     if (!result.ok()) {
@@ -729,6 +884,7 @@ void Server::FlushOut(const std::shared_ptr<Connection>& conn) {
                  conn->pending_out(), MSG_NOSIGNAL);
       if (rc > 0) {
         conn->outoff += static_cast<size_t>(rc);
+        ServerMetrics::Get().bytes_sent->Add(static_cast<uint64_t>(rc));
         std::lock_guard<std::mutex> lock(stats_mu_);
         stats_.bytes_sent += static_cast<uint64_t>(rc);
         continue;
@@ -779,6 +935,8 @@ void Server::CloseConn(const std::shared_ptr<Connection>& conn) {
   CloseFd(conn->fd);
   conn->fd = -1;
   conns_.erase(conn->id);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  ServerMetrics::Get().active_connections->Sub(1);
 }
 
 void Server::UpdateEpoll(const std::shared_ptr<Connection>& conn) {

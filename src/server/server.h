@@ -28,6 +28,7 @@
 #define TPDB_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -72,7 +73,8 @@ struct ServerOptions {
   SessionOptions session{.parallelism = 1};
 };
 
-/// Monotonic counters, readable at any time (Stats() copies them).
+/// Monotonic counters plus point-in-time gauges, readable at any time
+/// (Stats() copies the counters and samples the gauges).
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;
@@ -84,6 +86,16 @@ struct ServerStats {
   uint64_t queries_cancelled = 0;
   uint64_t batches_sent = 0;
   uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+
+  // Point-in-time gauges, sampled by Stats().
+  uint64_t active_connections = 0;
+  uint64_t active_queries = 0;     ///< dispatched to the pool, not deposited
+  uint64_t ready_queue_depth = 0;  ///< outcomes deposited, reactor not yet run
+  double uptime_seconds = 0.0;     ///< since Start()
+
+  /// Human-readable rendering (the server section of the shell's \s).
+  std::string ToString() const;
 };
 
 struct Connection;
@@ -170,18 +182,25 @@ class Server {
   uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = wake fd
 
   /// Connections whose worker deposited an outcome (workers push, the
-  /// reactor drains after a wake).
-  std::mutex ready_mu_;
+  /// reactor drains after a wake). Mutable: Stats() samples the depth.
+  mutable std::mutex ready_mu_;
   std::vector<uint64_t> ready_;
 
   /// Queries dispatched to the pool and not yet deposited; Shutdown waits
   /// for this to reach zero so workers never outlive the server.
-  std::mutex inflight_mu_;
+  mutable std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   size_t inflight_ = 0;
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+
+  /// Gauge sources sampled by Stats(): connection count is kept in an
+  /// atomic (the conns_ map is reactor-only), the rest derive from the
+  /// inflight/ready bookkeeping above. Plain atomics, not obs:: gauges, so
+  /// the shell's \s keeps working under TPDB_NO_METRICS.
+  std::atomic<size_t> active_conns_{0};
+  std::chrono::steady_clock::time_point start_time_{};
 };
 
 }  // namespace tpdb::server

@@ -199,6 +199,25 @@ Status ParseStats(std::string_view payload, StatsMsg* out) {
   return Status::OK();
 }
 
+std::string BuildMetrics(const MetricsMsg& msg) {
+  ByteWriter w;
+  w.PutU64(msg.query_id);
+  w.PutU8(static_cast<uint8_t>(msg.format));
+  return std::move(w).TakeBuffer();
+}
+
+Status ParseMetrics(std::string_view payload, MetricsMsg* out) {
+  ByteReader r(AsBytes(payload));
+  uint8_t format = 0;
+  if (!r.GetU64(&out->query_id).ok() || !r.GetU8(&format).ok())
+    return Truncated("Metrics");
+  if (format > static_cast<uint8_t>(MetricsFormat::kJson))
+    return Status::InvalidArgument(
+        "malformed Metrics payload: unknown format " + std::to_string(format));
+  out->format = static_cast<MetricsFormat>(format);
+  return Status::OK();
+}
+
 std::string BuildError(const ErrorMsg& msg) {
   ByteWriter w;
   w.PutU64(msg.query_id);

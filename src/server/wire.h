@@ -56,6 +56,8 @@ enum class MsgType : uint8_t {
   kClose = 6,    ///< orderly connection close
   kAppend = 7,   ///< query id, relation, rows — durable append (WAL path)
   kStats = 8,    ///< query id — storage statistics, answered with PlanText
+  kMetrics = 9,  ///< query id, format — metrics snapshot, as PlanText
+  kTraceQuery = 10,  ///< query id, SQL — execute traced, chrome JSON reply
 
   kError = 16,     ///< query id (0 = connection-level), status code, message
   kHelloOk = 17,   ///< negotiated version, server banner
@@ -121,7 +123,7 @@ struct HelloOkMsg {
 std::string BuildHelloOk(const HelloOkMsg& msg);
 Status ParseHelloOk(std::string_view payload, HelloOkMsg* out);
 
-/// Query, Prepare and Explain share one payload shape.
+/// Query, Prepare, Explain and TraceQuery share one payload shape.
 struct QueryMsg {
   uint64_t query_id = 0;
   std::string sql;
@@ -165,6 +167,22 @@ struct StatsMsg {
 };
 std::string BuildStats(const StatsMsg& msg);
 Status ParseStats(std::string_view payload, StatsMsg* out);
+
+/// Exposition formats of a kMetrics request.
+enum class MetricsFormat : uint8_t {
+  kPrometheus = 0,  ///< Prometheus text exposition
+  kJson = 1,        ///< one JSON object (counters/gauges/histograms)
+};
+
+/// Metrics snapshot request (the shell's \m): answered with a PlanText
+/// frame carrying the registry rendered in the requested format. Cheap
+/// enough that the reactor answers it inline, like kStats.
+struct MetricsMsg {
+  uint64_t query_id = 0;
+  MetricsFormat format = MetricsFormat::kPrometheus;
+};
+std::string BuildMetrics(const MetricsMsg& msg);
+Status ParseMetrics(std::string_view payload, MetricsMsg* out);
 
 struct ErrorMsg {
   uint64_t query_id = 0;  ///< 0 = connection-level error

@@ -7,9 +7,41 @@
 #include <utility>
 
 #include "engine/schema.h"
+#include "obs/metrics.h"
 #include "tp/tp_relation.h"
 
 namespace tpdb::storage {
+
+namespace {
+
+/// Process-wide cold-read metrics, mirrored from the per-query
+/// StorageStats counters at the same sites (the per-query view feeds
+/// Explain; these feed the cumulative registry).
+struct ScanMetrics {
+  obs::Counter* segments_scanned = obs::MetricsRegistry::Default().counter(
+      "tpdb_storage_segments_scanned_total", "storage",
+      "Cold segments decoded by scans.");
+  obs::Counter* segments_pruned = obs::MetricsRegistry::Default().counter(
+      "tpdb_storage_segments_pruned_total", "storage",
+      "Cold segments pruned by zone maps (never decoded).");
+  obs::Counter* chunks_pruned_compressed =
+      obs::MetricsRegistry::Default().counter(
+          "tpdb_storage_chunks_pruned_compressed_total", "storage",
+          "Segments rejected by packed-chunk min/max without decompression.");
+  obs::Counter* rows_decoded = obs::MetricsRegistry::Default().counter(
+      "tpdb_storage_rows_decoded_total", "storage",
+      "Rows decoded from cold segments.");
+  obs::Histogram* decode_us = obs::MetricsRegistry::Default().histogram(
+      "tpdb_storage_segment_decode_us", "storage",
+      "Per-segment decode (materialize) time in microseconds.");
+
+  static const ScanMetrics& Get() {
+    static const ScanMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ScanRange* ScanPredicate::RangeOf(const std::string& column) {
   for (auto& [name, range] : column_ranges)
@@ -202,10 +234,12 @@ bool SegmentScan::FillBuffer() {
     const Segment& segment = table_->segments()[next_segment_++];
     if (!SegmentMayMatch(segment, table_->schema(), predicate_)) {
       if (stats_ != nullptr) ++stats_->segments_skipped;
+      ScanMetrics::Get().segments_pruned->Add();
       continue;
     }
     if (!CompressedChunksMayMatch(segment, table_->schema(), predicate_)) {
       if (stats_ != nullptr) ++stats_->chunks_skipped_compressed;
+      ScanMetrics::Get().chunks_pruned_compressed->Add();
       continue;
     }
     const Clock::time_point start = Clock::now();
@@ -223,14 +257,19 @@ bool SegmentScan::FillBuffer() {
         out.push_back(chunk->ValueAt(row));
     }
     buffer_pos_ = 0;
+    const double decode_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
     if (stats_ != nullptr) {
       ++stats_->segments_scanned;
       stats_->rows_decoded += segment.num_rows;
       stats_->bytes_mapped += segment.encoded_bytes;
       stats_->compressed_bytes += segment.packed_bytes;
-      stats_->decode_seconds +=
-          std::chrono::duration<double>(Clock::now() - start).count();
+      stats_->decode_seconds += decode_seconds;
     }
+    ScanMetrics::Get().segments_scanned->Add();
+    ScanMetrics::Get().rows_decoded->Add(segment.num_rows);
+    ScanMetrics::Get().decode_us->Record(
+        static_cast<uint64_t>(decode_seconds * 1e6));
     if (!buffer_.empty()) return true;
   }
   return false;
@@ -344,13 +383,16 @@ const vec::ColumnBatch* SegmentBatchScan::NextBatch() {
       // First visit of this segment: prune or commit to scanning it.
       if (segment.num_rows == 0 ||
           !SegmentMayMatch(segment, table_->schema(), predicate_)) {
-        if (stats_ != nullptr && segment.num_rows > 0)
-          ++stats_->segments_skipped;
+        if (segment.num_rows > 0) {
+          if (stats_ != nullptr) ++stats_->segments_skipped;
+          ScanMetrics::Get().segments_pruned->Add();
+        }
         ++segment_;
         continue;
       }
       if (!CompressedChunksMayMatch(segment, table_->schema(), predicate_)) {
         if (stats_ != nullptr) ++stats_->chunks_skipped_compressed;
+        ScanMetrics::Get().chunks_pruned_compressed->Add();
         ++segment_;
         continue;
       }
@@ -361,13 +403,17 @@ const vec::ColumnBatch* SegmentBatchScan::NextBatch() {
           MaterializeSegment(segment, &storage_);
       TPDB_CHECK(chunks.ok()) << chunks.status().ToString();
       views_ = std::move(*chunks);
+      const double decode_seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
       if (stats_ != nullptr) {
         ++stats_->segments_scanned;
         stats_->bytes_mapped += segment.encoded_bytes;
         stats_->compressed_bytes += segment.packed_bytes;
-        stats_->decode_seconds +=
-            std::chrono::duration<double>(Clock::now() - start).count();
+        stats_->decode_seconds += decode_seconds;
       }
+      ScanMetrics::Get().segments_scanned->Add();
+      ScanMetrics::Get().decode_us->Record(
+          static_cast<uint64_t>(decode_seconds * 1e6));
     }
     const size_t n = std::min(vec::kBatchRows, segment.num_rows - row_);
     batch_.num_rows = n;
@@ -383,6 +429,7 @@ const vec::ColumnBatch* SegmentBatchScan::NextBatch() {
       row_ = 0;
     }
     if (stats_ != nullptr) stats_->rows_decoded += n;
+    ScanMetrics::Get().rows_decoded->Add(n);
     if (vstats_ != nullptr) {
       ++vstats_->batches;
       vstats_->rows_scanned += n;

@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/logging.h"
+#include "obs/metrics.h"
 #include "storage/bytes.h"
 #include "storage/column_codec.h"
 
@@ -17,6 +19,26 @@ namespace {
 Status ErrnoError(const std::string& what, const std::string& path) {
   return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
 }
+
+/// Durability-path metrics. Appends are fsync-bound, so the two clock
+/// reads per append are noise next to the sync itself.
+struct WalMetrics {
+  obs::Counter* appends = obs::MetricsRegistry::Default().counter(
+      "tpdb_wal_appends_total", "storage", "WAL records appended.");
+  obs::Counter* bytes = obs::MetricsRegistry::Default().counter(
+      "tpdb_wal_bytes_total", "storage", "WAL bytes written (framed).");
+  obs::Histogram* append_us = obs::MetricsRegistry::Default().histogram(
+      "tpdb_wal_append_us", "storage",
+      "WAL append latency (encode + write + fsync) in microseconds.");
+  obs::Histogram* fsync_us = obs::MetricsRegistry::Default().histogram(
+      "tpdb_wal_fsync_us", "storage",
+      "fsync portion of the WAL append in microseconds.");
+
+  static const WalMetrics& Get() {
+    static const WalMetrics m;
+    return m;
+  }
+};
 
 std::string EncodeRecordPayload(const WalRecord& record) {
   ByteWriter w;
@@ -205,6 +227,11 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
 
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
   if (fd < 0) return ErrnoError("cannot open wal", path);
+  if (exists && scanned.valid_bytes < bytes->size()) {
+    TPDB_LOG(WARN) << "wal '" << path << "': dropping torn tail of "
+                   << bytes->size() - scanned.valid_bytes << " byte(s) after "
+                   << scanned.records.size() << " valid record(s)";
+  }
   // Drop the torn tail so every future append lands after a valid record.
   if (::ftruncate(fd, static_cast<off_t>(scanned.valid_bytes)) != 0) {
     const Status s = ErrnoError("cannot truncate wal", path);
@@ -237,6 +264,7 @@ WalWriter::~WalWriter() {
 
 StatusOr<uint64_t> WalWriter::Append(WalRecord record) {
   const std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t start_us = obs::NowUs();
   record.sequence = last_sequence_ + 1;
   const std::string payload = EncodeRecordPayload(record);
   ByteWriter frame;
@@ -256,7 +284,13 @@ StatusOr<uint64_t> WalWriter::Append(WalRecord record) {
     }
     written += static_cast<size_t>(n);
   }
+  const uint64_t fsync_start_us = obs::NowUs();
   if (::fsync(fd_) != 0) return ErrnoError("cannot sync wal", path_);
+  const uint64_t end_us = obs::NowUs();
+  WalMetrics::Get().appends->Add();
+  WalMetrics::Get().bytes->Add(out.size());
+  WalMetrics::Get().append_us->Record(end_us - start_us);
+  WalMetrics::Get().fsync_us->Record(end_us - fsync_start_us);
   last_sequence_ = record.sequence;
   bytes_ += out.size();
   ++records_;

@@ -1,0 +1,247 @@
+// Metrics core invariants: the log-bucketed histogram's quantiles must
+// track an exact sorted reference within the bucket-width bound (12.5%
+// relative beyond the exact range), shard merges must lose nothing,
+// and the registry must stay consistent under concurrent hammering and
+// concurrent renders (the TSAN job runs this suite).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tpdb::obs {
+namespace {
+
+/// Exact quantile of a sorted sample, matching HistogramData::Quantile's
+/// convention (index q * (n - 1), interpolated).
+double ExactQuantile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double target = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(target);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = target - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+TEST(MetricsTest, BucketBoundsContainTheirValues) {
+  const std::vector<uint64_t> probes = {
+      0,  1,  7,   8,    9,    15,   16,     17,        1000,
+      4096, 4097, 65535, 1u << 20, (1u << 20) + 12345, ~uint64_t{0} >> 1};
+  for (const uint64_t v : probes) {
+    const uint32_t idx = HistBucket(v);
+    ASSERT_LT(idx, kHistNumBuckets) << v;
+    EXPECT_LE(HistBucketLower(idx), v) << v;
+    EXPECT_GT(HistBucketUpper(idx), v) << v;
+  }
+  // Bucket width is at most 12.5% of the lower bound beyond the exact
+  // range — the quantile error bound rests on exactly this.
+  for (uint32_t idx = kHistSubBuckets; idx < kHistNumBuckets - 1; ++idx) {
+    const uint64_t lower = HistBucketLower(idx);
+    const uint64_t upper = HistBucketUpper(idx);
+    EXPECT_LE(upper - lower, lower / kHistSubBuckets) << "bucket " << idx;
+  }
+}
+
+TEST(MetricsTest, SmallValueQuantilesAreExact) {
+  HistogramData h;
+  for (uint64_t v = 0; v <= 7; ++v)
+    for (int i = 0; i < 10; ++i) h.Record(v);
+  // Values 0..7 land in width-1 buckets, so any quantile interpolates
+  // between exact integers.
+  std::vector<uint64_t> sorted;
+  for (uint64_t v = 0; v <= 7; ++v)
+    for (int i = 0; i < 10; ++i) sorted.push_back(v);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_NEAR(h.Quantile(q), ExactQuantile(sorted, q), 1.0) << "q=" << q;
+}
+
+TEST(MetricsTest, QuantilesTrackSortedReferenceWithinBucketBound) {
+  Random rng(4242);
+  HistogramData h;
+  std::vector<uint64_t> values;
+  values.reserve(20000);
+  // A heavy-tailed latency-like distribution spanning several octaves.
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(
+        1 + rng.Uniform(0, 99) * rng.Uniform(0, 99) * rng.Uniform(1, 50));
+    values.push_back(v);
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count, values.size());
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    const double est = h.Quantile(q);
+    // One bucket of slack: 12.5% of the value plus the width-1 exact range.
+    EXPECT_NEAR(est, exact, exact * 0.13 + 1.0) << "q=" << q;
+  }
+  EXPECT_NEAR(h.Mean(),
+              static_cast<double>(h.sum) / static_cast<double>(h.count),
+              1e-9);
+  EXPECT_GE(h.MaxEstimate(), values.back());
+}
+
+TEST(MetricsTest, MergeEqualsCombinedRecording) {
+  Random rng(7);
+  HistogramData parts[4];
+  HistogramData combined;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(rng.Uniform(0, 999'999));
+    parts[i % 4].Record(v);
+    combined.Record(v);
+  }
+  HistogramData merged;
+  for (const HistogramData& part : parts) merged.Merge(part);
+  EXPECT_EQ(merged.count, combined.count);
+  EXPECT_EQ(merged.sum, combined.sum);
+  EXPECT_EQ(merged.buckets, combined.buckets);
+  for (const double q : {0.25, 0.5, 0.75, 0.99})
+    EXPECT_EQ(merged.Quantile(q), combined.Quantile(q));
+}
+
+TEST(MetricsTest, CounterShardsSumExactlyUnderConcurrency) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  for (std::thread& t : threads) t.join();
+  if (kMetricsCompiledIn)
+    EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  else
+    EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAddSub) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(3);
+  if (kMetricsCompiledIn)
+    EXPECT_EQ(g.Value(), 12);
+  else
+    EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(MetricsTest, HistogramSnapshotLosesNothingUnderConcurrency) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i)
+        h.Record(static_cast<uint64_t>(t) * 1000 + i % 997);
+    });
+  for (std::thread& t : threads) t.join();
+  const HistogramData snap = h.Snapshot();
+  if (kMetricsCompiledIn)
+    EXPECT_EQ(snap.count, kThreads * kPerThread);
+  else
+    EXPECT_EQ(snap.count, 0u);
+}
+
+TEST(MetricsTest, RegistryReturnsSameMetricForSameName) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("test_counter_total", "test", "help a");
+  Counter* b = registry.counter("test_counter_total", "test", "ignored");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.gauge("test_gauge", "test", "");
+  Gauge* g2 = registry.gauge("test_gauge", "test", "");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = registry.histogram("test_us", "test", "");
+  Histogram* h2 = registry.histogram("test_us", "test", "");
+  EXPECT_EQ(h1, h2);
+  const std::vector<MetricsRegistry::MetricInfo> list = registry.List();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].name, "test_counter_total");
+  EXPECT_STREQ(list[0].kind, "counter");
+}
+
+TEST(MetricsTest, PrometheusRenderingShape) {
+  MetricsRegistry registry;
+  registry.counter("demo_ops_total", "demo", "Operations.")->Add(41);
+  registry.counter("demo_ops_total", "demo", "")->Add(1);
+  registry.gauge("demo_depth", "demo", "Depth.")->Set(-3);
+  Histogram* h = registry.histogram("demo_us", "demo", "Latency.");
+  h->Record(5);
+  h->Record(100);
+  const std::string text = registry.RenderPrometheus();
+  if (!kMetricsCompiledIn) {
+    EXPECT_NE(text.find("demo_ops_total 0"), std::string::npos) << text;
+    return;
+  }
+  EXPECT_NE(text.find("# HELP demo_ops_total Operations."), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE demo_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("demo_ops_total 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE demo_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("demo_depth -3"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE demo_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("demo_us_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("demo_us_sum 105"), std::string::npos) << text;
+  EXPECT_NE(text.find("demo_us_count 2"), std::string::npos) << text;
+}
+
+TEST(MetricsTest, JsonRenderingShape) {
+  MetricsRegistry registry;
+  registry.counter("j_ops_total", "demo", "ops")->Add(7);
+  Histogram* h = registry.histogram("j_us", "demo", "");
+  for (uint64_t i = 0; i < 100; ++i) h->Record(i);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  if (kMetricsCompiledIn) {
+    EXPECT_NE(json.find("\"j_ops_total\":7"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  }
+}
+
+TEST(MetricsTest, JsonEscaping) {
+  std::string out;
+  AppendJsonEscaped("with \"quotes\", back\\slash and\nnewline\tctrl", &out);
+  EXPECT_EQ(out,
+            "\"with \\\"quotes\\\", back\\\\slash and\\nnewline\\tctrl\"");
+}
+
+TEST(MetricsTest, ConcurrentHammerAndRender) {
+  // Writers on all three metric kinds racing a reader that renders both
+  // expositions — the shape TSAN must find clean.
+  MetricsRegistry registry;
+  Counter* c = registry.counter("race_total", "test", "");
+  Gauge* g = registry.gauge("race_depth", "test", "");
+  Histogram* h = registry.histogram("race_us", "test", "");
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&] {
+      for (int i = 0; i < 20'000; ++i) {
+        c->Add();
+        g->Add(1);
+        h->Record(static_cast<uint64_t>(i));
+        g->Sub(1);
+      }
+    });
+  for (int r = 0; r < 20; ++r) {
+    const std::string prom = registry.RenderPrometheus();
+    const std::string json = registry.RenderJson();
+    EXPECT_FALSE(prom.empty());
+    EXPECT_FALSE(json.empty());
+  }
+  for (std::thread& t : writers) t.join();
+  if (kMetricsCompiledIn) EXPECT_EQ(c->Value(), 80'000u);
+}
+
+}  // namespace
+}  // namespace tpdb::obs

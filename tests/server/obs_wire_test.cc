@@ -1,0 +1,181 @@
+// Observability over the wire: the kMetrics request must round-trip both
+// exposition formats, its parser must reject every truncated prefix
+// without crashing, kTraceQuery must return a chrome://tracing artifact
+// whose plan-span row counts equal the embedded Explain rendering's
+// actuals element-wise, and kStats must carry the server section.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "common/random.h"
+#include "datasets/generator.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace tpdb::server {
+namespace {
+
+class ObsWire : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(555);
+    UniformWorkloadOptions options;
+    options.num_tuples = 500;
+    options.num_facts = 70;
+    options.history_length = 1800;
+    options.gap_probability = 0.3;
+    for (const char* name : {"r", "s"}) {
+      StatusOr<TPRelation> rel =
+          MakeUniformWorkload(db_.manager(), name, options, &rng);
+      ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+      ASSERT_TRUE(db_.Register(std::move(*rel)).ok());
+    }
+    server_ = std::make_unique<Server>(&db_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Shutdown(); }
+
+  StatusOr<std::unique_ptr<Client>> Connect() {
+    return Client::Connect({.host = "127.0.0.1", .port = server_->port()});
+  }
+
+  TPDatabase db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ObsWire, MetricsRoundTripPrometheus) {
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // Run one query first so engine metrics exist with nonzero values.
+  ASSERT_TRUE((*client)->Query("SELECT * FROM r WHERE key < 10").ok());
+  StatusOr<std::string> text = (*client)->Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE tpdb_server_connections_total counter"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("tpdb_engine_queries_total"), std::string::npos);
+  EXPECT_NE(text->find("tpdb_server_active_connections"), std::string::npos);
+}
+
+TEST_F(ObsWire, MetricsRoundTripJson) {
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  StatusOr<std::string> json = (*client)->Metrics(MetricsFormat::kJson);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json->front(), '{');
+  EXPECT_EQ(json->back(), '}');
+  EXPECT_NE(json->find("\"counters\""), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"histograms\""), std::string::npos);
+}
+
+TEST(ObsWireMsg, MetricsPayloadTruncationFuzz) {
+  const std::string payload = BuildMetrics({0x1122334455667788ull,
+                                            MetricsFormat::kJson});
+  MetricsMsg out;
+  ASSERT_TRUE(ParseMetrics(payload, &out).ok());
+  EXPECT_EQ(out.query_id, 0x1122334455667788ull);
+  EXPECT_EQ(out.format, MetricsFormat::kJson);
+  // Every strict prefix must parse to an error, never crash or accept.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    MetricsMsg truncated;
+    EXPECT_FALSE(
+        ParseMetrics(std::string_view(payload.data(), len), &truncated).ok())
+        << "prefix of " << len << " bytes accepted";
+  }
+  // An unknown format byte is rejected too.
+  std::string bad = payload;
+  bad.back() = 0x7f;
+  EXPECT_FALSE(ParseMetrics(bad, &out).ok());
+}
+
+/// "actual N rows" occurrences, in order, from an Explain rendering —
+/// including one embedded (JSON-escaped) inside a chrome trace, where the
+/// literal text still appears verbatim.
+std::vector<uint64_t> ActualRows(const std::string& text) {
+  std::vector<uint64_t> rows;
+  size_t pos = 0;
+  while ((pos = text.find("(actual ", pos)) != std::string::npos) {
+    pos += 8;
+    rows.push_back(std::strtoull(text.c_str() + pos, nullptr, 10));
+  }
+  return rows;
+}
+
+/// "\"rows\":N" occurrences among the trace's plan events, in order.
+std::vector<uint64_t> PlanSpanRows(const std::string& chrome_json) {
+  std::vector<uint64_t> rows;
+  size_t pos = 0;
+  const std::string other_data = "\"otherData\"";
+  const size_t end = chrome_json.find(other_data);
+  while ((pos = chrome_json.find("\"rows\":", pos)) != std::string::npos &&
+         pos < end) {
+    pos += 7;
+    rows.push_back(std::strtoull(chrome_json.c_str() + pos, nullptr, 10));
+  }
+  return rows;
+}
+
+TEST_F(ObsWire, TraceQuerySpansMatchEmbeddedExplainActuals) {
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const std::vector<std::string> queries = {
+      "SELECT * FROM r WHERE key < 30",
+      "SELECT * FROM r INNER JOIN s ON key WHERE key < 50 ORDER BY key",
+  };
+  for (const std::string& sql : queries) {
+    StatusOr<std::string> artifact = (*client)->TraceQuery(sql);
+    ASSERT_TRUE(artifact.ok()) << sql << ": " << artifact.status().ToString();
+    EXPECT_NE(artifact->find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(artifact->find("\"physical_plan\""), std::string::npos);
+    const std::vector<uint64_t> from_plan = ActualRows(*artifact);
+    const std::vector<uint64_t> from_spans = PlanSpanRows(*artifact);
+    ASSERT_FALSE(from_plan.empty()) << *artifact;
+    ASSERT_EQ(from_spans.size(), from_plan.size()) << *artifact;
+    for (size_t i = 0; i < from_plan.size(); ++i)
+      EXPECT_EQ(from_spans[i], from_plan[i]) << sql << " node " << i;
+  }
+  // The session stays usable after a traced query.
+  EXPECT_TRUE((*client)->Query("SELECT * FROM r WHERE key < 5").ok());
+}
+
+TEST_F(ObsWire, StatsCarriesServerSection) {
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  StatusOr<std::string> stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("server:"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("uptime"), std::string::npos);
+  EXPECT_NE(stats->find("1 active"), std::string::npos) << *stats;
+}
+
+TEST_F(ObsWire, ServerStatsGaugesTrackConnectionsAndBytes) {
+  const ServerStats before = server_->Stats();
+  StatusOr<std::unique_ptr<Client>> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->Query("SELECT * FROM r WHERE key < 20").ok());
+  const ServerStats during = server_->Stats();
+  EXPECT_EQ(during.active_connections, before.active_connections + 1);
+  EXPECT_GT(during.bytes_received, before.bytes_received);
+  EXPECT_GT(during.bytes_sent, before.bytes_sent);
+  EXPECT_GE(during.uptime_seconds, before.uptime_seconds);
+  ASSERT_TRUE((*client)->Close().ok());
+  // The reactor processes the close asynchronously; poll briefly.
+  for (int i = 0; i < 100; ++i) {
+    if (server_->Stats().active_connections == before.active_connections)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->Stats().active_connections, before.active_connections);
+}
+
+}  // namespace
+}  // namespace tpdb::server
