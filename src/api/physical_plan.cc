@@ -78,6 +78,11 @@ std::string PhysicalNode::Label() const {
       std::string label = std::string("Join[") + TPJoinKindName(join_kind) +
                           ", on " + tpdb::Join(terms, ",");
       if (op == PhysOp::kAlign) label += ", TA";
+      if (op == PhysOp::kTPJoin &&
+          join_algorithm != OverlapAlgorithm::kPartitioned) {
+        label += std::string(", alg=") + OverlapAlgorithmName(join_algorithm);
+        if (time_slices > 1) label += " x" + std::to_string(time_slices);
+      }
       return label + "]";
     }
     case PhysOp::kTPSetOp:

@@ -35,6 +35,7 @@
 #include "common/status.h"
 #include "engine/explain.h"
 #include "storage/scan.h"
+#include "tp/overlap_join.h"
 #include "tp/tp_relation.h"
 
 namespace tpdb {
@@ -105,6 +106,11 @@ struct PhysicalNode {
   // kTPJoin / kAlign
   TPJoinKind join_kind = TPJoinKind::kInner;
   std::vector<std::pair<std::string, std::string>> join_on;
+  /// Chosen overlap algorithm (mode-selection pass resolves kAuto from
+  /// zone-map statistics and the sortedness of the inputs) and — for the
+  /// time-partitioned sweep — the slice count (1 = no partitioning).
+  OverlapAlgorithm join_algorithm = OverlapAlgorithm::kPartitioned;
+  int time_slices = 1;
 
   // kTPSetOp
   SetOpKind set_op = SetOpKind::kUnion;

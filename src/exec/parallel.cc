@@ -36,7 +36,8 @@ Status MergeSlots(PartialSlots* slots, TPRelation* result) {
 StatusOr<TPRelation> ParallelTPJoin(ExecContext* ctx, TPJoinKind kind,
                                     const TPRelation& r, const TPRelation& s,
                                     const JoinCondition& theta,
-                                    const TPJoinOptions& options) {
+                                    const TPJoinOptions& options,
+                                    TimePartitionReport* report) {
   TPDB_CHECK(ctx != nullptr);
   const JoinPipelines pipelines = LineageAwareJoinPipelines(kind);
   const size_t driving_rows =
@@ -45,6 +46,11 @@ StatusOr<TPRelation> ParallelTPJoin(ExecContext* ctx, TPJoinKind kind,
   if (options.strategy != JoinStrategy::kLineageAware ||
       !ctx->ShouldParallelize(driving_rows))
     return TPJoin(kind, r, s, theta, options);
+
+  // The sweep algorithm parallelizes along the time axis, not the driving
+  // input: disjoint time slices, one sweep each (exec/time_partition.h).
+  if (options.overlap_algorithm == OverlapAlgorithm::kSweep)
+    return TimePartitionedTPJoin(ctx, kind, r, s, theta, options, report);
 
   if (r.manager() != s.manager())
     return Status::InvalidArgument(
@@ -155,6 +161,15 @@ StatusOr<TPRelation> ParallelTPSetOp(ExecContext* ctx, TPSetOpKind kind,
   const size_t parts = static_cast<size_t>(ctx->parallelism()) * 2;
   const std::vector<TPRelation> r_parts = HashPartitionRelation(r, parts);
   const std::vector<TPRelation> s_parts = HashPartitionRelation(s, parts);
+
+  // Fact hashing degenerates under heavy fact skew (one hot fact chain
+  // lands in one partition and serializes the run); time partitioning
+  // splits a hot chain across slices instead.
+  size_t largest = 0;
+  for (size_t i = 0; i < parts; ++i)
+    largest = std::max(largest, r_parts[i].size() + s_parts[i].size());
+  if (largest * 2 > r.size() + s.size())
+    return TimePartitionedTPSetOp(ctx, kind, r, s, std::move(result_name));
 
   const bool s_driven = SetOpHasSDrivenPipeline(kind);
   PartialSlots r_slots(parts);
@@ -272,9 +287,10 @@ StatusOr<Table> ParallelBatchPipeline(ExecContext* ctx, size_t num_morsels,
 }
 
 StatusOr<TPRelation> ParallelTPJoin(ExecContext* ctx, const TPJoinSpec& spec,
-                                    const TPRelation& r,
-                                    const TPRelation& s) {
-  return ParallelTPJoin(ctx, spec.kind, r, s, spec.theta, spec.options);
+                                    const TPRelation& r, const TPRelation& s,
+                                    TimePartitionReport* report) {
+  return ParallelTPJoin(ctx, spec.kind, r, s, spec.theta, spec.options,
+                        report);
 }
 
 StatusOr<TPRelation> ParallelTPSetOp(ExecContext* ctx,

@@ -28,6 +28,7 @@
 
 #include "engine/vector/batch_operator.h"
 #include "exec/exec_context.h"
+#include "exec/time_partition.h"
 #include "tp/operators.h"
 #include "tp/set_ops.h"
 
@@ -36,10 +37,14 @@ namespace tpdb {
 /// Parallel TPJoin. Falls back to the serial TPJoin for the temporal-
 /// alignment strategy and for inputs below the context's parallel
 /// threshold. Results are element-wise AND order-identical to TPJoin.
+/// With overlap_algorithm == kSweep the join runs time-partitioned
+/// (exec/time_partition.h) and, when `report` is non-null, fills it with
+/// per-slice rows and active-set high-water marks for Explain.
 StatusOr<TPRelation> ParallelTPJoin(ExecContext* ctx, TPJoinKind kind,
                                     const TPRelation& r, const TPRelation& s,
                                     const JoinCondition& theta,
-                                    const TPJoinOptions& options = {});
+                                    const TPJoinOptions& options = {},
+                                    TimePartitionReport* report = nullptr);
 
 /// Parallel set operation. Falls back to the serial TPSetOp below the
 /// parallel threshold. Results are element-wise identical to TPSetOp;
@@ -51,7 +56,8 @@ StatusOr<TPRelation> ParallelTPSetOp(ExecContext* ctx, TPSetOpKind kind,
 /// Spec forms — the physical-plan executors construct the spec from a
 /// PhysTPJoin / PhysTPSetOp node and dispatch here when a context is live.
 StatusOr<TPRelation> ParallelTPJoin(ExecContext* ctx, const TPJoinSpec& spec,
-                                    const TPRelation& r, const TPRelation& s);
+                                    const TPRelation& r, const TPRelation& s,
+                                    TimePartitionReport* report = nullptr);
 StatusOr<TPRelation> ParallelTPSetOp(ExecContext* ctx,
                                      const TPSetOpSpec& spec,
                                      const TPRelation& r,

@@ -1,0 +1,375 @@
+#include "exec/time_partition.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "storage/segment.h"
+#include "tp/lawan.h"
+#include "tp/lawau.h"
+
+namespace tpdb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PartitionMetrics {
+  obs::Counter* slices = obs::MetricsRegistry::Default().counter(
+      "tpdb_join_sweep_slices_total", "join",
+      "Time slices executed by partitioned sweep joins.");
+  obs::Counter* replicated = obs::MetricsRegistry::Default().counter(
+      "tpdb_join_sweep_replicated_total", "join",
+      "Boundary-spanning tuple replicas created by time partitioning.");
+
+  static const PartitionMetrics& Get() {
+    static const PartitionMetrics m;
+    return m;
+  }
+};
+
+/// Slice of time point `t`: bounds[i] is the (inclusive) lower bound of
+/// slice i + 1, so slices are [.., bounds[0]), [bounds[0], bounds[1]), ...
+size_t SliceOf(const std::vector<TimePoint>& bounds, TimePoint t) {
+  return static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), t) - bounds.begin());
+}
+
+/// Interior boundaries as equi-depth quantiles of the weighted start
+/// histogram: the value at cumulative weight total*i/k, deduplicated and
+/// kept strictly above the global minimum (a bound at the minimum would
+/// only create an empty leading slice).
+std::vector<TimePoint> BoundariesFor(
+    const std::vector<std::pair<TimePoint, uint64_t>>& hist, uint64_t total,
+    int k) {
+  std::vector<TimePoint> bounds;
+  uint64_t cum = 0;
+  size_t pos = 0;
+  for (int i = 1; i < k; ++i) {
+    const uint64_t want = total * static_cast<uint64_t>(i) /
+                          static_cast<uint64_t>(k);
+    while (pos < hist.size() && cum + hist[pos].second <= want)
+      cum += hist[pos++].second;
+    if (pos >= hist.size()) break;
+    const TimePoint b = hist[pos].first;
+    if (b > hist.front().first && (bounds.empty() || b > bounds.back()))
+      bounds.push_back(b);
+  }
+  return bounds;
+}
+
+/// Distributes the rows of one flattened side into per-slice id lists: a
+/// row goes to every slice its interval [ts, te) overlaps. Rows are visited
+/// in _ts order (sorted inputs skip the sort), so each slice's list is
+/// already ordered by _ts — the per-slice sweeps never sort again.
+void AssignSlices(const Table& table, int ts_col, int te_col, bool sorted,
+                  const std::vector<TimePoint>& bounds,
+                  std::vector<std::vector<uint32_t>>* ids,
+                  uint64_t* replicated) {
+  ids->assign(bounds.size() + 1, {});
+  std::vector<uint32_t> order(table.rows.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (!sorted) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return table.rows[a][ts_col].AsInt64() <
+                              table.rows[b][ts_col].AsInt64();
+                     });
+  }
+  for (uint32_t idx : order) {
+    const Row& row = table.rows[idx];
+    const size_t first = SliceOf(bounds, row[ts_col].AsInt64());
+    const size_t last = SliceOf(bounds, row[te_col].AsInt64() - 1);
+    for (size_t sl = first; sl <= last; ++sl) (*ids)[sl].push_back(idx);
+    *replicated += last - first;
+  }
+}
+
+/// The per-rid-range tail of one pipeline: consumes the (already
+/// LAWAU/LAWAN-extended) window stream and appends output tuples.
+using WindowTailFn =
+    std::function<Status(Operator* windows, const WindowLayout& layout,
+                         TPRelation* partial)>;
+
+/// Runs ONE window pipeline (r-driven orientation: `r` is the driving
+/// side) time-partitioned: per-slice parallel sweeps, a serial regroup
+/// into per-rid buckets (slice order preserves the per-rid window-start
+/// order), then the LAWAU/LAWAN/emit tail in parallel over contiguous rid
+/// ranges, absorbed in rid order. Output tuples land in `result` in
+/// exactly the serial pipeline's order.
+Status PartitionedWindows(ExecContext* ctx, const TPRelation& r,
+                          const TPRelation& s, const JoinCondition& theta,
+                          WindowStage stage, int slices_hint,
+                          const WindowTailFn& tail, TPRelation* result,
+                          TimePartitionReport* report) {
+  StatusOr<ThetaMatcher> matcher =
+      ThetaMatcher::Make(theta, r.fact_schema(), s.fact_schema());
+  if (!matcher.ok()) return matcher.status();
+  const WindowLayout layout(
+      static_cast<int>(r.fact_schema().num_columns()),
+      static_cast<int>(s.fact_schema().num_columns()));
+  const Schema window_schema =
+      layout.MakeSchema(r.fact_schema(), s.fact_schema());
+  const int n_rf = layout.num_r_facts();
+  const int n_sf = layout.num_s_facts();
+  const Table r_table = r.ToTable();
+  const Table s_table = s.ToTable();
+
+  const int target = slices_hint > 0 ? slices_hint : ctx->parallelism();
+  const std::vector<TimePoint> bounds = ChooseTimeSlices(r, s, target);
+  const size_t k = bounds.size() + 1;
+
+  uint64_t replicated = 0;
+  std::vector<std::vector<uint32_t>> r_ids;
+  std::vector<std::vector<uint32_t>> s_ids;
+  AssignSlices(r_table, n_rf, n_rf + 1, r.sorted_by_ts(), bounds, &r_ids,
+               &replicated);
+  AssignSlices(s_table, n_sf, n_sf + 1, s.sorted_by_ts(), bounds, &s_ids,
+               &replicated);
+
+  // Phase A: one independent sweep per slice. Replica dedup is the
+  // emit_lo rule — a slice only emits windows starting inside it.
+  std::vector<std::vector<Row>> slice_windows(k);
+  std::vector<SweepStats> slice_stats(k);
+  TaskGroup sweeps(ctx->pool());
+  for (size_t i = 0; i < k; ++i) {
+    sweeps.Spawn([&, i]() -> Status {
+      const Clock::time_point start = Clock::now();
+      SweepSpec spec;
+      spec.r_table = &r_table;
+      spec.s_table = &s_table;
+      spec.layout = layout;
+      spec.r_ids = &r_ids[i];
+      spec.s_ids = &s_ids[i];
+      spec.r_sorted = true;  // AssignSlices visits rows in _ts order
+      spec.s_sorted = true;
+      if (i > 0) spec.emit_lo = bounds[i - 1];
+      RunSweep(spec, *matcher, &slice_windows[i], &slice_stats[i]);
+      ctx->RecordTask(slice_windows[i].size(), SecondsSince(start));
+      return Status::OK();
+    });
+  }
+  TPDB_RETURN_IF_ERROR(sweeps.Wait());
+
+  // Regroup per driving tuple, visiting slices in order: a rid's windows
+  // concatenate to nondecreasing start, exactly the serial sweep's per-rid
+  // order. Unmatched detection is global — a rid with no window in ANY
+  // slice gets its full-interval unmatched fill-in from the source below.
+  std::vector<std::vector<Row>> buckets(r_table.rows.size());
+  for (size_t i = 0; i < k; ++i) {
+    for (Row& row : slice_windows[i]) {
+      const size_t rid = static_cast<size_t>(row[0].AsInt64());
+      buckets[rid].push_back(std::move(row));
+    }
+    slice_windows[i].clear();
+  }
+
+  // Phase B: the LAWAU/LAWAN/emit tail over contiguous rid ranges. Both
+  // operators are per-rid streaming, so a range run equals the matching
+  // piece of the full-stream run; absorbing in range order reproduces the
+  // serial emit order.
+  const std::vector<Morsel> ranges =
+      MakeMorsels(r_table.rows.size(), ctx->options().morsel_size,
+                  static_cast<size_t>(ctx->parallelism()) * 4);
+  std::vector<std::unique_ptr<TPRelation>> slots(ranges.size());
+  TaskGroup tails(ctx->pool());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    tails.Spawn([&, i]() -> Status {
+      const Clock::time_point start = Clock::now();
+      OperatorPtr root = std::make_unique<BucketWindowSource>(
+          &buckets, ranges[i].begin, ranges[i].end, &r_table, layout,
+          window_schema);
+      if (stage != WindowStage::kOverlap)
+        root = std::make_unique<Lawau>(std::move(root), layout);
+      if (stage == WindowStage::kWuon)
+        root = std::make_unique<Lawan>(std::move(root), layout, r.manager());
+      auto partial = std::make_unique<TPRelation>(
+          result->name(), result->fact_schema(), r.manager());
+      TPDB_RETURN_IF_ERROR(tail(root.get(), layout, partial.get()));
+      ctx->RecordTask(partial->size(), SecondsSince(start));
+      slots[i] = std::move(partial);
+      return Status::OK();
+    });
+  }
+  TPDB_RETURN_IF_ERROR(tails.Wait());
+  for (std::unique_ptr<TPRelation>& slot : slots) {
+    TPDB_CHECK(slot != nullptr);
+    TPDB_RETURN_IF_ERROR(result->Absorb(std::move(*slot)));
+  }
+
+  if (report != nullptr) {
+    TimePoint data_lo = std::numeric_limits<TimePoint>::max();
+    TimePoint data_hi = std::numeric_limits<TimePoint>::min();
+    for (const Row& row : r_table.rows) {
+      data_lo = std::min(data_lo, row[n_rf].AsInt64());
+      data_hi = std::max(data_hi, row[n_rf + 1].AsInt64());
+    }
+    for (const Row& row : s_table.rows) {
+      data_lo = std::min(data_lo, row[n_sf].AsInt64());
+      data_hi = std::max(data_hi, row[n_sf + 1].AsInt64());
+    }
+    if (data_lo > data_hi) data_lo = data_hi = 0;
+    report->slices += static_cast<int>(k);
+    report->replicated += replicated;
+    for (size_t i = 0; i < k; ++i) {
+      TimeSliceStats ts;
+      ts.lo = i == 0 ? data_lo : bounds[i - 1];
+      ts.hi = i == k - 1 ? data_hi : bounds[i];
+      ts.r_rows = r_ids[i].size();
+      ts.s_rows = s_ids[i].size();
+      ts.windows = slice_stats[i].windows;
+      ts.active_max = slice_stats[i].active_max;
+      report->per_slice.push_back(ts);
+      report->endpoints += slice_stats[i].endpoints;
+      report->active_max =
+          std::max(report->active_max, slice_stats[i].active_max);
+    }
+  }
+  const PartitionMetrics& m = PartitionMetrics::Get();
+  m.slices->Add(k);
+  m.replicated->Add(replicated);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<TimePoint> ChooseTimeSlices(const TPRelation& r,
+                                        const TPRelation& s, int target) {
+  if (target <= 1) return {};
+
+  // Weighted start histogram. Cold relations contribute one point per
+  // segment (zone-map ts_min, weighted by segment rows) so slice choice
+  // never decodes a segment; warm relations contribute exact starts.
+  std::vector<std::pair<TimePoint, uint64_t>> hist;
+  const auto gather = [&hist](const TPRelation& rel) {
+    const std::shared_ptr<const storage::SegmentedTable>& cold =
+        rel.cold_storage();
+    if (cold != nullptr && !cold->segments().empty()) {
+      for (const storage::Segment& seg : cold->segments())
+        hist.emplace_back(seg.zone.ts_min, seg.num_rows);
+    } else {
+      for (const TPTuple& t : rel.tuples())
+        hist.emplace_back(t.interval.start, 1);
+    }
+  };
+  gather(r);
+  gather(s);
+  if (hist.empty()) return {};
+  std::sort(hist.begin(), hist.end());
+  uint64_t total = 0;
+  for (const auto& [t, w] : hist) total += w;
+  if (total == 0) return {};
+
+  // Halve the slice count while boundary-spanning replication would exceed
+  // half the input: long-interval / all-overlapping workloads degrade
+  // toward a single slice instead of replicating every tuple everywhere.
+  const uint64_t input = r.size() + s.size();
+  for (int k = target; k > 1; k /= 2) {
+    const std::vector<TimePoint> bounds = BoundariesFor(hist, total, k);
+    if (bounds.empty()) return {};
+    uint64_t replicas = 0;
+    for (const TPRelation* rel : {&r, &s}) {
+      for (const TPTuple& t : rel->tuples())
+        replicas += SliceOf(bounds, t.interval.end - 1) -
+                    SliceOf(bounds, t.interval.start);
+    }
+    if (replicas * 2 < input) return bounds;
+  }
+  return {};
+}
+
+StatusOr<TPRelation> TimePartitionedTPJoin(ExecContext* ctx, TPJoinKind kind,
+                                           const TPRelation& r,
+                                           const TPRelation& s,
+                                           const JoinCondition& theta,
+                                           const TPJoinOptions& options,
+                                           TimePartitionReport* report) {
+  TPDB_CHECK(ctx != nullptr);
+  if (r.manager() != s.manager())
+    return Status::InvalidArgument(
+        "TP relations must share a LineageManager");
+  if (options.validate_inputs) {
+    TaskGroup validation(ctx->pool());
+    validation.Spawn([&r] { return r.Validate(); });
+    validation.Spawn([&s] { return s.Validate(); });
+    TPDB_RETURN_IF_ERROR(validation.Wait());
+  }
+  std::string name = options.result_name;
+  if (name.empty())
+    name = r.name() + "_" + TPJoinKindName(kind) + "_" + s.name();
+  TPRelation result(std::move(name),
+                    TPJoinOutputSchema(kind, r.fact_schema(), s.fact_schema()),
+                    r.manager());
+  LineageManager* manager = r.manager();
+  const WindowStage stage =
+      kind == TPJoinKind::kInner ? WindowStage::kOverlap : WindowStage::kWuon;
+
+  const JoinPipelines pipelines = LineageAwareJoinPipelines(kind);
+  if (pipelines.r_driven) {
+    TPDB_RETURN_IF_ERROR(PartitionedWindows(
+        ctx, r, s, theta, stage, options.time_slices,
+        [&](Operator* windows, const WindowLayout& layout,
+            TPRelation* partial) {
+          return EmitJoinWindows(kind, /*s_driven=*/false, windows, layout,
+                                 manager, partial);
+        },
+        &result, report));
+  }
+  if (pipelines.s_driven) {
+    TPDB_RETURN_IF_ERROR(PartitionedWindows(
+        ctx, s, r, SwapJoinCondition(theta), stage, options.time_slices,
+        [&](Operator* windows, const WindowLayout& layout,
+            TPRelation* partial) {
+          return EmitJoinWindows(kind, /*s_driven=*/true, windows, layout,
+                                 manager, partial);
+        },
+        &result, report));
+  }
+  return result;
+}
+
+StatusOr<TPRelation> TimePartitionedTPSetOp(ExecContext* ctx,
+                                            TPSetOpKind kind,
+                                            const TPRelation& r,
+                                            const TPRelation& s,
+                                            std::string result_name,
+                                            TimePartitionReport* report) {
+  TPDB_CHECK(ctx != nullptr);
+  StatusOr<JoinCondition> theta = SetOpCondition(r, s);
+  if (!theta.ok()) return theta.status();
+  if (result_name.empty())
+    result_name = r.name() + "_" + TPSetOpKindName(kind) + "_" + s.name();
+  TPRelation result(std::move(result_name), r.fact_schema(), r.manager());
+  LineageManager* manager = r.manager();
+
+  TPDB_RETURN_IF_ERROR(PartitionedWindows(
+      ctx, r, s, *theta, WindowStage::kWuon, /*slices_hint=*/0,
+      [&](Operator* windows, const WindowLayout& layout, TPRelation* partial) {
+        return EmitSetOpWindows(kind, /*swapped=*/false, windows, layout,
+                                manager, partial);
+      },
+      &result, report));
+  if (SetOpHasSDrivenPipeline(kind)) {
+    TPDB_RETURN_IF_ERROR(PartitionedWindows(
+        ctx, s, r, SwapJoinCondition(*theta), WindowStage::kWuon,
+        /*slices_hint=*/0,
+        [&](Operator* windows, const WindowLayout& layout,
+            TPRelation* partial) {
+          return EmitSetOpWindows(kind, /*swapped=*/true, windows, layout,
+                                  manager, partial);
+        },
+        &result, report));
+  }
+  return result;
+}
+
+}  // namespace tpdb

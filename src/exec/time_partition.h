@@ -1,0 +1,87 @@
+// Time-partitioned parallel sweep execution: range-partitions the time
+// axis into disjoint slices and runs one independent sweep-line join
+// (tp/sweep_join.h) per slice on the ThreadPool.
+//
+// Slice boundaries are equi-depth quantiles of the interval-start
+// distribution — taken from segment zone-map ts_min histograms when a
+// relation has a cold columnar backing, from the tuple starts otherwise.
+// A tuple spanning a boundary is replicated into every slice its interval
+// overlaps; emitted windows are deduplicated by the slice-owns-window-start
+// rule (a slice only emits windows starting at or after its lower bound),
+// which needs no hashing: a window's start lies in exactly one slice, and
+// both tuples of its pair are replicated there, because the start lies
+// inside both intervals.
+//
+// After the per-slice sweeps, the overlapping windows are regrouped per
+// driving tuple (concatenating slices in order preserves the per-rid
+// window-start order), and the LAWAU/LAWAN/emit tail of the pipeline runs
+// in parallel over contiguous rid ranges, absorbed in rid order — so the
+// result is element-wise AND order-identical to the serial kSweep join.
+// Unmatched detection is global: only a rid with no window in ANY slice
+// yields the full-interval unmatched window.
+#ifndef TPDB_EXEC_TIME_PARTITION_H_
+#define TPDB_EXEC_TIME_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "tp/operators.h"
+#include "tp/set_ops.h"
+#include "tp/sweep_join.h"
+
+namespace tpdb {
+
+/// Execution counters of one time slice.
+struct TimeSliceStats {
+  TimePoint lo = 0;        ///< slice bounds [lo, hi)
+  TimePoint hi = 0;
+  uint64_t r_rows = 0;     ///< driving-side tuples assigned (incl. replicas)
+  uint64_t s_rows = 0;
+  uint64_t windows = 0;    ///< overlapping windows this slice emitted
+  uint64_t active_max = 0;
+};
+
+/// What a time-partitioned execution did — surfaced in Explain (per-slice
+/// rows + active-set high-water marks) and the tpdb_join_sweep_* metrics.
+/// A join running both pipelines (full outer) reports the r-driven and
+/// s-driven slices back to back.
+struct TimePartitionReport {
+  int slices = 0;
+  uint64_t replicated = 0;  ///< extra tuple assignments beyond one per tuple
+  uint64_t endpoints = 0;
+  uint64_t active_max = 0;  ///< max across slices
+  std::vector<TimeSliceStats> per_slice;
+};
+
+/// Picks at most `target - 1` interior boundaries as equi-depth quantiles
+/// of the combined interval-start distribution (zone-map ts_min weighted by
+/// segment rows when a cold backing exists, exact tuple starts otherwise).
+/// The boundary count is halved while boundary-spanning replication would
+/// exceed half the input — all-overlapping workloads degenerate to a
+/// single slice (empty result) instead of replicating everything
+/// everywhere.
+std::vector<TimePoint> ChooseTimeSlices(const TPRelation& r,
+                                        const TPRelation& s, int target);
+
+/// Time-partitioned ParallelTPJoin body: element-wise and order-identical
+/// to TPJoin(kind, …) with overlap_algorithm = kSweep. `options.time_slices`
+/// caps the slice count (0 = the context's parallelism).
+StatusOr<TPRelation> TimePartitionedTPJoin(
+    ExecContext* ctx, TPJoinKind kind, const TPRelation& r,
+    const TPRelation& s, const JoinCondition& theta,
+    const TPJoinOptions& options = {}, TimePartitionReport* report = nullptr);
+
+/// The same driver for the set operations (θ = full-fact equality) —
+/// element-wise identical to TPSetOp; used by ParallelTPSetOp when fact
+/// skew degenerates its hash partitioning.
+StatusOr<TPRelation> TimePartitionedTPSetOp(
+    ExecContext* ctx, TPSetOpKind kind, const TPRelation& r,
+    const TPRelation& s, std::string result_name = "",
+    TimePartitionReport* report = nullptr);
+
+}  // namespace tpdb
+
+#endif  // TPDB_EXEC_TIME_PARTITION_H_

@@ -50,12 +50,44 @@ struct EmitSpec {
   bool semi_concat = false;
 };
 
-/// Streams the plan and appends one output tuple per kept window.
-Status EmitWindows(WindowPlan* plan, LineageManager* manager,
-                   const EmitSpec& spec, TPRelation* result) {
-  const WindowLayout& layout = plan->layout;
-  plan->root->Open();
-  while (const Row* row_ptr = plan->root->NextRef()) {
+/// The window classes `kind` keeps in the given pipeline orientation.
+EmitSpec MakeEmitSpec(TPJoinKind kind, bool s_driven) {
+  EmitSpec spec;
+  if (s_driven) {
+    spec.swapped = true;
+    // WO(r;s,θ) = WO(s;r,θ): the full-outer join already emitted the
+    // overlapping windows from the r-driven pipeline.
+    spec.keep_overlapping = kind == TPJoinKind::kRightOuter;
+    return spec;
+  }
+  switch (kind) {
+    case TPJoinKind::kInner:
+      spec.keep_unmatched = false;
+      spec.keep_negating = false;
+      break;
+    case TPJoinKind::kAnti:
+      spec.keep_overlapping = false;
+      spec.drop_s_facts = true;
+      break;
+    case TPJoinKind::kSemi:
+      spec.keep_overlapping = false;
+      spec.keep_unmatched = false;
+      spec.drop_s_facts = true;
+      spec.semi_concat = true;
+      break;
+    default:
+      break;
+  }
+  return spec;
+}
+
+/// Streams the window operator and appends one output tuple per kept
+/// window.
+Status EmitWindows(Operator* windows, const WindowLayout& layout,
+                   LineageManager* manager, const EmitSpec& spec,
+                   TPRelation* result) {
+  windows->Open();
+  while (const Row* row_ptr = windows->NextRef()) {
     const Row& row = *row_ptr;
     const WindowClass cls = layout.ClassOf(row);
     if ((cls == WindowClass::kOverlapping && !spec.keep_overlapping) ||
@@ -89,7 +121,7 @@ Status EmitWindows(WindowPlan* plan, LineageManager* manager,
     TPDB_RETURN_IF_ERROR(
         result->AppendDerived(std::move(fact), layout.WindowOf(row), lineage));
   }
-  plan->root->Close();
+  windows->Close();
   return Status::OK();
 }
 
@@ -142,27 +174,8 @@ Status RunLineageAwareJoinPipeline(TPJoinKind kind, bool s_driven,
     StatusOr<WindowPlan> plan =
         MakeWindowPlan(r, s, theta, stage, algorithm, probe);
     if (!plan.ok()) return plan.status();
-    EmitSpec spec;
-    spec.swapped = false;
-    switch (kind) {
-      case TPJoinKind::kInner:
-        spec.keep_unmatched = false;
-        spec.keep_negating = false;
-        break;
-      case TPJoinKind::kAnti:
-        spec.keep_overlapping = false;
-        spec.drop_s_facts = true;
-        break;
-      case TPJoinKind::kSemi:
-        spec.keep_overlapping = false;
-        spec.keep_unmatched = false;
-        spec.drop_s_facts = true;
-        spec.semi_concat = true;
-        break;
-      default:
-        break;
-    }
-    return EmitWindows(&*plan, manager, spec, result);
+    return EmitWindows(plan->root.get(), plan->layout, manager,
+                       MakeEmitSpec(kind, /*s_driven=*/false), result);
   }
 
   TPDB_CHECK(kind == TPJoinKind::kRightOuter ||
@@ -171,12 +184,16 @@ Status RunLineageAwareJoinPipeline(TPJoinKind kind, bool s_driven,
   StatusOr<WindowPlan> plan =
       MakeWindowPlan(s, r, SwapJoinCondition(theta), stage, algorithm, probe);
   if (!plan.ok()) return plan.status();
-  EmitSpec spec;
-  spec.swapped = true;
-  // WO(r;s,θ) = WO(s;r,θ): the full-outer join already emitted the
-  // overlapping windows from the r-driven pipeline.
-  spec.keep_overlapping = kind == TPJoinKind::kRightOuter;
-  return EmitWindows(&*plan, manager, spec, result);
+  return EmitWindows(plan->root.get(), plan->layout, manager,
+                     MakeEmitSpec(kind, /*s_driven=*/true), result);
+}
+
+Status EmitJoinWindows(TPJoinKind kind, bool s_driven, Operator* windows,
+                       const WindowLayout& layout, LineageManager* manager,
+                       TPRelation* result) {
+  TPDB_CHECK(windows != nullptr && result != nullptr);
+  return EmitWindows(windows, layout, manager, MakeEmitSpec(kind, s_driven),
+                     result);
 }
 
 StatusOr<TPRelation> TPJoin(TPJoinKind kind, const TPRelation& r,

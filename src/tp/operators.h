@@ -55,6 +55,10 @@ struct TPJoinOptions {
   /// Verify the duplicate-free-in-time invariant of both inputs up front
   /// (O(n log n); benchmarks switch this off to time the join alone).
   bool validate_inputs = true;
+  /// Slice-count hint for the time-partitioned parallel sweep driver
+  /// (exec/time_partition.h); 0 derives it from the context's parallelism.
+  /// Only meaningful with overlap_algorithm == kSweep under ParallelTPJoin.
+  int time_slices = 0;
 };
 
 /// Computes `kind` over r and s with condition θ. Both relations must share
@@ -132,6 +136,15 @@ Status RunLineageAwareJoinPipeline(TPJoinKind kind, bool s_driven,
                                    OverlapAlgorithm algorithm,
                                    TPRelation* result,
                                    const OverlapProbeSide* probe = nullptr);
+
+/// The window→tuple emission rule of one pipeline of `kind`, applied to an
+/// arbitrary window stream (canonical WindowLayout rows; for non-inner
+/// kinds the stream must already include the LAWAU/LAWAN output). The
+/// time-partitioned driver (exec/time_partition.h) runs the per-rid tail
+/// of a pipeline over regrouped slice outputs through this.
+Status EmitJoinWindows(TPJoinKind kind, bool s_driven, Operator* windows,
+                       const WindowLayout& layout, LineageManager* manager,
+                       TPRelation* result);
 
 }  // namespace tpdb
 

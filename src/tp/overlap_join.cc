@@ -7,6 +7,7 @@
 #include "engine/sort.h"
 #include "engine/stats.h"
 #include "engine/temporal_outer_join.h"
+#include "tp/sweep_join.h"
 
 namespace tpdb {
 
@@ -97,7 +98,25 @@ class WindowFinisher final : public Operator {
   Schema schema_;
 };
 
+/// Sides below this many combined rows make the nested loop competitive;
+/// above it kAuto prefers the sweep when the probe build is degenerate.
+constexpr size_t kSweepAutoMinRows = 64;
+
 }  // namespace
+
+const char* OverlapAlgorithmName(OverlapAlgorithm algorithm) {
+  switch (algorithm) {
+    case OverlapAlgorithm::kPartitioned:
+      return "partitioned";
+    case OverlapAlgorithm::kNestedLoop:
+      return "nested-loop";
+    case OverlapAlgorithm::kSweep:
+      return "sweep";
+    case OverlapAlgorithm::kAuto:
+      return "auto";
+  }
+  return "?";
+}
 
 StatusOr<std::vector<std::pair<int, int>>> ResolveCondition(
     const JoinCondition& theta, const Schema& r_facts,
@@ -149,7 +168,11 @@ StatusOr<OverlapProbeSide> MakeOverlapProbeSide(
   TPDB_CHECK(s_table != nullptr);
   OverlapProbeSide probe;
   probe.s_table = std::move(s_table);
-  if (algorithm == OverlapAlgorithm::kNestedLoop) return probe;
+  // Only the partitioned algorithm has a shareable build; the nested loop
+  // and the sweep share just the flattened table.
+  if (algorithm == OverlapAlgorithm::kNestedLoop ||
+      algorithm == OverlapAlgorithm::kSweep)
+    return probe;
 
   StatusOr<std::vector<std::pair<int, int>>> keys =
       ResolveCondition(theta, r_facts, s_facts);
@@ -168,7 +191,8 @@ StatusOr<OverlapProbeSide> MakeOverlapProbeSide(
 StatusOr<OperatorPtr> MakeOverlapWindowJoin(
     const Table* r_table, const Schema& r_facts, const Table* s_table,
     const Schema& s_facts, const JoinCondition& theta,
-    OverlapAlgorithm algorithm, const OverlapProbeSide* probe) {
+    OverlapAlgorithm algorithm, const OverlapProbeSide* probe,
+    const OverlapJoinHints& hints) {
   TPDB_CHECK(r_table != nullptr);
   TPDB_CHECK(s_table != nullptr);
   const int n_rf = static_cast<int>(r_facts.num_columns());
@@ -193,10 +217,22 @@ StatusOr<OperatorPtr> MakeOverlapWindowJoin(
         TableStats::Compute(*r_table, n_rf, n_rf + 1);
     const TableStats s_stats =
         TableStats::Compute(*s_table, n_sf, n_sf + 1);
-    algorithm = PreferPartitionedJoin(r_stats, s_stats, *keys)
-                    ? OverlapAlgorithm::kPartitioned
-                    : OverlapAlgorithm::kNestedLoop;
+    if (PreferPartitionedJoin(r_stats, s_stats, *keys)) {
+      algorithm = OverlapAlgorithm::kPartitioned;
+    } else if (keys->empty() &&
+               r_table->rows.size() + s_table->rows.size() >=
+                   kSweepAutoMinRows) {
+      // θ has no equalities (empty or predicate-only): a hash build would
+      // collapse into one degenerate partition rescanned per probe. The
+      // sweep's single active set only ever holds temporally-live tuples.
+      algorithm = OverlapAlgorithm::kSweep;
+    } else {
+      algorithm = OverlapAlgorithm::kNestedLoop;
+    }
   }
+  if (algorithm == OverlapAlgorithm::kSweep)
+    return MakeSweepWindowJoin(r_table, r_facts, s_table, s_facts, theta,
+                               hints);
 
   OperatorPtr left = std::make_unique<RowIdScan>(r_table);
   OperatorPtr right = std::make_unique<TableScan>(s_table);

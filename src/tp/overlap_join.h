@@ -37,7 +37,11 @@ struct JoinCondition {
     return cond;
   }
 
-  /// True iff θ has no constraints (matches every pair).
+  /// True iff θ has no constraints (matches every pair). NOT the same as
+  /// equal_columns.empty(): a predicate-only θ still constrains pairs but
+  /// gives the hash-based plans a single degenerate partition — kAuto
+  /// routes that shape to kSweep, whose one active set is bounded by
+  /// temporal overlap instead of the full cross product.
   bool IsTrivial() const {
     return equal_columns.empty() && !predicate;
   }
@@ -51,9 +55,29 @@ enum class OverlapAlgorithm {
   /// Plain nested loop — what the optimizer falls back to for TA (and the
   /// ablation baseline).
   kNestedLoop,
-  /// Cost-based choice between the two from table statistics (the
+  /// Sort-merge/sweep-line: both sides sorted by _ts (skipped when the
+  /// hints say an input already is), one merged start-event stream swept
+  /// with per-equi-key active sets (tp/sweep_join.h). O(n log n + output)
+  /// instead of the probe's per-key partition rescans, so it is immune to
+  /// key skew; with no equi-keys it degrades to ONE active set bounded by
+  /// temporal overlap rather than a full cross product.
+  kSweep,
+  /// Cost-based choice among the above from table statistics (the
   /// optimizer path; see engine/stats.h).
   kAuto,
+};
+
+/// Name of an overlap algorithm ("partitioned" / "nested-loop" / "sweep" /
+/// "auto").
+const char* OverlapAlgorithmName(OverlapAlgorithm algorithm);
+
+/// Physical properties of the inputs the caller already knows. Sortedness
+/// by _ts flows from TPRelation::sorted_by_ts() — maintained on append and
+/// restored by compaction, which re-sorts merged segments by _ts — and
+/// lets kSweep skip its sort entirely.
+struct OverlapJoinHints {
+  bool r_sorted_by_ts = false;
+  bool s_sorted_by_ts = false;
 };
 
 /// The flattened + pre-partitioned probe (s) side of an overlap join —
@@ -85,7 +109,8 @@ StatusOr<OverlapProbeSide> MakeOverlapProbeSide(
 StatusOr<OperatorPtr> MakeOverlapWindowJoin(
     const Table* r_table, const Schema& r_facts, const Table* s_table,
     const Schema& s_facts, const JoinCondition& theta,
-    OverlapAlgorithm algorithm, const OverlapProbeSide* probe = nullptr);
+    OverlapAlgorithm algorithm, const OverlapProbeSide* probe = nullptr,
+    const OverlapJoinHints& hints = {});
 
 /// Resolves the equality column names of `theta` against the fact schemas.
 StatusOr<std::vector<std::pair<int, int>>> ResolveCondition(

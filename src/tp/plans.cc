@@ -24,10 +24,16 @@ StatusOr<WindowPlan> MakeWindowPlan(const TPRelation& r, const TPRelation& s,
       WindowLayout(static_cast<int>(r.fact_schema().num_columns()),
                    static_cast<int>(s.fact_schema().num_columns()));
 
+  // Sortedness survives flattening (ToTable keeps tuple order), so the
+  // sweep can skip its sort for relations appended in _ts order or
+  // re-sorted by compaction.
+  OverlapJoinHints hints;
+  hints.r_sorted_by_ts = r.sorted_by_ts();
+  hints.s_sorted_by_ts = s.sorted_by_ts();
   StatusOr<OperatorPtr> join =
       MakeOverlapWindowJoin(plan.r_table.get(), r.fact_schema(),
                             plan.s_table.get(), s.fact_schema(), theta,
-                            algorithm, probe);
+                            algorithm, probe, hints);
   if (!join.ok()) return join.status();
   OperatorPtr root = std::move(*join);
 

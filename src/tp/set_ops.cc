@@ -43,16 +43,11 @@ struct SetOpSpec {
   bool include_s_unmatched = false;
 };
 
-Status EmitSetWindows(const TPRelation& r, const TPRelation& s,
-                      const JoinCondition& theta, const SetOpSpec& spec,
-                      bool swapped, TPRelation* result) {
-  LineageManager* manager = r.manager();
-  StatusOr<WindowPlan> plan =
-      MakeWindowPlan(r, s, theta, WindowStage::kWuon);
-  if (!plan.ok()) return plan.status();
-  const WindowLayout& layout = plan->layout;
-  plan->root->Open();
-  while (const Row* row_ptr = plan->root->NextRef()) {
+Status EmitWindowStream(Operator* windows, const WindowLayout& layout,
+                        LineageManager* manager, const SetOpSpec& spec,
+                        bool swapped, TPRelation* result) {
+  windows->Open();
+  while (const Row* row_ptr = windows->NextRef()) {
     const Row& row = *row_ptr;
     const WindowClass cls = layout.ClassOf(row);
     SetConcat concat = SetConcat::kSkip;
@@ -93,8 +88,18 @@ Status EmitSetWindows(const TPRelation& r, const TPRelation& s,
     TPDB_RETURN_IF_ERROR(
         result->AppendDerived(std::move(fact), layout.WindowOf(row), lineage));
   }
-  plan->root->Close();
+  windows->Close();
   return Status::OK();
+}
+
+Status EmitSetWindows(const TPRelation& r, const TPRelation& s,
+                      const JoinCondition& theta, const SetOpSpec& spec,
+                      bool swapped, TPRelation* result) {
+  StatusOr<WindowPlan> plan =
+      MakeWindowPlan(r, s, theta, WindowStage::kWuon);
+  if (!plan.ok()) return plan.status();
+  return EmitWindowStream(plan->root.get(), plan->layout, r.manager(), spec,
+                          swapped, result);
 }
 
 /// The window-concatenation recipe of each set operation.
@@ -145,6 +150,19 @@ const char* TPSetOpKindName(TPSetOpKind kind) {
 
 bool SetOpHasSDrivenPipeline(TPSetOpKind kind) {
   return SpecOf(kind).include_s_unmatched;
+}
+
+StatusOr<JoinCondition> SetOpCondition(const TPRelation& r,
+                                       const TPRelation& s) {
+  return FullFactEquality(r, s);
+}
+
+Status EmitSetOpWindows(TPSetOpKind kind, bool swapped, Operator* windows,
+                        const WindowLayout& layout, LineageManager* manager,
+                        TPRelation* result) {
+  TPDB_CHECK(windows != nullptr && result != nullptr);
+  return EmitWindowStream(windows, layout, manager, SpecOf(kind), swapped,
+                          result);
 }
 
 Status RunSetOpPipeline(TPSetOpKind kind, bool s_driven, const TPRelation& r,

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "tp/overlap_join.h"
 #include "tp/tp_relation.h"
 
 namespace tpdb {
@@ -75,6 +76,19 @@ bool SetOpHasSDrivenPipeline(TPSetOpKind kind);
 /// to `result` (schema = r's fact schema).
 Status RunSetOpPipeline(TPSetOpKind kind, bool s_driven, const TPRelation& r,
                         const TPRelation& s, TPRelation* result);
+
+/// θ of the set operations: equality on every fact column, after checking
+/// union compatibility of the two relations.
+StatusOr<JoinCondition> SetOpCondition(const TPRelation& r,
+                                       const TPRelation& s);
+
+/// The window→tuple lineage-concatenation rule of `kind`, applied to an
+/// arbitrary WUON window stream (canonical WindowLayout rows). `swapped`
+/// marks the s-driven pipeline (inputs exchanged). Used by the
+/// time-partitioned parallel driver (exec/time_partition.h).
+Status EmitSetOpWindows(TPSetOpKind kind, bool swapped, Operator* windows,
+                        const WindowLayout& layout, LineageManager* manager,
+                        TPRelation* result);
 
 }  // namespace tpdb
 

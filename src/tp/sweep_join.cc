@@ -1,0 +1,359 @@
+#include "tp/sweep_join.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace tpdb {
+
+namespace {
+
+struct SweepMetrics {
+  obs::Counter* endpoints = obs::MetricsRegistry::Default().counter(
+      "tpdb_join_sweep_endpoints_total", "join",
+      "Start events processed by sweep-line joins.");
+  obs::Counter* windows = obs::MetricsRegistry::Default().counter(
+      "tpdb_join_sweep_windows_total", "join",
+      "Overlapping windows emitted by sweep-line joins.");
+  obs::Histogram* active_max = obs::MetricsRegistry::Default().histogram(
+      "tpdb_join_sweep_active_max", "join",
+      "Active-set high-water mark per sweep (lazy expiry).");
+
+  static const SweepMetrics& Get() {
+    static const SweepMetrics m;
+    return m;
+  }
+};
+
+/// One live interval of an active set: when it ends, and which row it is.
+struct ActiveEntry {
+  TimePoint te;
+  uint32_t idx;
+};
+
+/// Per-key active sets, keyed by the combined hash of the tuple's resolved
+/// equi-key values. Collisions are harmless: every probe hit re-verifies
+/// the actual θ (key equality + predicate). With no equi-keys every tuple
+/// lands under one hash — a single active set, which is exactly the sane
+/// predicate-only plan (the scan is bounded by temporal overlap, unlike
+/// the degenerate single partition a hash build would produce).
+using ActiveSets = std::unordered_map<uint64_t, std::vector<ActiveEntry>>;
+
+/// Processing order of one side: row ids sorted by (_ts, id). `ids` null
+/// means all rows; `sorted` skips the sort (stable, so equal starts keep
+/// id order either way).
+std::vector<uint32_t> SideOrder(const Table& table,
+                                const std::vector<uint32_t>* ids, bool sorted,
+                                int ts_col) {
+  std::vector<uint32_t> order;
+  if (ids != nullptr) {
+    order = *ids;
+  } else {
+    order.resize(table.rows.size());
+    std::iota(order.begin(), order.end(), 0u);
+  }
+  if (!sorted) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return table.rows[a][ts_col].AsInt64() <
+                              table.rows[b][ts_col].AsInt64();
+                     });
+  }
+  return order;
+}
+
+}  // namespace
+
+void RunSweep(const SweepSpec& spec, const ThetaMatcher& theta,
+              std::vector<Row>* out, SweepStats* stats) {
+  TPDB_CHECK(spec.r_table != nullptr && spec.s_table != nullptr);
+  TPDB_CHECK(out != nullptr && stats != nullptr);
+  const Table& rt = *spec.r_table;
+  const Table& st = *spec.s_table;
+  const WindowLayout& layout = spec.layout;
+  const int n_rf = layout.num_r_facts();
+  const int n_sf = layout.num_s_facts();
+  // Flattened input rows: facts ++ _ts ++ _te ++ _lin.
+  const int r_ts = n_rf, r_te = n_rf + 1, r_lin = n_rf + 2;
+  const int s_ts = n_sf, s_te = n_sf + 1, s_lin = n_sf + 2;
+
+  const std::vector<uint32_t> r_order =
+      SideOrder(rt, spec.r_ids, spec.r_sorted, r_ts);
+  const std::vector<uint32_t> s_order =
+      SideOrder(st, spec.s_ids, spec.s_sorted, s_ts);
+
+  const auto& keys = theta.keys();
+  const auto& pred = theta.predicate();
+
+  // Combined hash of a tuple's resolved key values; nullopt for a null key
+  // (a null never equals anything, so the tuple can neither probe nor be
+  // probed — it still yields its unmatched windows via its empty bucket).
+  const auto hash_keys = [&keys](const Row& row,
+                                 bool is_r) -> std::optional<uint64_t> {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const auto& [ri, si] : keys) {
+      const Datum& d = row[is_r ? ri : si];
+      if (d.is_null()) return std::nullopt;
+      h = (h ^ d.Hash()) * 1099511628211ull;
+    }
+    return h;
+  };
+
+  const auto matches = [&](const Row& r_row, const Row& s_row) {
+    for (const auto& [ri, si] : keys) {
+      if (r_row[ri].is_null() || s_row[si].is_null() ||
+          r_row[ri] != s_row[si])
+        return false;
+    }
+    if (!pred) return true;
+    const Row rf(r_row.begin(), r_row.begin() + n_rf);
+    const Row sf(s_row.begin(), s_row.begin() + n_sf);
+    return pred(rf, sf);
+  };
+
+  // Emits the overlapping window of pair (ridx, sidx) starting at t.
+  const auto emit = [&](uint32_t ridx, uint32_t sidx, TimePoint t) {
+    const Row& r_row = rt.rows[ridx];
+    const Row& s_row = st.rows[sidx];
+    const TimePoint w_end =
+        std::min(r_row[r_te].AsInt64(), s_row[s_te].AsInt64());
+    Row row;
+    row.reserve(static_cast<size_t>(layout.num_columns()));
+    row.push_back(Datum(static_cast<int64_t>(ridx)));
+    for (int i = 0; i < n_rf; ++i) row.push_back(r_row[i]);
+    row.push_back(r_row[r_ts]);
+    row.push_back(r_row[r_te]);
+    row.push_back(r_row[r_lin]);
+    for (int i = 0; i < n_sf; ++i) row.push_back(s_row[i]);
+    row.push_back(s_row[s_ts]);
+    row.push_back(s_row[s_te]);
+    row.push_back(s_row[s_lin]);
+    row.push_back(Datum(t));
+    row.push_back(Datum(w_end));
+    row.push_back(
+        Datum(static_cast<int64_t>(WindowClass::kOverlapping)));
+    out->push_back(std::move(row));
+  };
+
+  ActiveSets r_active, s_active;
+  size_t live = 0;
+
+  // Probes `actives[h]` at time t: expired entries (te <= t) are dropped
+  // in place (stable — surviving entries keep insertion order, which is
+  // what makes per-rid emission ordered by s start), live ones are handed
+  // to `on_live`.
+  const auto probe = [&live](ActiveSets& actives, uint64_t h, TimePoint t,
+                             const auto& on_live) {
+    const auto it = actives.find(h);
+    if (it == actives.end()) return;
+    std::vector<ActiveEntry>& entries = it->second;
+    size_t w = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].te <= t) continue;
+      entries[w++] = entries[i];
+      on_live(entries[i].idx);
+    }
+    live -= entries.size() - w;
+    entries.resize(w);
+  };
+
+  size_t ri = 0, si = 0;
+  while (ri < r_order.size() || si < s_order.size()) {
+    // Ties go to s: an r tuple starting at t must see s tuples starting at
+    // t already active (their pair's window starts at t = the r event).
+    const bool take_r =
+        si >= s_order.size() ||
+        (ri < r_order.size() &&
+         rt.rows[r_order[ri]][r_ts].AsInt64() <
+             st.rows[s_order[si]][s_ts].AsInt64());
+    ++stats->endpoints;
+    if (take_r) {
+      const uint32_t idx = r_order[ri++];
+      const Row& row = rt.rows[idx];
+      const TimePoint t = row[r_ts].AsInt64();
+      const std::optional<uint64_t> h = hash_keys(row, /*is_r=*/true);
+      if (!h) continue;
+      if (t >= spec.emit_lo) {
+        probe(s_active, *h, t, [&](uint32_t sidx) {
+          if (matches(row, st.rows[sidx])) emit(idx, sidx, t);
+        });
+      } else {
+        probe(s_active, *h, t, [](uint32_t) {});
+      }
+      r_active[*h].push_back({row[r_te].AsInt64(), idx});
+    } else {
+      const uint32_t idx = s_order[si++];
+      const Row& row = st.rows[idx];
+      const TimePoint t = row[s_ts].AsInt64();
+      const std::optional<uint64_t> h = hash_keys(row, /*is_r=*/false);
+      if (!h) continue;
+      if (t >= spec.emit_lo) {
+        probe(r_active, *h, t, [&](uint32_t ridx) {
+          if (matches(rt.rows[ridx], row)) emit(ridx, idx, t);
+        });
+      } else {
+        probe(r_active, *h, t, [](uint32_t) {});
+      }
+      s_active[*h].push_back({row[s_te].AsInt64(), idx});
+    }
+    ++live;
+    stats->active_max = std::max<uint64_t>(stats->active_max, live);
+  }
+  stats->windows = out->size();
+
+  const SweepMetrics& m = SweepMetrics::Get();
+  m.endpoints->Add(stats->endpoints);
+  m.windows->Add(stats->windows);
+  m.active_max->Record(stats->active_max);
+}
+
+void GroupWindowsByRid(std::vector<Row> rows, size_t num_r,
+                       std::vector<std::vector<Row>>* buckets) {
+  TPDB_CHECK(buckets != nullptr);
+  buckets->clear();
+  buckets->resize(num_r);
+  for (Row& row : rows) {
+    const size_t rid = static_cast<size_t>(row[0].AsInt64());
+    TPDB_DCHECK(rid < num_r);
+    (*buckets)[rid].push_back(std::move(row));
+  }
+}
+
+BucketWindowSource::BucketWindowSource(std::vector<std::vector<Row>>* buckets,
+                                       size_t rid_begin, size_t rid_end,
+                                       const Table* r_table,
+                                       WindowLayout layout, Schema schema)
+    : buckets_(buckets),
+      rid_begin_(rid_begin),
+      rid_end_(rid_end),
+      r_table_(r_table),
+      layout_(layout),
+      schema_(std::move(schema)),
+      rid_(rid_begin) {
+  TPDB_CHECK(buckets_ != nullptr && r_table_ != nullptr);
+  TPDB_CHECK(rid_end_ <= buckets_->size());
+}
+
+void BucketWindowSource::Open() {
+  rid_ = rid_begin_;
+  pos_ = 0;
+}
+
+void BucketWindowSource::BuildUnmatched(size_t rid) {
+  const Row& src = r_table_->rows[rid];
+  const int n_rf = layout_.num_r_facts();
+  const int n_sf = layout_.num_s_facts();
+  Row& row = unmatched_buffer_;
+  row.clear();
+  row.reserve(static_cast<size_t>(layout_.num_columns()));
+  row.push_back(Datum(static_cast<int64_t>(rid)));
+  for (int i = 0; i < n_rf; ++i) row.push_back(src[i]);
+  row.push_back(src[n_rf]);      // r_ts
+  row.push_back(src[n_rf + 1]);  // r_te
+  row.push_back(src[n_rf + 2]);  // r_lin
+  for (int i = 0; i < n_sf + 3; ++i) row.push_back(Datum());  // s side: null
+  row.push_back(src[n_rf]);      // w = the full r interval
+  row.push_back(src[n_rf + 1]);
+  row.push_back(Datum(static_cast<int64_t>(WindowClass::kUnmatched)));
+}
+
+Row* BucketWindowSource::Advance() {
+  while (rid_ < rid_end_) {
+    std::vector<Row>& bucket = (*buckets_)[rid_];
+    if (bucket.empty()) {
+      BuildUnmatched(rid_);
+      ++rid_;
+      pos_ = 0;
+      return &unmatched_buffer_;
+    }
+    if (pos_ < bucket.size()) return &bucket[pos_++];
+    ++rid_;
+    pos_ = 0;
+  }
+  return nullptr;
+}
+
+bool BucketWindowSource::Next(Row* out) {
+  Row* row = Advance();
+  if (row == nullptr) return false;
+  *out = std::move(*row);  // single pass: bucket rows are consumed
+  return true;
+}
+
+const Row* BucketWindowSource::NextRef() { return Advance(); }
+
+namespace {
+
+/// The kSweep plan: sweep + regroup on Open(), then stream like a
+/// BucketWindowSource over all rids.
+class SweepWindowJoin final : public Operator {
+ public:
+  SweepWindowJoin(const Table* r_table, const Table* s_table,
+                  WindowLayout layout, Schema schema, ThetaMatcher theta,
+                  OverlapJoinHints hints, SweepStats* stats_out)
+      : r_table_(r_table),
+        s_table_(s_table),
+        layout_(layout),
+        schema_(std::move(schema)),
+        theta_(std::move(theta)),
+        hints_(hints),
+        stats_out_(stats_out) {}
+
+  const Schema& schema() const override { return schema_; }
+
+  void Open() override {
+    SweepSpec spec;
+    spec.r_table = r_table_;
+    spec.s_table = s_table_;
+    spec.layout = layout_;
+    spec.r_sorted = hints_.r_sorted_by_ts;
+    spec.s_sorted = hints_.s_sorted_by_ts;
+    std::vector<Row> rows;
+    SweepStats stats;
+    RunSweep(spec, theta_, &rows, &stats);
+    if (stats_out_ != nullptr) *stats_out_ = stats;
+    GroupWindowsByRid(std::move(rows), r_table_->rows.size(), &buckets_);
+    source_ = std::make_unique<BucketWindowSource>(
+        &buckets_, 0, r_table_->rows.size(), r_table_, layout_, schema_);
+    source_->Open();
+  }
+  bool Next(Row* out) override { return source_->Next(out); }
+  const Row* NextRef() override { return source_->NextRef(); }
+  void Close() override {
+    if (source_ != nullptr) source_->Close();
+  }
+
+ private:
+  const Table* r_table_;
+  const Table* s_table_;
+  WindowLayout layout_;
+  Schema schema_;
+  ThetaMatcher theta_;
+  OverlapJoinHints hints_;
+  SweepStats* stats_out_;
+  std::vector<std::vector<Row>> buckets_;
+  std::unique_ptr<BucketWindowSource> source_;
+};
+
+}  // namespace
+
+StatusOr<OperatorPtr> MakeSweepWindowJoin(
+    const Table* r_table, const Schema& r_facts, const Table* s_table,
+    const Schema& s_facts, const JoinCondition& theta,
+    const OverlapJoinHints& hints, SweepStats* stats) {
+  TPDB_CHECK(r_table != nullptr && s_table != nullptr);
+  StatusOr<ThetaMatcher> matcher =
+      ThetaMatcher::Make(theta, r_facts, s_facts);
+  if (!matcher.ok()) return matcher.status();
+  const WindowLayout layout(static_cast<int>(r_facts.num_columns()),
+                            static_cast<int>(s_facts.num_columns()));
+  return OperatorPtr(std::make_unique<SweepWindowJoin>(
+      r_table, s_table, layout, layout.MakeSchema(r_facts, s_facts),
+      std::move(*matcher), hints, stats));
+}
+
+}  // namespace tpdb

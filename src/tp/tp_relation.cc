@@ -39,6 +39,8 @@ Status TPRelation::AppendDerived(Row fact, Interval interval,
     return Status::InvalidArgument("empty interval " + interval.ToString());
   if (lineage.is_null())
     return Status::InvalidArgument("null lineage in " + name_);
+  if (!tuples_.empty() && interval.start < tuples_.back().interval.start)
+    sorted_by_ts_ = false;
   tuples_.push_back(TPTuple{std::move(fact), lineage, interval});
   cold_storage_.reset();  // the columnar backing no longer matches
   return Status::OK();
@@ -56,6 +58,13 @@ Status TPRelation::ReplaceContents(
     if (t.lineage.is_null())
       return Status::InvalidArgument("null lineage in " + name_);
   }
+  sorted_by_ts_ = true;
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    if (tuples[i].interval.start < tuples[i - 1].interval.start) {
+      sorted_by_ts_ = false;
+      break;
+    }
+  }
   tuples_ = std::move(tuples);
   cold_storage_ = std::move(cold);
   return Status::OK();
@@ -70,6 +79,10 @@ Status TPRelation::Absorb(TPRelation&& other) {
     return Status::InvalidArgument(
         "Absorb: fact arity mismatch between '" + name_ + "' and '" +
         other.name_ + "'");
+  sorted_by_ts_ =
+      sorted_by_ts_ && other.sorted_by_ts_ &&
+      (tuples_.empty() || other.tuples_.empty() ||
+       tuples_.back().interval.start <= other.tuples_.front().interval.start);
   if (tuples_.empty()) {
     tuples_ = std::move(other.tuples_);
   } else {
@@ -77,6 +90,7 @@ Status TPRelation::Absorb(TPRelation&& other) {
     for (TPTuple& t : other.tuples_) tuples_.push_back(std::move(t));
   }
   other.tuples_.clear();
+  other.sorted_by_ts_ = true;  // vacuously, now that it is empty
   cold_storage_.reset();
   other.cold_storage_.reset();
   return Status::OK();

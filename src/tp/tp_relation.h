@@ -115,12 +115,20 @@ class TPRelation {
     cold_storage_ = std::move(s);
   }
 
+  /// True iff the tuples are ordered by nondecreasing interval start —
+  /// tracked incrementally on appends, recomputed by ReplaceContents
+  /// (compaction re-sorts merged segments by _ts, so compacted relations
+  /// regain the flag), and propagated by Absorb. The sweep-line join
+  /// (tp/sweep_join.h) skips its sort on flagged inputs.
+  bool sorted_by_ts() const { return sorted_by_ts_; }
+
  private:
   std::string name_;
   Schema fact_schema_;
   LineageManager* manager_;
   std::vector<TPTuple> tuples_;
   std::shared_ptr<const storage::SegmentedTable> cold_storage_;
+  bool sorted_by_ts_ = true;  ///< vacuously true while empty
 };
 
 }  // namespace tpdb
