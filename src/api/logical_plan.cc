@@ -179,9 +179,15 @@ std::string LogicalNode::Label() const {
       return label + "]";
     }
     case LogicalOp::kProbThreshold: {
-      char buf[48];
-      std::snprintf(buf, sizeof(buf), "ProbThreshold[%s %g]",
-                    min_prob_strict ? ">" : ">=", min_prob);
+      char buf[80];
+      if (approx_eps > 0.0) {
+        std::snprintf(buf, sizeof(buf), "ProbThreshold[APPROX(%g, %g) %s %g]",
+                      approx_eps, approx_delta, min_prob_strict ? ">" : ">=",
+                      min_prob);
+      } else {
+        std::snprintf(buf, sizeof(buf), "ProbThreshold[%s %g]",
+                      min_prob_strict ? ">" : ">=", min_prob);
+      }
       return buf;
     }
     case LogicalOp::kSaveSnapshot:
@@ -282,9 +288,12 @@ StatusOr<LogicalPlan> BuildLogicalPlan(const SelectStatement& stmt) {
     root = LogicalNode::SetOp(std::move(root), std::move(*other), kind);
   }
 
-  if (stmt.min_prob.has_value())
+  if (stmt.min_prob.has_value()) {
     root = LogicalNode::ProbThreshold(std::move(root), *stmt.min_prob,
                                       stmt.min_prob_strict);
+    root->approx_eps = stmt.approx_eps;
+    root->approx_delta = stmt.approx_delta;
+  }
   if (!stmt.order_by.empty())
     root = LogicalNode::Sort(std::move(root), stmt.order_by);
   if (stmt.limit.has_value())
@@ -419,6 +428,20 @@ QueryBuilder& QueryBuilder::Limit(int64_t limit, int64_t offset) {
 QueryBuilder& QueryBuilder::WithMinProb(double min_prob, bool strict) {
   stmt_.min_prob = min_prob;
   stmt_.min_prob_strict = strict;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WithMinProbApprox(double min_prob, double eps,
+                                              double delta, bool strict) {
+  if (!(eps > 0.0 && eps < 1.0) || !(delta > 0.0 && delta < 1.0)) {
+    if (error_.ok())
+      error_ = Status::InvalidArgument("APPROX eps/delta must be in (0, 1)");
+    return *this;
+  }
+  stmt_.min_prob = min_prob;
+  stmt_.min_prob_strict = strict;
+  stmt_.approx_eps = eps;
+  stmt_.approx_delta = delta;
   return *this;
 }
 

@@ -59,6 +59,8 @@ struct LogicalNode {
   int64_t offset = 0;                        // kLimit
   double min_prob = 0.0;                     // kProbThreshold
   bool min_prob_strict = false;              // kProbThreshold
+  double approx_eps = 0.0;                   // kProbThreshold (0 = exact)
+  double approx_delta = 0.0;                 // kProbThreshold
   std::string snapshot_path;                 // kSaveSnapshot / kLoadSnapshot
 
   static LogicalNodePtr Scan(std::string relation);
@@ -159,6 +161,10 @@ class QueryBuilder {
   QueryBuilder& OrderBy(std::string column, bool ascending = true);
   QueryBuilder& Limit(int64_t limit, int64_t offset = 0);
   QueryBuilder& WithMinProb(double min_prob, bool strict = false);
+  /// WITH PROB APPROX(eps, delta) >= min_prob: sampled evaluation with an
+  /// (eps, delta) accuracy contract instead of exact probabilities.
+  QueryBuilder& WithMinProbApprox(double min_prob, double eps, double delta,
+                                  bool strict = false);
 
   /// The statement assembled so far.
   const SelectStatement& statement() const { return stmt_; }

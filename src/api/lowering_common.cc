@@ -1,11 +1,15 @@
 #include "api/lowering_common.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 #include "api/physical_plan.h"
 #include "engine/filter.h"
 #include "engine/limit.h"
 #include "engine/materialize.h"
+#include "engine/prob_sort.h"
 #include "engine/project.h"
 #include "engine/scan.h"
 #include "engine/sort.h"
@@ -361,8 +365,19 @@ vec::BatchAggFn MapAggFn(AggFn fn) {
 
 // -- Stage-level lowering --------------------------------------------------
 
+ProbEvalOptions StageProbOptions(const PhysicalNode& stage,
+                                 const ProbEvalOptions& base) {
+  ProbEvalOptions opts = base;
+  if (stage.approx_eps > 0.0) {
+    opts.approx_eps = stage.approx_eps;
+    opts.approx_delta = stage.approx_delta;
+  }
+  return opts;
+}
+
 StatusOr<OperatorPtr> LowerPipelineStage(PhysicalNode& stage, OperatorPtr op,
-                                         LineageManager* manager) {
+                                         LineageManager* manager,
+                                         const ProbEvalOptions& prob_base) {
   const Schema& schema = op->schema();
   switch (stage.op) {
     case PhysOp::kFilter: {
@@ -371,12 +386,24 @@ StatusOr<OperatorPtr> LowerPipelineStage(PhysicalNode& stage, OperatorPtr op,
         TPDB_CHECK(lin >= 0);
         const double threshold = stage.min_prob;
         const bool strict = stage.min_prob_strict;
-        // Exact probability of the tuple's lineage; results are memoized
-        // inside the manager, so repeated thresholds stay cheap.
+        // One evaluator per operator instance (= per morsel): exact on
+        // decomposable lineage, compiled circuit otherwise, sampled under
+        // APPROX or when the circuit budget blows up. The flusher's last
+        // owner records the methods used on the (shared) physical node.
+        auto evaluator = std::make_shared<ProbabilityEvaluator>(
+            manager, StageProbOptions(stage, prob_base));
+        uint8_t* methods_out = &stage.prob_methods;
+        std::shared_ptr<void> flusher(nullptr,
+                                      [evaluator, methods_out](void*) {
+                                        std::atomic_ref<uint8_t>(*methods_out)
+                                            .fetch_or(
+                                                evaluator->methods_used(),
+                                                std::memory_order_relaxed);
+                                      });
         ExprPtr prob_pred = Fn(
-            [manager, lin, threshold, strict](const Row& row) -> Datum {
-              ProbabilityEngine engine(manager);
-              const double p = engine.Probability(row[lin].AsLineage());
+            [evaluator, flusher, lin, threshold, strict](
+                const Row& row) -> Datum {
+              const double p = evaluator->Probability(row[lin].AsLineage());
               return Datum(
                   static_cast<int64_t>(strict ? p > threshold
                                               : p >= threshold));
@@ -399,6 +426,31 @@ StatusOr<OperatorPtr> LowerPipelineStage(PhysicalNode& stage, OperatorPtr op,
           std::move(op), std::move(plan->indices), std::move(plan->names)));
     }
     case PhysOp::kSort: {
+      bool any_prob = false;
+      for (const OrderItem& item : stage.order_by)
+        any_prob |= item.column == kProbColumn;
+      if (any_prob) {
+        // ORDER BY over the virtual probability column: probabilities are
+        // computed through the evaluation ladder, not read from a column.
+        std::vector<ProbSortKey> keys;
+        for (const OrderItem& item : stage.order_by) {
+          ProbSortKey key;
+          key.ascending = item.ascending;
+          if (item.column == kProbColumn) {
+            key.is_prob = true;
+          } else {
+            const int idx = schema.IndexOf(item.column);
+            if (idx < 0)
+              return Status::NotFound("unknown ORDER BY column '" +
+                                      item.column + "'");
+            key.column = idx;
+          }
+          keys.push_back(key);
+        }
+        return OperatorPtr(std::make_unique<ProbSort>(
+            std::move(op), manager, std::move(keys),
+            StageProbOptions(stage, prob_base), &stage.prob_methods));
+      }
       std::vector<SortKey> keys;
       for (const OrderItem& item : stage.order_by) {
         const int idx = schema.IndexOf(item.column);
@@ -457,7 +509,7 @@ done:
 vec::BatchOperatorPtr LowerBatchStages(
     vec::BatchOperatorPtr op, const std::vector<PhysicalNode*>& stages,
     size_t count, LineageManager* manager, VectorStats* vstats,
-    ExecStats* stats) {
+    ExecStats* stats, const ProbEvalOptions& prob_base) {
   for (size_t i = 0; i < count; ++i) {
     PhysicalNode& stage = *stages[i];
     switch (stage.op) {
@@ -465,7 +517,8 @@ vec::BatchOperatorPtr LowerBatchStages(
         if (stage.is_prob) {
           op = std::make_unique<vec::BatchProbThreshold>(
               std::move(op), manager, stage.min_prob, stage.min_prob_strict,
-              vstats);
+              vstats, StageProbOptions(stage, prob_base),
+              &stage.prob_methods);
           break;
         }
         StatusOr<vec::VectorExprPtr> pred =
@@ -509,8 +562,18 @@ storage::ScanPredicate CollectColdScanPredicate(
   for (const PhysicalNode* stage : stages) {
     if (stage->op != PhysOp::kFilter) break;
     if (stage->is_prob) {
-      if (prob_maps_fresh)
-        predicate.AddMinProb(stage->min_prob, stage->min_prob_strict);
+      if (prob_maps_fresh) {
+        if (stage->approx_eps > 0.0) {
+          // Sampled thresholds admit eps of slack: a tuple with true
+          // probability in [τ − eps, τ) may legitimately pass, so only
+          // segments that cannot even reach τ − eps are pruned.
+          const double slack =
+              std::max(0.0, stage->min_prob - stage->approx_eps);
+          predicate.AddMinProb(slack, /*strict=*/false);
+        } else {
+          predicate.AddMinProb(stage->min_prob, stage->min_prob_strict);
+        }
+      }
     } else {
       CollectScanBounds(stage->predicate, &predicate);
     }
@@ -521,13 +584,13 @@ storage::ScanPredicate CollectColdScanPredicate(
 StatusOr<TPRelation> FinishRowStagesOverTable(
     std::string name, Table table,
     const std::vector<PhysicalNode*>& stages, size_t first,
-    LineageManager* manager) {
+    LineageManager* manager, const ProbEvalOptions& prob_base) {
   if (first == stages.size())
     return TPRelation::FromTable(std::move(name), table, manager);
   OperatorPtr op = std::make_unique<TableScan>(&table);
   for (size_t i = first; i < stages.size(); ++i) {
     StatusOr<OperatorPtr> next =
-        LowerPipelineStage(*stages[i], std::move(op), manager);
+        LowerPipelineStage(*stages[i], std::move(op), manager, prob_base);
     if (!next.ok()) return next.status();
     op = std::move(*next);
   }

@@ -110,9 +110,14 @@ vec::BatchAggFn MapAggFn(AggFn fn);
 
 /// Lowers ONE pipelined physical stage onto `op`. Pure (no planner state),
 /// so the parallel driver can instantiate the same chain once per morsel.
+/// `prob_base` carries the planner's probability-evaluation knobs (circuit
+/// budget, sampling seed); the stage's own APPROX contract is layered on
+/// top of it. Probability stages record the evaluation methods they used on
+/// the physical node (atomically — morsel instances share the node).
 StatusOr<OperatorPtr> LowerPipelineStage(PhysicalNode& stage,
                                          OperatorPtr op,
-                                         LineageManager* manager);
+                                         LineageManager* manager,
+                                         const ProbEvalOptions& prob_base = {});
 
 /// True for stages that decide each row independently — the ones the
 /// parallel pipeline drivers may run per-morsel with an ordered merge.
@@ -134,7 +139,12 @@ size_t CountBatchStages(Schema schema,
 vec::BatchOperatorPtr LowerBatchStages(
     vec::BatchOperatorPtr op, const std::vector<PhysicalNode*>& stages,
     size_t count, LineageManager* manager, VectorStats* vstats,
-    ExecStats* stats);
+    ExecStats* stats, const ProbEvalOptions& prob_base = {});
+
+/// The per-stage evaluation options: the planner's base knobs plus the
+/// stage's APPROX(eps, delta) contract, when it carries one.
+ProbEvalOptions StageProbOptions(const PhysicalNode& stage,
+                                 const ProbEvalOptions& base);
 
 /// The scan predicate the cold paths push down: conjunctive bounds from
 /// the leading run of filter / probability-threshold stages, with the
@@ -151,7 +161,7 @@ storage::ScanPredicate CollectColdScanPredicate(
 StatusOr<TPRelation> FinishRowStagesOverTable(
     std::string name, Table table,
     const std::vector<PhysicalNode*>& stages, size_t first,
-    LineageManager* manager);
+    LineageManager* manager, const ProbEvalOptions& prob_base = {});
 
 /// One pipelined chain as the executors see it: bottom-up stages, the
 /// exchange marker (when the mode pass inserted one) with the number of

@@ -382,6 +382,24 @@ class Parser {
     }
     if (MatchKeyword("WITH")) {
       TPDB_RETURN_IF_ERROR(ExpectKeyword("PROB"));
+      if (MatchKeyword("APPROX")) {
+        if (!MatchSymbol("("))
+          return Status::InvalidArgument("expected ( after APPROX");
+        StatusOr<double> eps = ExpectNumber("APPROX epsilon");
+        if (!eps.ok()) return eps.status();
+        if (!MatchSymbol(","))
+          return Status::InvalidArgument("expected , in APPROX(eps, delta)");
+        StatusOr<double> delta = ExpectNumber("APPROX delta");
+        if (!delta.ok()) return delta.status();
+        if (!MatchSymbol(")"))
+          return Status::InvalidArgument("expected ) after APPROX(eps, delta");
+        if (!(*eps > 0.0 && *eps < 1.0))
+          return Status::InvalidArgument("APPROX epsilon must be in (0, 1)");
+        if (!(*delta > 0.0 && *delta < 1.0))
+          return Status::InvalidArgument("APPROX delta must be in (0, 1)");
+        stmt->approx_eps = *eps;
+        stmt->approx_delta = *delta;
+      }
       if (MatchSymbol(">=")) stmt->min_prob_strict = false;
       else if (MatchSymbol(">")) stmt->min_prob_strict = true;
       else
@@ -409,6 +427,16 @@ class Parser {
                                 "' is out of range");
     Advance();
     return static_cast<int64_t>(v);
+  }
+
+  StatusOr<double> ExpectNumber(const char* what) {
+    const Token& t = Peek();
+    if (t.kind != TokKind::kNumber)
+      return Status::InvalidArgument(std::string("expected number after ") +
+                                     what + ", found '" + t.text + "'");
+    const double v = std::strtod(t.text.c_str(), nullptr);
+    Advance();
+    return v;
   }
 
   // Legacy grammar: "<rel> [kind] JOIN <rel> ON <terms> [USING TA]" and

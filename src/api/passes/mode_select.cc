@@ -471,6 +471,7 @@ Status RunPassPipeline(PhysicalPlan* plan, const PassContext& ctx) {
     TPDB_RETURN_IF_ERROR(FoldConstantsPass(plan));
     TPDB_RETURN_IF_ERROR(PushdownPass(plan));
     TPDB_RETURN_IF_ERROR(PruneProjectionsPass(plan));
+    TPDB_RETURN_IF_ERROR(TopKFusePass(plan));
   }
   // Mode selection is mandatory: the executors read its annotations. It
   // also (re)harvests cold scan predicates, so optimize=false keeps the

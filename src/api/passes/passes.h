@@ -47,6 +47,11 @@ Status FoldConstantsPass(PhysicalPlan* plan);
 Status PushdownPass(PhysicalPlan* plan);
 Status PruneProjectionsPass(PhysicalPlan* plan);
 Status SelectModesPass(PhysicalPlan* plan, const PassContext& ctx);
+/// Fuses Limit(k, offset 0) into a directly-below single-key `_prob DESC`
+/// Sort (sort->top_k = k), unlocking the planner's pruned top-k-by-
+/// probability executor. The Limit node stays (harmless over ≤k rows), so
+/// the fusion is a pure annotation and trivially parity-safe.
+Status TopKFusePass(PhysicalPlan* plan);
 
 /// Folds a predicate AST with the engine's exact semantics (Kleene 3VL,
 /// Datum comparison with int64↔double promotion). Returns the input

@@ -1,0 +1,38 @@
+// Top-k fusion: Limit(k) directly over Sort[_prob DESC] marks the sort as
+// top-k (sort->top_k = k). The planner's pruned top-k-by-probability
+// executor (planner.cc) fires on that annotation — evaluating probabilities
+// segment-by-segment in zone-map `max_prob` order and stopping once the
+// k-th best lower bound beats every remaining segment's upper bound. The
+// Limit node itself is kept: over the ≤k rows the sort now emits it is a
+// no-op, which keeps the rewrite a pure annotation (trivially parity-safe,
+// and plans that fall back to generic execution are unaffected).
+#include "api/passes/passes.h"
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+namespace {
+
+void FuseNode(const PhysicalNodePtr& node) {
+  for (const PhysicalNodePtr& child : node->children) FuseNode(child);
+  if (node->op != PhysOp::kLimit || node->limit < 0 || node->offset != 0)
+    return;
+  PhysicalNode& sort = *node->children[0];
+  if (sort.op != PhysOp::kSort) return;
+  // Only the single-key probability order benefits from pruning; a
+  // secondary key would need full probabilities for tie-breaking anyway.
+  if (sort.order_by.size() != 1 || sort.order_by[0].ascending ||
+      sort.order_by[0].column != kProbColumn)
+    return;
+  sort.top_k = node->limit;
+}
+
+}  // namespace
+
+Status TopKFusePass(PhysicalPlan* plan) {
+  TPDB_CHECK(plan != nullptr && plan->root != nullptr);
+  FuseNode(plan->root);
+  return Status::OK();
+}
+
+}  // namespace tpdb

@@ -6,6 +6,7 @@
 #include "api/database.h"
 #include "api/lowering_common.h"
 #include "common/strings.h"
+#include "lineage/compile/prob_eval.h"
 #include "tp/operators.h"
 
 namespace tpdb {
@@ -45,10 +46,21 @@ std::string PhysicalNode::Label() const {
       return "BatchScan(" + relation + ")";
     case PhysOp::kFilter: {
       if (is_prob) {
-        char buf[48];
-        std::snprintf(buf, sizeof(buf), "ProbThreshold[%s %g]",
-                      min_prob_strict ? ">" : ">=", min_prob);
-        return buf;
+        char buf[96];
+        if (approx_eps > 0.0) {
+          std::snprintf(buf, sizeof(buf),
+                        "ProbThreshold[APPROX(%g, %g) %s %g]", approx_eps,
+                        approx_delta, min_prob_strict ? ">" : ">=", min_prob);
+        } else {
+          std::snprintf(buf, sizeof(buf), "ProbThreshold[%s %g]",
+                        min_prob_strict ? ">" : ">=", min_prob);
+        }
+        std::string label = buf;
+        // Filled in at run time; Explain of an executed plan shows which
+        // rungs of the evaluation ladder fired.
+        const std::string methods = ProbMethodsLabel(prob_methods);
+        if (!methods.empty()) label += " prob=" + methods;
+        return label;
       }
       return "Filter[" + (predicate ? predicate->ToString() : "true") + "]";
     }
@@ -91,7 +103,12 @@ std::string PhysicalNode::Label() const {
       std::vector<std::string> parts;
       for (const OrderItem& item : order_by)
         parts.push_back(item.column + (item.ascending ? " ASC" : " DESC"));
-      return "Sort[" + tpdb::Join(parts, ", ") + "]";
+      std::string label = "Sort[" + tpdb::Join(parts, ", ");
+      if (top_k >= 0) label += ", top " + std::to_string(top_k);
+      label += "]";
+      const std::string methods = ProbMethodsLabel(prob_methods);
+      if (!methods.empty()) label += " prob=" + methods;
+      return label;
     }
     case PhysOp::kLimit: {
       std::string label = "Limit[" + std::to_string(limit);
@@ -163,6 +180,8 @@ StatusOr<PhysicalNodePtr> Build(const LogicalNode& node, TPDatabase* db) {
       phys->is_prob = true;
       phys->min_prob = node.min_prob;
       phys->min_prob_strict = node.min_prob_strict;
+      phys->approx_eps = node.approx_eps;
+      phys->approx_delta = node.approx_delta;
       phys->schema = phys->children[0]->schema;
       break;
     case LogicalOp::kProject: {

@@ -93,6 +93,13 @@ struct PhysicalNode {
   bool is_prob = false;        ///< probability-threshold form
   double min_prob = 0.0;
   bool min_prob_strict = false;
+  /// APPROX(eps, delta) sampling contract (0 = exact evaluation).
+  double approx_eps = 0.0;
+  double approx_delta = 0.0;
+  /// ProbMethod bitmask of the evaluation rungs the node actually used,
+  /// filled in during execution (operators update it through an atomic_ref,
+  /// the plan is rendered afterwards). Explain shows it as `prob=...`.
+  uint8_t prob_methods = 0;
 
   // kProject
   std::vector<std::string> columns;
@@ -117,6 +124,9 @@ struct PhysicalNode {
 
   // kSort
   std::vector<OrderItem> order_by;
+  /// ≥0: only the top `top_k` rows are needed (a downstream Limit was fused
+  /// by the top-k pass); enables pruned `ORDER BY _prob DESC` execution.
+  int64_t top_k = -1;
 
   // kLimit
   int64_t limit = 0;

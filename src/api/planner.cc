@@ -1,9 +1,12 @@
 #include "api/planner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <optional>
+#include <queue>
 #include <shared_mutex>
 #include <utility>
 #include <vector>
@@ -73,15 +76,25 @@ TPSetOpKind MapSetOpKind(SetOpKind kind) {
   return TPSetOpKind::kUnion;
 }
 
+/// The planner-wide probability-evaluation knobs. Per-stage APPROX
+/// contracts layer on top inside the lowering helpers (StageProbOptions).
+ProbEvalOptions BaseProbOptions(const PlannerOptions& options) {
+  ProbEvalOptions prob;
+  prob.max_circuit_nodes = options.prob_compile_budget;
+  prob.mc_seed = options.prob_mc_seed;
+  return prob;
+}
+
 /// Lowers stages [first, stages.size()) on the row path over `op`,
 /// instrumenting each stage into `stats` when given.
 StatusOr<OperatorPtr> LowerRowTail(OperatorPtr op,
                                    const std::vector<PhysicalNode*>& stages,
                                    size_t first, LineageManager* manager,
-                                   ExecStats* stats) {
+                                   ExecStats* stats,
+                                   const ProbEvalOptions& prob_base) {
   for (size_t i = first; i < stages.size(); ++i) {
     StatusOr<OperatorPtr> next =
-        LowerPipelineStage(*stages[i], std::move(op), manager);
+        LowerPipelineStage(*stages[i], std::move(op), manager, prob_base);
     if (!next.ok()) return next.status();
     op = std::move(*next);
     if (stats != nullptr) {
@@ -98,13 +111,15 @@ StatusOr<OperatorPtr> LowerRowTail(OperatorPtr op,
 StatusOr<Table> FinishBatchTail(vec::BatchOperatorPtr op,
                                 const ChainExec& chain,
                                 LineageManager* manager, VectorStats* vstats,
-                                ExecStats* stats) {
+                                ExecStats* stats,
+                                const ProbEvalOptions& prob_base) {
   if (chain.batch_prefix == chain.stages.size())
     return vec::MaterializeBatches(op.get(), vstats);
   OperatorPtr rop =
       std::make_unique<vec::BatchToRowAdapter>(std::move(op), vstats);
-  StatusOr<OperatorPtr> tail = LowerRowTail(
-      std::move(rop), chain.stages, chain.batch_prefix, manager, stats);
+  StatusOr<OperatorPtr> tail =
+      LowerRowTail(std::move(rop), chain.stages, chain.batch_prefix, manager,
+                   stats, prob_base);
   if (!tail.ok()) return tail.status();
   return Materialize(tail->get());
 }
@@ -319,6 +334,15 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
                                                     ExecStats* stats) {
   ChainExec chain = CollectExecChain(top);
   PhysicalNode* source = chain.source;
+  const ProbEvalOptions prob_base = BaseProbOptions(options_);
+
+  // `ORDER BY _prob DESC LIMIT k` chains take the pruned top-k path when
+  // they fit its shape (catalog source, row-local stages under the sort).
+  {
+    StatusOr<std::optional<EvalResult>> topk = ExecTopKProb(chain, stats);
+    if (!topk.ok()) return topk.status();
+    if (topk->has_value()) return std::move(**topk);
+  }
 
   // -- Cold catalog chains read the mapped segments directly. ------------
   if (IsCatalogSource(*source) && source->cold) {
@@ -355,7 +379,7 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
             [&](vec::BatchOperatorPtr src)
                 -> StatusOr<vec::BatchOperatorPtr> {
               return LowerBatchStages(std::move(src), chain.stages, lowered,
-                                      manager, nullptr, nullptr);
+                                      manager, nullptr, nullptr, prob_base);
             });
         if (!merged.ok()) return merged.status();
         if (stats != nullptr) {
@@ -375,7 +399,7 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
         }
         StatusOr<TPRelation> result = FinishRowStagesOverTable(
             source->rel->name(), std::move(*merged), chain.stages, lowered,
-            manager);
+            manager, prob_base);
         if (!result.ok()) return result.status();
         return EvalResult{std::move(*result), nullptr};
       }
@@ -391,9 +415,9 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
       vec::BatchOperatorPtr op = std::make_unique<storage::SegmentBatchScan>(
           table, predicate, &counters, &vstats);
       op = LowerBatchStages(std::move(op), chain.stages, chain.batch_prefix,
-                            manager, &vstats, stats);
-      StatusOr<Table> out =
-          FinishBatchTail(std::move(op), chain, manager, &vstats, stats);
+                            manager, &vstats, stats, prob_base);
+      StatusOr<Table> out = FinishBatchTail(std::move(op), chain, manager,
+                                            &vstats, stats, prob_base);
       if (!out.ok()) return out.status();
       if (stats != nullptr) {
         scan_stats->rows = counters.rows_decoded;
@@ -416,7 +440,7 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
     if (scan_stats != nullptr) source->actual = scan_stats;
     StatusOr<OperatorPtr> lowered = LowerRowTail(
         std::make_unique<storage::SegmentScan>(table, predicate, &counters),
-        chain.stages, 0, manager, stats);
+        chain.stages, 0, manager, stats, prob_base);
     if (!lowered.ok()) return lowered.status();
     const Table out = Materialize(lowered->get());
     if (stats != nullptr) {
@@ -471,7 +495,7 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
             [&](vec::BatchOperatorPtr src)
                 -> StatusOr<vec::BatchOperatorPtr> {
               return LowerBatchStages(std::move(src), chain.stages, lowered,
-                                      manager, nullptr, nullptr);
+                                      manager, nullptr, nullptr, prob_base);
             });
         if (!merged.ok()) return merged.status();
         if (stats != nullptr) {
@@ -483,7 +507,8 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
                      merged->rows.size(), SecondsSince(start));
         }
         StatusOr<TPRelation> result = FinishRowStagesOverTable(
-            name, std::move(*merged), chain.stages, lowered, manager);
+            name, std::move(*merged), chain.stages, lowered, manager,
+            prob_base);
         if (!result.ok()) return result.status();
         return EvalResult{std::move(*result), nullptr};
       }
@@ -494,9 +519,9 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
     vec::BatchOperatorPtr op =
         std::make_unique<vec::TableBatchScan>(table.get(), &vstats);
     op = LowerBatchStages(std::move(op), chain.stages, chain.batch_prefix,
-                          manager, &vstats, stats);
-    StatusOr<Table> out =
-        FinishBatchTail(std::move(op), chain, manager, &vstats, stats);
+                          manager, &vstats, stats, prob_base);
+    StatusOr<Table> out = FinishBatchTail(std::move(op), chain, manager,
+                                          &vstats, stats, prob_base);
     if (!out.ok()) return out.status();
     if (stats != nullptr) stats->AddVector(vstats);
     StatusOr<TPRelation> result = TPRelation::FromTable(name, *out, manager);
@@ -515,12 +540,12 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
     const Clock::time_point start = Clock::now();
     StatusOr<Table> out = ParallelPipeline(
         ctx_, *table,
-        [&chain, row_local,
-         manager](OperatorPtr source_op) -> StatusOr<OperatorPtr> {
+        [&chain, row_local, manager,
+         &prob_base](OperatorPtr source_op) -> StatusOr<OperatorPtr> {
           OperatorPtr op = std::move(source_op);
           for (size_t i = 0; i < row_local; ++i) {
-            StatusOr<OperatorPtr> lowered =
-                LowerPipelineStage(*chain.stages[i], std::move(op), manager);
+            StatusOr<OperatorPtr> lowered = LowerPipelineStage(
+                *chain.stages[i], std::move(op), manager, prob_base);
             if (!lowered.ok()) return lowered.status();
             op = std::move(*lowered);
           }
@@ -541,13 +566,171 @@ StatusOr<Planner::EvalResult> Planner::ExecPipeline(PhysicalNode* top,
     }
     StatusOr<OperatorPtr> lowered =
         LowerRowTail(std::make_unique<TableScan>(table.get()), chain.stages,
-                     first_serial_stage, manager, stats);
+                     first_serial_stage, manager, stats, prob_base);
     if (!lowered.ok()) return lowered.status();
     const Table out = Materialize(lowered->get());
     return TPRelation::FromTable(name, out, manager);
   }();
   if (!rel.ok()) return rel.status();
   return EvalResult{std::move(*rel), nullptr};
+}
+
+StatusOr<std::optional<Planner::EvalResult>> Planner::ExecTopKProb(
+    const ChainExec& chain, ExecStats* stats) {
+  const std::optional<EvalResult> no_match;
+
+  // Shape check: ... → row-local stages → Sort(top_k, fused by the top-k
+  // pass from a single `_prob DESC` key) → Limit, over a catalog source.
+  if (chain.stages.size() < 2) return no_match;
+  PhysicalNode* limit = chain.stages.back();
+  PhysicalNode* sort = chain.stages[chain.stages.size() - 2];
+  if (limit->op != PhysOp::kLimit || sort->op != PhysOp::kSort ||
+      sort->top_k < 0)
+    return no_match;
+  PhysicalNode* source = chain.source;
+  if (!IsCatalogSource(*source)) return no_match;
+  const size_t sort_idx = chain.stages.size() - 2;
+  for (size_t i = 0; i < sort_idx; ++i) {
+    const PhysOp op = chain.stages[i]->op;
+    if (op != PhysOp::kFilter && op != PhysOp::kProject) return no_match;
+  }
+
+  const size_t k = static_cast<size_t>(sort->top_k);
+  LineageManager* manager = source->rel->manager();
+  const ProbEvalOptions prob_base = BaseProbOptions(options_);
+  ProbabilityEvaluator evaluator(manager, prob_base);
+  const int lin_col = sort->schema.IndexOf(kLineageColumn);
+  TPDB_CHECK_GE(lin_col, 0);
+  const Clock::time_point start = Clock::now();
+
+  // One visit unit per cold segment, carrying the zone map's probability
+  // upper bound — trusted only while the manager's epoch still matches the
+  // table's (SetVariableProbability stales every stored bound, so a stale
+  // table degrades to bound 1.0: no pruning, still correct). The warm path
+  // is the degenerate single unit over the flattened table.
+  struct Unit {
+    double upper = 1.0;
+    size_t segment = 0;   ///< cold only
+    size_t seq_base = 0;  ///< global row offset of the unit's first row
+  };
+  std::vector<Unit> units;
+  const storage::SegmentedTable* cold =
+      source->cold ? source->rel->cold_storage().get() : nullptr;
+  std::unique_ptr<Table> warm;
+  if (cold != nullptr) {
+    const bool fresh =
+        manager->probability_epoch() == cold->probability_epoch();
+    size_t base = 0;
+    units.reserve(cold->segments().size());
+    for (size_t s = 0; s < cold->segments().size(); ++s) {
+      const storage::Segment& seg = cold->segments()[s];
+      units.push_back(Unit{fresh ? seg.zone.max_prob : 1.0, s, base});
+      base += seg.num_rows;
+    }
+  } else {
+    warm = std::make_unique<Table>(source->rel->ToTable());
+    units.push_back(Unit{});
+  }
+  // Best bound first; stable, so equal bounds keep storage order.
+  std::stable_sort(units.begin(), units.end(),
+                   [](const Unit& a, const Unit& b) {
+                     return a.upper > b.upper;
+                   });
+
+  // The running top k. Parity with ProbSort's stable sort + Limit means
+  // ordering candidates by (probability desc, scan position asc); the heap
+  // keeps its WORST kept entry on top, so it is evicted first and its
+  // probability is the running k-th lower bound.
+  struct Entry {
+    double prob;
+    size_t seq;
+    Row row;
+  };
+  const auto better = [](const Entry& a, const Entry& b) {
+    if (a.prob != b.prob) return a.prob > b.prob;
+    return a.seq < b.seq;
+  };
+  std::vector<Entry> kept;  // heap ordered by `better` (worst on top)
+  kept.reserve(k + 1);
+
+  StorageStats counters;
+  uint64_t rows_evaluated = 0;
+  size_t units_visited = 0;
+  for (const Unit& unit : units) {
+    if (k == 0) break;
+    // Stop once no remaining unit can beat the k-th kept probability.
+    // Equality must keep scanning: a tying row with a smaller scan
+    // position wins its tie-break.
+    if (kept.size() == k && kept.front().prob > unit.upper) break;
+    ++units_visited;
+
+    OperatorPtr op =
+        cold != nullptr
+            ? OperatorPtr(std::make_unique<storage::SegmentScan>(
+                  cold, source->scan_predicate, unit.segment,
+                  unit.segment + 1, &counters))
+            : OperatorPtr(std::make_unique<TableScan>(warm.get()));
+    for (size_t i = 0; i < sort_idx; ++i) {
+      StatusOr<OperatorPtr> next = LowerPipelineStage(
+          *chain.stages[i], std::move(op), manager, prob_base);
+      if (!next.ok()) return next.status();
+      op = std::move(*next);
+    }
+    op->Open();
+    Row row;
+    size_t local = 0;
+    while (op->Next(&row)) {
+      // Filtering preserves relative order, so the pre-filter unit base
+      // plus the post-filter local index ties rows exactly like the full
+      // sort's stable scan order.
+      const size_t seq = unit.seq_base + local++;
+      const double prob = evaluator.Probability(row[lin_col].AsLineage());
+      ++rows_evaluated;
+      if (kept.size() == k && !better(Entry{prob, seq, {}}, kept.front()))
+        continue;
+      kept.push_back(Entry{prob, seq, std::move(row)});
+      std::push_heap(kept.begin(), kept.end(), better);
+      if (kept.size() > k) {
+        std::pop_heap(kept.begin(), kept.end(), better);
+        kept.pop_back();
+      }
+    }
+    op->Close();
+  }
+  sort->prob_methods |= evaluator.methods_used();
+
+  std::sort(kept.begin(), kept.end(), better);
+  Table out;
+  out.schema = sort->schema;
+  out.rows.reserve(kept.size());
+  for (Entry& e : kept) out.rows.push_back(std::move(e.row));
+
+  const double seconds = SecondsSince(start);
+  if (stats != nullptr) {
+    NodeStats* scan_slot = ReportNode(
+        stats, source,
+        source->Label() + (cold != nullptr ? " (cold)" : ""),
+        cold != nullptr ? counters.rows_decoded : warm->rows.size(),
+        counters.decode_seconds);
+    scan_slot->open_calls = 1;
+    if (cold != nullptr) stats->AddStorage(counters);
+    ReportNode(stats, sort, sort->Label() + " (top-k)", out.rows.size(),
+               seconds);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "  top-k visited %zu/%zu units, evaluated %llu rows",
+                  units_visited, units.size(),
+                  static_cast<unsigned long long>(rows_evaluated));
+    NodeStats* detail = stats->AddNode(buf);
+    detail->rows = rows_evaluated;
+    detail->open_calls = 1;
+    ReportNode(stats, limit, limit->Label(), out.rows.size(), 0.0);
+  }
+
+  StatusOr<TPRelation> result =
+      TPRelation::FromTable(source->rel->name(), out, manager);
+  if (!result.ok()) return result.status();
+  return std::optional<EvalResult>(EvalResult{std::move(*result), nullptr});
 }
 
 StatusOr<Planner::EvalResult> Planner::ExecAggregate(PhysicalNode* node,
@@ -668,6 +851,7 @@ StatusOr<std::optional<Planner::EvalResult>> Planner::ExecBatchAggregate(
   // exchange over its (row-local) whole length.
   ChainExec chain = CollectExecChain(node->children[0].get());
   PhysicalNode* source = chain.source;
+  const ProbEvalOptions prob_base = BaseProbOptions(options_);
   TPDB_CHECK(IsCatalogSource(*source));
   const TPRelation* rel = source->rel;
   LineageManager* manager = rel->manager();
@@ -738,7 +922,7 @@ StatusOr<std::optional<Planner::EvalResult>> Planner::ExecBatchAggregate(
           [&](vec::BatchOperatorPtr src) -> StatusOr<vec::BatchOperatorPtr> {
             return LowerBatchStages(std::move(src), chain.stages,
                                     chain.stages.size(), manager, nullptr,
-                                    nullptr);
+                                    nullptr, prob_base);
           });
       if (!out.ok()) return out.status();
       if (stats != nullptr) {
@@ -770,12 +954,12 @@ StatusOr<std::optional<Planner::EvalResult>> Planner::ExecBatchAggregate(
     op = std::make_unique<storage::SegmentBatchScan>(cold, predicate,
                                                      &counters, &vstats);
     op = LowerBatchStages(std::move(op), chain.stages, chain.stages.size(),
-                          manager, &vstats, stats);
+                          manager, &vstats, stats, prob_base);
   } else if (op == nullptr) {
     ReportNode(stats, source, source->Label(), rel->size(), 0.0);
     op = std::make_unique<vec::TableBatchScan>(warm.get(), &vstats);
     op = LowerBatchStages(std::move(op), chain.stages, chain.stages.size(),
-                          manager, &vstats, stats);
+                          manager, &vstats, stats, prob_base);
   }
 
   op = std::make_unique<vec::BatchHashAggregate>(

@@ -34,6 +34,7 @@ namespace tpdb {
 
 class ExecContext;
 class TPDatabase;
+struct ChainExec;
 
 /// Physical knobs shared by every node of one execution.
 struct PlannerOptions {
@@ -63,6 +64,13 @@ struct PlannerOptions {
   /// pruning). `false` keeps only the mandatory mode-selection pass — the
   /// parity baseline the physical-plan suite compares against.
   bool optimize = true;
+  /// Node budget for compiled probability circuits: lineage formulas whose
+  /// compilation would exceed this fall back to Monte-Carlo sampling.
+  size_t prob_compile_budget = size_t{1} << 20;
+  /// Base seed of the Monte-Carlo probability path (`WITH PROB
+  /// APPROX(eps, delta)` and budget fallbacks). Per-formula streams are
+  /// derived from it, so runs with equal seeds reproduce exactly.
+  uint64_t prob_mc_seed = 42;
 };
 
 /// Executes logical plans against one database's catalog.
@@ -104,6 +112,12 @@ class Planner {
   /// Executes the maximal pipelined chain rooted at `top` (stages +
   /// optional exchange marker over a source) per its mode annotations.
   StatusOr<EvalResult> ExecPipeline(PhysicalNode* top, ExecStats* stats);
+  /// The pruned `ORDER BY _prob DESC LIMIT k` path: visits segments in
+  /// zone-map max-probability order and stops once the running k-th
+  /// probability beats every remaining segment's upper bound. Returns
+  /// nullopt when the chain is not that shape (the generic pipeline runs).
+  StatusOr<std::optional<EvalResult>> ExecTopKProb(const ChainExec& chain,
+                                                   ExecStats* stats);
   StatusOr<EvalResult> ExecJoin(PhysicalNode* node, ExecStats* stats);
   StatusOr<EvalResult> ExecSetOp(PhysicalNode* node, ExecStats* stats);
   StatusOr<EvalResult> ExecAggregate(PhysicalNode* node, ExecStats* stats);

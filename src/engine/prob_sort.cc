@@ -1,0 +1,79 @@
+#include "engine/prob_sort.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "tp/tp_relation.h"
+
+namespace tpdb {
+
+ProbSort::ProbSort(OperatorPtr child, LineageManager* manager,
+                   std::vector<ProbSortKey> keys, ProbEvalOptions prob_opts,
+                   uint8_t* methods_out)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      evaluator_(manager, prob_opts),
+      methods_out_(methods_out) {
+  TPDB_CHECK(child_ != nullptr);
+  TPDB_CHECK(manager != nullptr);
+  lin_col_ = child_->schema().IndexOf(kLineageColumn);
+  TPDB_CHECK_GE(lin_col_, 0);
+}
+
+void ProbSort::Open() {
+  child_->Open();
+  buffer_.clear();
+  Row row;
+  while (child_->Next(&row)) buffer_.push_back(std::move(row));
+  child_->Close();
+
+  bool needs_prob = false;
+  for (const ProbSortKey& key : keys_) needs_prob |= key.is_prob;
+  if (needs_prob) {
+    probs_.resize(buffer_.size());
+    for (size_t i = 0; i < buffer_.size(); ++i)
+      probs_[i] = evaluator_.Probability(buffer_[i][lin_col_].AsLineage());
+  }
+
+  // Sort an index permutation: the comparator needs the row's position to
+  // find its probability.
+  std::vector<size_t> order(buffer_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](size_t x, size_t y) {
+    for (const ProbSortKey& key : keys_) {
+      if (key.is_prob) {
+        if (probs_[x] != probs_[y])
+          return key.ascending ? probs_[x] < probs_[y] : probs_[x] > probs_[y];
+        continue;
+      }
+      const int c = buffer_[x][key.column].Compare(buffer_[y][key.column]);
+      if (c != 0) return key.ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(buffer_.size());
+  for (const size_t i : order) sorted.push_back(std::move(buffer_[i]));
+  buffer_ = std::move(sorted);
+  pos_ = 0;
+}
+
+bool ProbSort::Next(Row* out) {
+  if (pos_ >= buffer_.size()) return false;
+  *out = buffer_[pos_++];
+  return true;
+}
+
+void ProbSort::Close() {
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  probs_.clear();
+  probs_.shrink_to_fit();
+  if (methods_out_ != nullptr) {
+    std::atomic_ref<uint8_t>(*methods_out_)
+        .fetch_or(evaluator_.methods_used(), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tpdb

@@ -1,0 +1,53 @@
+// ProbSort: materializing sort over keys that may include the virtual
+// `_prob` column — the tuple's lineage probability, computed on demand
+// through the evaluation ladder rather than stored. `ORDER BY _prob DESC`
+// over any pipeline (including joins) lowers onto this operator; the
+// planner's pruned top-k path is an optimization layered on top for the
+// scan-rooted shape, with this full sort as its parity baseline.
+#ifndef TPDB_ENGINE_PROB_SORT_H_
+#define TPDB_ENGINE_PROB_SORT_H_
+
+#include <vector>
+
+#include "engine/operator.h"
+#include "engine/sort.h"
+#include "lineage/compile/prob_eval.h"
+
+namespace tpdb {
+
+/// One ProbSort key: either a schema column (like SortKey) or the computed
+/// probability (`is_prob`, column index ignored).
+struct ProbSortKey {
+  int column = 0;
+  bool ascending = true;
+  bool is_prob = false;
+};
+
+/// Materializing, stable sort over mixed value/probability keys.
+class ProbSort final : public Operator {
+ public:
+  /// `methods_out`, when given, receives the ProbMethod bitmask of the
+  /// ladder rungs used (fetch_or via atomic_ref in Close).
+  ProbSort(OperatorPtr child, LineageManager* manager,
+           std::vector<ProbSortKey> keys, ProbEvalOptions prob_opts = {},
+           uint8_t* methods_out = nullptr);
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override;
+  bool Next(Row* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<ProbSortKey> keys_;
+  ProbabilityEvaluator evaluator_;
+  uint8_t* methods_out_;
+  int lin_col_ = -1;
+  std::vector<Row> buffer_;
+  std::vector<double> probs_;  ///< per-buffer-row, only when a key needs it
+  size_t pos_ = 0;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_ENGINE_PROB_SORT_H_

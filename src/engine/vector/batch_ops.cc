@@ -1,6 +1,7 @@
 #include "engine/vector/batch_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <unordered_map>
 #include <utility>
@@ -98,16 +99,27 @@ const ColumnBatch* BatchProject::NextBatch() {
 BatchProbThreshold::BatchProbThreshold(BatchOperatorPtr child,
                                        LineageManager* manager,
                                        double threshold, bool strict,
-                                       VectorStats* stats)
+                                       VectorStats* stats,
+                                       ProbEvalOptions prob_opts,
+                                       uint8_t* methods_out)
     : child_(std::move(child)),
-      manager_(manager),
       threshold_(threshold),
       strict_(strict),
-      stats_(stats) {
+      stats_(stats),
+      evaluator_(manager, prob_opts),
+      methods_out_(methods_out) {
   TPDB_CHECK(child_ != nullptr);
-  TPDB_CHECK(manager_ != nullptr);
+  TPDB_CHECK(manager != nullptr);
   lin_col_ = child_->schema().IndexOf(kLineageColumn);
   TPDB_CHECK_GE(lin_col_, 0);
+}
+
+void BatchProbThreshold::Close() {
+  child_->Close();
+  if (methods_out_ != nullptr) {
+    std::atomic_ref<uint8_t>(*methods_out_)
+        .fetch_or(evaluator_.methods_used(), std::memory_order_relaxed);
+  }
 }
 
 const ColumnBatch* BatchProbThreshold::NextBatch() {
@@ -115,12 +127,11 @@ const ColumnBatch* BatchProbThreshold::NextBatch() {
     const size_t n = in->ActiveRows();
     if (n == 0) continue;
     const ColumnVector& lin = in->columns[static_cast<size_t>(lin_col_)];
-    ProbabilityEngine engine(manager_);
     out_.sel.clear();
     out_.sel.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       const uint32_t r = in->ActiveRow(i);
-      const double p = engine.Probability(lin.LineageAt(r));
+      const double p = evaluator_.Probability(lin.LineageAt(r));
       if (strict_ ? p > threshold_ : p >= threshold_) out_.sel.push_back(r);
     }
     if (out_.sel.size() == n) return in;

@@ -14,6 +14,7 @@
 #include "engine/explain.h"
 #include "engine/vector/batch_operator.h"
 #include "engine/vector/predicate.h"
+#include "lineage/compile/prob_eval.h"
 
 namespace tpdb {
 class LineageManager;
@@ -83,27 +84,35 @@ class BatchProject final : public BatchOperator {
   ColumnBatch out_;
 };
 
-/// WITH PROB — deselects rows whose exact lineage probability misses the
-/// threshold (probabilities are memoized inside the manager, exactly like
-/// the row path's predicate).
+/// WITH PROB — deselects rows whose lineage probability misses the
+/// threshold. Probabilities run through the evaluation ladder
+/// (lineage/compile/prob_eval.h): exact on decomposable lineage, compiled
+/// circuit otherwise, sampled under `APPROX(eps, delta)` or when the
+/// circuit budget blows up.
 class BatchProbThreshold final : public BatchOperator {
  public:
+  /// `methods_out`, when given, receives the ProbMethod bitmask of the
+  /// rungs used (fetch_or via atomic_ref in Close — several parallel
+  /// instances may share the target).
   BatchProbThreshold(BatchOperatorPtr child, LineageManager* manager,
                      double threshold, bool strict,
-                     VectorStats* stats = nullptr);
+                     VectorStats* stats = nullptr,
+                     ProbEvalOptions prob_opts = {},
+                     uint8_t* methods_out = nullptr);
 
   const Schema& schema() const override { return child_->schema(); }
   void Open() override { child_->Open(); }
   const ColumnBatch* NextBatch() override;
-  void Close() override { child_->Close(); }
+  void Close() override;
 
  private:
   BatchOperatorPtr child_;
-  LineageManager* manager_;
   double threshold_;
   bool strict_;
   int lin_col_;
   VectorStats* stats_;
+  ProbabilityEvaluator evaluator_;
+  uint8_t* methods_out_;
   ColumnBatch out_;
 };
 

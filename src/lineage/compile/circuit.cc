@@ -1,0 +1,109 @@
+#include "lineage/compile/circuit.h"
+
+#include <cstdio>
+
+namespace tpdb {
+
+uint32_t Circuit::Add(CircuitNode n) {
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(n);
+  return id;
+}
+
+uint32_t Circuit::AddConst(double value) {
+  return Add(CircuitNode{.op = CircuitOp::kConst, .c = value});
+}
+
+uint32_t Circuit::AddVar(VarId v) {
+  return Add(CircuitNode{.op = CircuitOp::kVar, .var = v});
+}
+
+uint32_t Circuit::AddNot(uint32_t a) {
+  TPDB_CHECK_LT(a, nodes_.size());
+  return Add(CircuitNode{.op = CircuitOp::kNot, .a = a});
+}
+
+uint32_t Circuit::AddAnd(uint32_t a, uint32_t b) {
+  TPDB_CHECK_LT(a, nodes_.size());
+  TPDB_CHECK_LT(b, nodes_.size());
+  return Add(CircuitNode{.op = CircuitOp::kAnd, .a = a, .b = b});
+}
+
+uint32_t Circuit::AddOr(uint32_t a, uint32_t b) {
+  TPDB_CHECK_LT(a, nodes_.size());
+  TPDB_CHECK_LT(b, nodes_.size());
+  return Add(CircuitNode{.op = CircuitOp::kOr, .a = a, .b = b});
+}
+
+uint32_t Circuit::AddDecision(VarId pivot, uint32_t hi, uint32_t lo) {
+  TPDB_CHECK_LT(hi, nodes_.size());
+  TPDB_CHECK_LT(lo, nodes_.size());
+  return Add(
+      CircuitNode{.op = CircuitOp::kDecision, .var = pivot, .a = hi, .b = lo});
+}
+
+void Circuit::Evaluate(std::span<const double> var_probs,
+                       std::vector<double>* values, size_t from) const {
+  values->resize(nodes_.size());
+  double* v = values->data();
+  for (size_t i = from; i < nodes_.size(); ++i) {
+    const CircuitNode& n = nodes_[i];
+    switch (n.op) {
+      case CircuitOp::kConst:
+        v[i] = n.c;
+        break;
+      case CircuitOp::kVar:
+        TPDB_CHECK_LT(n.var, var_probs.size());
+        v[i] = var_probs[n.var];
+        break;
+      case CircuitOp::kNot:
+        v[i] = 1.0 - v[n.a];
+        break;
+      case CircuitOp::kAnd:
+        v[i] = v[n.a] * v[n.b];
+        break;
+      case CircuitOp::kOr:
+        v[i] = 1.0 - (1.0 - v[n.a]) * (1.0 - v[n.b]);
+        break;
+      case CircuitOp::kDecision: {
+        TPDB_CHECK_LT(n.var, var_probs.size());
+        const double pv = var_probs[n.var];
+        v[i] = pv * v[n.a] + (1.0 - pv) * v[n.b];
+        break;
+      }
+    }
+  }
+}
+
+std::string Circuit::ToString() const {
+  std::string out;
+  char buf[96];
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const CircuitNode& n = nodes_[i];
+    switch (n.op) {
+      case CircuitOp::kConst:
+        std::snprintf(buf, sizeof(buf), "n%zu = const %g\n", i, n.c);
+        break;
+      case CircuitOp::kVar:
+        std::snprintf(buf, sizeof(buf), "n%zu = var x%u\n", i, n.var);
+        break;
+      case CircuitOp::kNot:
+        std::snprintf(buf, sizeof(buf), "n%zu = not n%u\n", i, n.a);
+        break;
+      case CircuitOp::kAnd:
+        std::snprintf(buf, sizeof(buf), "n%zu = and n%u n%u\n", i, n.a, n.b);
+        break;
+      case CircuitOp::kOr:
+        std::snprintf(buf, sizeof(buf), "n%zu = or n%u n%u\n", i, n.a, n.b);
+        break;
+      case CircuitOp::kDecision:
+        std::snprintf(buf, sizeof(buf), "n%zu = decide x%u ? n%u : n%u\n", i,
+                      n.var, n.a, n.b);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace tpdb

@@ -1,0 +1,76 @@
+// Arithmetic circuits compiled from lineage formulas (d-DNNF style).
+//
+// A circuit is a flat, topologically ordered array of nodes. The compiler
+// (compile.h) only emits ∧/∨ nodes whose children mention disjoint variable
+// sets (decomposability) and resolves every variable-sharing connective into
+// a Shannon decision node, so each node's *value* under an evaluation pass
+// is exactly the marginal probability of its subformula:
+//
+//   const c           -> c
+//   var v             -> P(v)
+//   not a             -> 1 - val(a)
+//   and a b           -> val(a) * val(b)            (var-disjoint children)
+//   or  a b           -> 1 - (1-val(a))(1-val(b))   (var-disjoint children)
+//   decide v ? hi:lo  -> P(v)*val(hi) + (1-P(v))*val(lo)
+//
+// That makes evaluation a single lock-free linear pass over the array —
+// re-runnable after SetVariableProbability without recompiling, and
+// incrementally extensible: appending nodes never changes earlier values,
+// so a caller can keep one values array and evaluate only the new suffix.
+#ifndef TPDB_LINEAGE_COMPILE_CIRCUIT_H_
+#define TPDB_LINEAGE_COMPILE_CIRCUIT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lineage/lineage.h"
+
+namespace tpdb {
+
+enum class CircuitOp : uint8_t { kConst, kVar, kNot, kAnd, kOr, kDecision };
+
+struct CircuitNode {
+  CircuitOp op;
+  uint32_t var = 0;  // kVar: variable id; kDecision: Shannon pivot
+  uint32_t a = 0;    // kNot: child; kAnd/kOr: left; kDecision: hi cofactor
+  uint32_t b = 0;    // kAnd/kOr: right; kDecision: lo cofactor
+  double c = 0.0;    // kConst: value
+};
+
+/// Append-only arithmetic circuit. Node ids are array indices; children
+/// always precede parents, so any prefix is a valid circuit.
+class Circuit {
+ public:
+  uint32_t AddConst(double value);
+  uint32_t AddVar(VarId v);
+  uint32_t AddNot(uint32_t a);
+  uint32_t AddAnd(uint32_t a, uint32_t b);
+  uint32_t AddOr(uint32_t a, uint32_t b);
+  uint32_t AddDecision(VarId pivot, uint32_t hi, uint32_t lo);
+
+  size_t size() const { return nodes_.size(); }
+  const CircuitNode& node(uint32_t id) const { return nodes_[id]; }
+
+  /// Evaluates nodes [from, size()) into `values` (resized to size()),
+  /// reading variable marginals from `var_probs` (indexed by VarId).
+  /// Entries below `from` are reused as-is — pass 0 after marginals change,
+  /// or the previous size() to evaluate only freshly appended nodes.
+  /// Pure read pass over immutable data: safe to run concurrently from many
+  /// threads, each with its own `values` buffer.
+  void Evaluate(std::span<const double> var_probs, std::vector<double>* values,
+                size_t from = 0) const;
+
+  /// Debug rendering ("n3 = decide x2 ? n1 : n0" per line).
+  std::string ToString() const;
+
+ private:
+  uint32_t Add(CircuitNode n);
+  std::vector<CircuitNode> nodes_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_LINEAGE_COMPILE_CIRCUIT_H_

@@ -1,0 +1,165 @@
+#include "lineage/compile/compile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tpdb {
+
+namespace {
+
+/// Knowledge-compilation metrics: circuits built, circuit nodes emitted,
+/// and cross-tuple subcircuit reuse via the arena-keyed memo.
+struct CompileMetrics {
+  obs::Counter* circuits = obs::MetricsRegistry::Default().counter(
+      "tpdb_prob_compile_circuits_total", "prob",
+      "Lineage formulas compiled to arithmetic circuits.");
+  obs::Counter* nodes = obs::MetricsRegistry::Default().counter(
+      "tpdb_prob_compile_nodes_total", "prob",
+      "Arithmetic-circuit nodes emitted by the lineage compiler.");
+  obs::Counter* reuse_hits = obs::MetricsRegistry::Default().counter(
+      "tpdb_prob_compile_reuse_hits_total", "prob",
+      "Subformulas answered from the compile memo instead of recompiled.");
+  obs::Histogram* latency = obs::MetricsRegistry::Default().histogram(
+      "tpdb_prob_compile_seconds", "prob",
+      "Latency of compiling one lineage formula.");
+
+  static const CompileMetrics& Get() {
+    static const CompileMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+bool LineageCompiler::SharesVariables(LineageRef a, LineageRef b) {
+  const std::vector<VarId>& va = mgr_->Variables(a);
+  const std::vector<VarId>& vb = mgr_->Variables(b);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < va.size() && j < vb.size()) {
+    if (va[i] == vb[j]) return true;
+    if (va[i] < vb[j])
+      ++i;
+    else
+      ++j;
+  }
+  return false;
+}
+
+VarId LineageCompiler::ChoosePivot(LineageRef r) {
+  // Flatten the same-kind spine (AndAll/OrAll build right-leaning chains)
+  // into its operand list.
+  const LineageKind kind = mgr_->KindOf(r);
+  std::vector<LineageRef> operands;
+  LineageRef cur = r;
+  while (mgr_->KindOf(cur) == kind) {
+    operands.push_back(mgr_->Left(cur));
+    cur = mgr_->Right(cur);
+  }
+  operands.push_back(cur);
+
+  // A variable shared by the most operands disentangles the most structure
+  // per expansion. Operand variable sets are sorted, so a merge-count over
+  // the concatenation finds the winner in O(total vars).
+  std::vector<VarId> all;
+  for (LineageRef op : operands) {
+    const std::vector<VarId>& vs = mgr_->Variables(op);
+    all.insert(all.end(), vs.begin(), vs.end());
+  }
+  std::sort(all.begin(), all.end());
+  VarId best = all[0];
+  size_t best_count = 0;
+  for (size_t i = 0; i < all.size();) {
+    size_t j = i;
+    while (j < all.size() && all[j] == all[i]) ++j;
+    if (j - i > best_count) {
+      best_count = j - i;
+      best = all[i];
+    }
+    i = j;
+  }
+  // The caller only picks pivots for variable-sharing connectives, so some
+  // variable occurs in ≥2 operands of the spine — or, if the sharing is
+  // nested deeper, falling back to any variable is still a valid (if less
+  // targeted) Shannon pivot.
+  return best;
+}
+
+StatusOr<uint32_t> LineageCompiler::Compile(LineageRef r) {
+  TPDB_CHECK(!r.is_null()) << "compile of null lineage";
+  obs::ScopedLatencyTimer timer(CompileMetrics::Get().latency);
+  const size_t nodes_before = circuit_.size();
+  auto root = CompileRec(r);
+  CompileMetrics::Get().nodes->Add(
+      static_cast<uint64_t>(circuit_.size() - nodes_before));
+  if (root.ok()) {
+    ++stats_.compiled_roots;
+    CompileMetrics::Get().circuits->Add();
+  }
+  return root;
+}
+
+StatusOr<uint32_t> LineageCompiler::CompileRec(LineageRef r) {
+  auto it = memo_.find(r.id);
+  if (it != memo_.end()) {
+    ++stats_.memo_hits;
+    CompileMetrics::Get().reuse_hits->Add();
+    return it->second;
+  }
+  if (circuit_.size() >= opts_.max_circuit_nodes) {
+    return Status::ResourceExhausted(
+        "compiled circuit exceeds node budget (" +
+        std::to_string(opts_.max_circuit_nodes) + ")");
+  }
+
+  uint32_t cid = 0;
+  switch (mgr_->KindOf(r)) {
+    case LineageKind::kTrue:
+      cid = circuit_.AddConst(1.0);
+      break;
+    case LineageKind::kFalse:
+      cid = circuit_.AddConst(0.0);
+      break;
+    case LineageKind::kVar:
+      cid = circuit_.AddVar(mgr_->VarOf(r));
+      break;
+    case LineageKind::kNot: {
+      auto a = CompileRec(mgr_->Left(r));
+      if (!a.ok()) return a.status();
+      cid = circuit_.AddNot(*a);
+      break;
+    }
+    case LineageKind::kAnd:
+    case LineageKind::kOr: {
+      const LineageRef a = mgr_->Left(r);
+      const LineageRef b = mgr_->Right(r);
+      if (!SharesVariables(a, b)) {
+        auto ca = CompileRec(a);
+        if (!ca.ok()) return ca.status();
+        auto cb = CompileRec(b);
+        if (!cb.ok()) return cb.status();
+        cid = mgr_->KindOf(r) == LineageKind::kAnd ? circuit_.AddAnd(*ca, *cb)
+                                                   : circuit_.AddOr(*ca, *cb);
+      } else {
+        // Shannon expansion. Restrict hash-conses the cofactors, so equal
+        // cofactors across branches/tuples share one memo entry.
+        const VarId pivot = ChoosePivot(r);
+        const LineageRef hi = mgr_->Restrict(r, pivot, true);
+        const LineageRef lo = mgr_->Restrict(r, pivot, false);
+        auto chi = CompileRec(hi);
+        if (!chi.ok()) return chi.status();
+        auto clo = CompileRec(lo);
+        if (!clo.ok()) return clo.status();
+        ++stats_.decision_nodes;
+        cid = circuit_.AddDecision(pivot, *chi, *clo);
+      }
+      break;
+    }
+  }
+  memo_.emplace(r.id, cid);
+  return cid;
+}
+
+}  // namespace tpdb

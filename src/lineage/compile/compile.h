@@ -1,0 +1,83 @@
+// Knowledge compilation of lineage formulas into arithmetic circuits.
+//
+// The compiler walks the hash-consed lineage DAG bottom-up. Connectives
+// whose children mention disjoint variable sets map directly onto circuit
+// ∧/∨ nodes; a variable-sharing connective is resolved by Shannon expansion
+// on a pivot chosen greedily from the most-entangled shared variable (a
+// min-fill-style order over the flattened same-kind operand spine), with the
+// two cofactors built through LineageManager::Restrict — which hash-conses
+// them, so cofactors shared between tuples or between expansion branches
+// land on the same arena node.
+//
+// The per-lineage-node memo is the point: it is keyed on arena node ids and
+// kept *across* Compile() calls, so when a batch of tuples shares lineage
+// suffixes (the common case for TP joins — PR-wide duplicate subformulas are
+// interned once), each shared subformula compiles exactly once and later
+// tuples just wire its circuit id. Compilation cost then scales with the
+// number of *distinct* subformulas in the batch, not with ∑ formula sizes.
+//
+// Compilation is budgeted: once the circuit grows past
+// CompileOptions::max_circuit_nodes, Compile returns ResourceExhausted and
+// the caller falls back to sampling (see prob_eval.h).
+#ifndef TPDB_LINEAGE_COMPILE_COMPILE_H_
+#define TPDB_LINEAGE_COMPILE_COMPILE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "lineage/compile/circuit.h"
+#include "lineage/lineage.h"
+
+namespace tpdb {
+
+struct CompileOptions {
+  /// Hard cap on circuit size; exceeding it aborts the compilation with
+  /// ResourceExhausted (caller falls back to Monte Carlo).
+  size_t max_circuit_nodes = size_t{1} << 20;
+};
+
+struct CompileStats {
+  uint64_t compiled_roots = 0;   // successful Compile() calls
+  uint64_t memo_hits = 0;        // subformulas reused instead of recompiled
+  uint64_t decision_nodes = 0;   // Shannon expansions materialized
+};
+
+/// Compiles lineage formulas of one arena into a single shared circuit.
+/// Not thread-safe; use one compiler per evaluation thread (the underlying
+/// manager is). Intended lifetime: one compiler per query (or bench run),
+/// accumulating memoized subcircuits across all tuples it touches.
+class LineageCompiler {
+ public:
+  explicit LineageCompiler(LineageManager* manager, CompileOptions options = {})
+      : mgr_(manager), opts_(options) {}
+
+  /// Compiles `r`, returning its root circuit node id. Reuses previously
+  /// compiled subformulas. ResourceExhausted if the size budget is hit; the
+  /// circuit keeps the partial nodes (values stay valid — callers need not
+  /// roll back), but nothing new is memoized past the failure point.
+  StatusOr<uint32_t> Compile(LineageRef r);
+
+  const Circuit& circuit() const { return circuit_; }
+  const CompileStats& stats() const { return stats_; }
+
+ private:
+  StatusOr<uint32_t> CompileRec(LineageRef r);
+  /// Pivot choice for a variable-sharing connective `r`: flattens the
+  /// same-kind spine into its operand list and picks the shared variable
+  /// occurring in the most operands (ties to the smallest id), so each
+  /// expansion step disentangles as many operands as possible.
+  VarId ChoosePivot(LineageRef r);
+  bool SharesVariables(LineageRef a, LineageRef b);
+
+  LineageManager* mgr_;
+  CompileOptions opts_;
+  Circuit circuit_;
+  /// Lineage arena node id -> circuit node id.
+  std::unordered_map<uint32_t, uint32_t> memo_;
+  CompileStats stats_;
+};
+
+}  // namespace tpdb
+
+#endif  // TPDB_LINEAGE_COMPILE_COMPILE_H_

@@ -1,6 +1,7 @@
 #include "lineage/lineage.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace tpdb {
 
@@ -9,41 +10,64 @@ LineageManager::LineageManager() {
   false_ = Intern(Node{LineageKind::kFalse, 0, 0});
 }
 
+LineageManager::~LineageManager() {
+  const size_t n = num_nodes_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i)
+    delete var_sets_[i].load(std::memory_order_acquire);
+}
+
 VarId LineageManager::RegisterVariable(double prob, std::string name) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   TPDB_CHECK(prob >= 0.0 && prob <= 1.0) << "probability out of range: " << prob;
-  const VarId id = static_cast<VarId>(var_probs_.size());
-  var_probs_.push_back(prob);
+  const VarId id =
+      static_cast<VarId>(num_vars_.load(std::memory_order_relaxed));
+  var_probs_.Slot(id).store(prob, std::memory_order_relaxed);
   if (name.empty()) name = "x" + std::to_string(id);
   TPDB_CHECK(var_by_name_.emplace(name, id).second)
       << "duplicate variable name: " << name;
   var_names_.push_back(std::move(name));
+  // Publish after the slot write so lock-free readers that observe the new
+  // count also observe the probability.
+  num_vars_.store(id + 1, std::memory_order_release);
   return id;
 }
 
 double LineageManager::VariableProbability(VarId v) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  TPDB_CHECK_LT(v, var_probs_.size());
-  return var_probs_[v];
+  TPDB_CHECK_LT(v, num_vars_.load(std::memory_order_acquire));
+  return var_probs_[v].load(std::memory_order_acquire);
 }
 
 void LineageManager::SetVariableProbability(VarId v, double prob) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  TPDB_CHECK_LT(v, var_probs_.size());
+  TPDB_CHECK_LT(v, num_vars_.load(std::memory_order_acquire));
   TPDB_CHECK(prob >= 0.0 && prob <= 1.0) << "probability out of range: " << prob;
-  var_probs_[v] = prob;
-  prob_cache_.clear();
-  ++prob_epoch_;
+  var_probs_[v].store(prob, std::memory_order_release);
+  // Bump the epoch *before* clearing the shards: an evaluation that started
+  // under the old epoch can no longer repopulate a shard after its clear
+  // (StoreProbability re-checks the epoch under the shard lock), and a store
+  // that slips in just before the clear is wiped by it.
+  prob_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  for (auto& shard : prob_shards_) {
+    std::unique_lock lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+std::vector<double> LineageManager::SnapshotVariableProbabilities() const {
+  const size_t n = num_vars_.load(std::memory_order_acquire);
+  std::vector<double> probs(n);
+  for (size_t v = 0; v < n; ++v)
+    probs[v] = var_probs_[v].load(std::memory_order_acquire);
+  return probs;
 }
 
 const std::string& LineageManager::VariableName(VarId v) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   TPDB_CHECK_LT(v, var_names_.size());
   return var_names_[v];
 }
 
 StatusOr<VarId> LineageManager::FindVariable(const std::string& name) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = var_by_name_.find(name);
   if (it == var_by_name_.end())
     return Status::NotFound("no variable named " + name);
@@ -51,25 +75,28 @@ StatusOr<VarId> LineageManager::FindVariable(const std::string& name) const {
 }
 
 LineageRef LineageManager::Intern(Node n) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = intern_.find(n);
   if (it != intern_.end()) return LineageRef{it->second};
-  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  const uint32_t id =
+      static_cast<uint32_t>(num_nodes_.load(std::memory_order_relaxed));
   TPDB_CHECK_LT(id, LineageRef::kNullId) << "lineage arena exhausted";
-  nodes_.push_back(n);
-  var_cache_.emplace_back();
+  nodes_.Slot(id) = n;
+  // Force the matching var_sets_ chunk into existence while we hold the
+  // writer lock, so Variables() can read its slot without one.
+  var_sets_.Slot(id).store(nullptr, std::memory_order_relaxed);
   intern_.emplace(n, id);
+  num_nodes_.store(id + 1, std::memory_order_release);
   return LineageRef{id};
 }
 
 LineageRef LineageManager::Var(VarId v) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  TPDB_CHECK_LT(v, var_probs_.size()) << "unregistered variable";
+  TPDB_CHECK_LT(v, num_vars_.load(std::memory_order_acquire))
+      << "unregistered variable";
   return Intern(Node{LineageKind::kVar, v, 0});
 }
 
 LineageRef LineageManager::Not(LineageRef a) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   switch (KindOf(a)) {
     case LineageKind::kTrue:
       return false_;
@@ -83,7 +110,6 @@ LineageRef LineageManager::Not(LineageRef a) {
 }
 
 LineageRef LineageManager::And(LineageRef a, LineageRef b) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (KindOf(a) == LineageKind::kFalse || KindOf(b) == LineageKind::kFalse)
     return false_;
   if (KindOf(a) == LineageKind::kTrue) return b;
@@ -94,7 +120,6 @@ LineageRef LineageManager::And(LineageRef a, LineageRef b) {
 }
 
 LineageRef LineageManager::Or(LineageRef a, LineageRef b) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (KindOf(a) == LineageKind::kTrue || KindOf(b) == LineageKind::kTrue)
     return true_;
   if (KindOf(a) == LineageKind::kFalse) return b;
@@ -105,7 +130,6 @@ LineageRef LineageManager::Or(LineageRef a, LineageRef b) {
 }
 
 LineageRef LineageManager::AndAll(std::span<const LineageRef> operands) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<LineageRef> ops(operands.begin(), operands.end());
   std::sort(ops.begin(), ops.end());
   ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
@@ -118,7 +142,6 @@ LineageRef LineageManager::AndAll(std::span<const LineageRef> operands) {
 }
 
 LineageRef LineageManager::OrAll(std::span<const LineageRef> operands) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<LineageRef> ops(operands.begin(), operands.end());
   std::sort(ops.begin(), ops.end());
   ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
@@ -127,13 +150,7 @@ LineageRef LineageManager::OrAll(std::span<const LineageRef> operands) {
   return acc;
 }
 
-LineageKind LineageManager::KindOf(LineageRef r) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return node(r).kind;
-}
-
 LineageRef LineageManager::Left(LineageRef r) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   TPDB_CHECK(n.kind == LineageKind::kNot || n.kind == LineageKind::kAnd ||
              n.kind == LineageKind::kOr);
@@ -141,51 +158,56 @@ LineageRef LineageManager::Left(LineageRef r) const {
 }
 
 LineageRef LineageManager::Right(LineageRef r) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   TPDB_CHECK(n.kind == LineageKind::kAnd || n.kind == LineageKind::kOr);
   return LineageRef{n.b};
 }
 
 VarId LineageManager::VarOf(LineageRef r) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   TPDB_CHECK(n.kind == LineageKind::kVar);
   return n.a;
 }
 
 const std::vector<VarId>& LineageManager::Variables(LineageRef r) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  const Node& n = node(r);
-  std::vector<VarId>& cache = var_cache_[r.id];
-  if (!cache.empty()) return cache;
+  const Node& n = node(r);  // bounds-checks r before the slot access
+  std::atomic<const std::vector<VarId>*>& slot = var_sets_[r.id];
+  if (const std::vector<VarId>* hit = slot.load(std::memory_order_acquire))
+    return *hit;
+  auto fresh = std::make_unique<std::vector<VarId>>();
   switch (n.kind) {
     case LineageKind::kTrue:
     case LineageKind::kFalse:
       break;  // empty
     case LineageKind::kVar:
-      cache.push_back(n.a);
+      fresh->push_back(n.a);
       break;
     case LineageKind::kNot:
-      cache = Variables(LineageRef{n.a});
+      *fresh = Variables(LineageRef{n.a});
       break;
     case LineageKind::kAnd:
     case LineageKind::kOr: {
       const std::vector<VarId>& va = Variables(LineageRef{n.a});
       const std::vector<VarId>& vb = Variables(LineageRef{n.b});
-      cache.resize(va.size() + vb.size());
+      fresh->resize(va.size() + vb.size());
       auto end = std::set_union(va.begin(), va.end(), vb.begin(), vb.end(),
-                                cache.begin());
-      cache.erase(end, cache.end());
+                                fresh->begin());
+      fresh->erase(end, fresh->end());
       break;
     }
   }
-  return cache;
+  const std::vector<VarId>* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return *fresh.release();
+  }
+  // Another thread published the same set first; ours is redundant.
+  return *expected;
 }
 
 bool LineageManager::Evaluate(LineageRef r,
                               const std::vector<bool>& assignment) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   const Node& n = node(r);
   switch (n.kind) {
     case LineageKind::kTrue:
@@ -208,7 +230,6 @@ bool LineageManager::Evaluate(LineageRef r,
 }
 
 LineageRef LineageManager::Restrict(LineageRef r, VarId v, bool value) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::unordered_map<uint32_t, LineageRef> memo;
   return RestrictRec(r, v, value, &memo);
 }
@@ -218,8 +239,7 @@ LineageRef LineageManager::RestrictRec(
     std::unordered_map<uint32_t, LineageRef>* memo) {
   auto it = memo->find(r.id);
   if (it != memo->end()) return it->second;
-  // Copy the node: children of `r` may reallocate nodes_ during recursion.
-  const Node n = node(r);
+  const Node& n = node(r);
   LineageRef result = r;
   switch (n.kind) {
     case LineageKind::kTrue:
@@ -244,30 +264,26 @@ LineageRef LineageManager::RestrictRec(
   return result;
 }
 
-uint64_t LineageManager::probability_epoch() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return prob_epoch_;
-}
-
 bool LineageManager::LookupProbability(LineageRef r, double* out) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto it = prob_cache_.find(r.id);
-  if (it == prob_cache_.end()) return false;
+  const ProbShard& shard = prob_shards_[r.id % kProbShards];
+  std::shared_lock lock(shard.mu);
+  auto it = shard.map.find(r.id);
+  if (it == shard.map.end()) return false;
   *out = it->second;
   return true;
 }
 
 void LineageManager::StoreProbability(LineageRef r, double p,
                                       uint64_t epoch) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ProbShard& shard = prob_shards_[r.id % kProbShards];
+  std::unique_lock lock(shard.mu);
   // A concurrent SetVariableProbability invalidated this computation: its
   // result may mix old and new marginals, so it must not enter the cache.
-  if (epoch != prob_epoch_) return;
-  prob_cache_.emplace(r.id, p);
+  if (epoch != prob_epoch_.load(std::memory_order_acquire)) return;
+  shard.map.emplace(r.id, p);
 }
 
 bool LineageManager::Equivalent(LineageRef a, LineageRef b) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (a == b) return true;
   const std::vector<VarId>& va = Variables(a);
   const std::vector<VarId>& vb = Variables(b);

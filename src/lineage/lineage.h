@@ -10,9 +10,13 @@
 #ifndef TPDB_LINEAGE_LINEAGE_H_
 #define TPDB_LINEAGE_LINEAGE_H_
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -29,6 +33,60 @@ using VarId = uint32_t;
 /// Node kinds of the lineage DAG.
 enum class LineageKind : uint8_t { kTrue, kFalse, kVar, kNot, kAnd, kOr };
 
+namespace lineage_detail {
+
+/// Append-only chunked slot array with lock-free indexed reads. Chunk c
+/// holds 2^(kBaseBits+c) slots (geometric growth), so kMaxChunks chunks
+/// cover the full 32-bit id space without ever moving a slot — unlike a
+/// vector, published entries stay at a stable address forever, which is
+/// what lets readers index without a lock. Writers are serialized by the
+/// owner's mutex; readers must have learned the index through an acquire
+/// load of the owner's size counter (whose release store happens after the
+/// slot write).
+template <typename T>
+class ChunkedSlots {
+ public:
+  static constexpr size_t kBaseBits = 10;
+  static constexpr size_t kMaxChunks = 33 - kBaseBits;
+
+  ChunkedSlots() = default;
+  ChunkedSlots(const ChunkedSlots&) = delete;
+  ChunkedSlots& operator=(const ChunkedSlots&) = delete;
+  ~ChunkedSlots() {
+    for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+  }
+
+  /// Slot `i`, allocating its chunk if needed (writer side; the caller
+  /// serializes writers). The chunk pointer is published with release so a
+  /// reader racing on a *different*, already-published slot of the same
+  /// fresh chunk still sees the allocation.
+  T& Slot(size_t i) {
+    const size_t n = i + (size_t{1} << kBaseBits);
+    const int k = std::bit_width(n) - 1;
+    auto& cell = chunks_[static_cast<size_t>(k) - kBaseBits];
+    T* chunk = cell.load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new T[size_t{1} << k]();
+      cell.store(chunk, std::memory_order_release);
+    }
+    return chunk[n - (size_t{1} << k)];
+  }
+
+  /// Reader-side access: `i` must be below a size the caller read with
+  /// acquire ordering.
+  T& operator[](size_t i) const {
+    const size_t n = i + (size_t{1} << kBaseBits);
+    const int k = std::bit_width(n) - 1;
+    return chunks_[static_cast<size_t>(k) - kBaseBits].load(
+        std::memory_order_acquire)[n - (size_t{1} << k)];
+  }
+
+ private:
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+};
+
+}  // namespace lineage_detail
+
 /// Owns all lineage nodes and base variables of a database instance.
 ///
 /// Construction methods apply local simplifications (identity/annihilator
@@ -36,17 +94,29 @@ enum class LineageKind : uint8_t { kTrue, kFalse, kVar, kNot, kAnd, kOr };
 /// and order commutative children canonically, then hash-cons, so
 /// structurally equal formulas receive equal ids.
 ///
-/// Thread-safe: all methods may be called concurrently from the parallel
-/// execution runtime (exec/) — interning, variable registration and the
-/// memo caches are guarded by one internal lock. References returned by
-/// VariableName() and Variables() stay valid under concurrent growth (the
-/// backing containers are deques, and a memoized entry is immutable once
-/// filled). Note that concurrent interning makes node *ids* depend on
-/// thread interleaving; formulas stay structurally canonical either way,
-/// so probabilities and equivalence are unaffected.
+/// Thread-safe, with a read-mostly split so parallel sweep emission and
+/// parallel circuit evaluation scale instead of serializing on one lock:
+///
+///   - Node *reads* (KindOf / Left / Right / VarOf / Evaluate / Variables
+///     once memoized) are lock-free: nodes live in an append-only chunked
+///     arena published through an atomic size counter, so a published node
+///     is immutable at a stable address.
+///   - Node *interning* and variable registration take the intern mutex —
+///     now a plain mutex held once per construction call, not re-entered
+///     per child probe.
+///   - Variable marginals are atomic slots (lock-free reads; writes only
+///     from SetVariableProbability).
+///   - The probability memo is sharded behind per-shard shared_mutexes:
+///     concurrent evaluations take shared locks on lookup and short
+///     exclusive locks on store, and never contend with interning.
+///
+/// Note that concurrent interning makes node *ids* depend on thread
+/// interleaving; formulas stay structurally canonical either way, so
+/// probabilities and equivalence are unaffected.
 class LineageManager {
  public:
   LineageManager();
+  ~LineageManager();
 
   // Not copyable (LineageRefs are tied to one arena).
   LineageManager(const LineageManager&) = delete;
@@ -58,16 +128,19 @@ class LineageManager {
 
   /// Number of registered variables.
   size_t num_variables() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    return var_probs_.size();
+    return num_vars_.load(std::memory_order_acquire);
   }
 
-  /// Marginal probability of variable `v`.
+  /// Marginal probability of variable `v` (lock-free).
   double VariableProbability(VarId v) const;
 
   /// Updates the marginal probability of variable `v` (invalidates cached
   /// node probabilities).
   void SetVariableProbability(VarId v, double prob);
+
+  /// Dense snapshot of every variable's marginal, indexed by VarId — the
+  /// input of a compiled-circuit evaluation pass (lineage/compile/).
+  std::vector<double> SnapshotVariableProbabilities() const;
 
   /// Display name of variable `v` ("x<i>" if none was given).
   const std::string& VariableName(VarId v) const;
@@ -92,9 +165,9 @@ class LineageManager {
   /// The paper's andNot concatenation: λr ∧ ¬λs.
   LineageRef AndNot(LineageRef r, LineageRef s) { return And(r, Not(s)); }
 
-  // -- Inspection -------------------------------------------------------
+  // -- Inspection (lock-free) -------------------------------------------
 
-  LineageKind KindOf(LineageRef r) const;
+  LineageKind KindOf(LineageRef r) const { return node(r).kind; }
   /// Children of a binary node / child of a NOT node.
   LineageRef Left(LineageRef r) const;
   LineageRef Right(LineageRef r) const;
@@ -103,11 +176,12 @@ class LineageManager {
 
   /// Number of distinct nodes allocated (hash-consing statistic).
   size_t num_nodes() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    return nodes_.size();
+    return num_nodes_.load(std::memory_order_acquire);
   }
 
-  /// Sorted distinct variables occurring in the formula (memoized).
+  /// Sorted distinct variables occurring in the formula. Memoized per node
+  /// behind an atomic pointer: lock-free on every hit, and a lost
+  /// publication race just discards the duplicate.
   const std::vector<VarId>& Variables(LineageRef r);
 
   /// Evaluates the formula under a total assignment (indexed by VarId).
@@ -122,11 +196,15 @@ class LineageManager {
 
   /// Monotone counter bumped by every SetVariableProbability call.
   /// Consumers that cache derived probabilities (the memo below, snapshot
-  /// zone maps) snapshot this and treat a mismatch as "stale".
-  uint64_t probability_epoch() const;
+  /// zone maps, compiled-circuit values) snapshot this and treat a
+  /// mismatch as "stale".
+  uint64_t probability_epoch() const {
+    return prob_epoch_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class ProbabilityEngine;
+  friend class ProbabilityEvaluator;
 
   struct Node {
     LineageKind kind;
@@ -134,11 +212,12 @@ class LineageManager {
     uint32_t b;  // second child (kAnd/kOr only)
   };
 
-  /// Probability-memo access for ProbabilityEngine (locked; the cache is
-  /// shared across engine instances and invalidated by
-  /// SetVariableProbability). Stores are epoch-guarded: a computation that
-  /// started before a SetVariableProbability ran must not repopulate the
-  /// freshly cleared cache with its stale result, so the engine snapshots
+  /// Probability-memo access for the probability engines. The memo is
+  /// sharded by node id: lookups take a shared lock on one shard, stores a
+  /// brief exclusive one — evaluation never contends with interning.
+  /// Stores are epoch-guarded: a computation that started before a
+  /// SetVariableProbability ran must not repopulate the freshly cleared
+  /// cache with its stale result, so the engine snapshots
   /// probability_epoch() up front and StoreProbability drops the value if
   /// the epoch moved on.
   bool LookupProbability(LineageRef r, double* out) const;
@@ -161,30 +240,43 @@ class LineageManager {
   LineageRef Intern(Node n);
   const Node& node(LineageRef r) const {
     TPDB_CHECK(!r.is_null()) << "null lineage dereferenced";
-    TPDB_CHECK_LT(r.id, nodes_.size());
+    TPDB_CHECK_LT(r.id, num_nodes_.load(std::memory_order_acquire));
     return nodes_[r.id];
   }
   LineageRef RestrictRec(LineageRef r, VarId v, bool value,
                          std::unordered_map<uint32_t, LineageRef>* memo);
 
-  /// Guards every container below. Recursive because the construction
-  /// methods call each other (And → KindOf, AndAll → And, …).
-  mutable std::recursive_mutex mu_;
+  /// Guards interning (intern_ + arena growth) and variable registration
+  /// (var_names_, var_by_name_). Plain mutex: public methods lock it at
+  /// most once and all reads below it are lock-free.
+  mutable std::mutex mu_;
 
-  std::vector<Node> nodes_;
+  lineage_detail::ChunkedSlots<Node> nodes_;
+  /// Published node count; release-stored after the slot write in Intern.
+  std::atomic<size_t> num_nodes_{0};
   std::unordered_map<Node, uint32_t, NodeKeyHash, NodeKeyEq> intern_;
-  std::vector<double> var_probs_;
+
+  lineage_detail::ChunkedSlots<std::atomic<double>> var_probs_;
+  std::atomic<size_t> num_vars_{0};
   // Deque: VariableName() hands out references that must survive
   // concurrent RegisterVariable calls.
   std::deque<std::string> var_names_;
   std::unordered_map<std::string, VarId> var_by_name_;
-  // Memoized sorted variable sets per node id. Deque for the same
-  // reference-stability reason; an entry is immutable once filled.
-  std::deque<std::vector<VarId>> var_cache_;
-  // Probability memo lives here so SetVariableProbability can invalidate it.
-  std::unordered_map<uint32_t, double> prob_cache_;
-  // Bumped by SetVariableProbability; guards stale memo stores.
-  uint64_t prob_epoch_ = 0;
+
+  /// Memoized sorted variable set per node id, published via CAS. A filled
+  /// entry is immutable; losers of the publication race delete their copy.
+  lineage_detail::ChunkedSlots<std::atomic<const std::vector<VarId>*>>
+      var_sets_;
+
+  /// Sharded probability memo (see LookupProbability above).
+  static constexpr size_t kProbShards = 32;
+  struct ProbShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint32_t, double> map;
+  };
+  mutable std::array<ProbShard, kProbShards> prob_shards_;
+  /// Bumped by SetVariableProbability; guards stale memo stores.
+  std::atomic<uint64_t> prob_epoch_{0};
 
   LineageRef true_;
   LineageRef false_;

@@ -4,6 +4,40 @@
 
 namespace tpdb {
 
+double NormalQuantile(double p) {
+  TPDB_CHECK(p > 0.0 && p < 1.0) << "quantile argument out of range: " << p;
+  // Bisection on Φ(z) = 1 - erfc(z/√2)/2. Monotone and well-conditioned;
+  // ~60 iterations reach full double precision, and this runs once per
+  // query, not per sample.
+  double lo = -40.0;
+  double hi = 40.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-12; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double cdf = 1.0 - 0.5 * std::erfc(mid / std::sqrt(2.0));
+    if (cdf < p)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+uint64_t HoeffdingSamples(double eps, double delta) {
+  TPDB_CHECK(eps > 0.0 && eps < 1.0);
+  TPDB_CHECK(delta > 0.0 && delta < 1.0);
+  const double n = std::log(2.0 / delta) / (2.0 * eps * eps);
+  return static_cast<uint64_t>(std::ceil(n));
+}
+
+uint64_t DeriveSeed(uint64_t base_seed, uint32_t lineage_id) {
+  // splitmix64 finalizer over the combined value: adjacent lineage ids must
+  // not produce correlated streams.
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (lineage_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 MonteCarloEstimate MonteCarloEngine::Estimate(LineageRef r,
                                               uint64_t samples) {
   TPDB_CHECK(!r.is_null());

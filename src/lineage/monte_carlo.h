@@ -16,6 +16,22 @@
 
 namespace tpdb {
 
+/// Standard normal quantile: the z with Φ(z) = p (0 < p < 1). Used to turn
+/// an `APPROX(eps, delta)` contract into a target standard error eps/z with
+/// z = NormalQuantile(1 - delta/2).
+double NormalQuantile(double p);
+
+/// Hoeffding bound: smallest n with P(|p̂ − p| > eps) ≤ delta for the mean
+/// of n Bernoulli samples — a distribution-free cap on the adaptive
+/// sampler, so the (eps, delta) guarantee holds even when the CLT stopping
+/// rule is optimistic (p near 0 or 1).
+uint64_t HoeffdingSamples(double eps, double delta);
+
+/// Mixes a base seed with a lineage node id into a per-formula seed, so
+/// sampling a relation is deterministic under any parallel schedule (the
+/// estimate of a tuple does not depend on which worker draws it).
+uint64_t DeriveSeed(uint64_t base_seed, uint32_t lineage_id);
+
 /// Result of a sampling run.
 struct MonteCarloEstimate {
   double probability = 0.0;

@@ -72,9 +72,8 @@ struct ServerMetrics {
 constexpr uint64_t kListenId = 0;
 constexpr uint64_t kWakeId = 1;
 
-/// Reserved name of the probability column every result carries (lineage
-/// formulas stay server-side; the client sees Pr[λ] instead).
-constexpr const char* kProbColumn = "_prob";
+// Every result carries the shared kProbColumn ("_prob") probability column
+// (lineage formulas stay server-side; the client sees Pr[λ] instead).
 
 /// Rough in-memory footprint of a row, for per-session accounting.
 size_t ApproxRowBytes(const Row& row) {

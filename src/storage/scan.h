@@ -98,6 +98,10 @@ class SegmentScan final : public Operator {
  public:
   SegmentScan(const SegmentedTable* table, ScanPredicate predicate,
               StorageStats* stats = nullptr);
+  /// Scans only segments [seg_begin, seg_end) — the unit the planner's
+  /// probability top-k path visits in zone-map upper-bound order.
+  SegmentScan(const SegmentedTable* table, ScanPredicate predicate,
+              size_t seg_begin, size_t seg_end, StorageStats* stats = nullptr);
 
   const Schema& schema() const override { return table_->schema(); }
   void Open() override;
@@ -111,6 +115,8 @@ class SegmentScan final : public Operator {
 
   const SegmentedTable* table_;
   ScanPredicate predicate_;
+  size_t seg_begin_;
+  size_t seg_end_;
   StorageStats* stats_;
   size_t next_segment_ = 0;
   size_t buffer_pos_ = 0;

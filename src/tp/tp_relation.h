@@ -39,6 +39,9 @@ struct TPTuple {
 inline constexpr const char* kTsColumn = "_ts";
 inline constexpr const char* kTeColumn = "_te";
 inline constexpr const char* kLineageColumn = "_lin";
+/// Virtual output column: the tuple's lineage probability. Not stored —
+/// computed on demand (ORDER BY _prob, the wire protocol's result column).
+inline constexpr const char* kProbColumn = "_prob";
 
 /// A named TP relation bound to a LineageManager.
 class TPRelation {

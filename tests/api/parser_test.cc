@@ -227,6 +227,47 @@ TEST(RoundTripTest, SetOps) {
       QueryBuilder("x").Except(QueryBuilder("y").Where("v > 3")));
 }
 
+TEST(ParserTest, ParsesProbApprox) {
+  StatusOr<SelectStatement> stmt = ParseQuery(
+      "SELECT * FROM wants WITH PROB APPROX(0.05, 0.01) >= 0.5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_DOUBLE_EQ(stmt->approx_eps, 0.05);
+  EXPECT_DOUBLE_EQ(stmt->approx_delta, 0.01);
+  ASSERT_TRUE(stmt->min_prob.has_value());
+  EXPECT_DOUBLE_EQ(*stmt->min_prob, 0.5);
+  EXPECT_FALSE(stmt->min_prob_strict);
+
+  // Strict comparator composes with APPROX; plain PROB leaves eps at 0.
+  StatusOr<SelectStatement> strict = ParseQuery(
+      "SELECT * FROM wants WITH PROB APPROX(0.1, 0.2) > 0.25");
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  EXPECT_TRUE(strict->min_prob_strict);
+  StatusOr<SelectStatement> plain =
+      ParseQuery("SELECT * FROM wants WITH PROB >= 0.5");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(plain->approx_eps, 0.0);
+}
+
+TEST(ParserErrorsTest, RejectsMalformedApprox) {
+  const char* kBad[] = {
+      "SELECT * FROM wants WITH PROB APPROX >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX( >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX(0.05 >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX(0.05,) >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX(0.05, 0.01 >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX(0.05, 0.01)",  // no threshold
+      "SELECT * FROM wants WITH PROB APPROX(0, 0.01) >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX(1.5, 0.01) >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX(0.05, 0) >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX(0.05, 1) >= 0.5",
+      "SELECT * FROM wants WITH PROB APPROX(-0.05, 0.01) >= 0.5",
+  };
+  for (const char* text : kBad) {
+    StatusOr<SelectStatement> stmt = ParseQuery(text);
+    EXPECT_FALSE(stmt.ok()) << "should not parse: '" << text << "'";
+  }
+}
+
 TEST(RoundTripTest, BuilderDefersErrors) {
   // An unparsable Where string surfaces at Build(), not as a crash.
   StatusOr<LogicalPlan> plan =

@@ -1,0 +1,400 @@
+// Knowledge compilation and the evaluation ladder: compiled circuits must
+// agree with the exact engine (and, where tractable, the possible-worlds
+// oracle) on arbitrary formulas; the ladder must route each formula to the
+// right rung; re-evaluation after a probability update must not recompile;
+// and concurrent evaluators over one shared arena must be race-free (the
+// TSAN job runs this suite).
+#include "lineage/compile/compile.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "lineage/compile/circuit.h"
+#include "lineage/compile/prob_eval.h"
+#include "lineage/monte_carlo.h"
+#include "lineage/probability.h"
+
+namespace tpdb {
+namespace {
+
+// -- Circuit primitives ----------------------------------------------------
+
+TEST(LineageCompileTest, CircuitEvaluatesPrimitives) {
+  Circuit c;
+  const uint32_t one = c.AddConst(1.0);
+  const uint32_t v0 = c.AddVar(0);
+  const uint32_t v1 = c.AddVar(1);
+  const uint32_t n = c.AddNot(v0);
+  const uint32_t a = c.AddAnd(n, v1);
+  const uint32_t o = c.AddOr(a, v0);
+  const uint32_t d = c.AddDecision(1, one, v0);
+
+  const std::vector<double> probs = {0.25, 0.5};
+  std::vector<double> values;
+  c.Evaluate(probs, &values);
+  EXPECT_DOUBLE_EQ(values[one], 1.0);
+  EXPECT_DOUBLE_EQ(values[v0], 0.25);
+  EXPECT_DOUBLE_EQ(values[n], 0.75);
+  EXPECT_DOUBLE_EQ(values[a], 0.75 * 0.5);
+  EXPECT_DOUBLE_EQ(values[o], 1.0 - (1.0 - 0.375) * 0.75);
+  // decide x1 ? 1.0 : x0 = 0.5·1.0 + 0.5·0.25
+  EXPECT_DOUBLE_EQ(values[d], 0.5 * 1.0 + 0.5 * 0.25);
+}
+
+TEST(LineageCompileTest, CircuitIncrementalEvaluationExtendsPrefix) {
+  Circuit c;
+  const uint32_t v0 = c.AddVar(0);
+  const uint32_t v1 = c.AddVar(1);
+  const uint32_t a = c.AddAnd(v0, v1);
+  std::vector<double> values;
+  c.Evaluate(std::vector<double>{0.5, 0.5}, &values);
+  EXPECT_DOUBLE_EQ(values[a], 0.25);
+
+  // Appending never changes earlier node values: re-evaluate from the old
+  // size only and the prefix stays valid.
+  const size_t from = c.size();
+  const uint32_t o = c.AddOr(a, v0);
+  c.Evaluate(std::vector<double>{0.5, 0.5}, &values, from);
+  EXPECT_DOUBLE_EQ(values[a], 0.25);
+  EXPECT_DOUBLE_EQ(values[o], 1.0 - 0.75 * 0.5);
+}
+
+// -- Random-formula agreement ---------------------------------------------
+
+/// Random formula over `vars` with heavy reuse: leaves are drawn from the
+/// same small variable pool (adversarial sharing) and operators are drawn
+/// uniformly, so most ∧/∨ nodes entangle their operands.
+LineageRef RandomFormula(LineageManager* mgr, Random* rng,
+                         const std::vector<LineageRef>& vars, int ops) {
+  std::vector<LineageRef> pool = vars;
+  for (int i = 0; i < ops; ++i) {
+    const LineageRef a = pool[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+    const LineageRef b = pool[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+    switch (rng->Uniform(0, 3)) {
+      case 0: pool.push_back(mgr->And(a, b)); break;
+      case 1: pool.push_back(mgr->Or(a, b)); break;
+      case 2: pool.push_back(mgr->Not(a)); break;
+      default: pool.push_back(mgr->AndNot(a, b)); break;
+    }
+  }
+  return pool.back();
+}
+
+TEST(LineageCompileTest, CompiledMatchesExactAndBruteForce) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    LineageManager mgr;
+    Random rng(seed);
+    std::vector<LineageRef> vars;
+    const int num_vars = static_cast<int>(rng.Uniform(2, 10));
+    for (int v = 0; v < num_vars; ++v)
+      vars.push_back(mgr.Var(mgr.RegisterVariable(rng.NextDouble())));
+    const LineageRef lam =
+        RandomFormula(&mgr, &rng, vars, static_cast<int>(rng.Uniform(4, 24)));
+
+    // Evaluator first: compiled runs store exact values into the manager's
+    // shared memo, so running the exact engine first would short-circuit the
+    // ladder to a memo hit and test nothing. The epoch bump below drops the
+    // stored value so the Shannon engine recomputes independently.
+    ProbabilityEvaluator evaluator(&mgr, ProbEvalOptions{});
+    const double evaluated = evaluator.Probability(lam);
+    ProbabilityEngine engine(&mgr);
+    const double brute = engine.BruteForceProbability(lam);
+    mgr.SetVariableProbability(0, mgr.VariableProbability(0));
+    const double exact = ProbabilityEngine(&mgr).Probability(lam);
+
+    EXPECT_NEAR(exact, brute, 1e-9) << "seed " << seed;
+    EXPECT_NEAR(evaluated, exact, 1e-9) << "seed " << seed;
+    EXPECT_NEAR(evaluated, brute, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LineageCompileTest, CompiledMatchesExactOnLargeEntangledFamilies) {
+  // Up to 24 variables: chains (v_i ∨ v_{i+1}) and long-range grids
+  // (v_i ∨ v_{i+5}) — both defeat independent decomposition everywhere.
+  // n > 2·stride everywhere, so the stride family always overlaps (v_stride
+  // occurs in two clauses) and never collapses to the decomposable rung.
+  for (const int n : {12, 16, 24}) {
+    for (const int stride : {1, 5}) {
+      LineageManager mgr;
+      Random rng(static_cast<uint64_t>(n * 31 + stride));
+      std::vector<LineageRef> vars;
+      for (int v = 0; v < n; ++v)
+        vars.push_back(
+            mgr.Var(mgr.RegisterVariable(0.1 + 0.8 * rng.NextDouble())));
+      LineageRef lam = mgr.True();
+      for (int i = 0; i + stride < n; ++i)
+        lam = mgr.And(lam, mgr.Or(vars[static_cast<size_t>(i)],
+                                  vars[static_cast<size_t>(i + stride)]));
+
+      ProbabilityEvaluator evaluator(&mgr, ProbEvalOptions{});
+      const double evaluated = evaluator.Probability(lam);
+      EXPECT_NE(evaluator.methods_used() & kProbMethodCompiled, 0);
+      mgr.SetVariableProbability(0, mgr.VariableProbability(0));
+      const double exact = ProbabilityEngine(&mgr).Probability(lam);
+      EXPECT_NEAR(evaluated, exact, 1e-9)
+          << "n=" << n << " stride=" << stride;
+    }
+  }
+}
+
+// -- Ladder routing --------------------------------------------------------
+
+TEST(ProbEvalTest, DecomposableFormulasStayOnTheExactRung) {
+  LineageManager mgr;
+  const LineageRef a = mgr.Var(mgr.RegisterVariable(0.9));
+  std::vector<LineageRef> vars;
+  for (int i = 0; i < 8; ++i)
+    vars.push_back(mgr.Var(mgr.RegisterVariable(0.3)));
+  const LineageRef lam = mgr.AndNot(a, mgr.OrAll(vars));
+
+  ProbabilityEvaluator evaluator(&mgr, ProbEvalOptions{});
+  ProbabilityEngine engine(&mgr);
+  EXPECT_NEAR(evaluator.Probability(lam), engine.Probability(lam), 1e-12);
+  EXPECT_EQ(evaluator.methods_used(), kProbMethodExact);
+  EXPECT_EQ(evaluator.circuit_size(), 0u);
+}
+
+TEST(ProbEvalTest, ReEvaluationAfterProbabilityUpdateDoesNotRecompile) {
+  LineageManager mgr;
+  std::vector<LineageRef> vars;
+  for (int i = 0; i < 12; ++i)
+    vars.push_back(mgr.Var(mgr.RegisterVariable(0.5)));
+  LineageRef lam = mgr.True();
+  for (int i = 0; i + 1 < 12; ++i)
+    lam = mgr.And(lam, mgr.Or(vars[static_cast<size_t>(i)],
+                              vars[static_cast<size_t>(i + 1)]));
+
+  ProbabilityEvaluator evaluator(&mgr, ProbEvalOptions{});
+  evaluator.Probability(lam);
+  const size_t compiled_nodes = evaluator.circuit_size();
+  const uint64_t hits = evaluator.compile_stats().memo_hits;
+  ASSERT_GT(compiled_nodes, 0u);
+
+  mgr.SetVariableProbability(0, 0.25);
+  const double updated = evaluator.Probability(lam);
+  // Same circuit, new values: the update only re-ran the evaluation pass —
+  // the root came out of the compiler memo and no node was appended.
+  EXPECT_EQ(evaluator.circuit_size(), compiled_nodes);
+  EXPECT_GT(evaluator.compile_stats().memo_hits, hits);
+  // Drop the memoized compiled value (epoch bump, same marginal) so the
+  // exact engine recomputes independently instead of hitting the memo.
+  mgr.SetVariableProbability(0, mgr.VariableProbability(0));
+  EXPECT_NEAR(updated, ProbabilityEngine(&mgr).Probability(lam), 1e-9);
+
+  // And per-update agreement holds over a sweep of values.
+  for (const double p : {0.1, 0.5, 0.9}) {
+    mgr.SetVariableProbability(3, p);
+    const double got = evaluator.Probability(lam);
+    EXPECT_EQ(evaluator.circuit_size(), compiled_nodes);
+    mgr.SetVariableProbability(3, p);  // invalidate before the exact check
+    EXPECT_NEAR(got, ProbabilityEngine(&mgr).Probability(lam), 1e-9);
+  }
+}
+
+TEST(ProbEvalTest, MemoReusesSubcircuitsAcrossTuples) {
+  LineageManager mgr;
+  std::vector<LineageRef> vars;
+  for (int i = 0; i < 10; ++i)
+    vars.push_back(mgr.Var(mgr.RegisterVariable(0.5)));
+  LineageRef core = mgr.True();
+  for (int i = 0; i + 1 < 10; ++i)
+    core = mgr.And(core, mgr.Or(vars[static_cast<size_t>(i)],
+                                vars[static_cast<size_t>(i + 1)]));
+
+  ProbabilityEvaluator evaluator(&mgr, ProbEvalOptions{});
+  // First tuple pays the compile; the core lands in the memo.
+  const LineageRef t0 = mgr.Var(mgr.RegisterVariable(0.7));
+  evaluator.Probability(mgr.And(t0, core));
+  const size_t after_first = evaluator.circuit_size();
+  const uint64_t hits_first = evaluator.compile_stats().memo_hits;
+  // Later tuples sharing the core wire its existing circuit id.
+  for (int i = 0; i < 16; ++i) {
+    const LineageRef t = mgr.Var(mgr.RegisterVariable(0.3));
+    const LineageRef lam = mgr.And(t, core);
+    const double got = evaluator.Probability(lam);
+    mgr.SetVariableProbability(0, mgr.VariableProbability(0));  // drop memo
+    EXPECT_NEAR(got, ProbabilityEngine(&mgr).Probability(lam), 1e-9);
+  }
+  EXPECT_GT(evaluator.compile_stats().memo_hits, hits_first);
+  // Each extra tuple adds O(1) nodes (its var + one conjunction), not a
+  // re-compiled core.
+  EXPECT_LT(evaluator.circuit_size() - after_first, 16 * 4);
+}
+
+TEST(ProbEvalTest, BudgetExhaustionFallsBackToSampling) {
+  LineageManager mgr;
+  std::vector<LineageRef> vars;
+  for (int i = 0; i < 14; ++i)
+    vars.push_back(mgr.Var(mgr.RegisterVariable(0.5)));
+  LineageRef lam = mgr.True();
+  for (int i = 0; i + 1 < 14; ++i)
+    lam = mgr.And(lam, mgr.Or(vars[static_cast<size_t>(i)],
+                              vars[static_cast<size_t>(i + 1)]));
+
+  ProbEvalOptions opts;
+  opts.max_circuit_nodes = 4;  // nothing real compiles under this
+  ProbabilityEvaluator evaluator(&mgr, opts);
+  const double sampled = evaluator.Probability(lam);
+  EXPECT_NE(evaluator.methods_used() & kProbMethodMonteCarlo, 0);
+  ProbabilityEngine engine(&mgr);
+  // Deterministic seed; the fallback contract is (0.01, 0.05).
+  EXPECT_NEAR(sampled, engine.Probability(lam), 0.05);
+}
+
+TEST(ProbEvalTest, ApproxContractSkipsExactRungs) {
+  LineageManager mgr;
+  const LineageRef a = mgr.Var(mgr.RegisterVariable(0.6));
+  const LineageRef b = mgr.Var(mgr.RegisterVariable(0.5));
+  const LineageRef lam = mgr.And(a, b);  // decomposable, yet sampled
+  ProbEvalOptions opts;
+  opts.approx_eps = 0.05;
+  opts.approx_delta = 0.05;
+  ProbabilityEvaluator evaluator(&mgr, opts);
+  const double p = evaluator.Probability(lam);
+  EXPECT_EQ(evaluator.methods_used(), kProbMethodMonteCarlo);
+  EXPECT_NEAR(p, 0.3, 0.05);
+}
+
+TEST(ProbEvalTest, MethodLabels) {
+  EXPECT_EQ(ProbMethodsLabel(0), "");
+  EXPECT_EQ(ProbMethodsLabel(kProbMethodExact), "exact");
+  EXPECT_EQ(ProbMethodsLabel(kProbMethodCompiled), "compiled");
+  EXPECT_EQ(ProbMethodsLabel(kProbMethodMonteCarlo), "mc");
+  EXPECT_EQ(ProbMethodsLabel(kProbMethodExact | kProbMethodMonteCarlo),
+            "exact+mc");
+  EXPECT_EQ(ProbMethodsLabel(kProbMethodExact | kProbMethodCompiled |
+                             kProbMethodMonteCarlo),
+            "exact+compiled+mc");
+}
+
+// -- Monte-Carlo confidence accounting ------------------------------------
+
+TEST(ProbEvalTest, NormalQuantileMatchesKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(ProbEvalTest, HoeffdingSamplesTightenWithContract) {
+  // n = ceil(ln(2/delta) / (2 eps^2)).
+  EXPECT_EQ(HoeffdingSamples(0.1, 0.05),
+            static_cast<uint64_t>(std::ceil(std::log(2.0 / 0.05) / 0.02)));
+  EXPECT_GT(HoeffdingSamples(0.01, 0.05), HoeffdingSamples(0.1, 0.05));
+  EXPECT_GT(HoeffdingSamples(0.1, 0.01), HoeffdingSamples(0.1, 0.05));
+}
+
+TEST(ProbEvalTest, DerivedSeedsAreStableAndDistinct) {
+  EXPECT_EQ(DeriveSeed(42, 7), DeriveSeed(42, 7));
+  EXPECT_NE(DeriveSeed(42, 7), DeriveSeed(42, 8));
+  EXPECT_NE(DeriveSeed(42, 7), DeriveSeed(43, 7));
+}
+
+TEST(ProbEvalTest, ApproxEstimatesLandInsideTheConfidenceInterval) {
+  LineageManager mgr;
+  std::vector<LineageRef> vars;
+  for (int i = 0; i < 12; ++i)
+    vars.push_back(mgr.Var(mgr.RegisterVariable(0.5)));
+  LineageRef lam = mgr.True();
+  for (int i = 0; i + 1 < 12; ++i)
+    lam = mgr.And(lam, mgr.Or(vars[static_cast<size_t>(i)],
+                              vars[static_cast<size_t>(i + 1)]));
+  ProbabilityEngine engine(&mgr);
+  const double exact = engine.Probability(lam);
+
+  const double eps = 0.05, delta = 0.05;
+  const double z = NormalQuantile(1.0 - delta / 2.0);
+  const int seeds = 40;
+  int hits = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    MonteCarloEngine mc(&mgr,
+                        DeriveSeed(static_cast<uint64_t>(seed) + 1, lam.id));
+    const MonteCarloEstimate est = mc.EstimateToPrecision(
+        lam, eps / z, HoeffdingSamples(eps, delta));
+    if (std::abs(est.probability - exact) <= eps) ++hits;
+  }
+  // The contract allows delta = 5% misses; 90% over 40 seeds leaves slack
+  // for unlucky draws without masking a broken estimator.
+  EXPECT_GE(hits, static_cast<int>(seeds * 0.9));
+}
+
+// -- Concurrency (exercised under TSAN) -----------------------------------
+
+TEST(LineageCompileConcurrencyTest, ParallelEvaluatorsShareOneArena) {
+  LineageManager mgr;
+  std::vector<LineageRef> vars;
+  for (int i = 0; i < 16; ++i)
+    vars.push_back(mgr.Var(mgr.RegisterVariable(0.5)));
+  // A mix of decomposable and entangled formulas, shared by all workers.
+  std::vector<LineageRef> formulas;
+  for (int f = 0; f < 8; ++f) {
+    LineageRef lam = mgr.Or(vars[static_cast<size_t>(f)],
+                            vars[static_cast<size_t>(f + 1)]);
+    for (int i = f; i + 1 < f + 6; ++i)
+      lam = mgr.And(lam, mgr.Or(vars[static_cast<size_t>(i % 16)],
+                                vars[static_cast<size_t>((i + 1) % 16)]));
+    formulas.push_back(lam);
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&, w] {
+      ProbabilityEvaluator evaluator(&mgr, ProbEvalOptions{});
+      for (int round = 0; round < 50; ++round) {
+        const LineageRef lam =
+            formulas[static_cast<size_t>((w + round) % 8)];
+        const double p = evaluator.Probability(lam);
+        if (!(p >= 0.0 && p <= 1.0)) failed = true;
+      }
+    });
+  }
+  // A writer racing the evaluators: epoch bumps must invalidate memos
+  // without tearing any read.
+  workers.emplace_back([&] {
+    for (int i = 0; i < 100; ++i)
+      mgr.SetVariableProbability(static_cast<VarId>(i % 16),
+                                 0.25 + 0.5 * ((i % 3) / 2.0));
+  });
+  for (std::thread& t : workers) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(LineageCompileConcurrencyTest, ConcurrentConstructionAndEvaluation) {
+  LineageManager mgr;
+  std::vector<LineageRef> vars;
+  for (int i = 0; i < 32; ++i)
+    vars.push_back(mgr.Var(mgr.RegisterVariable(0.5)));
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 6; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(static_cast<uint64_t>(w) + 1);
+      ProbabilityEvaluator evaluator(&mgr, ProbEvalOptions{});
+      for (int round = 0; round < 40; ++round) {
+        // Interleave building new shared formulas with evaluating them:
+        // Intern takes the arena lock, evaluation is a lock-free reader.
+        const LineageRef a = vars[static_cast<size_t>(
+            rng.Uniform(0, 31))];
+        const LineageRef b = vars[static_cast<size_t>(
+            rng.Uniform(0, 31))];
+        const LineageRef lam = mgr.And(mgr.Or(a, b), mgr.Not(b));
+        const double p = evaluator.Probability(lam);
+        if (!(p >= 0.0 && p <= 1.0)) failed = true;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace tpdb
